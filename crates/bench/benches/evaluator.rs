@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the configuration evaluator: the cost of one
+//! end-to-end evaluation (dynamic transformation + concurrent performance
+//! model + accuracy/exit model) for the paper's two architectures, and of
+//! its main sub-steps. These measure the framework itself (the paper's
+//! search performs 12 000 of these evaluations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnc_core::{Estimator, EvaluatorBuilder, MappingConfig};
+use mnc_dynamic::DynamicNetwork;
+use mnc_mpsoc::Platform;
+use mnc_nn::models::{vgg19, visformer, ModelPreset};
+use std::hint::black_box;
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluator");
+    group.sample_size(30);
+    for (name, network) in [
+        ("visformer", visformer(ModelPreset::cifar100())),
+        ("vgg19", vgg19(ModelPreset::cifar100())),
+    ] {
+        let platform = Platform::agx_xavier();
+        let evaluator = EvaluatorBuilder::new(network.clone(), platform.clone())
+            .validation_samples(2000)
+            .build()
+            .expect("evaluator preset is valid");
+        let config = MappingConfig::uniform(&network, &platform).expect("uniform config");
+        group.bench_function(format!("evaluate/{name}"), |b| {
+            b.iter(|| evaluator.evaluate(black_box(&config)).expect("evaluation succeeds"))
+        });
+
+        let dynamic = DynamicNetwork::transform(&network, &config.partition, &config.indicator)
+            .expect("transform succeeds");
+        group.bench_function(format!("transform/{name}"), |b| {
+            b.iter(|| {
+                DynamicNetwork::transform(
+                    black_box(&network),
+                    black_box(&config.partition),
+                    black_box(&config.indicator),
+                )
+                .expect("transform succeeds")
+            })
+        });
+        group.bench_function(format!("perf_model/{name}"), |b| {
+            b.iter(|| {
+                mnc_core::perf::evaluate_performance(
+                    black_box(&dynamic),
+                    black_box(&config),
+                    black_box(&platform),
+                    &Estimator::Analytic,
+                )
+                .expect("performance model succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate);
+criterion_main!(benches);

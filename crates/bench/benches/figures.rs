@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the per-figure building blocks: the single-CU
+//! baselines of Fig. 1 / Table II and the execution-trace simulation used
+//! to validate the concurrent performance model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnc_core::{Estimator, EvaluatorBuilder, ExecutionTrace, MappingConfig};
+use mnc_dynamic::DynamicNetwork;
+use mnc_mpsoc::{CuId, Platform};
+use mnc_nn::models::{vgg19, visformer, ModelPreset};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let platform = Platform::agx_xavier();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(30);
+
+    for (name, network) in [
+        ("visformer", visformer(ModelPreset::cifar100())),
+        ("vgg19", vgg19(ModelPreset::cifar100())),
+    ] {
+        group.bench_function(format!("single_cu_baseline/{name}"), |b| {
+            b.iter(|| {
+                platform
+                    .single_cu_baseline(black_box(&network), CuId(0))
+                    .expect("baseline succeeds")
+            })
+        });
+
+        let evaluator = EvaluatorBuilder::new(network.clone(), platform.clone())
+            .validation_samples(1000)
+            .build()
+            .expect("evaluator preset is valid");
+        let config = MappingConfig::uniform(&network, &platform).expect("uniform config");
+        let dynamic = DynamicNetwork::transform(&network, &config.partition, &config.indicator)
+            .expect("transform succeeds");
+        group.bench_function(format!("execution_trace/{name}"), |b| {
+            b.iter(|| {
+                ExecutionTrace::simulate(
+                    black_box(&dynamic),
+                    black_box(&config),
+                    black_box(&platform),
+                    &Estimator::Analytic,
+                )
+                .expect("simulation succeeds")
+            })
+        });
+        group.bench_function(format!("static_distributed_baseline/{name}"), |b| {
+            b.iter(|| {
+                evaluator
+                    .baseline_static_distributed(black_box(&config))
+                    .expect("baseline succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the evolutionary search: the cost of one small
+//! search (a few generations) and of genome decoding, on the Visformer /
+//! AGX Xavier workload used throughout the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnc_core::EvaluatorBuilder;
+use mnc_mpsoc::Platform;
+use mnc_nn::models::{visformer, ModelPreset};
+use mnc_optim::{Genome, MappingSearch, SearchConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let network = visformer(ModelPreset::cifar100());
+    let platform = Platform::agx_xavier();
+    let evaluator = EvaluatorBuilder::new(network.clone(), platform.clone())
+        .validation_samples(1000)
+        .build()
+        .expect("evaluator preset is valid");
+
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+
+    group.bench_function("genome_decode/visformer", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let genome = Genome::random(&network, &platform, &mut rng);
+        b.iter(|| genome.decode(black_box(&network), black_box(&platform)).expect("decodes"))
+    });
+
+    group.bench_function("evolution/3gen_x_12", |b| {
+        let config = SearchConfig {
+            generations: 3,
+            population_size: 12,
+            parallel: false,
+            seed: 3,
+            ..SearchConfig::fast()
+        };
+        b.iter(|| {
+            MappingSearch::new(black_box(&evaluator), config)
+                .run()
+                .expect("search succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the surrogate predictor: benchmark-dataset
+//! generation, gradient-boosted-tree training and single-query prediction
+//! (the operation the search issues thousands of times per generation when
+//! the surrogate estimator is selected).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnc_mpsoc::{Platform, WorkloadClass};
+use mnc_nn::SliceCost;
+use mnc_predictor::{
+    BenchmarkDataset, DatasetConfig, GbtConfig, PerformancePredictor, QueryFeatures,
+};
+use std::hint::black_box;
+
+fn bench_surrogate(c: &mut Criterion) {
+    let platform = Platform::agx_xavier();
+    let dataset_config = DatasetConfig {
+        samples: 1500,
+        seed: 5,
+        noise_std: 0.05,
+        train_fraction: 0.8,
+    };
+
+    let mut group = c.benchmark_group("surrogate");
+    group.sample_size(10);
+    group.bench_function("dataset_generation/1500", |b| {
+        b.iter(|| {
+            BenchmarkDataset::generate(black_box(&platform), black_box(&dataset_config))
+                .expect("dataset generation succeeds")
+        })
+    });
+
+    let dataset = BenchmarkDataset::generate(&platform, &dataset_config).expect("dataset");
+    group.bench_function("gbt_training/fast", |b| {
+        b.iter(|| {
+            PerformancePredictor::from_dataset(black_box(&dataset), &GbtConfig::fast())
+                .expect("training succeeds")
+        })
+    });
+
+    let predictor =
+        PerformancePredictor::from_dataset(&dataset, &GbtConfig::fast()).expect("training");
+    let cu = &platform.compute_units()[0];
+    let query = QueryFeatures::new(
+        SliceCost {
+            macs: 5e7,
+            flops: 1e8,
+            weight_bytes: 2e6,
+            input_bytes: 4e5,
+            output_bytes: 4e5,
+        },
+        WorkloadClass::Convolution,
+        cu,
+        cu.max_dvfs(),
+    );
+    group.bench_function("predict/single_query", |b| {
+        b.iter(|| predictor.predict(black_box(&query)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_surrogate);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Reproduces Fig. 6: the energy/latency scatter of all configurations
+//! explored by the three search strategies (no feature-map-reuse
+//! constraint, ≤75% and ≤50%), with the headline factors — up to ~2.1x
+//! energy gain over GPU-only at ≤30 ms latency and up to ~1.7x latency
+//! speedup over DLA-only.
+//!
+//! ```text
+//! MNC_BUDGET=ci cargo run -p mnc-bench --bin fig6_search
+//! ```
+
+use mnc_bench::{format_factor, print_table, run_search, single_cu_baselines, write_json, Budget, Workload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ScatterPoint {
+    strategy: String,
+    average_energy_mj: f64,
+    average_latency_ms: f64,
+    accuracy_drop: f64,
+    fmap_reuse: f64,
+    feasible: bool,
+}
+
+#[derive(Serialize)]
+struct StrategySummary {
+    strategy: String,
+    evaluations: usize,
+    feasible: usize,
+    pareto_size: usize,
+    accuracy_drop_tolerance: f64,
+    best_energy_gain_vs_gpu: f64,
+    best_speedup_vs_dla: f64,
+    best_energy_gain_within_30ms: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget = Budget::from_env();
+    let mut all_points: Vec<ScatterPoint> = Vec::new();
+    let mut summaries: Vec<StrategySummary> = Vec::new();
+
+    for (strategy, limit, seed) in [
+        ("no-constraint", None, 201u64),
+        ("reuse<=75%", Some(0.75), 202),
+        ("reuse<=50%", Some(0.50), 203),
+    ] {
+        let (evaluator, outcome) = run_search(Workload::Visformer, limit, budget, seed)?;
+        let (gpu, dla) = single_cu_baselines(&evaluator)?;
+
+        for candidate in outcome.archive() {
+            all_points.push(ScatterPoint {
+                strategy: strategy.to_string(),
+                average_energy_mj: candidate.result.average_energy_mj,
+                average_latency_ms: candidate.result.average_latency_ms,
+                accuracy_drop: candidate.result.accuracy_drop,
+                fmap_reuse: candidate.result.fmap_reuse,
+                feasible: candidate.result.feasible,
+            });
+        }
+
+        // The paper highlights configurations within 0.5% of the baseline
+        // accuracy; under tight reuse constraints our accuracy model loses
+        // more than that, so walk the same tolerance ladder the Table II
+        // picks use and report which tolerance was needed.
+        let (accuracy_tolerance, highlighted): (f64, Vec<_>) = mnc_bench::ACCURACY_DROP_LADDER
+            .iter()
+            .map(|tol| {
+                (
+                    *tol,
+                    outcome
+                        .feasible()
+                        .into_iter()
+                        .filter(|c| c.result.accuracy_drop <= *tol)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .find(|(_, configs)| !configs.is_empty())
+            .unwrap_or((f64::NAN, Vec::new()));
+        let best_energy_gain = highlighted
+            .iter()
+            .map(|c| gpu.energy_mj / c.result.average_energy_mj)
+            .fold(0.0, f64::max);
+        let best_speedup = highlighted
+            .iter()
+            .map(|c| dla.latency_ms / c.result.average_latency_ms)
+            .fold(0.0, f64::max);
+        let best_energy_gain_30ms = highlighted
+            .iter()
+            .filter(|c| c.result.average_latency_ms <= 30.0)
+            .map(|c| gpu.energy_mj / c.result.average_energy_mj)
+            .fold(0.0, f64::max);
+
+        summaries.push(StrategySummary {
+            strategy: strategy.to_string(),
+            evaluations: outcome.evaluations(),
+            feasible: outcome.feasible().len(),
+            pareto_size: outcome.pareto_front().len(),
+            accuracy_drop_tolerance: accuracy_tolerance,
+            best_energy_gain_vs_gpu: best_energy_gain,
+            best_speedup_vs_dla: best_speedup,
+            best_energy_gain_within_30ms: best_energy_gain_30ms,
+        });
+    }
+
+    print_table(
+        "Fig. 6 — search strategies on Visformer / AGX Xavier",
+        &[
+            "strategy",
+            "evaluations",
+            "feasible",
+            "pareto size",
+            "acc-drop tol.",
+            "energy gain vs GPU",
+            "energy gain vs GPU (≤30 ms)",
+            "speedup vs DLA",
+        ],
+        &summaries
+            .iter()
+            .map(|s| {
+                vec![
+                    s.strategy.clone(),
+                    s.evaluations.to_string(),
+                    s.feasible.to_string(),
+                    s.pareto_size.to_string(),
+                    format!("{:.1}%", s.accuracy_drop_tolerance * 100.0),
+                    format_factor(s.best_energy_gain_vs_gpu),
+                    format_factor(s.best_energy_gain_within_30ms),
+                    format_factor(s.best_speedup_vs_dla),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    println!("\nPaper reference (Fig. 6): ~2.1x energy gain over GPU-only at ≤30 ms (no constraint), ~1.7x latency");
+    println!("speedup over DLA-only; the gains shrink to ~1.6x/1.5x and ~1.6x/1.4x under the 75% and 50% reuse");
+    println!("constraints, and the 50% case costs ~6% accuracy on the most constrained configurations.");
+
+    write_json("fig6_scatter", &all_points);
+    write_json("fig6_summary", &summaries);
+    Ok(())
+}

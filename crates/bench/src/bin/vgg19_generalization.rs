@@ -1,0 +1,87 @@
+//! Reproduces §VI-D: generalisation to the VGG-19 CNN — up to ~4.6x energy
+//! gain and ~4.4x latency speedup over the single-CU baselines, with more
+//! than 80% of the validation samples classified at earlier stages.
+//!
+//! ```text
+//! MNC_BUDGET=ci cargo run -p mnc-bench --bin vgg19_generalization
+//! ```
+
+use mnc_bench::{
+    format_factor, format_percent, pick_energy_oriented, print_table, run_search,
+    single_cu_baselines, write_json, Budget, Workload,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct GeneralizationSummary {
+    strategy: String,
+    accuracy: f64,
+    average_energy_mj: f64,
+    average_latency_ms: f64,
+    energy_gain_vs_gpu: f64,
+    speedup_vs_dla: f64,
+    early_exit_fraction: f64,
+    average_stages_executed: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget = Budget::from_env();
+    let mut rows = Vec::new();
+
+    for (strategy, limit, seed) in [
+        ("no-constraint", None, 401u64),
+        ("reuse<=75%", Some(0.75), 402),
+        ("reuse<=50%", Some(0.50), 403),
+    ] {
+        let (evaluator, outcome) = run_search(Workload::Vgg19, limit, budget, seed)?;
+        let (gpu, dla) = single_cu_baselines(&evaluator)?;
+        if let Some(best) = pick_energy_oriented(&outcome) {
+            rows.push(GeneralizationSummary {
+                strategy: strategy.to_string(),
+                accuracy: best.result.accuracy,
+                average_energy_mj: best.result.average_energy_mj,
+                average_latency_ms: best.result.average_latency_ms,
+                energy_gain_vs_gpu: gpu.energy_mj / best.result.average_energy_mj,
+                speedup_vs_dla: dla.latency_ms / best.result.average_latency_ms,
+                early_exit_fraction: best.result.early_exit_fraction(),
+                average_stages_executed: best.result.average_stages_executed,
+            });
+        }
+    }
+
+    print_table(
+        "§VI-D — VGG-19 generalisation (energy-oriented picks, AGX Xavier)",
+        &[
+            "strategy",
+            "top-1",
+            "avg energy [mJ]",
+            "avg latency [ms]",
+            "energy gain vs GPU",
+            "speedup vs DLA",
+            "early exits",
+            "avg stages",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.strategy.clone(),
+                    format_percent(r.accuracy),
+                    format!("{:.2}", r.average_energy_mj),
+                    format!("{:.2}", r.average_latency_ms),
+                    format_factor(r.energy_gain_vs_gpu),
+                    format_factor(r.speedup_vs_dla),
+                    format_percent(r.early_exit_fraction),
+                    format!("{:.2}", r.average_stages_executed),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    println!("\nPaper reference (§VI-D): VGG-19's weight redundancy and large feature maps let Map-and-Conquer reach");
+    println!("up to ~4.62x energy gain and ~4.44x latency speedup, with more than 80% of samples correctly classified");
+    println!("at earlier stages; the dynamic VGG-19 even exceeds its static baseline accuracy (84.8% vs 80.55%).");
+
+    write_json("vgg19_generalization", &rows);
+    Ok(())
+}

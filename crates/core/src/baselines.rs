@@ -1,0 +1,199 @@
+//! Baseline deployment schemes the paper compares against.
+//!
+//! * **GPU-only / DLA-only** — the whole, unmodified network runs on a
+//!   single compute unit at its maximum frequency (Table II's first rows
+//!   and the left bars of Fig. 1).
+//! * **Static distributed** — the network is width-partitioned and spread
+//!   over the compute units exactly like a Map-and-Conquer configuration,
+//!   but *without* dynamic exits: every stage always executes and only the
+//!   final exit produces the prediction (the "Static Mapping" bars of
+//!   Fig. 1).
+
+use crate::config::MappingConfig;
+use crate::error::CoreError;
+use crate::evaluator::Evaluator;
+use crate::perf::evaluate_performance;
+use mnc_dynamic::{AccuracyProfile, DynamicNetwork};
+use mnc_mpsoc::CuId;
+use serde::{Deserialize, Serialize};
+
+/// Which baseline a [`BaselineResult`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaselineKind {
+    /// The whole network on one compute unit.
+    SingleCu(CuId),
+    /// Width-partitioned concurrent execution without early exits.
+    StaticDistributed,
+}
+
+/// Latency/energy/accuracy of a baseline deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineResult {
+    /// Which baseline this is.
+    pub kind: BaselineKind,
+    /// Human-readable label (e.g. `"gpu-only"`).
+    pub label: String,
+    /// Per-inference latency in milliseconds.
+    pub latency_ms: f64,
+    /// Per-inference energy in millijoules.
+    pub energy_mj: f64,
+    /// Top-1 accuracy of the deployment.
+    pub accuracy: f64,
+    /// Feature-map reuse ratio (only meaningful for distributed baselines).
+    pub fmap_reuse: Option<f64>,
+}
+
+/// Picks the accuracy profile preset matching a network name; falls back to
+/// a generic profile for unknown architectures.
+pub fn default_accuracy_profile(network_name: &str) -> AccuracyProfile {
+    let name = network_name.to_ascii_lowercase();
+    if name.contains("visformer") || name.contains("vit") {
+        AccuracyProfile::visformer_cifar100()
+    } else if name.contains("vgg") {
+        AccuracyProfile::vgg19_cifar100()
+    } else {
+        AccuracyProfile {
+            baseline_accuracy: 0.85,
+            max_accuracy: 0.85,
+            quality_exponent: 2.5,
+            exit_confidence: 0.95,
+        }
+    }
+}
+
+impl Evaluator {
+    /// Evaluates the single-compute-unit baseline: the full network on `cu`
+    /// at maximum frequency, accuracy equal to the pretrained baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown compute units.
+    pub fn baseline_single_cu(&self, cu: CuId) -> Result<BaselineResult, CoreError> {
+        let unit = self.platform().compute_unit(cu)?;
+        let (latency_ms, energy_mj) = self.platform().single_cu_baseline(self.network(), cu)?;
+        Ok(BaselineResult {
+            kind: BaselineKind::SingleCu(cu),
+            label: format!("{}-only", unit.name()),
+            latency_ms,
+            energy_mj,
+            accuracy: self.baseline_accuracy(),
+            fmap_reuse: None,
+        })
+    }
+
+    /// Evaluates the static distributed baseline for a configuration: the
+    /// same partitioning/mapping/DVFS, but all stages always execute and
+    /// only the final exit is used.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is inconsistent with the
+    /// network or platform.
+    pub fn baseline_static_distributed(
+        &self,
+        config: &MappingConfig,
+    ) -> Result<BaselineResult, CoreError> {
+        let dynamic =
+            DynamicNetwork::transform(self.network(), &config.partition, &config.indicator)?;
+        let perf = evaluate_performance(&dynamic, config, self.platform(), self.estimator())?;
+        // Without early exits every input pays the full makespan and the
+        // energy of all stages; the prediction quality is that of the final
+        // stage.
+        let final_accuracy = self
+            .accuracy_model()
+            .stage_accuracy(&dynamic, dynamic.num_stages().saturating_sub(1));
+        Ok(BaselineResult {
+            kind: BaselineKind::StaticDistributed,
+            label: "static-distributed".to_string(),
+            latency_ms: perf.makespan_ms(),
+            energy_mj: perf.total_energy_mj(),
+            accuracy: final_accuracy,
+            fmap_reuse: Some(dynamic.fmap_reuse_ratio()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::EvaluatorBuilder;
+    use mnc_mpsoc::Platform;
+    use mnc_nn::models::{visformer, visformer_tiny, ModelPreset};
+
+    fn xavier_evaluator() -> Evaluator {
+        EvaluatorBuilder::new(visformer(ModelPreset::cifar100()), Platform::agx_xavier())
+            .validation_samples(2000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn default_profiles_match_architectures() {
+        assert_eq!(
+            default_accuracy_profile("visformer").baseline_accuracy,
+            AccuracyProfile::visformer_cifar100().baseline_accuracy
+        );
+        assert_eq!(
+            default_accuracy_profile("vgg19").baseline_accuracy,
+            AccuracyProfile::vgg19_cifar100().baseline_accuracy
+        );
+        let generic = default_accuracy_profile("resnet50");
+        assert!(generic.validate().is_ok());
+    }
+
+    #[test]
+    fn single_cu_baselines_reproduce_the_gpu_dla_tradeoff() {
+        let evaluator = xavier_evaluator();
+        let gpu = evaluator.baseline_single_cu(CuId(0)).unwrap();
+        let dla = evaluator.baseline_single_cu(CuId(1)).unwrap();
+        assert_eq!(gpu.label, "gpu-only");
+        assert_eq!(dla.label, "dla0-only");
+        assert!(gpu.latency_ms < dla.latency_ms);
+        assert!(gpu.energy_mj > dla.energy_mj);
+        assert_eq!(gpu.accuracy, evaluator.baseline_accuracy());
+        assert!(evaluator.baseline_single_cu(CuId(9)).is_err());
+    }
+
+    #[test]
+    fn static_distributed_sits_between_the_single_cu_baselines() {
+        let evaluator = xavier_evaluator();
+        let config =
+            MappingConfig::uniform(evaluator.network(), evaluator.platform()).unwrap();
+        let static_dist = evaluator.baseline_static_distributed(&config).unwrap();
+        let gpu = evaluator.baseline_single_cu(CuId(0)).unwrap();
+        let dla = evaluator.baseline_single_cu(CuId(1)).unwrap();
+        // Distributing width slices across GPU+2DLA must beat the DLA-only
+        // latency and the GPU-only energy (the motivation of Fig. 1).
+        assert!(
+            static_dist.latency_ms < dla.latency_ms,
+            "static {} vs dla {}",
+            static_dist.latency_ms,
+            dla.latency_ms
+        );
+        assert!(
+            static_dist.energy_mj < gpu.energy_mj,
+            "static {} vs gpu {}",
+            static_dist.energy_mj,
+            gpu.energy_mj
+        );
+        assert_eq!(static_dist.fmap_reuse, Some(1.0));
+    }
+
+    #[test]
+    fn dynamic_mapping_improves_on_static_distributed() {
+        let evaluator = EvaluatorBuilder::new(
+            visformer_tiny(ModelPreset::cifar100()),
+            Platform::dual_test(),
+        )
+        .validation_samples(2000)
+        .build()
+        .unwrap();
+        let config = MappingConfig::uniform(evaluator.network(), evaluator.platform()).unwrap();
+        let static_dist = evaluator.baseline_static_distributed(&config).unwrap();
+        let dynamic = evaluator.evaluate(&config).unwrap();
+        // Early exits can only reduce the expected energy relative to
+        // always running every stage.
+        assert!(dynamic.average_energy_mj < static_dist.energy_mj);
+        assert!(dynamic.average_latency_ms <= static_dist.latency_ms + 1e-9);
+    }
+}

@@ -1,0 +1,313 @@
+//! The full mapping configuration `Π = (P, I, M, ϑ)` (paper §IV).
+
+use crate::error::CoreError;
+use mnc_dynamic::{IndicatorMatrix, PartitionMatrix};
+use mnc_mpsoc::{CuId, Platform};
+use mnc_nn::Network;
+use serde::{Deserialize, Serialize};
+
+/// The mapping vector `M`: which compute unit executes each stage.
+///
+/// Stages are indexed by execution priority (stage 0 exits first); the
+/// paper requires all stages to be mapped to *distinct* compute units
+/// (eq. 7).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    stage_to_cu: Vec<CuId>,
+}
+
+impl Mapping {
+    /// Creates a mapping, validating it against a platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidMapping`] when the vector is empty,
+    /// references an unknown compute unit, or maps two stages to the same
+    /// unit.
+    pub fn new(stage_to_cu: Vec<CuId>, platform: &Platform) -> Result<Self, CoreError> {
+        if stage_to_cu.is_empty() {
+            return Err(CoreError::InvalidMapping {
+                reason: "mapping must contain at least one stage".to_string(),
+            });
+        }
+        for cu in &stage_to_cu {
+            if cu.0 >= platform.num_compute_units() {
+                return Err(CoreError::InvalidMapping {
+                    reason: format!(
+                        "compute unit {cu} does not exist on platform {}",
+                        platform.name()
+                    ),
+                });
+            }
+        }
+        let mut seen = vec![false; platform.num_compute_units()];
+        for cu in &stage_to_cu {
+            if seen[cu.0] {
+                return Err(CoreError::InvalidMapping {
+                    reason: format!("compute unit {cu} is assigned to more than one stage"),
+                });
+            }
+            seen[cu.0] = true;
+        }
+        Ok(Mapping { stage_to_cu })
+    }
+
+    /// The identity mapping: stage `i` runs on compute unit `i`, using
+    /// every unit of the platform.
+    pub fn identity(platform: &Platform) -> Self {
+        Mapping {
+            stage_to_cu: (0..platform.num_compute_units()).map(CuId).collect(),
+        }
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stage_to_cu.len()
+    }
+
+    /// Compute unit of a stage (`None` when out of range).
+    pub fn compute_unit(&self, stage: usize) -> Option<CuId> {
+        self.stage_to_cu.get(stage).copied()
+    }
+
+    /// The full stage→compute-unit vector.
+    pub fn as_slice(&self) -> &[CuId] {
+        &self.stage_to_cu
+    }
+}
+
+/// The DVFS vector `ϑ`: one frequency level per stage, interpreted on the
+/// compute unit that stage is mapped to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DvfsAssignment {
+    levels: Vec<usize>,
+}
+
+impl DvfsAssignment {
+    /// Creates an assignment, validating every level against the DVFS table
+    /// of the stage's compute unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDvfs`] when the length differs from the
+    /// mapping or a level is out of range.
+    pub fn new(
+        levels: Vec<usize>,
+        mapping: &Mapping,
+        platform: &Platform,
+    ) -> Result<Self, CoreError> {
+        if levels.len() != mapping.num_stages() {
+            return Err(CoreError::InvalidDvfs {
+                reason: format!(
+                    "{} levels for {} stages",
+                    levels.len(),
+                    mapping.num_stages()
+                ),
+            });
+        }
+        for (stage, level) in levels.iter().enumerate() {
+            let cu_id = mapping
+                .compute_unit(stage)
+                .expect("lengths checked above");
+            let cu = platform.compute_unit(cu_id)?;
+            if *level >= cu.dvfs().num_levels() {
+                return Err(CoreError::InvalidDvfs {
+                    reason: format!(
+                        "level {level} out of range for {} ({} levels)",
+                        cu.name(),
+                        cu.dvfs().num_levels()
+                    ),
+                });
+            }
+        }
+        Ok(DvfsAssignment { levels })
+    }
+
+    /// Assignment running every stage's compute unit at its maximum
+    /// frequency.
+    pub fn max_frequency(mapping: &Mapping, platform: &Platform) -> Result<Self, CoreError> {
+        let levels = mapping
+            .as_slice()
+            .iter()
+            .map(|cu_id| {
+                platform
+                    .compute_unit(*cu_id)
+                    .map(|cu| cu.dvfs().num_levels() - 1)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DvfsAssignment { levels })
+    }
+
+    /// Number of stages covered.
+    pub fn num_stages(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// DVFS level of a stage (`None` when out of range).
+    pub fn level(&self, stage: usize) -> Option<usize> {
+        self.levels.get(stage).copied()
+    }
+
+    /// The raw level vector.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.levels
+    }
+}
+
+/// A complete candidate configuration `Π = (P, I, M, ϑ)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingConfig {
+    /// Partitioning matrix `P`.
+    pub partition: PartitionMatrix,
+    /// Indicator (feature-reuse) matrix `I`.
+    pub indicator: IndicatorMatrix,
+    /// Stage→compute-unit mapping `M`.
+    pub mapping: Mapping,
+    /// DVFS levels `ϑ`, one per stage.
+    pub dvfs: DvfsAssignment,
+}
+
+impl MappingConfig {
+    /// Assembles a configuration, checking that all four components agree
+    /// on the number of stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidMapping`] when the stage counts differ.
+    pub fn new(
+        partition: PartitionMatrix,
+        indicator: IndicatorMatrix,
+        mapping: Mapping,
+        dvfs: DvfsAssignment,
+    ) -> Result<Self, CoreError> {
+        let stages = mapping.num_stages();
+        if partition.num_stages() != stages
+            || indicator.num_stages() != stages
+            || dvfs.num_stages() != stages
+        {
+            return Err(CoreError::InvalidMapping {
+                reason: format!(
+                    "stage count mismatch: partition {}, indicator {}, mapping {}, dvfs {}",
+                    partition.num_stages(),
+                    indicator.num_stages(),
+                    stages,
+                    dvfs.num_stages()
+                ),
+            });
+        }
+        Ok(MappingConfig {
+            partition,
+            indicator,
+            mapping,
+            dvfs,
+        })
+    }
+
+    /// The default starting configuration: one stage per compute unit, an
+    /// even width split, full feature-map reuse, identity mapping and
+    /// maximum frequencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the platform has no compute unit.
+    pub fn uniform(network: &Network, platform: &Platform) -> Result<Self, CoreError> {
+        let stages = platform.num_compute_units();
+        let partition = PartitionMatrix::uniform(network, stages)?;
+        let indicator = IndicatorMatrix::full(network, stages);
+        let mapping = Mapping::identity(platform);
+        let dvfs = DvfsAssignment::max_frequency(&mapping, platform)?;
+        MappingConfig::new(partition, indicator, mapping, dvfs)
+    }
+
+    /// Number of stages `M`.
+    pub fn num_stages(&self) -> usize {
+        self.mapping.num_stages()
+    }
+
+    /// Size of the per-layer mapping search space as computed in paper
+    /// §V-A: `ratios^M × M! × |ϑ|`, where `ratios` is the number of
+    /// distinct split ratios per stage and `|ϑ|` the number of DVFS
+    /// combinations of the platform.
+    pub fn search_space_per_layer(platform: &Platform, ratio_options: usize) -> f64 {
+        let stages = platform.num_compute_units() as u32;
+        let ratios = (ratio_options as f64).powi(stages as i32);
+        let permutations: f64 = (1..=stages as u64).product::<u64>() as f64;
+        ratios * permutations * platform.dvfs_combinations() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_nn::models::{tiny_cnn, ModelPreset};
+
+    fn platform() -> Platform {
+        Platform::dual_test()
+    }
+
+    #[test]
+    fn identity_mapping_uses_all_units() {
+        let p = platform();
+        let m = Mapping::identity(&p);
+        assert_eq!(m.num_stages(), 2);
+        assert_eq!(m.compute_unit(0), Some(CuId(0)));
+        assert_eq!(m.compute_unit(1), Some(CuId(1)));
+        assert_eq!(m.compute_unit(2), None);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_units_are_rejected() {
+        let p = platform();
+        assert!(Mapping::new(vec![CuId(0), CuId(0)], &p).is_err());
+        assert!(Mapping::new(vec![CuId(0), CuId(5)], &p).is_err());
+        assert!(Mapping::new(vec![], &p).is_err());
+        assert!(Mapping::new(vec![CuId(1), CuId(0)], &p).is_ok());
+    }
+
+    #[test]
+    fn dvfs_assignment_validates_levels() {
+        let p = platform();
+        let m = Mapping::identity(&p);
+        assert!(DvfsAssignment::new(vec![0, 2], &m, &p).is_ok());
+        assert!(DvfsAssignment::new(vec![0], &m, &p).is_err());
+        assert!(DvfsAssignment::new(vec![0, 99], &m, &p).is_err());
+        let max = DvfsAssignment::max_frequency(&m, &p).unwrap();
+        assert_eq!(max.as_slice(), &[2, 2]);
+        assert_eq!(max.level(0), Some(2));
+        assert_eq!(max.level(9), None);
+    }
+
+    #[test]
+    fn uniform_config_is_consistent() {
+        let p = platform();
+        let net = tiny_cnn(ModelPreset::cifar10());
+        let config = MappingConfig::uniform(&net, &p).unwrap();
+        assert_eq!(config.num_stages(), 2);
+        assert_eq!(config.partition.num_stages(), 2);
+        assert_eq!(config.indicator.num_stages(), 2);
+        assert_eq!(config.dvfs.num_stages(), 2);
+    }
+
+    #[test]
+    fn mismatched_stage_counts_are_rejected() {
+        let p = platform();
+        let net = tiny_cnn(ModelPreset::cifar10());
+        let partition = PartitionMatrix::uniform(&net, 3).unwrap();
+        let indicator = IndicatorMatrix::full(&net, 2);
+        let mapping = Mapping::identity(&p);
+        let dvfs = DvfsAssignment::max_frequency(&mapping, &p).unwrap();
+        assert!(MappingConfig::new(partition, indicator, mapping, dvfs).is_err());
+    }
+
+    #[test]
+    fn search_space_matches_paper_formula() {
+        // Paper §V-A: 8 ratios, M = 3, |ϑ| = 50 → 8³ · 3! · 50 ≈ 1.5×10⁵.
+        // For the AGX Xavier preset the DVFS combination count differs, but
+        // the formula structure is the same.
+        let xavier = Platform::agx_xavier();
+        let size = MappingConfig::search_space_per_layer(&xavier, 8);
+        let expected = 8f64.powi(3) * 6.0 * xavier.dvfs_combinations() as f64;
+        assert!((size - expected).abs() < 1e-6);
+        assert!(size > 1e5);
+    }
+}

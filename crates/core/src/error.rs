@@ -1,0 +1,117 @@
+//! Error type for the core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or evaluating mapping configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The mapping vector is invalid (wrong length, repeated compute unit,
+    /// unknown compute unit).
+    InvalidMapping {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The DVFS assignment is invalid (wrong length or out-of-range level).
+    InvalidDvfs {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A constraint or objective parameter is invalid.
+    InvalidConstraint {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An error from the network representation.
+    Network(mnc_nn::NetworkError),
+    /// An error from the dynamic transformation.
+    Dynamic(mnc_dynamic::DynamicError),
+    /// An error from the hardware model.
+    Mpsoc(mnc_mpsoc::MpsocError),
+    /// An error from the surrogate predictor.
+    Predictor(mnc_predictor::PredictorError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidMapping { reason } => write!(f, "invalid mapping: {reason}"),
+            CoreError::InvalidDvfs { reason } => write!(f, "invalid dvfs assignment: {reason}"),
+            CoreError::InvalidConstraint { reason } => {
+                write!(f, "invalid constraint: {reason}")
+            }
+            CoreError::Network(e) => write!(f, "network error: {e}"),
+            CoreError::Dynamic(e) => write!(f, "dynamic transformation error: {e}"),
+            CoreError::Mpsoc(e) => write!(f, "hardware model error: {e}"),
+            CoreError::Predictor(e) => write!(f, "surrogate predictor error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Network(e) => Some(e),
+            CoreError::Dynamic(e) => Some(e),
+            CoreError::Mpsoc(e) => Some(e),
+            CoreError::Predictor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mnc_nn::NetworkError> for CoreError {
+    fn from(e: mnc_nn::NetworkError) -> Self {
+        CoreError::Network(e)
+    }
+}
+
+impl From<mnc_dynamic::DynamicError> for CoreError {
+    fn from(e: mnc_dynamic::DynamicError) -> Self {
+        CoreError::Dynamic(e)
+    }
+}
+
+impl From<mnc_mpsoc::MpsocError> for CoreError {
+    fn from(e: mnc_mpsoc::MpsocError) -> Self {
+        CoreError::Mpsoc(e)
+    }
+}
+
+impl From<mnc_predictor::PredictorError> for CoreError {
+    fn from(e: mnc_predictor::PredictorError) -> Self {
+        CoreError::Predictor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_work_for_wrapped_errors() {
+        let e: CoreError = mnc_nn::NetworkError::EmptyNetwork.into();
+        assert!(e.to_string().contains("network"));
+        assert!(e.source().is_some());
+        let e: CoreError = mnc_mpsoc::MpsocError::InvalidParameter {
+            what: "x".to_string(),
+        }
+        .into();
+        assert!(e.source().is_some());
+        let e: CoreError = mnc_predictor::PredictorError::EmptyDataset.into();
+        assert!(e.source().is_some());
+        let e: CoreError = mnc_dynamic::DynamicError::InvalidStageCount { stages: 0 }.into();
+        assert!(e.source().is_some());
+        let plain = CoreError::InvalidMapping {
+            reason: "duplicate".to_string(),
+        };
+        assert!(plain.source().is_none());
+        assert!(plain.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Error>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,152 @@
+//! Sources of per-layer latency/energy estimates.
+//!
+//! The evaluator can obtain the `τ^j_i` / `e^j_i` numbers of eq. 8–12 in
+//! two ways:
+//!
+//! * [`Estimator::Analytic`] — straight from the roofline/power model of
+//!   [`mnc_mpsoc`] (exact with respect to the simulated hardware),
+//! * [`Estimator::Surrogate`] — from the trained gradient-boosted
+//!   [`PerformancePredictor`], reproducing the paper's XGBoost workflow and
+//!   its approximation error.
+
+use crate::error::CoreError;
+use mnc_mpsoc::{CuId, Platform, WorkloadClass};
+use mnc_nn::{Layer, SliceCost};
+use mnc_predictor::{PerformancePredictor, QueryFeatures};
+use serde::{Deserialize, Serialize};
+
+/// How per-layer hardware measurements are produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Estimator {
+    /// Use the analytic hardware model directly.
+    Analytic,
+    /// Use a trained surrogate predictor (the paper's approach).
+    Surrogate(PerformancePredictor),
+}
+
+impl Estimator {
+    /// Estimates `(latency_ms, energy_mj)` of running `cost` (a slice of
+    /// `layer`) on compute unit `cu` of `platform` at DVFS level
+    /// `dvfs_level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown compute units or DVFS levels.
+    pub fn estimate(
+        &self,
+        platform: &Platform,
+        cu: CuId,
+        layer: &Layer,
+        cost: &SliceCost,
+        dvfs_level: usize,
+    ) -> Result<(f64, f64), CoreError> {
+        let unit = platform.compute_unit(cu)?;
+        let point = unit.dvfs().point(dvfs_level)?;
+        let class = WorkloadClass::from_layer(layer);
+        match self {
+            Estimator::Analytic => {
+                let sample = unit.execute(cost, class, point);
+                Ok((sample.latency_ms, sample.energy_mj))
+            }
+            Estimator::Surrogate(predictor) => {
+                let query = QueryFeatures::new(*cost, class, unit, point);
+                Ok(predictor.predict(&query))
+            }
+        }
+    }
+
+    /// Short tag identifying the estimator in reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Estimator::Analytic => "analytic",
+            Estimator::Surrogate(_) => "surrogate",
+        }
+    }
+}
+
+impl Default for Estimator {
+    fn default() -> Self {
+        Estimator::Analytic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_nn::models::{tiny_cnn, ModelPreset};
+    use mnc_predictor::{DatasetConfig, GbtConfig};
+
+    #[test]
+    fn analytic_estimator_matches_platform_execution() {
+        let platform = Platform::dual_test();
+        let net = tiny_cnn(ModelPreset::cifar10());
+        let (id, layer) = net.iter().next().unwrap();
+        let cost = layer
+            .full_cost(&net.input_shape_of(id).unwrap())
+            .unwrap();
+        let estimator = Estimator::Analytic;
+        let (lat, energy) = estimator
+            .estimate(&platform, CuId(0), layer, &cost, 2)
+            .unwrap();
+        let sample = platform.execute_slice(CuId(0), layer, &cost, 2).unwrap();
+        assert!((lat - sample.latency_ms).abs() < 1e-12);
+        assert!((energy - sample.energy_mj).abs() < 1e-12);
+        assert_eq!(estimator.tag(), "analytic");
+    }
+
+    #[test]
+    fn surrogate_estimator_is_close_to_analytic() {
+        let platform = Platform::dual_test();
+        let predictor = PerformancePredictor::train(
+            &platform,
+            &DatasetConfig {
+                samples: 500,
+                seed: 23,
+                noise_std: 0.02,
+                train_fraction: 0.85,
+            },
+            &GbtConfig::fast(),
+        )
+        .unwrap();
+        let estimator = Estimator::Surrogate(predictor);
+        assert_eq!(estimator.tag(), "surrogate");
+
+        let net = tiny_cnn(ModelPreset::cifar10());
+        let (id, layer) = net.iter().next().unwrap();
+        let cost = layer
+            .full_cost(&net.input_shape_of(id).unwrap())
+            .unwrap();
+        let (lat_s, energy_s) = estimator
+            .estimate(&platform, CuId(0), layer, &cost, 2)
+            .unwrap();
+        let (lat_a, energy_a) = Estimator::Analytic
+            .estimate(&platform, CuId(0), layer, &cost, 2)
+            .unwrap();
+        assert!(lat_s > 0.0 && energy_s > 0.0);
+        // The surrogate should stay within a factor of ~2 of the analytic
+        // model for a workload inside its training distribution.
+        assert!(lat_s / lat_a < 2.5 && lat_a / lat_s < 2.5);
+        assert!(energy_s / energy_a < 2.5 && energy_a / energy_s < 2.5);
+    }
+
+    #[test]
+    fn invalid_targets_are_reported() {
+        let platform = Platform::dual_test();
+        let net = tiny_cnn(ModelPreset::cifar10());
+        let (id, layer) = net.iter().next().unwrap();
+        let cost = layer
+            .full_cost(&net.input_shape_of(id).unwrap())
+            .unwrap();
+        assert!(Estimator::Analytic
+            .estimate(&platform, CuId(7), layer, &cost, 0)
+            .is_err());
+        assert!(Estimator::Analytic
+            .estimate(&platform, CuId(0), layer, &cost, 99)
+            .is_err());
+    }
+
+    #[test]
+    fn default_is_analytic() {
+        assert_eq!(Estimator::default(), Estimator::Analytic);
+    }
+}

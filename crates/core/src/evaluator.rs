@@ -1,0 +1,473 @@
+//! End-to-end evaluation of candidate configurations.
+//!
+//! The [`Evaluator`] holds everything that is fixed during a search — the
+//! network, the platform, the accuracy model, the synthetic validation set,
+//! the estimator and the constraints — and turns one [`MappingConfig`] into
+//! an [`EvaluationResult`]: the average/worst-case latency and energy under
+//! dynamic early-exit inference, the accuracy figures, the memory footprint,
+//! the scalar objective of eq. 16 and the constraint violations.
+
+use crate::baselines::default_accuracy_profile;
+use crate::config::MappingConfig;
+use crate::error::CoreError;
+use crate::estimator::Estimator;
+use crate::objective::{objective_value, Constraints, ObjectiveWeights};
+use crate::perf::{evaluate_performance, PerformanceBreakdown, StagePerformance};
+use mnc_dynamic::{
+    AccuracyModel, AccuracyProfile, DynamicAccuracyReport, DynamicNetwork, SyntheticValidationSet,
+};
+use mnc_mpsoc::Platform;
+use mnc_nn::{ImportanceModel, Network};
+use serde::{Deserialize, Serialize};
+
+/// Everything the evaluator derives from one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationResult {
+    /// Expected per-input latency under early-exit inference (ms), averaged
+    /// over the validation set's exit distribution.
+    pub average_latency_ms: f64,
+    /// Expected per-input energy under early-exit inference (mJ).
+    pub average_energy_mj: f64,
+    /// Worst-case latency with every stage instantiated (eq. 13).
+    pub worst_case_latency_ms: f64,
+    /// Energy with every stage instantiated (eq. 14).
+    pub full_energy_mj: f64,
+    /// Accuracy of the dynamic network under the early-exit policy.
+    pub accuracy: f64,
+    /// Accuracy of the final stage (the paper's `Acc_SM`).
+    pub final_stage_accuracy: f64,
+    /// Baseline accuracy minus dynamic accuracy (positive = loss).
+    pub accuracy_drop: f64,
+    /// Feature-map reuse ratio of the configuration.
+    pub fmap_reuse: f64,
+    /// Bytes of forwarded features resident in shared memory.
+    pub stored_feature_bytes: f64,
+    /// Scalar objective of eq. 16 (lower is better).
+    pub objective: f64,
+    /// Whether all constraints are satisfied.
+    pub feasible: bool,
+    /// Human-readable list of violated constraints (empty when feasible).
+    pub violations: Vec<String>,
+    /// Per-stage latency/energy breakdown.
+    pub stage_performance: Vec<StagePerformance>,
+    /// Number of validation samples exiting at each stage.
+    pub exit_counts: Vec<usize>,
+    /// Mean number of stages executed per input.
+    pub average_stages_executed: f64,
+}
+
+impl EvaluationResult {
+    /// Fraction of validation samples that exit before the last stage.
+    pub fn early_exit_fraction(&self) -> f64 {
+        let total: usize = self.exit_counts.iter().sum();
+        if total == 0 || self.exit_counts.len() <= 1 {
+            return 0.0;
+        }
+        let early: usize = self
+            .exit_counts
+            .iter()
+            .take(self.exit_counts.len() - 1)
+            .sum();
+        early as f64 / total as f64
+    }
+}
+
+/// Builder for [`Evaluator`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct EvaluatorBuilder {
+    network: Network,
+    platform: Platform,
+    accuracy_profile: Option<AccuracyProfile>,
+    importance: Option<ImportanceModel>,
+    importance_seed: u64,
+    importance_concentration: f64,
+    validation_set: Option<SyntheticValidationSet>,
+    validation_samples: usize,
+    validation_seed: u64,
+    constraints: Constraints,
+    estimator: Estimator,
+    weights: ObjectiveWeights,
+}
+
+impl EvaluatorBuilder {
+    /// Starts a builder for the given network and platform.
+    pub fn new(network: Network, platform: Platform) -> Self {
+        EvaluatorBuilder {
+            network,
+            platform,
+            accuracy_profile: None,
+            importance: None,
+            importance_seed: 2023,
+            importance_concentration: 1.5,
+            validation_set: None,
+            validation_samples: 10_000,
+            validation_seed: 7,
+            constraints: Constraints::default(),
+            estimator: Estimator::Analytic,
+            weights: ObjectiveWeights::default(),
+        }
+    }
+
+    /// Overrides the accuracy profile (defaults to a per-architecture
+    /// preset chosen from the network name).
+    #[must_use]
+    pub fn accuracy_profile(mut self, profile: AccuracyProfile) -> Self {
+        self.accuracy_profile = Some(profile);
+        self
+    }
+
+    /// Uses an explicit channel-importance model (defaults to a synthetic
+    /// one seeded from [`EvaluatorBuilder::importance_seed`]).
+    #[must_use]
+    pub fn importance(mut self, importance: ImportanceModel) -> Self {
+        self.importance = Some(importance);
+        self
+    }
+
+    /// Seed of the synthetic channel-importance model.
+    #[must_use]
+    pub fn importance_seed(mut self, seed: u64) -> Self {
+        self.importance_seed = seed;
+        self
+    }
+
+    /// Concentration of the synthetic channel-importance model.
+    #[must_use]
+    pub fn importance_concentration(mut self, concentration: f64) -> Self {
+        self.importance_concentration = concentration;
+        self
+    }
+
+    /// Uses an explicit synthetic validation set.
+    #[must_use]
+    pub fn validation_set(mut self, set: SyntheticValidationSet) -> Self {
+        self.validation_set = Some(set);
+        self
+    }
+
+    /// Number of synthetic validation samples to generate when no explicit
+    /// set is supplied.
+    #[must_use]
+    pub fn validation_samples(mut self, samples: usize) -> Self {
+        self.validation_samples = samples;
+        self
+    }
+
+    /// Seed of the generated validation set.
+    #[must_use]
+    pub fn validation_seed(mut self, seed: u64) -> Self {
+        self.validation_seed = seed;
+        self
+    }
+
+    /// Sets the deployment constraints.
+    #[must_use]
+    pub fn constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Sets the latency/energy estimator.
+    #[must_use]
+    pub fn estimator(mut self, estimator: Estimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Sets the objective weights.
+    #[must_use]
+    pub fn objective_weights(mut self, weights: ObjectiveWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Builds the evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the constraints or the accuracy profile are
+    /// invalid.
+    pub fn build(self) -> Result<Evaluator, CoreError> {
+        self.constraints.validate()?;
+        let profile = self
+            .accuracy_profile
+            .unwrap_or_else(|| default_accuracy_profile(self.network.name()));
+        let importance = self.importance.unwrap_or_else(|| {
+            ImportanceModel::synthetic(
+                &self.network,
+                self.importance_seed,
+                self.importance_concentration,
+            )
+        });
+        let accuracy = AccuracyModel::new(profile, importance)?;
+        let validation = self.validation_set.unwrap_or_else(|| {
+            SyntheticValidationSet::generate(self.validation_samples, self.validation_seed, 1.0)
+        });
+        Ok(Evaluator {
+            network: self.network,
+            platform: self.platform,
+            accuracy,
+            validation,
+            constraints: self.constraints,
+            estimator: self.estimator,
+            weights: self.weights,
+        })
+    }
+}
+
+/// Evaluates mapping configurations for one (network, platform) pair.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    network: Network,
+    platform: Platform,
+    accuracy: AccuracyModel,
+    validation: SyntheticValidationSet,
+    constraints: Constraints,
+    estimator: Estimator,
+    weights: ObjectiveWeights,
+}
+
+impl Evaluator {
+    /// The network under evaluation.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The target platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The active constraints.
+    pub fn constraints(&self) -> &Constraints {
+        &self.constraints
+    }
+
+    /// The accuracy model in use.
+    pub fn accuracy_model(&self) -> &AccuracyModel {
+        &self.accuracy
+    }
+
+    /// The estimator in use.
+    pub fn estimator(&self) -> &Estimator {
+        &self.estimator
+    }
+
+    /// Baseline accuracy of the unmodified network.
+    pub fn baseline_accuracy(&self) -> f64 {
+        self.accuracy.profile().baseline_accuracy
+    }
+
+    /// Evaluates a configuration end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is inconsistent with the
+    /// network/platform or the hardware model rejects it.
+    pub fn evaluate(&self, config: &MappingConfig) -> Result<EvaluationResult, CoreError> {
+        let dynamic =
+            DynamicNetwork::transform(&self.network, &config.partition, &config.indicator)?;
+        self.evaluate_transformed(&dynamic, config)
+    }
+
+    /// Evaluates a configuration whose dynamic transformation has already
+    /// been computed (lets callers amortise the transform).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration does not match the dynamic
+    /// network or the hardware model rejects it.
+    pub fn evaluate_transformed(
+        &self,
+        dynamic: &DynamicNetwork,
+        config: &MappingConfig,
+    ) -> Result<EvaluationResult, CoreError> {
+        let perf = evaluate_performance(dynamic, config, &self.platform, &self.estimator)?;
+        let report = self.accuracy.evaluate(dynamic, &self.validation);
+        Ok(self.assemble(dynamic, &perf, report))
+    }
+
+    fn assemble(
+        &self,
+        dynamic: &DynamicNetwork,
+        perf: &PerformanceBreakdown,
+        report: DynamicAccuracyReport,
+    ) -> EvaluationResult {
+        let num_stages = perf.num_stages();
+        let total_samples: usize = report.exit_counts.iter().sum();
+
+        // Expected latency/energy over the exit distribution: an input that
+        // exits at stage i pays max latency of stages 0..=i and the energy
+        // of stages 0..=i (eq. 13/14 restricted to instantiated stages).
+        let mut average_latency_ms = 0.0;
+        let mut average_energy_mj = 0.0;
+        if total_samples > 0 {
+            for (stage, count) in report.exit_counts.iter().enumerate() {
+                if *count == 0 {
+                    continue;
+                }
+                let weight = *count as f64 / total_samples as f64;
+                average_latency_ms += weight * perf.latency_with_stages(stage + 1);
+                average_energy_mj += weight * perf.energy_with_stages(stage + 1);
+            }
+        } else {
+            average_latency_ms = perf.makespan_ms();
+            average_energy_mj = perf.total_energy_mj();
+        }
+
+        let stage_latencies: Vec<f64> = perf.stages.iter().map(|s| s.latency_ms).collect();
+        let cumulative_energy: Vec<f64> = (0..num_stages)
+            .map(|i| perf.energy_with_stages(i + 1))
+            .collect();
+        let objective = objective_value(
+            self.baseline_accuracy(),
+            &report,
+            &stage_latencies,
+            &cumulative_energy,
+            &self.weights,
+        );
+
+        let accuracy_drop = (self.baseline_accuracy() - report.overall_accuracy).max(0.0);
+        let violations = self.constraints.violations(
+            perf.makespan_ms(),
+            perf.total_energy_mj(),
+            dynamic.fmap_reuse_ratio(),
+            accuracy_drop,
+            dynamic.stored_feature_bytes(),
+            self.platform.shared_memory().capacity_bytes(),
+        );
+
+        EvaluationResult {
+            average_latency_ms,
+            average_energy_mj,
+            worst_case_latency_ms: perf.makespan_ms(),
+            full_energy_mj: perf.total_energy_mj(),
+            accuracy: report.overall_accuracy,
+            final_stage_accuracy: report.final_stage_accuracy,
+            accuracy_drop,
+            fmap_reuse: dynamic.fmap_reuse_ratio(),
+            stored_feature_bytes: dynamic.stored_feature_bytes(),
+            objective,
+            feasible: violations.is_empty(),
+            violations,
+            stage_performance: perf.stages.clone(),
+            exit_counts: report.exit_counts,
+            average_stages_executed: report.average_stages_executed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_dynamic::{IndicatorMatrix, PartitionMatrix};
+    use mnc_nn::models::{visformer_tiny, ModelPreset};
+
+    fn evaluator() -> Evaluator {
+        EvaluatorBuilder::new(
+            visformer_tiny(ModelPreset::cifar100()),
+            Platform::dual_test(),
+        )
+        .validation_samples(2000)
+        .build()
+        .unwrap()
+    }
+
+    fn skewed_config(evaluator: &Evaluator) -> MappingConfig {
+        let net = evaluator.network();
+        let platform = evaluator.platform();
+        let partition = PartitionMatrix::from_stage_fractions(net, &[0.625, 0.375]).unwrap();
+        let indicator = IndicatorMatrix::full(net, 2);
+        let mapping = crate::config::Mapping::identity(platform);
+        let dvfs = crate::config::DvfsAssignment::max_frequency(&mapping, platform).unwrap();
+        MappingConfig::new(partition, indicator, mapping, dvfs).unwrap()
+    }
+
+    #[test]
+    fn evaluation_produces_consistent_metrics() {
+        let evaluator = evaluator();
+        let config = skewed_config(&evaluator);
+        let result = evaluator.evaluate(&config).unwrap();
+        assert!(result.average_latency_ms > 0.0);
+        assert!(result.average_latency_ms <= result.worst_case_latency_ms + 1e-9);
+        assert!(result.average_energy_mj > 0.0);
+        assert!(result.average_energy_mj <= result.full_energy_mj + 1e-9);
+        assert!(result.accuracy > 0.5 && result.accuracy <= 1.0);
+        assert!(result.objective.is_finite());
+        assert_eq!(result.exit_counts.iter().sum::<usize>(), 2000);
+        assert_eq!(result.stage_performance.len(), 2);
+        assert!(result.early_exit_fraction() > 0.0);
+        assert!(result.feasible, "violations: {:?}", result.violations);
+    }
+
+    #[test]
+    fn early_exits_reduce_average_energy_below_full_energy() {
+        let evaluator = evaluator();
+        let config = skewed_config(&evaluator);
+        let result = evaluator.evaluate(&config).unwrap();
+        // A large share of samples exits at stage 0, so the expected energy
+        // must be clearly below running everything every time.
+        assert!(result.average_energy_mj < result.full_energy_mj * 0.95);
+        assert!(result.average_stages_executed < 2.0);
+    }
+
+    #[test]
+    fn uniform_default_configuration_is_feasible() {
+        let evaluator = evaluator();
+        let config = MappingConfig::uniform(evaluator.network(), evaluator.platform()).unwrap();
+        let result = evaluator.evaluate(&config).unwrap();
+        assert!(result.feasible, "violations: {:?}", result.violations);
+    }
+
+    #[test]
+    fn fmap_constraint_marks_full_reuse_infeasible() {
+        let network = visformer_tiny(ModelPreset::cifar100());
+        let evaluator = EvaluatorBuilder::new(network, Platform::dual_test())
+            .validation_samples(1000)
+            .constraints(Constraints::with_fmap_reuse_limit(0.5))
+            .build()
+            .unwrap();
+        let config = skewed_config(&evaluator);
+        let result = evaluator.evaluate(&config).unwrap();
+        assert!(!result.feasible);
+        assert!(result.violations.iter().any(|v| v.contains("reuse")));
+    }
+
+    #[test]
+    fn invalid_constraints_fail_at_build_time() {
+        let network = visformer_tiny(ModelPreset::cifar100());
+        let result = EvaluatorBuilder::new(network, Platform::dual_test())
+            .constraints(Constraints {
+                latency_target_ms: Some(-1.0),
+                ..Constraints::default()
+            })
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn evaluate_transformed_matches_evaluate() {
+        let evaluator = evaluator();
+        let config = skewed_config(&evaluator);
+        let dynamic = DynamicNetwork::transform(
+            evaluator.network(),
+            &config.partition,
+            &config.indicator,
+        )
+        .unwrap();
+        let a = evaluator.evaluate(&config).unwrap();
+        let b = evaluator.evaluate_transformed(&dynamic, &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_accessors_round_trip() {
+        let evaluator = evaluator();
+        assert_eq!(evaluator.network().name(), "visformer_tiny");
+        assert_eq!(evaluator.platform().name(), "dual_test");
+        assert_eq!(evaluator.estimator().tag(), "analytic");
+        assert!(evaluator.baseline_accuracy() > 0.8);
+        assert!(evaluator.constraints().validate().is_ok());
+        assert!(evaluator.accuracy_model().profile().baseline_accuracy > 0.8);
+    }
+}

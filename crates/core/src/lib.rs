@@ -1,0 +1,63 @@
+//! Map-and-Conquer core: configurations, performance model, evaluator.
+//!
+//! This crate ties the model side ([`mnc_dynamic`]) and the hardware side
+//! ([`mnc_mpsoc`], [`mnc_predictor`]) of the framework together. It
+//! implements the paper's system model and problem formulation:
+//!
+//! * [`config`] — the full mapping configuration `Π = (P, I, M, ϑ)`
+//!   (partitioning, feature-map reuse, stage→compute-unit mapping, DVFS),
+//! * [`estimator`] — how per-layer latency/energy numbers are obtained:
+//!   directly from the analytic hardware model or through the trained
+//!   gradient-boosted surrogate (the paper's XGBoost path),
+//! * [`perf`] — the concurrent execution model of eq. 8–14: per-stage
+//!   cumulative latency with inter-stage feature dependencies and transfer
+//!   overheads, per-stage energy,
+//! * [`simulator`] — an event-driven execution simulator used to validate
+//!   the closed-form recursion and to produce execution traces,
+//! * [`objective`] — constraints and the optimisation objective of eq. 15–16,
+//! * [`evaluator`] — end-to-end evaluation of a candidate configuration
+//!   (latency, energy, accuracy, memory, objective),
+//! * [`baselines`] — the GPU-only / DLA-only / static-distributed mappings
+//!   the paper compares against.
+//!
+//! # Example
+//!
+//! ```
+//! use mnc_core::{Evaluator, EvaluatorBuilder, MappingConfig};
+//! use mnc_mpsoc::Platform;
+//! use mnc_nn::models::{visformer_tiny, ModelPreset};
+//!
+//! # fn main() -> Result<(), mnc_core::CoreError> {
+//! let network = visformer_tiny(ModelPreset::cifar100());
+//! let platform = Platform::dual_test();
+//! let evaluator = EvaluatorBuilder::new(network.clone(), platform.clone()).build()?;
+//!
+//! // Evaluate an even two-way split mapped onto the two compute units.
+//! let config = MappingConfig::uniform(&network, &platform)?;
+//! let result = evaluator.evaluate(&config)?;
+//! assert!(result.average_latency_ms > 0.0);
+//! assert!(result.average_energy_mj > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod config;
+pub mod error;
+pub mod estimator;
+pub mod evaluator;
+pub mod objective;
+pub mod perf;
+pub mod simulator;
+
+pub use baselines::{BaselineKind, BaselineResult};
+pub use config::{DvfsAssignment, Mapping, MappingConfig};
+pub use error::CoreError;
+pub use estimator::Estimator;
+pub use evaluator::{EvaluationResult, Evaluator, EvaluatorBuilder};
+pub use objective::{Constraints, ObjectiveWeights};
+pub use perf::{PerformanceBreakdown, StagePerformance};
+pub use simulator::{ExecutionTrace, SliceEvent};

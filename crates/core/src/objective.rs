@@ -1,0 +1,353 @@
+//! Constraints and the optimisation objective (paper eq. 15–16).
+
+use crate::error::CoreError;
+use mnc_dynamic::DynamicAccuracyReport;
+use serde::{Deserialize, Serialize};
+
+/// Deployment constraints of eq. 15.
+///
+/// Unset options impose no bound. The shared-memory constraint is always
+/// active: the intermediate features that must stay resident may use at
+/// most the non-reserved part of the platform's shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Target worst-case latency `T_TRG` in milliseconds.
+    pub latency_target_ms: Option<f64>,
+    /// Target per-inference energy `E_TRG` in millijoules.
+    pub energy_target_mj: Option<f64>,
+    /// Upper bound on the feature-map reuse ratio (the paper's 75% / 50%
+    /// constrained search strategies).
+    pub max_fmap_reuse: Option<f64>,
+    /// Maximum tolerated accuracy drop with respect to the baseline (the
+    /// paper highlights configurations within 0.5%).
+    pub max_accuracy_drop: Option<f64>,
+    /// Fraction of the shared memory reserved for weights, activations and
+    /// the OS; only the remainder may hold forwarded feature maps.
+    pub memory_reserved_fraction: f64,
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Constraints {
+            latency_target_ms: None,
+            energy_target_mj: None,
+            max_fmap_reuse: None,
+            max_accuracy_drop: None,
+            memory_reserved_fraction: 0.5,
+        }
+    }
+}
+
+impl Constraints {
+    /// An unconstrained search (only the shared-memory bound applies).
+    pub fn none() -> Self {
+        Constraints::default()
+    }
+
+    /// The paper's feature-map-reuse-constrained strategies: reuse at most
+    /// `ratio` of the forwardable feature maps.
+    pub fn with_fmap_reuse_limit(ratio: f64) -> Self {
+        Constraints {
+            max_fmap_reuse: Some(ratio),
+            ..Constraints::default()
+        }
+    }
+
+    /// Validates the constraint values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConstraint`] for non-positive targets or
+    /// out-of-range fractions.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let positive = |value: Option<f64>, what: &str| match value {
+            Some(v) if !(v.is_finite() && v > 0.0) => Err(CoreError::InvalidConstraint {
+                reason: format!("{what} must be positive, got {v}"),
+            }),
+            _ => Ok(()),
+        };
+        positive(self.latency_target_ms, "latency target")?;
+        positive(self.energy_target_mj, "energy target")?;
+        if let Some(r) = self.max_fmap_reuse {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(CoreError::InvalidConstraint {
+                    reason: format!("feature-map reuse limit must be in [0, 1], got {r}"),
+                });
+            }
+        }
+        if let Some(d) = self.max_accuracy_drop {
+            if !(0.0..=1.0).contains(&d) {
+                return Err(CoreError::InvalidConstraint {
+                    reason: format!("accuracy-drop limit must be in [0, 1], got {d}"),
+                });
+            }
+        }
+        if !(0.0..=1.0).contains(&self.memory_reserved_fraction) {
+            return Err(CoreError::InvalidConstraint {
+                reason: format!(
+                    "memory reserved fraction must be in [0, 1], got {}",
+                    self.memory_reserved_fraction
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Lists every violated constraint for the given measurements; an empty
+    /// vector means the configuration is feasible.
+    #[allow(clippy::too_many_arguments)]
+    pub fn violations(
+        &self,
+        worst_case_latency_ms: f64,
+        full_energy_mj: f64,
+        fmap_reuse: f64,
+        accuracy_drop: f64,
+        stored_feature_bytes: f64,
+        shared_memory_bytes: u64,
+    ) -> Vec<String> {
+        let mut violations = Vec::new();
+        if let Some(target) = self.latency_target_ms {
+            if worst_case_latency_ms > target {
+                violations.push(format!(
+                    "latency {worst_case_latency_ms:.2} ms exceeds target {target:.2} ms"
+                ));
+            }
+        }
+        if let Some(target) = self.energy_target_mj {
+            if full_energy_mj > target {
+                violations.push(format!(
+                    "energy {full_energy_mj:.2} mJ exceeds target {target:.2} mJ"
+                ));
+            }
+        }
+        if let Some(limit) = self.max_fmap_reuse {
+            if fmap_reuse > limit + 1e-9 {
+                violations.push(format!(
+                    "feature-map reuse {:.1}% exceeds limit {:.1}%",
+                    fmap_reuse * 100.0,
+                    limit * 100.0
+                ));
+            }
+        }
+        if let Some(limit) = self.max_accuracy_drop {
+            if accuracy_drop > limit + 1e-9 {
+                violations.push(format!(
+                    "accuracy drop {:.2}% exceeds limit {:.2}%",
+                    accuracy_drop * 100.0,
+                    limit * 100.0
+                ));
+            }
+        }
+        let budget = shared_memory_bytes as f64 * (1.0 - self.memory_reserved_fraction);
+        if stored_feature_bytes > budget {
+            violations.push(format!(
+                "stored features {:.1} MiB exceed the shared-memory budget {:.1} MiB",
+                stored_feature_bytes / (1024.0 * 1024.0),
+                budget / (1024.0 * 1024.0)
+            ));
+        }
+        violations
+    }
+}
+
+/// Exponents applied to the three factors of the objective. All ones
+/// reproduce eq. 16 exactly; other values let a search emphasise latency or
+/// energy (how the paper's "Ours-L" / "Ours-E" selections behave).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveWeights {
+    /// Exponent of the accuracy-ratio factor.
+    pub accuracy: f64,
+    /// Exponent of the latency factor.
+    pub latency: f64,
+    /// Exponent of the energy factor.
+    pub energy: f64,
+}
+
+impl Default for ObjectiveWeights {
+    fn default() -> Self {
+        ObjectiveWeights {
+            accuracy: 1.0,
+            latency: 1.0,
+            energy: 1.0,
+        }
+    }
+}
+
+impl ObjectiveWeights {
+    /// Weights biased towards minimising latency.
+    pub fn latency_oriented() -> Self {
+        ObjectiveWeights {
+            accuracy: 1.0,
+            latency: 2.0,
+            energy: 0.5,
+        }
+    }
+
+    /// Weights biased towards minimising energy.
+    pub fn energy_oriented() -> Self {
+        ObjectiveWeights {
+            accuracy: 1.0,
+            latency: 0.5,
+            energy: 2.0,
+        }
+    }
+}
+
+/// Evaluates the scalar objective of eq. 16:
+///
+/// ```text
+/// P = (Acc_base / Acc_SM) × (Σ_i T_Si · N_i) × (Σ_i E_{S1:i} · N_i)
+/// ```
+///
+/// `stage_latency_ms[i]` is `T_{S_i}`, `cumulative_energy_mj[i]` is the
+/// energy of executing stages `1..=i` and `report.newly_correct[i]` is
+/// `N_i`. Lower is better.
+pub fn objective_value(
+    baseline_accuracy: f64,
+    report: &DynamicAccuracyReport,
+    stage_latency_ms: &[f64],
+    cumulative_energy_mj: &[f64],
+    weights: &ObjectiveWeights,
+) -> f64 {
+    let accuracy_factor = if report.final_stage_accuracy > 0.0 {
+        baseline_accuracy / report.final_stage_accuracy
+    } else {
+        f64::INFINITY
+    };
+    let latency_factor: f64 = report
+        .newly_correct
+        .iter()
+        .zip(stage_latency_ms)
+        .map(|(n, t)| *n as f64 * t)
+        .sum();
+    let energy_factor: f64 = report
+        .newly_correct
+        .iter()
+        .zip(cumulative_energy_mj)
+        .map(|(n, e)| *n as f64 * e)
+        .sum();
+    accuracy_factor.powf(weights.accuracy)
+        * latency_factor.max(1e-12).powf(weights.latency)
+        * energy_factor.max(1e-12).powf(weights.energy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(newly_correct: Vec<usize>, final_acc: f64) -> DynamicAccuracyReport {
+        DynamicAccuracyReport {
+            stage_accuracy: vec![0.8; newly_correct.len()],
+            stage_capacity: vec![0.8; newly_correct.len()],
+            exit_counts: newly_correct.clone(),
+            newly_correct,
+            overall_accuracy: final_acc,
+            final_stage_accuracy: final_acc,
+            average_stages_executed: 1.2,
+            num_samples: 100,
+        }
+    }
+
+    #[test]
+    fn default_constraints_accept_reasonable_configurations() {
+        let c = Constraints::default();
+        assert!(c.validate().is_ok());
+        let violations = c.violations(30.0, 100.0, 1.0, 0.0, 1e6, 1 << 30);
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn each_constraint_reports_its_violation() {
+        let c = Constraints {
+            latency_target_ms: Some(10.0),
+            energy_target_mj: Some(50.0),
+            max_fmap_reuse: Some(0.5),
+            max_accuracy_drop: Some(0.005),
+            memory_reserved_fraction: 0.5,
+        };
+        let violations = c.violations(20.0, 100.0, 0.8, 0.02, 2e9, 1 << 30);
+        assert_eq!(violations.len(), 5);
+        assert!(violations[0].contains("latency"));
+        assert!(violations[1].contains("energy"));
+        assert!(violations[2].contains("reuse"));
+        assert!(violations[3].contains("accuracy"));
+        assert!(violations[4].contains("memory"));
+    }
+
+    #[test]
+    fn invalid_constraints_are_rejected() {
+        for bad in [
+            Constraints {
+                latency_target_ms: Some(0.0),
+                ..Constraints::default()
+            },
+            Constraints {
+                energy_target_mj: Some(-5.0),
+                ..Constraints::default()
+            },
+            Constraints {
+                max_fmap_reuse: Some(1.5),
+                ..Constraints::default()
+            },
+            Constraints {
+                max_accuracy_drop: Some(-0.1),
+                ..Constraints::default()
+            },
+            Constraints {
+                memory_reserved_fraction: 2.0,
+                ..Constraints::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be invalid");
+        }
+        assert!(Constraints::with_fmap_reuse_limit(0.75).validate().is_ok());
+    }
+
+    #[test]
+    fn objective_prefers_faster_and_frugal_configurations() {
+        let weights = ObjectiveWeights::default();
+        let r = report(vec![80, 15, 5], 0.88);
+        let slow = objective_value(0.88, &r, &[20.0, 25.0, 30.0], &[50.0, 90.0, 120.0], &weights);
+        let fast = objective_value(0.88, &r, &[10.0, 15.0, 20.0], &[40.0, 60.0, 80.0], &weights);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn objective_penalises_accuracy_loss() {
+        let weights = ObjectiveWeights::default();
+        let good = report(vec![80, 15, 5], 0.88);
+        let bad = report(vec![80, 15, 5], 0.80);
+        let latencies = [10.0, 15.0, 20.0];
+        let energies = [40.0, 60.0, 80.0];
+        assert!(
+            objective_value(0.88, &bad, &latencies, &energies, &weights)
+                > objective_value(0.88, &good, &latencies, &energies, &weights)
+        );
+    }
+
+    #[test]
+    fn zero_final_accuracy_gives_infinite_objective() {
+        let weights = ObjectiveWeights::default();
+        let r = report(vec![10, 0], 0.0);
+        let v = objective_value(0.9, &r, &[1.0, 2.0], &[1.0, 2.0], &weights);
+        assert!(v.is_infinite());
+    }
+
+    #[test]
+    fn oriented_weights_change_the_ranking() {
+        // Configuration A: low latency, high energy. B: the reverse.
+        let r = report(vec![90, 10], 0.88);
+        let a_lat = [5.0, 8.0];
+        let a_energy = [100.0, 160.0];
+        let b_lat = [12.0, 18.0];
+        let b_energy = [40.0, 65.0];
+        let latency_pref = ObjectiveWeights::latency_oriented();
+        let energy_pref = ObjectiveWeights::energy_oriented();
+        let a_under_latency = objective_value(0.88, &r, &a_lat, &a_energy, &latency_pref);
+        let b_under_latency = objective_value(0.88, &r, &b_lat, &b_energy, &latency_pref);
+        let a_under_energy = objective_value(0.88, &r, &a_lat, &a_energy, &energy_pref);
+        let b_under_energy = objective_value(0.88, &r, &b_lat, &b_energy, &energy_pref);
+        assert!(a_under_latency < b_under_latency);
+        assert!(b_under_energy < a_under_energy);
+    }
+}

@@ -1,0 +1,308 @@
+//! Concurrent performance model (paper eq. 8–14).
+//!
+//! Every stage runs on its own compute unit. Within a stage, layer slices
+//! execute sequentially; a slice can start only once the slice of the
+//! previous layer on the *same* stage has finished **and** every forwarded
+//! feature map from earlier stages has both been produced and transferred
+//! through shared memory (the `u_{k→i}` overhead). The cumulative latency
+//! recursion is:
+//!
+//! ```text
+//! T^j_i = τ^j_i + max{ T^{j-1}_i , T^{j-1}_k + u^{j-1}_{k→i} | I_k = 1, k < i }
+//! ```
+//!
+//! The stage latency is `T_{S_i} = T^n_i` (eq. 9), the configuration's
+//! worst-case latency is `max_i T_{S_i}` (eq. 13) and its full energy is
+//! `Σ_i E_{S_i}` (eq. 14).
+
+use crate::config::MappingConfig;
+use crate::error::CoreError;
+use crate::estimator::Estimator;
+use mnc_dynamic::DynamicNetwork;
+use mnc_mpsoc::{CuId, Platform};
+use serde::{Deserialize, Serialize};
+
+/// Latency/energy outcome of one stage under the concurrent model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StagePerformance {
+    /// Stage index.
+    pub stage: usize,
+    /// Compute unit the stage is mapped to.
+    pub cu: CuId,
+    /// Completion time `T_{S_i}` of the stage, including waits on
+    /// dependencies and transfers, measured from inference start.
+    pub latency_ms: f64,
+    /// Pure execution time of the stage's slices (no waiting).
+    pub busy_ms: f64,
+    /// Energy consumed by the stage's slices (`E_{S_i}`), including the
+    /// interconnect energy of the transfers it receives.
+    pub energy_mj: f64,
+    /// Total transfer latency the stage had to pay for forwarded features.
+    pub transfer_ms: f64,
+    /// Interconnect energy of the transfers the stage received.
+    pub transfer_energy_mj: f64,
+}
+
+/// Performance of a full configuration across all stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceBreakdown {
+    /// Per-stage results, in stage order.
+    pub stages: Vec<StagePerformance>,
+}
+
+impl PerformanceBreakdown {
+    /// Worst-case latency when every stage is instantiated
+    /// (`max_i T_{S_i}`, eq. 13).
+    pub fn makespan_ms(&self) -> f64 {
+        self.latency_with_stages(self.stages.len())
+    }
+
+    /// Total energy when every stage is instantiated (`Σ_i E_{S_i}`,
+    /// eq. 14).
+    pub fn total_energy_mj(&self) -> f64 {
+        self.energy_with_stages(self.stages.len())
+    }
+
+    /// Latency experienced when only the first `count` stages are
+    /// instantiated (an input exiting at stage `count - 1`).
+    pub fn latency_with_stages(&self, count: usize) -> f64 {
+        self.stages
+            .iter()
+            .take(count)
+            .map(|s| s.latency_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Energy consumed when only the first `count` stages are instantiated.
+    pub fn energy_with_stages(&self, count: usize) -> f64 {
+        self.stages.iter().take(count).map(|s| s.energy_mj).sum()
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// Evaluates the concurrent performance model for a transformed network
+/// under a mapping configuration.
+///
+/// # Errors
+///
+/// Returns an error when the configuration's stage count does not match the
+/// dynamic network or when the hardware model rejects a compute unit / DVFS
+/// level.
+pub fn evaluate_performance(
+    dynamic: &DynamicNetwork,
+    config: &MappingConfig,
+    platform: &Platform,
+    estimator: &Estimator,
+) -> Result<PerformanceBreakdown, CoreError> {
+    let num_stages = dynamic.num_stages();
+    if config.num_stages() != num_stages {
+        return Err(CoreError::InvalidMapping {
+            reason: format!(
+                "configuration has {} stages but the dynamic network has {num_stages}",
+                config.num_stages()
+            ),
+        });
+    }
+    let network = dynamic.network();
+    let interconnect = platform.interconnect();
+    let num_layers = network.num_layers();
+
+    // finish[stage][layer] = cumulative completion time T^j_i.
+    let mut finish = vec![vec![0.0f64; num_layers]; num_stages];
+    let mut stages = Vec::with_capacity(num_stages);
+
+    for stage_index in 0..num_stages {
+        let cu = config
+            .mapping
+            .compute_unit(stage_index)
+            .expect("stage count checked above");
+        let dvfs_level = config
+            .dvfs
+            .level(stage_index)
+            .expect("stage count checked above");
+        let stage = dynamic
+            .stage(stage_index)
+            .expect("stage count checked above");
+
+        let mut busy_ms = 0.0;
+        let mut energy_mj = 0.0;
+        let mut transfer_ms = 0.0;
+        let mut transfer_energy_mj = 0.0;
+
+        for (layer_index, slice) in stage.slices.iter().enumerate() {
+            let layer = network.layer(slice.layer)?;
+            let (tau, e) =
+                estimator.estimate(platform, cu, layer, &slice.cost, dvfs_level)?;
+            busy_ms += tau;
+            energy_mj += e;
+
+            // Dependency on the previous layer of the same stage.
+            let mut ready_ms = if layer_index == 0 {
+                0.0
+            } else {
+                finish[stage_index][layer_index - 1]
+            };
+            // Dependencies on forwarded features of earlier stages.
+            for transfer in &slice.incoming {
+                let producer_finish = if layer_index == 0 {
+                    0.0
+                } else {
+                    finish[transfer.from_stage][layer_index - 1]
+                };
+                let u = interconnect.transfer_ms(transfer.bytes);
+                transfer_ms += u;
+                transfer_energy_mj += interconnect.transfer_energy_mj(transfer.bytes);
+                ready_ms = ready_ms.max(producer_finish + u);
+            }
+            finish[stage_index][layer_index] = ready_ms + tau;
+        }
+
+        energy_mj += transfer_energy_mj;
+        stages.push(StagePerformance {
+            stage: stage_index,
+            cu,
+            latency_ms: finish[stage_index].last().copied().unwrap_or(0.0),
+            busy_ms,
+            energy_mj,
+            transfer_ms,
+            transfer_energy_mj,
+        });
+    }
+
+    Ok(PerformanceBreakdown { stages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_dynamic::{IndicatorMatrix, PartitionMatrix};
+    use mnc_nn::models::{tiny_cnn, visformer_tiny, ModelPreset};
+    use mnc_nn::Network;
+
+    fn setup(net: &Network, reuse: bool) -> (DynamicNetwork, MappingConfig, Platform) {
+        let platform = Platform::dual_test();
+        let partition = PartitionMatrix::from_stage_fractions(net, &[0.625, 0.375]).unwrap();
+        let indicator = if reuse {
+            IndicatorMatrix::full(net, 2)
+        } else {
+            IndicatorMatrix::none(net, 2)
+        };
+        let dynamic = DynamicNetwork::transform(net, &partition, &indicator).unwrap();
+        let mapping = crate::config::Mapping::identity(&platform);
+        let dvfs = crate::config::DvfsAssignment::max_frequency(&mapping, &platform).unwrap();
+        let config = MappingConfig::new(partition, indicator, mapping, dvfs).unwrap();
+        (dynamic, config, platform)
+    }
+
+    #[test]
+    fn per_stage_latency_at_least_busy_time() {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let (dynamic, config, platform) = setup(&net, true);
+        let perf =
+            evaluate_performance(&dynamic, &config, &platform, &Estimator::Analytic).unwrap();
+        assert_eq!(perf.num_stages(), 2);
+        for stage in &perf.stages {
+            assert!(stage.latency_ms >= stage.busy_ms - 1e-9);
+            assert!(stage.energy_mj > 0.0);
+        }
+    }
+
+    #[test]
+    fn makespan_is_max_and_energy_is_sum() {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let (dynamic, config, platform) = setup(&net, true);
+        let perf =
+            evaluate_performance(&dynamic, &config, &platform, &Estimator::Analytic).unwrap();
+        let max_latency = perf
+            .stages
+            .iter()
+            .map(|s| s.latency_ms)
+            .fold(0.0, f64::max);
+        let sum_energy: f64 = perf.stages.iter().map(|s| s.energy_mj).sum();
+        assert!((perf.makespan_ms() - max_latency).abs() < 1e-12);
+        assert!((perf.total_energy_mj() - sum_energy).abs() < 1e-12);
+        // Single-stage views.
+        assert!(perf.latency_with_stages(1) <= perf.makespan_ms() + 1e-12);
+        assert!(perf.energy_with_stages(1) < perf.total_energy_mj());
+    }
+
+    #[test]
+    fn forwarding_adds_transfer_overheads_to_later_stages() {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let (dyn_reuse, cfg_reuse, platform) = setup(&net, true);
+        let (dyn_none, cfg_none, _) = setup(&net, false);
+        let with = evaluate_performance(&dyn_reuse, &cfg_reuse, &platform, &Estimator::Analytic)
+            .unwrap();
+        let without =
+            evaluate_performance(&dyn_none, &cfg_none, &platform, &Estimator::Analytic).unwrap();
+        assert_eq!(with.stages[0].transfer_ms, 0.0);
+        assert!(with.stages[1].transfer_ms > 0.0);
+        assert_eq!(without.stages[1].transfer_ms, 0.0);
+        assert!(with.stages[1].transfer_energy_mj > 0.0);
+    }
+
+    #[test]
+    fn concurrent_latency_beats_sequential_sum() {
+        // The whole point of the concurrent model: the makespan is smaller
+        // than executing the stages back to back.
+        let net = tiny_cnn(ModelPreset::cifar100());
+        let (dynamic, config, platform) = setup(&net, true);
+        let perf =
+            evaluate_performance(&dynamic, &config, &platform, &Estimator::Analytic).unwrap();
+        let sequential: f64 = perf.stages.iter().map(|s| s.busy_ms).sum::<f64>()
+            + perf.stages.iter().map(|s| s.transfer_ms).sum::<f64>();
+        assert!(perf.makespan_ms() < sequential);
+    }
+
+    #[test]
+    fn stage_count_mismatch_is_rejected() {
+        let net = tiny_cnn(ModelPreset::cifar100());
+        let (_, config, platform) = setup(&net, true);
+        // Build a dynamic network with a different stage count.
+        let partition3 = PartitionMatrix::uniform(&net, 1).unwrap();
+        let indicator3 = IndicatorMatrix::full(&net, 1);
+        let dynamic1 = DynamicNetwork::transform(&net, &partition3, &indicator3).unwrap();
+        assert!(
+            evaluate_performance(&dynamic1, &config, &platform, &Estimator::Analytic).is_err()
+        );
+    }
+
+    #[test]
+    fn lower_dvfs_increases_latency_and_cuts_power() {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let platform = Platform::dual_test();
+        let partition = PartitionMatrix::uniform(&net, 2).unwrap();
+        let indicator = IndicatorMatrix::full(&net, 2);
+        let dynamic = DynamicNetwork::transform(&net, &partition, &indicator).unwrap();
+        let mapping = crate::config::Mapping::identity(&platform);
+        let fast = MappingConfig::new(
+            partition.clone(),
+            indicator.clone(),
+            mapping.clone(),
+            crate::config::DvfsAssignment::max_frequency(&mapping, &platform).unwrap(),
+        )
+        .unwrap();
+        let slow = MappingConfig::new(
+            partition,
+            indicator,
+            mapping.clone(),
+            crate::config::DvfsAssignment::new(vec![0, 0], &mapping, &platform).unwrap(),
+        )
+        .unwrap();
+        let perf_fast =
+            evaluate_performance(&dynamic, &fast, &platform, &Estimator::Analytic).unwrap();
+        let perf_slow =
+            evaluate_performance(&dynamic, &slow, &platform, &Estimator::Analytic).unwrap();
+        assert!(perf_slow.makespan_ms() > perf_fast.makespan_ms());
+        // Average power (energy / busy time) must drop at the lower frequency.
+        let power = |p: &PerformanceBreakdown| {
+            p.stages.iter().map(|s| s.energy_mj).sum::<f64>()
+                / p.stages.iter().map(|s| s.busy_ms).sum::<f64>()
+        };
+        assert!(power(&perf_slow) < power(&perf_fast));
+    }
+}

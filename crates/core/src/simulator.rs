@@ -1,0 +1,298 @@
+//! Event-driven execution simulator.
+//!
+//! [`ExecutionTrace::simulate`] replays a configuration slice by slice —
+//! respecting per-stage program order, inter-stage feature dependencies and
+//! transfer delays — and records when every slice starts and finishes on
+//! its compute unit. It serves two purposes:
+//!
+//! * validation: the stage completion times it produces must equal the
+//!   closed-form recursion of [`crate::perf`] (covered by tests and the
+//!   workspace integration tests),
+//! * inspection: the trace shows stalls (paper Fig. 3) and can be printed
+//!   by examples / harness binaries as a Gantt-style timeline.
+
+use crate::config::MappingConfig;
+use crate::error::CoreError;
+use crate::estimator::Estimator;
+use mnc_dynamic::DynamicNetwork;
+use mnc_mpsoc::{CuId, Platform};
+use mnc_nn::LayerId;
+use serde::{Deserialize, Serialize};
+
+/// One executed slice in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SliceEvent {
+    /// Stage the slice belongs to.
+    pub stage: usize,
+    /// Layer the slice computes.
+    pub layer: LayerId,
+    /// Compute unit it ran on.
+    pub cu: CuId,
+    /// Time the slice became ready (all dependencies satisfied).
+    pub ready_ms: f64,
+    /// Time the slice started executing.
+    pub start_ms: f64,
+    /// Time the slice finished.
+    pub end_ms: f64,
+    /// Time spent waiting on dependencies or transfers before starting,
+    /// measured from the completion of the previous slice on the same
+    /// stage.
+    pub stall_ms: f64,
+}
+
+impl SliceEvent {
+    /// Execution duration of the slice.
+    pub fn duration_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// A complete simulated execution of one inference (all stages
+/// instantiated).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    events: Vec<SliceEvent>,
+    stage_finish_ms: Vec<f64>,
+}
+
+impl ExecutionTrace {
+    /// Simulates the concurrent execution of `dynamic` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration does not match the dynamic
+    /// network or references invalid hardware resources.
+    pub fn simulate(
+        dynamic: &DynamicNetwork,
+        config: &MappingConfig,
+        platform: &Platform,
+        estimator: &Estimator,
+    ) -> Result<Self, CoreError> {
+        let num_stages = dynamic.num_stages();
+        if config.num_stages() != num_stages {
+            return Err(CoreError::InvalidMapping {
+                reason: format!(
+                    "configuration has {} stages but the dynamic network has {num_stages}",
+                    config.num_stages()
+                ),
+            });
+        }
+        let network = dynamic.network();
+        let interconnect = platform.interconnect();
+        let num_layers = network.num_layers();
+
+        let mut events = Vec::with_capacity(num_stages * num_layers);
+        // finish[stage][layer] — completion time of each slice.
+        let mut finish = vec![vec![0.0f64; num_layers]; num_stages];
+        // Next free time of the compute unit each stage runs on. Each stage
+        // owns its unit exclusively, so this equals the previous slice's
+        // completion time.
+        let mut cu_free = vec![0.0f64; num_stages];
+
+        for stage_index in 0..num_stages {
+            let cu = config
+                .mapping
+                .compute_unit(stage_index)
+                .expect("stage count checked above");
+            let dvfs_level = config
+                .dvfs
+                .level(stage_index)
+                .expect("stage count checked above");
+            let stage = dynamic
+                .stage(stage_index)
+                .expect("stage count checked above");
+
+            for (layer_index, slice) in stage.slices.iter().enumerate() {
+                let layer = network.layer(slice.layer)?;
+                let (tau, _) =
+                    estimator.estimate(platform, cu, layer, &slice.cost, dvfs_level)?;
+
+                // The slice is ready once forwarded features have arrived.
+                let mut ready_ms = 0.0f64;
+                for transfer in &slice.incoming {
+                    let producer_finish = if layer_index == 0 {
+                        0.0
+                    } else {
+                        finish[transfer.from_stage][layer_index - 1]
+                    };
+                    ready_ms =
+                        ready_ms.max(producer_finish + interconnect.transfer_ms(transfer.bytes));
+                }
+                let start_ms = ready_ms.max(cu_free[stage_index]);
+                let end_ms = start_ms + tau;
+                let stall_ms = start_ms - cu_free[stage_index];
+                finish[stage_index][layer_index] = end_ms;
+                cu_free[stage_index] = end_ms;
+                events.push(SliceEvent {
+                    stage: stage_index,
+                    layer: slice.layer,
+                    cu,
+                    ready_ms,
+                    start_ms,
+                    end_ms,
+                    stall_ms,
+                });
+            }
+        }
+
+        let stage_finish_ms = finish
+            .iter()
+            .map(|row| row.last().copied().unwrap_or(0.0))
+            .collect();
+        Ok(ExecutionTrace {
+            events,
+            stage_finish_ms,
+        })
+    }
+
+    /// All slice events, in simulation order.
+    pub fn events(&self) -> &[SliceEvent] {
+        &self.events
+    }
+
+    /// Completion time of each stage.
+    pub fn stage_finish_ms(&self) -> &[f64] {
+        &self.stage_finish_ms
+    }
+
+    /// Completion time of the whole inference (all stages).
+    pub fn makespan_ms(&self) -> f64 {
+        self.stage_finish_ms.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total time stages spent stalled on inter-stage dependencies.
+    pub fn total_stall_ms(&self) -> f64 {
+        self.events.iter().map(|e| e.stall_ms).sum()
+    }
+
+    /// A compact multi-line textual Gantt rendering of the trace (one line
+    /// per slice), useful in examples and debugging sessions.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&format!(
+                "stage {} {} on {}: start {:8.3} ms, end {:8.3} ms ({:6.3} ms, stall {:5.3} ms)\n",
+                event.stage,
+                event.layer,
+                event.cu,
+                event.start_ms,
+                event.end_ms,
+                event.duration_ms(),
+                event.stall_ms
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DvfsAssignment, Mapping};
+    use crate::perf::evaluate_performance;
+    use mnc_dynamic::{IndicatorMatrix, PartitionMatrix};
+    use mnc_nn::models::{visformer_tiny, ModelPreset};
+
+    fn setup() -> (DynamicNetwork, MappingConfig, Platform) {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let platform = Platform::dual_test();
+        let partition = PartitionMatrix::from_stage_fractions(&net, &[0.625, 0.375]).unwrap();
+        let indicator = IndicatorMatrix::full(&net, 2);
+        let dynamic = DynamicNetwork::transform(&net, &partition, &indicator).unwrap();
+        let mapping = Mapping::identity(&platform);
+        let dvfs = DvfsAssignment::max_frequency(&mapping, &platform).unwrap();
+        let config = MappingConfig::new(partition, indicator, mapping, dvfs).unwrap();
+        (dynamic, config, platform)
+    }
+
+    #[test]
+    fn simulation_matches_analytic_recursion() {
+        let (dynamic, config, platform) = setup();
+        let estimator = Estimator::Analytic;
+        let trace = ExecutionTrace::simulate(&dynamic, &config, &platform, &estimator).unwrap();
+        let perf = evaluate_performance(&dynamic, &config, &platform, &estimator).unwrap();
+        for (stage_perf, sim_finish) in perf.stages.iter().zip(trace.stage_finish_ms()) {
+            assert!(
+                (stage_perf.latency_ms - sim_finish).abs() < 1e-9,
+                "analytic {} vs simulated {}",
+                stage_perf.latency_ms,
+                sim_finish
+            );
+        }
+        assert!((trace.makespan_ms() - perf.makespan_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_covers_every_slice_in_order() {
+        let (dynamic, config, platform) = setup();
+        let trace =
+            ExecutionTrace::simulate(&dynamic, &config, &platform, &Estimator::Analytic).unwrap();
+        let expected = dynamic.num_stages() * dynamic.network().num_layers();
+        assert_eq!(trace.events().len(), expected);
+        // Within a stage, slices never overlap and appear in layer order.
+        for stage in 0..dynamic.num_stages() {
+            let stage_events: Vec<&SliceEvent> =
+                trace.events().iter().filter(|e| e.stage == stage).collect();
+            for pair in stage_events.windows(2) {
+                assert!(pair[1].start_ms >= pair[0].end_ms - 1e-12);
+                assert!(pair[1].layer.0 > pair[0].layer.0);
+            }
+        }
+    }
+
+    #[test]
+    fn first_stage_never_stalls() {
+        let (dynamic, config, platform) = setup();
+        let trace =
+            ExecutionTrace::simulate(&dynamic, &config, &platform, &Estimator::Analytic).unwrap();
+        for event in trace.events().iter().filter(|e| e.stage == 0) {
+            assert!(event.stall_ms.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn consumer_on_a_faster_unit_stalls_on_its_producer() {
+        // Map the first (producing) stage onto the slow unit and the second
+        // (consuming) stage onto the fast one: the consumer must wait for
+        // forwarded features, which shows up as stall time (paper Fig. 3).
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let platform = Platform::dual_test();
+        let partition = PartitionMatrix::from_stage_fractions(&net, &[0.625, 0.375]).unwrap();
+        let indicator = IndicatorMatrix::full(&net, 2);
+        let dynamic = DynamicNetwork::transform(&net, &partition, &indicator).unwrap();
+        let mapping =
+            Mapping::new(vec![mnc_mpsoc::CuId(1), mnc_mpsoc::CuId(0)], &platform).unwrap();
+        let dvfs = DvfsAssignment::max_frequency(&mapping, &platform).unwrap();
+        let config =
+            MappingConfig::new(partition, indicator, mapping, dvfs).unwrap();
+        let trace =
+            ExecutionTrace::simulate(&dynamic, &config, &platform, &Estimator::Analytic).unwrap();
+        assert!(trace.total_stall_ms() > 0.0);
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.stage == 1 && e.stall_ms > 0.0));
+    }
+
+    #[test]
+    fn render_mentions_every_stage() {
+        let (dynamic, config, platform) = setup();
+        let trace =
+            ExecutionTrace::simulate(&dynamic, &config, &platform, &Estimator::Analytic).unwrap();
+        let text = trace.render();
+        assert!(text.contains("stage 0"));
+        assert!(text.contains("stage 1"));
+    }
+
+    #[test]
+    fn mismatched_config_is_rejected() {
+        let (_, config, platform) = setup();
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let partition = PartitionMatrix::uniform(&net, 1).unwrap();
+        let indicator = IndicatorMatrix::full(&net, 1);
+        let single = DynamicNetwork::transform(&net, &partition, &indicator).unwrap();
+        assert!(
+            ExecutionTrace::simulate(&single, &config, &platform, &Estimator::Analytic).is_err()
+        );
+    }
+}

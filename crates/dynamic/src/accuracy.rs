@@ -1,0 +1,448 @@
+//! Statistical accuracy and early-exit model for dynamic networks.
+//!
+//! The paper measures, for every candidate configuration, the accuracy of
+//! each exit and the number of validation samples `N_i` that terminate at
+//! stage `S_i` (eq. 16). Those numbers come from trained multi-exit models
+//! evaluated on CIFAR-100; lacking training, this module models them
+//! statistically (the substitution is argued in `DESIGN.md`):
+//!
+//! * every stage has a *capacity* `c_i ∈ [0, 1]`: the average, over
+//!   partitionable layers, of the channel-importance mass visible to the
+//!   stage (its own channels plus whatever earlier stages forward to it,
+//!   after importance reordering — paper §V-D),
+//! * the stage's standalone accuracy is `A_i = A_max · (1 − (1 − c_i)^k)`,
+//!   a saturating function of capacity,
+//! * a synthetic sample of difficulty `d` is classified correctly by stage
+//!   `i` iff `d ≤ A_i`, and exits at the first stage whose exit confidence
+//!   `q_i = A_i · exit_confidence` exceeds `d` (the last stage accepts
+//!   everything that remains).
+
+use crate::dataset::SyntheticValidationSet;
+use crate::error::DynamicError;
+use crate::transform::DynamicNetwork;
+use mnc_nn::{ImportanceModel, LayerId};
+use serde::{Deserialize, Serialize};
+
+/// Accuracy-model parameters for one architecture/dataset pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyProfile {
+    /// Top-1 accuracy of the unmodified pretrained network (the paper's
+    /// `Acc_base`).
+    pub baseline_accuracy: f64,
+    /// Accuracy ceiling of the dynamic version at full capacity. Networks
+    /// with heavy channel redundancy (VGG-19) can exceed their baseline;
+    /// compact ones (Visformer) cannot.
+    pub max_accuracy: f64,
+    /// Exponent `k` of the saturating capacity→quality curve
+    /// `1 − (1 − c)^k`; larger values mean more redundancy (half the
+    /// channels already recover most of the accuracy).
+    pub quality_exponent: f64,
+    /// Exit-threshold confidence in `(0, 1]`: the fraction of a stage's
+    /// accuracy used as its early-exit coverage. Values below 1 make exits
+    /// conservative so early mistakes stay rare.
+    pub exit_confidence: f64,
+}
+
+impl AccuracyProfile {
+    /// Profile matching the paper's Visformer-on-CIFAR-100 numbers
+    /// (baseline 88.09%, dynamic version at best on par with the baseline).
+    pub fn visformer_cifar100() -> Self {
+        AccuracyProfile {
+            baseline_accuracy: 0.8809,
+            max_accuracy: 0.8809,
+            quality_exponent: 2.4,
+            exit_confidence: 0.85,
+        }
+    }
+
+    /// Profile matching the paper's VGG-19-on-CIFAR-100 numbers (baseline
+    /// 80.55%, dynamic version up to ≈ 84.8% thanks to weight redundancy).
+    pub fn vgg19_cifar100() -> Self {
+        AccuracyProfile {
+            baseline_accuracy: 0.8055,
+            max_accuracy: 0.850,
+            quality_exponent: 3.0,
+            exit_confidence: 0.96,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicError::InvalidAccuracyConfig`] for accuracies or
+    /// confidences outside `(0, 1]` or a non-positive exponent.
+    pub fn validate(&self) -> Result<(), DynamicError> {
+        let check_unit = |value: f64, what: &str| {
+            if !(value.is_finite() && value > 0.0 && value <= 1.0) {
+                Err(DynamicError::InvalidAccuracyConfig {
+                    reason: format!("{what} must be in (0, 1], got {value}"),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        check_unit(self.baseline_accuracy, "baseline accuracy")?;
+        check_unit(self.max_accuracy, "maximum accuracy")?;
+        check_unit(self.exit_confidence, "exit confidence")?;
+        if !(self.quality_exponent.is_finite() && self.quality_exponent > 0.0) {
+            return Err(DynamicError::InvalidAccuracyConfig {
+                reason: format!(
+                    "quality exponent must be positive, got {}",
+                    self.quality_exponent
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-configuration accuracy / exit statistics, the model-side inputs of
+/// the paper's objective (eq. 16).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicAccuracyReport {
+    /// Standalone accuracy of each stage's exit.
+    pub stage_accuracy: Vec<f64>,
+    /// Capacity (visible importance mass) of each stage.
+    pub stage_capacity: Vec<f64>,
+    /// Number of samples exiting at each stage.
+    pub exit_counts: Vec<usize>,
+    /// The paper's `N_i`: samples correctly classified at stage `i` that
+    /// every earlier stage misclassifies.
+    pub newly_correct: Vec<usize>,
+    /// Accuracy of the dynamic network under the early-exit policy.
+    pub overall_accuracy: f64,
+    /// Accuracy of the final stage (the paper's `Acc_SM`).
+    pub final_stage_accuracy: f64,
+    /// Mean number of stages executed per sample.
+    pub average_stages_executed: f64,
+    /// Number of validation samples evaluated.
+    pub num_samples: usize,
+}
+
+impl DynamicAccuracyReport {
+    /// Fraction of samples that exit before the final stage.
+    pub fn early_exit_fraction(&self) -> f64 {
+        if self.num_samples == 0 || self.exit_counts.is_empty() {
+            return 0.0;
+        }
+        let early: usize = self
+            .exit_counts
+            .iter()
+            .take(self.exit_counts.len() - 1)
+            .sum();
+        early as f64 / self.num_samples as f64
+    }
+}
+
+/// Accuracy model binding an [`AccuracyProfile`] to a channel-importance
+/// model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyModel {
+    profile: AccuracyProfile,
+    importance: ImportanceModel,
+}
+
+impl AccuracyModel {
+    /// Creates an accuracy model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the profile parameters are invalid.
+    pub fn new(profile: AccuracyProfile, importance: ImportanceModel) -> Result<Self, DynamicError> {
+        profile.validate()?;
+        Ok(AccuracyModel {
+            profile,
+            importance,
+        })
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &AccuracyProfile {
+        &self.profile
+    }
+
+    /// The channel-importance model in use.
+    pub fn importance(&self) -> &ImportanceModel {
+        &self.importance
+    }
+
+    /// Capacity of a stage: average over partitionable layers of the
+    /// importance mass visible to it (own channels plus forwarded ones,
+    /// channels assigned to stages in decreasing-importance order).
+    pub fn stage_capacity(&self, dynamic: &DynamicNetwork, stage: usize) -> f64 {
+        let network = dynamic.network();
+        let partition = dynamic.partition();
+        let indicator = dynamic.indicator();
+        let layers = network.partitionable_layers();
+        if layers.is_empty() {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        for layer in &layers {
+            total += self.visible_mass(*layer, dynamic, partition, indicator, stage);
+        }
+        (total / layers.len() as f64).clamp(0.0, 1.0)
+    }
+
+    /// Importance mass of layer `layer` visible to `stage`.
+    fn visible_mass(
+        &self,
+        layer: LayerId,
+        dynamic: &DynamicNetwork,
+        partition: &crate::partition::PartitionMatrix,
+        indicator: &crate::indicator::IndicatorMatrix,
+        stage: usize,
+    ) -> f64 {
+        let num_stages = dynamic.num_stages();
+        // Mass of stage k's slice: channels are handed out in importance
+        // order, so stage k owns the rank interval (cum_{k-1}, cum_k].
+        let slice_mass = |k: usize| -> f64 {
+            let upper = partition.cumulative_fraction(layer, k);
+            let lower = if k == 0 {
+                0.0
+            } else {
+                partition.cumulative_fraction(layer, k - 1)
+            };
+            self.importance.mass_of_top_fraction(layer, upper)
+                - self.importance.mass_of_top_fraction(layer, lower)
+        };
+        let mut visible = slice_mass(stage.min(num_stages.saturating_sub(1)));
+        for earlier in 0..stage.min(num_stages) {
+            if indicator.is_forwarded(layer, earlier) {
+                visible += slice_mass(earlier);
+            }
+        }
+        visible.clamp(0.0, 1.0)
+    }
+
+    /// Saturating capacity→quality curve `1 − (1 − c)^k`.
+    fn quality(&self, capacity: f64) -> f64 {
+        1.0 - (1.0 - capacity.clamp(0.0, 1.0)).powf(self.profile.quality_exponent)
+    }
+
+    /// Standalone accuracy of stage `stage`'s exit.
+    pub fn stage_accuracy(&self, dynamic: &DynamicNetwork, stage: usize) -> f64 {
+        self.profile.max_accuracy * self.quality(self.stage_capacity(dynamic, stage))
+    }
+
+    /// Evaluates the dynamic network on a synthetic validation set,
+    /// producing the exit histogram and accuracy figures the evaluator and
+    /// the search objective consume.
+    pub fn evaluate(
+        &self,
+        dynamic: &DynamicNetwork,
+        dataset: &SyntheticValidationSet,
+    ) -> DynamicAccuracyReport {
+        let num_stages = dynamic.num_stages();
+        let stage_capacity: Vec<f64> = (0..num_stages)
+            .map(|s| self.stage_capacity(dynamic, s))
+            .collect();
+        let stage_accuracy: Vec<f64> = stage_capacity
+            .iter()
+            .map(|c| self.profile.max_accuracy * self.quality(*c))
+            .collect();
+        let exit_threshold: Vec<f64> = stage_accuracy
+            .iter()
+            .map(|a| a * self.profile.exit_confidence)
+            .collect();
+
+        let mut exit_counts = vec![0usize; num_stages];
+        let mut newly_correct = vec![0usize; num_stages];
+        let mut correct = 0usize;
+        let mut stages_executed_total = 0usize;
+
+        for sample in dataset.samples() {
+            let d = sample.difficulty;
+            // Early-exit policy: first stage confident enough, else last.
+            let exit_stage = (0..num_stages)
+                .find(|&i| d <= exit_threshold[i])
+                .unwrap_or(num_stages - 1);
+            exit_counts[exit_stage] += 1;
+            stages_executed_total += exit_stage + 1;
+            if d <= stage_accuracy[exit_stage] {
+                correct += 1;
+            }
+            // The paper's N_i: correctly classified at i while all earlier
+            // stages fail.
+            if let Some(first_capable) = (0..num_stages).find(|&i| d <= stage_accuracy[i]) {
+                newly_correct[first_capable] += 1;
+            }
+        }
+
+        let num_samples = dataset.len();
+        DynamicAccuracyReport {
+            final_stage_accuracy: stage_accuracy.last().copied().unwrap_or(0.0),
+            overall_accuracy: if num_samples == 0 {
+                0.0
+            } else {
+                correct as f64 / num_samples as f64
+            },
+            average_stages_executed: if num_samples == 0 {
+                0.0
+            } else {
+                stages_executed_total as f64 / num_samples as f64
+            },
+            stage_accuracy,
+            stage_capacity,
+            exit_counts,
+            newly_correct,
+            num_samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indicator::IndicatorMatrix;
+    use crate::partition::PartitionMatrix;
+    use mnc_nn::models::{vgg19, visformer, visformer_tiny, ModelPreset};
+    use mnc_nn::Network;
+
+    fn dynamic_with_reuse(net: &Network, reuse: bool) -> DynamicNetwork {
+        let partition = PartitionMatrix::from_stage_fractions(net, &[0.5, 0.25, 0.25]).unwrap();
+        let indicator = if reuse {
+            IndicatorMatrix::full(net, 3)
+        } else {
+            IndicatorMatrix::none(net, 3)
+        };
+        DynamicNetwork::transform(net, &partition, &indicator).unwrap()
+    }
+
+    fn visformer_model(net: &Network) -> AccuracyModel {
+        AccuracyModel::new(
+            AccuracyProfile::visformer_cifar100(),
+            ImportanceModel::synthetic(net, 11, 1.5),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn profiles_validate() {
+        assert!(AccuracyProfile::visformer_cifar100().validate().is_ok());
+        assert!(AccuracyProfile::vgg19_cifar100().validate().is_ok());
+        let bad = AccuracyProfile {
+            baseline_accuracy: 1.5,
+            ..AccuracyProfile::visformer_cifar100()
+        };
+        assert!(bad.validate().is_err());
+        let bad_exp = AccuracyProfile {
+            quality_exponent: 0.0,
+            ..AccuracyProfile::visformer_cifar100()
+        };
+        assert!(bad_exp.validate().is_err());
+        let bad_conf = AccuracyProfile {
+            exit_confidence: 0.0,
+            ..AccuracyProfile::visformer_cifar100()
+        };
+        assert!(AccuracyModel::new(bad_conf, ImportanceModel::synthetic(
+            &visformer_tiny(ModelPreset::cifar100()), 1, 1.0)).is_err());
+    }
+
+    #[test]
+    fn capacities_increase_across_stages_with_full_reuse() {
+        let net = visformer(ModelPreset::cifar100());
+        let dynamic = dynamic_with_reuse(&net, true);
+        let model = visformer_model(&net);
+        let c0 = model.stage_capacity(&dynamic, 0);
+        let c1 = model.stage_capacity(&dynamic, 1);
+        let c2 = model.stage_capacity(&dynamic, 2);
+        assert!(c0 < c1 && c1 < c2, "{c0} {c1} {c2}");
+        assert!((c2 - 1.0).abs() < 1e-6, "final stage sees everything, got {c2}");
+        // With importance reordering, the first stage's half of the
+        // channels holds clearly more than half the mass.
+        assert!(c0 > 0.55, "stage-0 capacity {c0}");
+    }
+
+    #[test]
+    fn final_accuracy_with_full_reuse_is_close_to_baseline() {
+        let net = visformer(ModelPreset::cifar100());
+        let dynamic = dynamic_with_reuse(&net, true);
+        let model = visformer_model(&net);
+        let report = model.evaluate(&dynamic, &SyntheticValidationSet::cifar100_like(3));
+        assert!(
+            (report.final_stage_accuracy - 0.8809).abs() < 0.01,
+            "final accuracy {}",
+            report.final_stage_accuracy
+        );
+        assert!(
+            report.overall_accuracy > 0.85,
+            "overall accuracy {}",
+            report.overall_accuracy
+        );
+        assert_eq!(report.num_samples, 10_000);
+        assert_eq!(report.exit_counts.iter().sum::<usize>(), 10_000);
+        assert_eq!(report.newly_correct.len(), 3);
+    }
+
+    #[test]
+    fn removing_feature_reuse_costs_accuracy() {
+        let net = visformer(ModelPreset::cifar100());
+        let model = visformer_model(&net);
+        let dataset = SyntheticValidationSet::cifar100_like(5);
+        let with_reuse = model.evaluate(&dynamic_with_reuse(&net, true), &dataset);
+        let without_reuse = model.evaluate(&dynamic_with_reuse(&net, false), &dataset);
+        assert!(
+            without_reuse.final_stage_accuracy < with_reuse.final_stage_accuracy - 0.02,
+            "reuse {} vs none {}",
+            with_reuse.final_stage_accuracy,
+            without_reuse.final_stage_accuracy
+        );
+    }
+
+    #[test]
+    fn most_samples_exit_early() {
+        let net = vgg19(ModelPreset::cifar100());
+        let dynamic = dynamic_with_reuse(&net, true);
+        let model = AccuracyModel::new(
+            AccuracyProfile::vgg19_cifar100(),
+            ImportanceModel::synthetic(&net, 13, 2.0),
+        )
+        .unwrap();
+        let report = model.evaluate(&dynamic, &SyntheticValidationSet::cifar100_like(9));
+        // Paper §VI-D: more than 80% of samples classified at earlier stages.
+        assert!(
+            report.early_exit_fraction() > 0.7,
+            "early exit fraction {}",
+            report.early_exit_fraction()
+        );
+        assert!(report.average_stages_executed < 2.0);
+        // Redundant VGG-19 can beat its static baseline.
+        assert!(report.final_stage_accuracy > 0.8055);
+    }
+
+    #[test]
+    fn reordering_ablation_reduces_early_capacity() {
+        let net = visformer(ModelPreset::cifar100());
+        let dynamic = dynamic_with_reuse(&net, true);
+        let ranked = visformer_model(&net);
+        let unranked = AccuracyModel::new(
+            AccuracyProfile::visformer_cifar100(),
+            ImportanceModel::uniform(&net),
+        )
+        .unwrap();
+        assert!(
+            ranked.stage_capacity(&dynamic, 0) > unranked.stage_capacity(&dynamic, 0) + 0.1
+        );
+    }
+
+    #[test]
+    fn empty_dataset_is_handled() {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let dynamic = dynamic_with_reuse(&net, true);
+        let model = visformer_model(&net);
+        let report = model.evaluate(&dynamic, &SyntheticValidationSet::generate(0, 1, 1.0));
+        assert_eq!(report.overall_accuracy, 0.0);
+        assert_eq!(report.num_samples, 0);
+        assert_eq!(report.early_exit_fraction(), 0.0);
+    }
+
+    #[test]
+    fn accessors_expose_profile_and_importance() {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let model = visformer_model(&net);
+        assert_eq!(model.profile().baseline_accuracy, 0.8809);
+        assert!(model.importance().concentration() > 0.0);
+    }
+}

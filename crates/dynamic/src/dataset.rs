@@ -1,0 +1,133 @@
+//! Synthetic validation set for the dynamic-inference accuracy model.
+//!
+//! The paper evaluates accuracy and per-stage exit statistics on the
+//! CIFAR-100 validation split of trained multi-exit models. Without
+//! trained weights, this module provides a seeded population of synthetic
+//! samples, each carrying a *difficulty* in `[0, 1]`: a sample is
+//! classified correctly by a (sub-)model whose effective accuracy exceeds
+//! its difficulty, and exits early when an exit's confidence threshold
+//! exceeds it. Uniform difficulties make a stage's standalone accuracy on
+//! the set equal (in expectation) to its modelled accuracy.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One synthetic validation sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSample {
+    /// Processing difficulty in `[0, 1]`; 0 is trivially easy, 1 is
+    /// hardest.
+    pub difficulty: f64,
+}
+
+/// A seeded collection of synthetic validation samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticValidationSet {
+    samples: Vec<SyntheticSample>,
+}
+
+impl SyntheticValidationSet {
+    /// Generates `count` samples with difficulties drawn from
+    /// `U(0,1)^skew`; `skew == 1.0` gives uniform difficulties, larger
+    /// values bias the set towards easy samples (more early-exit
+    /// opportunity), smaller values towards hard samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skew` is not positive and finite.
+    pub fn generate(count: usize, seed: u64, skew: f64) -> Self {
+        assert!(
+            skew.is_finite() && skew > 0.0,
+            "difficulty skew must be positive, got {skew}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = (0..count)
+            .map(|_| SyntheticSample {
+                difficulty: rng.random::<f64>().powf(skew),
+            })
+            .collect();
+        SyntheticValidationSet { samples }
+    }
+
+    /// A CIFAR-100-validation-sized set (10 000 samples) with uniform
+    /// difficulties.
+    pub fn cifar100_like(seed: u64) -> Self {
+        SyntheticValidationSet::generate(10_000, seed, 1.0)
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[SyntheticSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean difficulty of the set.
+    pub fn mean_difficulty(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.difficulty).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_in_unit_interval() {
+        let set = SyntheticValidationSet::generate(500, 1, 1.0);
+        assert_eq!(set.len(), 500);
+        assert!(!set.is_empty());
+        assert!(set
+            .samples()
+            .iter()
+            .all(|s| (0.0..=1.0).contains(&s.difficulty)));
+    }
+
+    #[test]
+    fn uniform_difficulty_has_mean_near_half() {
+        let set = SyntheticValidationSet::cifar100_like(7);
+        assert_eq!(set.len(), 10_000);
+        assert!((set.mean_difficulty() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn skew_makes_samples_easier() {
+        let uniform = SyntheticValidationSet::generate(5000, 3, 1.0);
+        let easy = SyntheticValidationSet::generate(5000, 3, 2.0);
+        assert!(easy.mean_difficulty() < uniform.mean_difficulty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = SyntheticValidationSet::generate(100, 9, 1.0);
+        let b = SyntheticValidationSet::generate(100, 9, 1.0);
+        let c = SyntheticValidationSet::generate(100, 10, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_set_is_well_behaved() {
+        let set = SyntheticValidationSet::generate(0, 1, 1.0);
+        assert!(set.is_empty());
+        assert_eq!(set.mean_difficulty(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be positive")]
+    fn non_positive_skew_panics() {
+        let _ = SyntheticValidationSet::generate(10, 1, 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for the dynamic transformation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building partition/indicator matrices or
+/// transforming a network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynamicError {
+    /// The number of stages is zero or otherwise unusable.
+    InvalidStageCount {
+        /// Requested number of stages.
+        stages: usize,
+    },
+    /// A partition row does not describe a valid split.
+    InvalidPartition {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The matrix was built for a different network or stage count than the
+    /// one it is being used with.
+    ShapeMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was provided.
+        actual: String,
+    },
+    /// A configuration parameter of the accuracy model is invalid.
+    InvalidAccuracyConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An error bubbled up from the network representation.
+    Network(mnc_nn::NetworkError),
+}
+
+impl fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynamicError::InvalidStageCount { stages } => {
+                write!(f, "invalid stage count {stages}")
+            }
+            DynamicError::InvalidPartition { layer, reason } => {
+                write!(f, "invalid partition for layer {layer}: {reason}")
+            }
+            DynamicError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            DynamicError::InvalidAccuracyConfig { reason } => {
+                write!(f, "invalid accuracy model configuration: {reason}")
+            }
+            DynamicError::Network(err) => write!(f, "network error: {err}"),
+        }
+    }
+}
+
+impl Error for DynamicError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DynamicError::Network(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<mnc_nn::NetworkError> for DynamicError {
+    fn from(err: mnc_nn::NetworkError) -> Self {
+        DynamicError::Network(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DynamicError::InvalidStageCount { stages: 0 }
+            .to_string()
+            .contains('0'));
+        assert!(DynamicError::InvalidPartition {
+            layer: 3,
+            reason: "fractions sum to 0.5".to_string()
+        }
+        .to_string()
+        .contains("0.5"));
+    }
+
+    #[test]
+    fn network_error_is_wrapped_with_source() {
+        let err: DynamicError = mnc_nn::NetworkError::EmptyNetwork.into();
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Error>() {}
+        assert_send_sync::<DynamicError>();
+    }
+}

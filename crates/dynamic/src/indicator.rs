@@ -1,0 +1,207 @@
+//! The indicator matrix `I` (paper eq. 4, right).
+//!
+//! `I[j][k] = 1` means the intermediate feature maps `F^j_k` produced by
+//! stage `S_k` at layer `L_j` are forwarded (through shared memory) to the
+//! corresponding layer of every *later* stage. Forwarding more features
+//! improves the accuracy of later stages but increases inter-CU traffic and
+//! shared-memory residency; the paper constrains the fraction of reused
+//! feature maps to 100% / 75% / 50% in its three search strategies.
+
+use crate::error::DynamicError;
+use mnc_nn::{LayerId, Network};
+use serde::{Deserialize, Serialize};
+
+/// Per-layer, per-stage feature-forwarding choices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndicatorMatrix {
+    num_stages: usize,
+    /// `rows[layer][stage]` — whether stage `stage`'s output of `layer` is
+    /// forwarded to later stages.
+    rows: Vec<Vec<bool>>,
+}
+
+impl IndicatorMatrix {
+    /// All feature maps are forwarded (the static-mapping behaviour the
+    /// paper's "No Fmap constraint" search starts from).
+    pub fn full(network: &Network, num_stages: usize) -> Self {
+        IndicatorMatrix {
+            num_stages: num_stages.max(1),
+            rows: vec![vec![true; num_stages.max(1)]; network.num_layers()],
+        }
+    }
+
+    /// No feature maps are forwarded: every stage works from its own
+    /// channels only.
+    pub fn none(network: &Network, num_stages: usize) -> Self {
+        IndicatorMatrix {
+            num_stages: num_stages.max(1),
+            rows: vec![vec![false; num_stages.max(1)]; network.num_layers()],
+        }
+    }
+
+    /// Builds an indicator matrix from explicit rows (`rows[layer][stage]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the row count does not match the network or a
+    /// row length differs from the others.
+    pub fn from_rows(network: &Network, rows: Vec<Vec<bool>>) -> Result<Self, DynamicError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(DynamicError::InvalidStageCount { stages: 0 });
+        }
+        if rows.len() != network.num_layers() {
+            return Err(DynamicError::ShapeMismatch {
+                expected: format!("{} layer rows", network.num_layers()),
+                actual: format!("{} rows", rows.len()),
+            });
+        }
+        let num_stages = rows[0].len();
+        for (index, row) in rows.iter().enumerate() {
+            if row.len() != num_stages {
+                return Err(DynamicError::ShapeMismatch {
+                    expected: format!("{num_stages} stages"),
+                    actual: format!("{} entries in row {index}", row.len()),
+                });
+            }
+        }
+        Ok(IndicatorMatrix { num_stages, rows })
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.num_stages
+    }
+
+    /// Number of layer rows.
+    pub fn num_layers(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether stage `stage`'s features of `layer` are forwarded to later
+    /// stages. Out-of-range queries return `false`.
+    pub fn is_forwarded(&self, layer: LayerId, stage: usize) -> bool {
+        self.rows
+            .get(layer.0)
+            .and_then(|row| row.get(stage))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Sets one entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range indices.
+    pub fn set(&mut self, layer: LayerId, stage: usize, forwarded: bool) -> Result<(), DynamicError> {
+        let row = self
+            .rows
+            .get_mut(layer.0)
+            .ok_or_else(|| DynamicError::ShapeMismatch {
+                expected: "valid layer index".to_string(),
+                actual: format!("layer {}", layer.0),
+            })?;
+        let entry = row.get_mut(stage).ok_or_else(|| DynamicError::ShapeMismatch {
+            expected: format!("stage < {}", self.num_stages),
+            actual: format!("stage {stage}"),
+        })?;
+        *entry = forwarded;
+        Ok(())
+    }
+
+    /// Fraction of *relevant* entries that are set: only stages `0..M-1`
+    /// count, because the last stage has no later consumer. This is the
+    /// "Fmap Reuse %" the paper reports and constrains.
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.num_stages <= 1 || self.rows.is_empty() {
+            return 0.0;
+        }
+        let relevant = self.rows.len() * (self.num_stages - 1);
+        let set: usize = self
+            .rows
+            .iter()
+            .map(|row| row.iter().take(self.num_stages - 1).filter(|b| **b).count())
+            .sum();
+        set as f64 / relevant as f64
+    }
+
+    /// Number of `(layer, stage)` pairs whose features are forwarded
+    /// (stages `0..M-1` only).
+    pub fn num_forwarded(&self) -> usize {
+        if self.num_stages <= 1 {
+            return 0;
+        }
+        self.rows
+            .iter()
+            .map(|row| row.iter().take(self.num_stages - 1).filter(|b| **b).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_nn::models::{tiny_cnn, ModelPreset};
+
+    fn net() -> Network {
+        tiny_cnn(ModelPreset::cifar10())
+    }
+
+    #[test]
+    fn full_and_none_have_extreme_reuse_ratios() {
+        let net = net();
+        let full = IndicatorMatrix::full(&net, 3);
+        let none = IndicatorMatrix::none(&net, 3);
+        assert_eq!(full.reuse_ratio(), 1.0);
+        assert_eq!(none.reuse_ratio(), 0.0);
+        assert_eq!(full.num_stages(), 3);
+        assert_eq!(full.num_layers(), net.num_layers());
+    }
+
+    #[test]
+    fn reuse_ratio_counts_only_non_final_stages() {
+        let net = net();
+        let mut m = IndicatorMatrix::none(&net, 2);
+        // Setting the last stage's entries must not change the ratio.
+        for layer in 0..net.num_layers() {
+            m.set(LayerId(layer), 1, true).unwrap();
+        }
+        assert_eq!(m.reuse_ratio(), 0.0);
+        m.set(LayerId(0), 0, true).unwrap();
+        assert!((m.reuse_ratio() - 1.0 / net.num_layers() as f64).abs() < 1e-9);
+        assert_eq!(m.num_forwarded(), 1);
+    }
+
+    #[test]
+    fn single_stage_has_zero_reuse() {
+        let net = net();
+        let m = IndicatorMatrix::full(&net, 1);
+        assert_eq!(m.reuse_ratio(), 0.0);
+        assert_eq!(m.num_forwarded(), 0);
+    }
+
+    #[test]
+    fn from_rows_validates_shape() {
+        let net = net();
+        assert!(IndicatorMatrix::from_rows(&net, vec![]).is_err());
+        let short = vec![vec![true, false]; net.num_layers() - 1];
+        assert!(IndicatorMatrix::from_rows(&net, short).is_err());
+        let ragged: Vec<Vec<bool>> = (0..net.num_layers())
+            .map(|i| if i == 1 { vec![true] } else { vec![true, false] })
+            .collect();
+        assert!(IndicatorMatrix::from_rows(&net, ragged).is_err());
+        let ok = vec![vec![true, false]; net.num_layers()];
+        assert!(IndicatorMatrix::from_rows(&net, ok).is_ok());
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let net = net();
+        let mut m = IndicatorMatrix::none(&net, 3);
+        assert!(!m.is_forwarded(LayerId(2), 1));
+        m.set(LayerId(2), 1, true).unwrap();
+        assert!(m.is_forwarded(LayerId(2), 1));
+        assert!(m.set(LayerId(99), 0, true).is_err());
+        assert!(m.set(LayerId(0), 99, true).is_err());
+        assert!(!m.is_forwarded(LayerId(99), 0));
+    }
+}

@@ -1,0 +1,52 @@
+//! Static-to-dynamic transformation of neural networks (paper §III-A).
+//!
+//! Map-and-Conquer partitions every layer of a network along its *width*
+//! dimension into `M` contiguous channel subsets, one per inference stage,
+//! and deploys the result as a multi-exit dynamic network: stage 1 holds
+//! the most important channels and can terminate processing early, later
+//! stages refine the prediction using their own channels plus whatever
+//! upstream feature maps the *indicator matrix* lets them reuse.
+//!
+//! This crate implements the model-side machinery of that transformation:
+//!
+//! * [`partition`] — the partitioning matrix `P` (per-layer split ratios),
+//! * [`indicator`] — the indicator matrix `I` (feature-map reuse choices),
+//! * [`transform`] — building a [`DynamicNetwork`]: per-stage layer slices
+//!   with their workloads and the inter-stage transfer requirements,
+//! * [`dataset`] — a synthetic validation set with per-sample difficulty,
+//! * [`accuracy`] — the statistical accuracy/early-exit model that replaces
+//!   CIFAR-100 evaluation of trained multi-exit models (see `DESIGN.md` for
+//!   the substitution argument).
+//!
+//! # Example
+//!
+//! ```
+//! use mnc_dynamic::{DynamicNetwork, IndicatorMatrix, PartitionMatrix};
+//! use mnc_nn::models::{visformer_tiny, ModelPreset};
+//!
+//! # fn main() -> Result<(), mnc_dynamic::DynamicError> {
+//! let net = visformer_tiny(ModelPreset::cifar100());
+//! let partition = PartitionMatrix::from_stage_fractions(&net, &[0.5, 0.25, 0.25])?;
+//! let indicator = IndicatorMatrix::full(&net, 3);
+//! let dynamic = DynamicNetwork::transform(&net, &partition, &indicator)?;
+//! assert_eq!(dynamic.num_stages(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod dataset;
+pub mod error;
+pub mod indicator;
+pub mod partition;
+pub mod transform;
+
+pub use accuracy::{AccuracyModel, AccuracyProfile, DynamicAccuracyReport};
+pub use dataset::{SyntheticSample, SyntheticValidationSet};
+pub use error::DynamicError;
+pub use indicator::IndicatorMatrix;
+pub use partition::{PartitionMatrix, RATIO_QUANTUM};
+pub use transform::{DynamicNetwork, LayerSlice, Stage, StageTransfer};

@@ -1,0 +1,302 @@
+//! The partitioning matrix `P` (paper eq. 4, left).
+//!
+//! `P[j][i]` is the fraction of layer `L_j`'s width units assigned to stage
+//! `S_i`. Rows of partitionable layers must be valid splits (non-negative
+//! fractions summing to one); non-partitionable layers (pooling, global
+//! pooling, classifiers) inherit the split of the closest preceding
+//! partitionable layer when the network is transformed.
+
+use crate::error::DynamicError;
+use mnc_nn::{LayerId, Network};
+use serde::{Deserialize, Serialize};
+
+/// Granularity of the partition ratios explored by the search space
+/// (paper §V-A uses 8 channel-partitioning ratios per layer).
+pub const RATIO_QUANTUM: f64 = 1.0 / 8.0;
+
+/// Per-layer width split across the inference stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionMatrix {
+    num_stages: usize,
+    /// `rows[layer][stage]` — fraction of layer `layer`'s width assigned to
+    /// `stage`. One row per network layer (partitionable or not).
+    rows: Vec<Vec<f64>>,
+}
+
+impl PartitionMatrix {
+    /// Builds a partition where every partitionable layer is split evenly
+    /// across `num_stages` stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicError::InvalidStageCount`] if `num_stages` is zero.
+    pub fn uniform(network: &Network, num_stages: usize) -> Result<Self, DynamicError> {
+        let fractions = vec![1.0 / num_stages.max(1) as f64; num_stages];
+        Self::from_stage_fractions(network, &fractions)
+    }
+
+    /// Builds a partition where every partitionable layer uses the same
+    /// split `fractions` (one entry per stage).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `fractions` is empty or does not sum to one.
+    pub fn from_stage_fractions(
+        network: &Network,
+        fractions: &[f64],
+    ) -> Result<Self, DynamicError> {
+        let rows = vec![fractions.to_vec(); network.num_layers()];
+        Self::from_rows(network, rows)
+    }
+
+    /// Builds a partition from explicit per-layer rows (`rows[layer][stage]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the row count does not match the network, a
+    /// row has the wrong number of stages, or a partitionable layer's row
+    /// is not a valid split (negative entries or sum different from 1).
+    pub fn from_rows(network: &Network, rows: Vec<Vec<f64>>) -> Result<Self, DynamicError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(DynamicError::InvalidStageCount { stages: 0 });
+        }
+        if rows.len() != network.num_layers() {
+            return Err(DynamicError::ShapeMismatch {
+                expected: format!("{} layer rows", network.num_layers()),
+                actual: format!("{} rows", rows.len()),
+            });
+        }
+        let num_stages = rows[0].len();
+        for (index, row) in rows.iter().enumerate() {
+            if row.len() != num_stages {
+                return Err(DynamicError::ShapeMismatch {
+                    expected: format!("{num_stages} stages"),
+                    actual: format!("{} entries in row {index}", row.len()),
+                });
+            }
+            let layer = network
+                .layer(LayerId(index))
+                .expect("row count checked against the network");
+            if !layer.is_partitionable() {
+                continue;
+            }
+            if row.iter().any(|f| !f.is_finite() || *f < 0.0 || *f > 1.0) {
+                return Err(DynamicError::InvalidPartition {
+                    layer: index,
+                    reason: "fractions must be finite and in [0, 1]".to_string(),
+                });
+            }
+            let total: f64 = row.iter().sum();
+            if (total - 1.0).abs() > 1e-6 {
+                return Err(DynamicError::InvalidPartition {
+                    layer: index,
+                    reason: format!("fractions sum to {total}, expected 1"),
+                });
+            }
+        }
+        Ok(PartitionMatrix { num_stages, rows })
+    }
+
+    /// Number of inference stages `M`.
+    pub fn num_stages(&self) -> usize {
+        self.num_stages
+    }
+
+    /// Number of layer rows.
+    pub fn num_layers(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The split row of a layer (`None` when out of range).
+    pub fn row(&self, layer: LayerId) -> Option<&[f64]> {
+        self.rows.get(layer.0).map(Vec::as_slice)
+    }
+
+    /// Fraction of layer `layer`'s width assigned to `stage` (0 when out of
+    /// range).
+    pub fn fraction(&self, layer: LayerId, stage: usize) -> f64 {
+        self.rows
+            .get(layer.0)
+            .and_then(|row| row.get(stage))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Cumulative fraction of layer `layer`'s width owned by stages
+    /// `0..=stage`.
+    pub fn cumulative_fraction(&self, layer: LayerId, stage: usize) -> f64 {
+        self.rows
+            .get(layer.0)
+            .map(|row| row.iter().take(stage + 1).sum::<f64>().min(1.0))
+            .unwrap_or(0.0)
+    }
+
+    /// Replaces the row of one layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the layer index is out of range, the row has
+    /// the wrong number of stages, or is not a valid split.
+    pub fn set_row(&mut self, layer: LayerId, row: Vec<f64>) -> Result<(), DynamicError> {
+        if layer.0 >= self.rows.len() {
+            return Err(DynamicError::ShapeMismatch {
+                expected: format!("layer index < {}", self.rows.len()),
+                actual: format!("layer index {}", layer.0),
+            });
+        }
+        if row.len() != self.num_stages {
+            return Err(DynamicError::ShapeMismatch {
+                expected: format!("{} stages", self.num_stages),
+                actual: format!("{} entries", row.len()),
+            });
+        }
+        let total: f64 = row.iter().sum();
+        if row.iter().any(|f| !f.is_finite() || *f < 0.0) || (total - 1.0).abs() > 1e-6 {
+            return Err(DynamicError::InvalidPartition {
+                layer: layer.0,
+                reason: "row is not a valid split".to_string(),
+            });
+        }
+        self.rows[layer.0] = row;
+        Ok(())
+    }
+
+    /// Quantises a vector of non-negative weights into a valid split whose
+    /// entries are multiples of [`RATIO_QUANTUM`] (largest-remainder
+    /// rounding). Useful for decoding genomes into partition rows.
+    pub fn quantize_split(weights: &[f64]) -> Vec<f64> {
+        let stages = weights.len().max(1);
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        let normalized: Vec<f64> = if total <= 0.0 {
+            vec![1.0 / stages as f64; stages]
+        } else {
+            weights.iter().map(|w| w.max(0.0) / total).collect()
+        };
+        let slots = (1.0 / RATIO_QUANTUM).round() as i64;
+        let raw: Vec<f64> = normalized.iter().map(|f| f * slots as f64).collect();
+        let mut assigned: Vec<i64> = raw.iter().map(|r| r.floor() as i64).collect();
+        let mut remaining = slots - assigned.iter().sum::<i64>();
+        // Assign leftover slots to the entries with the largest remainders.
+        let mut order: Vec<usize> = (0..stages).collect();
+        order.sort_by(|&a, &b| {
+            (raw[b] - raw[b].floor())
+                .partial_cmp(&(raw[a] - raw[a].floor()))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut cursor = 0usize;
+        while remaining > 0 {
+            assigned[order[cursor % stages]] += 1;
+            remaining -= 1;
+            cursor += 1;
+        }
+        assigned
+            .into_iter()
+            .map(|a| a as f64 * RATIO_QUANTUM)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_nn::models::{tiny_cnn, ModelPreset};
+    use proptest::prelude::*;
+
+    fn net() -> Network {
+        tiny_cnn(ModelPreset::cifar10())
+    }
+
+    #[test]
+    fn uniform_split_sums_to_one() {
+        let net = net();
+        let p = PartitionMatrix::uniform(&net, 3).unwrap();
+        assert_eq!(p.num_stages(), 3);
+        assert_eq!(p.num_layers(), net.num_layers());
+        for layer in net.partitionable_layers() {
+            let row = p.row(layer).unwrap();
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stage_fractions_are_applied_to_every_layer() {
+        let net = net();
+        let p = PartitionMatrix::from_stage_fractions(&net, &[0.5, 0.25, 0.25]).unwrap();
+        assert_eq!(p.fraction(LayerId(0), 0), 0.5);
+        assert_eq!(p.fraction(LayerId(0), 2), 0.25);
+        assert!((p.cumulative_fraction(LayerId(0), 1) - 0.75).abs() < 1e-9);
+        assert_eq!(p.cumulative_fraction(LayerId(0), 2), 1.0);
+    }
+
+    #[test]
+    fn invalid_splits_are_rejected() {
+        let net = net();
+        assert!(PartitionMatrix::from_stage_fractions(&net, &[]).is_err());
+        assert!(PartitionMatrix::from_stage_fractions(&net, &[0.5, 0.2]).is_err());
+        assert!(PartitionMatrix::from_stage_fractions(&net, &[1.2, -0.2]).is_err());
+    }
+
+    #[test]
+    fn row_count_must_match_network() {
+        let net = net();
+        let rows = vec![vec![1.0]; net.num_layers() - 1];
+        assert!(PartitionMatrix::from_rows(&net, rows).is_err());
+        let ragged: Vec<Vec<f64>> = (0..net.num_layers())
+            .map(|i| if i == 2 { vec![0.5, 0.5, 0.0, 0.0] } else { vec![0.5, 0.5] })
+            .collect();
+        assert!(PartitionMatrix::from_rows(&net, ragged).is_err());
+    }
+
+    #[test]
+    fn non_partitionable_rows_are_not_validated_as_splits() {
+        let net = net();
+        // Layer 1 is a pooling layer: its row may be anything.
+        let mut rows = vec![vec![0.5, 0.5]; net.num_layers()];
+        rows[1] = vec![0.0, 0.0];
+        assert!(PartitionMatrix::from_rows(&net, rows).is_ok());
+    }
+
+    #[test]
+    fn set_row_validates() {
+        let net = net();
+        let mut p = PartitionMatrix::uniform(&net, 2).unwrap();
+        assert!(p.set_row(LayerId(0), vec![0.75, 0.25]).is_ok());
+        assert_eq!(p.fraction(LayerId(0), 0), 0.75);
+        assert!(p.set_row(LayerId(0), vec![0.75]).is_err());
+        assert!(p.set_row(LayerId(0), vec![0.75, 0.75]).is_err());
+        assert!(p.set_row(LayerId(99), vec![0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_queries_return_zero() {
+        let net = net();
+        let p = PartitionMatrix::uniform(&net, 2).unwrap();
+        assert_eq!(p.fraction(LayerId(99), 0), 0.0);
+        assert_eq!(p.fraction(LayerId(0), 99), 0.0);
+        assert!(p.row(LayerId(99)).is_none());
+    }
+
+    #[test]
+    fn quantize_split_produces_quantised_valid_split() {
+        let split = PartitionMatrix::quantize_split(&[3.0, 1.0, 1.0]);
+        assert_eq!(split.len(), 3);
+        assert!((split.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for f in &split {
+            let slots = f / RATIO_QUANTUM;
+            assert!((slots - slots.round()).abs() < 1e-9);
+        }
+        // Degenerate weights fall back to a uniform split.
+        let fallback = PartitionMatrix::quantize_split(&[0.0, 0.0]);
+        assert!((fallback[0] - 0.5).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantize_split_always_valid(weights in proptest::collection::vec(0.0f64..10.0, 1..6)) {
+            let split = PartitionMatrix::quantize_split(&weights);
+            prop_assert_eq!(split.len(), weights.len());
+            prop_assert!((split.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(split.iter().all(|f| *f >= -1e-12 && *f <= 1.0 + 1e-12));
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Static-to-dynamic transformation: building the per-stage layer slices.
+//!
+//! Given a network, a partitioning matrix `P` and an indicator matrix `I`,
+//! [`DynamicNetwork::transform`] produces the `M` inference stages of
+//! paper eq. 5/6. Every stage holds, for every layer, a *slice* describing
+//! the fraction of width units it computes (`out_frac`), the fraction of
+//! the previous layer's features it can see (`in_frac` — its own slice plus
+//! forwarded slices of earlier stages), the resulting workload and the
+//! bytes it must pull from each earlier stage through shared memory.
+
+use crate::error::DynamicError;
+use crate::indicator::IndicatorMatrix;
+use crate::partition::PartitionMatrix;
+use mnc_nn::{LayerId, LayerKind, Network, SliceCost};
+use serde::{Deserialize, Serialize};
+
+/// Bytes a layer slice must receive from one earlier stage before it can
+/// start (the `F^{j-1}_k · I^{j-1}_k` term feeding eq. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageTransfer {
+    /// The producing stage (always smaller than the consuming stage).
+    pub from_stage: usize,
+    /// Feature bytes to move through shared memory.
+    pub bytes: f64,
+}
+
+/// One layer's slice inside one stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSlice {
+    /// The layer this slice belongs to.
+    pub layer: LayerId,
+    /// Fraction of the layer's width units computed by this stage.
+    pub out_frac: f64,
+    /// Fraction of the previous layer's width visible to this stage.
+    pub in_frac: f64,
+    /// Workload of the slice.
+    pub cost: SliceCost,
+    /// Feature transfers required from earlier stages at this layer.
+    pub incoming: Vec<StageTransfer>,
+}
+
+impl LayerSlice {
+    /// Total bytes this slice needs from earlier stages.
+    pub fn incoming_bytes(&self) -> f64 {
+        self.incoming.iter().map(|t| t.bytes).sum()
+    }
+}
+
+/// One inference stage `S_i`: a sliced copy of every layer, ending in its
+/// own exit (the classifier slice).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Stage index (0 = the first stage to execute / earliest exit).
+    pub index: usize,
+    /// Per-layer slices, in network layer order.
+    pub slices: Vec<LayerSlice>,
+}
+
+impl Stage {
+    /// Total workload of the stage (sum of its slices).
+    pub fn total_cost(&self) -> SliceCost {
+        self.slices.iter().map(|s| s.cost).sum()
+    }
+
+    /// Total bytes the stage pulls from earlier stages.
+    pub fn total_incoming_bytes(&self) -> f64 {
+        self.slices.iter().map(LayerSlice::incoming_bytes).sum()
+    }
+}
+
+/// A network transformed into `M` concurrent multi-exit stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicNetwork {
+    network: Network,
+    partition: PartitionMatrix,
+    indicator: IndicatorMatrix,
+    stages: Vec<Stage>,
+    /// `own_fracs[layer][stage]` — width fraction each stage computes.
+    own_fracs: Vec<Vec<f64>>,
+    /// `visible_fracs[layer][stage]` — width fraction of the layer *output*
+    /// visible to each stage once forwarding is taken into account.
+    visible_fracs: Vec<Vec<f64>>,
+    stored_feature_bytes: f64,
+}
+
+impl DynamicNetwork {
+    /// Transforms `network` into a dynamic multi-exit network.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the partition/indicator matrices do not match
+    /// the network or each other, or when a slice cost cannot be computed.
+    pub fn transform(
+        network: &Network,
+        partition: &PartitionMatrix,
+        indicator: &IndicatorMatrix,
+    ) -> Result<Self, DynamicError> {
+        let num_stages = partition.num_stages();
+        if num_stages == 0 {
+            return Err(DynamicError::InvalidStageCount { stages: 0 });
+        }
+        if indicator.num_stages() != num_stages {
+            return Err(DynamicError::ShapeMismatch {
+                expected: format!("{num_stages} stages in indicator"),
+                actual: format!("{}", indicator.num_stages()),
+            });
+        }
+        if partition.num_layers() != network.num_layers()
+            || indicator.num_layers() != network.num_layers()
+        {
+            return Err(DynamicError::ShapeMismatch {
+                expected: format!("{} layers", network.num_layers()),
+                actual: format!(
+                    "partition {} / indicator {} layers",
+                    partition.num_layers(),
+                    indicator.num_layers()
+                ),
+            });
+        }
+
+        let num_layers = network.num_layers();
+        let mut own_fracs = vec![vec![0.0; num_stages]; num_layers];
+        let mut visible_fracs = vec![vec![0.0; num_stages]; num_layers];
+        let mut stages: Vec<Stage> = (0..num_stages)
+            .map(|index| Stage {
+                index,
+                slices: Vec::with_capacity(num_layers),
+            })
+            .collect();
+
+        // Per stage: the width fraction of the previous layer's output this
+        // stage computed itself (starts at 1.0: the input image is fully
+        // visible to every stage from shared memory).
+        let mut prev_own: Vec<f64> = vec![1.0; num_stages];
+        let default_frac = 1.0 / num_stages as f64;
+
+        for (layer_id, layer) in network.iter() {
+            let input_shape = network.input_shape_of(layer_id)?;
+            let prev_layer = layer_id.0.checked_sub(1).map(LayerId);
+
+            for stage in 0..num_stages {
+                // Visibility of the previous layer's output: the stage's own
+                // slice plus every forwarded slice of earlier stages.
+                let in_frac = if let Some(prev) = prev_layer {
+                    let mut visible = prev_own[stage];
+                    for earlier in 0..stage {
+                        if indicator.is_forwarded(prev, earlier) {
+                            visible += prev_own[earlier];
+                        }
+                    }
+                    visible.min(1.0)
+                } else {
+                    1.0
+                };
+
+                let out_frac = match layer.kind {
+                    _ if layer.is_partitionable() => partition.fraction(layer_id, stage),
+                    LayerKind::Pool { .. } => prev_own[stage],
+                    LayerKind::GlobalPool => in_frac,
+                    LayerKind::Classifier { .. } => 1.0,
+                    // Unreachable today: every non-partitionable kind is
+                    // listed above, but stay conservative for new kinds.
+                    _ => default_frac,
+                };
+                let out_frac = out_frac.clamp(0.0, 1.0);
+
+                let cost = layer.slice_cost(&input_shape, out_frac, in_frac)?;
+
+                let mut incoming = Vec::new();
+                if let Some(prev) = prev_layer {
+                    let prev_output_bytes = network.output_shape_of(prev)?.num_bytes() as f64;
+                    for earlier in 0..stage {
+                        if indicator.is_forwarded(prev, earlier) && prev_own[earlier] > 0.0 {
+                            incoming.push(StageTransfer {
+                                from_stage: earlier,
+                                bytes: prev_output_bytes * prev_own[earlier],
+                            });
+                        }
+                    }
+                }
+
+                own_fracs[layer_id.0][stage] = out_frac;
+                visible_fracs[layer_id.0][stage] = {
+                    // Visibility of *this* layer's output for downstream
+                    // consumers and for the accuracy model: own slice plus
+                    // forwarded earlier slices at this layer.
+                    let mut visible = out_frac;
+                    for earlier in 0..stage {
+                        if indicator.is_forwarded(layer_id, earlier) {
+                            visible += own_fracs[layer_id.0][earlier];
+                        }
+                    }
+                    visible.min(1.0)
+                };
+                stages[stage].slices.push(LayerSlice {
+                    layer: layer_id,
+                    out_frac,
+                    in_frac,
+                    cost,
+                    incoming,
+                });
+            }
+
+            for stage in 0..num_stages {
+                prev_own[stage] = own_fracs[layer_id.0][stage];
+            }
+        }
+
+        // Features that must stay resident in shared memory: every forwarded
+        // slice of every non-final stage (paper constraint size(F, I) < M).
+        let mut stored_feature_bytes = 0.0;
+        for (layer_id, _) in network.iter() {
+            let bytes = network.output_shape_of(layer_id)?.num_bytes() as f64;
+            for stage in 0..num_stages.saturating_sub(1) {
+                if indicator.is_forwarded(layer_id, stage) {
+                    stored_feature_bytes += bytes * own_fracs[layer_id.0][stage];
+                }
+            }
+        }
+
+        Ok(DynamicNetwork {
+            network: network.clone(),
+            partition: partition.clone(),
+            indicator: indicator.clone(),
+            stages,
+            own_fracs,
+            visible_fracs,
+            stored_feature_bytes,
+        })
+    }
+
+    /// The original (static) network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The partitioning matrix used for the transformation.
+    pub fn partition(&self) -> &PartitionMatrix {
+        &self.partition
+    }
+
+    /// The indicator matrix used for the transformation.
+    pub fn indicator(&self) -> &IndicatorMatrix {
+        &self.indicator
+    }
+
+    /// Number of inference stages `M`.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// All stages, in execution-priority order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// One stage by index.
+    pub fn stage(&self, index: usize) -> Option<&Stage> {
+        self.stages.get(index)
+    }
+
+    /// Width fraction of `layer` computed by `stage` (0 when out of range).
+    pub fn own_fraction(&self, layer: LayerId, stage: usize) -> f64 {
+        self.own_fracs
+            .get(layer.0)
+            .and_then(|row| row.get(stage))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Width fraction of `layer`'s output visible to `stage` after
+    /// feature-map forwarding (0 when out of range).
+    pub fn visible_fraction(&self, layer: LayerId, stage: usize) -> f64 {
+        self.visible_fracs
+            .get(layer.0)
+            .and_then(|row| row.get(stage))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Bytes of forwarded intermediate features that must remain resident
+    /// in shared memory for the duration of an inference.
+    pub fn stored_feature_bytes(&self) -> f64 {
+        self.stored_feature_bytes
+    }
+
+    /// Fraction of forwardable feature maps that are actually forwarded
+    /// (the paper's "Fmap reuse" percentage).
+    pub fn fmap_reuse_ratio(&self) -> f64 {
+        self.indicator.reuse_ratio()
+    }
+
+    /// Total bytes moved between stages over one full (all-stages)
+    /// inference.
+    pub fn total_transfer_bytes(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(Stage::total_incoming_bytes)
+            .sum()
+    }
+
+    /// Sum of the workloads of stages `0..=stage` — the work performed when
+    /// an input exits at `stage`.
+    pub fn cumulative_cost(&self, stage: usize) -> SliceCost {
+        self.stages
+            .iter()
+            .take(stage + 1)
+            .map(Stage::total_cost)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_nn::models::{tiny_cnn, vgg19, visformer_tiny, ModelPreset};
+    use proptest::prelude::*;
+
+    fn three_stage(net: &Network) -> DynamicNetwork {
+        let partition = PartitionMatrix::from_stage_fractions(net, &[0.5, 0.25, 0.25]).unwrap();
+        let indicator = IndicatorMatrix::full(net, 3);
+        DynamicNetwork::transform(net, &partition, &indicator).unwrap()
+    }
+
+    #[test]
+    fn stages_cover_every_layer() {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let dynamic = three_stage(&net);
+        assert_eq!(dynamic.num_stages(), 3);
+        for stage in dynamic.stages() {
+            assert_eq!(stage.slices.len(), net.num_layers());
+        }
+        assert!(dynamic.stage(0).is_some());
+        assert!(dynamic.stage(3).is_none());
+    }
+
+    #[test]
+    fn slice_workloads_sum_close_to_static_network_with_full_reuse() {
+        // With full forwarding and a 3-way split, the summed MACs across
+        // stages exceed a single static pass only modestly (input channels
+        // are shared, output channels are disjoint).
+        let net = tiny_cnn(ModelPreset::cifar10());
+        let dynamic = three_stage(&net);
+        let static_macs = net.total_cost().macs;
+        let dynamic_macs: f64 = dynamic
+            .stages()
+            .iter()
+            .map(|s| s.total_cost().macs)
+            .sum();
+        assert!(dynamic_macs >= static_macs * 0.6);
+        assert!(dynamic_macs <= static_macs * 2.5);
+    }
+
+    #[test]
+    fn first_stage_has_no_incoming_transfers() {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let dynamic = three_stage(&net);
+        assert_eq!(dynamic.stage(0).unwrap().total_incoming_bytes(), 0.0);
+        // Later stages with full forwarding do receive features.
+        assert!(dynamic.stage(1).unwrap().total_incoming_bytes() > 0.0);
+        assert!(dynamic.stage(2).unwrap().total_incoming_bytes() > 0.0);
+    }
+
+    #[test]
+    fn no_forwarding_means_no_transfers_and_no_stored_features() {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let partition = PartitionMatrix::uniform(&net, 3).unwrap();
+        let indicator = IndicatorMatrix::none(&net, 3);
+        let dynamic = DynamicNetwork::transform(&net, &partition, &indicator).unwrap();
+        assert_eq!(dynamic.total_transfer_bytes(), 0.0);
+        assert_eq!(dynamic.stored_feature_bytes(), 0.0);
+        assert_eq!(dynamic.fmap_reuse_ratio(), 0.0);
+    }
+
+    #[test]
+    fn full_forwarding_makes_later_stages_see_everything() {
+        let net = tiny_cnn(ModelPreset::cifar10());
+        let dynamic = three_stage(&net);
+        let last_conv = LayerId(2);
+        // Stage 2 sees its own slice plus both forwarded slices = 1.0.
+        assert!((dynamic.visible_fraction(last_conv, 2) - 1.0).abs() < 1e-9);
+        // Stage 0 only sees its own slice.
+        assert!((dynamic.visible_fraction(last_conv, 0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classifier_slices_emit_all_logits() {
+        let net = tiny_cnn(ModelPreset::cifar100());
+        let dynamic = three_stage(&net);
+        let classifier_id = net.classifier().unwrap().0;
+        for stage in dynamic.stages() {
+            let slice = &stage.slices[classifier_id.0];
+            assert_eq!(slice.out_frac, 1.0);
+        }
+    }
+
+    #[test]
+    fn mismatched_matrices_are_rejected() {
+        let net = tiny_cnn(ModelPreset::cifar10());
+        let other = visformer_tiny(ModelPreset::cifar100());
+        let partition = PartitionMatrix::uniform(&net, 3).unwrap();
+        let indicator_two = IndicatorMatrix::full(&net, 2);
+        assert!(DynamicNetwork::transform(&net, &partition, &indicator_two).is_err());
+        let partition_other = PartitionMatrix::uniform(&other, 3).unwrap();
+        let indicator = IndicatorMatrix::full(&net, 3);
+        assert!(DynamicNetwork::transform(&net, &partition_other, &indicator).is_err());
+    }
+
+    #[test]
+    fn cumulative_cost_is_monotone_in_stage() {
+        let net = vgg19(ModelPreset::cifar100());
+        let dynamic = three_stage(&net);
+        let c0 = dynamic.cumulative_cost(0).macs;
+        let c1 = dynamic.cumulative_cost(1).macs;
+        let c2 = dynamic.cumulative_cost(2).macs;
+        assert!(c0 < c1 && c1 < c2);
+    }
+
+    #[test]
+    fn stored_features_scale_with_reuse() {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let partition = PartitionMatrix::uniform(&net, 3).unwrap();
+        let full = DynamicNetwork::transform(&net, &partition, &IndicatorMatrix::full(&net, 3))
+            .unwrap();
+        let mut half = IndicatorMatrix::full(&net, 3);
+        for layer in 0..net.num_layers() {
+            if layer % 2 == 0 {
+                half.set(LayerId(layer), 0, false).unwrap();
+                half.set(LayerId(layer), 1, false).unwrap();
+            }
+        }
+        let partial = DynamicNetwork::transform(&net, &partition, &half).unwrap();
+        assert!(partial.stored_feature_bytes() < full.stored_feature_bytes());
+        assert!(partial.fmap_reuse_ratio() < full.fmap_reuse_ratio());
+        assert!(partial.total_transfer_bytes() < full.total_transfer_bytes());
+    }
+
+    #[test]
+    fn single_stage_transform_matches_static_costs() {
+        let net = tiny_cnn(ModelPreset::cifar10());
+        let partition = PartitionMatrix::uniform(&net, 1).unwrap();
+        let indicator = IndicatorMatrix::full(&net, 1);
+        let dynamic = DynamicNetwork::transform(&net, &partition, &indicator).unwrap();
+        let static_cost = net.total_cost();
+        let stage_cost = dynamic.stage(0).unwrap().total_cost();
+        assert!((static_cost.macs - stage_cost.macs).abs() / static_cost.macs < 1e-9);
+        assert_eq!(dynamic.total_transfer_bytes(), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_fractions_and_costs_are_valid(split in 0usize..5) {
+            let net = tiny_cnn(ModelPreset::cifar10());
+            let fractions = match split {
+                0 => vec![1.0],
+                1 => vec![0.5, 0.5],
+                2 => vec![0.5, 0.25, 0.25],
+                3 => vec![0.25, 0.25, 0.25, 0.25],
+                _ => vec![0.625, 0.25, 0.125],
+            };
+            let stages = fractions.len();
+            let partition = PartitionMatrix::from_stage_fractions(&net, &fractions).unwrap();
+            let indicator = IndicatorMatrix::full(&net, stages);
+            let dynamic = DynamicNetwork::transform(&net, &partition, &indicator).unwrap();
+            for stage in dynamic.stages() {
+                for slice in &stage.slices {
+                    prop_assert!(slice.out_frac >= 0.0 && slice.out_frac <= 1.0 + 1e-9);
+                    prop_assert!(slice.in_frac >= 0.0 && slice.in_frac <= 1.0 + 1e-9);
+                    prop_assert!(slice.cost.is_valid());
+                }
+            }
+        }
+    }
+}

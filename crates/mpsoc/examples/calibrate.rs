@@ -1,0 +1,42 @@
+//! Calibration check for the AGX Xavier preset: prints the single-CU
+//! baseline latency/energy of Visformer and VGG-19 so the hardware
+//! constants can be compared against the paper's Table II baseline rows
+//! (GPU 15.01 ms / 197.35 mJ and DLA 53.71 ms / 69.22 mJ for Visformer;
+//! GPU 25.23 ms / 630.11 mJ and DLA 114.41 ms / 164.89 mJ for VGG-19).
+//!
+//! ```text
+//! cargo run -p mnc-mpsoc --example calibrate
+//! ```
+
+use mnc_mpsoc::{CuId, Platform};
+use mnc_nn::models::{vgg19, visformer, ModelPreset};
+
+fn main() -> Result<(), mnc_mpsoc::MpsocError> {
+    let platform = Platform::agx_xavier();
+    let workloads = [
+        ("visformer", visformer(ModelPreset::cifar100())),
+        ("vgg19", vgg19(ModelPreset::cifar100())),
+    ];
+    for (name, network) in workloads {
+        let cost = network.total_cost();
+        println!(
+            "{name}: {:.1} MMACs, {:.1} MFLOPs, {:.1} MB weights, {:.2} MB activations",
+            cost.macs / 1e6,
+            cost.flops / 1e6,
+            cost.weight_bytes / 1e6,
+            cost.output_bytes / 1e6
+        );
+        for cu in [CuId(0), CuId(1)] {
+            let unit = platform.compute_unit(cu)?;
+            let (latency_ms, energy_mj) = platform.single_cu_baseline(&network, cu)?;
+            println!(
+                "  {:<5} {:>8.2} ms  {:>8.2} mJ  ({:.2} W average)",
+                unit.name(),
+                latency_ms,
+                energy_mj,
+                energy_mj / latency_ms
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,485 @@
+//! Compute units: the processing elements of the MPSoC.
+//!
+//! A [`ComputeUnit`] combines a roofline throughput model (peak throughput
+//! and memory bandwidth, derated per [`WorkloadClass`]), a DVFS table and
+//! the affine power model of eq. 10. Its [`ComputeUnit::execute`] method is
+//! the single point through which the rest of the framework obtains the
+//! latency and energy of running a layer slice — the role TensorRT
+//! profiling plays in the paper.
+
+use crate::dvfs::{DvfsPoint, DvfsTable};
+use crate::error::MpsocError;
+use crate::power::PowerModel;
+use crate::workload::{WorkloadClass, WorkloadProfile};
+use mnc_nn::SliceCost;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a compute unit within a [`crate::Platform`] (its index in
+/// the platform's compute-unit list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CuId(pub usize);
+
+impl fmt::Display for CuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CU{}", self.0)
+    }
+}
+
+/// Broad class of a compute unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CuKind {
+    /// A general-purpose GPU: fast, power-hungry.
+    Gpu,
+    /// A fixed-function deep-learning accelerator: slower but frugal.
+    Dla,
+    /// A CPU cluster: slowest, moderate power.
+    Cpu,
+}
+
+impl CuKind {
+    /// Short lowercase tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CuKind::Gpu => "gpu",
+            CuKind::Dla => "dla",
+            CuKind::Cpu => "cpu",
+        }
+    }
+}
+
+impl fmt::Display for CuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Latency/energy outcome of executing one layer slice on a compute unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionSample {
+    /// End-to-end latency in milliseconds (max of compute and memory time
+    /// plus kernel-launch overhead).
+    pub latency_ms: f64,
+    /// Energy in millijoules over that latency.
+    pub energy_mj: f64,
+    /// Average power in watts while executing.
+    pub power_w: f64,
+    /// Compute-bound component of the latency.
+    pub compute_ms: f64,
+    /// Memory-bound component of the latency.
+    pub memory_ms: f64,
+}
+
+impl ExecutionSample {
+    /// A zero-cost sample (nothing executed).
+    pub fn zero() -> Self {
+        ExecutionSample {
+            latency_ms: 0.0,
+            energy_mj: 0.0,
+            power_w: 0.0,
+            compute_ms: 0.0,
+            memory_ms: 0.0,
+        }
+    }
+
+    /// Whether the sample was limited by memory bandwidth rather than
+    /// compute throughput.
+    pub fn is_memory_bound(&self) -> bool {
+        self.memory_ms > self.compute_ms
+    }
+}
+
+/// One processing element of the MPSoC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeUnit {
+    id: CuId,
+    name: String,
+    kind: CuKind,
+    peak_gflops: f64,
+    memory_bandwidth_gbps: f64,
+    launch_overhead_ms: f64,
+    /// Fraction of the memory bandwidth retained at the lowest DVFS point
+    /// (memory clocks scale less aggressively than compute clocks).
+    memory_scale_floor: f64,
+    dvfs: DvfsTable,
+    power: PowerModel,
+    profile: WorkloadProfile,
+}
+
+impl ComputeUnit {
+    /// Starts building a compute unit.
+    pub fn builder(id: CuId, name: impl Into<String>, kind: CuKind) -> ComputeUnitBuilder {
+        ComputeUnitBuilder::new(id, name, kind)
+    }
+
+    /// Identifier within the platform.
+    pub fn id(&self) -> CuId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. `"gpu"`, `"dla0"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Broad class of the unit.
+    pub fn kind(&self) -> CuKind {
+        self.kind
+    }
+
+    /// Peak throughput in GFLOP/s at maximum frequency.
+    pub fn peak_gflops(&self) -> f64 {
+        self.peak_gflops
+    }
+
+    /// Memory bandwidth in GB/s at maximum frequency.
+    pub fn memory_bandwidth_gbps(&self) -> f64 {
+        self.memory_bandwidth_gbps
+    }
+
+    /// Fixed per-layer launch/driver overhead in milliseconds.
+    pub fn launch_overhead_ms(&self) -> f64 {
+        self.launch_overhead_ms
+    }
+
+    /// The unit's DVFS table.
+    pub fn dvfs(&self) -> &DvfsTable {
+        &self.dvfs
+    }
+
+    /// The highest-frequency DVFS operating point.
+    pub fn max_dvfs(&self) -> DvfsPoint {
+        self.dvfs.max_point()
+    }
+
+    /// The unit's power model.
+    pub fn power(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The unit's per-workload efficiency/utilisation profile.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Latency and energy of executing `cost` (one layer slice) of the
+    /// given workload class at the DVFS point `dvfs`.
+    ///
+    /// The latency follows a roofline: the maximum of the compute time
+    /// (`FLOPs / (peak·efficiency·ϑ)`) and the memory time
+    /// (`bytes / (bandwidth·memory-scale)`), plus the launch overhead.
+    /// Energy is that latency times the busy power `α + β·ϑ·u`.
+    pub fn execute(
+        &self,
+        cost: &SliceCost,
+        class: WorkloadClass,
+        dvfs: DvfsPoint,
+    ) -> ExecutionSample {
+        if cost.flops <= 0.0 && cost.total_bytes() <= 0.0 {
+            return ExecutionSample::zero();
+        }
+        let efficiency = self.profile.efficiency(class);
+        let utilization = self.profile.utilization(class);
+        let scale = dvfs.scale.clamp(0.0, 1.0).max(1e-6);
+
+        let effective_gflops = self.peak_gflops * efficiency * scale;
+        let compute_ms = cost.flops / (effective_gflops * 1e9) * 1e3;
+
+        let memory_scale = self.memory_scale_floor + (1.0 - self.memory_scale_floor) * scale;
+        let effective_bandwidth = self.memory_bandwidth_gbps * memory_scale;
+        let memory_ms = cost.total_bytes() / (effective_bandwidth * 1e9) * 1e3;
+
+        let latency_ms = compute_ms.max(memory_ms) + self.launch_overhead_ms;
+        let power_w = self.power.busy_w(scale, utilization);
+        ExecutionSample {
+            latency_ms,
+            energy_mj: power_w * latency_ms,
+            power_w,
+            compute_ms,
+            memory_ms,
+        }
+    }
+
+    /// Idle power in watts (static component only).
+    pub fn idle_power_w(&self) -> f64 {
+        self.power.idle_w()
+    }
+}
+
+impl fmt::Display for ComputeUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {:.1} GFLOP/s, {:.1} GB/s, {} DVFS levels",
+            self.name,
+            self.kind,
+            self.peak_gflops,
+            self.memory_bandwidth_gbps,
+            self.dvfs.num_levels()
+        )
+    }
+}
+
+/// Builder for [`ComputeUnit`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct ComputeUnitBuilder {
+    id: CuId,
+    name: String,
+    kind: CuKind,
+    peak_gflops: f64,
+    memory_bandwidth_gbps: f64,
+    launch_overhead_ms: f64,
+    memory_scale_floor: f64,
+    dvfs: DvfsTable,
+    power: PowerModel,
+    profile: WorkloadProfile,
+}
+
+impl ComputeUnitBuilder {
+    fn new(id: CuId, name: impl Into<String>, kind: CuKind) -> Self {
+        ComputeUnitBuilder {
+            id,
+            name: name.into(),
+            kind,
+            peak_gflops: 1.0,
+            memory_bandwidth_gbps: 1.0,
+            launch_overhead_ms: 0.0,
+            memory_scale_floor: 0.5,
+            dvfs: DvfsTable::fixed(1000.0),
+            power: PowerModel::new(1.0, 1.0).expect("default power model is valid"),
+            profile: WorkloadProfile::uniform(),
+        }
+    }
+
+    /// Sets the peak throughput in GFLOP/s at maximum frequency.
+    #[must_use]
+    pub fn peak_gflops(mut self, value: f64) -> Self {
+        self.peak_gflops = value;
+        self
+    }
+
+    /// Sets the memory bandwidth in GB/s at maximum frequency.
+    #[must_use]
+    pub fn memory_bandwidth_gbps(mut self, value: f64) -> Self {
+        self.memory_bandwidth_gbps = value;
+        self
+    }
+
+    /// Sets the fixed per-layer launch overhead in milliseconds.
+    #[must_use]
+    pub fn launch_overhead_ms(mut self, value: f64) -> Self {
+        self.launch_overhead_ms = value;
+        self
+    }
+
+    /// Sets the fraction of memory bandwidth retained at the lowest DVFS
+    /// point (0.0–1.0).
+    #[must_use]
+    pub fn memory_scale_floor(mut self, value: f64) -> Self {
+        self.memory_scale_floor = value;
+        self
+    }
+
+    /// Sets the DVFS table.
+    #[must_use]
+    pub fn dvfs(mut self, table: DvfsTable) -> Self {
+        self.dvfs = table;
+        self
+    }
+
+    /// Sets the power model.
+    #[must_use]
+    pub fn power(mut self, model: PowerModel) -> Self {
+        self.power = model;
+        self
+    }
+
+    /// Sets the per-workload efficiency/utilisation profile.
+    #[must_use]
+    pub fn profile(mut self, profile: WorkloadProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Validates the parameters and builds the [`ComputeUnit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpsocError::InvalidParameter`] when throughput, bandwidth
+    /// or overheads are non-positive/negative or not finite.
+    pub fn build(self) -> Result<ComputeUnit, MpsocError> {
+        if !self.peak_gflops.is_finite() || self.peak_gflops <= 0.0 {
+            return Err(MpsocError::InvalidParameter {
+                what: format!("peak throughput {} GFLOP/s", self.peak_gflops),
+            });
+        }
+        if !self.memory_bandwidth_gbps.is_finite() || self.memory_bandwidth_gbps <= 0.0 {
+            return Err(MpsocError::InvalidParameter {
+                what: format!("memory bandwidth {} GB/s", self.memory_bandwidth_gbps),
+            });
+        }
+        if !self.launch_overhead_ms.is_finite() || self.launch_overhead_ms < 0.0 {
+            return Err(MpsocError::InvalidParameter {
+                what: format!("launch overhead {} ms", self.launch_overhead_ms),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.memory_scale_floor) {
+            return Err(MpsocError::InvalidParameter {
+                what: format!("memory scale floor {}", self.memory_scale_floor),
+            });
+        }
+        Ok(ComputeUnit {
+            id: self.id,
+            name: self.name,
+            kind: self.kind,
+            peak_gflops: self.peak_gflops,
+            memory_bandwidth_gbps: self.memory_bandwidth_gbps,
+            launch_overhead_ms: self.launch_overhead_ms,
+            memory_scale_floor: self.memory_scale_floor,
+            dvfs: self.dvfs,
+            power: self.power,
+            profile: self.profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn test_cu() -> ComputeUnit {
+        ComputeUnit::builder(CuId(0), "gpu", CuKind::Gpu)
+            .peak_gflops(100.0)
+            .memory_bandwidth_gbps(50.0)
+            .launch_overhead_ms(0.05)
+            .dvfs(DvfsTable::linear(200.0, 1000.0, 5).unwrap())
+            .power(PowerModel::new(2.0, 10.0).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn compute_heavy_cost() -> SliceCost {
+        SliceCost {
+            macs: 5e8,
+            flops: 1e9,
+            weight_bytes: 1e6,
+            input_bytes: 1e5,
+            output_bytes: 1e5,
+            ..Default::default()
+        }
+    }
+
+    fn memory_heavy_cost() -> SliceCost {
+        SliceCost {
+            macs: 1e5,
+            flops: 2e5,
+            weight_bytes: 5e8,
+            input_bytes: 1e8,
+            output_bytes: 1e8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn compute_bound_latency_matches_roofline() {
+        let cu = test_cu();
+        let sample = cu.execute(&compute_heavy_cost(), WorkloadClass::Convolution, cu.max_dvfs());
+        // 1e9 FLOPs at 100 GFLOP/s = 10 ms + 0.05 ms overhead.
+        assert!((sample.compute_ms - 10.0).abs() < 1e-9);
+        assert!((sample.latency_ms - 10.05).abs() < 1e-9);
+        assert!(!sample.is_memory_bound());
+    }
+
+    #[test]
+    fn memory_bound_latency_uses_bandwidth() {
+        let cu = test_cu();
+        let sample = cu.execute(&memory_heavy_cost(), WorkloadClass::MemoryBound, cu.max_dvfs());
+        assert!(sample.is_memory_bound());
+        // 7e8 bytes at 50 GB/s = 14 ms.
+        assert!((sample.memory_ms - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_dvfs_is_slower_but_lower_power() {
+        let cu = test_cu();
+        let fast = cu.execute(&compute_heavy_cost(), WorkloadClass::Convolution, cu.max_dvfs());
+        let slow_point = cu.dvfs().point(0).unwrap();
+        let slow = cu.execute(&compute_heavy_cost(), WorkloadClass::Convolution, slow_point);
+        assert!(slow.latency_ms > fast.latency_ms);
+        assert!(slow.power_w < fast.power_w);
+    }
+
+    #[test]
+    fn zero_cost_executes_for_free() {
+        let cu = test_cu();
+        let sample = cu.execute(&SliceCost::zero(), WorkloadClass::Dense, cu.max_dvfs());
+        assert_eq!(sample, ExecutionSample::zero());
+    }
+
+    #[test]
+    fn energy_equals_power_times_latency() {
+        let cu = test_cu();
+        let s = cu.execute(&compute_heavy_cost(), WorkloadClass::Convolution, cu.max_dvfs());
+        assert!((s.energy_mj - s.power_w * s.latency_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_parameters() {
+        assert!(ComputeUnit::builder(CuId(0), "x", CuKind::Cpu)
+            .peak_gflops(0.0)
+            .build()
+            .is_err());
+        assert!(ComputeUnit::builder(CuId(0), "x", CuKind::Cpu)
+            .peak_gflops(10.0)
+            .memory_bandwidth_gbps(-1.0)
+            .build()
+            .is_err());
+        assert!(ComputeUnit::builder(CuId(0), "x", CuKind::Cpu)
+            .peak_gflops(10.0)
+            .launch_overhead_ms(-0.1)
+            .build()
+            .is_err());
+        assert!(ComputeUnit::builder(CuId(0), "x", CuKind::Cpu)
+            .peak_gflops(10.0)
+            .memory_scale_floor(1.5)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn display_mentions_name_and_kind() {
+        let cu = test_cu();
+        let s = cu.to_string();
+        assert!(s.contains("gpu"));
+        assert!(s.contains("GFLOP/s"));
+    }
+
+    #[test]
+    fn cu_kind_tags_are_distinct() {
+        assert_ne!(CuKind::Gpu.tag(), CuKind::Dla.tag());
+        assert_ne!(CuKind::Dla.tag(), CuKind::Cpu.tag());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_latency_monotone_in_flops(flops1 in 1e6f64..1e10, flops2 in 1e6f64..1e10) {
+            let cu = test_cu();
+            let mk = |flops: f64| SliceCost { flops, macs: flops / 2.0, ..Default::default() };
+            let (lo, hi) = if flops1 <= flops2 { (flops1, flops2) } else { (flops2, flops1) };
+            let a = cu.execute(&mk(lo), WorkloadClass::Convolution, cu.max_dvfs());
+            let b = cu.execute(&mk(hi), WorkloadClass::Convolution, cu.max_dvfs());
+            prop_assert!(a.latency_ms <= b.latency_ms + 1e-12);
+        }
+
+        #[test]
+        fn prop_latency_monotone_in_dvfs(level in 0usize..5) {
+            let cu = test_cu();
+            let cost = compute_heavy_cost();
+            let point = cu.dvfs().point(level).unwrap();
+            let slower = cu.execute(&cost, WorkloadClass::Convolution, point);
+            let fastest = cu.execute(&cost, WorkloadClass::Convolution, cu.max_dvfs());
+            prop_assert!(fastest.latency_ms <= slower.latency_ms + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Dynamic voltage and frequency scaling (DVFS) tables.
+//!
+//! Every compute unit exposes a discrete list of operating frequencies.
+//! The paper folds DVFS into the optimisation through the scaling factor
+//! `ϑ_m ∈ (0, 1]` — the selected frequency normalised by the maximum — that
+//! parameterises both the dynamic power (eq. 10) and the achievable
+//! throughput.
+
+use crate::error::MpsocError;
+use serde::{Deserialize, Serialize};
+
+/// One selectable DVFS operating point of a compute unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsPoint {
+    /// Index of the point inside its [`DvfsTable`].
+    pub level: usize,
+    /// Clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Scaling factor `ϑ` = frequency / max frequency, in `(0, 1]`.
+    pub scale: f64,
+}
+
+/// The ordered list of operating frequencies supported by a compute unit.
+///
+/// Frequencies are stored in increasing order; the last entry is the
+/// maximum frequency and has `scale == 1.0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsTable {
+    frequencies_mhz: Vec<f64>,
+}
+
+impl DvfsTable {
+    /// Creates a table from a list of frequencies (MHz). The list is sorted
+    /// and deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpsocError::InvalidParameter`] if the list is empty or
+    /// contains a non-positive or non-finite frequency.
+    pub fn new(mut frequencies_mhz: Vec<f64>) -> Result<Self, MpsocError> {
+        if frequencies_mhz.is_empty() {
+            return Err(MpsocError::InvalidParameter {
+                what: "dvfs table must contain at least one frequency".to_string(),
+            });
+        }
+        if frequencies_mhz.iter().any(|f| !f.is_finite() || *f <= 0.0) {
+            return Err(MpsocError::InvalidParameter {
+                what: "dvfs frequencies must be positive and finite".to_string(),
+            });
+        }
+        frequencies_mhz.sort_by(|a, b| a.partial_cmp(b).expect("finite frequencies"));
+        frequencies_mhz.dedup();
+        Ok(DvfsTable { frequencies_mhz })
+    }
+
+    /// A single-frequency table (no DVFS choice).
+    pub fn fixed(frequency_mhz: f64) -> Self {
+        DvfsTable::new(vec![frequency_mhz]).expect("single positive frequency is valid")
+    }
+
+    /// Evenly spaced table from `min_mhz` to `max_mhz` with `levels` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `levels` is zero or the bounds are not positive
+    /// and increasing.
+    pub fn linear(min_mhz: f64, max_mhz: f64, levels: usize) -> Result<Self, MpsocError> {
+        if levels == 0 {
+            return Err(MpsocError::InvalidParameter {
+                what: "dvfs table needs at least one level".to_string(),
+            });
+        }
+        if !(min_mhz > 0.0 && max_mhz >= min_mhz) {
+            return Err(MpsocError::InvalidParameter {
+                what: format!("invalid dvfs bounds {min_mhz}..{max_mhz}"),
+            });
+        }
+        if levels == 1 {
+            return Ok(DvfsTable::fixed(max_mhz));
+        }
+        let step = (max_mhz - min_mhz) / (levels - 1) as f64;
+        DvfsTable::new((0..levels).map(|i| min_mhz + step * i as f64).collect())
+    }
+
+    /// Number of selectable levels.
+    pub fn num_levels(&self) -> usize {
+        self.frequencies_mhz.len()
+    }
+
+    /// Maximum frequency in MHz.
+    pub fn max_frequency_mhz(&self) -> f64 {
+        *self
+            .frequencies_mhz
+            .last()
+            .expect("table is never empty by construction")
+    }
+
+    /// The operating point at `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpsocError::InvalidDvfsLevel`] if `level` is out of range.
+    pub fn point(&self, level: usize) -> Result<DvfsPoint, MpsocError> {
+        let frequency_mhz =
+            *self
+                .frequencies_mhz
+                .get(level)
+                .ok_or(MpsocError::InvalidDvfsLevel {
+                    level,
+                    available: self.frequencies_mhz.len(),
+                })?;
+        Ok(DvfsPoint {
+            level,
+            frequency_mhz,
+            scale: frequency_mhz / self.max_frequency_mhz(),
+        })
+    }
+
+    /// The highest-frequency operating point.
+    pub fn max_point(&self) -> DvfsPoint {
+        self.point(self.frequencies_mhz.len() - 1)
+            .expect("last level always exists")
+    }
+
+    /// The lowest-frequency operating point.
+    pub fn min_point(&self) -> DvfsPoint {
+        self.point(0).expect("first level always exists")
+    }
+
+    /// Iterator over all operating points, lowest frequency first.
+    pub fn iter(&self) -> impl Iterator<Item = DvfsPoint> + '_ {
+        (0..self.frequencies_mhz.len()).map(move |level| {
+            self.point(level)
+                .expect("levels produced by range are valid")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_sorts_and_dedups() {
+        let t = DvfsTable::new(vec![900.0, 300.0, 900.0, 600.0]).unwrap();
+        assert_eq!(t.num_levels(), 3);
+        assert_eq!(t.max_frequency_mhz(), 900.0);
+        assert_eq!(t.min_point().frequency_mhz, 300.0);
+    }
+
+    #[test]
+    fn scale_is_relative_to_max() {
+        let t = DvfsTable::new(vec![250.0, 500.0, 1000.0]).unwrap();
+        assert!((t.point(0).unwrap().scale - 0.25).abs() < 1e-12);
+        assert!((t.point(1).unwrap().scale - 0.5).abs() < 1e-12);
+        assert!((t.max_point().scale - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_invalid_tables_are_rejected() {
+        assert!(DvfsTable::new(vec![]).is_err());
+        assert!(DvfsTable::new(vec![0.0]).is_err());
+        assert!(DvfsTable::new(vec![-5.0, 100.0]).is_err());
+        assert!(DvfsTable::new(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn linear_table_has_requested_levels() {
+        let t = DvfsTable::linear(100.0, 1000.0, 10).unwrap();
+        assert_eq!(t.num_levels(), 10);
+        assert!((t.min_point().frequency_mhz - 100.0).abs() < 1e-9);
+        assert!((t.max_frequency_mhz() - 1000.0).abs() < 1e-9);
+        assert!(DvfsTable::linear(100.0, 1000.0, 0).is_err());
+        assert!(DvfsTable::linear(0.0, 1000.0, 5).is_err());
+        assert!(DvfsTable::linear(1000.0, 100.0, 5).is_err());
+    }
+
+    #[test]
+    fn out_of_range_level_is_an_error() {
+        let t = DvfsTable::fixed(1000.0);
+        assert!(t.point(0).is_ok());
+        assert_eq!(
+            t.point(3),
+            Err(MpsocError::InvalidDvfsLevel {
+                level: 3,
+                available: 1
+            })
+        );
+    }
+
+    #[test]
+    fn iter_visits_all_levels_in_order() {
+        let t = DvfsTable::linear(200.0, 800.0, 4).unwrap();
+        let freqs: Vec<f64> = t.iter().map(|p| p.frequency_mhz).collect();
+        assert_eq!(freqs.len(), 4);
+        assert!(freqs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_scales_are_in_unit_interval(freqs in proptest::collection::vec(1.0f64..3000.0, 1..20)) {
+            let t = DvfsTable::new(freqs).unwrap();
+            for p in t.iter() {
+                prop_assert!(p.scale > 0.0 && p.scale <= 1.0 + 1e-12);
+            }
+            prop_assert!((t.max_point().scale - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for the MPSoC hardware model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the MPSoC model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpsocError {
+    /// A compute-unit identifier does not exist on the platform.
+    UnknownComputeUnit {
+        /// The requested identifier.
+        index: usize,
+        /// Number of compute units on the platform.
+        available: usize,
+    },
+    /// A DVFS level index is out of range for a compute unit.
+    InvalidDvfsLevel {
+        /// The requested level.
+        level: usize,
+        /// Number of levels supported.
+        available: usize,
+    },
+    /// A stored feature allocation would exceed the shared-memory capacity.
+    OutOfSharedMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still free.
+        free: u64,
+    },
+    /// A hardware parameter is invalid (zero throughput, empty DVFS table, ...).
+    InvalidParameter {
+        /// Which parameter is invalid.
+        what: String,
+    },
+}
+
+impl fmt::Display for MpsocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpsocError::UnknownComputeUnit { index, available } => {
+                write!(f, "unknown compute unit {index}, platform has {available}")
+            }
+            MpsocError::InvalidDvfsLevel { level, available } => {
+                write!(f, "invalid dvfs level {level}, compute unit supports {available}")
+            }
+            MpsocError::OutOfSharedMemory { requested, free } => {
+                write!(f, "out of shared memory: requested {requested} bytes, {free} free")
+            }
+            MpsocError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for MpsocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MpsocError::UnknownComputeUnit {
+            index: 5,
+            available: 3,
+        };
+        assert!(e.to_string().contains('5'));
+        let e = MpsocError::OutOfSharedMemory {
+            requested: 100,
+            free: 10,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Error>() {}
+        assert_send_sync::<MpsocError>();
+    }
+}

@@ -1,0 +1,128 @@
+//! Inter-compute-unit data movement.
+//!
+//! When a stage mapped on one compute unit consumes feature maps produced
+//! by a stage on another unit, the data travels through the shared system
+//! memory. The transfer overhead `u_{k→i}` of eq. 8 is modelled as a fixed
+//! software/DMA latency plus a bandwidth-limited term, and an energy cost
+//! proportional to the bytes moved (DRAM access energy).
+
+use crate::error::MpsocError;
+use serde::{Deserialize, Serialize};
+
+/// Shared-memory interconnect between compute units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Sustained transfer bandwidth in GB/s.
+    bandwidth_gbps: f64,
+    /// Fixed per-transfer latency in milliseconds (driver + DMA setup).
+    base_latency_ms: f64,
+    /// Energy cost of moving one megabyte, in millijoules.
+    energy_per_mb_mj: f64,
+}
+
+impl Interconnect {
+    /// Creates an interconnect model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpsocError::InvalidParameter`] for non-positive bandwidth
+    /// or negative latency/energy parameters.
+    pub fn new(
+        bandwidth_gbps: f64,
+        base_latency_ms: f64,
+        energy_per_mb_mj: f64,
+    ) -> Result<Self, MpsocError> {
+        if !bandwidth_gbps.is_finite() || bandwidth_gbps <= 0.0 {
+            return Err(MpsocError::InvalidParameter {
+                what: format!("interconnect bandwidth {bandwidth_gbps} GB/s"),
+            });
+        }
+        if !base_latency_ms.is_finite() || base_latency_ms < 0.0 {
+            return Err(MpsocError::InvalidParameter {
+                what: format!("interconnect base latency {base_latency_ms} ms"),
+            });
+        }
+        if !energy_per_mb_mj.is_finite() || energy_per_mb_mj < 0.0 {
+            return Err(MpsocError::InvalidParameter {
+                what: format!("interconnect energy {energy_per_mb_mj} mJ/MB"),
+            });
+        }
+        Ok(Interconnect {
+            bandwidth_gbps,
+            base_latency_ms,
+            energy_per_mb_mj,
+        })
+    }
+
+    /// Sustained bandwidth in GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_gbps
+    }
+
+    /// Fixed per-transfer latency in milliseconds.
+    pub fn base_latency_ms(&self) -> f64 {
+        self.base_latency_ms
+    }
+
+    /// Energy per megabyte moved, in millijoules.
+    pub fn energy_per_mb_mj(&self) -> f64 {
+        self.energy_per_mb_mj
+    }
+
+    /// Latency in milliseconds of moving `bytes` between two compute units
+    /// (the `u_{k→i}` term of eq. 8). Zero bytes cost nothing.
+    pub fn transfer_ms(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        self.base_latency_ms + bytes / (self.bandwidth_gbps * 1e9) * 1e3
+    }
+
+    /// Energy in millijoules of moving `bytes` through shared memory.
+    pub fn transfer_energy_mj(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        self.energy_per_mb_mj * bytes / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn transfer_time_has_base_plus_bandwidth_term() {
+        let ic = Interconnect::new(10.0, 0.1, 0.2).unwrap();
+        // 10 MB at 10 GB/s = 1 ms, plus 0.1 ms base.
+        assert!((ic.transfer_ms(10e6) - 1.1).abs() < 1e-9);
+        assert_eq!(ic.transfer_ms(0.0), 0.0);
+        assert_eq!(ic.transfer_ms(-5.0), 0.0);
+    }
+
+    #[test]
+    fn transfer_energy_scales_with_megabytes() {
+        let ic = Interconnect::new(10.0, 0.1, 0.2).unwrap();
+        assert!((ic.transfer_energy_mj(5e6) - 1.0).abs() < 1e-9);
+        assert_eq!(ic.transfer_energy_mj(0.0), 0.0);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Interconnect::new(0.0, 0.1, 0.1).is_err());
+        assert!(Interconnect::new(10.0, -0.1, 0.1).is_err());
+        assert!(Interconnect::new(10.0, 0.1, -0.1).is_err());
+        assert!(Interconnect::new(f64::NAN, 0.1, 0.1).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_transfer_monotone_in_bytes(b1 in 0.0f64..1e9, b2 in 0.0f64..1e9) {
+            let ic = Interconnect::new(20.0, 0.05, 0.15).unwrap();
+            let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+            prop_assert!(ic.transfer_ms(lo) <= ic.transfer_ms(hi) + 1e-12);
+            prop_assert!(ic.transfer_energy_mj(lo) <= ic.transfer_energy_mj(hi) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Shared system memory model.
+//!
+//! All compute units of the MPSoC share the same DRAM. Intermediate
+//! feature maps that later stages may reuse (selected by the indicator
+//! matrix `I`) must be kept resident for the duration of the inference, and
+//! the paper bounds their total size by the shared-memory capacity
+//! (`size_Π(F, I) < M` in eq. 15). [`SharedMemory`] describes the capacity;
+//! [`MemoryBudget`] tracks allocations against it.
+
+use crate::error::MpsocError;
+use serde::{Deserialize, Serialize};
+
+/// Capacity description of the MPSoC's shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedMemory {
+    capacity_bytes: u64,
+}
+
+impl SharedMemory {
+    /// Creates a shared memory of the given capacity in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpsocError::InvalidParameter`] for a zero capacity.
+    pub fn new(capacity_bytes: u64) -> Result<Self, MpsocError> {
+        if capacity_bytes == 0 {
+            return Err(MpsocError::InvalidParameter {
+                what: "shared memory capacity of zero bytes".to_string(),
+            });
+        }
+        Ok(SharedMemory { capacity_bytes })
+    }
+
+    /// Convenience constructor from mebibytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a zero capacity.
+    pub fn from_mib(mib: u64) -> Result<Self, MpsocError> {
+        SharedMemory::new(mib * 1024 * 1024)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Starts a fresh allocation budget against this memory, optionally
+    /// reserving a fraction for the OS / weights (0.0 reserves nothing).
+    pub fn budget(&self, reserved_fraction: f64) -> MemoryBudget {
+        let reserved_fraction = reserved_fraction.clamp(0.0, 1.0);
+        let reserved = (self.capacity_bytes as f64 * reserved_fraction) as u64;
+        MemoryBudget {
+            capacity: self.capacity_bytes.saturating_sub(reserved),
+            used: 0,
+        }
+    }
+}
+
+/// Tracks feature-map allocations against a fixed byte budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryBudget {
+    capacity: u64,
+    used: u64,
+}
+
+impl MemoryBudget {
+    /// Creates a budget with an explicit capacity in bytes.
+    pub fn with_capacity(capacity: u64) -> Self {
+        MemoryBudget { capacity, used: 0 }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Fraction of the capacity in use, in `[0, 1]` (1.0 when full or when
+    /// the capacity is zero).
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            return 1.0;
+        }
+        (self.used as f64 / self.capacity as f64).min(1.0)
+    }
+
+    /// Attempts to allocate `bytes`; the budget is unchanged on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpsocError::OutOfSharedMemory`] when the allocation would
+    /// exceed the capacity.
+    pub fn allocate(&mut self, bytes: u64) -> Result<(), MpsocError> {
+        if bytes > self.free() {
+            return Err(MpsocError::OutOfSharedMemory {
+                requested: bytes,
+                free: self.free(),
+            });
+        }
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Whether `bytes` additional bytes would fit without allocating them.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.free()
+    }
+
+    /// Releases `bytes` (saturating at zero).
+    pub fn release(&mut self, bytes: u64) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Releases everything.
+    pub fn clear(&mut self) {
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shared_memory_rejects_zero_capacity() {
+        assert!(SharedMemory::new(0).is_err());
+        assert!(SharedMemory::from_mib(0).is_err());
+        assert_eq!(
+            SharedMemory::from_mib(16).unwrap().capacity_bytes(),
+            16 * 1024 * 1024
+        );
+    }
+
+    #[test]
+    fn budget_reserves_a_fraction() {
+        let mem = SharedMemory::new(1000).unwrap();
+        let budget = mem.budget(0.25);
+        assert_eq!(budget.capacity(), 750);
+        let full = mem.budget(0.0);
+        assert_eq!(full.capacity(), 1000);
+        // Out-of-range reservation is clamped.
+        assert_eq!(mem.budget(2.0).capacity(), 0);
+    }
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let mut budget = MemoryBudget::with_capacity(100);
+        assert!(budget.allocate(60).is_ok());
+        assert_eq!(budget.used(), 60);
+        assert_eq!(budget.free(), 40);
+        assert!(budget.fits(40));
+        assert!(!budget.fits(41));
+        assert!(budget.allocate(41).is_err());
+        // Failed allocation leaves the budget untouched.
+        assert_eq!(budget.used(), 60);
+        budget.release(10);
+        assert_eq!(budget.used(), 50);
+        budget.clear();
+        assert_eq!(budget.used(), 0);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut budget = MemoryBudget::with_capacity(10);
+        assert_eq!(budget.utilization(), 0.0);
+        budget.allocate(5).unwrap();
+        assert!((budget.utilization() - 0.5).abs() < 1e-12);
+        budget.allocate(5).unwrap();
+        assert_eq!(budget.utilization(), 1.0);
+        let empty = MemoryBudget::with_capacity(0);
+        assert_eq!(empty.utilization(), 1.0);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut budget = MemoryBudget::with_capacity(10);
+        budget.allocate(4).unwrap();
+        budget.release(100);
+        assert_eq!(budget.used(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_used_never_exceeds_capacity(allocs in proptest::collection::vec(0u64..200, 0..50)) {
+            let mut budget = MemoryBudget::with_capacity(1000);
+            for a in allocs {
+                let _ = budget.allocate(a);
+                prop_assert!(budget.used() <= budget.capacity());
+            }
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Whole-platform descriptions and the AGX Xavier preset.
+
+use crate::compute_unit::{ComputeUnit, CuId, CuKind};
+use crate::dvfs::DvfsTable;
+use crate::error::MpsocError;
+use crate::interconnect::Interconnect;
+use crate::memory::SharedMemory;
+use crate::power::PowerModel;
+use crate::workload::{WorkloadClass, WorkloadProfile};
+use mnc_nn::{Layer, SliceCost};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A heterogeneous MPSoC: a set of compute units sharing memory and an
+/// interconnect.
+///
+/// ```
+/// use mnc_mpsoc::Platform;
+///
+/// let platform = Platform::agx_xavier();
+/// assert_eq!(platform.num_compute_units(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    name: String,
+    compute_units: Vec<ComputeUnit>,
+    interconnect: Interconnect,
+    shared_memory: SharedMemory,
+}
+
+impl Platform {
+    /// Assembles a platform from parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpsocError::InvalidParameter`] when no compute unit is
+    /// provided or when compute-unit identifiers do not match their
+    /// position in the list.
+    pub fn new(
+        name: impl Into<String>,
+        compute_units: Vec<ComputeUnit>,
+        interconnect: Interconnect,
+        shared_memory: SharedMemory,
+    ) -> Result<Self, MpsocError> {
+        if compute_units.is_empty() {
+            return Err(MpsocError::InvalidParameter {
+                what: "platform needs at least one compute unit".to_string(),
+            });
+        }
+        for (index, cu) in compute_units.iter().enumerate() {
+            if cu.id() != CuId(index) {
+                return Err(MpsocError::InvalidParameter {
+                    what: format!(
+                        "compute unit at position {index} has id {}, expected {}",
+                        cu.id(),
+                        CuId(index)
+                    ),
+                });
+            }
+        }
+        Ok(Platform {
+            name: name.into(),
+            compute_units,
+            interconnect,
+            shared_memory,
+        })
+    }
+
+    /// Platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All compute units, indexed by [`CuId`].
+    pub fn compute_units(&self) -> &[ComputeUnit] {
+        &self.compute_units
+    }
+
+    /// Number of compute units (the `M` of the paper).
+    pub fn num_compute_units(&self) -> usize {
+        self.compute_units.len()
+    }
+
+    /// The compute unit with the given identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpsocError::UnknownComputeUnit`] for out-of-range ids.
+    pub fn compute_unit(&self, id: CuId) -> Result<&ComputeUnit, MpsocError> {
+        self.compute_units
+            .get(id.0)
+            .ok_or(MpsocError::UnknownComputeUnit {
+                index: id.0,
+                available: self.compute_units.len(),
+            })
+    }
+
+    /// The first compute unit of the given kind, if any.
+    pub fn first_of_kind(&self, kind: CuKind) -> Option<&ComputeUnit> {
+        self.compute_units.iter().find(|cu| cu.kind() == kind)
+    }
+
+    /// The interconnect between compute units.
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
+    }
+
+    /// The shared system memory.
+    pub fn shared_memory(&self) -> &SharedMemory {
+        &self.shared_memory
+    }
+
+    /// Total number of per-compute-unit DVFS combinations (the `|ϑ|` term
+    /// of the search-space size in paper §V-A).
+    pub fn dvfs_combinations(&self) -> usize {
+        self.compute_units
+            .iter()
+            .map(|cu| cu.dvfs().num_levels())
+            .product()
+    }
+
+    /// Latency and energy of running an entire network on a single compute
+    /// unit at its maximum frequency — the GPU-only / DLA-only baselines of
+    /// the paper's Table II. Returns `(latency_ms, energy_mj)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown compute unit or if the network's
+    /// shapes cannot be resolved (never for a validated [`mnc_nn::Network`]).
+    pub fn single_cu_baseline(
+        &self,
+        network: &mnc_nn::Network,
+        id: CuId,
+    ) -> Result<(f64, f64), MpsocError> {
+        let cu = self.compute_unit(id)?;
+        let mut latency_ms = 0.0;
+        let mut energy_mj = 0.0;
+        for (layer_id, layer) in network.iter() {
+            let input = network
+                .input_shape_of(layer_id)
+                .expect("validated network has shapes for every layer");
+            let cost = layer
+                .full_cost(&input)
+                .expect("validated network layers have computable costs");
+            let sample = cu.execute(&cost, WorkloadClass::from_layer(layer), cu.max_dvfs());
+            latency_ms += sample.latency_ms;
+            energy_mj += sample.energy_mj;
+        }
+        Ok((latency_ms, energy_mj))
+    }
+
+    /// Convenience wrapper: executes one layer slice on a compute unit at a
+    /// DVFS level, returning the execution sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown compute units or DVFS levels.
+    pub fn execute_slice(
+        &self,
+        id: CuId,
+        layer: &Layer,
+        cost: &SliceCost,
+        dvfs_level: usize,
+    ) -> Result<crate::compute_unit::ExecutionSample, MpsocError> {
+        let cu = self.compute_unit(id)?;
+        let point = cu.dvfs().point(dvfs_level)?;
+        Ok(cu.execute(cost, WorkloadClass::from_layer(layer), point))
+    }
+
+    /// The NVIDIA Jetson AGX Xavier preset used throughout the paper: one
+    /// Volta-class GPU and two DLAs sharing 16 GiB of LPDDR4x.
+    ///
+    /// The throughput, efficiency and power constants are calibrated so the
+    /// single-CU baselines of Table II (Visformer: GPU ≈ 15 ms / 197 mJ,
+    /// DLA ≈ 54 ms / 69 mJ; VGG-19: GPU ≈ 25 ms / 630 mJ, DLA ≈ 114 ms /
+    /// 165 mJ) are reproduced by [`Platform::single_cu_baseline`].
+    pub fn agx_xavier() -> Self {
+        Self::agx_xavier_parts(false)
+    }
+
+    /// AGX Xavier preset extended with the Carmel CPU cluster as a fourth
+    /// mappable compute unit (not used by the paper's experiments, provided
+    /// for what-if studies).
+    pub fn agx_xavier_with_cpu() -> Self {
+        Self::agx_xavier_parts(true)
+    }
+
+    fn agx_xavier_parts(with_cpu: bool) -> Self {
+        // GPU: fast on every class, power hungry. Efficiency factors are
+        // fractions of the effective batch-1 throughput; utilisation factors
+        // drive the dynamic power term.
+        let gpu = ComputeUnit::builder(CuId(0), "gpu", CuKind::Gpu)
+            .peak_gflops(62.0)
+            .memory_bandwidth_gbps(110.0)
+            .launch_overhead_ms(0.06)
+            .memory_scale_floor(0.55)
+            .dvfs(
+                DvfsTable::new(vec![
+                    318.75, 522.75, 675.75, 828.75, 905.25, 1032.75, 1122.0, 1236.75, 1300.5,
+                    1377.0,
+                ])
+                .expect("static frequency table is valid"),
+            )
+            .power(PowerModel::new(3.8, 23.5).expect("static power constants are valid"))
+            .profile(WorkloadProfile::new(
+                // conv, attention, mlp, dense, memory-bound
+                [0.58, 0.46, 0.52, 0.50, 0.30],
+                [0.92, 0.35, 0.42, 0.60, 0.25],
+            ))
+            .build()
+            .expect("AGX Xavier GPU preset is valid");
+
+        let dla = |index: usize, name: &str| {
+            ComputeUnit::builder(CuId(index), name, CuKind::Dla)
+                .peak_gflops(13.0)
+                .memory_bandwidth_gbps(24.0)
+                .launch_overhead_ms(0.18)
+                .memory_scale_floor(0.6)
+                .dvfs(
+                    DvfsTable::new(vec![
+                        115.2, 371.2, 563.2, 755.2, 947.2, 1062.4, 1203.2, 1331.2, 1395.2,
+                    ])
+                    .expect("static frequency table is valid"),
+                )
+                .power(PowerModel::new(0.62, 1.0).expect("static power constants are valid"))
+                .profile(WorkloadProfile::new(
+                    [0.62, 0.62, 0.66, 0.50, 0.35],
+                    [0.82, 0.65, 0.68, 0.70, 0.30],
+                ))
+                .build()
+                .expect("AGX Xavier DLA preset is valid")
+        };
+
+        let mut compute_units = vec![gpu, dla(1, "dla0"), dla(2, "dla1")];
+        if with_cpu {
+            let cpu = ComputeUnit::builder(CuId(3), "cpu", CuKind::Cpu)
+                .peak_gflops(2.4)
+                .memory_bandwidth_gbps(16.0)
+                .launch_overhead_ms(0.01)
+                .memory_scale_floor(0.5)
+                .dvfs(
+                    DvfsTable::linear(422.4, 2265.6, 8).expect("static frequency table is valid"),
+                )
+                .power(PowerModel::new(1.2, 4.6).expect("static power constants are valid"))
+                .profile(WorkloadProfile::new(
+                    [0.5, 0.45, 0.5, 0.55, 0.6],
+                    [0.85, 0.80, 0.80, 0.85, 0.5],
+                ))
+                .build()
+                .expect("AGX Xavier CPU preset is valid");
+            compute_units.push(cpu);
+        }
+
+        Platform::new(
+            if with_cpu {
+                "agx_xavier_with_cpu"
+            } else {
+                "agx_xavier"
+            },
+            compute_units,
+            Interconnect::new(18.0, 0.045, 0.12).expect("static interconnect preset is valid"),
+            SharedMemory::from_mib(16 * 1024).expect("static memory preset is valid"),
+        )
+        .expect("AGX Xavier preset is always consistent")
+    }
+
+    /// A deliberately small two-unit platform (one GPU-like, one DLA-like
+    /// unit with three DVFS levels each) for fast tests and doc examples.
+    pub fn dual_test() -> Self {
+        let fast = ComputeUnit::builder(CuId(0), "fast", CuKind::Gpu)
+            .peak_gflops(40.0)
+            .memory_bandwidth_gbps(60.0)
+            .launch_overhead_ms(0.05)
+            .dvfs(DvfsTable::linear(400.0, 1200.0, 3).expect("static table"))
+            .power(PowerModel::new(2.0, 12.0).expect("static power"))
+            .profile(WorkloadProfile::new(
+                [0.6, 0.4, 0.5, 0.5, 0.3],
+                [0.9, 0.5, 0.6, 0.6, 0.3],
+            ))
+            .build()
+            .expect("test preset is valid");
+        let frugal = ComputeUnit::builder(CuId(1), "frugal", CuKind::Dla)
+            .peak_gflops(10.0)
+            .memory_bandwidth_gbps(20.0)
+            .launch_overhead_ms(0.1)
+            .dvfs(DvfsTable::linear(300.0, 900.0, 3).expect("static table"))
+            .power(PowerModel::new(0.5, 1.0).expect("static power"))
+            .profile(WorkloadProfile::new(
+                [0.8, 0.35, 0.5, 0.55, 0.35],
+                [0.9, 0.55, 0.6, 0.65, 0.3],
+            ))
+            .build()
+            .expect("test preset is valid");
+        Platform::new(
+            "dual_test",
+            vec![fast, frugal],
+            Interconnect::new(10.0, 0.05, 0.1).expect("static interconnect"),
+            SharedMemory::from_mib(512).expect("static memory"),
+        )
+        .expect("test platform is always consistent")
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} compute units)", self.name, self.compute_units.len())?;
+        for cu in &self.compute_units {
+            writeln!(f, "  {cu}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_nn::models::{tiny_cnn, vgg19, visformer, ModelPreset};
+
+    #[test]
+    fn agx_xavier_has_gpu_and_two_dlas() {
+        let p = Platform::agx_xavier();
+        assert_eq!(p.num_compute_units(), 3);
+        assert_eq!(p.compute_unit(CuId(0)).unwrap().kind(), CuKind::Gpu);
+        assert_eq!(p.compute_unit(CuId(1)).unwrap().kind(), CuKind::Dla);
+        assert_eq!(p.compute_unit(CuId(2)).unwrap().kind(), CuKind::Dla);
+        assert!(p.compute_unit(CuId(3)).is_err());
+        assert!(p.first_of_kind(CuKind::Cpu).is_none());
+    }
+
+    #[test]
+    fn agx_xavier_with_cpu_has_four_units() {
+        let p = Platform::agx_xavier_with_cpu();
+        assert_eq!(p.num_compute_units(), 4);
+        assert!(p.first_of_kind(CuKind::Cpu).is_some());
+    }
+
+    #[test]
+    fn mismatched_cu_ids_are_rejected() {
+        let cu = ComputeUnit::builder(CuId(5), "x", CuKind::Cpu)
+            .peak_gflops(1.0)
+            .build()
+            .unwrap();
+        let err = Platform::new(
+            "bad",
+            vec![cu],
+            Interconnect::new(1.0, 0.0, 0.0).unwrap(),
+            SharedMemory::from_mib(1).unwrap(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_platform_is_rejected() {
+        assert!(Platform::new(
+            "empty",
+            vec![],
+            Interconnect::new(1.0, 0.0, 0.0).unwrap(),
+            SharedMemory::from_mib(1).unwrap(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn gpu_is_faster_but_hungrier_than_dla() {
+        let p = Platform::agx_xavier();
+        let net = visformer(ModelPreset::cifar100());
+        let (gpu_lat, gpu_energy) = p.single_cu_baseline(&net, CuId(0)).unwrap();
+        let (dla_lat, dla_energy) = p.single_cu_baseline(&net, CuId(1)).unwrap();
+        assert!(gpu_lat < dla_lat, "gpu {gpu_lat} ms vs dla {dla_lat} ms");
+        assert!(
+            gpu_energy > dla_energy,
+            "gpu {gpu_energy} mJ vs dla {dla_energy} mJ"
+        );
+    }
+
+    #[test]
+    fn visformer_baselines_match_paper_within_tolerance() {
+        // Table II baseline rows: GPU 15.01 ms / 197.35 mJ, DLA 53.71 ms / 69.22 mJ.
+        let p = Platform::agx_xavier();
+        let net = visformer(ModelPreset::cifar100());
+        let (gpu_lat, gpu_energy) = p.single_cu_baseline(&net, CuId(0)).unwrap();
+        let (dla_lat, dla_energy) = p.single_cu_baseline(&net, CuId(1)).unwrap();
+        let close = |measured: f64, paper: f64, tol: f64| {
+            (measured - paper).abs() / paper < tol
+        };
+        assert!(close(gpu_lat, 15.01, 0.25), "gpu latency {gpu_lat}");
+        assert!(close(gpu_energy, 197.35, 0.25), "gpu energy {gpu_energy}");
+        assert!(close(dla_lat, 53.71, 0.25), "dla latency {dla_lat}");
+        assert!(close(dla_energy, 69.22, 0.25), "dla energy {dla_energy}");
+    }
+
+    #[test]
+    fn vgg19_baselines_match_paper_within_tolerance() {
+        // Table II baseline rows: GPU 25.23 ms / 630.11 mJ, DLA 114.41 ms / 164.89 mJ.
+        let p = Platform::agx_xavier();
+        let net = vgg19(ModelPreset::cifar100());
+        let (gpu_lat, gpu_energy) = p.single_cu_baseline(&net, CuId(0)).unwrap();
+        let (dla_lat, dla_energy) = p.single_cu_baseline(&net, CuId(1)).unwrap();
+        let close = |measured: f64, paper: f64, tol: f64| {
+            (measured - paper).abs() / paper < tol
+        };
+        assert!(close(gpu_lat, 25.23, 0.30), "gpu latency {gpu_lat}");
+        assert!(close(gpu_energy, 630.11, 0.30), "gpu energy {gpu_energy}");
+        assert!(close(dla_lat, 114.41, 0.30), "dla latency {dla_lat}");
+        assert!(close(dla_energy, 164.89, 0.30), "dla energy {dla_energy}");
+    }
+
+    #[test]
+    fn execute_slice_checks_ids_and_levels() {
+        let p = Platform::dual_test();
+        let net = tiny_cnn(ModelPreset::cifar10());
+        let (id, layer) = net.iter().next().unwrap();
+        let cost = layer.full_cost(&net.input_shape_of(id).unwrap()).unwrap();
+        assert!(p.execute_slice(CuId(0), layer, &cost, 0).is_ok());
+        assert!(p.execute_slice(CuId(9), layer, &cost, 0).is_err());
+        assert!(p.execute_slice(CuId(0), layer, &cost, 99).is_err());
+    }
+
+    #[test]
+    fn dvfs_combinations_multiply_levels() {
+        let p = Platform::dual_test();
+        assert_eq!(p.dvfs_combinations(), 9);
+        let xavier = Platform::agx_xavier();
+        assert_eq!(xavier.dvfs_combinations(), 10 * 9 * 9);
+    }
+
+    #[test]
+    fn display_lists_compute_units() {
+        let text = Platform::agx_xavier().to_string();
+        assert!(text.contains("gpu"));
+        assert!(text.contains("dla0"));
+        assert!(text.contains("dla1"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Platform::dual_test();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Platform = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,137 @@
+//! Compute-unit power model.
+//!
+//! The paper characterises every compute unit `CU_m` with the affine model
+//! of eq. 10:
+//!
+//! ```text
+//! P_m = P_s_m + P_d_m(ϑ_m) ≈ α + β·ϑ_m
+//! ```
+//!
+//! where `α` is the static component, `β` the dynamic envelope and `ϑ_m`
+//! the DVFS scaling factor. On real silicon the dynamic draw also depends
+//! on how saturated the unit is, so the model here additionally accepts a
+//! per-workload utilisation factor (1.0 reproduces the paper's expression
+//! exactly).
+
+use crate::error::MpsocError;
+use serde::{Deserialize, Serialize};
+
+/// Affine power model `P = α + β·ϑ·u` of one compute unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Static power `α` in watts, drawn whenever the unit is powered.
+    static_w: f64,
+    /// Dynamic power envelope `β` in watts at maximum frequency and full
+    /// utilisation.
+    dynamic_w: f64,
+}
+
+impl PowerModel {
+    /// Creates a power model from the static (`α`) and dynamic (`β`)
+    /// components in watts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpsocError::InvalidParameter`] for negative or non-finite
+    /// values.
+    pub fn new(static_w: f64, dynamic_w: f64) -> Result<Self, MpsocError> {
+        if !static_w.is_finite() || static_w < 0.0 {
+            return Err(MpsocError::InvalidParameter {
+                what: format!("static power {static_w} W"),
+            });
+        }
+        if !dynamic_w.is_finite() || dynamic_w < 0.0 {
+            return Err(MpsocError::InvalidParameter {
+                what: format!("dynamic power {dynamic_w} W"),
+            });
+        }
+        Ok(PowerModel {
+            static_w,
+            dynamic_w,
+        })
+    }
+
+    /// Static component `α` in watts.
+    pub fn static_w(&self) -> f64 {
+        self.static_w
+    }
+
+    /// Dynamic envelope `β` in watts.
+    pub fn dynamic_w(&self) -> f64 {
+        self.dynamic_w
+    }
+
+    /// Power drawn while idling at any frequency (only the static
+    /// component).
+    pub fn idle_w(&self) -> f64 {
+        self.static_w
+    }
+
+    /// Power drawn while executing a workload with DVFS scale `ϑ` and
+    /// utilisation `u` (both clamped to `[0, 1]`): `α + β·ϑ·u`.
+    pub fn busy_w(&self, scale: f64, utilization: f64) -> f64 {
+        let scale = scale.clamp(0.0, 1.0);
+        let utilization = utilization.clamp(0.0, 1.0);
+        self.static_w + self.dynamic_w * scale * utilization
+    }
+
+    /// Energy in millijoules of running for `latency_ms` milliseconds at
+    /// the given DVFS scale and utilisation.
+    pub fn energy_mj(&self, latency_ms: f64, scale: f64, utilization: f64) -> f64 {
+        self.busy_w(scale, utilization) * latency_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn busy_power_matches_affine_model() {
+        let p = PowerModel::new(2.0, 10.0).unwrap();
+        assert_eq!(p.idle_w(), 2.0);
+        assert!((p.busy_w(1.0, 1.0) - 12.0).abs() < 1e-12);
+        assert!((p.busy_w(0.5, 1.0) - 7.0).abs() < 1e-12);
+        assert!((p.busy_w(0.5, 0.5) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let p = PowerModel::new(1.0, 9.0).unwrap();
+        // 10 W for 5 ms = 50 mJ.
+        assert!((p.energy_mj(5.0, 1.0, 1.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(PowerModel::new(-1.0, 5.0).is_err());
+        assert!(PowerModel::new(1.0, -5.0).is_err());
+        assert!(PowerModel::new(f64::NAN, 5.0).is_err());
+        assert!(PowerModel::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn out_of_range_scale_is_clamped() {
+        let p = PowerModel::new(1.0, 10.0).unwrap();
+        assert_eq!(p.busy_w(2.0, 1.0), p.busy_w(1.0, 1.0));
+        assert_eq!(p.busy_w(-1.0, 1.0), p.idle_w());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_power_monotone_in_scale(alpha in 0.0f64..10.0, beta in 0.0f64..50.0,
+                                        s1 in 0.0f64..1.0, s2 in 0.0f64..1.0) {
+            let p = PowerModel::new(alpha, beta).unwrap();
+            let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+            prop_assert!(p.busy_w(lo, 1.0) <= p.busy_w(hi, 1.0) + 1e-12);
+        }
+
+        #[test]
+        fn prop_busy_at_least_idle(alpha in 0.0f64..10.0, beta in 0.0f64..50.0,
+                                   s in 0.0f64..1.0, u in 0.0f64..1.0) {
+            let p = PowerModel::new(alpha, beta).unwrap();
+            prop_assert!(p.busy_w(s, u) >= p.idle_w() - 1e-12);
+        }
+    }
+}

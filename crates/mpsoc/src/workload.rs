@@ -1,0 +1,227 @@
+//! Workload classes: how compute units specialise per layer type.
+//!
+//! Heterogeneous accelerators do not execute all layer types equally well —
+//! the AGX Xavier DLA, for instance, is a convolution engine that handles
+//! attention-style batched matrix multiplications far less efficiently than
+//! the GPU, while pooling layers are memory-bound everywhere. The hardware
+//! model therefore maps every layer onto a coarse [`WorkloadClass`] for
+//! which each compute unit declares an efficiency and a utilisation factor.
+
+use mnc_nn::{Layer, LayerKind};
+use serde::{Deserialize, Serialize};
+
+/// Coarse class of computation a layer performs, used to index per-compute-
+/// unit efficiency/utilisation factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Dense 2-D convolutions (including strided patch embeddings).
+    Convolution,
+    /// Multi-head self-attention blocks.
+    Attention,
+    /// Transformer MLP / feed-forward blocks.
+    Mlp,
+    /// Fully-connected layers (classifier heads, VGG FC layers).
+    Dense,
+    /// Memory-bound reshuffling: pooling, global pooling.
+    MemoryBound,
+}
+
+impl WorkloadClass {
+    /// All workload classes, in a stable order.
+    pub const ALL: [WorkloadClass; 5] = [
+        WorkloadClass::Convolution,
+        WorkloadClass::Attention,
+        WorkloadClass::Mlp,
+        WorkloadClass::Dense,
+        WorkloadClass::MemoryBound,
+    ];
+
+    /// Classifies a layer.
+    pub fn from_layer(layer: &Layer) -> Self {
+        match layer.kind {
+            LayerKind::ConvBlock { .. } | LayerKind::PatchEmbed { .. } => {
+                WorkloadClass::Convolution
+            }
+            LayerKind::AttentionBlock { .. } => WorkloadClass::Attention,
+            LayerKind::MlpBlock { .. } => WorkloadClass::Mlp,
+            LayerKind::Dense { .. } | LayerKind::Classifier { .. } => WorkloadClass::Dense,
+            LayerKind::Pool { .. } | LayerKind::GlobalPool => WorkloadClass::MemoryBound,
+        }
+    }
+
+    /// Stable index of the class inside [`WorkloadClass::ALL`]; used by the
+    /// surrogate predictor's feature encoding.
+    pub fn index(&self) -> usize {
+        WorkloadClass::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("every class is listed in ALL")
+    }
+
+    /// Short lowercase tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            WorkloadClass::Convolution => "conv",
+            WorkloadClass::Attention => "attention",
+            WorkloadClass::Mlp => "mlp",
+            WorkloadClass::Dense => "dense",
+            WorkloadClass::MemoryBound => "memory",
+        }
+    }
+}
+
+/// Per-workload-class multipliers describing how well a compute unit runs
+/// each class of layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Fraction of the peak throughput achieved per class, in `(0, 1]`.
+    efficiency: [f64; 5],
+    /// Fraction of the dynamic power envelope drawn while running each
+    /// class, in `(0, 1]`.
+    utilization: [f64; 5],
+}
+
+impl WorkloadProfile {
+    /// Creates a profile from `(efficiency, utilization)` pairs indexed as
+    /// [`WorkloadClass::ALL`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any factor is outside `(0, 1]` or not finite.
+    pub fn new(efficiency: [f64; 5], utilization: [f64; 5]) -> Self {
+        for v in efficiency.iter().chain(utilization.iter()) {
+            assert!(
+                v.is_finite() && *v > 0.0 && *v <= 1.0,
+                "workload factors must be in (0, 1], got {v}"
+            );
+        }
+        WorkloadProfile {
+            efficiency,
+            utilization,
+        }
+    }
+
+    /// A neutral profile (every class runs at full efficiency and draws the
+    /// full dynamic power).
+    pub fn uniform() -> Self {
+        WorkloadProfile::new([1.0; 5], [1.0; 5])
+    }
+
+    /// Efficiency factor for a class.
+    pub fn efficiency(&self, class: WorkloadClass) -> f64 {
+        self.efficiency[class.index()]
+    }
+
+    /// Utilisation (dynamic-power) factor for a class.
+    pub fn utilization(&self, class: WorkloadClass) -> f64 {
+        self.utilization[class.index()]
+    }
+}
+
+impl Default for WorkloadProfile {
+    fn default() -> Self {
+        WorkloadProfile::uniform()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_nn::Layer;
+
+    #[test]
+    fn classification_covers_all_layer_kinds() {
+        let cases = [
+            (
+                LayerKind::ConvBlock {
+                    in_channels: 3,
+                    out_channels: 8,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+                WorkloadClass::Convolution,
+            ),
+            (
+                LayerKind::PatchEmbed {
+                    in_channels: 3,
+                    embed_dim: 96,
+                    patch: 4,
+                },
+                WorkloadClass::Convolution,
+            ),
+            (
+                LayerKind::AttentionBlock {
+                    embed_dim: 96,
+                    heads: 4,
+                },
+                WorkloadClass::Attention,
+            ),
+            (
+                LayerKind::MlpBlock {
+                    embed_dim: 96,
+                    hidden_dim: 384,
+                },
+                WorkloadClass::Mlp,
+            ),
+            (LayerKind::Pool { kernel: 2, stride: 2 }, WorkloadClass::MemoryBound),
+            (LayerKind::GlobalPool, WorkloadClass::MemoryBound),
+            (
+                LayerKind::Dense {
+                    in_features: 10,
+                    out_features: 10,
+                },
+                WorkloadClass::Dense,
+            ),
+            (
+                LayerKind::Classifier {
+                    in_features: 10,
+                    classes: 10,
+                },
+                WorkloadClass::Dense,
+            ),
+        ];
+        for (kind, expected) in cases {
+            assert_eq!(WorkloadClass::from_layer(&Layer::new("l", kind)), expected);
+        }
+    }
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, class) in WorkloadClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+
+    #[test]
+    fn tags_are_unique() {
+        let mut tags: Vec<&str> = WorkloadClass::ALL.iter().map(|c| c.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 5);
+    }
+
+    #[test]
+    fn profile_lookup_uses_class_index() {
+        let profile = WorkloadProfile::new([0.9, 0.4, 0.5, 0.6, 0.2], [0.8, 0.3, 0.4, 0.5, 0.1]);
+        assert_eq!(profile.efficiency(WorkloadClass::Convolution), 0.9);
+        assert_eq!(profile.efficiency(WorkloadClass::Attention), 0.4);
+        assert_eq!(profile.utilization(WorkloadClass::MemoryBound), 0.1);
+    }
+
+    #[test]
+    fn uniform_profile_is_all_ones() {
+        let p = WorkloadProfile::uniform();
+        for class in WorkloadClass::ALL {
+            assert_eq!(p.efficiency(class), 1.0);
+            assert_eq!(p.utilization(class), 1.0);
+        }
+        assert_eq!(WorkloadProfile::default(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "workload factors")]
+    fn zero_efficiency_panics() {
+        let _ = WorkloadProfile::new([0.0, 1.0, 1.0, 1.0, 1.0], [1.0; 5]);
+    }
+}

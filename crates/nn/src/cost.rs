@@ -1,0 +1,422 @@
+//! Analytic layer cost model.
+//!
+//! The MPSoC performance model and the surrogate predictor both consume the
+//! same per-layer workload description: multiply-accumulate count, total
+//! floating-point operations, weight bytes and activation bytes. Costs are
+//! available for the *full* layer and for a *width slice* of the layer,
+//! which is what a partitioned stage actually executes.
+//!
+//! A slice is characterised by two fractions:
+//!
+//! * `out_frac` — the fraction of the layer's width units computed by the
+//!   slice (the entry `p^j_i` of the partitioning matrix `P`),
+//! * `in_frac` — the fraction of the *input* width visible to the slice,
+//!   which depends on how much of the upstream feature maps the stage can
+//!   reuse (its own slice plus whatever the indicator matrix `I` forwards
+//!   from earlier stages).
+
+use crate::error::NetworkError;
+use crate::layer::{Layer, LayerKind};
+use crate::shape::FeatureShape;
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Bytes per scalar activation / weight (`f32` everywhere, matching the
+/// FP32/FP16 TensorRT engines the paper profiles; a constant factor that
+/// calibration absorbs).
+const BYTES_PER_SCALAR: f64 = 4.0;
+
+/// Workload of a layer slice.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SliceCost {
+    /// Multiply-accumulate operations.
+    pub macs: f64,
+    /// Total floating-point operations (≈ 2·MACs plus element-wise work).
+    pub flops: f64,
+    /// Bytes of weights the slice must read.
+    pub weight_bytes: f64,
+    /// Bytes of input activations the slice must read.
+    pub input_bytes: f64,
+    /// Bytes of output activations the slice produces.
+    pub output_bytes: f64,
+}
+
+impl SliceCost {
+    /// A zero-cost slice.
+    pub fn zero() -> Self {
+        SliceCost::default()
+    }
+
+    /// Total bytes moved (weights + input + output activations); the
+    /// memory-traffic term of the roofline latency model.
+    pub fn total_bytes(&self) -> f64 {
+        self.weight_bytes + self.input_bytes + self.output_bytes
+    }
+
+    /// Arithmetic intensity in FLOPs per byte moved. Returns 0 for an
+    /// empty slice.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.total_bytes();
+        if bytes <= 0.0 {
+            0.0
+        } else {
+            self.flops / bytes
+        }
+    }
+
+    /// Whether every component of the cost is finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        [
+            self.macs,
+            self.flops,
+            self.weight_bytes,
+            self.input_bytes,
+            self.output_bytes,
+        ]
+        .iter()
+        .all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+impl Add for SliceCost {
+    type Output = SliceCost;
+
+    fn add(self, rhs: SliceCost) -> SliceCost {
+        SliceCost {
+            macs: self.macs + rhs.macs,
+            flops: self.flops + rhs.flops,
+            weight_bytes: self.weight_bytes + rhs.weight_bytes,
+            input_bytes: self.input_bytes + rhs.input_bytes,
+            output_bytes: self.output_bytes + rhs.output_bytes,
+        }
+    }
+}
+
+impl AddAssign for SliceCost {
+    fn add_assign(&mut self, rhs: SliceCost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for SliceCost {
+    fn sum<I: Iterator<Item = SliceCost>>(iter: I) -> SliceCost {
+        iter.fold(SliceCost::zero(), Add::add)
+    }
+}
+
+fn check_fraction(value: f64, what: &'static str) -> Result<(), NetworkError> {
+    if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+        return Err(NetworkError::InvalidFraction { value, what });
+    }
+    Ok(())
+}
+
+impl Layer {
+    /// Cost of executing the full layer on the given input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input shape is incompatible with the layer.
+    pub fn full_cost(&self, input: &FeatureShape) -> Result<SliceCost, NetworkError> {
+        self.slice_cost(input, 1.0, 1.0)
+    }
+
+    /// Cost of executing a width slice of the layer.
+    ///
+    /// `out_frac` is the fraction of the layer's width units the slice
+    /// computes; `in_frac` is the fraction of input width units visible to
+    /// the slice. The layer's output shape must already be obtainable from
+    /// `input` via [`Layer::output_shape`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidFraction`] for fractions outside
+    /// `[0, 1]` and shape errors from [`Layer::output_shape`].
+    pub fn slice_cost(
+        &self,
+        input: &FeatureShape,
+        out_frac: f64,
+        in_frac: f64,
+    ) -> Result<SliceCost, NetworkError> {
+        check_fraction(out_frac, "output width")?;
+        check_fraction(in_frac, "input width")?;
+        let output = self.output_shape(input)?;
+        let out_positions = output.positions() as f64;
+        let in_bytes = input.num_bytes() as f64 * in_frac;
+
+        let cost = match self.kind {
+            LayerKind::ConvBlock {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => {
+                let in_c = in_channels as f64 * in_frac;
+                let out_c = out_channels as f64 * out_frac;
+                let k2 = (kernel * kernel) as f64;
+                let macs = out_c * in_c * k2 * out_positions;
+                let out_elems = out_c * out_positions;
+                SliceCost {
+                    macs,
+                    // 2 ops per MAC plus batch-norm (2 ops/elem) and activation (1 op/elem).
+                    flops: 2.0 * macs + 3.0 * out_elems,
+                    weight_bytes: (out_c * in_c * k2 + 2.0 * out_c) * BYTES_PER_SCALAR,
+                    input_bytes: in_bytes,
+                    output_bytes: out_elems * BYTES_PER_SCALAR,
+                }
+            }
+            LayerKind::PatchEmbed {
+                in_channels,
+                embed_dim,
+                patch,
+            } => {
+                let in_c = in_channels as f64 * in_frac;
+                let out_d = embed_dim as f64 * out_frac;
+                let k2 = (patch * patch) as f64;
+                let macs = out_d * in_c * k2 * out_positions;
+                let out_elems = out_d * out_positions;
+                SliceCost {
+                    macs,
+                    flops: 2.0 * macs + 2.0 * out_elems,
+                    weight_bytes: (out_d * in_c * k2 + out_d) * BYTES_PER_SCALAR,
+                    input_bytes: in_bytes,
+                    output_bytes: out_elems * BYTES_PER_SCALAR,
+                }
+            }
+            LayerKind::AttentionBlock { embed_dim, heads } => {
+                let tokens = output.positions() as f64;
+                let head_dim = (embed_dim / heads) as f64;
+                let heads_slice = (heads as f64 * out_frac).max(1.0).round();
+                let d_out = heads_slice * head_dim;
+                let d_in = embed_dim as f64 * in_frac;
+                // QKV projections, attention score + weighted sum, output projection.
+                let qkv = 3.0 * tokens * d_in * d_out;
+                let attn = 2.0 * heads_slice * tokens * tokens * head_dim;
+                let proj = tokens * d_out * d_out;
+                let macs = qkv + attn + proj;
+                let out_elems = tokens * d_out;
+                SliceCost {
+                    macs,
+                    // 2 ops/MAC plus softmax (~5 ops per score) and layer-norm/residual.
+                    flops: 2.0 * macs + 5.0 * heads_slice * tokens * tokens + 6.0 * out_elems,
+                    weight_bytes: (3.0 * d_in * d_out + d_out * d_out + 4.0 * d_out)
+                        * BYTES_PER_SCALAR,
+                    input_bytes: in_bytes,
+                    output_bytes: out_elems * BYTES_PER_SCALAR,
+                }
+            }
+            LayerKind::MlpBlock {
+                embed_dim,
+                hidden_dim,
+            } => {
+                let tokens = output.positions() as f64;
+                let d_in = embed_dim as f64 * in_frac;
+                let d_out = embed_dim as f64 * out_frac;
+                let hidden = hidden_dim as f64 * out_frac;
+                let macs = tokens * (d_in * hidden + hidden * d_out);
+                let out_elems = tokens * d_out;
+                SliceCost {
+                    macs,
+                    flops: 2.0 * macs + tokens * hidden + 6.0 * out_elems,
+                    weight_bytes: (d_in * hidden + hidden * d_out + hidden + d_out)
+                        * BYTES_PER_SCALAR,
+                    input_bytes: in_bytes,
+                    output_bytes: out_elems * BYTES_PER_SCALAR,
+                }
+            }
+            LayerKind::Pool { kernel, .. } => {
+                let out_elems = output.num_elements() as f64 * in_frac;
+                SliceCost {
+                    macs: 0.0,
+                    flops: out_elems * (kernel * kernel) as f64,
+                    weight_bytes: 0.0,
+                    input_bytes: in_bytes,
+                    output_bytes: out_elems * BYTES_PER_SCALAR,
+                }
+            }
+            LayerKind::GlobalPool => {
+                let out_elems = output.num_elements() as f64 * in_frac;
+                SliceCost {
+                    macs: 0.0,
+                    flops: input.num_elements() as f64 * in_frac,
+                    weight_bytes: 0.0,
+                    input_bytes: in_bytes,
+                    output_bytes: out_elems * BYTES_PER_SCALAR,
+                }
+            }
+            LayerKind::Dense {
+                in_features,
+                out_features,
+            } => {
+                let d_in = in_features as f64 * in_frac;
+                let d_out = out_features as f64 * out_frac;
+                let macs = d_in * d_out;
+                SliceCost {
+                    macs,
+                    flops: 2.0 * macs + d_out,
+                    weight_bytes: (d_in * d_out + d_out) * BYTES_PER_SCALAR,
+                    input_bytes: in_bytes,
+                    output_bytes: d_out * BYTES_PER_SCALAR,
+                }
+            }
+            LayerKind::Classifier {
+                in_features,
+                classes,
+            } => {
+                // Early exits always produce all class logits; only the
+                // input features are sliced.
+                let d_in = in_features as f64 * in_frac;
+                let d_out = classes as f64;
+                let macs = d_in * d_out;
+                SliceCost {
+                    macs,
+                    flops: 2.0 * macs + d_out,
+                    weight_bytes: (d_in * d_out + d_out) * BYTES_PER_SCALAR,
+                    input_bytes: in_bytes,
+                    output_bytes: d_out * BYTES_PER_SCALAR,
+                }
+            }
+        };
+        Ok(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn conv_layer() -> Layer {
+        Layer::new(
+            "conv",
+            LayerKind::ConvBlock {
+                in_channels: 64,
+                out_channels: 128,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+        )
+    }
+
+    fn attn_layer() -> Layer {
+        Layer::new(
+            "attn",
+            LayerKind::AttentionBlock {
+                embed_dim: 192,
+                heads: 6,
+            },
+        )
+    }
+
+    #[test]
+    fn conv_full_cost_matches_formula() {
+        let l = conv_layer();
+        let input = FeatureShape::spatial(64, 16, 16);
+        let c = l.full_cost(&input).unwrap();
+        let expected_macs = 128.0 * 64.0 * 9.0 * 16.0 * 16.0;
+        assert!((c.macs - expected_macs).abs() < 1e-6);
+        assert!(c.flops > 2.0 * expected_macs);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn conv_half_slice_quarter_macs() {
+        let l = conv_layer();
+        let input = FeatureShape::spatial(64, 16, 16);
+        let full = l.full_cost(&input).unwrap();
+        let half = l.slice_cost(&input, 0.5, 0.5).unwrap();
+        // Both input and output channel counts halve, so MACs drop ~4x.
+        assert!((half.macs * 4.0 - full.macs).abs() / full.macs < 0.01);
+    }
+
+    #[test]
+    fn attention_slice_scales_with_heads() {
+        let l = attn_layer();
+        let input = FeatureShape::tokens(64, 192);
+        let full = l.full_cost(&input).unwrap();
+        let third = l.slice_cost(&input, 1.0 / 3.0, 1.0).unwrap();
+        assert!(third.macs < full.macs);
+        assert!(third.macs > full.macs * 0.15);
+        assert!(third.output_bytes < full.output_bytes);
+    }
+
+    #[test]
+    fn classifier_keeps_all_logits() {
+        let l = Layer::new(
+            "head",
+            LayerKind::Classifier {
+                in_features: 512,
+                classes: 100,
+            },
+        );
+        let input = FeatureShape::vector(512);
+        let half = l.slice_cost(&input, 0.5, 0.5).unwrap();
+        assert!((half.output_bytes - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_has_no_weights() {
+        let l = Layer::new("pool", LayerKind::Pool { kernel: 2, stride: 2 });
+        let c = l.full_cost(&FeatureShape::spatial(64, 16, 16)).unwrap();
+        assert_eq!(c.weight_bytes, 0.0);
+        assert_eq!(c.macs, 0.0);
+        assert!(c.flops > 0.0);
+    }
+
+    #[test]
+    fn invalid_fraction_is_rejected() {
+        let l = conv_layer();
+        let input = FeatureShape::spatial(64, 16, 16);
+        assert!(l.slice_cost(&input, 1.5, 1.0).is_err());
+        assert!(l.slice_cost(&input, 0.5, -0.1).is_err());
+        assert!(l.slice_cost(&input, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn cost_addition_and_sum() {
+        let a = SliceCost {
+            macs: 1.0,
+            flops: 2.0,
+            weight_bytes: 3.0,
+            input_bytes: 4.0,
+            output_bytes: 5.0,
+        };
+        let total: SliceCost = vec![a, a, a].into_iter().sum();
+        assert_eq!(total.macs, 3.0);
+        assert_eq!(total.total_bytes(), 3.0 * (3.0 + 4.0 + 5.0));
+    }
+
+    #[test]
+    fn arithmetic_intensity_zero_for_empty() {
+        assert_eq!(SliceCost::zero().arithmetic_intensity(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cost_monotone_in_out_frac(frac_small in 0.1f64..0.9) {
+            let l = conv_layer();
+            let input = FeatureShape::spatial(64, 16, 16);
+            let small = l.slice_cost(&input, frac_small, 1.0).unwrap();
+            let big = l.slice_cost(&input, (frac_small + 0.1).min(1.0), 1.0).unwrap();
+            prop_assert!(small.macs <= big.macs + 1e-9);
+            prop_assert!(small.weight_bytes <= big.weight_bytes + 1e-9);
+            prop_assert!(small.output_bytes <= big.output_bytes + 1e-9);
+        }
+
+        #[test]
+        fn prop_slice_never_exceeds_full(out_frac in 0.05f64..1.0, in_frac in 0.05f64..1.0) {
+            for layer in [conv_layer(), attn_layer()] {
+                let input = match layer.kind {
+                    LayerKind::ConvBlock { .. } => FeatureShape::spatial(64, 16, 16),
+                    _ => FeatureShape::tokens(64, 192),
+                };
+                let full = layer.full_cost(&input).unwrap();
+                let slice = layer.slice_cost(&input, out_frac, in_frac).unwrap();
+                prop_assert!(slice.macs <= full.macs * 1.001 + 1.0);
+                prop_assert!(slice.is_valid());
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Error types for network construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a [`crate::Network`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// Two consecutive layers have incompatible shapes.
+    ShapeMismatch {
+        /// Index of the producing layer.
+        producer: usize,
+        /// Name of the producing layer.
+        producer_name: String,
+        /// Shape produced by the earlier layer.
+        produced: String,
+        /// Shape expected by the later layer.
+        expected: String,
+    },
+    /// A layer parameter is invalid (zero channels, zero kernel, ...).
+    InvalidLayer {
+        /// Name of the offending layer.
+        name: String,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The network has no layers.
+    EmptyNetwork,
+    /// A layer index is out of bounds.
+    LayerOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// Number of layers in the network.
+        len: usize,
+    },
+    /// A width fraction is outside the closed interval `[0, 1]`.
+    InvalidFraction {
+        /// The offending value.
+        value: f64,
+        /// Which quantity the fraction parameterises.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::ShapeMismatch {
+                producer,
+                producer_name,
+                produced,
+                expected,
+            } => write!(
+                f,
+                "shape mismatch after layer {producer} ({producer_name}): produced {produced}, next layer expects {expected}"
+            ),
+            NetworkError::InvalidLayer { name, reason } => {
+                write!(f, "invalid layer {name}: {reason}")
+            }
+            NetworkError::EmptyNetwork => write!(f, "network contains no layers"),
+            NetworkError::LayerOutOfBounds { index, len } => {
+                write!(f, "layer index {index} out of bounds for network of {len} layers")
+            }
+            NetworkError::InvalidFraction { value, what } => {
+                write!(f, "invalid {what} fraction {value}, expected value in [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            NetworkError::ShapeMismatch {
+                producer: 3,
+                producer_name: "conv3".into(),
+                produced: "64x8x8".into(),
+                expected: "128x8x8".into(),
+            },
+            NetworkError::InvalidLayer {
+                name: "conv0".into(),
+                reason: "zero output channels".into(),
+            },
+            NetworkError::EmptyNetwork,
+            NetworkError::LayerOutOfBounds { index: 9, len: 3 },
+            NetworkError::InvalidFraction {
+                value: 1.5,
+                what: "output width",
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.chars().next().unwrap().is_numeric());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<NetworkError>();
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetworkError>();
+    }
+}

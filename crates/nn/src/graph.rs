@@ -1,0 +1,466 @@
+//! Network container and builder.
+//!
+//! A [`Network`] is the sequence `NN = L_n ∘ … ∘ L_1` of paper eq. 1
+//! together with the input shape, with all intermediate shapes resolved and
+//! validated at construction time.
+
+use crate::cost::SliceCost;
+use crate::error::NetworkError;
+use crate::layer::{Layer, LayerId, LayerKind};
+use crate::shape::FeatureShape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated feed-forward network.
+///
+/// Construct one with [`NetworkBuilder`]:
+///
+/// ```
+/// # fn main() -> Result<(), mnc_nn::NetworkError> {
+/// use mnc_nn::{FeatureShape, Layer, LayerKind, NetworkBuilder};
+///
+/// let net = NetworkBuilder::new("tiny", FeatureShape::spatial(3, 32, 32))
+///     .layer(Layer::new("conv1", LayerKind::ConvBlock {
+///         in_channels: 3, out_channels: 16, kernel: 3, stride: 1, padding: 1,
+///     }))
+///     .layer(Layer::new("gap", LayerKind::GlobalPool))
+///     .layer(Layer::new("head", LayerKind::Classifier { in_features: 16, classes: 10 }))
+///     .build()?;
+/// assert_eq!(net.num_layers(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    input_shape: FeatureShape,
+    layers: Vec<Layer>,
+    /// `shapes[j]` is the *input* shape of layer `j`; `shapes[n]` is the
+    /// network output shape.
+    shapes: Vec<FeatureShape>,
+}
+
+impl Network {
+    /// Network name (e.g. `"visformer"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Shape of the network input (batch size 1).
+    pub fn input_shape(&self) -> FeatureShape {
+        self.input_shape
+    }
+
+    /// Shape of the network output.
+    pub fn output_shape(&self) -> FeatureShape {
+        *self
+            .shapes
+            .last()
+            .expect("validated network always has at least one layer")
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// All layers, input to output.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// The layer with the given identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::LayerOutOfBounds`] for invalid identifiers.
+    pub fn layer(&self, id: LayerId) -> Result<&Layer, NetworkError> {
+        self.layers.get(id.0).ok_or(NetworkError::LayerOutOfBounds {
+            index: id.0,
+            len: self.layers.len(),
+        })
+    }
+
+    /// Input shape of layer `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::LayerOutOfBounds`] for invalid identifiers.
+    pub fn input_shape_of(&self, id: LayerId) -> Result<FeatureShape, NetworkError> {
+        if id.0 >= self.layers.len() {
+            return Err(NetworkError::LayerOutOfBounds {
+                index: id.0,
+                len: self.layers.len(),
+            });
+        }
+        Ok(self.shapes[id.0])
+    }
+
+    /// Output shape of layer `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::LayerOutOfBounds`] for invalid identifiers.
+    pub fn output_shape_of(&self, id: LayerId) -> Result<FeatureShape, NetworkError> {
+        if id.0 >= self.layers.len() {
+            return Err(NetworkError::LayerOutOfBounds {
+                index: id.0,
+                len: self.layers.len(),
+            });
+        }
+        Ok(self.shapes[id.0 + 1])
+    }
+
+    /// Iterator over `(LayerId, &Layer)` pairs, input to output.
+    pub fn iter(&self) -> impl Iterator<Item = (LayerId, &Layer)> {
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LayerId(i), l))
+    }
+
+    /// Identifiers of the layers that carry an explicit entry in the
+    /// partitioning matrix `P` (see [`Layer::is_partitionable`]).
+    pub fn partitionable_layers(&self) -> Vec<LayerId> {
+        self.iter()
+            .filter(|(_, l)| l.is_partitionable())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Cost of running the complete, un-partitioned network once.
+    pub fn total_cost(&self) -> SliceCost {
+        self.iter()
+            .map(|(id, l)| {
+                l.full_cost(&self.shapes[id.0])
+                    .expect("shapes validated at construction")
+            })
+            .sum()
+    }
+
+    /// Per-layer full costs, in layer order.
+    pub fn layer_costs(&self) -> Vec<SliceCost> {
+        self.iter()
+            .map(|(id, l)| {
+                l.full_cost(&self.shapes[id.0])
+                    .expect("shapes validated at construction")
+            })
+            .collect()
+    }
+
+    /// Total number of weight parameters (approximate, derived from the
+    /// weight bytes of the cost model).
+    pub fn total_params(&self) -> f64 {
+        self.total_cost().weight_bytes / 4.0
+    }
+
+    /// The classifier layer of the network, if its last layer is one.
+    pub fn classifier(&self) -> Option<(LayerId, &Layer)> {
+        let (id, last) = self.iter().last()?;
+        match last.kind {
+            LayerKind::Classifier { .. } => Some((id, last)),
+            _ => None,
+        }
+    }
+
+    /// Number of output classes if the network ends in a classifier.
+    pub fn num_classes(&self) -> Option<usize> {
+        self.classifier().map(|(_, l)| match l.kind {
+            LayerKind::Classifier { classes, .. } => classes,
+            _ => unreachable!("classifier() only returns classifier layers"),
+        })
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} layers, input {}, output {}",
+            self.name,
+            self.layers.len(),
+            self.input_shape,
+            self.output_shape()
+        )?;
+        for (id, layer) in self.iter() {
+            writeln!(
+                f,
+                "  {id:>4} {:<30} {} -> {}",
+                layer.to_string(),
+                self.shapes[id.0],
+                self.shapes[id.0 + 1]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    name: String,
+    input_shape: FeatureShape,
+    layers: Vec<Layer>,
+}
+
+impl NetworkBuilder {
+    /// Starts a new network with the given name and input shape.
+    pub fn new(name: impl Into<String>, input_shape: FeatureShape) -> Self {
+        NetworkBuilder {
+            name: name.into(),
+            input_shape,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer.
+    #[must_use]
+    pub fn layer(mut self, layer: Layer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends all layers from an iterator.
+    #[must_use]
+    pub fn layers<I: IntoIterator<Item = Layer>>(mut self, layers: I) -> Self {
+        self.layers.extend(layers);
+        self
+    }
+
+    /// Number of layers queued so far.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether no layers have been queued yet.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Validates every layer, resolves all intermediate shapes and returns
+    /// the finished [`Network`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the network is empty, a layer has invalid
+    /// parameters, or consecutive layers have incompatible shapes.
+    pub fn build(self) -> Result<Network, NetworkError> {
+        if self.layers.is_empty() {
+            return Err(NetworkError::EmptyNetwork);
+        }
+        let mut shapes = Vec::with_capacity(self.layers.len() + 1);
+        shapes.push(self.input_shape);
+        for (index, layer) in self.layers.iter().enumerate() {
+            layer.validate()?;
+            let input = shapes[index];
+            let output = layer.output_shape(&input).map_err(|e| match e {
+                NetworkError::InvalidLayer { name, reason } => NetworkError::ShapeMismatch {
+                    producer: index.saturating_sub(1),
+                    producer_name: if index == 0 {
+                        "<input>".to_string()
+                    } else {
+                        self.layers[index - 1].name.clone()
+                    },
+                    produced: input.to_string(),
+                    expected: format!("{name}: {reason}"),
+                },
+                other => other,
+            })?;
+            shapes.push(output);
+        }
+        Ok(Network {
+            name: self.name,
+            input_shape: self.input_shape,
+            layers: self.layers,
+            shapes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cnn() -> Network {
+        NetworkBuilder::new("tiny", FeatureShape::spatial(3, 32, 32))
+            .layer(Layer::new(
+                "conv1",
+                LayerKind::ConvBlock {
+                    in_channels: 3,
+                    out_channels: 16,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+            ))
+            .layer(Layer::new("pool1", LayerKind::Pool { kernel: 2, stride: 2 }))
+            .layer(Layer::new(
+                "conv2",
+                LayerKind::ConvBlock {
+                    in_channels: 16,
+                    out_channels: 32,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+            ))
+            .layer(Layer::new("gap", LayerKind::GlobalPool))
+            .layer(Layer::new(
+                "head",
+                LayerKind::Classifier {
+                    in_features: 32,
+                    classes: 10,
+                },
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn shapes_are_resolved_in_order() {
+        let net = tiny_cnn();
+        assert_eq!(net.num_layers(), 5);
+        assert_eq!(
+            net.input_shape_of(LayerId(0)).unwrap(),
+            FeatureShape::spatial(3, 32, 32)
+        );
+        assert_eq!(
+            net.output_shape_of(LayerId(0)).unwrap(),
+            FeatureShape::spatial(16, 32, 32)
+        );
+        assert_eq!(
+            net.output_shape_of(LayerId(1)).unwrap(),
+            FeatureShape::spatial(16, 16, 16)
+        );
+        assert_eq!(net.output_shape(), FeatureShape::vector(10));
+    }
+
+    #[test]
+    fn empty_network_is_rejected() {
+        let err = NetworkBuilder::new("empty", FeatureShape::vector(10)).build();
+        assert_eq!(err.unwrap_err(), NetworkError::EmptyNetwork);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported_with_producer() {
+        let err = NetworkBuilder::new("bad", FeatureShape::spatial(3, 32, 32))
+            .layer(Layer::new(
+                "conv1",
+                LayerKind::ConvBlock {
+                    in_channels: 3,
+                    out_channels: 16,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+            ))
+            .layer(Layer::new(
+                "conv2",
+                LayerKind::ConvBlock {
+                    in_channels: 99,
+                    out_channels: 32,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+            ))
+            .build()
+            .unwrap_err();
+        match err {
+            NetworkError::ShapeMismatch { producer_name, .. } => {
+                assert_eq!(producer_name, "conv1");
+            }
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_layer_is_rejected_at_build() {
+        let err = NetworkBuilder::new("bad", FeatureShape::spatial(3, 32, 32))
+            .layer(Layer::new(
+                "conv1",
+                LayerKind::ConvBlock {
+                    in_channels: 3,
+                    out_channels: 0,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+            ))
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn partitionable_layers_skip_pool_and_classifier() {
+        let net = tiny_cnn();
+        let ids = net.partitionable_layers();
+        assert_eq!(ids, vec![LayerId(0), LayerId(2)]);
+    }
+
+    #[test]
+    fn total_cost_is_sum_of_layer_costs() {
+        let net = tiny_cnn();
+        let per_layer: SliceCost = net.layer_costs().into_iter().sum();
+        let total = net.total_cost();
+        assert!((per_layer.macs - total.macs).abs() < 1e-6);
+        assert!((per_layer.flops - total.flops).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classifier_and_classes_are_found() {
+        let net = tiny_cnn();
+        let (id, layer) = net.classifier().unwrap();
+        assert_eq!(id, LayerId(4));
+        assert_eq!(layer.name, "head");
+        assert_eq!(net.num_classes(), Some(10));
+    }
+
+    #[test]
+    fn layer_out_of_bounds_is_an_error() {
+        let net = tiny_cnn();
+        assert!(net.layer(LayerId(100)).is_err());
+        assert!(net.input_shape_of(LayerId(100)).is_err());
+        assert!(net.output_shape_of(LayerId(100)).is_err());
+    }
+
+    #[test]
+    fn display_lists_every_layer() {
+        let net = tiny_cnn();
+        let text = net.to_string();
+        for (_, layer) in net.iter() {
+            assert!(text.contains(&layer.name));
+        }
+    }
+
+    #[test]
+    fn builder_len_and_layers_iter() {
+        let builder = NetworkBuilder::new("x", FeatureShape::vector(8)).layers(vec![
+            Layer::new(
+                "d1",
+                LayerKind::Dense {
+                    in_features: 8,
+                    out_features: 4,
+                },
+            ),
+            Layer::new(
+                "d2",
+                LayerKind::Dense {
+                    in_features: 4,
+                    out_features: 2,
+                },
+            ),
+        ]);
+        assert_eq!(builder.len(), 2);
+        assert!(!builder.is_empty());
+        assert!(builder.build().is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let net = tiny_cnn();
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Network = serde_json::from_str(&json).unwrap();
+        assert_eq!(net, back);
+    }
+}

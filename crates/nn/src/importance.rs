@@ -1,0 +1,456 @@
+//! Channel-importance estimation and reordering (paper §V-D).
+//!
+//! Before a candidate configuration is evaluated, the width units of every
+//! layer are reordered by decreasing importance so that the earliest
+//! inference stages receive the most informative channels. The paper uses
+//! Taylor-expansion importance scores from Molchanov et al. (CVPR 2019);
+//! lacking trained weights, this crate generates *synthetic* importance
+//! scores with the same qualitative property — a heavy-tailed distribution
+//! where a minority of channels carries most of the mass — and provides the
+//! exact ranking/cumulative-mass machinery the optimiser needs.
+
+use crate::graph::Network;
+use crate::layer::LayerId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Raw importance scores for the width units of one layer, indexed by the
+/// original channel position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerImportance {
+    scores: Vec<f64>,
+}
+
+impl LayerImportance {
+    /// Wraps raw (non-negative) importance scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` is empty or contains a negative or non-finite
+    /// value.
+    pub fn new(scores: Vec<f64>) -> Self {
+        assert!(!scores.is_empty(), "importance scores must not be empty");
+        assert!(
+            scores.iter().all(|s| s.is_finite() && *s >= 0.0),
+            "importance scores must be finite and non-negative"
+        );
+        LayerImportance { scores }
+    }
+
+    /// Uniform importance over `n` channels (the no-information baseline).
+    pub fn uniform(n: usize) -> Self {
+        LayerImportance::new(vec![1.0; n.max(1)])
+    }
+
+    /// Number of width units scored.
+    pub fn num_channels(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Raw scores, by original channel index.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Scores normalised to sum to one.
+    pub fn normalized(&self) -> Vec<f64> {
+        let total: f64 = self.scores.iter().sum();
+        if total <= 0.0 {
+            let n = self.scores.len() as f64;
+            return vec![1.0 / n; self.scores.len()];
+        }
+        self.scores.iter().map(|s| s / total).collect()
+    }
+
+    /// Ranking of channels by decreasing importance.
+    pub fn ranking(&self) -> ChannelRanking {
+        ChannelRanking::from_scores(&self.scores)
+    }
+}
+
+/// A permutation of channel indices sorted by decreasing importance,
+/// together with the cumulative (normalised) importance mass captured by
+/// the top-`k` channels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelRanking {
+    order: Vec<usize>,
+    /// `cumulative[k]` = normalised importance mass of the `k` most
+    /// important channels; `cumulative[0] == 0`, `cumulative[n] == 1`.
+    cumulative: Vec<f64>,
+}
+
+impl ChannelRanking {
+    /// Builds a ranking from raw scores.
+    pub fn from_scores(scores: &[f64]) -> Self {
+        let n = scores.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let total: f64 = scores.iter().sum();
+        let mut cumulative = Vec::with_capacity(n + 1);
+        cumulative.push(0.0);
+        let mut acc = 0.0;
+        for &idx in &order {
+            acc += if total > 0.0 {
+                scores[idx] / total
+            } else {
+                1.0 / n as f64
+            };
+            cumulative.push(acc);
+        }
+        // Guard against floating point drift: force the last entry to 1.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        ChannelRanking { order, cumulative }
+    }
+
+    /// The identity ranking over `n` channels with uniform mass; used for
+    /// the reordering ablation.
+    pub fn identity(n: usize) -> Self {
+        let n = n.max(1);
+        ChannelRanking {
+            order: (0..n).collect(),
+            cumulative: (0..=n).map(|k| k as f64 / n as f64).collect(),
+        }
+    }
+
+    /// Number of channels ranked.
+    pub fn num_channels(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Channel indices in decreasing order of importance.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Normalised importance mass captured by the `k` most important
+    /// channels.
+    pub fn mass_of_top_k(&self, k: usize) -> f64 {
+        let k = k.min(self.order.len());
+        self.cumulative[k]
+    }
+
+    /// Normalised importance mass captured by the top `fraction` of
+    /// channels (linear interpolation between integer counts).
+    ///
+    /// `fraction` is clamped to `[0, 1]`.
+    pub fn mass_of_top_fraction(&self, fraction: f64) -> f64 {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let n = self.order.len() as f64;
+        let continuous = fraction * n;
+        let low = continuous.floor() as usize;
+        let high = (low + 1).min(self.order.len());
+        let frac_within = continuous - low as f64;
+        if low >= self.order.len() {
+            return 1.0;
+        }
+        let low_mass = self.cumulative[low];
+        let high_mass = self.cumulative[high];
+        low_mass + (high_mass - low_mass) * frac_within
+    }
+
+    /// Gini-style concentration of the importance distribution: 0 for
+    /// perfectly uniform importance, approaching 1 when a single channel
+    /// carries everything. Useful to characterise how much a network can
+    /// benefit from early exits.
+    pub fn concentration(&self) -> f64 {
+        let n = self.order.len();
+        if n <= 1 {
+            return 0.0;
+        }
+        // Area between the cumulative-mass curve and the uniform diagonal,
+        // normalised to its maximum value (1/2 · (n-1)/n).
+        let mut area = 0.0;
+        for k in 0..=n {
+            area += self.cumulative[k] - k as f64 / n as f64;
+        }
+        area /= n as f64 + 1.0;
+        (2.0 * area * n as f64 / (n as f64 - 1.0)).clamp(0.0, 1.0)
+    }
+}
+
+/// Importance scores for every partitionable layer of a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImportanceModel {
+    per_layer: Vec<Option<LayerImportance>>,
+    concentration: f64,
+}
+
+impl ImportanceModel {
+    /// Synthesises heavy-tailed importance scores for every partitionable
+    /// layer of `network`.
+    ///
+    /// `concentration` controls how unequal the scores are: `0.0` gives
+    /// uniform importance (no benefit from reordering), values around
+    /// `1.0–2.0` mimic the Taylor-score distributions reported for trained
+    /// CNNs/ViTs (a minority of channels dominates). The generation is
+    /// fully determined by `seed`.
+    pub fn synthetic(network: &Network, seed: u64, concentration: f64) -> Self {
+        let concentration = concentration.max(0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let per_layer = network
+            .layers()
+            .iter()
+            .map(|layer| {
+                if !layer.is_partitionable() {
+                    return None;
+                }
+                let width = layer.width().max(1);
+                let scores: Vec<f64> = (0..width)
+                    .map(|_| {
+                        let u: f64 = rng.random::<f64>().max(1e-12);
+                        // (-ln u)^c : exponential-family scores; c = 0 gives
+                        // all-equal scores, larger c concentrates the mass.
+                        (-u.ln()).powf(concentration)
+                    })
+                    .collect();
+                Some(LayerImportance::new(scores))
+            })
+            .collect();
+        ImportanceModel {
+            per_layer,
+            concentration,
+        }
+    }
+
+    /// Uniform importance for every partitionable layer (reordering
+    /// ablation: ranking gives no advantage).
+    pub fn uniform(network: &Network) -> Self {
+        let per_layer = network
+            .layers()
+            .iter()
+            .map(|layer| {
+                if layer.is_partitionable() {
+                    Some(LayerImportance::uniform(layer.width().max(1)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        ImportanceModel {
+            per_layer,
+            concentration: 0.0,
+        }
+    }
+
+    /// The concentration parameter this model was generated with.
+    pub fn concentration(&self) -> f64 {
+        self.concentration
+    }
+
+    /// Importance scores of a layer, `None` for non-partitionable layers or
+    /// out-of-range identifiers.
+    pub fn layer(&self, id: LayerId) -> Option<&LayerImportance> {
+        self.per_layer.get(id.0).and_then(|o| o.as_ref())
+    }
+
+    /// Ranking of a layer's channels, `None` for non-partitionable layers.
+    pub fn ranking(&self, id: LayerId) -> Option<ChannelRanking> {
+        self.layer(id).map(LayerImportance::ranking)
+    }
+
+    /// Importance mass captured when a stage owns the top `fraction` of the
+    /// layer's channels after reordering. Non-partitionable layers return
+    /// `fraction` unchanged (they carry no choice).
+    pub fn mass_of_top_fraction(&self, id: LayerId, fraction: f64) -> f64 {
+        match self.ranking(id) {
+            Some(ranking) => ranking.mass_of_top_fraction(fraction),
+            None => fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Average importance mass captured by the top `fraction` of channels
+    /// across all partitionable layers — a single scalar summarising how
+    /// much of the network's "knowledge" a stage of this width holds.
+    pub fn average_mass_of_top_fraction(&self, fraction: f64) -> f64 {
+        let masses: Vec<f64> = self
+            .per_layer
+            .iter()
+            .flatten()
+            .map(|imp| imp.ranking().mass_of_top_fraction(fraction))
+            .collect();
+        if masses.is_empty() {
+            fraction.clamp(0.0, 1.0)
+        } else {
+            masses.iter().sum::<f64>() / masses.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, LayerKind};
+    use crate::graph::NetworkBuilder;
+    use crate::shape::FeatureShape;
+    use proptest::prelude::*;
+
+    fn small_net() -> Network {
+        NetworkBuilder::new("small", FeatureShape::spatial(3, 16, 16))
+            .layer(Layer::new(
+                "conv1",
+                LayerKind::ConvBlock {
+                    in_channels: 3,
+                    out_channels: 32,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+            ))
+            .layer(Layer::new("pool", LayerKind::Pool { kernel: 2, stride: 2 }))
+            .layer(Layer::new(
+                "conv2",
+                LayerKind::ConvBlock {
+                    in_channels: 32,
+                    out_channels: 64,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+            ))
+            .layer(Layer::new("gap", LayerKind::GlobalPool))
+            .layer(Layer::new(
+                "head",
+                LayerKind::Classifier {
+                    in_features: 64,
+                    classes: 10,
+                },
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ranking_orders_by_score() {
+        let imp = LayerImportance::new(vec![0.1, 5.0, 2.0, 0.4]);
+        let ranking = imp.ranking();
+        assert_eq!(ranking.order(), &[1, 2, 3, 0]);
+        assert!((ranking.mass_of_top_k(4) - 1.0).abs() < 1e-12);
+        assert!(ranking.mass_of_top_k(1) > 0.6);
+    }
+
+    #[test]
+    fn identity_ranking_is_linear() {
+        let ranking = ChannelRanking::identity(10);
+        assert!((ranking.mass_of_top_fraction(0.5) - 0.5).abs() < 1e-12);
+        assert!((ranking.mass_of_top_fraction(0.25) - 0.25).abs() < 1e-12);
+        assert_eq!(ranking.concentration(), 0.0);
+    }
+
+    #[test]
+    fn cumulative_mass_is_concave_for_ranked_scores() {
+        let imp = LayerImportance::new((0..64).map(|i| (-(i as f64) / 8.0).exp()).collect());
+        let ranking = imp.ranking();
+        // Top 25% of channels must capture strictly more than 25% of mass.
+        assert!(ranking.mass_of_top_fraction(0.25) > 0.5);
+        assert!(ranking.mass_of_top_fraction(1.0) > 0.999);
+    }
+
+    #[test]
+    fn mass_of_top_fraction_clamps() {
+        let ranking = ChannelRanking::identity(8);
+        assert_eq!(ranking.mass_of_top_fraction(-0.5), 0.0);
+        assert_eq!(ranking.mass_of_top_fraction(2.0), 1.0);
+    }
+
+    #[test]
+    fn synthetic_model_skips_non_partitionable_layers() {
+        let net = small_net();
+        let model = ImportanceModel::synthetic(&net, 7, 1.5);
+        assert!(model.layer(LayerId(0)).is_some());
+        assert!(model.layer(LayerId(1)).is_none()); // pool
+        assert!(model.layer(LayerId(3)).is_none()); // gap
+        assert!(model.layer(LayerId(4)).is_none()); // classifier
+        assert!(model.layer(LayerId(99)).is_none());
+    }
+
+    #[test]
+    fn synthetic_model_is_deterministic_per_seed() {
+        let net = small_net();
+        let a = ImportanceModel::synthetic(&net, 42, 1.5);
+        let b = ImportanceModel::synthetic(&net, 42, 1.5);
+        let c = ImportanceModel::synthetic(&net, 43, 1.5);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn higher_concentration_gives_more_mass_to_top_channels() {
+        let net = small_net();
+        let flat = ImportanceModel::synthetic(&net, 1, 0.0);
+        let peaked = ImportanceModel::synthetic(&net, 1, 3.0);
+        let flat_mass = flat.average_mass_of_top_fraction(0.25);
+        let peaked_mass = peaked.average_mass_of_top_fraction(0.25);
+        assert!(
+            peaked_mass > flat_mass,
+            "expected {peaked_mass} > {flat_mass}"
+        );
+        // Concentration zero means all scores are exactly one.
+        assert!((flat_mass - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn uniform_model_matches_fraction() {
+        let net = small_net();
+        let model = ImportanceModel::uniform(&net);
+        for frac in [0.1, 0.25, 0.5, 0.75, 1.0] {
+            assert!((model.mass_of_top_fraction(LayerId(0), frac) - frac).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn non_partitionable_layers_pass_fraction_through() {
+        let net = small_net();
+        let model = ImportanceModel::synthetic(&net, 3, 2.0);
+        assert!((model.mass_of_top_fraction(LayerId(1), 0.4) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_scores_panic() {
+        let _ = LayerImportance::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_scores_panic() {
+        let _ = LayerImportance::new(vec![1.0, -0.5]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cumulative_mass_monotone(scores in proptest::collection::vec(0.0f64..10.0, 1..64),
+                                         f1 in 0.0f64..1.0, f2 in 0.0f64..1.0) {
+            let ranking = ChannelRanking::from_scores(&scores);
+            let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+            prop_assert!(ranking.mass_of_top_fraction(lo) <= ranking.mass_of_top_fraction(hi) + 1e-9);
+        }
+
+        #[test]
+        fn prop_ranked_mass_dominates_identity(scores in proptest::collection::vec(0.0f64..10.0, 2..64),
+                                               frac in 0.0f64..1.0) {
+            let ranking = ChannelRanking::from_scores(&scores);
+            let identity = ChannelRanking::identity(scores.len());
+            // Reordering by importance can never capture less mass than the
+            // original order captures on average.
+            prop_assert!(ranking.mass_of_top_fraction(frac) + 1e-9 >= identity.mass_of_top_fraction(frac) - 1e-9);
+        }
+
+        #[test]
+        fn prop_order_is_a_permutation(scores in proptest::collection::vec(0.0f64..10.0, 1..64)) {
+            let ranking = ChannelRanking::from_scores(&scores);
+            let mut seen = vec![false; scores.len()];
+            for &idx in ranking.order() {
+                prop_assert!(!seen[idx]);
+                seen[idx] = true;
+            }
+            prop_assert!(seen.into_iter().all(|s| s));
+        }
+    }
+}

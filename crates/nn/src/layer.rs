@@ -1,0 +1,648 @@
+//! Layer vocabulary and width semantics.
+//!
+//! Map-and-Conquer views a network as a sequence of computational layers
+//! `L_j = {C_1, …, C_W}` (paper eq. 2) where the `C_i` are the *width
+//! units* of the layer: output channels for convolutional blocks, attention
+//! heads for transformer blocks, hidden units for MLP blocks. Partitioning
+//! (paper §III-A) splits contiguous subsets of those units across inference
+//! stages.
+//!
+//! Layers here are *blocks*: a [`LayerKind::ConvBlock`] bundles the
+//! convolution with its batch-norm and activation, a
+//! [`LayerKind::AttentionBlock`] bundles layer-norm, QKV projection,
+//! attention and the output projection. This matches the granularity at
+//! which the paper profiles layers on the MPSoC (TensorRT fuses exactly
+//! these groups).
+
+use crate::error::NetworkError;
+use crate::shape::FeatureShape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a layer inside a [`crate::Network`]: its index in the
+/// layer sequence, starting at 0 for the layer closest to the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LayerId(pub usize);
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// The kind of computation a layer performs, with its static parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution fused with batch normalisation and activation.
+    ///
+    /// Width units are the `out_channels`.
+    ConvBlock {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels (the width of the layer).
+        out_channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding on each side.
+        padding: usize,
+    },
+    /// Strided-convolution patch embedding turning a spatial map into a
+    /// token sequence (ViT stem or stage-transition downsampling).
+    ///
+    /// Width units are the `embed_dim` output features.
+    PatchEmbed {
+        /// Input channels of the spatial map.
+        in_channels: usize,
+        /// Embedding dimension produced per patch.
+        embed_dim: usize,
+        /// Patch size (kernel == stride == patch).
+        patch: usize,
+    },
+    /// Multi-head self-attention block (layer-norm, QKV projection,
+    /// scaled-dot-product attention, output projection, residual).
+    ///
+    /// Width units are the attention `heads`, following MIA-Former and the
+    /// paper's Visformer case study.
+    AttentionBlock {
+        /// Token embedding dimension (must match the incoming shape).
+        embed_dim: usize,
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// Transformer feed-forward block (layer-norm, `dim → hidden → dim`
+    /// MLP, residual).
+    ///
+    /// Width units are the `hidden_dim` units.
+    MlpBlock {
+        /// Token embedding dimension.
+        embed_dim: usize,
+        /// Hidden expansion dimension.
+        hidden_dim: usize,
+    },
+    /// Spatial max/average pooling. Not partitionable on its own: it
+    /// follows whatever slice of channels its producer assigned to a stage.
+    Pool {
+        /// Pooling window.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling collapsing spatial or token positions into a
+    /// flat vector.
+    GlobalPool,
+    /// Fully-connected layer fused with activation.
+    ///
+    /// Width units are the `out_features`.
+    Dense {
+        /// Input features.
+        in_features: usize,
+        /// Output features (the width of the layer).
+        out_features: usize,
+    },
+    /// Classification head (fully-connected to `classes` logits). Each
+    /// dynamic stage receives its own classifier as an early exit, so the
+    /// classifier itself is never partitioned.
+    Classifier {
+        /// Input features.
+        in_features: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+impl LayerKind {
+    /// Short lowercase tag used in names and reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LayerKind::ConvBlock { .. } => "conv",
+            LayerKind::PatchEmbed { .. } => "patch_embed",
+            LayerKind::AttentionBlock { .. } => "attention",
+            LayerKind::MlpBlock { .. } => "mlp",
+            LayerKind::Pool { .. } => "pool",
+            LayerKind::GlobalPool => "global_pool",
+            LayerKind::Dense { .. } => "dense",
+            LayerKind::Classifier { .. } => "classifier",
+        }
+    }
+}
+
+/// A single computational layer (block) of a network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable name, unique within a network by construction.
+    pub name: String,
+    /// The computation performed by this layer.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// Creates a layer with the given name and kind.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        Layer {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// The number of width units of this layer (paper eq. 2: the channel
+    /// count `W` of `L_j = {C_1, …, C_W}`).
+    ///
+    /// Non-partitionable layers report the width of the activation they
+    /// pass through (pooling) or produce (classifier).
+    pub fn width(&self) -> usize {
+        match self.kind {
+            LayerKind::ConvBlock { out_channels, .. } => out_channels,
+            LayerKind::PatchEmbed { embed_dim, .. } => embed_dim,
+            LayerKind::AttentionBlock { heads, .. } => heads,
+            LayerKind::MlpBlock { hidden_dim, .. } => hidden_dim,
+            LayerKind::Pool { .. } | LayerKind::GlobalPool => 0,
+            LayerKind::Dense { out_features, .. } => out_features,
+            LayerKind::Classifier { classes, .. } => classes,
+        }
+    }
+
+    /// Whether the partitioning matrix `P` carries an explicit split ratio
+    /// for this layer.
+    ///
+    /// Pooling layers follow the split of their producer and classifiers
+    /// are replicated per stage as early exits, so neither is partitionable
+    /// on its own.
+    pub fn is_partitionable(&self) -> bool {
+        matches!(
+            self.kind,
+            LayerKind::ConvBlock { .. }
+                | LayerKind::PatchEmbed { .. }
+                | LayerKind::AttentionBlock { .. }
+                | LayerKind::MlpBlock { .. }
+                | LayerKind::Dense { .. }
+        )
+    }
+
+    /// Whether the layer carries trainable weights.
+    pub fn has_weights(&self) -> bool {
+        !matches!(self.kind, LayerKind::Pool { .. } | LayerKind::GlobalPool)
+    }
+
+    /// Validates the static parameters of the layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InvalidLayer`] when any structural parameter
+    /// is zero or otherwise meaningless (e.g. a stride of zero).
+    pub fn validate(&self) -> Result<(), NetworkError> {
+        let fail = |reason: &str| {
+            Err(NetworkError::InvalidLayer {
+                name: self.name.clone(),
+                reason: reason.to_string(),
+            })
+        };
+        match self.kind {
+            LayerKind::ConvBlock {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                ..
+            } => {
+                if in_channels == 0 || out_channels == 0 {
+                    return fail("zero channel count");
+                }
+                if kernel == 0 {
+                    return fail("zero kernel size");
+                }
+                if stride == 0 {
+                    return fail("zero stride");
+                }
+            }
+            LayerKind::PatchEmbed {
+                in_channels,
+                embed_dim,
+                patch,
+            } => {
+                if in_channels == 0 || embed_dim == 0 {
+                    return fail("zero channel count");
+                }
+                if patch == 0 {
+                    return fail("zero patch size");
+                }
+            }
+            LayerKind::AttentionBlock { embed_dim, heads } => {
+                if embed_dim == 0 || heads == 0 {
+                    return fail("zero attention dimension or head count");
+                }
+                if embed_dim % heads != 0 {
+                    return fail("embed_dim must be divisible by heads");
+                }
+            }
+            LayerKind::MlpBlock {
+                embed_dim,
+                hidden_dim,
+            } => {
+                if embed_dim == 0 || hidden_dim == 0 {
+                    return fail("zero mlp dimension");
+                }
+            }
+            LayerKind::Pool { kernel, stride } => {
+                if kernel == 0 || stride == 0 {
+                    return fail("zero pooling window or stride");
+                }
+            }
+            LayerKind::GlobalPool => {}
+            LayerKind::Dense {
+                in_features,
+                out_features,
+            } => {
+                if in_features == 0 || out_features == 0 {
+                    return fail("zero dense dimension");
+                }
+            }
+            LayerKind::Classifier {
+                in_features,
+                classes,
+            } => {
+                if in_features == 0 || classes == 0 {
+                    return fail("zero classifier dimension");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the output shape of the layer given its input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::ShapeMismatch`]-style information via
+    /// [`NetworkError::InvalidLayer`] when the input shape has the wrong
+    /// structure (e.g. feeding a spatial map into an attention block) or
+    /// incompatible sizes.
+    pub fn output_shape(&self, input: &FeatureShape) -> Result<FeatureShape, NetworkError> {
+        let mismatch = |expected: &str| {
+            Err(NetworkError::InvalidLayer {
+                name: self.name.clone(),
+                reason: format!("expected {expected} input, got {input}"),
+            })
+        };
+        match self.kind {
+            LayerKind::ConvBlock {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => match *input {
+                FeatureShape::Spatial {
+                    channels,
+                    height,
+                    width,
+                } => {
+                    if channels != in_channels {
+                        return Err(NetworkError::InvalidLayer {
+                            name: self.name.clone(),
+                            reason: format!(
+                                "conv expects {in_channels} input channels, got {channels}"
+                            ),
+                        });
+                    }
+                    let out_h = conv_out(height, kernel, stride, padding);
+                    let out_w = conv_out(width, kernel, stride, padding);
+                    if out_h == 0 || out_w == 0 {
+                        return Err(NetworkError::InvalidLayer {
+                            name: self.name.clone(),
+                            reason: "convolution collapses spatial size to zero".to_string(),
+                        });
+                    }
+                    Ok(FeatureShape::spatial(out_channels, out_h, out_w))
+                }
+                _ => mismatch("spatial"),
+            },
+            LayerKind::PatchEmbed {
+                in_channels,
+                embed_dim,
+                patch,
+            } => match *input {
+                FeatureShape::Spatial {
+                    channels,
+                    height,
+                    width,
+                } => {
+                    if channels != in_channels {
+                        return Err(NetworkError::InvalidLayer {
+                            name: self.name.clone(),
+                            reason: format!(
+                                "patch embed expects {in_channels} input channels, got {channels}"
+                            ),
+                        });
+                    }
+                    let th = height / patch;
+                    let tw = width / patch;
+                    if th == 0 || tw == 0 {
+                        return Err(NetworkError::InvalidLayer {
+                            name: self.name.clone(),
+                            reason: "patch size larger than input".to_string(),
+                        });
+                    }
+                    Ok(FeatureShape::tokens(th * tw, embed_dim))
+                }
+                _ => mismatch("spatial"),
+            },
+            LayerKind::AttentionBlock { embed_dim, .. } => match *input {
+                FeatureShape::Tokens { tokens, dim } => {
+                    if dim != embed_dim {
+                        return Err(NetworkError::InvalidLayer {
+                            name: self.name.clone(),
+                            reason: format!(
+                                "attention expects embedding dim {embed_dim}, got {dim}"
+                            ),
+                        });
+                    }
+                    Ok(FeatureShape::tokens(tokens, embed_dim))
+                }
+                _ => mismatch("token"),
+            },
+            LayerKind::MlpBlock { embed_dim, .. } => match *input {
+                FeatureShape::Tokens { tokens, dim } => {
+                    if dim != embed_dim {
+                        return Err(NetworkError::InvalidLayer {
+                            name: self.name.clone(),
+                            reason: format!("mlp expects embedding dim {embed_dim}, got {dim}"),
+                        });
+                    }
+                    Ok(FeatureShape::tokens(tokens, embed_dim))
+                }
+                _ => mismatch("token"),
+            },
+            LayerKind::Pool { kernel, stride } => match *input {
+                FeatureShape::Spatial {
+                    channels,
+                    height,
+                    width,
+                } => {
+                    let out_h = pool_out(height, kernel, stride);
+                    let out_w = pool_out(width, kernel, stride);
+                    if out_h == 0 || out_w == 0 {
+                        return Err(NetworkError::InvalidLayer {
+                            name: self.name.clone(),
+                            reason: "pooling collapses spatial size to zero".to_string(),
+                        });
+                    }
+                    Ok(FeatureShape::spatial(channels, out_h, out_w))
+                }
+                _ => mismatch("spatial"),
+            },
+            LayerKind::GlobalPool => match *input {
+                FeatureShape::Spatial { channels, .. } => Ok(FeatureShape::vector(channels)),
+                FeatureShape::Tokens { dim, .. } => Ok(FeatureShape::vector(dim)),
+                FeatureShape::Vector { dim } => Ok(FeatureShape::vector(dim)),
+            },
+            LayerKind::Dense {
+                in_features,
+                out_features,
+            } => match *input {
+                FeatureShape::Vector { dim } => {
+                    if dim != in_features {
+                        return Err(NetworkError::InvalidLayer {
+                            name: self.name.clone(),
+                            reason: format!("dense expects {in_features} features, got {dim}"),
+                        });
+                    }
+                    Ok(FeatureShape::vector(out_features))
+                }
+                _ => mismatch("vector"),
+            },
+            LayerKind::Classifier {
+                in_features,
+                classes,
+            } => match *input {
+                FeatureShape::Vector { dim } => {
+                    if dim != in_features {
+                        return Err(NetworkError::InvalidLayer {
+                            name: self.name.clone(),
+                            reason: format!(
+                                "classifier expects {in_features} features, got {dim}"
+                            ),
+                        });
+                    }
+                    Ok(FeatureShape::vector(classes))
+                }
+                _ => mismatch("vector"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind.tag())
+    }
+}
+
+/// Output size of a convolution along one spatial dimension.
+fn conv_out(size: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    let padded = size + 2 * padding;
+    if padded < kernel {
+        return 0;
+    }
+    (padded - kernel) / stride + 1
+}
+
+/// Output size of a pooling window along one spatial dimension.
+fn pool_out(size: usize, kernel: usize, stride: usize) -> usize {
+    if size < kernel {
+        return 0;
+    }
+    (size - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(in_c: usize, out_c: usize, k: usize, s: usize, p: usize) -> Layer {
+        Layer::new(
+            format!("conv_{in_c}_{out_c}"),
+            LayerKind::ConvBlock {
+                in_channels: in_c,
+                out_channels: out_c,
+                kernel: k,
+                stride: s,
+                padding: p,
+            },
+        )
+    }
+
+    #[test]
+    fn conv_shape_same_padding() {
+        let l = conv(3, 64, 3, 1, 1);
+        let out = l.output_shape(&FeatureShape::spatial(3, 32, 32)).unwrap();
+        assert_eq!(out, FeatureShape::spatial(64, 32, 32));
+    }
+
+    #[test]
+    fn conv_shape_stride_two() {
+        let l = conv(64, 128, 3, 2, 1);
+        let out = l.output_shape(&FeatureShape::spatial(64, 32, 32)).unwrap();
+        assert_eq!(out, FeatureShape::spatial(128, 16, 16));
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channels() {
+        let l = conv(3, 64, 3, 1, 1);
+        assert!(l.output_shape(&FeatureShape::spatial(4, 32, 32)).is_err());
+    }
+
+    #[test]
+    fn conv_rejects_token_input() {
+        let l = conv(3, 64, 3, 1, 1);
+        assert!(l.output_shape(&FeatureShape::tokens(8, 8)).is_err());
+    }
+
+    #[test]
+    fn patch_embed_produces_tokens() {
+        let l = Layer::new(
+            "stem",
+            LayerKind::PatchEmbed {
+                in_channels: 3,
+                embed_dim: 192,
+                patch: 4,
+            },
+        );
+        let out = l.output_shape(&FeatureShape::spatial(3, 32, 32)).unwrap();
+        assert_eq!(out, FeatureShape::tokens(64, 192));
+    }
+
+    #[test]
+    fn attention_preserves_shape_and_checks_dim() {
+        let l = Layer::new(
+            "attn",
+            LayerKind::AttentionBlock {
+                embed_dim: 192,
+                heads: 6,
+            },
+        );
+        let ok = l.output_shape(&FeatureShape::tokens(64, 192)).unwrap();
+        assert_eq!(ok, FeatureShape::tokens(64, 192));
+        assert!(l.output_shape(&FeatureShape::tokens(64, 100)).is_err());
+    }
+
+    #[test]
+    fn attention_requires_divisible_heads() {
+        let l = Layer::new(
+            "attn",
+            LayerKind::AttentionBlock {
+                embed_dim: 100,
+                heads: 6,
+            },
+        );
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn pool_halves_spatial_size() {
+        let l = Layer::new("pool", LayerKind::Pool { kernel: 2, stride: 2 });
+        let out = l.output_shape(&FeatureShape::spatial(64, 32, 32)).unwrap();
+        assert_eq!(out, FeatureShape::spatial(64, 16, 16));
+    }
+
+    #[test]
+    fn global_pool_collapses_to_vector() {
+        let l = Layer::new("gap", LayerKind::GlobalPool);
+        assert_eq!(
+            l.output_shape(&FeatureShape::spatial(512, 2, 2)).unwrap(),
+            FeatureShape::vector(512)
+        );
+        assert_eq!(
+            l.output_shape(&FeatureShape::tokens(49, 384)).unwrap(),
+            FeatureShape::vector(384)
+        );
+    }
+
+    #[test]
+    fn dense_and_classifier_check_features() {
+        let d = Layer::new(
+            "fc1",
+            LayerKind::Dense {
+                in_features: 512,
+                out_features: 4096,
+            },
+        );
+        assert_eq!(
+            d.output_shape(&FeatureShape::vector(512)).unwrap(),
+            FeatureShape::vector(4096)
+        );
+        assert!(d.output_shape(&FeatureShape::vector(100)).is_err());
+
+        let c = Layer::new(
+            "head",
+            LayerKind::Classifier {
+                in_features: 4096,
+                classes: 100,
+            },
+        );
+        assert_eq!(
+            c.output_shape(&FeatureShape::vector(4096)).unwrap(),
+            FeatureShape::vector(100)
+        );
+    }
+
+    #[test]
+    fn width_semantics() {
+        assert_eq!(conv(3, 64, 3, 1, 1).width(), 64);
+        let attn = Layer::new(
+            "attn",
+            LayerKind::AttentionBlock {
+                embed_dim: 192,
+                heads: 6,
+            },
+        );
+        assert_eq!(attn.width(), 6);
+        let pool = Layer::new("pool", LayerKind::Pool { kernel: 2, stride: 2 });
+        assert_eq!(pool.width(), 0);
+        assert!(!pool.is_partitionable());
+        assert!(attn.is_partitionable());
+    }
+
+    #[test]
+    fn validation_rejects_zero_parameters() {
+        let bad = Layer::new(
+            "bad",
+            LayerKind::ConvBlock {
+                in_channels: 0,
+                out_channels: 64,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+        );
+        assert!(bad.validate().is_err());
+        let bad_stride = Layer::new(
+            "bad_stride",
+            LayerKind::ConvBlock {
+                in_channels: 3,
+                out_channels: 64,
+                kernel: 3,
+                stride: 0,
+                padding: 1,
+            },
+        );
+        assert!(bad_stride.validate().is_err());
+        assert!(conv(3, 64, 3, 1, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn has_weights_flags() {
+        assert!(conv(3, 64, 3, 1, 1).has_weights());
+        assert!(!Layer::new("pool", LayerKind::Pool { kernel: 2, stride: 2 }).has_weights());
+        assert!(!Layer::new("gap", LayerKind::GlobalPool).has_weights());
+    }
+
+    #[test]
+    fn display_contains_name_and_tag() {
+        let l = conv(3, 64, 3, 1, 1);
+        let s = l.to_string();
+        assert!(s.contains("conv_3_64"));
+        assert!(s.contains("conv"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Neural-network intermediate representation for Map-and-Conquer.
+//!
+//! This crate provides the *model side* of the Map-and-Conquer framework
+//! (Bouzidi et al., DAC 2023): a compact intermediate representation of
+//! feed-forward neural networks viewed as a sequence of computational
+//! layers `NN = L_n ∘ … ∘ L_1` (paper eq. 1), each with a *width* (output
+//! channels for CNN blocks, attention heads for ViT blocks) that can later
+//! be partitioned across the compute units of an MPSoC.
+//!
+//! The crate contains:
+//!
+//! * [`shape`] — feature-map shapes flowing between layers,
+//! * [`layer`] — the layer/block vocabulary and width semantics,
+//! * [`graph`] — the [`Network`] container and its builder,
+//! * [`cost`] — an analytic cost model (FLOPs, MACs, weight and activation
+//!   bytes) for full layers and for *width slices* of layers,
+//! * [`importance`] — per-channel importance scores and the ranking /
+//!   reordering machinery of paper §V-D,
+//! * [`models`] — ready-made builders for the architectures evaluated in
+//!   the paper (Visformer and VGG-19) plus a few extras.
+//!
+//! # Example
+//!
+//! ```
+//! use mnc_nn::models::{visformer, ModelPreset};
+//!
+//! let net = visformer(ModelPreset::cifar100());
+//! assert!(net.num_layers() > 10);
+//! // Total multiply-accumulate count of the full (un-partitioned) model.
+//! let total = net.total_cost();
+//! assert!(total.macs > 1_000_000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod error;
+pub mod graph;
+pub mod importance;
+pub mod layer;
+pub mod models;
+pub mod shape;
+
+pub use cost::SliceCost;
+pub use error::NetworkError;
+pub use graph::{Network, NetworkBuilder};
+pub use importance::{ChannelRanking, ImportanceModel, LayerImportance};
+pub use layer::{Layer, LayerId, LayerKind};
+pub use shape::FeatureShape;

@@ -1,0 +1,126 @@
+//! Ready-made network builders for the architectures used in the paper's
+//! evaluation (Visformer, VGG-19) plus smaller helpers for tests and
+//! examples.
+
+mod vgg;
+mod visformer;
+
+pub use vgg::{vgg11, vgg19};
+pub use visformer::{visformer, visformer_tiny};
+
+use crate::graph::{Network, NetworkBuilder};
+use crate::layer::{Layer, LayerKind};
+use crate::shape::FeatureShape;
+use serde::{Deserialize, Serialize};
+
+/// Dataset / deployment preset shared by the model builders: the input
+/// resolution and the number of classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelPreset {
+    /// Input image shape (channels, height, width).
+    pub input: (usize, usize, usize),
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl ModelPreset {
+    /// CIFAR-100: 3×32×32 inputs, 100 classes — the dataset used in the
+    /// paper's experiments.
+    pub fn cifar100() -> Self {
+        ModelPreset {
+            input: (3, 32, 32),
+            classes: 100,
+        }
+    }
+
+    /// CIFAR-10: 3×32×32 inputs, 10 classes.
+    pub fn cifar10() -> Self {
+        ModelPreset {
+            input: (3, 32, 32),
+            classes: 10,
+        }
+    }
+
+    /// ImageNet-style 3×224×224 inputs, 1000 classes.
+    pub fn imagenet() -> Self {
+        ModelPreset {
+            input: (3, 224, 224),
+            classes: 1000,
+        }
+    }
+
+    /// The input shape as a [`FeatureShape`].
+    pub fn input_shape(&self) -> FeatureShape {
+        FeatureShape::spatial(self.input.0, self.input.1, self.input.2)
+    }
+}
+
+impl Default for ModelPreset {
+    fn default() -> Self {
+        ModelPreset::cifar100()
+    }
+}
+
+/// A deliberately tiny CNN used throughout the workspace's unit tests and
+/// doc examples: two convolution blocks, a pooling layer, global pooling
+/// and a classifier.
+pub fn tiny_cnn(preset: ModelPreset) -> Network {
+    let (in_c, _, _) = preset.input;
+    NetworkBuilder::new("tiny_cnn", preset.input_shape())
+        .layer(Layer::new(
+            "conv1",
+            LayerKind::ConvBlock {
+                in_channels: in_c,
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+        ))
+        .layer(Layer::new("pool1", LayerKind::Pool { kernel: 2, stride: 2 }))
+        .layer(Layer::new(
+            "conv2",
+            LayerKind::ConvBlock {
+                in_channels: 16,
+                out_channels: 32,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+        ))
+        .layer(Layer::new("gap", LayerKind::GlobalPool))
+        .layer(Layer::new(
+            "head",
+            LayerKind::Classifier {
+                in_features: 32,
+                classes: preset.classes,
+            },
+        ))
+        .build()
+        .expect("tiny_cnn preset is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_shapes() {
+        assert_eq!(
+            ModelPreset::cifar100().input_shape(),
+            FeatureShape::spatial(3, 32, 32)
+        );
+        assert_eq!(ModelPreset::cifar100().classes, 100);
+        assert_eq!(ModelPreset::cifar10().classes, 10);
+        assert_eq!(ModelPreset::imagenet().input, (3, 224, 224));
+        assert_eq!(ModelPreset::default(), ModelPreset::cifar100());
+    }
+
+    #[test]
+    fn tiny_cnn_builds_for_all_presets() {
+        for preset in [ModelPreset::cifar100(), ModelPreset::cifar10(), ModelPreset::imagenet()] {
+            let net = tiny_cnn(preset);
+            assert_eq!(net.num_classes(), Some(preset.classes));
+        }
+    }
+}

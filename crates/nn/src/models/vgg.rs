@@ -1,0 +1,154 @@
+//! VGG-style convolutional network builders.
+//!
+//! VGG-19 (Simonyan & Zisserman, ICLR 2015) is the paper's CNN case study:
+//! sixteen 3×3 convolution blocks in five stages separated by max pooling,
+//! followed by two fully-connected layers and a classifier. The CIFAR
+//! variant keeps the standard channel plan (64-64, 128-128, 256×4, 512×4,
+//! 512×4) with 32×32 inputs.
+
+use super::ModelPreset;
+use crate::graph::{Network, NetworkBuilder};
+use crate::layer::{Layer, LayerKind};
+
+/// Builds VGG-19 for the given preset.
+pub fn vgg19(preset: ModelPreset) -> Network {
+    build_vgg(
+        "vgg19",
+        preset,
+        &[
+            &[64, 64],
+            &[128, 128],
+            &[256, 256, 256, 256],
+            &[512, 512, 512, 512],
+            &[512, 512, 512, 512],
+        ],
+    )
+}
+
+/// Builds the smaller VGG-11 variant (useful for fast tests and ablations).
+pub fn vgg11(preset: ModelPreset) -> Network {
+    build_vgg(
+        "vgg11",
+        preset,
+        &[&[64], &[128], &[256, 256], &[512, 512], &[512, 512]],
+    )
+}
+
+fn build_vgg(name: &str, preset: ModelPreset, stages: &[&[usize]]) -> Network {
+    let (mut in_c, mut size, _) = preset.input;
+    let mut builder = NetworkBuilder::new(name, preset.input_shape());
+    for (stage_idx, stage) in stages.iter().enumerate() {
+        for (conv_idx, &out_c) in stage.iter().enumerate() {
+            builder = builder.layer(Layer::new(
+                format!("conv{}_{}", stage_idx + 1, conv_idx + 1),
+                LayerKind::ConvBlock {
+                    in_channels: in_c,
+                    out_channels: out_c,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+            ));
+            in_c = out_c;
+        }
+        // Only pool while the spatial size allows it; for 32x32 inputs the
+        // five standard pools bring the map down to 1x1.
+        if size >= 2 {
+            builder = builder.layer(Layer::new(
+                format!("pool{}", stage_idx + 1),
+                LayerKind::Pool { kernel: 2, stride: 2 },
+            ));
+            size /= 2;
+        }
+    }
+    let last_channels = in_c;
+    builder
+        .layer(Layer::new("gap", LayerKind::GlobalPool))
+        .layer(Layer::new(
+            "fc1",
+            LayerKind::Dense {
+                in_features: last_channels,
+                out_features: 4096,
+            },
+        ))
+        .layer(Layer::new(
+            "fc2",
+            LayerKind::Dense {
+                in_features: 4096,
+                out_features: 4096,
+            },
+        ))
+        .layer(Layer::new(
+            "head",
+            LayerKind::Classifier {
+                in_features: 4096,
+                classes: preset.classes,
+            },
+        ))
+        .build()
+        .expect("vgg preset is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+    use crate::shape::FeatureShape;
+
+    #[test]
+    fn vgg19_has_sixteen_conv_blocks() {
+        let net = vgg19(ModelPreset::cifar100());
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::ConvBlock { .. }))
+            .count();
+        assert_eq!(convs, 16);
+        assert_eq!(net.output_shape(), FeatureShape::vector(100));
+    }
+
+    #[test]
+    fn vgg19_is_much_heavier_than_vgg11() {
+        let big = vgg19(ModelPreset::cifar100()).total_cost();
+        let small = vgg11(ModelPreset::cifar100()).total_cost();
+        assert!(big.macs > small.macs);
+        assert!(big.weight_bytes > small.weight_bytes);
+    }
+
+    #[test]
+    fn vgg19_macs_in_plausible_cifar_range() {
+        let macs = vgg19(ModelPreset::cifar100()).total_cost().macs;
+        // CIFAR VGG-19 is ~400 MMACs; allow a generous band.
+        assert!(macs > 1e8, "macs = {macs}");
+        assert!(macs < 2e9, "macs = {macs}");
+    }
+
+    #[test]
+    fn vgg19_has_heavier_weights_than_visformer() {
+        // The paper attributes VGG-19's poor baseline efficiency to its
+        // parameter count; the cost model must reflect that.
+        let vgg = vgg19(ModelPreset::cifar100()).total_cost();
+        let vis = super::super::visformer(ModelPreset::cifar100()).total_cost();
+        assert!(vgg.weight_bytes > vis.weight_bytes);
+    }
+
+    #[test]
+    fn spatial_size_never_collapses() {
+        // Build succeeds (pools guarded); final spatial map is 1x1 before GAP.
+        let net = vgg19(ModelPreset::cifar100());
+        let gap_idx = net
+            .iter()
+            .find(|(_, l)| matches!(l.kind, LayerKind::GlobalPool))
+            .map(|(id, _)| id)
+            .unwrap();
+        let before_gap = net.input_shape_of(gap_idx).unwrap();
+        assert_eq!(before_gap, FeatureShape::spatial(512, 1, 1));
+    }
+
+    #[test]
+    fn imagenet_resolution_builds_and_is_heavier() {
+        let cifar = vgg19(ModelPreset::cifar100()).total_cost();
+        let imagenet = vgg19(ModelPreset::imagenet()).total_cost();
+        assert!(imagenet.macs > cifar.macs * 10.0);
+    }
+}

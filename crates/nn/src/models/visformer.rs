@@ -1,0 +1,142 @@
+//! Visformer-style vision transformer builder.
+//!
+//! The paper's ViT case study is Visformer (Chen et al., ICCV 2021) on
+//! CIFAR-100. The original Visformer-S interleaves convolutional stages
+//! with transformer stages; the builder here keeps the aspects that matter
+//! to Map-and-Conquer — a convolutional stem, a patch embedding and a stack
+//! of multi-head-attention + MLP blocks whose *heads* form the width
+//! dimension to be partitioned — at a CIFAR-appropriate scale.
+
+use super::ModelPreset;
+use crate::graph::{Network, NetworkBuilder};
+use crate::layer::{Layer, LayerKind};
+
+/// Builds the Visformer-style network used in the paper's main evaluation.
+///
+/// Structure (for 32×32 inputs): a 3×3 convolutional stem, a patch-4
+/// embedding to 192-dimensional tokens, seven transformer blocks with six
+/// attention heads each (attention and MLP are separate width-partitionable
+/// layers), global average pooling and a classifier.
+pub fn visformer(preset: ModelPreset) -> Network {
+    build_visformer("visformer", preset, 32, 192, 6, 7, 4)
+}
+
+/// A slimmer Visformer variant (96-dimensional tokens, four blocks) used by
+/// fast tests and examples.
+pub fn visformer_tiny(preset: ModelPreset) -> Network {
+    build_visformer("visformer_tiny", preset, 16, 96, 4, 4, 4)
+}
+
+fn build_visformer(
+    name: &str,
+    preset: ModelPreset,
+    stem_channels: usize,
+    embed_dim: usize,
+    heads: usize,
+    depth: usize,
+    patch: usize,
+) -> Network {
+    let (in_c, _, _) = preset.input;
+    let mlp_hidden = embed_dim * 4;
+    let mut builder = NetworkBuilder::new(name, preset.input_shape())
+        .layer(Layer::new(
+            "stem",
+            LayerKind::ConvBlock {
+                in_channels: in_c,
+                out_channels: stem_channels,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+        ))
+        .layer(Layer::new(
+            "patch_embed",
+            LayerKind::PatchEmbed {
+                in_channels: stem_channels,
+                embed_dim,
+                patch,
+            },
+        ));
+    for block in 0..depth {
+        builder = builder
+            .layer(Layer::new(
+                format!("block{block}_attn"),
+                LayerKind::AttentionBlock { embed_dim, heads },
+            ))
+            .layer(Layer::new(
+                format!("block{block}_mlp"),
+                LayerKind::MlpBlock {
+                    embed_dim,
+                    hidden_dim: mlp_hidden,
+                },
+            ));
+    }
+    builder
+        .layer(Layer::new("gap", LayerKind::GlobalPool))
+        .layer(Layer::new(
+            "head",
+            LayerKind::Classifier {
+                in_features: embed_dim,
+                classes: preset.classes,
+            },
+        ))
+        .build()
+        .expect("visformer preset is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+    use crate::shape::FeatureShape;
+
+    #[test]
+    fn visformer_has_expected_structure() {
+        let net = visformer(ModelPreset::cifar100());
+        // stem + patch embed + 7*2 blocks + gap + head
+        assert_eq!(net.num_layers(), 2 + 14 + 2);
+        assert_eq!(net.output_shape(), FeatureShape::vector(100));
+        assert_eq!(net.num_classes(), Some(100));
+        let attn_layers = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::AttentionBlock { .. }))
+            .count();
+        assert_eq!(attn_layers, 7);
+    }
+
+    #[test]
+    fn attention_width_is_head_count() {
+        let net = visformer(ModelPreset::cifar100());
+        let attn = net
+            .layers()
+            .iter()
+            .find(|l| matches!(l.kind, LayerKind::AttentionBlock { .. }))
+            .unwrap();
+        assert_eq!(attn.width(), 6);
+    }
+
+    #[test]
+    fn visformer_macs_are_in_plausible_range() {
+        let net = visformer(ModelPreset::cifar100());
+        let macs = net.total_cost().macs;
+        // Hundreds of MMACs for a CIFAR-scale ViT.
+        assert!(macs > 5e7, "macs = {macs}");
+        assert!(macs < 5e9, "macs = {macs}");
+    }
+
+    #[test]
+    fn tiny_variant_is_smaller() {
+        let full = visformer(ModelPreset::cifar100());
+        let tiny = visformer_tiny(ModelPreset::cifar100());
+        assert!(tiny.total_cost().macs < full.total_cost().macs);
+        assert!(tiny.num_layers() < full.num_layers());
+    }
+
+    #[test]
+    fn builds_for_imagenet_resolution() {
+        let net = visformer(ModelPreset::imagenet());
+        assert_eq!(net.num_classes(), Some(1000));
+        assert!(net.total_cost().macs > visformer(ModelPreset::cifar100()).total_cost().macs);
+    }
+}

@@ -1,0 +1,242 @@
+//! Feature-map shapes flowing between layers.
+//!
+//! Map-and-Conquer handles both convolutional networks (spatial feature
+//! maps) and vision transformers (token sequences), so the shape vocabulary
+//! covers both, plus flat vectors for classifier heads.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of the activation tensor produced by a layer, for a batch size of 1.
+///
+/// The *width* dimension of a shape is the one that Map-and-Conquer
+/// partitions: `channels` for [`FeatureShape::Spatial`], `dim` for
+/// [`FeatureShape::Tokens`] and `dim` for [`FeatureShape::Vector`].
+///
+/// ```
+/// use mnc_nn::FeatureShape;
+///
+/// let s = FeatureShape::spatial(64, 16, 16);
+/// assert_eq!(s.num_elements(), 64 * 16 * 16);
+/// assert_eq!(s.width(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureShape {
+    /// A `channels × height × width` convolutional feature map.
+    Spatial {
+        /// Number of channels.
+        channels: usize,
+        /// Spatial height.
+        height: usize,
+        /// Spatial width.
+        width: usize,
+    },
+    /// A `tokens × dim` sequence as used by transformer blocks.
+    Tokens {
+        /// Number of tokens (sequence length, including class token if any).
+        tokens: usize,
+        /// Embedding dimension per token.
+        dim: usize,
+    },
+    /// A flat feature vector of length `dim`.
+    Vector {
+        /// Vector length.
+        dim: usize,
+    },
+}
+
+impl FeatureShape {
+    /// Creates a spatial (CNN) shape.
+    pub fn spatial(channels: usize, height: usize, width: usize) -> Self {
+        FeatureShape::Spatial {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Creates a token-sequence (transformer) shape.
+    pub fn tokens(tokens: usize, dim: usize) -> Self {
+        FeatureShape::Tokens { tokens, dim }
+    }
+
+    /// Creates a flat-vector shape.
+    pub fn vector(dim: usize) -> Self {
+        FeatureShape::Vector { dim }
+    }
+
+    /// Total number of scalar elements in the activation.
+    pub fn num_elements(&self) -> usize {
+        match *self {
+            FeatureShape::Spatial {
+                channels,
+                height,
+                width,
+            } => channels * height * width,
+            FeatureShape::Tokens { tokens, dim } => tokens * dim,
+            FeatureShape::Vector { dim } => dim,
+        }
+    }
+
+    /// Size in bytes of the activation assuming `f32` storage.
+    pub fn num_bytes(&self) -> usize {
+        self.num_elements() * std::mem::size_of::<f32>()
+    }
+
+    /// The size of the *width* (partitionable) dimension.
+    pub fn width(&self) -> usize {
+        match *self {
+            FeatureShape::Spatial { channels, .. } => channels,
+            FeatureShape::Tokens { dim, .. } => dim,
+            FeatureShape::Vector { dim } => dim,
+        }
+    }
+
+    /// Number of positions over which the width dimension is replicated
+    /// (`height × width` for spatial maps, `tokens` for sequences, 1 for
+    /// vectors).
+    pub fn positions(&self) -> usize {
+        match *self {
+            FeatureShape::Spatial { height, width, .. } => height * width,
+            FeatureShape::Tokens { tokens, .. } => tokens,
+            FeatureShape::Vector { .. } => 1,
+        }
+    }
+
+    /// Returns a copy of the shape with the width dimension scaled by
+    /// `fraction`, rounded to at least one unit.
+    ///
+    /// This is how the partitioning matrix `P` of the paper produces the
+    /// shape of a width *slice* of a layer output.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `fraction` is not in `[0, 1]`.
+    pub fn scale_width(&self, fraction: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let scale = |w: usize| -> usize { ((w as f64 * fraction).round() as usize).max(1) };
+        match *self {
+            FeatureShape::Spatial {
+                channels,
+                height,
+                width,
+            } => FeatureShape::Spatial {
+                channels: scale(channels),
+                height,
+                width,
+            },
+            FeatureShape::Tokens { tokens, dim } => FeatureShape::Tokens {
+                tokens,
+                dim: scale(dim),
+            },
+            FeatureShape::Vector { dim } => FeatureShape::Vector { dim: scale(dim) },
+        }
+    }
+
+    /// Whether the two shapes have the same structural kind (spatial /
+    /// tokens / vector), ignoring the actual sizes.
+    pub fn same_kind(&self, other: &FeatureShape) -> bool {
+        matches!(
+            (self, other),
+            (FeatureShape::Spatial { .. }, FeatureShape::Spatial { .. })
+                | (FeatureShape::Tokens { .. }, FeatureShape::Tokens { .. })
+                | (FeatureShape::Vector { .. }, FeatureShape::Vector { .. })
+        )
+    }
+}
+
+impl fmt::Display for FeatureShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FeatureShape::Spatial {
+                channels,
+                height,
+                width,
+            } => write!(f, "{channels}x{height}x{width}"),
+            FeatureShape::Tokens { tokens, dim } => write!(f, "{tokens}t x {dim}d"),
+            FeatureShape::Vector { dim } => write!(f, "vec({dim})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn element_counts() {
+        assert_eq!(FeatureShape::spatial(3, 32, 32).num_elements(), 3 * 32 * 32);
+        assert_eq!(FeatureShape::tokens(64, 192).num_elements(), 64 * 192);
+        assert_eq!(FeatureShape::vector(100).num_elements(), 100);
+    }
+
+    #[test]
+    fn bytes_are_four_per_element() {
+        let s = FeatureShape::spatial(8, 4, 4);
+        assert_eq!(s.num_bytes(), s.num_elements() * 4);
+    }
+
+    #[test]
+    fn width_and_positions() {
+        let s = FeatureShape::spatial(64, 8, 8);
+        assert_eq!(s.width(), 64);
+        assert_eq!(s.positions(), 64);
+        let t = FeatureShape::tokens(49, 384);
+        assert_eq!(t.width(), 384);
+        assert_eq!(t.positions(), 49);
+        let v = FeatureShape::vector(10);
+        assert_eq!(v.width(), 10);
+        assert_eq!(v.positions(), 1);
+    }
+
+    #[test]
+    fn scale_width_half() {
+        let s = FeatureShape::spatial(64, 8, 8).scale_width(0.5);
+        assert_eq!(s, FeatureShape::spatial(32, 8, 8));
+        let t = FeatureShape::tokens(49, 384).scale_width(0.25);
+        assert_eq!(t, FeatureShape::tokens(49, 96));
+    }
+
+    #[test]
+    fn scale_width_never_drops_to_zero() {
+        let s = FeatureShape::vector(3).scale_width(0.01);
+        assert_eq!(s.width(), 1);
+    }
+
+    #[test]
+    fn same_kind_checks_structure_only() {
+        assert!(FeatureShape::spatial(1, 1, 1).same_kind(&FeatureShape::spatial(9, 9, 9)));
+        assert!(!FeatureShape::spatial(1, 1, 1).same_kind(&FeatureShape::vector(1)));
+        assert!(FeatureShape::tokens(2, 2).same_kind(&FeatureShape::tokens(5, 7)));
+    }
+
+    #[test]
+    fn display_round_trip_is_informative() {
+        assert_eq!(FeatureShape::spatial(64, 8, 8).to_string(), "64x8x8");
+        assert_eq!(FeatureShape::tokens(49, 384).to_string(), "49t x 384d");
+        assert_eq!(FeatureShape::vector(100).to_string(), "vec(100)");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_scale_width_monotone(c in 1usize..512, h in 1usize..64, w in 1usize..64,
+                                     f1 in 0.0f64..1.0, f2 in 0.0f64..1.0) {
+            let shape = FeatureShape::spatial(c, h, w);
+            let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+            prop_assert!(shape.scale_width(lo).width() <= shape.scale_width(hi).width());
+        }
+
+        #[test]
+        fn prop_scale_full_is_identity(c in 1usize..512, h in 1usize..64, w in 1usize..64) {
+            let shape = FeatureShape::spatial(c, h, w);
+            prop_assert_eq!(shape.scale_width(1.0), shape);
+        }
+
+        #[test]
+        fn prop_elements_equal_width_times_positions(c in 1usize..256, h in 1usize..32, w in 1usize..32) {
+            let shape = FeatureShape::spatial(c, h, w);
+            prop_assert_eq!(shape.num_elements(), shape.width() * shape.positions());
+        }
+    }
+}

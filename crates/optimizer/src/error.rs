@@ -1,0 +1,75 @@
+//! Error type for the optimizer crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the evolutionary search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimError {
+    /// A search hyper-parameter is invalid.
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The search could not produce a single feasible configuration.
+    NoFeasibleConfiguration,
+    /// An error bubbled up from the evaluator.
+    Core(mnc_core::CoreError),
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::InvalidConfig { reason } => {
+                write!(f, "invalid search configuration: {reason}")
+            }
+            OptimError::NoFeasibleConfiguration => {
+                write!(f, "search produced no feasible configuration")
+            }
+            OptimError::Core(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl Error for OptimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OptimError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mnc_core::CoreError> for OptimError {
+    fn from(e: mnc_core::CoreError) -> Self {
+        OptimError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = OptimError::InvalidConfig {
+            reason: "zero population".to_string(),
+        };
+        assert!(e.to_string().contains("zero population"));
+        assert!(e.source().is_none());
+        let wrapped: OptimError = mnc_core::CoreError::InvalidMapping {
+            reason: "x".to_string(),
+        }
+        .into();
+        assert!(wrapped.source().is_some());
+        assert!(OptimError::NoFeasibleConfiguration
+            .to_string()
+            .contains("feasible"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Error>() {}
+        assert_send_sync::<OptimError>();
+    }
+}

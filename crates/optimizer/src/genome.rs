@@ -1,0 +1,362 @@
+//! Genome encoding of a mapping configuration.
+//!
+//! The evolutionary search works on a compact integer genome rather than on
+//! [`mnc_core::MappingConfig`] directly:
+//!
+//! * **partition genes** — for every partitionable layer, `M` slot counts
+//!   summing to 8 (the paper's eight split ratios per layer),
+//! * **indicator genes** — one forwarding bit per layer per non-final stage,
+//! * **mapping gene** — a permutation of the platform's compute units,
+//! * **DVFS genes** — one quantised frequency index per stage, rescaled to
+//!   the stage's compute-unit DVFS table when decoding.
+//!
+//! Every genome constructed by [`Genome::random`] or produced by the
+//! mutation/crossover operators decodes into a *valid* configuration, so
+//! the search never wastes evaluations on malformed candidates.
+
+use crate::error::OptimError;
+use mnc_core::{CoreError, DvfsAssignment, Mapping, MappingConfig};
+use mnc_dynamic::{IndicatorMatrix, PartitionMatrix};
+use mnc_mpsoc::{CuId, Platform};
+use mnc_nn::{LayerId, Network};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Number of width slots per layer (split ratios are multiples of 1/8).
+pub const PARTITION_SLOTS: u8 = 8;
+
+/// Resolution of the quantised DVFS gene.
+pub const DVFS_RESOLUTION: u8 = 16;
+
+/// A candidate solution in genome form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Genome {
+    num_stages: usize,
+    /// Identifiers of the partitionable layers (decoding needs the order).
+    partitionable: Vec<usize>,
+    /// Slot allocation per partitionable layer; each row sums to
+    /// [`PARTITION_SLOTS`].
+    partition_slots: Vec<Vec<u8>>,
+    /// Forwarding bit per layer (all layers) and per non-final stage.
+    indicator: Vec<Vec<bool>>,
+    /// Permutation of compute-unit indices, one per stage.
+    mapping: Vec<usize>,
+    /// Quantised DVFS level per stage, in `0..DVFS_RESOLUTION`.
+    dvfs: Vec<u8>,
+}
+
+impl Genome {
+    /// Samples a random, valid genome.
+    pub fn random(network: &Network, platform: &Platform, rng: &mut StdRng) -> Self {
+        let num_stages = platform.num_compute_units();
+        let partitionable: Vec<usize> = network
+            .partitionable_layers()
+            .into_iter()
+            .map(|id| id.0)
+            .collect();
+        let partition_slots = partitionable
+            .iter()
+            .map(|_| random_slots(num_stages, rng))
+            .collect();
+        // Sample a per-genome forwarding density so the initial population
+        // already spans the whole feature-map-reuse range; this matters for
+        // the constrained search strategies (reuse ≤ 75% / 50%).
+        let density = 0.3 + 0.7 * rng.random::<f64>();
+        let indicator = (0..network.num_layers())
+            .map(|_| {
+                (0..num_stages.saturating_sub(1))
+                    .map(|_| rng.random::<f64>() < density)
+                    .collect()
+            })
+            .collect();
+        let mut mapping: Vec<usize> = (0..num_stages).collect();
+        mapping.shuffle(rng);
+        let dvfs = (0..num_stages)
+            .map(|_| rng.random_range(0..DVFS_RESOLUTION))
+            .collect();
+        Genome {
+            num_stages,
+            partitionable,
+            partition_slots,
+            indicator,
+            mapping,
+            dvfs,
+        }
+    }
+
+    /// The genome of the paper's default starting point: even split, full
+    /// forwarding, identity mapping, maximum frequency.
+    pub fn balanced(network: &Network, platform: &Platform) -> Self {
+        let num_stages = platform.num_compute_units();
+        let partitionable: Vec<usize> = network
+            .partitionable_layers()
+            .into_iter()
+            .map(|id| id.0)
+            .collect();
+        let mut even = vec![PARTITION_SLOTS / num_stages as u8; num_stages];
+        let mut remainder = PARTITION_SLOTS as usize - even.iter().map(|s| *s as usize).sum::<usize>();
+        let mut i = 0;
+        while remainder > 0 {
+            even[i % num_stages] += 1;
+            remainder -= 1;
+            i += 1;
+        }
+        Genome {
+            num_stages,
+            partition_slots: partitionable.iter().map(|_| even.clone()).collect(),
+            partitionable,
+            indicator: vec![vec![true; num_stages.saturating_sub(1)]; network.num_layers()],
+            mapping: (0..num_stages).collect(),
+            dvfs: vec![DVFS_RESOLUTION - 1; num_stages],
+        }
+    }
+
+    /// Number of stages encoded.
+    pub fn num_stages(&self) -> usize {
+        self.num_stages
+    }
+
+    /// Slot allocations per partitionable layer.
+    pub fn partition_slots(&self) -> &[Vec<u8>] {
+        &self.partition_slots
+    }
+
+    /// Mutable access for the mutation operators (crate-internal).
+    pub(crate) fn parts_mut(
+        &mut self,
+    ) -> (
+        &mut Vec<Vec<u8>>,
+        &mut Vec<Vec<bool>>,
+        &mut Vec<usize>,
+        &mut Vec<u8>,
+    ) {
+        (
+            &mut self.partition_slots,
+            &mut self.indicator,
+            &mut self.mapping,
+            &mut self.dvfs,
+        )
+    }
+
+    /// Read access to the gene groups (crate-internal, used by crossover).
+    pub(crate) fn parts(&self) -> (&[Vec<u8>], &[Vec<bool>], &[usize], &[u8]) {
+        (
+            &self.partition_slots,
+            &self.indicator,
+            &self.mapping,
+            &self.dvfs,
+        )
+    }
+
+    /// Checks the genome invariants (slot sums, permutation, gene ranges).
+    pub fn is_valid(&self) -> bool {
+        let slots_ok = self
+            .partition_slots
+            .iter()
+            .all(|row| row.len() == self.num_stages && row.iter().map(|s| *s as u32).sum::<u32>() == PARTITION_SLOTS as u32);
+        let mut seen = vec![false; self.num_stages];
+        let mut permutation_ok = self.mapping.len() == self.num_stages;
+        for &cu in &self.mapping {
+            if cu >= self.num_stages || seen[cu] {
+                permutation_ok = false;
+                break;
+            }
+            seen[cu] = true;
+        }
+        let dvfs_ok = self.dvfs.len() == self.num_stages
+            && self.dvfs.iter().all(|d| *d < DVFS_RESOLUTION);
+        let indicator_ok = self
+            .indicator
+            .iter()
+            .all(|row| row.len() == self.num_stages.saturating_sub(1));
+        slots_ok && permutation_ok && dvfs_ok && indicator_ok
+    }
+
+    /// Decodes the genome into a full [`MappingConfig`] for the given
+    /// network and platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the genome was built for a different network
+    /// or platform (mismatched layer counts or compute-unit counts).
+    pub fn decode(
+        &self,
+        network: &Network,
+        platform: &Platform,
+    ) -> Result<MappingConfig, OptimError> {
+        if self.num_stages != platform.num_compute_units() {
+            return Err(OptimError::InvalidConfig {
+                reason: format!(
+                    "genome encodes {} stages but platform has {} compute units",
+                    self.num_stages,
+                    platform.num_compute_units()
+                ),
+            });
+        }
+        if self.indicator.len() != network.num_layers() {
+            return Err(OptimError::InvalidConfig {
+                reason: format!(
+                    "genome encodes {} layers but network has {}",
+                    self.indicator.len(),
+                    network.num_layers()
+                ),
+            });
+        }
+
+        // Partition matrix: explicit rows for partitionable layers, an even
+        // placeholder for the rest (they follow their producers anyway).
+        let uniform_row = vec![1.0 / self.num_stages as f64; self.num_stages];
+        let mut rows = vec![uniform_row; network.num_layers()];
+        for (slot_row, layer_index) in self.partition_slots.iter().zip(&self.partitionable) {
+            rows[*layer_index] = slot_row
+                .iter()
+                .map(|s| *s as f64 / PARTITION_SLOTS as f64)
+                .collect();
+        }
+        let partition =
+            PartitionMatrix::from_rows(network, rows).map_err(CoreError::Dynamic)?;
+
+        let indicator_rows: Vec<Vec<bool>> = self
+            .indicator
+            .iter()
+            .map(|row| {
+                let mut full = row.clone();
+                full.push(false); // the final stage's features are never forwarded
+                full
+            })
+            .collect();
+        let indicator =
+            IndicatorMatrix::from_rows(network, indicator_rows).map_err(CoreError::Dynamic)?;
+
+        let mapping = Mapping::new(self.mapping.iter().map(|&i| CuId(i)).collect(), platform)?;
+
+        let levels: Vec<usize> = self
+            .mapping
+            .iter()
+            .zip(&self.dvfs)
+            .map(|(&cu_index, &gene)| {
+                let cu = platform
+                    .compute_unit(CuId(cu_index))
+                    .expect("mapping validated above");
+                let max_level = cu.dvfs().num_levels() - 1;
+                ((gene as f64 / (DVFS_RESOLUTION - 1) as f64) * max_level as f64).round() as usize
+            })
+            .collect();
+        let dvfs = DvfsAssignment::new(levels, &mapping, platform)?;
+
+        Ok(MappingConfig::new(partition, indicator, mapping, dvfs)?)
+    }
+
+    /// Fraction of forwarding bits that are set (a cheap proxy for the
+    /// decoded configuration's feature-map reuse ratio).
+    pub fn indicator_density(&self) -> f64 {
+        let total: usize = self.indicator.iter().map(Vec::len).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let set: usize = self
+            .indicator
+            .iter()
+            .map(|row| row.iter().filter(|b| **b).count())
+            .sum();
+        set as f64 / total as f64
+    }
+
+    /// Identifiers of the partitionable layers this genome was built for.
+    pub fn partitionable_layers(&self) -> Vec<LayerId> {
+        self.partitionable.iter().map(|&i| LayerId(i)).collect()
+    }
+}
+
+/// Random slot allocation: distribute [`PARTITION_SLOTS`] slots over
+/// `stages` stages.
+fn random_slots(stages: usize, rng: &mut StdRng) -> Vec<u8> {
+    let mut slots = vec![0u8; stages.max(1)];
+    for _ in 0..PARTITION_SLOTS {
+        let stage = rng.random_range(0..stages.max(1));
+        slots[stage] += 1;
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_nn::models::{visformer_tiny, ModelPreset};
+    use rand::SeedableRng;
+
+    fn setup() -> (Network, Platform, StdRng) {
+        (
+            visformer_tiny(ModelPreset::cifar100()),
+            Platform::dual_test(),
+            StdRng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn random_genomes_are_valid_and_decode() {
+        let (net, platform, mut rng) = setup();
+        for _ in 0..20 {
+            let genome = Genome::random(&net, &platform, &mut rng);
+            assert!(genome.is_valid());
+            let config = genome.decode(&net, &platform).unwrap();
+            assert_eq!(config.num_stages(), 2);
+        }
+    }
+
+    #[test]
+    fn balanced_genome_decodes_to_uniform_split() {
+        let (net, platform, _) = setup();
+        let genome = Genome::balanced(&net, &platform);
+        assert!(genome.is_valid());
+        assert_eq!(genome.indicator_density(), 1.0);
+        let config = genome.decode(&net, &platform).unwrap();
+        let first_partitionable = net.partitionable_layers()[0];
+        assert!((config.partition.fraction(first_partitionable, 0) - 0.5).abs() < 1e-9);
+        // Maximum-frequency DVFS genes decode to the top level.
+        let cu0_levels = platform.compute_unit(CuId(0)).unwrap().dvfs().num_levels();
+        assert_eq!(config.dvfs.level(0), Some(cu0_levels - 1));
+    }
+
+    #[test]
+    fn decoding_against_the_wrong_platform_fails() {
+        let (net, platform, mut rng) = setup();
+        let genome = Genome::random(&net, &platform, &mut rng);
+        let xavier = Platform::agx_xavier();
+        assert!(genome.decode(&net, &xavier).is_err());
+        let other_net = mnc_nn::models::vgg11(ModelPreset::cifar100());
+        assert!(genome.decode(&other_net, &platform).is_err());
+    }
+
+    #[test]
+    fn randomness_is_reproducible_per_seed() {
+        let (net, platform, _) = setup();
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        assert_eq!(
+            Genome::random(&net, &platform, &mut rng_a),
+            Genome::random(&net, &platform, &mut rng_b)
+        );
+    }
+
+    #[test]
+    fn partitionable_layers_match_network() {
+        let (net, platform, mut rng) = setup();
+        let genome = Genome::random(&net, &platform, &mut rng);
+        assert_eq!(genome.partitionable_layers(), net.partitionable_layers());
+    }
+
+    #[test]
+    fn dvfs_gene_extremes_map_to_table_extremes() {
+        let (net, platform, _) = setup();
+        let mut genome = Genome::balanced(&net, &platform);
+        {
+            let (_, _, _, dvfs) = genome.parts_mut();
+            dvfs[0] = 0;
+        }
+        let config = genome.decode(&net, &platform).unwrap();
+        assert_eq!(config.dvfs.level(0), Some(0));
+    }
+}

@@ -1,0 +1,54 @@
+//! Evolutionary mapping search for Map-and-Conquer (paper §V).
+//!
+//! The search explores the joint space of partitioning ratios `P`,
+//! feature-reuse indicators `I`, stage→compute-unit mappings `M` and DVFS
+//! levels `ϑ` with an elitist evolutionary algorithm: every generation, the
+//! population is evaluated through the [`mnc_core::Evaluator`],
+//! configurations violating the constraints are filtered, the survivors are
+//! ranked by the objective of eq. 16 and the elites seed the next
+//! generation through crossover and mutation. All evaluated configurations
+//! are archived so the energy/latency scatter of Fig. 6 and the Pareto
+//! fronts of Table II / Fig. 7 can be extracted afterwards.
+//!
+//! * [`genome`] — the genome encoding and its decoding into a
+//!   [`mnc_core::MappingConfig`],
+//! * [`operators`] — mutation and crossover,
+//! * [`pareto`] — non-dominated sorting and Pareto-front extraction,
+//! * [`search`] — the search loop, its configuration and its outcome.
+//!
+//! # Example
+//!
+//! ```
+//! use mnc_core::EvaluatorBuilder;
+//! use mnc_mpsoc::Platform;
+//! use mnc_nn::models::{visformer_tiny, ModelPreset};
+//! use mnc_optim::{MappingSearch, SearchConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let evaluator = EvaluatorBuilder::new(
+//!     visformer_tiny(ModelPreset::cifar100()),
+//!     Platform::dual_test(),
+//! )
+//! .validation_samples(500)
+//! .build()?;
+//! let config = SearchConfig { generations: 3, population_size: 8, ..SearchConfig::fast() };
+//! let outcome = MappingSearch::new(&evaluator, config).run()?;
+//! assert!(!outcome.pareto_front().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod genome;
+pub mod operators;
+pub mod pareto;
+pub mod search;
+
+pub use error::OptimError;
+pub use genome::Genome;
+pub use operators::MutationConfig;
+pub use pareto::{crowding_distance, pareto_front_indices};
+pub use search::{EvaluatedConfig, MappingSearch, SearchConfig, SearchOutcome};

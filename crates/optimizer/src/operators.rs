@@ -1,0 +1,225 @@
+//! Mutation and crossover operators.
+//!
+//! All operators preserve genome validity: partition rows keep summing to
+//! [`crate::genome::PARTITION_SLOTS`], the mapping stays a permutation and
+//! DVFS genes stay inside their range, so every offspring decodes into a
+//! well-formed configuration.
+
+use crate::genome::{Genome, DVFS_RESOLUTION};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Per-gene-group mutation probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MutationConfig {
+    /// Probability of moving one width slot between stages, per layer.
+    pub partition_rate: f64,
+    /// Probability of flipping each forwarding bit.
+    pub indicator_rate: f64,
+    /// Probability of swapping two stages' compute units.
+    pub mapping_swap_rate: f64,
+    /// Probability of nudging each stage's DVFS gene by ±1 step.
+    pub dvfs_rate: f64,
+}
+
+impl Default for MutationConfig {
+    fn default() -> Self {
+        MutationConfig {
+            partition_rate: 0.3,
+            indicator_rate: 0.05,
+            mapping_swap_rate: 0.2,
+            dvfs_rate: 0.25,
+        }
+    }
+}
+
+impl MutationConfig {
+    /// A gentler operator for exploitation-heavy late generations.
+    pub fn fine_tuning() -> Self {
+        MutationConfig {
+            partition_rate: 0.15,
+            indicator_rate: 0.02,
+            mapping_swap_rate: 0.1,
+            dvfs_rate: 0.15,
+        }
+    }
+}
+
+/// Mutates a genome in place.
+pub fn mutate(genome: &mut Genome, config: &MutationConfig, rng: &mut StdRng) {
+    let num_stages = genome.num_stages();
+    let (partition, indicator, mapping, dvfs) = genome.parts_mut();
+
+    // Partition: move one slot from a non-empty stage to another stage.
+    for row in partition.iter_mut() {
+        if num_stages < 2 || rng.random::<f64>() >= config.partition_rate {
+            continue;
+        }
+        let donors: Vec<usize> = (0..num_stages).filter(|&s| row[s] > 0).collect();
+        if donors.is_empty() {
+            continue;
+        }
+        let from = donors[rng.random_range(0..donors.len())];
+        let mut to = rng.random_range(0..num_stages);
+        if to == from {
+            to = (to + 1) % num_stages;
+        }
+        row[from] -= 1;
+        row[to] += 1;
+    }
+
+    // Indicator: independent bit flips.
+    for row in indicator.iter_mut() {
+        for bit in row.iter_mut() {
+            if rng.random::<f64>() < config.indicator_rate {
+                *bit = !*bit;
+            }
+        }
+    }
+
+    // Mapping: swap two stages' compute units.
+    if num_stages >= 2 && rng.random::<f64>() < config.mapping_swap_rate {
+        let a = rng.random_range(0..num_stages);
+        let mut b = rng.random_range(0..num_stages);
+        if a == b {
+            b = (b + 1) % num_stages;
+        }
+        mapping.swap(a, b);
+    }
+
+    // DVFS: random walk of ±1 quantised step.
+    for gene in dvfs.iter_mut() {
+        if rng.random::<f64>() < config.dvfs_rate {
+            if rng.random::<bool>() {
+                *gene = (*gene + 1).min(DVFS_RESOLUTION - 1);
+            } else {
+                *gene = gene.saturating_sub(1);
+            }
+        }
+    }
+}
+
+/// Uniform crossover: every gene group row is inherited from one of the two
+/// parents with equal probability. The mapping permutation is inherited
+/// whole from one parent to stay valid.
+pub fn crossover(a: &Genome, b: &Genome, rng: &mut StdRng) -> Genome {
+    let mut child = a.clone();
+    {
+        let (a_partition, a_indicator, _, a_dvfs) = a.parts();
+        let (b_partition, b_indicator, b_mapping, b_dvfs) = b.parts();
+        let (c_partition, c_indicator, c_mapping, c_dvfs) = child.parts_mut();
+
+        for (index, row) in c_partition.iter_mut().enumerate() {
+            if rng.random::<bool>() {
+                row.clone_from(&b_partition[index]);
+            } else {
+                row.clone_from(&a_partition[index]);
+            }
+        }
+        for (index, row) in c_indicator.iter_mut().enumerate() {
+            if rng.random::<bool>() {
+                row.clone_from(&b_indicator[index]);
+            } else {
+                row.clone_from(&a_indicator[index]);
+            }
+        }
+        if rng.random::<bool>() {
+            c_mapping.clone_from_slice(b_mapping);
+        }
+        for (index, gene) in c_dvfs.iter_mut().enumerate() {
+            if rng.random::<bool>() {
+                *gene = b_dvfs[index];
+            } else {
+                *gene = a_dvfs[index];
+            }
+        }
+    }
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_mpsoc::Platform;
+    use mnc_nn::models::{visformer_tiny, ModelPreset};
+    use rand::SeedableRng;
+
+    fn genomes() -> (Genome, Genome, mnc_nn::Network, Platform, StdRng) {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let platform = Platform::dual_test();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Genome::random(&net, &platform, &mut rng);
+        let b = Genome::random(&net, &platform, &mut rng);
+        (a, b, net, platform, rng)
+    }
+
+    #[test]
+    fn mutation_preserves_validity() {
+        let (mut a, _, net, platform, mut rng) = genomes();
+        let aggressive = MutationConfig {
+            partition_rate: 1.0,
+            indicator_rate: 0.5,
+            mapping_swap_rate: 1.0,
+            dvfs_rate: 1.0,
+        };
+        for _ in 0..50 {
+            mutate(&mut a, &aggressive, &mut rng);
+            assert!(a.is_valid());
+            assert!(a.decode(&net, &platform).is_ok());
+        }
+    }
+
+    #[test]
+    fn mutation_changes_something_eventually() {
+        let (mut a, _, _, _, mut rng) = genomes();
+        let original = a.clone();
+        for _ in 0..10 {
+            mutate(&mut a, &MutationConfig::default(), &mut rng);
+        }
+        assert_ne!(a, original);
+    }
+
+    #[test]
+    fn zero_rate_mutation_is_identity() {
+        let (mut a, _, _, _, mut rng) = genomes();
+        let original = a.clone();
+        let frozen = MutationConfig {
+            partition_rate: 0.0,
+            indicator_rate: 0.0,
+            mapping_swap_rate: 0.0,
+            dvfs_rate: 0.0,
+        };
+        mutate(&mut a, &frozen, &mut rng);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn crossover_produces_valid_children_mixing_parents() {
+        let (a, b, net, platform, mut rng) = genomes();
+        let mut saw_a_gene = false;
+        let mut saw_b_gene = false;
+        for _ in 0..20 {
+            let child = crossover(&a, &b, &mut rng);
+            assert!(child.is_valid());
+            assert!(child.decode(&net, &platform).is_ok());
+            if child.partition_slots()[0] == a.partition_slots()[0] {
+                saw_a_gene = true;
+            }
+            if child.partition_slots()[0] == b.partition_slots()[0] {
+                saw_b_gene = true;
+            }
+        }
+        assert!(saw_a_gene && saw_b_gene);
+    }
+
+    #[test]
+    fn fine_tuning_rates_are_gentler_than_default() {
+        let default = MutationConfig::default();
+        let fine = MutationConfig::fine_tuning();
+        assert!(fine.partition_rate < default.partition_rate);
+        assert!(fine.indicator_rate < default.indicator_rate);
+        assert!(fine.mapping_swap_rate < default.mapping_swap_rate);
+        assert!(fine.dvfs_rate < default.dvfs_rate);
+    }
+}

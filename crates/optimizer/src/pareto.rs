@@ -1,0 +1,247 @@
+//! Pareto-dominance utilities.
+//!
+//! After the search budget expires, the paper extracts a Pareto set over
+//! (average energy, average latency) — optionally filtered by an accuracy
+//! constraint — from all evaluated configurations. These helpers implement
+//! dominance checks, Pareto-front extraction and the NSGA-II crowding
+//! distance used for tie-breaking among equally-ranked candidates.
+
+/// Returns `true` when point `a` dominates point `b` (all objectives are
+/// minimised): `a` is no worse in every objective and strictly better in at
+/// least one.
+///
+/// # Panics
+///
+/// Panics if the two points have different dimensionality.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal length");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Indices of the non-dominated points (the Pareto front) among `points`,
+/// all objectives minimised. Duplicate points are all kept.
+pub fn pareto_front_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(other, &points[i]))
+        })
+        .collect()
+}
+
+/// Partitions `points` into successive non-dominated fronts (NSGA-II fast
+/// non-dominated sorting): front 0 is the Pareto front, front 1 the Pareto
+/// front of the remainder, and so on. Every index appears in exactly one
+/// front.
+pub fn non_dominated_fronts(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = points.len();
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut assigned = vec![false; n];
+    let mut remaining = n;
+    while remaining > 0 {
+        let mut front = Vec::new();
+        for i in 0..n {
+            if assigned[i] {
+                continue;
+            }
+            let dominated = (0..n).any(|j| {
+                j != i && !assigned[j] && dominates(&points[j], &points[i])
+            });
+            if !dominated {
+                front.push(i);
+            }
+        }
+        // Guard against pathological floating-point cases: if nothing was
+        // selected (impossible for finite inputs), flush the remainder.
+        if front.is_empty() {
+            front = (0..n).filter(|&i| !assigned[i]).collect();
+        }
+        for &i in &front {
+            assigned[i] = true;
+        }
+        remaining -= front.len();
+        fronts.push(front);
+    }
+    fronts
+}
+
+/// NSGA-II crowding distance of every point (larger = more isolated =
+/// preferred for diversity). Boundary points get `f64::INFINITY`.
+pub fn crowding_distance(points: &[Vec<f64>]) -> Vec<f64> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dims = points[0].len();
+    let mut distance = vec![0.0f64; n];
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    for d in 0..dims {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            points[a][d]
+                .partial_cmp(&points[b][d])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let min = points[order[0]][d];
+        let max = points[order[n - 1]][d];
+        distance[order[0]] = f64::INFINITY;
+        distance[order[n - 1]] = f64::INFINITY;
+        let range = max - min;
+        if range <= 0.0 {
+            continue;
+        }
+        for window in 1..n - 1 {
+            let prev = points[order[window - 1]][d];
+            let next = points[order[window + 1]][d];
+            distance[order[window]] += (next - prev) / range;
+        }
+    }
+    distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_dimensions_panic() {
+        let _ = dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn pareto_front_of_a_simple_set() {
+        let points = vec![
+            vec![1.0, 5.0], // front
+            vec![2.0, 4.0], // front
+            vec![3.0, 3.0], // front
+            vec![3.0, 5.0], // dominated by (3,3) and (2,4)
+            vec![5.0, 5.0], // dominated
+        ];
+        let front = pareto_front_indices(&points);
+        assert_eq!(front, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(pareto_front_indices(&[]).is_empty());
+        assert_eq!(pareto_front_indices(&[vec![1.0, 2.0]]), vec![0]);
+        assert!(crowding_distance(&[]).is_empty());
+        assert_eq!(crowding_distance(&[vec![1.0, 2.0]]), vec![f64::INFINITY]);
+    }
+
+    #[test]
+    fn crowding_distance_prefers_isolated_points() {
+        let points = vec![
+            vec![0.0, 10.0],
+            vec![1.0, 9.0],
+            vec![1.1, 8.9], // crowded next to the previous point
+            vec![5.0, 5.0], // isolated
+            vec![10.0, 0.0],
+        ];
+        let d = crowding_distance(&points);
+        assert!(d[0].is_infinite());
+        assert!(d[4].is_infinite());
+        assert!(d[3] > d[2]);
+    }
+
+    #[test]
+    fn identical_points_get_zero_finite_distance() {
+        let points = vec![vec![1.0, 1.0]; 4];
+        let d = crowding_distance(&points);
+        // Boundaries are infinite, the interior ones are 0 (range is 0).
+        assert!(d.iter().filter(|v| v.is_infinite()).count() >= 2);
+        assert!(d.iter().filter(|v| **v == 0.0).count() >= 2);
+    }
+
+    #[test]
+    fn non_dominated_fronts_partition_the_set() {
+        let points = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 4.0],
+            vec![3.0, 5.0],
+            vec![5.0, 5.0],
+            vec![2.0, 6.0],
+        ];
+        let fronts = non_dominated_fronts(&points);
+        assert_eq!(fronts[0], pareto_front_indices(&points));
+        let total: usize = fronts.iter().map(Vec::len).sum();
+        assert_eq!(total, points.len());
+        // Later fronts are dominated by someone in an earlier front.
+        for (rank, front) in fronts.iter().enumerate().skip(1) {
+            for &i in front {
+                assert!(fronts[rank - 1]
+                    .iter()
+                    .any(|&j| dominates(&points[j], &points[i])));
+            }
+        }
+    }
+
+    #[test]
+    fn non_dominated_fronts_of_empty_set_is_empty() {
+        assert!(non_dominated_fronts(&[]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fronts_cover_all_points(
+            points in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..100.0, 2), 1..30)
+        ) {
+            let fronts = non_dominated_fronts(&points);
+            let mut seen = vec![false; points.len()];
+            for front in &fronts {
+                for &i in front {
+                    prop_assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+            prop_assert!(seen.into_iter().all(|s| s));
+        }
+
+        #[test]
+        fn prop_front_members_are_mutually_nondominated(
+            points in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..100.0, 2), 1..40)
+        ) {
+            let front = pareto_front_indices(&points);
+            prop_assert!(!front.is_empty());
+            for &i in &front {
+                for &j in &front {
+                    if i != j {
+                        prop_assert!(!dominates(&points[i], &points[j]) || points[i] == points[j]);
+                    }
+                }
+            }
+            // Every non-front point is dominated by someone on the front.
+            for i in 0..points.len() {
+                if !front.contains(&i) {
+                    prop_assert!(points.iter().any(|p| dominates(p, &points[i])));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! The evolutionary search loop (paper §V-C, Fig. 5).
+
+use crate::error::OptimError;
+use crate::genome::Genome;
+use crate::operators::{crossover, mutate, MutationConfig};
+use crate::pareto::{crowding_distance, non_dominated_fronts, pareto_front_indices};
+use mnc_core::{EvaluationResult, Evaluator, MappingConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How elites are chosen from an evaluated generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// Rank by the scalar objective of eq. 16 (feasible candidates first).
+    /// This is the paper's elite-selection step.
+    ObjectiveElitism,
+    /// NSGA-II-style selection: non-dominated sorting over (average energy,
+    /// average latency, accuracy drop) with crowding-distance tie-breaking.
+    /// Useful when the practitioner wants the whole Pareto surface rather
+    /// than one scalarised optimum.
+    ParetoCrowding,
+}
+
+/// Hyper-parameters of the evolutionary search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Number of generations.
+    pub generations: usize,
+    /// Population size per generation.
+    pub population_size: usize,
+    /// Fraction of the population kept as elites each generation.
+    pub elite_fraction: f64,
+    /// Probability that a child is produced by crossover (otherwise it is a
+    /// mutated copy of a single elite).
+    pub crossover_rate: f64,
+    /// Mutation operator configuration.
+    pub mutation: MutationConfig,
+    /// Elite-selection strategy.
+    pub selection: SelectionStrategy,
+    /// RNG seed.
+    pub seed: u64,
+    /// Evaluate each generation's population on multiple threads.
+    pub parallel: bool,
+}
+
+impl SearchConfig {
+    /// The paper's search budget: 200 generations of 60 candidates
+    /// (12 000 evaluations).
+    pub fn paper() -> Self {
+        SearchConfig {
+            generations: 200,
+            population_size: 60,
+            elite_fraction: 0.25,
+            crossover_rate: 0.7,
+            mutation: MutationConfig::default(),
+            selection: SelectionStrategy::ObjectiveElitism,
+            seed: 2023,
+            parallel: true,
+        }
+    }
+
+    /// A small budget for tests, examples and CI.
+    pub fn fast() -> Self {
+        SearchConfig {
+            generations: 6,
+            population_size: 16,
+            elite_fraction: 0.25,
+            crossover_rate: 0.7,
+            mutation: MutationConfig::default(),
+            selection: SelectionStrategy::ObjectiveElitism,
+            seed: 7,
+            parallel: false,
+        }
+    }
+
+    /// Validates the hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidConfig`] for empty budgets or
+    /// out-of-range rates.
+    pub fn validate(&self) -> Result<(), OptimError> {
+        if self.generations == 0 {
+            return Err(OptimError::InvalidConfig {
+                reason: "at least one generation is required".to_string(),
+            });
+        }
+        if self.population_size < 2 {
+            return Err(OptimError::InvalidConfig {
+                reason: "population size must be at least 2".to_string(),
+            });
+        }
+        if !(0.0 < self.elite_fraction && self.elite_fraction <= 1.0) {
+            return Err(OptimError::InvalidConfig {
+                reason: format!("elite fraction {} out of (0, 1]", self.elite_fraction),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.crossover_rate) {
+            return Err(OptimError::InvalidConfig {
+                reason: format!("crossover rate {} out of [0, 1]", self.crossover_rate),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig::paper()
+    }
+}
+
+/// One evaluated candidate: its genome, decoded configuration and metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedConfig {
+    /// The genome that produced the configuration.
+    pub genome: Genome,
+    /// The decoded configuration.
+    pub config: MappingConfig,
+    /// The evaluator's metrics for it.
+    pub result: EvaluationResult,
+    /// Generation in which it was evaluated.
+    pub generation: usize,
+}
+
+/// Everything the search produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    archive: Vec<EvaluatedConfig>,
+    generations_run: usize,
+}
+
+impl SearchOutcome {
+    /// Every configuration evaluated during the search, in evaluation
+    /// order. This is the point cloud of the paper's Fig. 6.
+    pub fn archive(&self) -> &[EvaluatedConfig] {
+        &self.archive
+    }
+
+    /// Number of evaluations performed.
+    pub fn evaluations(&self) -> usize {
+        self.archive.len()
+    }
+
+    /// Number of generations completed.
+    pub fn generations_run(&self) -> usize {
+        self.generations_run
+    }
+
+    /// Feasible configurations only.
+    pub fn feasible(&self) -> Vec<&EvaluatedConfig> {
+        self.archive.iter().filter(|c| c.result.feasible).collect()
+    }
+
+    /// Pareto front over (average energy, average latency) among feasible
+    /// configurations.
+    pub fn pareto_front(&self) -> Vec<&EvaluatedConfig> {
+        let feasible = self.feasible();
+        let points: Vec<Vec<f64>> = feasible
+            .iter()
+            .map(|c| vec![c.result.average_energy_mj, c.result.average_latency_ms])
+            .collect();
+        pareto_front_indices(&points)
+            .into_iter()
+            .map(|i| feasible[i])
+            .collect()
+    }
+
+    /// The feasible configuration with the lowest scalar objective
+    /// (eq. 16).
+    pub fn best_by_objective(&self) -> Option<&EvaluatedConfig> {
+        self.feasible()
+            .into_iter()
+            .min_by(|a, b| {
+                a.result
+                    .objective
+                    .partial_cmp(&b.result.objective)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// The paper's "Ours-E" pick: the lowest-energy Pareto configuration
+    /// whose accuracy drop does not exceed `max_accuracy_drop`.
+    pub fn energy_oriented(&self, max_accuracy_drop: f64) -> Option<&EvaluatedConfig> {
+        self.pareto_front()
+            .into_iter()
+            .filter(|c| c.result.accuracy_drop <= max_accuracy_drop + 1e-9)
+            .min_by(|a, b| {
+                a.result
+                    .average_energy_mj
+                    .partial_cmp(&b.result.average_energy_mj)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// The paper's "Ours-L" pick: the lowest-latency Pareto configuration
+    /// whose accuracy drop does not exceed `max_accuracy_drop`.
+    pub fn latency_oriented(&self, max_accuracy_drop: f64) -> Option<&EvaluatedConfig> {
+        self.pareto_front()
+            .into_iter()
+            .filter(|c| c.result.accuracy_drop <= max_accuracy_drop + 1e-9)
+            .min_by(|a, b| {
+                a.result
+                    .average_latency_ms
+                    .partial_cmp(&b.result.average_latency_ms)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+}
+
+/// The evolutionary mapping search.
+#[derive(Debug)]
+pub struct MappingSearch<'a> {
+    evaluator: &'a Evaluator,
+    config: SearchConfig,
+}
+
+impl<'a> MappingSearch<'a> {
+    /// Creates a search over the given evaluator.
+    pub fn new(evaluator: &'a Evaluator, config: SearchConfig) -> Self {
+        MappingSearch { evaluator, config }
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Runs the search to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid hyper-parameters or when a candidate
+    /// cannot be evaluated (which indicates an internal inconsistency, not
+    /// a constraint violation).
+    pub fn run(&self) -> Result<SearchOutcome, OptimError> {
+        self.config.validate()?;
+        let network = self.evaluator.network();
+        let platform = self.evaluator.platform();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // Initial population: the balanced default plus random genomes.
+        let mut population = vec![Genome::balanced(network, platform)];
+        while population.len() < self.config.population_size {
+            population.push(Genome::random(network, platform, &mut rng));
+        }
+
+        let mut archive: Vec<EvaluatedConfig> = Vec::new();
+        let elite_count = ((self.config.population_size as f64 * self.config.elite_fraction)
+            .ceil() as usize)
+            .clamp(1, self.config.population_size);
+
+        for generation in 0..self.config.generations {
+            let evaluated = self.evaluate_population(&population, generation)?;
+            archive.extend(evaluated.iter().cloned());
+
+            let elites: Vec<Genome> = match self.config.selection {
+                SelectionStrategy::ObjectiveElitism => {
+                    // Feasible candidates first, then by the scalar objective.
+                    let mut ranked: Vec<&EvaluatedConfig> = evaluated.iter().collect();
+                    ranked.sort_by(|a, b| {
+                        let key_a = (!a.result.feasible, a.result.objective);
+                        let key_b = (!b.result.feasible, b.result.objective);
+                        key_a
+                            .partial_cmp(&key_b)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    ranked
+                        .iter()
+                        .take(elite_count)
+                        .map(|c| c.genome.clone())
+                        .collect()
+                }
+                SelectionStrategy::ParetoCrowding => {
+                    select_by_pareto_crowding(&evaluated, elite_count)
+                }
+            };
+
+            // Next generation: elites survive, the rest are children.
+            let mut next = elites.clone();
+            while next.len() < self.config.population_size {
+                let parent_a = &elites[rng.random_range(0..elites.len())];
+                let mut child = if rng.random::<f64>() < self.config.crossover_rate
+                    && elites.len() > 1
+                {
+                    let parent_b = &elites[rng.random_range(0..elites.len())];
+                    crossover(parent_a, parent_b, &mut rng)
+                } else {
+                    parent_a.clone()
+                };
+                mutate(&mut child, &self.config.mutation, &mut rng);
+                next.push(child);
+            }
+            population = next;
+        }
+
+        Ok(SearchOutcome {
+            archive,
+            generations_run: self.config.generations,
+        })
+    }
+
+    /// Evaluates a population, optionally across threads.
+    fn evaluate_population(
+        &self,
+        population: &[Genome],
+        generation: usize,
+    ) -> Result<Vec<EvaluatedConfig>, OptimError> {
+        if !self.config.parallel || population.len() < 4 {
+            return population
+                .iter()
+                .map(|genome| self.evaluate_genome(genome, generation))
+                .collect();
+        }
+
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(population.len());
+        let chunk_size = population.len().div_ceil(threads);
+        let results = parking_lot::Mutex::new(vec![None; population.len()]);
+        let error = parking_lot::Mutex::new(None);
+
+        crossbeam::thread::scope(|scope| {
+            for (chunk_index, chunk) in population.chunks(chunk_size).enumerate() {
+                let results = &results;
+                let error = &error;
+                scope.spawn(move |_| {
+                    for (offset, genome) in chunk.iter().enumerate() {
+                        match self.evaluate_genome(genome, generation) {
+                            Ok(evaluated) => {
+                                results.lock()[chunk_index * chunk_size + offset] = Some(evaluated);
+                            }
+                            Err(e) => {
+                                *error.lock() = Some(e);
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        Ok(results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every slot filled unless an error was recorded"))
+            .collect())
+    }
+
+    fn evaluate_genome(
+        &self,
+        genome: &Genome,
+        generation: usize,
+    ) -> Result<EvaluatedConfig, OptimError> {
+        let config = genome.decode(self.evaluator.network(), self.evaluator.platform())?;
+        let result = self.evaluator.evaluate(&config)?;
+        Ok(EvaluatedConfig {
+            genome: genome.clone(),
+            config,
+            result,
+            generation,
+        })
+    }
+}
+
+/// NSGA-II-style elite selection over (average energy, average latency,
+/// accuracy drop): walk the non-dominated fronts of the feasible candidates,
+/// breaking ties inside the last partially-taken front by crowding distance.
+/// Infeasible candidates are only used to pad out the elite set when there
+/// are not enough feasible ones.
+fn select_by_pareto_crowding(evaluated: &[EvaluatedConfig], elite_count: usize) -> Vec<Genome> {
+    let feasible: Vec<&EvaluatedConfig> =
+        evaluated.iter().filter(|c| c.result.feasible).collect();
+    let points: Vec<Vec<f64>> = feasible
+        .iter()
+        .map(|c| {
+            vec![
+                c.result.average_energy_mj,
+                c.result.average_latency_ms,
+                c.result.accuracy_drop,
+            ]
+        })
+        .collect();
+    let mut elites: Vec<Genome> = Vec::with_capacity(elite_count);
+    for front in non_dominated_fronts(&points) {
+        if elites.len() >= elite_count {
+            break;
+        }
+        let remaining = elite_count - elites.len();
+        if front.len() <= remaining {
+            elites.extend(front.iter().map(|&i| feasible[i].genome.clone()));
+        } else {
+            // Partial front: prefer the most isolated candidates.
+            let front_points: Vec<Vec<f64>> = front.iter().map(|&i| points[i].clone()).collect();
+            let distances = crowding_distance(&front_points);
+            let mut order: Vec<usize> = (0..front.len()).collect();
+            order.sort_by(|&a, &b| {
+                distances[b]
+                    .partial_cmp(&distances[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            elites.extend(
+                order
+                    .into_iter()
+                    .take(remaining)
+                    .map(|k| feasible[front[k]].genome.clone()),
+            );
+        }
+    }
+    // Pad with the least-violating infeasible candidates if necessary.
+    if elites.len() < elite_count {
+        let mut infeasible: Vec<&EvaluatedConfig> =
+            evaluated.iter().filter(|c| !c.result.feasible).collect();
+        infeasible.sort_by_key(|c| c.result.violations.len());
+        elites.extend(
+            infeasible
+                .into_iter()
+                .take(elite_count - elites.len())
+                .map(|c| c.genome.clone()),
+        );
+    }
+    if elites.is_empty() {
+        // Degenerate case: keep whatever was evaluated first.
+        elites.extend(evaluated.iter().take(elite_count).map(|c| c.genome.clone()));
+    }
+    elites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_core::{Constraints, EvaluatorBuilder};
+    use mnc_mpsoc::{CuId, Platform};
+    use mnc_nn::models::{visformer_tiny, ModelPreset};
+
+    fn evaluator(constraints: Constraints) -> Evaluator {
+        EvaluatorBuilder::new(
+            visformer_tiny(ModelPreset::cifar100()),
+            Platform::dual_test(),
+        )
+        .validation_samples(1000)
+        .constraints(constraints)
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation_catches_bad_parameters() {
+        assert!(SearchConfig::paper().validate().is_ok());
+        assert!(SearchConfig::fast().validate().is_ok());
+        assert!(SearchConfig {
+            generations: 0,
+            ..SearchConfig::fast()
+        }
+        .validate()
+        .is_err());
+        assert!(SearchConfig {
+            population_size: 1,
+            ..SearchConfig::fast()
+        }
+        .validate()
+        .is_err());
+        assert!(SearchConfig {
+            elite_fraction: 0.0,
+            ..SearchConfig::fast()
+        }
+        .validate()
+        .is_err());
+        assert!(SearchConfig {
+            crossover_rate: 1.5,
+            ..SearchConfig::fast()
+        }
+        .validate()
+        .is_err());
+        assert_eq!(SearchConfig::default(), SearchConfig::paper());
+    }
+
+    #[test]
+    fn search_produces_an_archive_and_a_pareto_front() {
+        let evaluator = evaluator(Constraints::default());
+        let config = SearchConfig {
+            generations: 4,
+            population_size: 10,
+            ..SearchConfig::fast()
+        };
+        let outcome = MappingSearch::new(&evaluator, config).run().unwrap();
+        assert_eq!(outcome.evaluations(), 40);
+        assert_eq!(outcome.generations_run(), 4);
+        assert!(!outcome.feasible().is_empty());
+        let front = outcome.pareto_front();
+        assert!(!front.is_empty());
+        assert!(outcome.best_by_objective().is_some());
+        assert!(outcome.energy_oriented(0.05).is_some());
+        assert!(outcome.latency_oriented(0.05).is_some());
+    }
+
+    #[test]
+    fn search_is_deterministic_for_a_seed() {
+        let evaluator = evaluator(Constraints::default());
+        let config = SearchConfig {
+            generations: 3,
+            population_size: 8,
+            ..SearchConfig::fast()
+        };
+        let a = MappingSearch::new(&evaluator, config).run().unwrap();
+        let b = MappingSearch::new(&evaluator, config).run().unwrap();
+        assert_eq!(a.archive().len(), b.archive().len());
+        for (x, y) in a.archive().iter().zip(b.archive()) {
+            assert_eq!(x.genome, y.genome);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_evaluation_agree() {
+        let evaluator = evaluator(Constraints::default());
+        let serial = SearchConfig {
+            generations: 2,
+            population_size: 8,
+            parallel: false,
+            ..SearchConfig::fast()
+        };
+        let parallel = SearchConfig {
+            parallel: true,
+            ..serial
+        };
+        let a = MappingSearch::new(&evaluator, serial).run().unwrap();
+        let b = MappingSearch::new(&evaluator, parallel).run().unwrap();
+        for (x, y) in a.archive().iter().zip(b.archive()) {
+            assert_eq!(x.genome, y.genome);
+            assert_eq!(x.result, y.result);
+        }
+    }
+
+    #[test]
+    fn search_improves_over_the_initial_generation() {
+        let evaluator = evaluator(Constraints::default());
+        let config = SearchConfig {
+            generations: 8,
+            population_size: 16,
+            ..SearchConfig::fast()
+        };
+        let outcome = MappingSearch::new(&evaluator, config).run().unwrap();
+        let first_gen_best = outcome
+            .archive()
+            .iter()
+            .filter(|c| c.generation == 0 && c.result.feasible)
+            .map(|c| c.result.objective)
+            .fold(f64::INFINITY, f64::min);
+        let overall_best = outcome.best_by_objective().unwrap().result.objective;
+        assert!(overall_best <= first_gen_best);
+    }
+
+    #[test]
+    fn fmap_constraint_limits_the_selected_configurations() {
+        let evaluator = evaluator(Constraints::with_fmap_reuse_limit(0.5));
+        let config = SearchConfig {
+            generations: 6,
+            population_size: 16,
+            ..SearchConfig::fast()
+        };
+        let outcome = MappingSearch::new(&evaluator, config).run().unwrap();
+        for candidate in outcome.feasible() {
+            assert!(candidate.result.fmap_reuse <= 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pareto_crowding_selection_runs_and_yields_a_broader_front() {
+        let evaluator = evaluator(Constraints::default());
+        let scalar = SearchConfig {
+            generations: 6,
+            population_size: 16,
+            selection: SelectionStrategy::ObjectiveElitism,
+            ..SearchConfig::fast()
+        };
+        let nsga = SearchConfig {
+            selection: SelectionStrategy::ParetoCrowding,
+            ..scalar
+        };
+        let scalar_outcome = MappingSearch::new(&evaluator, scalar).run().unwrap();
+        let nsga_outcome = MappingSearch::new(&evaluator, nsga).run().unwrap();
+        assert_eq!(nsga_outcome.evaluations(), scalar_outcome.evaluations());
+        assert!(!nsga_outcome.pareto_front().is_empty());
+        // The multi-objective selection keeps at least as diverse a front
+        // (it never collapses onto a single scalar optimum).
+        assert!(nsga_outcome.pareto_front().len() >= 1);
+        assert!(nsga_outcome.best_by_objective().is_some());
+    }
+
+    #[test]
+    fn search_finds_configurations_dominating_single_cu_baselines() {
+        // The headline claim of the paper, in miniature: there exists a
+        // found configuration that is simultaneously more energy-efficient
+        // than the GPU-only mapping and faster than the DLA-only mapping.
+        let evaluator = evaluator(Constraints::default());
+        let gpu = evaluator.baseline_single_cu(CuId(0)).unwrap();
+        let dla = evaluator.baseline_single_cu(CuId(1)).unwrap();
+        let config = SearchConfig {
+            generations: 10,
+            population_size: 20,
+            ..SearchConfig::fast()
+        };
+        let outcome = MappingSearch::new(&evaluator, config).run().unwrap();
+        let dominating = outcome.feasible().into_iter().any(|c| {
+            c.result.average_energy_mj < gpu.energy_mj
+                && c.result.average_latency_ms < dla.latency_ms
+        });
+        assert!(dominating, "no configuration beats both baselines");
+    }
+}

@@ -1,0 +1,406 @@
+//! Benchmark-dataset generation for surrogate training.
+//!
+//! The paper builds its training set by profiling layers of diverse
+//! specifications on the AGX Xavier with TensorRT, across compute units and
+//! DVFS settings. Without the board, this module samples the same kind of
+//! records from the [`mnc_mpsoc`] analytic model and perturbs them with
+//! multiplicative measurement noise, so the surrogate still has to *learn*
+//! the latency/energy surface rather than memorise an exact formula.
+
+use crate::error::PredictorError;
+use crate::features::QueryFeatures;
+use mnc_mpsoc::{Platform, WorkloadClass};
+use mnc_nn::{FeatureShape, Layer, LayerKind};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the benchmark-dataset generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Number of records to generate.
+    pub samples: usize,
+    /// RNG seed (layer specs, compute unit / DVFS choice and noise).
+    pub seed: u64,
+    /// Standard deviation of the multiplicative log-normal measurement
+    /// noise (0.0 disables noise).
+    pub noise_std: f64,
+    /// Fraction of records used for training, the rest for validation.
+    pub train_fraction: f64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            samples: 4000,
+            seed: 42,
+            noise_std: 0.05,
+            train_fraction: 0.8,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::InvalidConfig`] for zero samples, negative
+    /// noise or an out-of-range train fraction.
+    pub fn validate(&self) -> Result<(), PredictorError> {
+        if self.samples == 0 {
+            return Err(PredictorError::InvalidConfig {
+                what: "dataset needs at least one sample".to_string(),
+            });
+        }
+        if !self.noise_std.is_finite() || self.noise_std < 0.0 {
+            return Err(PredictorError::InvalidConfig {
+                what: format!("noise standard deviation {}", self.noise_std),
+            });
+        }
+        if !(0.0 < self.train_fraction && self.train_fraction <= 1.0) {
+            return Err(PredictorError::InvalidConfig {
+                what: format!("train fraction {}", self.train_fraction),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One profiled (layer slice, compute unit, DVFS) record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkRecord {
+    /// The query (workload + hardware description).
+    pub query: QueryFeatures,
+    /// Measured latency in milliseconds (analytic model + noise).
+    pub latency_ms: f64,
+    /// Measured energy in millijoules (analytic model + noise).
+    pub energy_mj: f64,
+}
+
+/// A generated benchmark dataset, split into training and validation parts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkDataset {
+    records: Vec<BenchmarkRecord>,
+    train_count: usize,
+}
+
+impl BenchmarkDataset {
+    /// Generates a dataset by sampling random layer slices and profiling
+    /// them on random compute units / DVFS points of `platform`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid configuration.
+    pub fn generate(platform: &Platform, config: &DatasetConfig) -> Result<Self, PredictorError> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut records = Vec::with_capacity(config.samples);
+        while records.len() < config.samples {
+            let (layer, input) = random_layer(&mut rng);
+            let out_frac = *[0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0]
+                .iter()
+                .nth(rng.random_range(0..8))
+                .expect("index in range");
+            let in_frac = *[0.25, 0.5, 0.75, 1.0]
+                .iter()
+                .nth(rng.random_range(0..4))
+                .expect("index in range");
+            let Ok(cost) = layer.slice_cost(&input, out_frac, in_frac) else {
+                continue;
+            };
+            let cu_index = rng.random_range(0..platform.num_compute_units());
+            let cu = &platform.compute_units()[cu_index];
+            let level = rng.random_range(0..cu.dvfs().num_levels());
+            let point = cu.dvfs().point(level).expect("level sampled in range");
+            let class = WorkloadClass::from_layer(&layer);
+            let sample = cu.execute(&cost, class, point);
+            if sample.latency_ms <= 0.0 {
+                continue;
+            }
+            let latency_noise = lognormal_factor(&mut rng, config.noise_std);
+            let energy_noise = lognormal_factor(&mut rng, config.noise_std);
+            records.push(BenchmarkRecord {
+                query: QueryFeatures::new(cost, class, cu, point),
+                latency_ms: sample.latency_ms * latency_noise,
+                energy_mj: sample.energy_mj * energy_noise,
+            });
+        }
+        let train_count = ((records.len() as f64) * config.train_fraction).round() as usize;
+        Ok(BenchmarkDataset {
+            records,
+            train_count: train_count.clamp(1, config.samples),
+        })
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[BenchmarkRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset contains no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The training partition.
+    pub fn training(&self) -> &[BenchmarkRecord] {
+        &self.records[..self.train_count]
+    }
+
+    /// The validation partition (empty when `train_fraction == 1.0`).
+    pub fn validation(&self) -> &[BenchmarkRecord] {
+        &self.records[self.train_count..]
+    }
+
+    /// Encodes a slice of records into feature rows.
+    pub fn feature_rows(records: &[BenchmarkRecord]) -> Vec<Vec<f64>> {
+        records
+            .iter()
+            .map(|r| r.query.to_vector().to_vec())
+            .collect()
+    }
+
+    /// Latency targets of a slice of records, in milliseconds.
+    pub fn latency_targets(records: &[BenchmarkRecord]) -> Vec<f64> {
+        records.iter().map(|r| r.latency_ms).collect()
+    }
+
+    /// Energy targets of a slice of records, in millijoules.
+    pub fn energy_targets(records: &[BenchmarkRecord]) -> Vec<f64> {
+        records.iter().map(|r| r.energy_mj).collect()
+    }
+}
+
+/// Multiplicative log-normal noise factor with the given log-std.
+fn lognormal_factor(rng: &mut StdRng, std: f64) -> f64 {
+    if std <= 0.0 {
+        return 1.0;
+    }
+    // Box-Muller transform for a standard normal draw.
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (std * normal).exp()
+}
+
+/// Samples a random layer specification and a compatible input shape,
+/// mirroring the diversity of the paper's profiling sweep.
+fn random_layer(rng: &mut StdRng) -> (Layer, FeatureShape) {
+    match rng.random_range(0..6) {
+        0 => {
+            let in_channels = 1usize << rng.random_range(2..9); // 4..256
+            let out_channels = 1usize << rng.random_range(4..10); // 16..512
+            let kernel = [1usize, 3, 5][rng.random_range(0..3)];
+            let size = 1usize << rng.random_range(2..6); // 4..32
+            (
+                Layer::new(
+                    "bench_conv",
+                    LayerKind::ConvBlock {
+                        in_channels,
+                        out_channels,
+                        kernel,
+                        stride: 1,
+                        padding: kernel / 2,
+                    },
+                ),
+                FeatureShape::spatial(in_channels, size, size),
+            )
+        }
+        1 => {
+            let heads = [2usize, 4, 6, 8, 12][rng.random_range(0..5)];
+            let head_dim = [16usize, 32, 64][rng.random_range(0..3)];
+            let embed_dim = heads * head_dim;
+            let tokens = 1usize << rng.random_range(4..9); // 16..256
+            (
+                Layer::new("bench_attn", LayerKind::AttentionBlock { embed_dim, heads }),
+                FeatureShape::tokens(tokens, embed_dim),
+            )
+        }
+        2 => {
+            let embed_dim = [96usize, 192, 384, 768][rng.random_range(0..4)];
+            let hidden_dim = embed_dim * [2usize, 4][rng.random_range(0..2)];
+            let tokens = 1usize << rng.random_range(4..9);
+            (
+                Layer::new(
+                    "bench_mlp",
+                    LayerKind::MlpBlock {
+                        embed_dim,
+                        hidden_dim,
+                    },
+                ),
+                FeatureShape::tokens(tokens, embed_dim),
+            )
+        }
+        3 => {
+            let in_features = 1usize << rng.random_range(6..13); // 64..4096
+            let out_features = 1usize << rng.random_range(6..13);
+            (
+                Layer::new(
+                    "bench_dense",
+                    LayerKind::Dense {
+                        in_features,
+                        out_features,
+                    },
+                ),
+                FeatureShape::vector(in_features),
+            )
+        }
+        4 => {
+            let channels = 1usize << rng.random_range(4..10);
+            let size = 1usize << rng.random_range(2..6);
+            (
+                Layer::new("bench_pool", LayerKind::Pool { kernel: 2, stride: 2 }),
+                FeatureShape::spatial(channels, size.max(2), size.max(2)),
+            )
+        }
+        _ => {
+            let in_channels = [3usize, 16, 32, 64][rng.random_range(0..4)];
+            let embed_dim = [96usize, 192, 384][rng.random_range(0..3)];
+            let patch = [2usize, 4, 8][rng.random_range(0..3)];
+            let size = patch * (1usize << rng.random_range(1..4));
+            (
+                Layer::new(
+                    "bench_patch",
+                    LayerKind::PatchEmbed {
+                        in_channels,
+                        embed_dim,
+                        patch,
+                    },
+                ),
+                FeatureShape::spatial(in_channels, size, size),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_number_of_records() {
+        let platform = Platform::dual_test();
+        let config = DatasetConfig {
+            samples: 200,
+            seed: 3,
+            ..DatasetConfig::default()
+        };
+        let dataset = BenchmarkDataset::generate(&platform, &config).unwrap();
+        assert_eq!(dataset.len(), 200);
+        assert!(!dataset.is_empty());
+        assert_eq!(dataset.training().len() + dataset.validation().len(), 200);
+        assert!(dataset.training().len() >= 150);
+    }
+
+    #[test]
+    fn records_have_positive_measurements() {
+        let platform = Platform::dual_test();
+        let config = DatasetConfig {
+            samples: 100,
+            seed: 11,
+            ..DatasetConfig::default()
+        };
+        let dataset = BenchmarkDataset::generate(&platform, &config).unwrap();
+        for r in dataset.records() {
+            assert!(r.latency_ms > 0.0);
+            assert!(r.energy_mj > 0.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let platform = Platform::dual_test();
+        let config = DatasetConfig {
+            samples: 64,
+            seed: 5,
+            ..DatasetConfig::default()
+        };
+        let a = BenchmarkDataset::generate(&platform, &config).unwrap();
+        let b = BenchmarkDataset::generate(&platform, &config).unwrap();
+        assert_eq!(a, b);
+        let c = BenchmarkDataset::generate(
+            &platform,
+            &DatasetConfig {
+                seed: 6,
+                ..config
+            },
+        )
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_noise_matches_analytic_model_exactly() {
+        let platform = Platform::dual_test();
+        let config = DatasetConfig {
+            samples: 50,
+            seed: 9,
+            noise_std: 0.0,
+            ..DatasetConfig::default()
+        };
+        let dataset = BenchmarkDataset::generate(&platform, &config).unwrap();
+        for r in dataset.records() {
+            // Re-evaluate the analytic model from the stored query.
+            let cu = platform
+                .compute_units()
+                .iter()
+                .find(|cu| cu.kind() == r.query.cu_kind)
+                .unwrap();
+            let point = cu
+                .dvfs()
+                .iter()
+                .find(|p| (p.scale - r.query.dvfs_scale).abs() < 1e-9)
+                .unwrap();
+            let sample = cu.execute(&r.query.cost, r.query.class, point);
+            assert!((sample.latency_ms - r.latency_ms).abs() < 1e-9);
+            assert!((sample.energy_mj - r.energy_mj).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let platform = Platform::dual_test();
+        for bad in [
+            DatasetConfig {
+                samples: 0,
+                ..DatasetConfig::default()
+            },
+            DatasetConfig {
+                noise_std: -1.0,
+                ..DatasetConfig::default()
+            },
+            DatasetConfig {
+                train_fraction: 0.0,
+                ..DatasetConfig::default()
+            },
+            DatasetConfig {
+                train_fraction: 1.5,
+                ..DatasetConfig::default()
+            },
+        ] {
+            assert!(BenchmarkDataset::generate(&platform, &bad).is_err());
+        }
+    }
+
+    #[test]
+    fn feature_rows_match_record_count() {
+        let platform = Platform::dual_test();
+        let config = DatasetConfig {
+            samples: 32,
+            seed: 2,
+            ..DatasetConfig::default()
+        };
+        let dataset = BenchmarkDataset::generate(&platform, &config).unwrap();
+        let rows = BenchmarkDataset::feature_rows(dataset.records());
+        assert_eq!(rows.len(), 32);
+        assert!(rows.iter().all(|r| r.len() == crate::FEATURE_DIM));
+        assert_eq!(BenchmarkDataset::latency_targets(dataset.records()).len(), 32);
+        assert_eq!(BenchmarkDataset::energy_targets(dataset.records()).len(), 32);
+    }
+}

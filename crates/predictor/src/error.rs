@@ -1,0 +1,80 @@
+//! Error types for the surrogate predictors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building datasets or fitting/evaluating models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictorError {
+    /// The training dataset is empty.
+    EmptyDataset,
+    /// Feature and target lengths disagree, or a feature vector has the
+    /// wrong dimension.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+    /// A hyper-parameter is invalid (zero trees, non-positive learning
+    /// rate, ...).
+    InvalidConfig {
+        /// Description of the invalid setting.
+        what: String,
+    },
+    /// The underlying hardware model reported an error while generating the
+    /// benchmark dataset.
+    Hardware(String),
+}
+
+impl fmt::Display for PredictorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictorError::EmptyDataset => write!(f, "training dataset is empty"),
+            PredictorError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            PredictorError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            PredictorError::Hardware(msg) => write!(f, "hardware model error: {msg}"),
+        }
+    }
+}
+
+impl Error for PredictorError {}
+
+impl From<mnc_mpsoc::MpsocError> for PredictorError {
+    fn from(err: mnc_mpsoc::MpsocError) -> Self {
+        PredictorError::Hardware(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(PredictorError::EmptyDataset.to_string().contains("empty"));
+        assert!(PredictorError::DimensionMismatch {
+            expected: 4,
+            actual: 2
+        }
+        .to_string()
+        .contains('4'));
+    }
+
+    #[test]
+    fn converts_from_mpsoc_error() {
+        let err: PredictorError = mnc_mpsoc::MpsocError::InvalidParameter {
+            what: "x".to_string(),
+        }
+        .into();
+        assert!(matches!(err, PredictorError::Hardware(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Error>() {}
+        assert_send_sync::<PredictorError>();
+    }
+}

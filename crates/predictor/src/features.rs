@@ -1,0 +1,165 @@
+//! Feature encoding of a hardware-performance query.
+//!
+//! The surrogate predicts latency/energy from the same information the
+//! paper feeds XGBoost: the layer-slice workload description, the compute
+//! unit it runs on and the DVFS state. Workload magnitudes are encoded in
+//! `log1p` space because they span many orders of magnitude.
+
+use mnc_mpsoc::{ComputeUnit, CuKind, DvfsPoint, WorkloadClass};
+use mnc_nn::SliceCost;
+use serde::{Deserialize, Serialize};
+
+/// Number of features produced by [`QueryFeatures::to_vector`].
+///
+/// 6 workload magnitudes + 1 arithmetic intensity + 1 DVFS scale +
+/// 3 compute-unit capability scalars + 3 CU-kind one-hot + 5 workload-class
+/// one-hot.
+pub const FEATURE_DIM: usize = 19;
+
+/// A fixed-size feature vector consumed by the regression models.
+pub type FeatureVector = [f64; FEATURE_DIM];
+
+/// The raw description of one performance query, before encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryFeatures {
+    /// Workload of the layer slice.
+    pub cost: SliceCost,
+    /// Workload class of the layer.
+    pub class: WorkloadClass,
+    /// Kind of compute unit the slice runs on.
+    pub cu_kind: CuKind,
+    /// Peak throughput of the unit in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Memory bandwidth of the unit in GB/s.
+    pub memory_bandwidth_gbps: f64,
+    /// Per-layer launch overhead of the unit in milliseconds.
+    pub launch_overhead_ms: f64,
+    /// DVFS scaling factor `ϑ` in `(0, 1]`.
+    pub dvfs_scale: f64,
+}
+
+impl QueryFeatures {
+    /// Builds a query from a layer slice, a compute unit and a DVFS point.
+    pub fn new(
+        cost: SliceCost,
+        class: WorkloadClass,
+        cu: &ComputeUnit,
+        dvfs: DvfsPoint,
+    ) -> Self {
+        QueryFeatures {
+            cost,
+            class,
+            cu_kind: cu.kind(),
+            peak_gflops: cu.peak_gflops(),
+            memory_bandwidth_gbps: cu.memory_bandwidth_gbps(),
+            launch_overhead_ms: cu.launch_overhead_ms(),
+            dvfs_scale: dvfs.scale,
+        }
+    }
+
+    /// Encodes the query into the fixed-size numeric vector used by the
+    /// regression trees.
+    pub fn to_vector(&self) -> FeatureVector {
+        let mut features = [0.0; FEATURE_DIM];
+        features[0] = (1.0 + self.cost.macs).ln();
+        features[1] = (1.0 + self.cost.flops).ln();
+        features[2] = (1.0 + self.cost.weight_bytes).ln();
+        features[3] = (1.0 + self.cost.input_bytes).ln();
+        features[4] = (1.0 + self.cost.output_bytes).ln();
+        features[5] = (1.0 + self.cost.total_bytes()).ln();
+        features[6] = self.cost.arithmetic_intensity();
+        features[7] = self.dvfs_scale;
+        features[8] = self.peak_gflops;
+        features[9] = self.memory_bandwidth_gbps;
+        features[10] = self.launch_overhead_ms;
+        let kind_offset = 11 + match self.cu_kind {
+            CuKind::Gpu => 0,
+            CuKind::Dla => 1,
+            CuKind::Cpu => 2,
+        };
+        features[kind_offset] = 1.0;
+        features[14 + self.class.index()] = 1.0;
+        features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_mpsoc::Platform;
+
+    fn sample_cost() -> SliceCost {
+        SliceCost {
+            macs: 1e6,
+            flops: 2e6,
+            weight_bytes: 4e5,
+            input_bytes: 1e5,
+            output_bytes: 2e5,
+        }
+    }
+
+    #[test]
+    fn vector_has_declared_dimension() {
+        let platform = Platform::dual_test();
+        let cu = &platform.compute_units()[0];
+        let q = QueryFeatures::new(
+            sample_cost(),
+            WorkloadClass::Convolution,
+            cu,
+            cu.max_dvfs(),
+        );
+        let v = q.to_vector();
+        assert_eq!(v.len(), FEATURE_DIM);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn one_hot_encodings_are_exclusive() {
+        let platform = Platform::dual_test();
+        let gpu = &platform.compute_units()[0];
+        let dla = &platform.compute_units()[1];
+        let q_gpu =
+            QueryFeatures::new(sample_cost(), WorkloadClass::Attention, gpu, gpu.max_dvfs());
+        let q_dla = QueryFeatures::new(sample_cost(), WorkloadClass::Mlp, dla, dla.max_dvfs());
+        let v_gpu = q_gpu.to_vector();
+        let v_dla = q_dla.to_vector();
+        // CU kind one-hot occupies indices 11..14.
+        assert_eq!(v_gpu[11..14].iter().sum::<f64>(), 1.0);
+        assert_eq!(v_dla[11..14].iter().sum::<f64>(), 1.0);
+        assert_ne!(v_gpu[11..14], v_dla[11..14]);
+        // Workload class one-hot occupies indices 14..19.
+        assert_eq!(v_gpu[14..19].iter().sum::<f64>(), 1.0);
+        assert_ne!(v_gpu[14..19], v_dla[14..19]);
+    }
+
+    #[test]
+    fn magnitudes_are_log_encoded() {
+        let platform = Platform::dual_test();
+        let cu = &platform.compute_units()[0];
+        let small = QueryFeatures::new(
+            SliceCost::zero(),
+            WorkloadClass::Dense,
+            cu,
+            cu.max_dvfs(),
+        )
+        .to_vector();
+        let big = QueryFeatures::new(
+            sample_cost(),
+            WorkloadClass::Dense,
+            cu,
+            cu.max_dvfs(),
+        )
+        .to_vector();
+        assert_eq!(small[0], 0.0);
+        assert!(big[0] > 10.0 && big[0] < 20.0);
+    }
+
+    #[test]
+    fn dvfs_scale_is_passed_through() {
+        let platform = Platform::dual_test();
+        let cu = &platform.compute_units()[0];
+        let slow = cu.dvfs().point(0).unwrap();
+        let q = QueryFeatures::new(sample_cost(), WorkloadClass::Convolution, cu, slow);
+        assert!((q.to_vector()[7] - slow.scale).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,277 @@
+//! Gradient-boosted regression-tree ensembles.
+//!
+//! A from-scratch stand-in for the XGBoost regressor of paper §V-E:
+//! least-squares boosting where each tree fits the residual of the current
+//! ensemble, with shrinkage and optional row subsampling.
+
+use crate::error::PredictorError;
+use crate::tree::{RegressionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the boosted ensemble.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbtConfig {
+    /// Number of boosting rounds (trees).
+    pub n_trees: usize,
+    /// Shrinkage applied to every tree's contribution.
+    pub learning_rate: f64,
+    /// Fraction of rows sampled (without replacement) per round, in
+    /// `(0, 1]`.
+    pub subsample: f64,
+    /// Configuration of each individual tree.
+    pub tree: TreeConfig,
+    /// RNG seed for row subsampling.
+    pub seed: u64,
+}
+
+impl GbtConfig {
+    /// A small, fast configuration for tests and examples.
+    pub fn fast() -> Self {
+        GbtConfig {
+            n_trees: 30,
+            learning_rate: 0.2,
+            subsample: 0.9,
+            tree: TreeConfig {
+                max_depth: 4,
+                min_samples_leaf: 4,
+                candidate_thresholds: 8,
+            },
+            seed: 17,
+        }
+    }
+
+    /// Validates the hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::InvalidConfig`] for zero trees, a
+    /// non-positive learning rate or an out-of-range subsample fraction.
+    pub fn validate(&self) -> Result<(), PredictorError> {
+        if self.n_trees == 0 {
+            return Err(PredictorError::InvalidConfig {
+                what: "number of trees must be at least 1".to_string(),
+            });
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return Err(PredictorError::InvalidConfig {
+                what: format!("learning rate {}", self.learning_rate),
+            });
+        }
+        if !self.subsample.is_finite() || self.subsample <= 0.0 || self.subsample > 1.0 {
+            return Err(PredictorError::InvalidConfig {
+                what: format!("subsample fraction {}", self.subsample),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for GbtConfig {
+    fn default() -> Self {
+        GbtConfig {
+            n_trees: 120,
+            learning_rate: 0.1,
+            subsample: 0.85,
+            tree: TreeConfig::default(),
+            seed: 17,
+        }
+    }
+}
+
+/// A fitted gradient-boosted ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientBoostedTrees {
+    base_prediction: f64,
+    learning_rate: f64,
+    trees: Vec<RegressionTree>,
+}
+
+impl GradientBoostedTrees {
+    /// Fits the ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid hyper-parameters, an empty dataset or
+    /// inconsistent feature dimensions.
+    pub fn fit(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        config: &GbtConfig,
+    ) -> Result<Self, PredictorError> {
+        config.validate()?;
+        if features.is_empty() || targets.is_empty() {
+            return Err(PredictorError::EmptyDataset);
+        }
+        if features.len() != targets.len() {
+            return Err(PredictorError::DimensionMismatch {
+                expected: features.len(),
+                actual: targets.len(),
+            });
+        }
+
+        let base_prediction = targets.iter().sum::<f64>() / targets.len() as f64;
+        let mut predictions = vec![base_prediction; targets.len()];
+        let mut trees = Vec::with_capacity(config.n_trees);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let all_rows: Vec<usize> = (0..targets.len()).collect();
+        let sample_size = ((targets.len() as f64 * config.subsample).round() as usize)
+            .clamp(1, targets.len());
+
+        for _ in 0..config.n_trees {
+            let rows: Vec<usize> = if sample_size == targets.len() {
+                all_rows.clone()
+            } else {
+                let mut shuffled = all_rows.clone();
+                shuffled.shuffle(&mut rng);
+                shuffled.truncate(sample_size);
+                shuffled
+            };
+            let sub_features: Vec<Vec<f64>> = rows.iter().map(|&i| features[i].clone()).collect();
+            let residuals: Vec<f64> = rows.iter().map(|&i| targets[i] - predictions[i]).collect();
+            let tree = RegressionTree::fit(&sub_features, &residuals, &config.tree)?;
+            for (i, feature_row) in features.iter().enumerate() {
+                predictions[i] += config.learning_rate
+                    * tree
+                        .predict(feature_row)
+                        .expect("training rows have the fitted dimension");
+            }
+            trees.push(tree);
+        }
+        Ok(GradientBoostedTrees {
+            base_prediction,
+            learning_rate: config.learning_rate,
+            trees,
+        })
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::DimensionMismatch`] when the row length
+    /// differs from the training data.
+    pub fn predict(&self, features: &[f64]) -> Result<f64, PredictorError> {
+        let mut value = self.base_prediction;
+        for tree in &self.trees {
+            value += self.learning_rate * tree.predict(features)?;
+        }
+        Ok(value)
+    }
+
+    /// Predicts targets for a batch of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first dimension mismatch encountered.
+    pub fn predict_batch(&self, features: &[Vec<f64>]) -> Result<Vec<f64>, PredictorError> {
+        features.iter().map(|row| self.predict(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mean_absolute_percentage_error, r_squared};
+
+    /// y = 3·x0 + x1² with x in [0,1]².
+    fn synthetic_dataset(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut features = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        for i in 0..n {
+            let x0 = (i % 37) as f64 / 37.0;
+            let x1 = (i % 11) as f64 / 11.0;
+            features.push(vec![x0, x1]);
+            targets.push(3.0 * x0 + x1 * x1 + 0.5);
+        }
+        (features, targets)
+    }
+
+    #[test]
+    fn fits_a_smooth_function_well() {
+        let (features, targets) = synthetic_dataset(500);
+        let model = GradientBoostedTrees::fit(&features, &targets, &GbtConfig::fast()).unwrap();
+        let preds = model.predict_batch(&features).unwrap();
+        assert!(r_squared(&preds, &targets) > 0.95);
+        assert!(mean_absolute_percentage_error(&preds, &targets) < 0.1);
+    }
+
+    #[test]
+    fn boosting_improves_over_a_single_tree() {
+        let (features, targets) = synthetic_dataset(400);
+        let single = GbtConfig {
+            n_trees: 1,
+            learning_rate: 1.0,
+            ..GbtConfig::fast()
+        };
+        let many = GbtConfig {
+            n_trees: 60,
+            ..GbtConfig::fast()
+        };
+        let m1 = GradientBoostedTrees::fit(&features, &targets, &single).unwrap();
+        let m2 = GradientBoostedTrees::fit(&features, &targets, &many).unwrap();
+        let r1 = r_squared(&m1.predict_batch(&features).unwrap(), &targets);
+        let r2 = r_squared(&m2.predict_batch(&features).unwrap(), &targets);
+        assert!(r2 > r1);
+    }
+
+    #[test]
+    fn constant_targets_predict_the_constant() {
+        let features = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let targets = vec![7.0, 7.0, 7.0];
+        let model =
+            GradientBoostedTrees::fit(&features, &targets, &GbtConfig::fast()).unwrap();
+        assert!((model.predict(&[0.5]).unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad_trees = GbtConfig {
+            n_trees: 0,
+            ..GbtConfig::fast()
+        };
+        assert!(bad_trees.validate().is_err());
+        let bad_lr = GbtConfig {
+            learning_rate: 0.0,
+            ..GbtConfig::fast()
+        };
+        assert!(bad_lr.validate().is_err());
+        let bad_sub = GbtConfig {
+            subsample: 1.5,
+            ..GbtConfig::fast()
+        };
+        assert!(bad_sub.validate().is_err());
+        let (features, targets) = synthetic_dataset(10);
+        assert!(GradientBoostedTrees::fit(&features, &targets, &bad_trees).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        assert_eq!(
+            GradientBoostedTrees::fit(&[], &[], &GbtConfig::fast()),
+            Err(PredictorError::EmptyDataset)
+        );
+    }
+
+    #[test]
+    fn prediction_dimension_is_checked() {
+        let (features, targets) = synthetic_dataset(50);
+        let model = GradientBoostedTrees::fit(&features, &targets, &GbtConfig::fast()).unwrap();
+        assert!(model.predict(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let (features, targets) = synthetic_dataset(200);
+        let a = GradientBoostedTrees::fit(&features, &targets, &GbtConfig::fast()).unwrap();
+        let b = GradientBoostedTrees::fit(&features, &targets, &GbtConfig::fast()).unwrap();
+        assert_eq!(a, b);
+    }
+}

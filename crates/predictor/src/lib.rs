@@ -1,0 +1,52 @@
+//! Surrogate performance predictors for Map-and-Conquer.
+//!
+//! The paper (§V-E) trains an XGBoost regressor on a dataset of layer-wise
+//! TensorRT measurements (layer specification × compute unit × DVFS
+//! setting) and then uses it to estimate the latency `τ^j_i` and energy
+//! `e^j_i` of every candidate layer slice during the evolutionary search.
+//!
+//! This crate reproduces that component from scratch:
+//!
+//! * [`tree`] — CART-style regression trees,
+//! * [`gbt`] — gradient-boosted tree ensembles (squared loss),
+//! * [`features`] — the feature encoding of a (layer slice, compute unit,
+//!   DVFS point) query,
+//! * [`dataset`] — benchmark-dataset generation; lacking TensorRT and the
+//!   physical board, measurements are sampled from the [`mnc_mpsoc`]
+//!   analytic model with multiplicative measurement noise,
+//! * [`surrogate`] — the [`PerformancePredictor`] bundling a latency and an
+//!   energy model plus accuracy metrics (MAPE, R²).
+//!
+//! # Example
+//!
+//! ```
+//! use mnc_mpsoc::Platform;
+//! use mnc_predictor::{DatasetConfig, GbtConfig, PerformancePredictor};
+//!
+//! # fn main() -> Result<(), mnc_predictor::PredictorError> {
+//! let platform = Platform::dual_test();
+//! let config = DatasetConfig { samples: 400, seed: 7, ..DatasetConfig::default() };
+//! let predictor = PerformancePredictor::train(&platform, &config, &GbtConfig::fast())?;
+//! assert!(predictor.validation_report().latency_mape < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod error;
+pub mod features;
+pub mod gbt;
+pub mod metrics;
+pub mod surrogate;
+pub mod tree;
+
+pub use dataset::{BenchmarkDataset, BenchmarkRecord, DatasetConfig};
+pub use error::PredictorError;
+pub use features::{FeatureVector, QueryFeatures, FEATURE_DIM};
+pub use gbt::{GbtConfig, GradientBoostedTrees};
+pub use metrics::{mean_absolute_percentage_error, r_squared, root_mean_squared_error};
+pub use surrogate::{PerformancePredictor, ValidationReport};
+pub use tree::{RegressionTree, TreeConfig};

@@ -1,0 +1,141 @@
+//! Regression-quality metrics used to validate the surrogate models.
+
+/// Mean absolute percentage error between predictions and targets.
+///
+/// Targets with absolute value below `1e-12` are skipped to avoid division
+/// by zero. Returns 0.0 for empty (or all-skipped) inputs.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn mean_absolute_percentage_error(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "predictions and targets must have the same length"
+    );
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, t) in predictions.iter().zip(targets) {
+        if t.abs() < 1e-12 {
+            continue;
+        }
+        total += ((p - t) / t).abs();
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Root mean squared error between predictions and targets.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn root_mean_squared_error(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "predictions and targets must have the same length"
+    );
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / predictions.len() as f64;
+    mse.sqrt()
+}
+
+/// Coefficient of determination (R²). Returns 0.0 when the target variance
+/// is zero or the input is empty.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn r_squared(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "predictions and targets must have the same length"
+    );
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+    let ss_tot: f64 = targets.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot <= 0.0 {
+        return 0.0;
+    }
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (t - p) * (t - p))
+        .sum();
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_predictions_have_zero_error_and_unit_r2() {
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean_absolute_percentage_error(&y, &y), 0.0);
+        assert_eq!(root_mean_squared_error(&y, &y), 0.0);
+        assert!((r_squared(&y, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_matches_hand_computation() {
+        let pred = vec![1.1, 1.8];
+        let target = vec![1.0, 2.0];
+        let expected = (0.1 + 0.1) / 2.0;
+        assert!((mean_absolute_percentage_error(&pred, &target) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_targets_are_skipped_in_mape() {
+        let pred = vec![5.0, 1.1];
+        let target = vec![0.0, 1.0];
+        assert!((mean_absolute_percentage_error(&pred, &target) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        assert_eq!(mean_absolute_percentage_error(&[], &[]), 0.0);
+        assert_eq!(root_mean_squared_error(&[], &[]), 0.0);
+        assert_eq!(r_squared(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn constant_targets_give_zero_r2() {
+        let pred = vec![1.0, 2.0];
+        let target = vec![3.0, 3.0];
+        assert_eq!(r_squared(&pred, &target), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        let _ = root_mean_squared_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rmse_nonnegative(values in proptest::collection::vec((0.1f64..100.0, 0.1f64..100.0), 1..50)) {
+            let (pred, target): (Vec<f64>, Vec<f64>) = values.into_iter().unzip();
+            prop_assert!(root_mean_squared_error(&pred, &target) >= 0.0);
+            prop_assert!(mean_absolute_percentage_error(&pred, &target) >= 0.0);
+            prop_assert!(r_squared(&pred, &target) <= 1.0 + 1e-12);
+        }
+    }
+}

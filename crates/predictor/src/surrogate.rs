@@ -1,0 +1,242 @@
+//! The latency/energy surrogate used by the mapping search.
+//!
+//! [`PerformancePredictor`] bundles two gradient-boosted ensembles — one for
+//! latency, one for energy — trained on a [`crate::BenchmarkDataset`], plus
+//! the validation metrics that tell the user how much to trust it. Both
+//! targets are modelled in log space because layer latencies span several
+//! orders of magnitude.
+
+use crate::dataset::{BenchmarkDataset, DatasetConfig};
+use crate::error::PredictorError;
+use crate::features::QueryFeatures;
+use crate::gbt::{GbtConfig, GradientBoostedTrees};
+use crate::metrics::{mean_absolute_percentage_error, r_squared};
+use mnc_mpsoc::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Held-out accuracy of a trained [`PerformancePredictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Mean absolute percentage error of latency predictions.
+    pub latency_mape: f64,
+    /// Mean absolute percentage error of energy predictions.
+    pub energy_mape: f64,
+    /// R² of latency predictions.
+    pub latency_r2: f64,
+    /// R² of energy predictions.
+    pub energy_r2: f64,
+    /// Number of training records.
+    pub train_size: usize,
+    /// Number of validation records.
+    pub validation_size: usize,
+}
+
+/// Surrogate predictor for per-layer latency and energy on the MPSoC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerformancePredictor {
+    latency_model: GradientBoostedTrees,
+    energy_model: GradientBoostedTrees,
+    report: ValidationReport,
+}
+
+impl PerformancePredictor {
+    /// Generates a benchmark dataset from `platform` and trains the
+    /// surrogate on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configurations or an empty dataset.
+    pub fn train(
+        platform: &Platform,
+        dataset_config: &DatasetConfig,
+        gbt_config: &GbtConfig,
+    ) -> Result<Self, PredictorError> {
+        let dataset = BenchmarkDataset::generate(platform, dataset_config)?;
+        Self::from_dataset(&dataset, gbt_config)
+    }
+
+    /// Trains the surrogate on an existing benchmark dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the training partition is empty or the model
+    /// configuration is invalid.
+    pub fn from_dataset(
+        dataset: &BenchmarkDataset,
+        gbt_config: &GbtConfig,
+    ) -> Result<Self, PredictorError> {
+        let train = dataset.training();
+        if train.is_empty() {
+            return Err(PredictorError::EmptyDataset);
+        }
+        let features = BenchmarkDataset::feature_rows(train);
+        let latency_targets: Vec<f64> = BenchmarkDataset::latency_targets(train)
+            .into_iter()
+            .map(|v| v.max(1e-9).ln())
+            .collect();
+        let energy_targets: Vec<f64> = BenchmarkDataset::energy_targets(train)
+            .into_iter()
+            .map(|v| v.max(1e-9).ln())
+            .collect();
+        let latency_model = GradientBoostedTrees::fit(&features, &latency_targets, gbt_config)?;
+        let energy_model = GradientBoostedTrees::fit(&features, &energy_targets, gbt_config)?;
+
+        let validation = if dataset.validation().is_empty() {
+            train
+        } else {
+            dataset.validation()
+        };
+        let val_features = BenchmarkDataset::feature_rows(validation);
+        let val_latency = BenchmarkDataset::latency_targets(validation);
+        let val_energy = BenchmarkDataset::energy_targets(validation);
+        let mut pred_latency = Vec::with_capacity(validation.len());
+        let mut pred_energy = Vec::with_capacity(validation.len());
+        for row in &val_features {
+            pred_latency.push(latency_model.predict(row)?.exp());
+            pred_energy.push(energy_model.predict(row)?.exp());
+        }
+        let report = ValidationReport {
+            latency_mape: mean_absolute_percentage_error(&pred_latency, &val_latency),
+            energy_mape: mean_absolute_percentage_error(&pred_energy, &val_energy),
+            latency_r2: r_squared(&pred_latency, &val_latency),
+            energy_r2: r_squared(&pred_energy, &val_energy),
+            train_size: train.len(),
+            validation_size: dataset.validation().len(),
+        };
+        Ok(PerformancePredictor {
+            latency_model,
+            energy_model,
+            report,
+        })
+    }
+
+    /// Predicts `(latency_ms, energy_mj)` for one query. Predictions are
+    /// clamped to be non-negative.
+    pub fn predict(&self, query: &QueryFeatures) -> (f64, f64) {
+        let row = query.to_vector();
+        let latency = self
+            .latency_model
+            .predict(&row)
+            .expect("feature encoding always has the trained dimension")
+            .exp();
+        let energy = self
+            .energy_model
+            .predict(&row)
+            .expect("feature encoding always has the trained dimension")
+            .exp();
+        (latency.max(0.0), energy.max(0.0))
+    }
+
+    /// Held-out accuracy of the surrogate.
+    pub fn validation_report(&self) -> &ValidationReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_mpsoc::WorkloadClass;
+    use mnc_nn::SliceCost;
+
+    fn trained_predictor() -> (Platform, PerformancePredictor) {
+        let platform = Platform::dual_test();
+        let dataset_config = DatasetConfig {
+            samples: 600,
+            seed: 21,
+            noise_std: 0.03,
+            train_fraction: 0.8,
+        };
+        let predictor =
+            PerformancePredictor::train(&platform, &dataset_config, &GbtConfig::fast()).unwrap();
+        (platform, predictor)
+    }
+
+    #[test]
+    fn surrogate_reaches_reasonable_accuracy() {
+        let (_, predictor) = trained_predictor();
+        let report = predictor.validation_report();
+        assert!(report.latency_mape < 0.35, "latency MAPE {}", report.latency_mape);
+        assert!(report.energy_mape < 0.35, "energy MAPE {}", report.energy_mape);
+        assert!(report.latency_r2 > 0.7, "latency R² {}", report.latency_r2);
+        assert!(report.energy_r2 > 0.7, "energy R² {}", report.energy_r2);
+        assert_eq!(report.train_size, 480);
+        assert_eq!(report.validation_size, 120);
+    }
+
+    #[test]
+    fn predictions_track_the_analytic_model() {
+        let (platform, predictor) = trained_predictor();
+        let cu = &platform.compute_units()[0];
+        let cost = SliceCost {
+            macs: 5e7,
+            flops: 1e8,
+            weight_bytes: 2e6,
+            input_bytes: 5e5,
+            output_bytes: 5e5,
+        };
+        let query = QueryFeatures::new(cost, WorkloadClass::Convolution, cu, cu.max_dvfs());
+        let (pred_latency, pred_energy) = predictor.predict(&query);
+        let truth = cu.execute(&cost, WorkloadClass::Convolution, cu.max_dvfs());
+        assert!(pred_latency > 0.0 && pred_energy > 0.0);
+        assert!(
+            (pred_latency - truth.latency_ms).abs() / truth.latency_ms < 0.6,
+            "pred {pred_latency} vs truth {}",
+            truth.latency_ms
+        );
+        assert!(
+            (pred_energy - truth.energy_mj).abs() / truth.energy_mj < 0.6,
+            "pred {pred_energy} vs truth {}",
+            truth.energy_mj
+        );
+    }
+
+    #[test]
+    fn bigger_workloads_predict_longer_latency() {
+        let (platform, predictor) = trained_predictor();
+        let cu = &platform.compute_units()[0];
+        let small = SliceCost {
+            macs: 1e6,
+            flops: 2e6,
+            weight_bytes: 1e5,
+            input_bytes: 1e4,
+            output_bytes: 1e4,
+        };
+        let big = SliceCost {
+            macs: 5e8,
+            flops: 1e9,
+            weight_bytes: 1e7,
+            input_bytes: 1e6,
+            output_bytes: 1e6,
+        };
+        let (lat_small, _) = predictor.predict(&QueryFeatures::new(
+            small,
+            WorkloadClass::Convolution,
+            cu,
+            cu.max_dvfs(),
+        ));
+        let (lat_big, _) = predictor.predict(&QueryFeatures::new(
+            big,
+            WorkloadClass::Convolution,
+            cu,
+            cu.max_dvfs(),
+        ));
+        assert!(lat_big > lat_small);
+    }
+
+    #[test]
+    fn training_without_validation_split_still_reports() {
+        let platform = Platform::dual_test();
+        let dataset_config = DatasetConfig {
+            samples: 120,
+            seed: 4,
+            noise_std: 0.0,
+            train_fraction: 1.0,
+        };
+        let predictor =
+            PerformancePredictor::train(&platform, &dataset_config, &GbtConfig::fast()).unwrap();
+        let report = predictor.validation_report();
+        assert_eq!(report.validation_size, 0);
+        assert!(report.latency_r2 > 0.8);
+    }
+}

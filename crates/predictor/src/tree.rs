@@ -1,0 +1,365 @@
+//! CART-style regression trees.
+//!
+//! The gradient-boosting ensemble of [`crate::gbt`] is built from these
+//! binary regression trees. Splits greedily minimise the weighted variance
+//! of the two children, thresholds are taken from feature quantiles to keep
+//! fitting fast on the benchmark datasets (10⁴–10⁵ rows).
+
+use crate::error::PredictorError;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a single regression tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (a depth of 0 yields a single leaf).
+    pub max_depth: usize,
+    /// Minimum number of samples required in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Number of candidate thresholds examined per feature.
+    pub candidate_thresholds: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 6,
+            min_samples_leaf: 5,
+            candidate_thresholds: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the left child in the node arena.
+        left: usize,
+        /// Index of the right child in the node arena.
+        right: usize,
+    },
+}
+
+/// A fitted binary regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    num_features: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree to `features` (row-major, all rows the same length) and
+    /// `targets`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::EmptyDataset`] for empty inputs and
+    /// [`PredictorError::DimensionMismatch`] when row lengths disagree or
+    /// the number of targets differs from the number of rows.
+    pub fn fit(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        config: &TreeConfig,
+    ) -> Result<Self, PredictorError> {
+        if features.is_empty() || targets.is_empty() {
+            return Err(PredictorError::EmptyDataset);
+        }
+        if features.len() != targets.len() {
+            return Err(PredictorError::DimensionMismatch {
+                expected: features.len(),
+                actual: targets.len(),
+            });
+        }
+        let num_features = features[0].len();
+        if num_features == 0 {
+            return Err(PredictorError::DimensionMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        for row in features {
+            if row.len() != num_features {
+                return Err(PredictorError::DimensionMismatch {
+                    expected: num_features,
+                    actual: row.len(),
+                });
+            }
+        }
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            num_features,
+        };
+        let indices: Vec<usize> = (0..features.len()).collect();
+        tree.grow(features, targets, &indices, config, 0);
+        Ok(tree)
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], index: usize) -> usize {
+            match nodes[index] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, left).max(depth_of(nodes, right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictorError::DimensionMismatch`] when the row length
+    /// differs from the training data.
+    pub fn predict(&self, features: &[f64]) -> Result<f64, PredictorError> {
+        if features.len() != self.num_features {
+            return Err(PredictorError::DimensionMismatch {
+                expected: self.num_features,
+                actual: features.len(),
+            });
+        }
+        let mut index = 0usize;
+        loop {
+            match self.nodes[index] {
+                Node::Leaf { value } => return Ok(value),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    index = if features[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Grows the subtree for `indices` and returns its node index.
+    fn grow(
+        &mut self,
+        features: &[Vec<f64>],
+        targets: &[f64],
+        indices: &[usize],
+        config: &TreeConfig,
+        depth: usize,
+    ) -> usize {
+        let mean = mean_of(targets, indices);
+        if depth >= config.max_depth
+            || indices.len() < 2 * config.min_samples_leaf.max(1)
+            || variance_of(targets, indices, mean) < 1e-18
+        {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        let Some((feature, threshold)) = self.best_split(features, targets, indices, config)
+        else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| features[i][feature] <= threshold);
+        if left_idx.len() < config.min_samples_leaf || right_idx.len() < config.min_samples_leaf {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        // Reserve this node's slot before growing the children.
+        let node_index = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean });
+        let left = self.grow(features, targets, &left_idx, config, depth + 1);
+        let right = self.grow(features, targets, &right_idx, config, depth + 1);
+        self.nodes[node_index] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        node_index
+    }
+
+    /// Finds the (feature, threshold) pair with the lowest weighted child
+    /// variance, if any valid split exists.
+    fn best_split(
+        &self,
+        features: &[Vec<f64>],
+        targets: &[f64],
+        indices: &[usize],
+        config: &TreeConfig,
+    ) -> Option<(usize, f64)> {
+        let parent_mean = mean_of(targets, indices);
+        let parent_score = variance_of(targets, indices, parent_mean) * indices.len() as f64;
+        let mut best: Option<(usize, f64, f64)> = None;
+        for feature in 0..self.num_features {
+            let mut values: Vec<f64> = indices.iter().map(|&i| features[i][feature]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            let step = (values.len() as f64 / (config.candidate_thresholds + 1) as f64).max(1.0);
+            let mut k = step;
+            while (k as usize) < values.len() {
+                let threshold = (values[k as usize - 1] + values[k as usize]) / 2.0;
+                k += step;
+                let (left, right): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| features[i][feature] <= threshold);
+                if left.len() < config.min_samples_leaf || right.len() < config.min_samples_leaf {
+                    continue;
+                }
+                let left_mean = mean_of(targets, &left);
+                let right_mean = mean_of(targets, &right);
+                let score = variance_of(targets, &left, left_mean) * left.len() as f64
+                    + variance_of(targets, &right, right_mean) * right.len() as f64;
+                if score < parent_score - 1e-15
+                    && best.map(|(_, _, s)| score < s).unwrap_or(true)
+                {
+                    best = Some((feature, threshold, score));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+}
+
+fn mean_of(targets: &[f64], indices: &[usize]) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len() as f64
+}
+
+fn variance_of(targets: &[f64], indices: &[usize], mean: f64) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    indices
+        .iter()
+        .map(|&i| {
+            let d = targets[i] - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / indices.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn step_dataset() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 10 if x0 > 0.5 else 1, independent of x1.
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..100 {
+            let x0 = i as f64 / 100.0;
+            features.push(vec![x0, (i % 7) as f64]);
+            targets.push(if x0 > 0.5 { 10.0 } else { 1.0 });
+        }
+        (features, targets)
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let (features, targets) = step_dataset();
+        let tree = RegressionTree::fit(&features, &targets, &TreeConfig::default()).unwrap();
+        assert!(tree.predict(&[0.1, 0.0]).unwrap() < 2.0);
+        assert!(tree.predict(&[0.9, 3.0]).unwrap() > 9.0);
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn constant_targets_give_single_leaf() {
+        let features = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        let targets = vec![5.0; 4];
+        let tree = RegressionTree::fit(&features, &targets, &TreeConfig::default()).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict(&[100.0]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn depth_zero_config_gives_mean_prediction() {
+        let (features, targets) = step_dataset();
+        let config = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&features, &targets, &config).unwrap();
+        let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+        assert!((tree.predict(&[0.3, 1.0]).unwrap() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_mismatched_inputs_are_rejected() {
+        assert_eq!(
+            RegressionTree::fit(&[], &[], &TreeConfig::default()),
+            Err(PredictorError::EmptyDataset)
+        );
+        let features = vec![vec![1.0], vec![2.0]];
+        assert!(RegressionTree::fit(&features, &[1.0], &TreeConfig::default()).is_err());
+        let ragged = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(RegressionTree::fit(&ragged, &[1.0, 2.0], &TreeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn predict_checks_dimension() {
+        let (features, targets) = step_dataset();
+        let tree = RegressionTree::fit(&features, &targets, &TreeConfig::default()).unwrap();
+        assert!(tree.predict(&[1.0]).is_err());
+        assert!(tree.predict(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn min_samples_leaf_limits_tree_growth() {
+        let (features, targets) = step_dataset();
+        let coarse = TreeConfig {
+            min_samples_leaf: 60,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit(&features, &targets, &coarse).unwrap();
+        // A split would leave fewer than 60 samples on one side, so the
+        // tree must stay a single leaf.
+        assert_eq!(tree.num_nodes(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_predictions_within_target_range(
+            rows in proptest::collection::vec(
+                (0.0f64..1.0, 0.0f64..1.0, 0.0f64..100.0), 10..80),
+            query in proptest::collection::vec(0.0f64..1.0, 2)
+        ) {
+            let features: Vec<Vec<f64>> = rows.iter().map(|(a, b, _)| vec![*a, *b]).collect();
+            let targets: Vec<f64> = rows.iter().map(|(_, _, y)| *y).collect();
+            let tree = RegressionTree::fit(&features, &targets, &TreeConfig::default()).unwrap();
+            let lo = targets.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let pred = tree.predict(&query).unwrap();
+            // Leaf values are means of training targets, so predictions can
+            // never leave the observed target range.
+            prop_assert!(pred >= lo - 1e-9 && pred <= hi + 1e-9);
+        }
+    }
+}

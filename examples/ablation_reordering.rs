@@ -1,0 +1,62 @@
+//! Ablation of the channel-importance reordering step (paper §V-D): the
+//! same partitioned configuration is evaluated with importance-ranked
+//! channel assignment and with the original (identity) channel order.
+//!
+//! ```text
+//! cargo run --example ablation_reordering
+//! ```
+
+use map_and_conquer::core::{EvaluatorBuilder, MappingConfig};
+use map_and_conquer::mpsoc::Platform;
+use map_and_conquer::nn::models::{visformer, ModelPreset};
+use map_and_conquer::nn::ImportanceModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = visformer(ModelPreset::cifar100());
+    let platform = Platform::agx_xavier();
+    let config = MappingConfig::uniform(&network, &platform)?;
+
+    // Importance-ranked channels (the paper's method): synthetic Taylor-like
+    // scores with a heavy tail.
+    let ranked = EvaluatorBuilder::new(network.clone(), platform.clone())
+        .importance(ImportanceModel::synthetic(&network, 2023, 1.5))
+        .validation_samples(4000)
+        .build()?
+        .evaluate(&config)?;
+
+    // Ablation: identity ordering — every channel carries the same mass, so
+    // the early stages hold no more information than their width fraction.
+    let unranked = EvaluatorBuilder::new(network.clone(), platform.clone())
+        .importance(ImportanceModel::uniform(&network))
+        .validation_samples(4000)
+        .build()?
+        .evaluate(&config)?;
+
+    println!("                      | ranked channels | original order");
+    println!("----------------------+-----------------+----------------");
+    println!(
+        "top-1 accuracy        | {:>14.2}% | {:>13.2}%",
+        ranked.accuracy * 100.0,
+        unranked.accuracy * 100.0
+    );
+    println!(
+        "early-exit fraction   | {:>14.1}% | {:>13.1}%",
+        ranked.early_exit_fraction() * 100.0,
+        unranked.early_exit_fraction() * 100.0
+    );
+    println!(
+        "average latency [ms]  | {:>15.2} | {:>14.2}",
+        ranked.average_latency_ms, unranked.average_latency_ms
+    );
+    println!(
+        "average energy [mJ]   | {:>15.2} | {:>14.2}",
+        ranked.average_energy_mj, unranked.average_energy_mj
+    );
+    println!(
+        "\nranking the channels by importance before partitioning lets the first stage terminate \
+         {:.1}% more of the inputs and saves {:.1}% energy on average.",
+        (ranked.early_exit_fraction() - unranked.early_exit_fraction()) * 100.0,
+        (1.0 - ranked.average_energy_mj / unranked.average_energy_mj) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: evaluate the single-CU baselines and a first dynamic
+//! mapping of Visformer on the AGX Xavier model.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use map_and_conquer::core::{EvaluatorBuilder, MappingConfig};
+use map_and_conquer::mpsoc::{CuId, Platform};
+use map_and_conquer::nn::models::{visformer, ModelPreset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The model side: a Visformer-style network for CIFAR-100.
+    let network = visformer(ModelPreset::cifar100());
+    println!("{network}");
+    let cost = network.total_cost();
+    println!(
+        "total workload: {:.1} MMACs, {:.1} MB of weights\n",
+        cost.macs / 1e6,
+        cost.weight_bytes / 1e6
+    );
+
+    // 2. The hardware side: the NVIDIA Jetson AGX Xavier preset
+    //    (GPU + 2 DLAs sharing LPDDR4x).
+    let platform = Platform::agx_xavier();
+    println!("{platform}");
+
+    // 3. An evaluator bundles network, platform, accuracy model and
+    //    constraints.
+    let evaluator = EvaluatorBuilder::new(network.clone(), platform.clone()).build()?;
+
+    // 4. The single-compute-unit baselines of the paper's Table II.
+    let gpu = evaluator.baseline_single_cu(CuId(0))?;
+    let dla = evaluator.baseline_single_cu(CuId(1))?;
+    println!(
+        "{:<12} {:>9.2} ms {:>9.2} mJ  top-1 {:.2}%",
+        gpu.label,
+        gpu.latency_ms,
+        gpu.energy_mj,
+        gpu.accuracy * 100.0
+    );
+    println!(
+        "{:<12} {:>9.2} ms {:>9.2} mJ  top-1 {:.2}%",
+        dla.label,
+        dla.latency_ms,
+        dla.energy_mj,
+        dla.accuracy * 100.0
+    );
+
+    // 5. A first Map-and-Conquer configuration: even width split across the
+    //    three compute units, full feature-map reuse, maximum frequencies.
+    let config = MappingConfig::uniform(&network, &platform)?;
+    let result = evaluator.evaluate(&config)?;
+    println!(
+        "{:<12} {:>9.2} ms {:>9.2} mJ  top-1 {:.2}%  (worst case {:.2} ms, {:.1}% early exits)",
+        "map-conquer",
+        result.average_latency_ms,
+        result.average_energy_mj,
+        result.accuracy * 100.0,
+        result.worst_case_latency_ms,
+        result.early_exit_fraction() * 100.0
+    );
+    println!(
+        "\nenergy gain vs GPU-only: {:.2}x   speedup vs DLA-only: {:.2}x",
+        gpu.energy_mj / result.average_energy_mj,
+        dla.latency_ms / result.average_latency_ms
+    );
+    Ok(())
+}

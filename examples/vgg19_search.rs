@@ -1,0 +1,78 @@
+//! Search mappings for VGG-19 under the 50% feature-map-reuse constraint —
+//! the paper's "generalisation to other architectures" study (§VI-D) plus
+//! its most constrained reuse strategy.
+//!
+//! ```text
+//! cargo run --release --example vgg19_search
+//! ```
+
+use map_and_conquer::core::{Constraints, EvaluatorBuilder};
+use map_and_conquer::mpsoc::{CuId, Platform};
+use map_and_conquer::nn::models::{vgg19, ModelPreset};
+use map_and_conquer::optim::{MappingSearch, SearchConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = vgg19(ModelPreset::cifar100());
+    let platform = Platform::agx_xavier();
+    let evaluator = EvaluatorBuilder::new(network, platform)
+        .validation_samples(4000)
+        .constraints(Constraints::with_fmap_reuse_limit(0.5))
+        .build()?;
+
+    let outcome = MappingSearch::new(
+        &evaluator,
+        SearchConfig {
+            generations: 20,
+            population_size: 24,
+            seed: 99,
+            parallel: true,
+            ..SearchConfig::paper()
+        },
+    )
+    .run()?;
+
+    let gpu = evaluator.baseline_single_cu(CuId(0))?;
+    let dla = evaluator.baseline_single_cu(CuId(1))?;
+    println!(
+        "baselines: GPU {:.1} ms / {:.1} mJ,  DLA {:.1} ms / {:.1} mJ",
+        gpu.latency_ms, gpu.energy_mj, dla.latency_ms, dla.energy_mj
+    );
+    println!(
+        "evaluated {} configurations ({} feasible under reuse <= 50%)",
+        outcome.evaluations(),
+        outcome.feasible().len()
+    );
+
+    if let Some(best) = outcome
+        .energy_oriented(0.01)
+        .or_else(|| outcome.energy_oriented(0.06))
+    {
+        println!(
+            "\nbest energy-oriented configuration: {:.2} ms, {:.2} mJ, top-1 {:.2}%, reuse {:.0}%",
+            best.result.average_latency_ms,
+            best.result.average_energy_mj,
+            best.result.accuracy * 100.0,
+            best.result.fmap_reuse * 100.0
+        );
+        println!(
+            "energy gain vs GPU-only: {:.2}x   speedup vs DLA-only: {:.2}x",
+            gpu.energy_mj / best.result.average_energy_mj,
+            dla.latency_ms / best.result.average_latency_ms
+        );
+        println!(
+            "{:.1}% of samples exit before the last stage ({:.2} stages executed on average)",
+            best.result.early_exit_fraction() * 100.0,
+            best.result.average_stages_executed
+        );
+        println!("\nper-stage breakdown:");
+        for stage in &best.result.stage_performance {
+            println!(
+                "  stage {} on {}: T_S = {:>7.2} ms, E_S = {:>7.2} mJ (transfers {:.2} ms)",
+                stage.stage, stage.cu, stage.latency_ms, stage.energy_mj, stage.transfer_ms
+            );
+        }
+    } else {
+        println!("no feasible configuration found — increase the search budget");
+    }
+    Ok(())
+}

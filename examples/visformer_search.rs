@@ -1,0 +1,74 @@
+//! Run the evolutionary mapping search for Visformer on the AGX Xavier
+//! model and report the Pareto front plus the paper-style "Ours-L" /
+//! "Ours-E" picks.
+//!
+//! ```text
+//! cargo run --release --example visformer_search
+//! ```
+
+use map_and_conquer::core::EvaluatorBuilder;
+use map_and_conquer::mpsoc::{CuId, Platform};
+use map_and_conquer::nn::models::{visformer, ModelPreset};
+use map_and_conquer::optim::{MappingSearch, SearchConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = visformer(ModelPreset::cifar100());
+    let platform = Platform::agx_xavier();
+    let evaluator = EvaluatorBuilder::new(network, platform)
+        .validation_samples(4000)
+        .build()?;
+
+    let search_config = SearchConfig {
+        generations: 20,
+        population_size: 24,
+        seed: 42,
+        parallel: true,
+        ..SearchConfig::paper()
+    };
+    println!(
+        "searching: {} generations x {} candidates ...",
+        search_config.generations, search_config.population_size
+    );
+    let outcome = MappingSearch::new(&evaluator, search_config).run()?;
+    println!(
+        "evaluated {} configurations, {} feasible, Pareto front of {}",
+        outcome.evaluations(),
+        outcome.feasible().len(),
+        outcome.pareto_front().len()
+    );
+
+    let gpu = evaluator.baseline_single_cu(CuId(0))?;
+    let dla = evaluator.baseline_single_cu(CuId(1))?;
+
+    println!("\nPareto front (average energy vs average latency):");
+    for candidate in outcome.pareto_front() {
+        println!(
+            "  {:>8.2} mJ  {:>7.2} ms  top-1 {:.2}%  reuse {:>5.1}%  stages on {:?}",
+            candidate.result.average_energy_mj,
+            candidate.result.average_latency_ms,
+            candidate.result.accuracy * 100.0,
+            candidate.result.fmap_reuse * 100.0,
+            candidate.config.mapping.as_slice()
+        );
+    }
+
+    for (label, pick) in [
+        ("Ours-L (latency-oriented)", outcome.latency_oriented(0.01)),
+        ("Ours-E (energy-oriented)", outcome.energy_oriented(0.01)),
+    ] {
+        if let Some(candidate) = pick {
+            println!(
+                "\n{label}: {:.2} ms, {:.2} mJ, top-1 {:.2}%",
+                candidate.result.average_latency_ms,
+                candidate.result.average_energy_mj,
+                candidate.result.accuracy * 100.0
+            );
+            println!(
+                "  energy gain vs GPU-only: {:.2}x, speedup vs DLA-only: {:.2}x",
+                gpu.energy_mj / candidate.result.average_energy_mj,
+                dla.latency_ms / candidate.result.average_latency_ms
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: the full pipeline from model + platform
+//! to evaluated mapping configurations and searched Pareto fronts.
+
+use map_and_conquer::core::{Constraints, EvaluatorBuilder, MappingConfig};
+use map_and_conquer::mpsoc::{CuId, Platform};
+use map_and_conquer::nn::models::{vgg19, visformer, visformer_tiny, ModelPreset};
+use map_and_conquer::optim::{MappingSearch, SearchConfig};
+
+/// The calibrated AGX Xavier model must reproduce the single-CU baseline
+/// rows of Table II for both architectures within a 30% band.
+#[test]
+fn table2_baseline_rows_are_reproduced() {
+    let platform = Platform::agx_xavier();
+    let cases = [
+        ("visformer", visformer(ModelPreset::cifar100()), 15.01, 197.35, 53.71, 69.22),
+        ("vgg19", vgg19(ModelPreset::cifar100()), 25.23, 630.11, 114.41, 164.89),
+    ];
+    for (name, network, gpu_lat, gpu_energy, dla_lat, dla_energy) in cases {
+        let (measured_gpu_lat, measured_gpu_energy) =
+            platform.single_cu_baseline(&network, CuId(0)).unwrap();
+        let (measured_dla_lat, measured_dla_energy) =
+            platform.single_cu_baseline(&network, CuId(1)).unwrap();
+        let close = |measured: f64, paper: f64| (measured - paper).abs() / paper < 0.3;
+        assert!(close(measured_gpu_lat, gpu_lat), "{name} gpu latency {measured_gpu_lat}");
+        assert!(close(measured_gpu_energy, gpu_energy), "{name} gpu energy {measured_gpu_energy}");
+        assert!(close(measured_dla_lat, dla_lat), "{name} dla latency {measured_dla_lat}");
+        assert!(close(measured_dla_energy, dla_energy), "{name} dla energy {measured_dla_energy}");
+    }
+}
+
+/// The headline claim of the paper in miniature: the framework finds
+/// configurations that are simultaneously more energy-efficient than the
+/// GPU-only mapping and faster than the DLA-only mapping, while staying
+/// within a small accuracy budget.
+#[test]
+fn search_beats_both_single_cu_baselines_on_xavier() {
+    let network = visformer(ModelPreset::cifar100());
+    let platform = Platform::agx_xavier();
+    let evaluator = EvaluatorBuilder::new(network, platform)
+        .validation_samples(2000)
+        .build()
+        .unwrap();
+    let gpu = evaluator.baseline_single_cu(CuId(0)).unwrap();
+    let dla = evaluator.baseline_single_cu(CuId(1)).unwrap();
+
+    let outcome = MappingSearch::new(
+        &evaluator,
+        SearchConfig {
+            generations: 8,
+            population_size: 16,
+            seed: 5,
+            parallel: true,
+            ..SearchConfig::fast()
+        },
+    )
+    .run()
+    .unwrap();
+
+    let winner = outcome
+        .feasible()
+        .into_iter()
+        .filter(|c| c.result.accuracy_drop <= 0.01)
+        .find(|c| {
+            c.result.average_energy_mj < gpu.energy_mj
+                && c.result.average_latency_ms < dla.latency_ms
+        });
+    assert!(
+        winner.is_some(),
+        "no configuration dominates the single-CU baselines"
+    );
+}
+
+/// Tightening the feature-map-reuse constraint must not improve the best
+/// reachable accuracy (the correlation of Fig. 6 / Fig. 7).
+#[test]
+fn reuse_constraints_trade_accuracy() {
+    let network = visformer(ModelPreset::cifar100());
+    let platform = Platform::agx_xavier();
+    let mut best_accuracy = Vec::new();
+    for limit in [None, Some(0.75), Some(0.5)] {
+        let constraints = match limit {
+            Some(l) => Constraints::with_fmap_reuse_limit(l),
+            None => Constraints::default(),
+        };
+        let evaluator = EvaluatorBuilder::new(network.clone(), platform.clone())
+            .validation_samples(2000)
+            .constraints(constraints)
+            .build()
+            .unwrap();
+        let outcome = MappingSearch::new(
+            &evaluator,
+            SearchConfig {
+                generations: 6,
+                population_size: 16,
+                seed: 11,
+                parallel: true,
+                ..SearchConfig::fast()
+            },
+        )
+        .run()
+        .unwrap();
+        let best = outcome
+            .feasible()
+            .into_iter()
+            .map(|c| c.result.accuracy)
+            .fold(0.0f64, f64::max);
+        best_accuracy.push(best);
+    }
+    assert!(best_accuracy[0] >= best_accuracy[1] - 1e-9);
+    assert!(best_accuracy[1] >= best_accuracy[2] - 1e-9);
+    // The 50%-reuse strategy must cost noticeable accuracy compared to the
+    // unconstrained one (the paper reports ~6%).
+    assert!(best_accuracy[0] - best_accuracy[2] > 0.005);
+}
+
+/// The evaluator, baselines and search all agree on the same platform and
+/// network objects (no hidden global state), and evaluation is
+/// deterministic.
+#[test]
+fn evaluation_is_deterministic() {
+    let network = visformer_tiny(ModelPreset::cifar100());
+    let platform = Platform::dual_test();
+    let evaluator = EvaluatorBuilder::new(network.clone(), platform.clone())
+        .validation_samples(1500)
+        .build()
+        .unwrap();
+    let config = MappingConfig::uniform(&network, &platform).unwrap();
+    let a = evaluator.evaluate(&config).unwrap();
+    let b = evaluator.evaluate(&config).unwrap();
+    assert_eq!(a, b);
+}
+
+/// Dynamic deployment can only improve expected energy over the static
+/// distributed deployment of the same configuration, and the static
+/// deployment must improve on the weak metric of each single-CU baseline
+/// (the message of Fig. 1).
+#[test]
+fn fig1_orderings_hold() {
+    let network = visformer(ModelPreset::cifar100());
+    let platform = Platform::agx_xavier();
+    let evaluator = EvaluatorBuilder::new(network.clone(), platform.clone())
+        .validation_samples(2000)
+        .build()
+        .unwrap();
+    let gpu = evaluator.baseline_single_cu(CuId(0)).unwrap();
+    let dla = evaluator.baseline_single_cu(CuId(1)).unwrap();
+    let config = MappingConfig::uniform(&network, &platform).unwrap();
+    let static_dist = evaluator.baseline_static_distributed(&config).unwrap();
+    let dynamic = evaluator.evaluate(&config).unwrap();
+
+    assert!(static_dist.latency_ms < dla.latency_ms);
+    assert!(static_dist.energy_mj < gpu.energy_mj);
+    assert!(dynamic.average_energy_mj < static_dist.energy_mj);
+    assert!(dynamic.average_latency_ms <= static_dist.latency_ms + 1e-9);
+    assert!(dynamic.accuracy > 0.85);
+}

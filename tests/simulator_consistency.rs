@@ -1,0 +1,76 @@
+//! Consistency between the closed-form concurrent performance model
+//! (eq. 8–14) and the event-driven execution simulator, across randomly
+//! generated configurations.
+
+use map_and_conquer::core::perf::evaluate_performance;
+use map_and_conquer::core::{Estimator, ExecutionTrace};
+use map_and_conquer::dynamic::DynamicNetwork;
+use map_and_conquer::mpsoc::Platform;
+use map_and_conquer::nn::models::{vgg11, visformer_tiny, ModelPreset};
+use map_and_conquer::optim::Genome;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn simulator_matches_recursion_for_random_configurations() {
+    let platform = Platform::agx_xavier();
+    let networks = [
+        visformer_tiny(ModelPreset::cifar100()),
+        vgg11(ModelPreset::cifar100()),
+    ];
+    let mut rng = StdRng::seed_from_u64(2024);
+    let estimator = Estimator::Analytic;
+    for network in &networks {
+        for _ in 0..25 {
+            let genome = Genome::random(network, &platform, &mut rng);
+            let config = genome.decode(network, &platform).unwrap();
+            let dynamic =
+                DynamicNetwork::transform(network, &config.partition, &config.indicator).unwrap();
+            let perf = evaluate_performance(&dynamic, &config, &platform, &estimator).unwrap();
+            let trace =
+                ExecutionTrace::simulate(&dynamic, &config, &platform, &estimator).unwrap();
+            for (analytic, simulated) in perf.stages.iter().zip(trace.stage_finish_ms()) {
+                assert!(
+                    (analytic.latency_ms - simulated).abs() < 1e-6,
+                    "{}: analytic {} vs simulated {}",
+                    network.name(),
+                    analytic.latency_ms,
+                    simulated
+                );
+            }
+            assert!((perf.makespan_ms() - trace.makespan_ms()).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn performance_invariants_hold_for_random_configurations() {
+    let platform = Platform::agx_xavier();
+    let network = visformer_tiny(ModelPreset::cifar100());
+    let mut rng = StdRng::seed_from_u64(7);
+    let estimator = Estimator::Analytic;
+    for _ in 0..40 {
+        let genome = Genome::random(&network, &platform, &mut rng);
+        let config = genome.decode(&network, &platform).unwrap();
+        let dynamic =
+            DynamicNetwork::transform(&network, &config.partition, &config.indicator).unwrap();
+        let perf = evaluate_performance(&dynamic, &config, &platform, &estimator).unwrap();
+        // Latency with more instantiated stages can only grow; energy is
+        // strictly additive.
+        let mut previous_latency = 0.0;
+        let mut previous_energy = 0.0;
+        for stage_count in 1..=perf.num_stages() {
+            let latency = perf.latency_with_stages(stage_count);
+            let energy = perf.energy_with_stages(stage_count);
+            assert!(latency + 1e-12 >= previous_latency);
+            assert!(energy + 1e-12 >= previous_energy);
+            previous_latency = latency;
+            previous_energy = energy;
+        }
+        // Every stage's completion time includes at least its busy time.
+        for stage in &perf.stages {
+            assert!(stage.latency_ms + 1e-12 >= stage.busy_ms);
+            assert!(stage.energy_mj > 0.0);
+        }
+    }
+}
