@@ -25,7 +25,11 @@ fn bench_evaluate(c: &mut Criterion) {
             .expect("evaluator preset is valid");
         let config = MappingConfig::uniform(&network, &platform).expect("uniform config");
         group.bench_function(format!("evaluate/{name}"), |b| {
-            b.iter(|| evaluator.evaluate(black_box(&config)).expect("evaluation succeeds"))
+            b.iter(|| {
+                evaluator
+                    .evaluate(black_box(&config))
+                    .expect("evaluation succeeds")
+            })
         });
 
         let dynamic = DynamicNetwork::transform(&network, &config.partition, &config.indicator)

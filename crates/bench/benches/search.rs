@@ -25,7 +25,11 @@ fn bench_search(c: &mut Criterion) {
     group.bench_function("genome_decode/visformer", |b| {
         let mut rng = StdRng::seed_from_u64(11);
         let genome = Genome::random(&network, &platform, &mut rng);
-        b.iter(|| genome.decode(black_box(&network), black_box(&platform)).expect("decodes"))
+        b.iter(|| {
+            genome
+                .decode(black_box(&network), black_box(&platform))
+                .expect("decodes")
+        })
     });
 
     group.bench_function("evolution/3gen_x_12", |b| {

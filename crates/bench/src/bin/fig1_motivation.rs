@@ -43,11 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dynamic = evaluator.evaluate(&config)?;
 
     let dynamic_transfer_mb = {
-        let dynamic_net = mnc_dynamic::DynamicNetwork::transform(
-            &network,
-            &config.partition,
-            &config.indicator,
-        )?;
+        let dynamic_net =
+            mnc_dynamic::DynamicNetwork::transform(&network, &config.partition, &config.indicator)?;
         // Weight transfers by how often each stage is actually instantiated
         // under early exits — the saving the right plot of Fig. 1 reports.
         let total: usize = dynamic.exit_counts.iter().sum();
@@ -60,11 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         expected_bytes / 1e6
     };
     let static_transfer_mb = {
-        let dynamic_net = mnc_dynamic::DynamicNetwork::transform(
-            &network,
-            &config.partition,
-            &config.indicator,
-        )?;
+        let dynamic_net =
+            mnc_dynamic::DynamicNetwork::transform(&network, &config.partition, &config.indicator)?;
         dynamic_net.total_transfer_bytes() / 1e6
     };
 
@@ -101,7 +95,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     print_table(
         "Fig. 1 — Visformer on AGX Xavier: mapping and deployment options",
-        &["deployment", "latency [ms]", "energy [mJ]", "top-1", "fmap traffic [MB]"],
+        &[
+            "deployment",
+            "latency [ms]",
+            "energy [mJ]",
+            "top-1",
+            "fmap traffic [MB]",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -8,7 +8,9 @@
 //! MNC_BUDGET=ci cargo run -p mnc-bench --bin fig6_search
 //! ```
 
-use mnc_bench::{format_factor, print_table, run_search, single_cu_baselines, write_json, Budget, Workload};
+use mnc_bench::{
+    format_factor, print_table, run_search, single_cu_baselines, write_json, Budget, Workload,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -132,7 +134,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nPaper reference (Fig. 6): ~2.1x energy gain over GPU-only at ≤30 ms (no constraint), ~1.7x latency");
     println!("speedup over DLA-only; the gains shrink to ~1.6x/1.5x and ~1.6x/1.4x under the 75% and 50% reuse");
-    println!("constraints, and the 50% case costs ~6% accuracy on the most constrained configurations.");
+    println!(
+        "constraints, and the 50% case costs ~6% accuracy on the most constrained configurations."
+    );
 
     write_json("fig6_scatter", &all_points);
     write_json("fig6_summary", &summaries);

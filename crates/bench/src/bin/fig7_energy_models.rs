@@ -40,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         if static_reuse_reference.is_none() {
             // The static distributed mapping forwards every feature map.
-            let config =
-                MappingConfig::uniform(evaluator.network(), evaluator.platform())?;
+            let config = MappingConfig::uniform(evaluator.network(), evaluator.platform())?;
             let static_baseline = evaluator.baseline_static_distributed(&config)?;
             static_reuse_reference = static_baseline.fmap_reuse;
         }

@@ -1,0 +1,104 @@
+//! Batched-request throughput of the mapping service.
+//!
+//! Replays a workload of mapping requests — a mix of distinct
+//! (model, platform, seed) combinations and exact repeats, the shape of
+//! traffic a deployment-planning front-end generates — and reports
+//! requests/second plus cache effectiveness for the cold and warm phases.
+//!
+//! ```text
+//! cargo run --release -p mnc-bench --bin service_throughput
+//! MNC_BUDGET=ci cargo run --release -p mnc-bench --bin service_throughput
+//! ```
+
+use mnc_bench::Budget;
+use mnc_runtime::{MappingRequest, MappingService};
+use std::time::Instant;
+
+fn workload(budget: Budget) -> Vec<MappingRequest> {
+    let (samples, generations, population) = match budget {
+        Budget::Ci => (500, 4, 12),
+        Budget::Default => (1000, 8, 16),
+        Budget::Paper => (2000, 20, 24),
+    };
+    let mut requests = Vec::new();
+    for model in [
+        "visformer_tiny_cifar100",
+        "vgg11_cifar100",
+        "tiny_cnn_cifar10",
+    ] {
+        for platform in ["agx_xavier", "orin_agx", "edge_biglittle", "dual_test"] {
+            for seed in [1u64, 2] {
+                requests.push(
+                    MappingRequest::new(model, platform)
+                        .validation_samples(samples)
+                        .generations(generations)
+                        .population_size(population)
+                        .seed(seed),
+                );
+            }
+        }
+    }
+    requests
+}
+
+fn run_phase(service: &MappingService, requests: &[MappingRequest], label: &str) {
+    let started = Instant::now();
+    let mut evaluations = 0usize;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for result in service.submit_batch(requests) {
+        let response = result.expect("preset workload requests are valid");
+        evaluations += response.stats.evaluations;
+        hits += response.stats.cache_hits;
+        misses += response.stats.cache_misses;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let lookups = hits + misses;
+    let hit_pct = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64 * 100.0
+    };
+    println!(
+        "{label:<6} {:>4} requests in {elapsed:>7.2} s  ({:>6.2} req/s, {:>8} evaluations, {hit_pct:>5.1}% cache hits)",
+        requests.len(),
+        requests.len() as f64 / elapsed,
+        evaluations,
+    );
+}
+
+fn main() {
+    let budget = Budget::from_env();
+    let requests = workload(budget);
+    let service = MappingService::new();
+
+    println!(
+        "service throughput, budget {budget:?}: {} distinct requests\n",
+        requests.len()
+    );
+    // Cold: every evaluation is fresh.
+    run_phase(&service, &requests, "cold");
+    // Warm: identical traffic, answered from the evaluation cache.
+    run_phase(&service, &requests, "warm");
+    // Mixed: half repeats, half new seeds (partial cache reuse through
+    // shared elites is workload-dependent but the repeats are free).
+    let mixed: Vec<MappingRequest> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            if i % 2 == 0 {
+                r.clone()
+            } else {
+                r.clone().seed(900 + i as u64)
+            }
+        })
+        .collect();
+    run_phase(&service, &mixed, "mixed");
+
+    let stats = service.cache_stats();
+    println!(
+        "\ncache: {} entries, {:.1}% lifetime hit ratio",
+        stats.entries,
+        stats.hit_ratio() * 100.0
+    );
+}

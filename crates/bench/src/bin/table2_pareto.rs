@@ -94,7 +94,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print_table(
         "Table II — Pareto-optimal models vs single-CU baselines",
         &[
-            "network", "strategy", "impl.", "top-1", "avg energy [mJ]", "avg latency [ms]",
+            "network",
+            "strategy",
+            "impl.",
+            "top-1",
+            "avg energy [mJ]",
+            "avg latency [ms]",
             "fmap reuse",
         ],
         &rows

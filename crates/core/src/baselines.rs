@@ -157,8 +157,7 @@ mod tests {
     #[test]
     fn static_distributed_sits_between_the_single_cu_baselines() {
         let evaluator = xavier_evaluator();
-        let config =
-            MappingConfig::uniform(evaluator.network(), evaluator.platform()).unwrap();
+        let config = MappingConfig::uniform(evaluator.network(), evaluator.platform()).unwrap();
         let static_dist = evaluator.baseline_static_distributed(&config).unwrap();
         let gpu = evaluator.baseline_single_cu(CuId(0)).unwrap();
         let dla = evaluator.baseline_single_cu(CuId(1)).unwrap();

@@ -106,9 +106,7 @@ impl DvfsAssignment {
             });
         }
         for (stage, level) in levels.iter().enumerate() {
-            let cu_id = mapping
-                .compute_unit(stage)
-                .expect("lengths checked above");
+            let cu_id = mapping.compute_unit(stage).expect("lengths checked above");
             let cu = platform.compute_unit(cu_id)?;
             if *level >= cu.dvfs().num_levels() {
                 return Err(CoreError::InvalidDvfs {

@@ -16,9 +16,10 @@ use mnc_predictor::{PerformancePredictor, QueryFeatures};
 use serde::{Deserialize, Serialize};
 
 /// How per-layer hardware measurements are produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum Estimator {
     /// Use the analytic hardware model directly.
+    #[default]
     Analytic,
     /// Use a trained surrogate predictor (the paper's approach).
     Surrogate(PerformancePredictor),
@@ -64,12 +65,6 @@ impl Estimator {
     }
 }
 
-impl Default for Estimator {
-    fn default() -> Self {
-        Estimator::Analytic
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,9 +76,7 @@ mod tests {
         let platform = Platform::dual_test();
         let net = tiny_cnn(ModelPreset::cifar10());
         let (id, layer) = net.iter().next().unwrap();
-        let cost = layer
-            .full_cost(&net.input_shape_of(id).unwrap())
-            .unwrap();
+        let cost = layer.full_cost(&net.input_shape_of(id).unwrap()).unwrap();
         let estimator = Estimator::Analytic;
         let (lat, energy) = estimator
             .estimate(&platform, CuId(0), layer, &cost, 2)
@@ -113,9 +106,7 @@ mod tests {
 
         let net = tiny_cnn(ModelPreset::cifar10());
         let (id, layer) = net.iter().next().unwrap();
-        let cost = layer
-            .full_cost(&net.input_shape_of(id).unwrap())
-            .unwrap();
+        let cost = layer.full_cost(&net.input_shape_of(id).unwrap()).unwrap();
         let (lat_s, energy_s) = estimator
             .estimate(&platform, CuId(0), layer, &cost, 2)
             .unwrap();
@@ -134,9 +125,7 @@ mod tests {
         let platform = Platform::dual_test();
         let net = tiny_cnn(ModelPreset::cifar10());
         let (id, layer) = net.iter().next().unwrap();
-        let cost = layer
-            .full_cost(&net.input_shape_of(id).unwrap())
-            .unwrap();
+        let cost = layer.full_cost(&net.input_shape_of(id).unwrap()).unwrap();
         assert!(Estimator::Analytic
             .estimate(&platform, CuId(7), layer, &cost, 0)
             .is_err());

@@ -258,6 +258,28 @@ impl Evaluator {
         self.accuracy.profile().baseline_accuracy
     }
 
+    /// A stable fingerprint of everything this evaluator holds fixed
+    /// during a search: network, platform, accuracy model, validation set,
+    /// constraints, estimator and objective weights.
+    ///
+    /// Two evaluators with equal fingerprints produce bit-identical
+    /// [`EvaluationResult`]s for the same configuration, so the fingerprint
+    /// is a sound cache-key component (see `mnc_runtime`'s evaluation
+    /// cache). Computed once per evaluator, not per evaluation.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hasher = crate::fingerprint::StableHasher::new();
+        hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.network));
+        hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.platform));
+        hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.accuracy));
+        hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.validation));
+        hasher.write_u64(crate::fingerprint::fingerprint_serialized(
+            &self.constraints,
+        ));
+        hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.estimator));
+        hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.weights));
+        hasher.finish()
+    }
+
     /// Evaluates a configuration end to end.
     ///
     /// # Errors
@@ -449,12 +471,9 @@ mod tests {
     fn evaluate_transformed_matches_evaluate() {
         let evaluator = evaluator();
         let config = skewed_config(&evaluator);
-        let dynamic = DynamicNetwork::transform(
-            evaluator.network(),
-            &config.partition,
-            &config.indicator,
-        )
-        .unwrap();
+        let dynamic =
+            DynamicNetwork::transform(evaluator.network(), &config.partition, &config.indicator)
+                .unwrap();
         let a = evaluator.evaluate(&config).unwrap();
         let b = evaluator.evaluate_transformed(&dynamic, &config).unwrap();
         assert_eq!(a, b);

@@ -49,6 +49,7 @@ pub mod config;
 pub mod error;
 pub mod estimator;
 pub mod evaluator;
+pub mod fingerprint;
 pub mod objective;
 pub mod perf;
 pub mod simulator;
@@ -58,6 +59,7 @@ pub use config::{DvfsAssignment, Mapping, MappingConfig};
 pub use error::CoreError;
 pub use estimator::Estimator;
 pub use evaluator::{EvaluationResult, Evaluator, EvaluatorBuilder};
+pub use fingerprint::{fingerprint_serialized, Fingerprint, StableHasher};
 pub use objective::{Constraints, ObjectiveWeights};
 pub use perf::{PerformanceBreakdown, StagePerformance};
 pub use simulator::{ExecutionTrace, SliceEvent};

@@ -307,7 +307,13 @@ mod tests {
     fn objective_prefers_faster_and_frugal_configurations() {
         let weights = ObjectiveWeights::default();
         let r = report(vec![80, 15, 5], 0.88);
-        let slow = objective_value(0.88, &r, &[20.0, 25.0, 30.0], &[50.0, 90.0, 120.0], &weights);
+        let slow = objective_value(
+            0.88,
+            &r,
+            &[20.0, 25.0, 30.0],
+            &[50.0, 90.0, 120.0],
+            &weights,
+        );
         let fast = objective_value(0.88, &r, &[10.0, 15.0, 20.0], &[40.0, 60.0, 80.0], &weights);
         assert!(fast < slow);
     }

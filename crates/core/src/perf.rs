@@ -135,8 +135,7 @@ pub fn evaluate_performance(
 
         for (layer_index, slice) in stage.slices.iter().enumerate() {
             let layer = network.layer(slice.layer)?;
-            let (tau, e) =
-                estimator.estimate(platform, cu, layer, &slice.cost, dvfs_level)?;
+            let (tau, e) = estimator.estimate(platform, cu, layer, &slice.cost, dvfs_level)?;
             busy_ms += tau;
             energy_mj += e;
 
@@ -217,11 +216,7 @@ mod tests {
         let (dynamic, config, platform) = setup(&net, true);
         let perf =
             evaluate_performance(&dynamic, &config, &platform, &Estimator::Analytic).unwrap();
-        let max_latency = perf
-            .stages
-            .iter()
-            .map(|s| s.latency_ms)
-            .fold(0.0, f64::max);
+        let max_latency = perf.stages.iter().map(|s| s.latency_ms).fold(0.0, f64::max);
         let sum_energy: f64 = perf.stages.iter().map(|s| s.energy_mj).sum();
         assert!((perf.makespan_ms() - max_latency).abs() < 1e-12);
         assert!((perf.total_energy_mj() - sum_energy).abs() < 1e-12);
@@ -235,8 +230,8 @@ mod tests {
         let net = visformer_tiny(ModelPreset::cifar100());
         let (dyn_reuse, cfg_reuse, platform) = setup(&net, true);
         let (dyn_none, cfg_none, _) = setup(&net, false);
-        let with = evaluate_performance(&dyn_reuse, &cfg_reuse, &platform, &Estimator::Analytic)
-            .unwrap();
+        let with =
+            evaluate_performance(&dyn_reuse, &cfg_reuse, &platform, &Estimator::Analytic).unwrap();
         let without =
             evaluate_performance(&dyn_none, &cfg_none, &platform, &Estimator::Analytic).unwrap();
         assert_eq!(with.stages[0].transfer_ms, 0.0);
@@ -266,9 +261,7 @@ mod tests {
         let partition3 = PartitionMatrix::uniform(&net, 1).unwrap();
         let indicator3 = IndicatorMatrix::full(&net, 1);
         let dynamic1 = DynamicNetwork::transform(&net, &partition3, &indicator3).unwrap();
-        assert!(
-            evaluate_performance(&dynamic1, &config, &platform, &Estimator::Analytic).is_err()
-        );
+        assert!(evaluate_performance(&dynamic1, &config, &platform, &Estimator::Analytic).is_err());
     }
 
     #[test]

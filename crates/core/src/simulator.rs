@@ -104,8 +104,7 @@ impl ExecutionTrace {
 
             for (layer_index, slice) in stage.slices.iter().enumerate() {
                 let layer = network.layer(slice.layer)?;
-                let (tau, _) =
-                    estimator.estimate(platform, cu, layer, &slice.cost, dvfs_level)?;
+                let (tau, _) = estimator.estimate(platform, cu, layer, &slice.cost, dvfs_level)?;
 
                 // The slice is ready once forwarded features have arrived.
                 let mut ready_ms = 0.0f64;
@@ -263,8 +262,7 @@ mod tests {
         let mapping =
             Mapping::new(vec![mnc_mpsoc::CuId(1), mnc_mpsoc::CuId(0)], &platform).unwrap();
         let dvfs = DvfsAssignment::max_frequency(&mapping, &platform).unwrap();
-        let config =
-            MappingConfig::new(partition, indicator, mapping, dvfs).unwrap();
+        let config = MappingConfig::new(partition, indicator, mapping, dvfs).unwrap();
         let trace =
             ExecutionTrace::simulate(&dynamic, &config, &platform, &Estimator::Analytic).unwrap();
         assert!(trace.total_stall_ms() > 0.0);

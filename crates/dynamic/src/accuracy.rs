@@ -149,7 +149,10 @@ impl AccuracyModel {
     /// # Errors
     ///
     /// Returns an error when the profile parameters are invalid.
-    pub fn new(profile: AccuracyProfile, importance: ImportanceModel) -> Result<Self, DynamicError> {
+    pub fn new(
+        profile: AccuracyProfile,
+        importance: ImportanceModel,
+    ) -> Result<Self, DynamicError> {
         profile.validate()?;
         Ok(AccuracyModel {
             profile,
@@ -336,8 +339,11 @@ mod tests {
             exit_confidence: 0.0,
             ..AccuracyProfile::visformer_cifar100()
         };
-        assert!(AccuracyModel::new(bad_conf, ImportanceModel::synthetic(
-            &visformer_tiny(ModelPreset::cifar100()), 1, 1.0)).is_err());
+        assert!(AccuracyModel::new(
+            bad_conf,
+            ImportanceModel::synthetic(&visformer_tiny(ModelPreset::cifar100()), 1, 1.0)
+        )
+        .is_err());
     }
 
     #[test]
@@ -349,7 +355,10 @@ mod tests {
         let c1 = model.stage_capacity(&dynamic, 1);
         let c2 = model.stage_capacity(&dynamic, 2);
         assert!(c0 < c1 && c1 < c2, "{c0} {c1} {c2}");
-        assert!((c2 - 1.0).abs() < 1e-6, "final stage sees everything, got {c2}");
+        assert!(
+            (c2 - 1.0).abs() < 1e-6,
+            "final stage sees everything, got {c2}"
+        );
         // With importance reordering, the first stage's half of the
         // channels holds clearly more than half the mass.
         assert!(c0 > 0.55, "stage-0 capacity {c0}");
@@ -422,9 +431,7 @@ mod tests {
             ImportanceModel::uniform(&net),
         )
         .unwrap();
-        assert!(
-            ranked.stage_capacity(&dynamic, 0) > unranked.stage_capacity(&dynamic, 0) + 0.1
-        );
+        assert!(ranked.stage_capacity(&dynamic, 0) > unranked.stage_capacity(&dynamic, 0) + 0.1);
     }
 
     #[test]

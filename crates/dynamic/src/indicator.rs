@@ -92,7 +92,12 @@ impl IndicatorMatrix {
     /// # Errors
     ///
     /// Returns an error for out-of-range indices.
-    pub fn set(&mut self, layer: LayerId, stage: usize, forwarded: bool) -> Result<(), DynamicError> {
+    pub fn set(
+        &mut self,
+        layer: LayerId,
+        stage: usize,
+        forwarded: bool,
+    ) -> Result<(), DynamicError> {
         let row = self
             .rows
             .get_mut(layer.0)
@@ -100,10 +105,12 @@ impl IndicatorMatrix {
                 expected: "valid layer index".to_string(),
                 actual: format!("layer {}", layer.0),
             })?;
-        let entry = row.get_mut(stage).ok_or_else(|| DynamicError::ShapeMismatch {
-            expected: format!("stage < {}", self.num_stages),
-            actual: format!("stage {stage}"),
-        })?;
+        let entry = row
+            .get_mut(stage)
+            .ok_or_else(|| DynamicError::ShapeMismatch {
+                expected: format!("stage < {}", self.num_stages),
+                actual: format!("stage {stage}"),
+            })?;
         *entry = forwarded;
         Ok(())
     }
@@ -186,7 +193,13 @@ mod tests {
         let short = vec![vec![true, false]; net.num_layers() - 1];
         assert!(IndicatorMatrix::from_rows(&net, short).is_err());
         let ragged: Vec<Vec<bool>> = (0..net.num_layers())
-            .map(|i| if i == 1 { vec![true] } else { vec![true, false] })
+            .map(|i| {
+                if i == 1 {
+                    vec![true]
+                } else {
+                    vec![true, false]
+                }
+            })
             .collect();
         assert!(IndicatorMatrix::from_rows(&net, ragged).is_err());
         let ok = vec![vec![true, false]; net.num_layers()];

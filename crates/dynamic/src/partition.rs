@@ -242,7 +242,13 @@ mod tests {
         let rows = vec![vec![1.0]; net.num_layers() - 1];
         assert!(PartitionMatrix::from_rows(&net, rows).is_err());
         let ragged: Vec<Vec<f64>> = (0..net.num_layers())
-            .map(|i| if i == 2 { vec![0.5, 0.5, 0.0, 0.0] } else { vec![0.5, 0.5] })
+            .map(|i| {
+                if i == 2 {
+                    vec![0.5, 0.5, 0.0, 0.0]
+                } else {
+                    vec![0.5, 0.5]
+                }
+            })
             .collect();
         assert!(PartitionMatrix::from_rows(&net, ragged).is_err());
     }

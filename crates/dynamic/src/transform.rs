@@ -143,9 +143,9 @@ impl DynamicNetwork {
                 // slice plus every forwarded slice of earlier stages.
                 let in_frac = if let Some(prev) = prev_layer {
                     let mut visible = prev_own[stage];
-                    for earlier in 0..stage {
+                    for (earlier, own) in prev_own.iter().enumerate().take(stage) {
                         if indicator.is_forwarded(prev, earlier) {
-                            visible += prev_own[earlier];
+                            visible += own;
                         }
                     }
                     visible.min(1.0)
@@ -169,11 +169,11 @@ impl DynamicNetwork {
                 let mut incoming = Vec::new();
                 if let Some(prev) = prev_layer {
                     let prev_output_bytes = network.output_shape_of(prev)?.num_bytes() as f64;
-                    for earlier in 0..stage {
-                        if indicator.is_forwarded(prev, earlier) && prev_own[earlier] > 0.0 {
+                    for (earlier, own) in prev_own.iter().enumerate().take(stage) {
+                        if indicator.is_forwarded(prev, earlier) && *own > 0.0 {
                             incoming.push(StageTransfer {
                                 from_stage: earlier,
-                                bytes: prev_output_bytes * prev_own[earlier],
+                                bytes: prev_output_bytes * own,
                             });
                         }
                     }
@@ -185,9 +185,9 @@ impl DynamicNetwork {
                     // consumers and for the accuracy model: own slice plus
                     // forwarded earlier slices at this layer.
                     let mut visible = out_frac;
-                    for earlier in 0..stage {
+                    for (earlier, own) in own_fracs[layer_id.0].iter().enumerate().take(stage) {
                         if indicator.is_forwarded(layer_id, earlier) {
-                            visible += own_fracs[layer_id.0][earlier];
+                            visible += own;
                         }
                     }
                     visible.min(1.0)
@@ -201,9 +201,7 @@ impl DynamicNetwork {
                 });
             }
 
-            for stage in 0..num_stages {
-                prev_own[stage] = own_fracs[layer_id.0][stage];
-            }
+            prev_own.copy_from_slice(&own_fracs[layer_id.0]);
         }
 
         // Features that must stay resident in shared memory: every forwarded
@@ -211,9 +209,13 @@ impl DynamicNetwork {
         let mut stored_feature_bytes = 0.0;
         for (layer_id, _) in network.iter() {
             let bytes = network.output_shape_of(layer_id)?.num_bytes() as f64;
-            for stage in 0..num_stages.saturating_sub(1) {
+            for (stage, own) in own_fracs[layer_id.0]
+                .iter()
+                .enumerate()
+                .take(num_stages.saturating_sub(1))
+            {
                 if indicator.is_forwarded(layer_id, stage) {
-                    stored_feature_bytes += bytes * own_fracs[layer_id.0][stage];
+                    stored_feature_bytes += bytes * own;
                 }
             }
         }
@@ -293,10 +295,7 @@ impl DynamicNetwork {
     /// Total bytes moved between stages over one full (all-stages)
     /// inference.
     pub fn total_transfer_bytes(&self) -> f64 {
-        self.stages
-            .iter()
-            .map(Stage::total_incoming_bytes)
-            .sum()
+        self.stages.iter().map(Stage::total_incoming_bytes).sum()
     }
 
     /// Sum of the workloads of stages `0..=stage` — the work performed when
@@ -342,11 +341,7 @@ mod tests {
         let net = tiny_cnn(ModelPreset::cifar10());
         let dynamic = three_stage(&net);
         let static_macs = net.total_cost().macs;
-        let dynamic_macs: f64 = dynamic
-            .stages()
-            .iter()
-            .map(|s| s.total_cost().macs)
-            .sum();
+        let dynamic_macs: f64 = dynamic.stages().iter().map(|s| s.total_cost().macs).sum();
         assert!(dynamic_macs >= static_macs * 0.6);
         assert!(dynamic_macs <= static_macs * 2.5);
     }
@@ -420,8 +415,8 @@ mod tests {
     fn stored_features_scale_with_reuse() {
         let net = visformer_tiny(ModelPreset::cifar100());
         let partition = PartitionMatrix::uniform(&net, 3).unwrap();
-        let full = DynamicNetwork::transform(&net, &partition, &IndicatorMatrix::full(&net, 3))
-            .unwrap();
+        let full =
+            DynamicNetwork::transform(&net, &partition, &IndicatorMatrix::full(&net, 3)).unwrap();
         let mut half = IndicatorMatrix::full(&net, 3);
         for layer in 0..net.num_layers() {
             if layer % 2 == 0 {

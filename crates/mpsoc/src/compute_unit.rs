@@ -366,7 +366,6 @@ mod tests {
             weight_bytes: 1e6,
             input_bytes: 1e5,
             output_bytes: 1e5,
-            ..Default::default()
         }
     }
 
@@ -377,14 +376,17 @@ mod tests {
             weight_bytes: 5e8,
             input_bytes: 1e8,
             output_bytes: 1e8,
-            ..Default::default()
         }
     }
 
     #[test]
     fn compute_bound_latency_matches_roofline() {
         let cu = test_cu();
-        let sample = cu.execute(&compute_heavy_cost(), WorkloadClass::Convolution, cu.max_dvfs());
+        let sample = cu.execute(
+            &compute_heavy_cost(),
+            WorkloadClass::Convolution,
+            cu.max_dvfs(),
+        );
         // 1e9 FLOPs at 100 GFLOP/s = 10 ms + 0.05 ms overhead.
         assert!((sample.compute_ms - 10.0).abs() < 1e-9);
         assert!((sample.latency_ms - 10.05).abs() < 1e-9);
@@ -394,7 +396,11 @@ mod tests {
     #[test]
     fn memory_bound_latency_uses_bandwidth() {
         let cu = test_cu();
-        let sample = cu.execute(&memory_heavy_cost(), WorkloadClass::MemoryBound, cu.max_dvfs());
+        let sample = cu.execute(
+            &memory_heavy_cost(),
+            WorkloadClass::MemoryBound,
+            cu.max_dvfs(),
+        );
         assert!(sample.is_memory_bound());
         // 7e8 bytes at 50 GB/s = 14 ms.
         assert!((sample.memory_ms - 14.0).abs() < 1e-6);
@@ -403,9 +409,17 @@ mod tests {
     #[test]
     fn lower_dvfs_is_slower_but_lower_power() {
         let cu = test_cu();
-        let fast = cu.execute(&compute_heavy_cost(), WorkloadClass::Convolution, cu.max_dvfs());
+        let fast = cu.execute(
+            &compute_heavy_cost(),
+            WorkloadClass::Convolution,
+            cu.max_dvfs(),
+        );
         let slow_point = cu.dvfs().point(0).unwrap();
-        let slow = cu.execute(&compute_heavy_cost(), WorkloadClass::Convolution, slow_point);
+        let slow = cu.execute(
+            &compute_heavy_cost(),
+            WorkloadClass::Convolution,
+            slow_point,
+        );
         assert!(slow.latency_ms > fast.latency_ms);
         assert!(slow.power_w < fast.power_w);
     }
@@ -420,7 +434,11 @@ mod tests {
     #[test]
     fn energy_equals_power_times_latency() {
         let cu = test_cu();
-        let s = cu.execute(&compute_heavy_cost(), WorkloadClass::Convolution, cu.max_dvfs());
+        let s = cu.execute(
+            &compute_heavy_cost(),
+            WorkloadClass::Convolution,
+            cu.max_dvfs(),
+        );
         assert!((s.energy_mj - s.power_w * s.latency_ms).abs() < 1e-9);
     }
 

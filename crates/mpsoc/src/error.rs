@@ -32,6 +32,13 @@ pub enum MpsocError {
         /// Which parameter is invalid.
         what: String,
     },
+    /// A platform preset name is not in the registry.
+    UnknownPlatform {
+        /// The requested preset name.
+        name: String,
+        /// Comma-separated list of registered names.
+        available: String,
+    },
 }
 
 impl fmt::Display for MpsocError {
@@ -41,12 +48,24 @@ impl fmt::Display for MpsocError {
                 write!(f, "unknown compute unit {index}, platform has {available}")
             }
             MpsocError::InvalidDvfsLevel { level, available } => {
-                write!(f, "invalid dvfs level {level}, compute unit supports {available}")
+                write!(
+                    f,
+                    "invalid dvfs level {level}, compute unit supports {available}"
+                )
             }
             MpsocError::OutOfSharedMemory { requested, free } => {
-                write!(f, "out of shared memory: requested {requested} bytes, {free} free")
+                write!(
+                    f,
+                    "out of shared memory: requested {requested} bytes, {free} free"
+                )
             }
             MpsocError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            MpsocError::UnknownPlatform { name, available } => {
+                write!(
+                    f,
+                    "unknown platform preset `{name}`; available: {available}"
+                )
+            }
         }
     }
 }

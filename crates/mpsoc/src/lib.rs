@@ -52,6 +52,7 @@ pub mod interconnect;
 pub mod memory;
 pub mod platform;
 pub mod power;
+pub mod registry;
 pub mod workload;
 
 pub use compute_unit::{ComputeUnit, ComputeUnitBuilder, CuId, CuKind, ExecutionSample};
@@ -61,4 +62,5 @@ pub use interconnect::Interconnect;
 pub use memory::{MemoryBudget, SharedMemory};
 pub use platform::Platform;
 pub use power::PowerModel;
+pub use registry::PlatformRegistry;
 pub use workload::WorkloadClass;

@@ -238,9 +238,7 @@ impl Platform {
                 .memory_bandwidth_gbps(16.0)
                 .launch_overhead_ms(0.01)
                 .memory_scale_floor(0.5)
-                .dvfs(
-                    DvfsTable::linear(422.4, 2265.6, 8).expect("static frequency table is valid"),
-                )
+                .dvfs(DvfsTable::linear(422.4, 2265.6, 8).expect("static frequency table is valid"))
                 .power(PowerModel::new(1.2, 4.6).expect("static power constants are valid"))
                 .profile(WorkloadProfile::new(
                     [0.5, 0.45, 0.5, 0.55, 0.6],
@@ -303,7 +301,12 @@ impl Platform {
 
 impl fmt::Display for Platform {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} ({} compute units)", self.name, self.compute_units.len())?;
+        writeln!(
+            f,
+            "{} ({} compute units)",
+            self.name,
+            self.compute_units.len()
+        )?;
         for cu in &self.compute_units {
             writeln!(f, "  {cu}")?;
         }
@@ -380,9 +383,7 @@ mod tests {
         let net = visformer(ModelPreset::cifar100());
         let (gpu_lat, gpu_energy) = p.single_cu_baseline(&net, CuId(0)).unwrap();
         let (dla_lat, dla_energy) = p.single_cu_baseline(&net, CuId(1)).unwrap();
-        let close = |measured: f64, paper: f64, tol: f64| {
-            (measured - paper).abs() / paper < tol
-        };
+        let close = |measured: f64, paper: f64, tol: f64| (measured - paper).abs() / paper < tol;
         assert!(close(gpu_lat, 15.01, 0.25), "gpu latency {gpu_lat}");
         assert!(close(gpu_energy, 197.35, 0.25), "gpu energy {gpu_energy}");
         assert!(close(dla_lat, 53.71, 0.25), "dla latency {dla_lat}");
@@ -396,9 +397,7 @@ mod tests {
         let net = vgg19(ModelPreset::cifar100());
         let (gpu_lat, gpu_energy) = p.single_cu_baseline(&net, CuId(0)).unwrap();
         let (dla_lat, dla_energy) = p.single_cu_baseline(&net, CuId(1)).unwrap();
-        let close = |measured: f64, paper: f64, tol: f64| {
-            (measured - paper).abs() / paper < tol
-        };
+        let close = |measured: f64, paper: f64, tol: f64| (measured - paper).abs() / paper < tol;
         assert!(close(gpu_lat, 25.23, 0.30), "gpu latency {gpu_lat}");
         assert!(close(gpu_energy, 630.11, 0.30), "gpu energy {gpu_energy}");
         assert!(close(dla_lat, 114.41, 0.30), "dla latency {dla_lat}");

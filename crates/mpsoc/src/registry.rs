@@ -1,0 +1,320 @@
+//! Named platform presets and the registry the mapping service consults.
+//!
+//! The paper evaluates one board (the AGX Xavier). A mapping *service*
+//! answers queries for many boards, so this module widens the hardware
+//! catalogue with three additional MPSoC classes and gives every preset a
+//! stable name:
+//!
+//! | name | class | compute units |
+//! |---|---|---|
+//! | `agx_xavier` | the paper's board | GPU + 2×DLA |
+//! | `agx_xavier_with_cpu` | what-if variant | GPU + 2×DLA + CPU cluster |
+//! | `orin_agx` | Orin-class successor | Ampere GPU + 2×DLA + CPU cluster |
+//! | `edge_biglittle` | CPU-only edge board | big cluster + LITTLE cluster |
+//! | `server_class` | many-core inference server | 2×GPU + 2×CPU socket |
+//! | `dual_test` | tiny CI board | GPU-like + DLA-like |
+//!
+//! Presets are constructed on demand (a [`Platform`] is cheap to build), so
+//! the registry itself is a stateless name → constructor table.
+
+use crate::compute_unit::{ComputeUnit, CuId, CuKind};
+use crate::dvfs::DvfsTable;
+use crate::error::MpsocError;
+use crate::interconnect::Interconnect;
+use crate::memory::SharedMemory;
+use crate::platform::Platform;
+use crate::power::PowerModel;
+use crate::workload::WorkloadProfile;
+
+/// A named platform constructor.
+type PresetFn = fn() -> Platform;
+
+/// The built-in platform presets, in a stable order.
+const PRESETS: &[(&str, PresetFn)] = &[
+    ("agx_xavier", Platform::agx_xavier),
+    ("agx_xavier_with_cpu", Platform::agx_xavier_with_cpu),
+    ("orin_agx", Platform::orin_agx),
+    ("edge_biglittle", Platform::edge_biglittle),
+    ("server_class", Platform::server_class),
+    ("dual_test", Platform::dual_test),
+];
+
+/// Name-indexed catalogue of the built-in platform presets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlatformRegistry;
+
+impl PlatformRegistry {
+    /// Creates the registry.
+    pub fn new() -> Self {
+        PlatformRegistry
+    }
+
+    /// Names of every registered preset, in a stable order.
+    pub fn names(&self) -> Vec<&'static str> {
+        PRESETS.iter().map(|(name, _)| *name).collect()
+    }
+
+    /// Whether `name` is a registered preset.
+    pub fn contains(&self, name: &str) -> bool {
+        PRESETS.iter().any(|(n, _)| *n == name)
+    }
+
+    /// Builds the preset with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpsocError::UnknownPlatform`] for unregistered names.
+    pub fn build(&self, name: &str) -> Result<Platform, MpsocError> {
+        PRESETS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, build)| build())
+            .ok_or_else(|| MpsocError::UnknownPlatform {
+                name: name.to_string(),
+                available: self.names().join(", "),
+            })
+    }
+}
+
+impl Platform {
+    /// An Orin-class successor to the AGX Xavier: a faster Ampere-style
+    /// GPU, two second-generation DLAs and a mappable 8-core CPU cluster
+    /// behind a wider LPDDR5 memory system.
+    ///
+    /// Relative to [`Platform::agx_xavier`], every unit is faster and the
+    /// interconnect has roughly twice the bandwidth, but the GPU also draws
+    /// more power — so energy-oriented searches still trade work off to the
+    /// DLAs and the CPU cluster rather than collapsing onto the GPU.
+    pub fn orin_agx() -> Self {
+        let gpu = ComputeUnit::builder(CuId(0), "ampere_gpu", CuKind::Gpu)
+            .peak_gflops(170.0)
+            .memory_bandwidth_gbps(204.0)
+            .launch_overhead_ms(0.05)
+            .memory_scale_floor(0.55)
+            .dvfs(
+                DvfsTable::new(vec![
+                    306.0, 408.0, 510.0, 612.0, 714.0, 816.0, 918.0, 1020.0, 1122.0, 1224.0, 1300.5,
+                ])
+                .expect("static frequency table is valid"),
+            )
+            .power(PowerModel::new(5.5, 36.0).expect("static power constants are valid"))
+            .profile(WorkloadProfile::new(
+                [0.60, 0.50, 0.55, 0.52, 0.32],
+                [0.92, 0.40, 0.46, 0.62, 0.26],
+            ))
+            .build()
+            .expect("Orin GPU preset is valid");
+
+        let dla = |index: usize, name: &str| {
+            ComputeUnit::builder(CuId(index), name, CuKind::Dla)
+                .peak_gflops(26.0)
+                .memory_bandwidth_gbps(34.0)
+                .launch_overhead_ms(0.14)
+                .memory_scale_floor(0.6)
+                .dvfs(
+                    DvfsTable::new(vec![
+                        153.6, 380.8, 614.4, 848.0, 1081.6, 1254.4, 1408.0, 1536.0,
+                    ])
+                    .expect("static frequency table is valid"),
+                )
+                .power(PowerModel::new(0.85, 1.6).expect("static power constants are valid"))
+                .profile(WorkloadProfile::new(
+                    [0.64, 0.62, 0.66, 0.52, 0.36],
+                    [0.84, 0.66, 0.68, 0.72, 0.32],
+                ))
+                .build()
+                .expect("Orin DLA preset is valid")
+        };
+
+        let cpu = ComputeUnit::builder(CuId(3), "cortex_a78ae", CuKind::Cpu)
+            .peak_gflops(6.4)
+            .memory_bandwidth_gbps(30.0)
+            .launch_overhead_ms(0.008)
+            .memory_scale_floor(0.5)
+            .dvfs(DvfsTable::linear(729.6, 2201.6, 9).expect("static frequency table is valid"))
+            .power(PowerModel::new(1.6, 6.8).expect("static power constants are valid"))
+            .profile(WorkloadProfile::new(
+                [0.52, 0.48, 0.52, 0.58, 0.62],
+                [0.86, 0.80, 0.80, 0.86, 0.52],
+            ))
+            .build()
+            .expect("Orin CPU preset is valid");
+
+        Platform::new(
+            "orin_agx",
+            vec![gpu, dla(1, "dla0"), dla(2, "dla1"), cpu],
+            Interconnect::new(34.0, 0.035, 0.10).expect("static interconnect preset is valid"),
+            SharedMemory::from_mib(32 * 1024).expect("static memory preset is valid"),
+        )
+        .expect("Orin preset is always consistent")
+    }
+
+    /// A CPU-only big.LITTLE edge board (think Cortex-A76 + Cortex-A55
+    /// clusters sharing LPDDR4): no accelerator at all, so the interesting
+    /// trade-off is purely big-vs-LITTLE placement and DVFS.
+    pub fn edge_biglittle() -> Self {
+        let big = ComputeUnit::builder(CuId(0), "big_a76", CuKind::Cpu)
+            .peak_gflops(3.2)
+            .memory_bandwidth_gbps(14.0)
+            .launch_overhead_ms(0.006)
+            .memory_scale_floor(0.5)
+            .dvfs(DvfsTable::linear(500.0, 2400.0, 10).expect("static frequency table is valid"))
+            .power(PowerModel::new(0.9, 3.9).expect("static power constants are valid"))
+            .profile(WorkloadProfile::new(
+                [0.54, 0.46, 0.52, 0.58, 0.60],
+                [0.88, 0.80, 0.82, 0.86, 0.50],
+            ))
+            .build()
+            .expect("big-cluster preset is valid");
+        let little = ComputeUnit::builder(CuId(1), "little_a55", CuKind::Cpu)
+            .peak_gflops(1.1)
+            .memory_bandwidth_gbps(8.0)
+            .launch_overhead_ms(0.004)
+            .memory_scale_floor(0.5)
+            .dvfs(DvfsTable::linear(400.0, 1800.0, 8).expect("static frequency table is valid"))
+            .power(PowerModel::new(0.18, 0.75).expect("static power constants are valid"))
+            .profile(WorkloadProfile::new(
+                [0.50, 0.42, 0.48, 0.55, 0.62],
+                [0.86, 0.78, 0.80, 0.84, 0.52],
+            ))
+            .build()
+            .expect("LITTLE-cluster preset is valid");
+        Platform::new(
+            "edge_biglittle",
+            vec![big, little],
+            Interconnect::new(6.0, 0.02, 0.06).expect("static interconnect preset is valid"),
+            SharedMemory::from_mib(4 * 1024).expect("static memory preset is valid"),
+        )
+        .expect("big.LITTLE preset is always consistent")
+    }
+
+    /// A server-class inference node: two discrete-class GPUs and two
+    /// many-core CPU sockets behind a high-bandwidth fabric. Mapping
+    /// network stages across four fast units stresses the search's
+    /// permutation and partitioning genes far more than the embedded
+    /// boards do.
+    pub fn server_class() -> Self {
+        let gpu = |index: usize, name: &str| {
+            ComputeUnit::builder(CuId(index), name, CuKind::Gpu)
+                .peak_gflops(900.0)
+                .memory_bandwidth_gbps(1200.0)
+                .launch_overhead_ms(0.03)
+                .memory_scale_floor(0.55)
+                .dvfs(
+                    DvfsTable::linear(810.0, 1980.0, 12).expect("static frequency table is valid"),
+                )
+                .power(PowerModel::new(38.0, 212.0).expect("static power constants are valid"))
+                .profile(WorkloadProfile::new(
+                    [0.62, 0.55, 0.58, 0.55, 0.34],
+                    [0.94, 0.45, 0.50, 0.65, 0.28],
+                ))
+                .build()
+                .expect("server GPU preset is valid")
+        };
+        let cpu = |index: usize, name: &str| {
+            ComputeUnit::builder(CuId(index), name, CuKind::Cpu)
+                .peak_gflops(96.0)
+                .memory_bandwidth_gbps(200.0)
+                .launch_overhead_ms(0.004)
+                .memory_scale_floor(0.5)
+                .dvfs(
+                    DvfsTable::linear(1200.0, 3600.0, 10).expect("static frequency table is valid"),
+                )
+                .power(PowerModel::new(42.0, 128.0).expect("static power constants are valid"))
+                .profile(WorkloadProfile::new(
+                    [0.55, 0.50, 0.54, 0.60, 0.62],
+                    [0.88, 0.82, 0.82, 0.88, 0.55],
+                ))
+                .build()
+                .expect("server CPU preset is valid")
+        };
+        Platform::new(
+            "server_class",
+            vec![
+                gpu(0, "gpu0"),
+                gpu(1, "gpu1"),
+                cpu(2, "cpu_socket0"),
+                cpu(3, "cpu_socket1"),
+            ],
+            Interconnect::new(64.0, 0.012, 0.20).expect("static interconnect preset is valid"),
+            SharedMemory::from_mib(256 * 1024).expect("static memory preset is valid"),
+        )
+        .expect("server preset is always consistent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_and_builds_every_preset() {
+        let registry = PlatformRegistry::new();
+        let names = registry.names();
+        assert!(names.len() >= 6);
+        for name in names {
+            assert!(registry.contains(name));
+            let platform = registry.build(name).unwrap();
+            assert_eq!(platform.name(), name);
+            assert!(platform.num_compute_units() >= 2);
+        }
+    }
+
+    #[test]
+    fn unknown_preset_is_reported_with_alternatives() {
+        let registry = PlatformRegistry::new();
+        let err = registry.build("tpu_pod").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("tpu_pod"));
+        assert!(text.contains("agx_xavier"));
+    }
+
+    #[test]
+    fn orin_outperforms_xavier_per_unit() {
+        let xavier = Platform::agx_xavier();
+        let orin = Platform::orin_agx();
+        assert_eq!(orin.num_compute_units(), 4);
+        for (old, new) in xavier.compute_units().iter().zip(orin.compute_units()) {
+            assert!(new.peak_gflops() > old.peak_gflops());
+        }
+    }
+
+    #[test]
+    fn biglittle_is_cpu_only_and_asymmetric() {
+        let board = Platform::edge_biglittle();
+        assert_eq!(board.num_compute_units(), 2);
+        assert!(board
+            .compute_units()
+            .iter()
+            .all(|cu| cu.kind() == CuKind::Cpu));
+        let big = &board.compute_units()[0];
+        let little = &board.compute_units()[1];
+        assert!(big.peak_gflops() > little.peak_gflops());
+    }
+
+    #[test]
+    fn server_class_has_four_fast_units() {
+        let server = Platform::server_class();
+        assert_eq!(server.num_compute_units(), 4);
+        assert!(server
+            .compute_units()
+            .iter()
+            .all(|cu| cu.peak_gflops() > 50.0));
+        assert_eq!(server.dvfs_combinations(), 12 * 12 * 10 * 10);
+    }
+
+    #[test]
+    fn new_presets_run_a_network_end_to_end() {
+        use mnc_nn::models::{tiny_cnn, ModelPreset};
+        let net = tiny_cnn(ModelPreset::cifar10());
+        for platform in [
+            Platform::orin_agx(),
+            Platform::edge_biglittle(),
+            Platform::server_class(),
+        ] {
+            let (latency, energy) = platform.single_cu_baseline(&net, CuId(0)).unwrap();
+            assert!(latency > 0.0 && latency.is_finite());
+            assert!(energy > 0.0 && energy.is_finite());
+        }
+    }
+}

@@ -164,7 +164,13 @@ mod tests {
                 },
                 WorkloadClass::Mlp,
             ),
-            (LayerKind::Pool { kernel: 2, stride: 2 }, WorkloadClass::MemoryBound),
+            (
+                LayerKind::Pool {
+                    kernel: 2,
+                    stride: 2,
+                },
+                WorkloadClass::MemoryBound,
+            ),
             (LayerKind::GlobalPool, WorkloadClass::MemoryBound),
             (
                 LayerKind::Dense {

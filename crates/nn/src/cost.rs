@@ -358,7 +358,13 @@ mod tests {
 
     #[test]
     fn pool_has_no_weights() {
-        let l = Layer::new("pool", LayerKind::Pool { kernel: 2, stride: 2 });
+        let l = Layer::new(
+            "pool",
+            LayerKind::Pool {
+                kernel: 2,
+                stride: 2,
+            },
+        );
         let c = l.full_cost(&FeatureShape::spatial(64, 16, 16)).unwrap();
         assert_eq!(c.weight_bytes, 0.0);
         assert_eq!(c.macs, 0.0);

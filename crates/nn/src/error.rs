@@ -97,7 +97,9 @@ mod tests {
         for e in errors {
             let s = e.to_string();
             assert!(!s.is_empty());
-            assert!(s.chars().next().unwrap().is_lowercase() || s.chars().next().unwrap().is_numeric());
+            assert!(
+                s.chars().next().unwrap().is_lowercase() || s.chars().next().unwrap().is_numeric()
+            );
         }
     }
 

@@ -113,10 +113,7 @@ impl Network {
 
     /// Iterator over `(LayerId, &Layer)` pairs, input to output.
     pub fn iter(&self) -> impl Iterator<Item = (LayerId, &Layer)> {
-        self.layers
-            .iter()
-            .enumerate()
-            .map(|(i, l)| (LayerId(i), l))
+        self.layers.iter().enumerate().map(|(i, l)| (LayerId(i), l))
     }
 
     /// Identifiers of the layers that carry an explicit entry in the
@@ -293,7 +290,13 @@ mod tests {
                     padding: 1,
                 },
             ))
-            .layer(Layer::new("pool1", LayerKind::Pool { kernel: 2, stride: 2 }))
+            .layer(Layer::new(
+                "pool1",
+                LayerKind::Pool {
+                    kernel: 2,
+                    stride: 2,
+                },
+            ))
             .layer(Layer::new(
                 "conv2",
                 LayerKind::ConvBlock {

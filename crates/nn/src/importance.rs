@@ -286,8 +286,8 @@ impl ImportanceModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layer::{Layer, LayerKind};
     use crate::graph::NetworkBuilder;
+    use crate::layer::{Layer, LayerKind};
     use crate::shape::FeatureShape;
     use proptest::prelude::*;
 
@@ -303,7 +303,13 @@ mod tests {
                     padding: 1,
                 },
             ))
-            .layer(Layer::new("pool", LayerKind::Pool { kernel: 2, stride: 2 }))
+            .layer(Layer::new(
+                "pool",
+                LayerKind::Pool {
+                    kernel: 2,
+                    stride: 2,
+                },
+            ))
             .layer(Layer::new(
                 "conv2",
                 LayerKind::ConvBlock {

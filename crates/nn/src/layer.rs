@@ -420,9 +420,7 @@ impl Layer {
                     if dim != in_features {
                         return Err(NetworkError::InvalidLayer {
                             name: self.name.clone(),
-                            reason: format!(
-                                "classifier expects {in_features} features, got {dim}"
-                            ),
+                            reason: format!("classifier expects {in_features} features, got {dim}"),
                         });
                     }
                     Ok(FeatureShape::vector(classes))
@@ -541,7 +539,13 @@ mod tests {
 
     #[test]
     fn pool_halves_spatial_size() {
-        let l = Layer::new("pool", LayerKind::Pool { kernel: 2, stride: 2 });
+        let l = Layer::new(
+            "pool",
+            LayerKind::Pool {
+                kernel: 2,
+                stride: 2,
+            },
+        );
         let out = l.output_shape(&FeatureShape::spatial(64, 32, 32)).unwrap();
         assert_eq!(out, FeatureShape::spatial(64, 16, 16));
     }
@@ -598,7 +602,13 @@ mod tests {
             },
         );
         assert_eq!(attn.width(), 6);
-        let pool = Layer::new("pool", LayerKind::Pool { kernel: 2, stride: 2 });
+        let pool = Layer::new(
+            "pool",
+            LayerKind::Pool {
+                kernel: 2,
+                stride: 2,
+            },
+        );
         assert_eq!(pool.width(), 0);
         assert!(!pool.is_partitionable());
         assert!(attn.is_partitionable());
@@ -634,7 +644,14 @@ mod tests {
     #[test]
     fn has_weights_flags() {
         assert!(conv(3, 64, 3, 1, 1).has_weights());
-        assert!(!Layer::new("pool", LayerKind::Pool { kernel: 2, stride: 2 }).has_weights());
+        assert!(!Layer::new(
+            "pool",
+            LayerKind::Pool {
+                kernel: 2,
+                stride: 2
+            }
+        )
+        .has_weights());
         assert!(!Layer::new("gap", LayerKind::GlobalPool).has_weights());
     }
 

@@ -77,7 +77,13 @@ pub fn tiny_cnn(preset: ModelPreset) -> Network {
                 padding: 1,
             },
         ))
-        .layer(Layer::new("pool1", LayerKind::Pool { kernel: 2, stride: 2 }))
+        .layer(Layer::new(
+            "pool1",
+            LayerKind::Pool {
+                kernel: 2,
+                stride: 2,
+            },
+        ))
         .layer(Layer::new(
             "conv2",
             LayerKind::ConvBlock {
@@ -118,7 +124,11 @@ mod tests {
 
     #[test]
     fn tiny_cnn_builds_for_all_presets() {
-        for preset in [ModelPreset::cifar100(), ModelPreset::cifar10(), ModelPreset::imagenet()] {
+        for preset in [
+            ModelPreset::cifar100(),
+            ModelPreset::cifar10(),
+            ModelPreset::imagenet(),
+        ] {
             let net = tiny_cnn(preset);
             assert_eq!(net.num_classes(), Some(preset.classes));
         }

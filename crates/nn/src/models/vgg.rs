@@ -56,7 +56,10 @@ fn build_vgg(name: &str, preset: ModelPreset, stages: &[&[usize]]) -> Network {
         if size >= 2 {
             builder = builder.layer(Layer::new(
                 format!("pool{}", stage_idx + 1),
-                LayerKind::Pool { kernel: 2, stride: 2 },
+                LayerKind::Pool {
+                    kernel: 2,
+                    stride: 2,
+                },
             ));
             size /= 2;
         }

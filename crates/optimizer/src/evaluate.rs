@@ -1,0 +1,80 @@
+//! The evaluation hook the search loop drives.
+//!
+//! [`MappingSearch`](crate::MappingSearch) does not call
+//! [`mnc_core::Evaluator`] directly; it goes through [`ConfigEvaluator`],
+//! which turns a genome into a decoded configuration plus its metrics.
+//! This is the seam where alternative evaluation strategies plug in:
+//!
+//! * [`mnc_core::Evaluator`] implements it by decoding and evaluating from
+//!   scratch every time (the paper's offline workflow),
+//! * `mnc_runtime::CachedEvaluator` implements it with a sharded
+//!   fingerprint-keyed cache in front, so repeated genomes — within one
+//!   search or across service requests — skip both the decode and the
+//!   simulation.
+//!
+//! Implementations must be pure: the same genome must always produce the
+//! same result. The search relies on this for its determinism guarantee
+//! (identical outcomes regardless of thread count).
+
+use crate::error::OptimError;
+use crate::genome::Genome;
+use mnc_core::{EvaluationResult, Evaluator, MappingConfig};
+use mnc_mpsoc::Platform;
+use mnc_nn::Network;
+
+/// Turns genomes into evaluated configurations for one (network, platform)
+/// pair.
+pub trait ConfigEvaluator: Sync {
+    /// The network candidates are built for.
+    fn network(&self) -> &Network;
+
+    /// The platform candidates are mapped onto.
+    fn platform(&self) -> &Platform;
+
+    /// Decodes and evaluates one genome.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the genome does not match the network/platform
+    /// or the underlying hardware model rejects the configuration.
+    fn evaluate_genome(
+        &self,
+        genome: &Genome,
+    ) -> Result<(MappingConfig, EvaluationResult), OptimError>;
+}
+
+impl ConfigEvaluator for Evaluator {
+    fn network(&self) -> &Network {
+        Evaluator::network(self)
+    }
+
+    fn platform(&self) -> &Platform {
+        Evaluator::platform(self)
+    }
+
+    fn evaluate_genome(
+        &self,
+        genome: &Genome,
+    ) -> Result<(MappingConfig, EvaluationResult), OptimError> {
+        let config = genome.decode(Evaluator::network(self), Evaluator::platform(self))?;
+        let result = self.evaluate(&config)?;
+        Ok((config, result))
+    }
+}
+
+impl<T: ConfigEvaluator + ?Sized> ConfigEvaluator for &T {
+    fn network(&self) -> &Network {
+        (**self).network()
+    }
+
+    fn platform(&self) -> &Platform {
+        (**self).platform()
+    }
+
+    fn evaluate_genome(
+        &self,
+        genome: &Genome,
+    ) -> Result<(MappingConfig, EvaluationResult), OptimError> {
+        (**self).evaluate_genome(genome)
+    }
+}

@@ -30,6 +30,18 @@ pub const PARTITION_SLOTS: u8 = 8;
 /// Resolution of the quantised DVFS gene.
 pub const DVFS_RESOLUTION: u8 = 16;
 
+/// Borrowed views of the four gene groups (partition slots, indicator
+/// bits, mapping permutation, DVFS levels), used by the operators.
+pub(crate) type GenomeParts<'a> = (&'a [Vec<u8>], &'a [Vec<bool>], &'a [usize], &'a [u8]);
+
+/// Mutable counterpart of [`GenomeParts`].
+pub(crate) type GenomePartsMut<'a> = (
+    &'a mut Vec<Vec<u8>>,
+    &'a mut Vec<Vec<bool>>,
+    &'a mut Vec<usize>,
+    &'a mut Vec<u8>,
+);
+
 /// A candidate solution in genome form.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Genome {
@@ -96,7 +108,8 @@ impl Genome {
             .map(|id| id.0)
             .collect();
         let mut even = vec![PARTITION_SLOTS / num_stages as u8; num_stages];
-        let mut remainder = PARTITION_SLOTS as usize - even.iter().map(|s| *s as usize).sum::<usize>();
+        let mut remainder =
+            PARTITION_SLOTS as usize - even.iter().map(|s| *s as usize).sum::<usize>();
         let mut i = 0;
         while remainder > 0 {
             even[i % num_stages] += 1;
@@ -124,14 +137,7 @@ impl Genome {
     }
 
     /// Mutable access for the mutation operators (crate-internal).
-    pub(crate) fn parts_mut(
-        &mut self,
-    ) -> (
-        &mut Vec<Vec<u8>>,
-        &mut Vec<Vec<bool>>,
-        &mut Vec<usize>,
-        &mut Vec<u8>,
-    ) {
+    pub(crate) fn parts_mut(&mut self) -> GenomePartsMut<'_> {
         (
             &mut self.partition_slots,
             &mut self.indicator,
@@ -141,7 +147,7 @@ impl Genome {
     }
 
     /// Read access to the gene groups (crate-internal, used by crossover).
-    pub(crate) fn parts(&self) -> (&[Vec<u8>], &[Vec<bool>], &[usize], &[u8]) {
+    pub(crate) fn parts(&self) -> GenomeParts<'_> {
         (
             &self.partition_slots,
             &self.indicator,
@@ -152,10 +158,10 @@ impl Genome {
 
     /// Checks the genome invariants (slot sums, permutation, gene ranges).
     pub fn is_valid(&self) -> bool {
-        let slots_ok = self
-            .partition_slots
-            .iter()
-            .all(|row| row.len() == self.num_stages && row.iter().map(|s| *s as u32).sum::<u32>() == PARTITION_SLOTS as u32);
+        let slots_ok = self.partition_slots.iter().all(|row| {
+            row.len() == self.num_stages
+                && row.iter().map(|s| *s as u32).sum::<u32>() == PARTITION_SLOTS as u32
+        });
         let mut seen = vec![false; self.num_stages];
         let mut permutation_ok = self.mapping.len() == self.num_stages;
         for &cu in &self.mapping {
@@ -165,8 +171,8 @@ impl Genome {
             }
             seen[cu] = true;
         }
-        let dvfs_ok = self.dvfs.len() == self.num_stages
-            && self.dvfs.iter().all(|d| *d < DVFS_RESOLUTION);
+        let dvfs_ok =
+            self.dvfs.len() == self.num_stages && self.dvfs.iter().all(|d| *d < DVFS_RESOLUTION);
         let indicator_ok = self
             .indicator
             .iter()
@@ -215,8 +221,7 @@ impl Genome {
                 .map(|s| *s as f64 / PARTITION_SLOTS as f64)
                 .collect();
         }
-        let partition =
-            PartitionMatrix::from_rows(network, rows).map_err(CoreError::Dynamic)?;
+        let partition = PartitionMatrix::from_rows(network, rows).map_err(CoreError::Dynamic)?;
 
         let indicator_rows: Vec<Vec<bool>> = self
             .indicator
@@ -267,6 +272,37 @@ impl Genome {
     /// Identifiers of the partitionable layers this genome was built for.
     pub fn partitionable_layers(&self) -> Vec<LayerId> {
         self.partitionable.iter().map(|&i| LayerId(i)).collect()
+    }
+
+    /// A stable 64-bit fingerprint of every gene.
+    ///
+    /// Two genomes fingerprint equal iff they are equal, up to hash
+    /// collisions (~2⁻⁶⁴ per pair), so the fingerprint serves as the
+    /// per-candidate component of the runtime's evaluation-cache key. This
+    /// is the hot path — a search touches it once per candidate — so it
+    /// hashes the raw genes directly instead of going through the decoded
+    /// configuration.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hasher = mnc_core::StableHasher::new();
+        hasher.write_usize(self.num_stages);
+        hasher.write_usize(self.partitionable.len());
+        for layer in &self.partitionable {
+            hasher.write_usize(*layer);
+        }
+        for row in &self.partition_slots {
+            hasher.write_bytes(row);
+        }
+        for row in &self.indicator {
+            hasher.write_usize(row.len());
+            for bit in row {
+                hasher.write_bool(*bit);
+            }
+        }
+        for cu in &self.mapping {
+            hasher.write_usize(*cu);
+        }
+        hasher.write_bytes(&self.dvfs);
+        hasher.finish()
     }
 }
 

@@ -42,13 +42,15 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod evaluate;
 pub mod genome;
 pub mod operators;
 pub mod pareto;
 pub mod search;
 
 pub use error::OptimError;
+pub use evaluate::ConfigEvaluator;
 pub use genome::Genome;
 pub use operators::MutationConfig;
 pub use pareto::{crowding_distance, pareto_front_indices};
-pub use search::{EvaluatedConfig, MappingSearch, SearchConfig, SearchOutcome};
+pub use search::{EvaluatedConfig, MappingSearch, SearchConfig, SearchOutcome, SelectionStrategy};

@@ -55,9 +55,8 @@ pub fn non_dominated_fronts(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
             if assigned[i] {
                 continue;
             }
-            let dominated = (0..n).any(|j| {
-                j != i && !assigned[j] && dominates(&points[j], &points[i])
-            });
+            let dominated =
+                (0..n).any(|j| j != i && !assigned[j] && dominates(&points[j], &points[i]));
             if !dominated {
                 front.push(i);
             }
@@ -88,6 +87,9 @@ pub fn crowding_distance(points: &[Vec<f64>]) -> Vec<f64> {
     if n <= 2 {
         return vec![f64::INFINITY; n];
     }
+    // `points` is indexed `[point][dimension]`, so iterating the dimension
+    // axis by index is the natural shape here.
+    #[allow(clippy::needless_range_loop)]
     for d in 0..dims {
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {

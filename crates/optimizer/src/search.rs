@@ -1,12 +1,14 @@
 //! The evolutionary search loop (paper §V-C, Fig. 5).
 
 use crate::error::OptimError;
+use crate::evaluate::ConfigEvaluator;
 use crate::genome::Genome;
 use crate::operators::{crossover, mutate, MutationConfig};
 use crate::pareto::{crowding_distance, non_dominated_fronts, pareto_front_indices};
 use mnc_core::{EvaluationResult, Evaluator, MappingConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// How elites are chosen from an evaluated generation.
@@ -42,6 +44,15 @@ pub struct SearchConfig {
     pub seed: u64,
     /// Evaluate each generation's population on multiple threads.
     pub parallel: bool,
+    /// Worker threads for parallel evaluation (`None` = machine
+    /// parallelism). The outcome is identical for any thread count.
+    pub threads: Option<usize>,
+    /// Hard budget on the number of evaluations; the search stops once it
+    /// is reached, evaluating a final partial generation if needed.
+    pub max_evaluations: Option<usize>,
+    /// Stop early when the best feasible objective has not improved for
+    /// this many consecutive generations.
+    pub stall_generations: Option<usize>,
 }
 
 impl SearchConfig {
@@ -57,6 +68,9 @@ impl SearchConfig {
             selection: SelectionStrategy::ObjectiveElitism,
             seed: 2023,
             parallel: true,
+            threads: None,
+            max_evaluations: None,
+            stall_generations: None,
         }
     }
 
@@ -71,6 +85,9 @@ impl SearchConfig {
             selection: SelectionStrategy::ObjectiveElitism,
             seed: 7,
             parallel: false,
+            threads: None,
+            max_evaluations: None,
+            stall_generations: None,
         }
     }
 
@@ -101,6 +118,21 @@ impl SearchConfig {
                 reason: format!("crossover rate {} out of [0, 1]", self.crossover_rate),
             });
         }
+        if self.threads == Some(0) {
+            return Err(OptimError::InvalidConfig {
+                reason: "thread count must be at least 1 (use None for the default)".to_string(),
+            });
+        }
+        if self.max_evaluations == Some(0) {
+            return Err(OptimError::InvalidConfig {
+                reason: "evaluation budget must be at least 1".to_string(),
+            });
+        }
+        if self.stall_generations == Some(0) {
+            return Err(OptimError::InvalidConfig {
+                reason: "stall window must be at least one generation".to_string(),
+            });
+        }
         Ok(())
     }
 }
@@ -129,9 +161,18 @@ pub struct EvaluatedConfig {
 pub struct SearchOutcome {
     archive: Vec<EvaluatedConfig>,
     generations_run: usize,
+    early_stopped: bool,
 }
 
 impl SearchOutcome {
+    /// Whether the search terminated before its configured generation
+    /// count, either because the evaluation budget ran out or because the
+    /// best objective stalled (see [`SearchConfig::max_evaluations`] and
+    /// [`SearchConfig::stall_generations`]).
+    pub fn early_stopped(&self) -> bool {
+        self.early_stopped
+    }
+
     /// Every configuration evaluated during the search, in evaluation
     /// order. This is the point cloud of the paper's Fig. 6.
     pub fn archive(&self) -> &[EvaluatedConfig] {
@@ -170,14 +211,12 @@ impl SearchOutcome {
     /// The feasible configuration with the lowest scalar objective
     /// (eq. 16).
     pub fn best_by_objective(&self) -> Option<&EvaluatedConfig> {
-        self.feasible()
-            .into_iter()
-            .min_by(|a, b| {
-                a.result
-                    .objective
-                    .partial_cmp(&b.result.objective)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        self.feasible().into_iter().min_by(|a, b| {
+            a.result
+                .objective
+                .partial_cmp(&b.result.objective)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// The paper's "Ours-E" pick: the lowest-energy Pareto configuration
@@ -210,15 +249,20 @@ impl SearchOutcome {
 }
 
 /// The evolutionary mapping search.
+///
+/// Generic over the [`ConfigEvaluator`] hook: pass a plain
+/// [`mnc_core::Evaluator`] for the paper's offline workflow, or a
+/// cache-aware wrapper (such as `mnc_runtime::CachedEvaluator`) so repeated
+/// genomes skip re-simulation.
 #[derive(Debug)]
-pub struct MappingSearch<'a> {
-    evaluator: &'a Evaluator,
+pub struct MappingSearch<'a, E: ConfigEvaluator = Evaluator> {
+    evaluator: &'a E,
     config: SearchConfig,
 }
 
-impl<'a> MappingSearch<'a> {
+impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
     /// Creates a search over the given evaluator.
-    pub fn new(evaluator: &'a Evaluator, config: SearchConfig) -> Self {
+    pub fn new(evaluator: &'a E, config: SearchConfig) -> Self {
         MappingSearch { evaluator, config }
     }
 
@@ -247,13 +291,75 @@ impl<'a> MappingSearch<'a> {
         }
 
         let mut archive: Vec<EvaluatedConfig> = Vec::new();
-        let elite_count = ((self.config.population_size as f64 * self.config.elite_fraction)
-            .ceil() as usize)
+        let elite_count = ((self.config.population_size as f64 * self.config.elite_fraction).ceil()
+            as usize)
             .clamp(1, self.config.population_size);
+        // One pool for the whole run — per-generation construction would
+        // churn worker threads on every generation under real rayon.
+        let pool = if self.config.parallel {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(self.config.threads.unwrap_or(0))
+                    .build()
+                    .map_err(|e| OptimError::InvalidConfig {
+                        reason: format!("cannot build evaluation thread pool: {e}"),
+                    })?,
+            )
+        } else {
+            None
+        };
+        let mut early_stopped = false;
+        let mut generations_run = 0;
+        let mut best_objective = f64::INFINITY;
+        let mut stalled_generations = 0usize;
 
         for generation in 0..self.config.generations {
-            let evaluated = self.evaluate_population(&population, generation)?;
+            // Respect the evaluation budget: trim the final generation so
+            // the search performs exactly `max_evaluations` evaluations.
+            // (The post-evaluation break below guarantees at least one
+            // evaluation remains when an iteration starts.)
+            let mut candidates: &[Genome] = &population;
+            if let Some(budget) = self.config.max_evaluations {
+                let remaining = budget.saturating_sub(archive.len());
+                if remaining < candidates.len() {
+                    candidates = &population[..remaining];
+                }
+            }
+
+            let evaluated = self.evaluate_population(candidates, generation, pool.as_ref())?;
+            generations_run = generation + 1;
             archive.extend(evaluated.iter().cloned());
+
+            if self
+                .config
+                .max_evaluations
+                .is_some_and(|budget| archive.len() >= budget)
+            {
+                early_stopped = generations_run < self.config.generations;
+                break;
+            }
+
+            // Early stop when the best feasible objective stops improving.
+            if let Some(window) = self.config.stall_generations {
+                let generation_best = evaluated
+                    .iter()
+                    .filter(|c| c.result.feasible)
+                    .map(|c| c.result.objective)
+                    .fold(f64::INFINITY, f64::min);
+                if generation_best < best_objective - 1e-12 {
+                    best_objective = generation_best;
+                    stalled_generations = 0;
+                } else if best_objective.is_finite() {
+                    // Only count stall once a feasible candidate exists:
+                    // a constrained search that has not reached the
+                    // feasible region yet is exploring, not converged.
+                    stalled_generations += 1;
+                    if stalled_generations >= window {
+                        early_stopped = generations_run < self.config.generations;
+                        break;
+                    }
+                }
+            }
 
             let elites: Vec<Genome> = match self.config.selection {
                 SelectionStrategy::ObjectiveElitism => {
@@ -281,14 +387,13 @@ impl<'a> MappingSearch<'a> {
             let mut next = elites.clone();
             while next.len() < self.config.population_size {
                 let parent_a = &elites[rng.random_range(0..elites.len())];
-                let mut child = if rng.random::<f64>() < self.config.crossover_rate
-                    && elites.len() > 1
-                {
-                    let parent_b = &elites[rng.random_range(0..elites.len())];
-                    crossover(parent_a, parent_b, &mut rng)
-                } else {
-                    parent_a.clone()
-                };
+                let mut child =
+                    if rng.random::<f64>() < self.config.crossover_rate && elites.len() > 1 {
+                        let parent_b = &elites[rng.random_range(0..elites.len())];
+                        crossover(parent_a, parent_b, &mut rng)
+                    } else {
+                        parent_a.clone()
+                    };
                 mutate(&mut child, &self.config.mutation, &mut rng);
                 next.push(child);
             }
@@ -297,60 +402,35 @@ impl<'a> MappingSearch<'a> {
 
         Ok(SearchOutcome {
             archive,
-            generations_run: self.config.generations,
+            generations_run,
+            early_stopped,
         })
     }
 
     /// Evaluates a population, optionally across threads.
+    ///
+    /// The parallel path maps the population through a rayon-style ordered
+    /// parallel iterator: results come back in population order and the
+    /// evaluation hook is pure, so the outcome is bit-identical to the
+    /// sequential path for any thread count.
     fn evaluate_population(
         &self,
         population: &[Genome],
         generation: usize,
+        pool: Option<&rayon::ThreadPool>,
     ) -> Result<Vec<EvaluatedConfig>, OptimError> {
-        if !self.config.parallel || population.len() < 4 {
+        let (Some(pool), true) = (pool, population.len() >= 4) else {
             return population
                 .iter()
                 .map(|genome| self.evaluate_genome(genome, generation))
                 .collect();
-        }
-
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(2)
-            .min(population.len());
-        let chunk_size = population.len().div_ceil(threads);
-        let results = parking_lot::Mutex::new(vec![None; population.len()]);
-        let error = parking_lot::Mutex::new(None);
-
-        crossbeam::thread::scope(|scope| {
-            for (chunk_index, chunk) in population.chunks(chunk_size).enumerate() {
-                let results = &results;
-                let error = &error;
-                scope.spawn(move |_| {
-                    for (offset, genome) in chunk.iter().enumerate() {
-                        match self.evaluate_genome(genome, generation) {
-                            Ok(evaluated) => {
-                                results.lock()[chunk_index * chunk_size + offset] = Some(evaluated);
-                            }
-                            Err(e) => {
-                                *error.lock() = Some(e);
-                                return;
-                            }
-                        }
-                    }
-                });
-            }
+        };
+        pool.install(|| {
+            population
+                .par_iter()
+                .map(|genome| self.evaluate_genome(genome, generation))
+                .collect::<Result<Vec<_>, OptimError>>()
         })
-        .expect("worker threads do not panic");
-
-        if let Some(e) = error.into_inner() {
-            return Err(e);
-        }
-        Ok(results
-            .into_inner()
-            .into_iter()
-            .map(|r| r.expect("every slot filled unless an error was recorded"))
-            .collect())
     }
 
     fn evaluate_genome(
@@ -358,8 +438,7 @@ impl<'a> MappingSearch<'a> {
         genome: &Genome,
         generation: usize,
     ) -> Result<EvaluatedConfig, OptimError> {
-        let config = genome.decode(self.evaluator.network(), self.evaluator.platform())?;
-        let result = self.evaluator.evaluate(&config)?;
+        let (config, result) = self.evaluator.evaluate_genome(genome)?;
         Ok(EvaluatedConfig {
             genome: genome.clone(),
             config,
@@ -375,8 +454,7 @@ impl<'a> MappingSearch<'a> {
 /// Infeasible candidates are only used to pad out the elite set when there
 /// are not enough feasible ones.
 fn select_by_pareto_crowding(evaluated: &[EvaluatedConfig], elite_count: usize) -> Vec<Genome> {
-    let feasible: Vec<&EvaluatedConfig> =
-        evaluated.iter().filter(|c| c.result.feasible).collect();
+    let feasible: Vec<&EvaluatedConfig> = evaluated.iter().filter(|c| c.result.feasible).collect();
     let points: Vec<Vec<f64>> = feasible
         .iter()
         .map(|c| {
@@ -557,6 +635,25 @@ mod tests {
     }
 
     #[test]
+    fn stall_window_does_not_trigger_before_a_feasible_candidate_exists() {
+        // Every candidate is infeasible (no feature-map reuse allowed but
+        // genomes always forward something), so the best objective never
+        // becomes finite. The stall window must not fire while the search
+        // is still hunting for the feasible region.
+        let evaluator = evaluator(Constraints::with_fmap_reuse_limit(0.0));
+        let config = SearchConfig {
+            generations: 4,
+            population_size: 8,
+            stall_generations: Some(1),
+            ..SearchConfig::fast()
+        };
+        let outcome = MappingSearch::new(&evaluator, config).run().unwrap();
+        assert_eq!(outcome.generations_run(), 4);
+        assert!(!outcome.early_stopped());
+        assert!(outcome.feasible().is_empty());
+    }
+
+    #[test]
     fn fmap_constraint_limits_the_selected_configurations() {
         let evaluator = evaluator(Constraints::with_fmap_reuse_limit(0.5));
         let config = SearchConfig {
@@ -589,7 +686,7 @@ mod tests {
         assert!(!nsga_outcome.pareto_front().is_empty());
         // The multi-objective selection keeps at least as diverse a front
         // (it never collapses onto a single scalar optimum).
-        assert!(nsga_outcome.pareto_front().len() >= 1);
+        assert!(!nsga_outcome.pareto_front().is_empty());
         assert!(nsga_outcome.best_by_objective().is_some());
     }
 

@@ -98,14 +98,9 @@ impl BenchmarkDataset {
         let mut records = Vec::with_capacity(config.samples);
         while records.len() < config.samples {
             let (layer, input) = random_layer(&mut rng);
-            let out_frac = *[0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0]
-                .iter()
-                .nth(rng.random_range(0..8))
-                .expect("index in range");
-            let in_frac = *[0.25, 0.5, 0.75, 1.0]
-                .iter()
-                .nth(rng.random_range(0..4))
-                .expect("index in range");
+            let out_frac =
+                [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0][rng.random_range(0..8usize)];
+            let in_frac = [0.25, 0.5, 0.75, 1.0][rng.random_range(0..4usize)];
             let Ok(cost) = layer.slice_cost(&input, out_frac, in_frac) else {
                 continue;
             };
@@ -255,7 +250,13 @@ fn random_layer(rng: &mut StdRng) -> (Layer, FeatureShape) {
             let channels = 1usize << rng.random_range(4..10);
             let size = 1usize << rng.random_range(2..6);
             (
-                Layer::new("bench_pool", LayerKind::Pool { kernel: 2, stride: 2 }),
+                Layer::new(
+                    "bench_pool",
+                    LayerKind::Pool {
+                        kernel: 2,
+                        stride: 2,
+                    },
+                ),
                 FeatureShape::spatial(channels, size.max(2), size.max(2)),
             )
         }
@@ -324,14 +325,8 @@ mod tests {
         let a = BenchmarkDataset::generate(&platform, &config).unwrap();
         let b = BenchmarkDataset::generate(&platform, &config).unwrap();
         assert_eq!(a, b);
-        let c = BenchmarkDataset::generate(
-            &platform,
-            &DatasetConfig {
-                seed: 6,
-                ..config
-            },
-        )
-        .unwrap();
+        let c =
+            BenchmarkDataset::generate(&platform, &DatasetConfig { seed: 6, ..config }).unwrap();
         assert_ne!(a, c);
     }
 
@@ -400,7 +395,13 @@ mod tests {
         let rows = BenchmarkDataset::feature_rows(dataset.records());
         assert_eq!(rows.len(), 32);
         assert!(rows.iter().all(|r| r.len() == crate::FEATURE_DIM));
-        assert_eq!(BenchmarkDataset::latency_targets(dataset.records()).len(), 32);
-        assert_eq!(BenchmarkDataset::energy_targets(dataset.records()).len(), 32);
+        assert_eq!(
+            BenchmarkDataset::latency_targets(dataset.records()).len(),
+            32
+        );
+        assert_eq!(
+            BenchmarkDataset::energy_targets(dataset.records()).len(),
+            32
+        );
     }
 }

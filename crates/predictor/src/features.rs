@@ -40,12 +40,7 @@ pub struct QueryFeatures {
 
 impl QueryFeatures {
     /// Builds a query from a layer slice, a compute unit and a DVFS point.
-    pub fn new(
-        cost: SliceCost,
-        class: WorkloadClass,
-        cu: &ComputeUnit,
-        dvfs: DvfsPoint,
-    ) -> Self {
+    pub fn new(cost: SliceCost, class: WorkloadClass, cu: &ComputeUnit, dvfs: DvfsPoint) -> Self {
         QueryFeatures {
             cost,
             class,
@@ -72,11 +67,12 @@ impl QueryFeatures {
         features[8] = self.peak_gflops;
         features[9] = self.memory_bandwidth_gbps;
         features[10] = self.launch_overhead_ms;
-        let kind_offset = 11 + match self.cu_kind {
-            CuKind::Gpu => 0,
-            CuKind::Dla => 1,
-            CuKind::Cpu => 2,
-        };
+        let kind_offset = 11
+            + match self.cu_kind {
+                CuKind::Gpu => 0,
+                CuKind::Dla => 1,
+                CuKind::Cpu => 2,
+            };
         features[kind_offset] = 1.0;
         features[14 + self.class.index()] = 1.0;
         features
@@ -102,12 +98,7 @@ mod tests {
     fn vector_has_declared_dimension() {
         let platform = Platform::dual_test();
         let cu = &platform.compute_units()[0];
-        let q = QueryFeatures::new(
-            sample_cost(),
-            WorkloadClass::Convolution,
-            cu,
-            cu.max_dvfs(),
-        );
+        let q = QueryFeatures::new(sample_cost(), WorkloadClass::Convolution, cu, cu.max_dvfs());
         let v = q.to_vector();
         assert_eq!(v.len(), FEATURE_DIM);
         assert!(v.iter().all(|x| x.is_finite()));
@@ -136,20 +127,10 @@ mod tests {
     fn magnitudes_are_log_encoded() {
         let platform = Platform::dual_test();
         let cu = &platform.compute_units()[0];
-        let small = QueryFeatures::new(
-            SliceCost::zero(),
-            WorkloadClass::Dense,
-            cu,
-            cu.max_dvfs(),
-        )
-        .to_vector();
-        let big = QueryFeatures::new(
-            sample_cost(),
-            WorkloadClass::Dense,
-            cu,
-            cu.max_dvfs(),
-        )
-        .to_vector();
+        let small = QueryFeatures::new(SliceCost::zero(), WorkloadClass::Dense, cu, cu.max_dvfs())
+            .to_vector();
+        let big =
+            QueryFeatures::new(sample_cost(), WorkloadClass::Dense, cu, cu.max_dvfs()).to_vector();
         assert_eq!(small[0], 0.0);
         assert!(big[0] > 10.0 && big[0] < 20.0);
     }

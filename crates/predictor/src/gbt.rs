@@ -117,8 +117,8 @@ impl GradientBoostedTrees {
         let mut trees = Vec::with_capacity(config.n_trees);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let all_rows: Vec<usize> = (0..targets.len()).collect();
-        let sample_size = ((targets.len() as f64 * config.subsample).round() as usize)
-            .clamp(1, targets.len());
+        let sample_size =
+            ((targets.len() as f64 * config.subsample).round() as usize).clamp(1, targets.len());
 
         for _ in 0..config.n_trees {
             let rows: Vec<usize> = if sample_size == targets.len() {
@@ -226,8 +226,7 @@ mod tests {
     fn constant_targets_predict_the_constant() {
         let features = vec![vec![0.0], vec![1.0], vec![2.0]];
         let targets = vec![7.0, 7.0, 7.0];
-        let model =
-            GradientBoostedTrees::fit(&features, &targets, &GbtConfig::fast()).unwrap();
+        let model = GradientBoostedTrees::fit(&features, &targets, &GbtConfig::fast()).unwrap();
         assert!((model.predict(&[0.5]).unwrap() - 7.0).abs() < 1e-9);
     }
 

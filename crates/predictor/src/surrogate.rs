@@ -156,8 +156,16 @@ mod tests {
     fn surrogate_reaches_reasonable_accuracy() {
         let (_, predictor) = trained_predictor();
         let report = predictor.validation_report();
-        assert!(report.latency_mape < 0.35, "latency MAPE {}", report.latency_mape);
-        assert!(report.energy_mape < 0.35, "energy MAPE {}", report.energy_mape);
+        assert!(
+            report.latency_mape < 0.35,
+            "latency MAPE {}",
+            report.latency_mape
+        );
+        assert!(
+            report.energy_mape < 0.35,
+            "energy MAPE {}",
+            report.energy_mape
+        );
         assert!(report.latency_r2 > 0.7, "latency R² {}", report.latency_r2);
         assert!(report.energy_r2 > 0.7, "energy R² {}", report.energy_r2);
         assert_eq!(report.train_size, 480);
@@ -166,15 +174,23 @@ mod tests {
 
     #[test]
     fn predictions_track_the_analytic_model() {
+        // Query the surrogate with a realistic convolution layer (the same
+        // kind of record the training generator produces) and check the
+        // prediction stays in the analytic model's ballpark.
         let (platform, predictor) = trained_predictor();
         let cu = &platform.compute_units()[0];
-        let cost = SliceCost {
-            macs: 5e7,
-            flops: 1e8,
-            weight_bytes: 2e6,
-            input_bytes: 5e5,
-            output_bytes: 5e5,
-        };
+        let layer = mnc_nn::Layer::new(
+            "conv",
+            mnc_nn::LayerKind::ConvBlock {
+                in_channels: 64,
+                out_channels: 128,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+        );
+        let input = mnc_nn::FeatureShape::spatial(64, 16, 16);
+        let cost = layer.full_cost(&input).unwrap();
         let query = QueryFeatures::new(cost, WorkloadClass::Convolution, cu, cu.max_dvfs());
         let (pred_latency, pred_energy) = predictor.predict(&query);
         let truth = cu.execute(&cost, WorkloadClass::Convolution, cu.max_dvfs());

@@ -170,8 +170,7 @@ impl RegressionTree {
             self.nodes.push(Node::Leaf { value: mean });
             return self.nodes.len() - 1;
         }
-        let Some((feature, threshold)) = self.best_split(features, targets, indices, config)
-        else {
+        let Some((feature, threshold)) = self.best_split(features, targets, indices, config) else {
             self.nodes.push(Node::Leaf { value: mean });
             return self.nodes.len() - 1;
         };
@@ -208,6 +207,9 @@ impl RegressionTree {
         let parent_mean = mean_of(targets, indices);
         let parent_score = variance_of(targets, indices, parent_mean) * indices.len() as f64;
         let mut best: Option<(usize, f64, f64)> = None;
+        // `features` is indexed `[row][feature]`, so iterating the feature
+        // axis by index is the natural shape here.
+        #[allow(clippy::needless_range_loop)]
         for feature in 0..self.num_features {
             let mut values: Vec<f64> = indices.iter().map(|&i| features[i][feature]).collect();
             values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -230,9 +232,7 @@ impl RegressionTree {
                 let right_mean = mean_of(targets, &right);
                 let score = variance_of(targets, &left, left_mean) * left.len() as f64
                     + variance_of(targets, &right, right_mean) * right.len() as f64;
-                if score < parent_score - 1e-15
-                    && best.map(|(_, _, s)| score < s).unwrap_or(true)
-                {
+                if score < parent_score - 1e-15 && best.map(|(_, _, s)| score < s).unwrap_or(true) {
                     best = Some((feature, threshold, score));
                 }
             }

@@ -1,0 +1,306 @@
+//! The sharded evaluation cache.
+//!
+//! Evaluating one mapping configuration — dynamic transformation,
+//! concurrent performance model, accuracy/exit simulation — costs on the
+//! order of a millisecond; a search performs thousands of them, and a
+//! service replays many overlapping searches. The cache memoises complete
+//! [`EvaluationResult`]s (plus the decoded configuration) under a 128-bit
+//! logical key:
+//!
+//! * the **evaluator fingerprint** ([`mnc_core::Evaluator::fingerprint`]):
+//!   network, platform, accuracy model, validation set, constraints,
+//!   estimator and objective weights — everything that, held fixed, makes
+//!   evaluation a pure function of the candidate,
+//! * the **genome fingerprint** ([`mnc_optim::Genome::fingerprint`]): the
+//!   candidate itself.
+//!
+//! Entries are spread over [`SHARDS`] independently locked hash maps so
+//! parallel population evaluation rarely contends on a lock: the shard
+//! index comes from the high bits of the key hash, which the per-shard
+//! `HashMap` does not reuse. Residency is bounded ([`DEFAULT_CAPACITY`]
+//! entries by default, configurable via [`EvalCache::with_capacity`]) with
+//! per-shard FIFO eviction, so a long-lived service cannot grow without
+//! limit. All counters are relaxed atomics — they feed throughput
+//! dashboards, not control flow.
+
+use mnc_core::{EvaluationResult, MappingConfig, StableHasher};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards (power of two).
+pub const SHARDS: usize = 64;
+
+/// Default capacity. A cached entry is a full decoded configuration plus
+/// its metrics — a few KiB each for the larger models — so this default
+/// bounds worst-case residency to the low hundreds of MiB; deployments
+/// with more memory can raise it via [`EvalCache::with_capacity`].
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// One cached evaluation: the decoded configuration and its metrics.
+type Entry = (MappingConfig, EvaluationResult);
+
+/// One shard: the entry map plus insertion order for FIFO eviction.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<u128, Entry>,
+    order: VecDeque<u128>,
+}
+
+/// A sharded, fingerprint-keyed map from (evaluator, genome) to evaluation
+/// results, bounded to a fixed capacity with per-shard FIFO eviction.
+#[derive(Debug)]
+pub struct EvalCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh evaluation.
+    pub misses: u64,
+    /// Entries inserted (≤ misses; concurrent misses may race to insert).
+    pub insertions: u64,
+    /// Entries evicted to stay within the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 when the cache was never queried).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+impl EvalCache {
+    /// Creates an empty cache with [`DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache bounded to roughly `capacity` entries
+    /// (rounded up to a multiple of [`SHARDS`]; minimum one per shard).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EvalCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity bound (total across shards).
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * SHARDS
+    }
+
+    /// Combines the evaluator and genome fingerprints into one cache key.
+    pub fn key(evaluator_fingerprint: u64, genome_fingerprint: u64) -> u128 {
+        (u128::from(evaluator_fingerprint) << 64) | u128::from(genome_fingerprint)
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<Shard> {
+        // Re-mix so keys differing only in high bits still spread, then
+        // take the top bits (HashMap uses the low ones).
+        let mut hasher = StableHasher::new();
+        hasher.write_u64((key >> 64) as u64);
+        hasher.write_u64(key as u64);
+        let index = (hasher.finish() >> 32) as usize % SHARDS;
+        &self.shards[index]
+    }
+
+    /// Looks up a cached evaluation, cloning it out.
+    pub fn get(&self, key: u128) -> Option<Entry> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard lock never poisoned")
+            .entries
+            .get(&key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts an evaluation, evicting the shard's oldest entries when the
+    /// capacity bound is reached. (Last writer wins; results for equal
+    /// keys are identical by construction, so the race is benign.)
+    pub fn insert(&self, key: u128, config: MappingConfig, result: EvaluationResult) {
+        let mut shard = self
+            .shard(key)
+            .lock()
+            .expect("cache shard lock never poisoned");
+        if shard.entries.insert(key, (config, result)).is_none() {
+            shard.order.push_back(key);
+            while shard.entries.len() > self.shard_capacity {
+                let Some(oldest) = shard.order.pop_front() else {
+                    break;
+                };
+                if shard.entries.remove(&oldest).is_some() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .expect("cache shard lock never poisoned")
+                    .entries
+                    .len()
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard lock never poisoned");
+            shard.entries.clear();
+            shard.order.clear();
+        }
+    }
+
+    /// Snapshots the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_mpsoc::Platform;
+    use mnc_nn::models::{tiny_cnn, ModelPreset};
+
+    fn sample_entry() -> Entry {
+        let network = tiny_cnn(ModelPreset::cifar10());
+        let platform = Platform::dual_test();
+        let config = MappingConfig::uniform(&network, &platform).unwrap();
+        let evaluator = mnc_core::EvaluatorBuilder::new(network, platform)
+            .validation_samples(200)
+            .build()
+            .unwrap();
+        let result = evaluator.evaluate(&config).unwrap();
+        (config, result)
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_counters() {
+        let cache = EvalCache::new();
+        let key = EvalCache::key(1, 2);
+        assert!(cache.get(key).is_none());
+        let (config, result) = sample_entry();
+        cache.insert(key, config.clone(), result.clone());
+        let (cached_config, cached_result) = cache.get(key).unwrap();
+        assert_eq!(cached_config, config);
+        assert_eq!(cached_result, result);
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_fingerprint_halves_make_distinct_keys() {
+        assert_ne!(EvalCache::key(1, 2), EvalCache::key(2, 1));
+        assert_ne!(EvalCache::key(0, 7), EvalCache::key(7, 0));
+    }
+
+    #[test]
+    fn entries_spread_over_shards() {
+        let cache = EvalCache::new();
+        let (config, result) = sample_entry();
+        for genome in 0..256u64 {
+            cache.insert(EvalCache::key(42, genome), config.clone(), result.clone());
+        }
+        assert_eq!(cache.len(), 256);
+        let occupied = cache
+            .shards
+            .iter()
+            .filter(|shard| !shard.lock().unwrap().entries.is_empty())
+            .count();
+        // 256 keys over 64 shards: statistically almost every shard is hit;
+        // require at least half to catch a broken shard function.
+        assert!(occupied >= SHARDS / 2, "only {occupied} shards occupied");
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_entries() {
+        // Capacity SHARDS → one entry per shard.
+        let cache = EvalCache::with_capacity(SHARDS);
+        assert_eq!(cache.capacity(), SHARDS);
+        let (config, result) = sample_entry();
+        for genome in 0..(4 * SHARDS as u64) {
+            cache.insert(EvalCache::key(9, genome), config.clone(), result.clone());
+        }
+        assert!(
+            cache.len() <= cache.capacity(),
+            "{} entries exceed capacity {}",
+            cache.len(),
+            cache.capacity()
+        );
+        let stats = cache.stats();
+        assert!(stats.evictions > 0);
+        // Re-inserting an existing key must not evict or grow.
+        let resident = cache.len();
+        let evictions = stats.evictions;
+        for shard in &cache.shards {
+            // Take the key and drop the guard before touching the cache
+            // again — `insert` locks the same shard.
+            let key = shard.lock().unwrap().order.front().copied();
+            if let Some(key) = key {
+                cache.insert(key, config.clone(), result.clone());
+                assert_eq!(cache.len(), resident);
+                assert_eq!(cache.stats().evictions, evictions);
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The cache-aware evaluation hook.
+//!
+//! [`CachedEvaluator`] wraps an [`mnc_core::Evaluator`] and a shared
+//! [`EvalCache`], implementing [`mnc_optim::ConfigEvaluator`] so a
+//! [`mnc_optim::MappingSearch`] transparently reuses every evaluation any
+//! previous search performed against the same evaluator state. On a hit
+//! the genome is neither decoded nor simulated — the cached configuration
+//! and result are cloned out.
+//!
+//! Caching never changes results: the cache key covers the evaluator's
+//! full fingerprint and the genome's full gene content, and evaluation is
+//! a pure function of the two, so a hit returns exactly what the fresh
+//! computation would have produced (see the bit-identity property test in
+//! `tests/service.rs`).
+
+use crate::cache::EvalCache;
+use mnc_core::{EvaluationResult, Evaluator, MappingConfig};
+use mnc_mpsoc::Platform;
+use mnc_nn::Network;
+use mnc_optim::{ConfigEvaluator, Genome, OptimError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An [`Evaluator`] with a shared evaluation cache in front.
+///
+/// Also keeps its own hit/miss counters, so a caller serving one request
+/// can report that request's cache traffic without racing other requests
+/// on the shared cache's global counters.
+#[derive(Debug)]
+pub struct CachedEvaluator {
+    evaluator: Arc<Evaluator>,
+    cache: Arc<EvalCache>,
+    evaluator_fingerprint: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CachedEvaluator {
+    /// Wraps an evaluator, fingerprinting it once.
+    pub fn new(evaluator: Arc<Evaluator>, cache: Arc<EvalCache>) -> Self {
+        let evaluator_fingerprint = evaluator.fingerprint();
+        Self::with_fingerprint(evaluator, cache, evaluator_fingerprint)
+    }
+
+    /// Wraps an evaluator whose fingerprint the caller already knows
+    /// (e.g. memoised next to a pooled evaluator), skipping the
+    /// serialization pass `Evaluator::fingerprint` performs.
+    pub fn with_fingerprint(
+        evaluator: Arc<Evaluator>,
+        cache: Arc<EvalCache>,
+        evaluator_fingerprint: u64,
+    ) -> Self {
+        CachedEvaluator {
+            evaluator,
+            cache,
+            evaluator_fingerprint,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache hits observed through this wrapper.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (fresh evaluations) observed through this wrapper.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// The shared cache.
+    pub fn cache(&self) -> &Arc<EvalCache> {
+        &self.cache
+    }
+
+    /// The wrapped evaluator's fingerprint (the high half of every cache
+    /// key this wrapper produces).
+    pub fn evaluator_fingerprint(&self) -> u64 {
+        self.evaluator_fingerprint
+    }
+
+    /// The cache key for one genome under this evaluator.
+    pub fn key_for(&self, genome: &Genome) -> u128 {
+        EvalCache::key(self.evaluator_fingerprint, genome.fingerprint())
+    }
+}
+
+impl ConfigEvaluator for CachedEvaluator {
+    fn network(&self) -> &Network {
+        self.evaluator.network()
+    }
+
+    fn platform(&self) -> &Platform {
+        self.evaluator.platform()
+    }
+
+    fn evaluate_genome(
+        &self,
+        genome: &Genome,
+    ) -> Result<(MappingConfig, EvaluationResult), OptimError> {
+        let key = self.key_for(genome);
+        if let Some(entry) = self.cache.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(entry);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let config = genome.decode(self.evaluator.network(), self.evaluator.platform())?;
+        let result = self.evaluator.evaluate(&config)?;
+        self.cache.insert(key, config.clone(), result.clone());
+        Ok((config, result))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_core::EvaluatorBuilder;
+    use mnc_nn::models::{tiny_cnn, ModelPreset};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cached(samples: usize) -> CachedEvaluator {
+        let evaluator =
+            EvaluatorBuilder::new(tiny_cnn(ModelPreset::cifar10()), Platform::dual_test())
+                .validation_samples(samples)
+                .build()
+                .unwrap();
+        CachedEvaluator::new(Arc::new(evaluator), Arc::new(EvalCache::new()))
+    }
+
+    #[test]
+    fn second_evaluation_hits_the_cache() {
+        let cached = cached(300);
+        let mut rng = StdRng::seed_from_u64(5);
+        let genome = Genome::random(cached.network(), cached.platform(), &mut rng);
+        let fresh = cached.evaluate_genome(&genome).unwrap();
+        let replay = cached.evaluate_genome(&genome).unwrap();
+        assert_eq!(fresh, replay);
+        let stats = cached.cache().stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn different_evaluators_use_disjoint_keys() {
+        let a = cached(300);
+        let b = cached(301); // different validation set → different fingerprint
+        assert_ne!(a.evaluator_fingerprint(), b.evaluator_fingerprint());
+        let mut rng = StdRng::seed_from_u64(5);
+        let genome = Genome::random(a.network(), a.platform(), &mut rng);
+        assert_ne!(a.key_for(&genome), b.key_for(&genome));
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for the mapping service.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while resolving or answering a mapping request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The requested model preset is not registered.
+    UnknownModel {
+        /// The requested name.
+        name: String,
+        /// Comma-separated list of registered names.
+        available: String,
+    },
+    /// The requested platform preset is not registered. (Mirrors
+    /// [`RuntimeError::UnknownModel`] so callers handle both unknown-preset
+    /// cases at the same altitude instead of digging into
+    /// [`mnc_mpsoc::MpsocError`].)
+    UnknownPlatform {
+        /// The requested name.
+        name: String,
+        /// Comma-separated list of registered names.
+        available: String,
+    },
+    /// A request parameter is invalid (zero budget, bad weights, ...).
+    InvalidRequest {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An error bubbled up from the hardware model.
+    Mpsoc(mnc_mpsoc::MpsocError),
+    /// An error bubbled up from the evaluator.
+    Core(mnc_core::CoreError),
+    /// An error bubbled up from the search.
+    Optim(mnc_optim::OptimError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownModel { name, available } => {
+                write!(f, "unknown model preset `{name}`; available: {available}")
+            }
+            RuntimeError::UnknownPlatform { name, available } => {
+                write!(
+                    f,
+                    "unknown platform preset `{name}`; available: {available}"
+                )
+            }
+            RuntimeError::InvalidRequest { reason } => {
+                write!(f, "invalid mapping request: {reason}")
+            }
+            RuntimeError::Mpsoc(e) => write!(f, "platform error: {e}"),
+            RuntimeError::Core(e) => write!(f, "evaluation error: {e}"),
+            RuntimeError::Optim(e) => write!(f, "search error: {e}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Mpsoc(e) => Some(e),
+            RuntimeError::Core(e) => Some(e),
+            RuntimeError::Optim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mnc_mpsoc::MpsocError> for RuntimeError {
+    fn from(e: mnc_mpsoc::MpsocError) -> Self {
+        RuntimeError::Mpsoc(e)
+    }
+}
+
+impl From<mnc_core::CoreError> for RuntimeError {
+    fn from(e: mnc_core::CoreError) -> Self {
+        RuntimeError::Core(e)
+    }
+}
+
+impl From<mnc_optim::OptimError> for RuntimeError {
+    fn from(e: mnc_optim::OptimError) -> Self {
+        RuntimeError::Optim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_work() {
+        let e = RuntimeError::UnknownModel {
+            name: "resnet".to_string(),
+            available: "vgg19_cifar100".to_string(),
+        };
+        assert!(e.to_string().contains("resnet"));
+        assert!(e.source().is_none());
+
+        let e = RuntimeError::from(mnc_optim::OptimError::NoFeasibleConfiguration);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RuntimeError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! The Map-and-Conquer mapping service.
+//!
+//! The rest of the workspace is an *offline* toolkit: build an evaluator
+//! for one (network, platform) pair, run one evolutionary search, read the
+//! Pareto front. This crate turns that toolkit into a long-lived service
+//! that answers mapping *queries* — "give me the energy/latency Pareto
+//! front for model X on board Y under objective weights W within budget B"
+//! — the way a fleet-management or deployment-planning system would ask
+//! them, many times, for many models and boards.
+//!
+//! Three pieces make that fast:
+//!
+//! * [`registry`] — named catalogues of the built-in model presets and
+//!   (via [`mnc_mpsoc::PlatformRegistry`]) the platform presets, so
+//!   requests are plain data (strings + numbers) rather than Rust values,
+//! * [`cache`] — a sharded, fingerprint-keyed evaluation cache: every
+//!   (evaluator, genome) pair evaluated anywhere in the service is
+//!   remembered, so a repeated or overlapping request skips the decode and
+//!   re-simulation entirely,
+//! * [`cached`] — [`CachedEvaluator`], the [`mnc_optim::ConfigEvaluator`]
+//!   implementation that splices the cache into the search loop, which
+//!   rayon-parallelises each generation across cores while staying
+//!   bit-deterministic for a given seed.
+//!
+//! # Example
+//!
+//! ```
+//! use mnc_runtime::{MappingRequest, MappingService};
+//!
+//! # fn main() -> Result<(), mnc_runtime::RuntimeError> {
+//! let service = MappingService::new();
+//! let request = MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+//!     .validation_samples(500)
+//!     .generations(3)
+//!     .population_size(8);
+//! let response = service.submit(&request)?;
+//! assert!(!response.pareto_front.is_empty());
+//! // An identical request is served almost entirely from the cache.
+//! let again = service.submit(&request)?;
+//! assert_eq!(response.pareto_front, again.pareto_front);
+//! assert!(again.stats.cache_hits > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cached;
+pub mod error;
+pub mod registry;
+pub mod service;
+
+pub use cache::{CacheStats, EvalCache};
+pub use cached::CachedEvaluator;
+pub use error::RuntimeError;
+pub use registry::ModelRegistry;
+pub use service::{MappingRequest, MappingResponse, MappingService, RequestStats};

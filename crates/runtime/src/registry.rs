@@ -1,0 +1,92 @@
+//! Named model presets the service can instantiate.
+//!
+//! Mirrors [`mnc_mpsoc::PlatformRegistry`] on the model side: every
+//! builder in [`mnc_nn::models`] crossed with the dataset presets it makes
+//! sense for, under stable `<architecture>_<dataset>` names. Networks are
+//! built on demand — construction is pure and cheap relative to a search.
+
+use crate::error::RuntimeError;
+use mnc_nn::models::{tiny_cnn, vgg11, vgg19, visformer, visformer_tiny, ModelPreset};
+use mnc_nn::Network;
+
+/// A named network constructor.
+type ModelFn = fn() -> Network;
+
+/// The built-in model presets, in a stable order.
+const MODELS: &[(&str, ModelFn)] = &[
+    ("visformer_cifar100", || visformer(ModelPreset::cifar100())),
+    ("visformer_cifar10", || visformer(ModelPreset::cifar10())),
+    ("visformer_tiny_cifar100", || {
+        visformer_tiny(ModelPreset::cifar100())
+    }),
+    ("visformer_tiny_cifar10", || {
+        visformer_tiny(ModelPreset::cifar10())
+    }),
+    ("vgg19_cifar100", || vgg19(ModelPreset::cifar100())),
+    ("vgg19_cifar10", || vgg19(ModelPreset::cifar10())),
+    ("vgg11_cifar100", || vgg11(ModelPreset::cifar100())),
+    ("vgg11_cifar10", || vgg11(ModelPreset::cifar10())),
+    ("tiny_cnn_cifar10", || tiny_cnn(ModelPreset::cifar10())),
+];
+
+/// Name-indexed catalogue of the built-in model presets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelRegistry;
+
+impl ModelRegistry {
+    /// Creates the registry.
+    pub fn new() -> Self {
+        ModelRegistry
+    }
+
+    /// Names of every registered model, in a stable order.
+    pub fn names(&self) -> Vec<&'static str> {
+        MODELS.iter().map(|(name, _)| *name).collect()
+    }
+
+    /// Whether `name` is a registered model.
+    pub fn contains(&self, name: &str) -> bool {
+        MODELS.iter().any(|(n, _)| *n == name)
+    }
+
+    /// Builds the model with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownModel`] for unregistered names.
+    pub fn build(&self, name: &str) -> Result<Network, RuntimeError> {
+        MODELS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, build)| build())
+            .ok_or_else(|| RuntimeError::UnknownModel {
+                name: name.to_string(),
+                available: self.names().join(", "),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_every_model() {
+        let registry = ModelRegistry::new();
+        assert!(registry.names().len() >= 9);
+        for name in registry.names() {
+            assert!(registry.contains(name));
+            let network = registry.build(name).unwrap();
+            assert!(network.num_layers() > 0, "{name} has layers");
+        }
+    }
+
+    #[test]
+    fn unknown_model_lists_alternatives() {
+        let registry = ModelRegistry::new();
+        let err = registry.build("resnet50_imagenet").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("resnet50_imagenet"));
+        assert!(text.contains("vgg19_cifar100"));
+    }
+}

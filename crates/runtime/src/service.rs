@@ -1,0 +1,516 @@
+//! The mapping service: requests in, Pareto fronts out.
+//!
+//! [`MappingService`] is the long-lived object a deployment-planning
+//! system holds on to. A [`MappingRequest`] names a model preset and a
+//! platform preset, the objective weights and constraints, and a search
+//! budget; [`MappingService::submit`] resolves the presets through the
+//! registries, obtains (or reuses) the evaluator for the pair, and runs a
+//! cache-backed, rayon-parallel evolutionary search. The response carries
+//! the feasible Pareto front plus [`RequestStats`] — evaluations spent,
+//! cache traffic, wall time — so callers can observe the service warming
+//! up: the first request for a workload pays for its evaluations, repeats
+//! are answered from the [`EvalCache`] at memory speed.
+//!
+//! Everything is deterministic per request: the same request (including
+//! its seed) returns the same Pareto front whether served cold, warm, on
+//! one thread or on many.
+
+use crate::cache::{CacheStats, EvalCache};
+use crate::cached::CachedEvaluator;
+use crate::error::RuntimeError;
+use crate::registry::ModelRegistry;
+use mnc_core::{
+    fingerprint_serialized, Constraints, Evaluator, EvaluatorBuilder, ObjectiveWeights,
+    StableHasher,
+};
+use mnc_mpsoc::PlatformRegistry;
+use mnc_optim::{EvaluatedConfig, MappingSearch, MutationConfig, SearchConfig, SelectionStrategy};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Upper bound on memoised evaluators: each pins a network, platform,
+/// accuracy model and validation set, so the pool is bounded like the
+/// evaluation cache (FIFO eviction; in-flight requests keep their
+/// evaluator alive through the `Arc`).
+const MAX_POOLED_EVALUATORS: usize = 64;
+
+/// The evaluator pool: fingerprint-keyed entries plus insertion order.
+#[derive(Debug, Default)]
+struct EvaluatorPool {
+    entries: HashMap<u64, (Arc<Evaluator>, u64)>,
+    order: VecDeque<u64>,
+}
+
+/// A mapping query: which workload, which board, what to optimise, how
+/// hard to search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingRequest {
+    /// Model preset name (see [`ModelRegistry::names`]).
+    pub model: String,
+    /// Platform preset name (see [`PlatformRegistry::names`]).
+    pub platform: String,
+    /// Objective weights of eq. 16.
+    pub weights: ObjectiveWeights,
+    /// Deployment constraints of eq. 15.
+    pub constraints: Constraints,
+    /// Synthetic validation samples for the accuracy/exit model.
+    pub validation_samples: usize,
+    /// Search generations.
+    pub generations: usize,
+    /// Population per generation.
+    pub population_size: usize,
+    /// Elite-selection strategy.
+    pub selection: SelectionStrategy,
+    /// Search seed (same seed → same front).
+    pub seed: u64,
+    /// Hard cap on evaluations (spread over generations).
+    pub max_evaluations: Option<usize>,
+    /// Stop early after this many generations without improvement.
+    pub stall_generations: Option<usize>,
+    /// Worker threads for population evaluation (`None` = all cores).
+    pub threads: Option<usize>,
+}
+
+impl MappingRequest {
+    /// A request with the service defaults: NSGA-II-style selection, a
+    /// medium budget (20 generations × 24 candidates), all cores.
+    pub fn new(model: impl Into<String>, platform: impl Into<String>) -> Self {
+        MappingRequest {
+            model: model.into(),
+            platform: platform.into(),
+            weights: ObjectiveWeights::default(),
+            constraints: Constraints::default(),
+            validation_samples: 2000,
+            generations: 20,
+            population_size: 24,
+            selection: SelectionStrategy::ParetoCrowding,
+            seed: 2023,
+            max_evaluations: None,
+            stall_generations: None,
+            threads: None,
+        }
+    }
+
+    /// Sets the objective weights.
+    #[must_use]
+    pub fn weights(mut self, weights: ObjectiveWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the deployment constraints.
+    #[must_use]
+    pub fn constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Sets the validation-set size.
+    #[must_use]
+    pub fn validation_samples(mut self, samples: usize) -> Self {
+        self.validation_samples = samples;
+        self
+    }
+
+    /// Sets the number of generations.
+    #[must_use]
+    pub fn generations(mut self, generations: usize) -> Self {
+        self.generations = generations;
+        self
+    }
+
+    /// Sets the population size.
+    #[must_use]
+    pub fn population_size(mut self, population_size: usize) -> Self {
+        self.population_size = population_size;
+        self
+    }
+
+    /// Sets the elite-selection strategy.
+    #[must_use]
+    pub fn selection(mut self, selection: SelectionStrategy) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Sets the search seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the total number of evaluations.
+    #[must_use]
+    pub fn max_evaluations(mut self, budget: usize) -> Self {
+        self.max_evaluations = Some(budget);
+        self
+    }
+
+    /// Enables stall-based early stopping.
+    #[must_use]
+    pub fn stall_generations(mut self, window: usize) -> Self {
+        self.stall_generations = Some(window);
+        self
+    }
+
+    /// Pins the number of evaluation threads.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The search configuration this request describes.
+    pub fn search_config(&self) -> SearchConfig {
+        SearchConfig {
+            generations: self.generations,
+            population_size: self.population_size,
+            elite_fraction: 0.25,
+            crossover_rate: 0.7,
+            mutation: MutationConfig::default(),
+            selection: self.selection,
+            seed: self.seed,
+            parallel: true,
+            threads: self.threads,
+            max_evaluations: self.max_evaluations,
+            stall_generations: self.stall_generations,
+        }
+    }
+
+    /// Fingerprint of the evaluator-defining part of the request (model,
+    /// platform, validation size, constraints, weights — not the search
+    /// budget), used to memoise evaluators across requests.
+    fn evaluator_key(&self) -> u64 {
+        let mut hasher = StableHasher::new();
+        hasher.write_str(&self.model);
+        hasher.write_str(&self.platform);
+        hasher.write_usize(self.validation_samples);
+        hasher.write_u64(fingerprint_serialized(&self.weights));
+        hasher.write_u64(fingerprint_serialized(&self.constraints));
+        hasher.finish()
+    }
+}
+
+/// Per-request accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestStats {
+    /// Configurations the search examined (cached or fresh).
+    pub evaluations: usize,
+    /// Generations actually run.
+    pub generations_run: usize,
+    /// Whether the search stopped before its generation count.
+    pub early_stopped: bool,
+    /// Cache hits while serving this request.
+    pub cache_hits: u64,
+    /// Cache misses (fresh evaluations) while serving this request.
+    pub cache_misses: u64,
+    /// Wall time spent serving the request, in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+impl RequestStats {
+    /// Fraction of this request's lookups served from the cache.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+}
+
+/// The answer to a [`MappingRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingResponse {
+    /// The model preset that was mapped.
+    pub model: String,
+    /// The platform preset it was mapped onto.
+    pub platform: String,
+    /// Feasible Pareto front over (average energy, average latency).
+    pub pareto_front: Vec<EvaluatedConfig>,
+    /// The feasible configuration minimising the scalar objective.
+    pub best_by_objective: Option<EvaluatedConfig>,
+    /// Accounting for this request.
+    pub stats: RequestStats,
+}
+
+/// A long-lived mapping service with shared registries, evaluator pool and
+/// evaluation cache.
+#[derive(Debug)]
+pub struct MappingService {
+    models: ModelRegistry,
+    platforms: PlatformRegistry,
+    cache: Arc<EvalCache>,
+    evaluators: Mutex<EvaluatorPool>,
+}
+
+impl MappingService {
+    /// Creates a service with a fresh cache.
+    pub fn new() -> Self {
+        Self::with_cache(Arc::new(EvalCache::new()))
+    }
+
+    /// Creates a service over an existing (possibly shared) cache.
+    pub fn with_cache(cache: Arc<EvalCache>) -> Self {
+        MappingService {
+            models: ModelRegistry::new(),
+            platforms: PlatformRegistry::new(),
+            cache,
+            evaluators: Mutex::new(EvaluatorPool::default()),
+        }
+    }
+
+    /// The model catalogue.
+    pub fn models(&self) -> &ModelRegistry {
+        &self.models
+    }
+
+    /// The platform catalogue.
+    pub fn platforms(&self) -> &PlatformRegistry {
+        &self.platforms
+    }
+
+    /// Service-lifetime cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The shared evaluation cache.
+    pub fn cache(&self) -> &Arc<EvalCache> {
+        &self.cache
+    }
+
+    /// Resolves (building or reusing) the evaluator a request needs,
+    /// returning it together with its memoised fingerprint so warm
+    /// requests skip the fingerprint serialization pass too.
+    fn resolve_evaluator(
+        &self,
+        request: &MappingRequest,
+    ) -> Result<(Arc<Evaluator>, u64), RuntimeError> {
+        let key = request.evaluator_key();
+        if let Some((evaluator, fingerprint)) = self
+            .evaluators
+            .lock()
+            .expect("evaluator pool lock never poisoned")
+            .entries
+            .get(&key)
+        {
+            return Ok((Arc::clone(evaluator), *fingerprint));
+        }
+        // Build outside the lock: evaluator construction generates the
+        // validation set and is the slow part of a cold request.
+        let network = self.models.build(&request.model)?;
+        let platform = self
+            .platforms
+            .build(&request.platform)
+            .map_err(|error| match error {
+                mnc_mpsoc::MpsocError::UnknownPlatform { name, available } => {
+                    RuntimeError::UnknownPlatform { name, available }
+                }
+                other => RuntimeError::Mpsoc(other),
+            })?;
+        let evaluator = Arc::new(
+            EvaluatorBuilder::new(network, platform)
+                .validation_samples(request.validation_samples)
+                .constraints(request.constraints)
+                .objective_weights(request.weights)
+                .build()?,
+        );
+        let fingerprint = evaluator.fingerprint();
+        let mut pool = self
+            .evaluators
+            .lock()
+            .expect("evaluator pool lock never poisoned");
+        if !pool.entries.contains_key(&key) {
+            pool.order.push_back(key);
+            while pool.entries.len() >= MAX_POOLED_EVALUATORS {
+                let Some(oldest) = pool.order.pop_front() else {
+                    break;
+                };
+                pool.entries.remove(&oldest);
+            }
+        }
+        let (evaluator, fingerprint) = pool.entries.entry(key).or_insert((evaluator, fingerprint));
+        Ok((Arc::clone(evaluator), *fingerprint))
+    }
+
+    /// Answers one mapping request.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown presets, an invalid request, or an
+    /// internal evaluation failure (which indicates an inconsistency, not
+    /// an infeasible workload — infeasible candidates simply drop off the
+    /// Pareto front).
+    pub fn submit(&self, request: &MappingRequest) -> Result<MappingResponse, RuntimeError> {
+        if request.validation_samples == 0 {
+            return Err(RuntimeError::InvalidRequest {
+                reason: "validation_samples must be at least 1".to_string(),
+            });
+        }
+        // Reject malformed search budgets before paying for evaluator
+        // construction (validation-set generation dominates cold setup).
+        let config = request.search_config();
+        config
+            .validate()
+            .map_err(|e| RuntimeError::InvalidRequest {
+                reason: e.to_string(),
+            })?;
+        let started = Instant::now();
+
+        let (evaluator, fingerprint) = self.resolve_evaluator(request)?;
+        let cached =
+            CachedEvaluator::with_fingerprint(evaluator, Arc::clone(&self.cache), fingerprint);
+        let outcome = MappingSearch::new(&cached, config).run()?;
+
+        let stats = RequestStats {
+            evaluations: outcome.evaluations(),
+            generations_run: outcome.generations_run(),
+            early_stopped: outcome.early_stopped(),
+            // Per-request counters from the wrapper, not deltas of the
+            // shared cache counters: concurrent submits would otherwise
+            // misattribute each other's traffic.
+            cache_hits: cached.hits(),
+            cache_misses: cached.misses(),
+            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+        };
+        Ok(MappingResponse {
+            model: request.model.clone(),
+            platform: request.platform.clone(),
+            pareto_front: outcome.pareto_front().into_iter().cloned().collect(),
+            best_by_objective: outcome.best_by_objective().cloned(),
+            stats,
+        })
+    }
+
+    /// Answers a batch of requests sequentially on the shared cache,
+    /// returning per-request outcomes. (Each search already parallelises
+    /// across cores; batching adds cache reuse between requests, not more
+    /// parallelism.)
+    pub fn submit_batch(
+        &self,
+        requests: &[MappingRequest],
+    ) -> Vec<Result<MappingResponse, RuntimeError>> {
+        requests
+            .iter()
+            .map(|request| self.submit(request))
+            .collect()
+    }
+}
+
+impl Default for MappingService {
+    fn default() -> Self {
+        MappingService::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_request() -> MappingRequest {
+        MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+            .validation_samples(400)
+            .generations(3)
+            .population_size(8)
+    }
+
+    #[test]
+    fn submit_returns_a_feasible_front() {
+        let service = MappingService::new();
+        let response = service.submit(&small_request()).unwrap();
+        assert!(!response.pareto_front.is_empty());
+        assert!(response.best_by_objective.is_some());
+        assert_eq!(response.stats.evaluations, 24);
+        assert!(response.pareto_front.iter().all(|c| c.result.feasible));
+    }
+
+    #[test]
+    fn unknown_presets_are_rejected() {
+        let service = MappingService::new();
+        let bad_model = MappingRequest::new("resnet", "dual_test");
+        assert!(matches!(
+            service.submit(&bad_model),
+            Err(RuntimeError::UnknownModel { .. })
+        ));
+        let bad_platform = MappingRequest::new("tiny_cnn_cifar10", "tpu");
+        assert!(matches!(
+            service.submit(&bad_platform),
+            Err(RuntimeError::UnknownPlatform { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_budgets_are_rejected_as_requests() {
+        let service = MappingService::new();
+        let zero_samples = MappingRequest {
+            validation_samples: 0,
+            ..small_request()
+        };
+        assert!(matches!(
+            service.submit(&zero_samples),
+            Err(RuntimeError::InvalidRequest { .. })
+        ));
+        let tiny_population = MappingRequest {
+            population_size: 1,
+            ..small_request()
+        };
+        assert!(matches!(
+            service.submit(&tiny_population),
+            Err(RuntimeError::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn evaluators_are_pooled_across_requests() {
+        let service = MappingService::new();
+        service.submit(&small_request()).unwrap();
+        service.submit(&small_request().seed(77)).unwrap();
+        // Same evaluator-defining parameters → one pooled evaluator.
+        assert_eq!(service.evaluators.lock().unwrap().entries.len(), 1);
+        service
+            .submit(&small_request().validation_samples(401))
+            .unwrap();
+        assert_eq!(service.evaluators.lock().unwrap().entries.len(), 2);
+    }
+
+    #[test]
+    fn max_evaluations_caps_the_archive() {
+        let service = MappingService::new();
+        let response = service
+            .submit(&small_request().max_evaluations(11))
+            .unwrap();
+        assert_eq!(response.stats.evaluations, 11);
+        assert!(response.stats.early_stopped);
+    }
+
+    #[test]
+    fn request_serializes_round_trip() {
+        let request = small_request().max_evaluations(100).threads(2);
+        let json = serde_json::to_string(&request).unwrap();
+        let back: MappingRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(request, back);
+
+        // Seeds above i64::MAX must survive JSON exactly — "same seed →
+        // same front" would silently break otherwise.
+        let request = small_request().seed(u64::MAX - 1);
+        let back: MappingRequest =
+            serde_json::from_str(&serde_json::to_string(&request).unwrap()).unwrap();
+        assert_eq!(back.seed, u64::MAX - 1);
+    }
+
+    #[test]
+    fn evaluator_pool_is_bounded() {
+        let service = MappingService::new();
+        for i in 0..(MAX_POOLED_EVALUATORS + 8) {
+            let request = small_request().validation_samples(50 + i);
+            service.resolve_evaluator(&request).unwrap();
+        }
+        let pool = service.evaluators.lock().unwrap();
+        assert_eq!(pool.entries.len(), MAX_POOLED_EVALUATORS);
+        assert_eq!(pool.order.len(), MAX_POOLED_EVALUATORS);
+    }
+}

@@ -1,0 +1,232 @@
+//! Integration tests of the mapping service: cache soundness, parallel
+//! determinism and the end-to-end request flow.
+
+use mnc_core::EvaluatorBuilder;
+use mnc_mpsoc::Platform;
+use mnc_nn::models::{visformer_tiny, ModelPreset};
+use mnc_optim::{ConfigEvaluator, Genome, MappingSearch, SearchConfig};
+use mnc_runtime::{CachedEvaluator, EvalCache, MappingRequest, MappingService};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn evaluator(samples: usize) -> Arc<mnc_core::Evaluator> {
+    Arc::new(
+        EvaluatorBuilder::new(
+            visformer_tiny(ModelPreset::cifar100()),
+            Platform::dual_test(),
+        )
+        .validation_samples(samples)
+        .build()
+        .unwrap(),
+    )
+}
+
+/// Property: for ≥100 random genomes, the evaluation served from the cache
+/// is bit-identical to the fresh one.
+#[test]
+fn cached_evaluations_are_bit_identical_across_random_genomes() {
+    let evaluator = evaluator(500);
+    let cached = CachedEvaluator::new(Arc::clone(&evaluator), Arc::new(EvalCache::new()));
+    let mut rng = StdRng::seed_from_u64(1234);
+
+    for case in 0..120 {
+        let genome = Genome::random(cached.network(), cached.platform(), &mut rng);
+        // First call evaluates and fills the cache, second is served from it.
+        let (fresh_config, fresh_result) = cached.evaluate_genome(&genome).unwrap();
+        let (cached_config, cached_result) = cached.evaluate_genome(&genome).unwrap();
+        assert_eq!(fresh_config, cached_config, "config differs at case {case}");
+        assert_eq!(fresh_result, cached_result, "result differs at case {case}");
+        // Bit-identity of every float, not just PartialEq:
+        assert_eq!(
+            fresh_result.average_latency_ms.to_bits(),
+            cached_result.average_latency_ms.to_bits()
+        );
+        assert_eq!(
+            fresh_result.average_energy_mj.to_bits(),
+            cached_result.average_energy_mj.to_bits()
+        );
+        assert_eq!(
+            fresh_result.objective.to_bits(),
+            cached_result.objective.to_bits()
+        );
+    }
+    let stats = cached.cache().stats();
+    assert_eq!(stats.hits, 120);
+    assert_eq!(stats.misses, 120);
+}
+
+/// Property: the cache key separates platforms and objective weights — an
+/// entry produced under one evaluator state can never answer for another.
+#[test]
+fn cache_keys_differ_across_platforms_and_weights() {
+    let network = visformer_tiny(ModelPreset::cifar100());
+    let cache = Arc::new(EvalCache::new());
+
+    let on_dual = CachedEvaluator::new(
+        Arc::new(
+            EvaluatorBuilder::new(network.clone(), Platform::dual_test())
+                .validation_samples(500)
+                .build()
+                .unwrap(),
+        ),
+        Arc::clone(&cache),
+    );
+    let on_biglittle = CachedEvaluator::new(
+        Arc::new(
+            EvaluatorBuilder::new(network.clone(), Platform::edge_biglittle())
+                .validation_samples(500)
+                .build()
+                .unwrap(),
+        ),
+        Arc::clone(&cache),
+    );
+    let latency_weighted = CachedEvaluator::new(
+        Arc::new(
+            EvaluatorBuilder::new(network.clone(), Platform::dual_test())
+                .validation_samples(500)
+                .objective_weights(mnc_core::ObjectiveWeights::latency_oriented())
+                .build()
+                .unwrap(),
+        ),
+        Arc::clone(&cache),
+    );
+
+    // Both platforms have two compute units, so one genome decodes on
+    // either — but the cache keys must still differ.
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..32 {
+        let genome = Genome::random(on_dual.network(), on_dual.platform(), &mut rng);
+        let k_dual = on_dual.key_for(&genome);
+        let k_biglittle = on_biglittle.key_for(&genome);
+        let k_weighted = latency_weighted.key_for(&genome);
+        assert_ne!(k_dual, k_biglittle, "platform not part of the key");
+        assert_ne!(k_dual, k_weighted, "weights not part of the key");
+        assert_ne!(k_biglittle, k_weighted);
+    }
+
+    // And the cached objectives really are weight-dependent.
+    let genome = Genome::balanced(on_dual.network(), on_dual.platform());
+    let (_, default_result) = on_dual.evaluate_genome(&genome).unwrap();
+    let (_, weighted_result) = latency_weighted.evaluate_genome(&genome).unwrap();
+    assert_ne!(default_result.objective, weighted_result.objective);
+}
+
+/// Same seed and budget on 1 thread vs N threads must yield the same
+/// archive and Pareto front, with or without the cache.
+#[test]
+fn parallel_search_is_deterministic_across_thread_counts() {
+    let evaluator = evaluator(500);
+    let base = SearchConfig {
+        generations: 4,
+        population_size: 12,
+        parallel: true,
+        seed: 42,
+        ..SearchConfig::fast()
+    };
+
+    let single = MappingSearch::new(
+        evaluator.as_ref(),
+        SearchConfig {
+            threads: Some(1),
+            ..base
+        },
+    )
+    .run()
+    .unwrap();
+    let many = MappingSearch::new(
+        evaluator.as_ref(),
+        SearchConfig {
+            threads: Some(8),
+            ..base
+        },
+    )
+    .run()
+    .unwrap();
+    let default_threads = MappingSearch::new(evaluator.as_ref(), base).run().unwrap();
+
+    assert_eq!(single.archive().len(), many.archive().len());
+    for (a, b) in single.archive().iter().zip(many.archive()) {
+        assert_eq!(a.genome, b.genome);
+        assert_eq!(a.result, b.result);
+    }
+    assert_eq!(single.archive(), default_threads.archive());
+
+    let front_single: Vec<_> = single.pareto_front().into_iter().cloned().collect();
+    let front_many: Vec<_> = many.pareto_front().into_iter().cloned().collect();
+    assert_eq!(front_single, front_many);
+
+    // The cached evaluator preserves the same guarantee.
+    let cached = CachedEvaluator::new(Arc::clone(&evaluator), Arc::new(EvalCache::new()));
+    let cached_many = MappingSearch::new(
+        &cached,
+        SearchConfig {
+            threads: Some(8),
+            ..base
+        },
+    )
+    .run()
+    .unwrap();
+    assert_eq!(single.archive(), cached_many.archive());
+}
+
+/// End-to-end acceptance: two identical requests return identical Pareto
+/// fronts and the second is served ≥5× faster thanks to cache hits.
+#[test]
+fn repeated_request_is_served_from_cache_at_least_5x_faster() {
+    let service = MappingService::new();
+    let request = MappingRequest::new("visformer_tiny_cifar100", "dual_test")
+        .validation_samples(1000)
+        .generations(6)
+        .population_size(16)
+        .seed(3);
+
+    let cold = service.submit(&request).unwrap();
+    let warm = service.submit(&request).unwrap();
+
+    assert_eq!(cold.pareto_front, warm.pareto_front);
+    assert_eq!(cold.best_by_objective, warm.best_by_objective);
+    assert_eq!(warm.stats.cache_misses, 0, "warm request re-evaluated");
+    assert!(warm.stats.cache_hits >= cold.stats.evaluations as u64);
+
+    // The real margin is ~50-100×; take the fastest of a few warm replays
+    // so a descheduled run on a loaded CI machine cannot flake the 5×
+    // assertion (every replay is equivalent — all asserted identical).
+    let mut warm_ms = warm.stats.elapsed_ms;
+    for _ in 0..3 {
+        let replay = service.submit(&request).unwrap();
+        assert_eq!(replay.pareto_front, cold.pareto_front);
+        assert_eq!(replay.stats.cache_misses, 0);
+        warm_ms = warm_ms.min(replay.stats.elapsed_ms);
+    }
+    assert!(
+        warm_ms * 5.0 <= cold.stats.elapsed_ms,
+        "cold {:.2} ms vs warm {:.2} ms: speedup below 5x",
+        cold.stats.elapsed_ms,
+        warm_ms
+    );
+}
+
+/// A parallel search over one of the new registry presets finishes within
+/// the configured evaluation budget.
+#[test]
+fn parallel_search_on_new_preset_respects_budget() {
+    let service = MappingService::new();
+    let budget = 60;
+    let request = MappingRequest::new("visformer_tiny_cifar100", "orin_agx")
+        .validation_samples(500)
+        .generations(10)
+        .population_size(16)
+        .max_evaluations(budget);
+
+    let response = service.submit(&request).unwrap();
+    assert_eq!(response.stats.evaluations, budget);
+    assert!(response.stats.early_stopped);
+    assert!(!response.pareto_front.is_empty());
+    // Orin has four compute units, so decoded configurations use 4 stages.
+    assert_eq!(
+        response.pareto_front[0].config.num_stages(),
+        4,
+        "front configurations target the Orin preset"
+    );
+}

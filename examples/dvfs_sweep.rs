@@ -37,12 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut best_level = 0;
     for level in 0..min_levels {
         let dvfs = DvfsAssignment::new(vec![level; 3], &mapping, &platform)?;
-        let config = MappingConfig::new(
-            partition.clone(),
-            indicator.clone(),
-            mapping.clone(),
-            dvfs,
-        )?;
+        let config =
+            MappingConfig::new(partition.clone(), indicator.clone(), mapping.clone(), dvfs)?;
         let result = evaluator.evaluate(&config)?;
         println!(
             "{level:>5} | {:>12.2} | {:>11.2} | {:>12.2}",

@@ -8,8 +8,8 @@
 //! cargo run --example execution_trace
 //! ```
 
-use map_and_conquer::core::{Estimator, ExecutionTrace, MappingConfig};
 use map_and_conquer::core::perf::evaluate_performance;
+use map_and_conquer::core::{Estimator, ExecutionTrace, MappingConfig};
 use map_and_conquer::dynamic::DynamicNetwork;
 use map_and_conquer::mpsoc::Platform;
 use map_and_conquer::nn::models::{visformer_tiny, ModelPreset};

@@ -1,0 +1,71 @@
+//! Demo of the mapping service: submit requests for several models and
+//! platforms, then repeat one to show the evaluation cache at work.
+//!
+//! ```text
+//! cargo run --release --example service_demo
+//! ```
+
+use map_and_conquer::runtime::{MappingRequest, MappingService};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let service = MappingService::new();
+    println!("models:    {}", service.models().names().join(", "));
+    println!("platforms: {}\n", service.platforms().names().join(", "));
+
+    // A small sweep: one transformer and one CNN across three boards.
+    let mut requests = Vec::new();
+    for model in ["visformer_tiny_cifar100", "vgg11_cifar100"] {
+        for platform in ["agx_xavier", "orin_agx", "edge_biglittle"] {
+            requests.push(
+                MappingRequest::new(model, platform)
+                    .validation_samples(1000)
+                    .generations(8)
+                    .population_size(16)
+                    .stall_generations(4),
+            );
+        }
+    }
+
+    println!(
+        "{:<26} {:<16} {:>6} {:>7} {:>9} {:>9} {:>9}",
+        "model", "platform", "front", "evals", "hit%", "ms", "best obj"
+    );
+    for request in &requests {
+        let response = service.submit(request)?;
+        let best = response
+            .best_by_objective
+            .as_ref()
+            .map(|c| format!("{:.3}", c.result.objective))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<26} {:<16} {:>6} {:>7} {:>8.1}% {:>9.1} {:>9}",
+            response.model,
+            response.platform,
+            response.pareto_front.len(),
+            response.stats.evaluations,
+            response.stats.cache_hit_ratio() * 100.0,
+            response.stats.elapsed_ms,
+            best,
+        );
+    }
+
+    // Replay the first request: the whole search is answered from cache.
+    let replay = service.submit(&requests[0])?;
+    println!(
+        "\nreplayed {} on {}: {:.1}% cache hits, {:.1} ms",
+        replay.model,
+        replay.platform,
+        replay.stats.cache_hit_ratio() * 100.0,
+        replay.stats.elapsed_ms
+    );
+
+    let totals = service.cache_stats();
+    println!(
+        "cache after sweep: {} entries, {} hits / {} misses ({:.1}% hit ratio)",
+        totals.entries,
+        totals.hits,
+        totals.misses,
+        totals.hit_ratio() * 100.0
+    );
+    Ok(())
+}

@@ -51,9 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("front-loaded 5/8-2/8-1/8", vec![0.625, 0.25, 0.125]),
         ("back-loaded 1/8-2/8-5/8", vec![0.125, 0.25, 0.625]),
     ] {
-        let partition = map_and_conquer::dynamic::PartitionMatrix::from_stage_fractions(
-            &network, &fractions,
-        )?;
+        let partition =
+            map_and_conquer::dynamic::PartitionMatrix::from_stage_fractions(&network, &fractions)?;
         let indicator = map_and_conquer::dynamic::IndicatorMatrix::full(&network, 3);
         let mapping = map_and_conquer::core::Mapping::identity(&platform);
         let dvfs = map_and_conquer::core::DvfsAssignment::max_frequency(&mapping, &platform)?;

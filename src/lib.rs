@@ -16,7 +16,10 @@
 //!   feature-map reuse, multi-exit stages, accuracy model),
 //! * [`core`] — mapping configurations, the concurrent performance model,
 //!   the execution simulator, the objective and the evaluator,
-//! * [`optim`] — the evolutionary mapping search and Pareto utilities.
+//! * [`optim`] — the evolutionary mapping search and Pareto utilities,
+//! * [`runtime`] — the concurrent mapping service: model/platform
+//!   registries, a sharded evaluation cache and parallel Pareto search
+//!   behind a request/response API.
 //!
 //! # Quickstart
 //!
@@ -56,3 +59,4 @@ pub use mnc_mpsoc as mpsoc;
 pub use mnc_nn as nn;
 pub use mnc_optim as optim;
 pub use mnc_predictor as predictor;
+pub use mnc_runtime as runtime;

@@ -12,8 +12,22 @@ use map_and_conquer::optim::{MappingSearch, SearchConfig};
 fn table2_baseline_rows_are_reproduced() {
     let platform = Platform::agx_xavier();
     let cases = [
-        ("visformer", visformer(ModelPreset::cifar100()), 15.01, 197.35, 53.71, 69.22),
-        ("vgg19", vgg19(ModelPreset::cifar100()), 25.23, 630.11, 114.41, 164.89),
+        (
+            "visformer",
+            visformer(ModelPreset::cifar100()),
+            15.01,
+            197.35,
+            53.71,
+            69.22,
+        ),
+        (
+            "vgg19",
+            vgg19(ModelPreset::cifar100()),
+            25.23,
+            630.11,
+            114.41,
+            164.89,
+        ),
     ];
     for (name, network, gpu_lat, gpu_energy, dla_lat, dla_energy) in cases {
         let (measured_gpu_lat, measured_gpu_energy) =
@@ -21,10 +35,22 @@ fn table2_baseline_rows_are_reproduced() {
         let (measured_dla_lat, measured_dla_energy) =
             platform.single_cu_baseline(&network, CuId(1)).unwrap();
         let close = |measured: f64, paper: f64| (measured - paper).abs() / paper < 0.3;
-        assert!(close(measured_gpu_lat, gpu_lat), "{name} gpu latency {measured_gpu_lat}");
-        assert!(close(measured_gpu_energy, gpu_energy), "{name} gpu energy {measured_gpu_energy}");
-        assert!(close(measured_dla_lat, dla_lat), "{name} dla latency {measured_dla_lat}");
-        assert!(close(measured_dla_energy, dla_energy), "{name} dla energy {measured_dla_energy}");
+        assert!(
+            close(measured_gpu_lat, gpu_lat),
+            "{name} gpu latency {measured_gpu_lat}"
+        );
+        assert!(
+            close(measured_gpu_energy, gpu_energy),
+            "{name} gpu energy {measured_gpu_energy}"
+        );
+        assert!(
+            close(measured_dla_lat, dla_lat),
+            "{name} dla latency {measured_dla_lat}"
+        );
+        assert!(
+            close(measured_dla_energy, dla_energy),
+            "{name} dla energy {measured_dla_energy}"
+        );
     }
 }
 

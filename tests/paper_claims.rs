@@ -18,7 +18,10 @@ use map_and_conquer::nn::ImportanceModel;
 fn vgg19_gains_exceed_visformer_gains() {
     let platform = Platform::agx_xavier();
     let mut gains = Vec::new();
-    for network in [visformer(ModelPreset::cifar100()), vgg19(ModelPreset::cifar100())] {
+    for network in [
+        visformer(ModelPreset::cifar100()),
+        vgg19(ModelPreset::cifar100()),
+    ] {
         let evaluator = EvaluatorBuilder::new(network.clone(), platform.clone())
             .validation_samples(3000)
             .build()
@@ -34,8 +37,14 @@ fn vgg19_gains_exceed_visformer_gains() {
     }
     let (visformer_energy_gain, visformer_speedup) = gains[0];
     let (vgg_energy_gain, vgg_speedup) = gains[1];
-    assert!(visformer_energy_gain > 1.5, "visformer energy gain {visformer_energy_gain}");
-    assert!(visformer_speedup > 1.5, "visformer speedup {visformer_speedup}");
+    assert!(
+        visformer_energy_gain > 1.5,
+        "visformer energy gain {visformer_energy_gain}"
+    );
+    assert!(
+        visformer_speedup > 1.5,
+        "visformer speedup {visformer_speedup}"
+    );
     assert!(vgg_energy_gain > visformer_energy_gain);
     assert!(vgg_speedup > visformer_speedup);
 }
@@ -80,8 +89,7 @@ fn feature_map_reuse_correlates_with_accuracy() {
     let importance = ImportanceModel::synthetic(&network, 3, 1.5);
     let model = AccuracyModel::new(AccuracyProfile::visformer_cifar100(), importance).unwrap();
     let dataset = SyntheticValidationSet::cifar100_like(17);
-    let partition =
-        PartitionMatrix::from_stage_fractions(&network, &[0.5, 0.25, 0.25]).unwrap();
+    let partition = PartitionMatrix::from_stage_fractions(&network, &[0.5, 0.25, 0.25]).unwrap();
 
     let mut final_accuracies = Vec::new();
     for keep_every in [1usize, 2, 4] {
@@ -132,7 +140,10 @@ fn dynamic_deployment_reduces_fmap_traffic() {
         let instantiated: usize = result.exit_counts.iter().skip(stage_index).sum();
         dynamic_bytes += stage.total_incoming_bytes() * instantiated as f64 / total as f64;
     }
-    assert!(dynamic_bytes < static_bytes * 0.8, "dynamic {dynamic_bytes} vs static {static_bytes}");
+    assert!(
+        dynamic_bytes < static_bytes * 0.8,
+        "dynamic {dynamic_bytes} vs static {static_bytes}"
+    );
 }
 
 /// §V-D: assigning the most important channels to the earliest stage lets
@@ -148,8 +159,7 @@ fn front_loaded_partitions_exit_earlier() {
         .unwrap();
     let indicator = IndicatorMatrix::full(&network, 3);
     let mapping = map_and_conquer::core::Mapping::identity(&platform);
-    let dvfs =
-        map_and_conquer::core::DvfsAssignment::max_frequency(&mapping, &platform).unwrap();
+    let dvfs = map_and_conquer::core::DvfsAssignment::max_frequency(&mapping, &platform).unwrap();
 
     let front = MappingConfig::new(
         PartitionMatrix::from_stage_fractions(&network, &[0.625, 0.25, 0.125]).unwrap(),

@@ -27,8 +27,7 @@ fn simulator_matches_recursion_for_random_configurations() {
             let dynamic =
                 DynamicNetwork::transform(network, &config.partition, &config.indicator).unwrap();
             let perf = evaluate_performance(&dynamic, &config, &platform, &estimator).unwrap();
-            let trace =
-                ExecutionTrace::simulate(&dynamic, &config, &platform, &estimator).unwrap();
+            let trace = ExecutionTrace::simulate(&dynamic, &config, &platform, &estimator).unwrap();
             for (analytic, simulated) in perf.stages.iter().zip(trace.stage_finish_ms()) {
                 assert!(
                     (analytic.latency_ms - simulated).abs() < 1e-6,

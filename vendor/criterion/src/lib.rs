@@ -1,0 +1,152 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the narrow API the workspace's benches use:
+//! [`Criterion::benchmark_group`], `group.sample_size(n)`,
+//! `group.bench_function(id, |b| b.iter(...))`, `group.finish()` and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark is
+//! warmed up once, then timed for `sample_size` iterations, and the mean
+//! per-iteration wall time is printed. No statistics beyond that — the
+//! point is that `cargo bench` runs and produces comparable numbers, not
+//! publication-grade confidence intervals.
+
+use std::time::Instant;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Creates a harness with the default sample size (10).
+    pub fn new() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: if self.default_sample_size == 0 {
+                10
+            } else {
+                self.default_sample_size
+            },
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark("", &id.into(), 10, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&self.name, &id.into(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(group: &str, id: &str, sample_size: usize, f: &mut impl FnMut(&mut Bencher)) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed_ns: 0.0,
+    };
+    // One warm-up pass, then the timed pass.
+    f(&mut bencher);
+    bencher.iterations = sample_size as u64;
+    bencher.elapsed_ns = 0.0;
+    f(&mut bencher);
+    let per_iter = bencher.elapsed_ns / sample_size as f64;
+    println!("bench {label}: {} per iteration", format_ns(per_iter));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` the configured number of times, accumulating wall
+    /// time.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+    }
+}
+
+/// Re-export matching criterion's `black_box` (std's suffices here).
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset used by this workspace's property tests: the
+//! [`proptest!`] macro with an optional `#![proptest_config(...)]` header,
+//! range strategies over `f64`/integers, tuple strategies, nested
+//! [`collection::vec`] strategies, and the [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest: cases are drawn from a fixed-seed
+//! deterministic generator (so failures reproduce trivially) and failing
+//! cases are **not shrunk** — the panic message reports the failed
+//! assertion only.
+
+use rand::rngs::StdRng;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            self.start + (self.end - self.start) * rng.random::<f64>()
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut StdRng) -> $ty {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A:0);
+    impl_tuple_strategy!(A:0, B:1);
+    impl_tuple_strategy!(A:0, B:1, C:2);
+    impl_tuple_strategy!(A:0, B:1, C:2, D:3);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// Length specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            SizeRange {
+                start: range.start,
+                end: range.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                start: len,
+                end: len + 1,
+            }
+        }
+    }
+
+    /// Creates a strategy generating vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.random_range(self.len.start..self.len.end)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test case runner.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Number of cases to run per property.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Cases drawn per property test.
+        pub cases: usize,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: usize) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    /// Drives the cases of one property test with a deterministic RNG.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a fixed seed.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: StdRng::seed_from_u64(0x70726f70_74657374),
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> usize {
+            self.config.cases
+        }
+
+        /// The runner's RNG.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Draws one value from a strategy (used by the generated test bodies).
+pub fn sample<S: strategy::Strategy>(strategy: &S, rng: &mut StdRng) -> S::Value {
+    strategy.sample(rng)
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn prop_name(x in 0.0f64..1.0, v in proptest::collection::vec(0usize..9, 1..4)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @config ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config ($config:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            for case in 0..runner.cases() {
+                $( let $arg = $crate::sample(&($strategy), runner.rng()); )+
+                let outcome: Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err(error) = outcome {
+                    panic!("property {} failed at case {case}: {error}", stringify!($name));
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts inside a property body, reporting the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {left:?}, right: {right:?})",
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+}

@@ -1,0 +1,272 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the subset this workspace uses — `slice.par_iter().map(f)
+//! .collect::<Vec<_>>()`, [`ThreadPoolBuilder`] / [`ThreadPool::install`]
+//! and [`current_num_threads`] — on top of `std::thread::scope`.
+//!
+//! Results are always collected **in input order**, so a parallel map is
+//! observationally identical to its sequential counterpart whenever the
+//! mapped function is pure. The search determinism guarantees in
+//! `mnc_optim` and `mnc_runtime` rest on exactly this property.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads a parallel iterator will use on this thread:
+/// the installed pool size, or the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error building a thread pool (never produced by this stand-in; kept for
+/// API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (machine) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = machine parallelism).
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this stand-in; the `Result` mirrors rayon's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A logical thread pool: parallel iterators run inside
+/// [`ThreadPool::install`] use its configured thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators it creates.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = POOL_THREADS.with(|cell| cell.replace(self.num_threads));
+        let result = op();
+        POOL_THREADS.with(|cell| cell.set(previous));
+        result
+    }
+
+    /// The configured thread count (0 = machine parallelism).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// The traits a caller imports to get `.par_iter()`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Parallel iterators over slices.
+pub mod iter {
+    use super::{current_num_threads, AtomicUsize, Mutex, Ordering};
+
+    /// Conversion into a borrowing parallel iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed item type.
+        type Item: 'data;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Creates the parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = ParSliceIter<'data, T>;
+        fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+            ParSliceIter { slice: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = ParSliceIter<'data, T>;
+        fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+            ParSliceIter { slice: self }
+        }
+    }
+
+    /// The operations shared by this stand-in's parallel iterators.
+    pub trait ParallelIterator: Sized {
+        /// Item type.
+        type Item;
+
+        /// Maps each item through `op` in parallel.
+        fn map<R, F>(self, op: F) -> ParMap<Self, F>
+        where
+            F: Fn(Self::Item) -> R + Sync,
+            R: Send,
+        {
+            ParMap { base: self, op }
+        }
+
+        /// Drives the iterator and collects results in input order.
+        fn collect<C>(self) -> C
+        where
+            Self: ParallelDrive,
+            C: FromIterator<<Self as ParallelDrive>::Output>,
+        {
+            self.drive().into_iter().collect()
+        }
+    }
+
+    /// Internal: how a composed iterator actually executes.
+    pub trait ParallelDrive {
+        /// Final element type produced.
+        type Output: Send;
+        /// Runs the pipeline, returning outputs in input order.
+        fn drive(self) -> Vec<Self::Output>;
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    pub struct ParSliceIter<'data, T> {
+        slice: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParallelIterator for ParSliceIter<'data, T> {
+        type Item = &'data T;
+    }
+
+    /// A mapped parallel iterator.
+    pub struct ParMap<B, F> {
+        base: B,
+        op: F,
+    }
+
+    impl<'data, T, R, F> ParallelIterator for ParMap<ParSliceIter<'data, T>, F>
+    where
+        T: Sync,
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        type Item = R;
+    }
+
+    impl<'data, T, R, F> ParallelDrive for ParMap<ParSliceIter<'data, T>, F>
+    where
+        T: Sync,
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        type Output = R;
+
+        fn drive(self) -> Vec<R> {
+            parallel_map_slice(self.base.slice, &self.op)
+        }
+    }
+
+    /// Ordered parallel map over a slice: work-shared via an atomic cursor,
+    /// results written back by index.
+    fn parallel_map_slice<'data, T, R, F>(slice: &'data [T], op: &F) -> Vec<R>
+    where
+        T: Sync,
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        let threads = current_num_threads().min(slice.len().max(1));
+        if threads <= 1 || slice.len() < 2 {
+            return slice.iter().map(op).collect();
+        }
+
+        let slots: Vec<Mutex<Option<R>>> = (0..slice.len()).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = slice.get(index) else {
+                        break;
+                    };
+                    let result = op(item);
+                    *slots[index].lock().expect("slot lock never poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock never poisoned")
+                    .expect("every index visited by the cursor")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            assert_eq!(super::current_num_threads(), 1);
+            vec![1usize, 2, 3].par_iter().map(|x| x + 1).collect()
+        });
+        assert_eq!(out, vec![2, 3, 4]);
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! The owned data model shared by the vendored `serde` and `serde_json`.
+
+use std::fmt;
+
+/// An owned, JSON-shaped value tree.
+///
+/// Maps preserve insertion order so that serialization is deterministic and
+/// derive-generated round trips are field-order stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer (JSON numbers without fraction or exponent).
+    Int(i64),
+    /// An unsigned integer above `i64::MAX` (kept separate so every `u64`
+    /// survives a JSON round trip bit-exactly).
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short tag describing the value's kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::UInt(n) => i64::try_from(*n).ok(),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(63) => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) => u64::try_from(*n).ok(),
+            Value::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, accepting both floats and integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::UInt(n) => Some(*n as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Fetches a required field from a map value (helper for derived code).
+pub fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, DeError> {
+    value
+        .get(name)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}`")))
+}
+
+/// Fetches a required element from a sequence value (helper for derived
+/// code on tuple structs and tuple variants).
+pub fn element(value: &Value, index: usize) -> Result<&Value, DeError> {
+    value
+        .as_seq()
+        .ok_or_else(|| DeError::expected("sequence", value))?
+        .get(index)
+        .ok_or_else(|| DeError::new(format!("missing element {index}")))
+}
+
+/// Deserialization error for the vendored serde framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Creates a "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError {
+            message: format!("expected {what}, found {}", found.kind()),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

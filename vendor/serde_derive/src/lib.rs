@@ -1,0 +1,360 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! The offline build environment has no `syn`/`quote`, so this macro parses
+//! the item declaration directly from the `proc_macro::TokenStream`. It
+//! supports the shapes used in this workspace:
+//!
+//! * structs with named fields, tuple structs and unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged),
+//! * non-generic items only (the workspace derives on concrete types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a struct or enum declaration.
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::value::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct { arity: 1 } => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct { arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::value::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "serde::value::Value::Null".to_string(),
+        Shape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_variant_arm(&name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(serde::value::field(value, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(serde::Deserialize::from_value(value)?))")
+        }
+        Shape::TupleStruct { arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!("serde::Deserialize::from_value(serde::value::element(value, {i})?)?")
+                })
+                .collect();
+            format!("Ok({name}({}))", inits.join(", "))
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum { variants } => deserialize_enum_body(&name, variants),
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(value: &serde::value::Value) -> Result<Self, serde::value::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn serialize_variant_arm(name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.kind {
+        VariantKind::Unit => {
+            format!("{name}::{v} => serde::value::Value::Str(\"{v}\".to_string()),")
+        }
+        VariantKind::Tuple(arity) => {
+            let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+            let inner = if *arity == 1 {
+                "serde::Serialize::to_value(f0)".to_string()
+            } else {
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("serde::value::Value::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{name}::{v}({binds}) => serde::value::Value::Map(vec![(\"{v}\".to_string(), {inner})]),",
+                binds = binders.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))"))
+                .collect();
+            format!(
+                "{name}::{v} {{ {binds} }} => serde::value::Value::Map(vec![(\"{v}\".to_string(), serde::value::Value::Map(vec![{entries}]))]),",
+                binds = fields.join(", "),
+                entries = entries.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as strings; data variants as single-entry maps.
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.kind {
+            VariantKind::Unit => {
+                unit_arms.push(format!("\"{v}\" => Ok({name}::{v}),"));
+            }
+            VariantKind::Tuple(arity) => {
+                let init = if *arity == 1 {
+                    format!("Ok({name}::{v}(serde::Deserialize::from_value(inner)?))")
+                } else {
+                    let items: Vec<String> = (0..*arity)
+                        .map(|i| {
+                            format!(
+                                "serde::Deserialize::from_value(serde::value::element(inner, {i})?)?"
+                            )
+                        })
+                        .collect();
+                    format!("Ok({name}::{v}({}))", items.join(", "))
+                };
+                data_arms.push(format!("\"{v}\" => {{ {init} }}"));
+            }
+            VariantKind::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: serde::Deserialize::from_value(serde::value::field(inner, \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                data_arms.push(format!(
+                    "\"{v}\" => Ok({name}::{v} {{ {} }}),",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match value {{\n\
+         serde::value::Value::Str(tag) => match tag.as_str() {{\n\
+         {units}\n\
+         other => Err(serde::value::DeError::new(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+         }},\n\
+         serde::value::Value::Map(entries) if entries.len() == 1 => {{\n\
+         let (tag, inner) = &entries[0];\n\
+         match tag.as_str() {{\n\
+         {datas}\n\
+         other => Err(serde::value::DeError::new(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+         }}\n\
+         }},\n\
+         other => Err(serde::value::DeError::expected(\"enum representation\", other)),\n\
+         }}",
+        units = unit_arms.join("\n"),
+        datas = data_arms.join("\n"),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("the vendored serde derive does not support generic types ({name})");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => (
+                name,
+                Shape::NamedStruct {
+                    fields: parse_named_fields(g.stream()),
+                },
+            ),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => (
+                name,
+                Shape::TupleStruct {
+                    arity: count_top_level_fields(g.stream()),
+                },
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::UnitStruct),
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => (
+                name,
+                Shape::Enum {
+                    variants: parse_variants(g.stream()),
+                },
+            ),
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Splits a token stream on commas that sit outside angle brackets (groups
+/// nest naturally as single `TokenTree::Group` tokens, but `<...>` does
+/// not, so the angle depth has to be tracked by hand).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("chunks never empty").push(token);
+    }
+    chunks.retain(|chunk| !chunk.is_empty());
+    chunks
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Extracts field names from the body of a braced struct or variant.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            loop {
+                match chunk.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                    Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                        i += 1;
+                        if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                i += 1;
+                            }
+                        }
+                    }
+                    Some(TokenTree::Ident(id)) => return id.to_string(),
+                    other => panic!("expected field name, found {other:?}"),
+                }
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            // Skip attributes / doc comments on the variant.
+            while let Some(TokenTree::Punct(p)) = chunk.get(i) {
+                if p.as_char() == '#' {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            i += 1;
+            let kind = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_top_level_fields(g.stream()))
+                }
+                None => VariantKind::Unit,
+                other => panic!("unsupported variant body for {name}: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
