@@ -2,34 +2,53 @@
 //!
 //! Replays a workload of mapping requests — a mix of distinct
 //! (model, platform, seed) combinations and exact repeats, the shape of
-//! traffic a deployment-planning front-end generates — and reports
-//! requests/second plus cache effectiveness for the cold and warm phases.
+//! traffic a deployment-planning front-end generates — through the batch
+//! scheduler and reports requests/second, cache effectiveness and
+//! coalescing for the cold, warm and mixed phases, plus a sequential-vs-
+//! concurrent comparison of the mixed batch on two identically warmed
+//! services.
 //!
 //! ```text
 //! cargo run --release -p mnc-bench --bin service_throughput
 //! MNC_BUDGET=ci cargo run --release -p mnc-bench --bin service_throughput
+//! cargo run --release -p mnc-bench --bin service_throughput -- --quick
 //! ```
+//!
+//! `--quick` is the CI smoke mode: a small workload under the `ci`
+//! budget, and the batched responses are asserted bit-identical to
+//! sequential `submit` (the process exits non-zero on any determinism
+//! drift, panic, or coalescing-accounting mismatch).
 
 use mnc_bench::Budget;
-use mnc_runtime::{MappingRequest, MappingService};
+use mnc_runtime::{BatchConfig, BatchReport, MappingRequest, MappingService};
 use std::time::Instant;
 
-fn workload(budget: Budget) -> Vec<MappingRequest> {
+fn workload(budget: Budget, quick: bool) -> Vec<MappingRequest> {
     let (samples, generations, population) = match budget {
         Budget::Ci => (500, 4, 12),
         Budget::Default => (1000, 8, 16),
         Budget::Paper => (2000, 20, 24),
     };
+    let models: &[&str] = if quick {
+        &["tiny_cnn_cifar10", "visformer_tiny_cifar100"]
+    } else {
+        &[
+            "visformer_tiny_cifar100",
+            "vgg11_cifar100",
+            "tiny_cnn_cifar10",
+        ]
+    };
+    let platforms: &[&str] = if quick {
+        &["dual_test", "edge_biglittle"]
+    } else {
+        &["agx_xavier", "orin_agx", "edge_biglittle", "dual_test"]
+    };
     let mut requests = Vec::new();
-    for model in [
-        "visformer_tiny_cifar100",
-        "vgg11_cifar100",
-        "tiny_cnn_cifar10",
-    ] {
-        for platform in ["agx_xavier", "orin_agx", "edge_biglittle", "dual_test"] {
+    for model in models {
+        for platform in platforms {
             for seed in [1u64, 2] {
                 requests.push(
-                    MappingRequest::new(model, platform)
+                    MappingRequest::new(*model, *platform)
                         .validation_samples(samples)
                         .generations(generations)
                         .population_size(population)
@@ -41,48 +60,10 @@ fn workload(budget: Budget) -> Vec<MappingRequest> {
     requests
 }
 
-fn run_phase(service: &MappingService, requests: &[MappingRequest], label: &str) {
-    let started = Instant::now();
-    let mut evaluations = 0usize;
-    let mut hits = 0u64;
-    let mut misses = 0u64;
-    for result in service.submit_batch(requests) {
-        let response = result.expect("preset workload requests are valid");
-        evaluations += response.stats.evaluations;
-        hits += response.stats.cache_hits;
-        misses += response.stats.cache_misses;
-    }
-    let elapsed = started.elapsed().as_secs_f64();
-    let lookups = hits + misses;
-    let hit_pct = if lookups == 0 {
-        0.0
-    } else {
-        hits as f64 / lookups as f64 * 100.0
-    };
-    println!(
-        "{label:<6} {:>4} requests in {elapsed:>7.2} s  ({:>6.2} req/s, {:>8} evaluations, {hit_pct:>5.1}% cache hits)",
-        requests.len(),
-        requests.len() as f64 / elapsed,
-        evaluations,
-    );
-}
-
-fn main() {
-    let budget = Budget::from_env();
-    let requests = workload(budget);
-    let service = MappingService::new();
-
-    println!(
-        "service throughput, budget {budget:?}: {} distinct requests\n",
-        requests.len()
-    );
-    // Cold: every evaluation is fresh.
-    run_phase(&service, &requests, "cold");
-    // Warm: identical traffic, answered from the evaluation cache.
-    run_phase(&service, &requests, "warm");
-    // Mixed: half repeats, half new seeds (partial cache reuse through
-    // shared elites is workload-dependent but the repeats are free).
-    let mixed: Vec<MappingRequest> = requests
+/// The mixed phase: half exact repeats of the base workload, half new
+/// seeds, plus in-batch duplicates so the coalescer has work to do.
+fn mixed_workload(requests: &[MappingRequest]) -> Vec<MappingRequest> {
+    let mut mixed: Vec<MappingRequest> = requests
         .iter()
         .enumerate()
         .map(|(i, r)| {
@@ -93,12 +74,170 @@ fn main() {
             }
         })
         .collect();
-    run_phase(&service, &mixed, "mixed");
+    let duplicates: Vec<MappingRequest> = mixed.iter().step_by(4).cloned().collect();
+    mixed.extend(duplicates);
+    mixed
+}
+
+fn run_phase(
+    service: &MappingService,
+    requests: &[MappingRequest],
+    config: &BatchConfig,
+    label: &str,
+) -> BatchReport {
+    let report = service.submit_batch_with(requests, config);
+    let mut evaluations = 0usize;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    // Sum work over group leaders only: coalesced duplicates carry clones
+    // of their leader's stats, so summing every response would double-
+    // count each deduplicated search.
+    for &position in &report.leader_positions {
+        let response = report.responses[position]
+            .as_ref()
+            .expect("preset workload requests are valid");
+        evaluations += response.stats.evaluations;
+        hits += response.stats.cache_hits;
+        misses += response.stats.cache_misses;
+    }
+    let elapsed = report.stats.elapsed_ms / 1e3;
+    let lookups = hits + misses;
+    let hit_pct = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64 * 100.0
+    };
+    println!(
+        "{label:<6} {:>4} requests ({:>2} unique, {:>2} coalesced) in {elapsed:>7.2} s  ({:>6.2} req/s, {evaluations:>8} evaluations, {hit_pct:>5.1}% cache hits)",
+        report.stats.requests,
+        report.stats.unique_requests,
+        report.stats.coalesced_requests,
+        report.stats.requests as f64 / elapsed,
+    );
+    report
+}
+
+/// Serves `mixed` sequentially and through the concurrent scheduler on two
+/// *identically warmed* fresh services, reports the wall-clock ratio, and
+/// returns both response sets for the determinism check.
+fn sequential_vs_batched(
+    base: &[MappingRequest],
+    mixed: &[MappingRequest],
+) -> (Vec<mnc_runtime::MappingResponse>, BatchReport) {
+    let sequential_service = MappingService::new();
+    let batched_service = MappingService::new();
+    // Warm both caches with the base workload so the comparison measures
+    // scheduling, not who pays the cold evaluator builds.
+    sequential_service.submit_batch(base);
+    batched_service.submit_batch(base);
+
+    let started = Instant::now();
+    let sequential: Vec<_> = mixed
+        .iter()
+        .map(|request| {
+            sequential_service
+                .submit(request)
+                .expect("preset workload requests are valid")
+        })
+        .collect();
+    let sequential_s = started.elapsed().as_secs_f64();
+
+    let report = batched_service.submit_batch_with(mixed, &BatchConfig::default());
+    let batched_s = report.stats.elapsed_ms / 1e3;
+
+    println!(
+        "\nmixed batch, sequential submits: {sequential_s:.2} s; scheduled (max_concurrent={}, threads/request={}): {batched_s:.2} s  ({:.2}x)",
+        report.stats.max_concurrent,
+        report.stats.threads_per_request,
+        sequential_s / batched_s.max(1e-9),
+    );
+    (sequential, report)
+}
+
+/// Asserts every batched response is bit-identical to its sequential
+/// counterpart — the CI tripwire for determinism drift in the scheduler.
+fn assert_bit_identical(sequential: &[mnc_runtime::MappingResponse], report: &BatchReport) {
+    assert_eq!(sequential.len(), report.responses.len());
+    for (index, (reference, batched)) in sequential.iter().zip(&report.responses).enumerate() {
+        let batched = batched.as_ref().expect("batched request failed");
+        assert_eq!(
+            reference.pareto_front, batched.pareto_front,
+            "determinism drift at request {index}"
+        );
+        assert_eq!(reference.best_by_objective, batched.best_by_objective);
+        for (a, b) in reference.pareto_front.iter().zip(&batched.pareto_front) {
+            assert_eq!(a.result.objective.to_bits(), b.result.objective.to_bits());
+            assert_eq!(
+                a.result.average_energy_mj.to_bits(),
+                b.result.average_energy_mj.to_bits()
+            );
+            assert_eq!(
+                a.result.average_latency_ms.to_bits(),
+                b.result.average_latency_ms.to_bits()
+            );
+        }
+    }
+    println!("determinism: batched responses bit-identical to sequential submits");
+}
+
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let budget = if quick {
+        Budget::Ci
+    } else {
+        Budget::from_env()
+    };
+    let requests = workload(budget, quick);
+    let mixed = mixed_workload(&requests);
+    let service = MappingService::new();
+
+    println!(
+        "service throughput, budget {budget:?}{}: {} base requests\n",
+        if quick { " (quick)" } else { "" },
+        requests.len()
+    );
+    // Cold: every evaluation is fresh.
+    run_phase(&service, &requests, &BatchConfig::default(), "cold");
+    // Warm: identical traffic, answered from the evaluation cache.
+    run_phase(&service, &requests, &BatchConfig::default(), "warm");
+    // Mixed: repeats + new seeds + in-batch duplicates.
+    let mixed_report = run_phase(&service, &mixed, &BatchConfig::default(), "mixed");
+    assert!(
+        mixed_report.stats.coalesced_requests > 0,
+        "mixed workload must exercise the coalescer"
+    );
+
+    let (sequential, report) = sequential_vs_batched(&requests, &mixed);
+    if quick {
+        assert_bit_identical(&sequential, &report);
+        // Recompute the expected grouping independently of the scheduler
+        // (distinct requests modulo thread count, which never changes the
+        // answer) so coalescing-accounting drift actually trips CI.
+        let expected_unique = {
+            let mut seen = std::collections::HashSet::new();
+            for request in &mixed {
+                let mut normalized = request.clone();
+                normalized.threads = None;
+                seen.insert(serde_json::to_string(&normalized).expect("requests serialize"));
+            }
+            seen.len()
+        };
+        assert_eq!(
+            report.stats.unique_requests, expected_unique,
+            "scheduler ran a different number of searches than the batch holds distinct requests"
+        );
+        assert_eq!(
+            report.stats.coalesced_requests,
+            mixed.len() - expected_unique
+        );
+        assert_eq!(report.leader_positions.len(), expected_unique);
+    }
 
     let stats = service.cache_stats();
     println!(
-        "\ncache: {} entries, {:.1}% lifetime hit ratio",
+        "\ncache: {} entries, {:.1}% lifetime hit ratio, {} coalesced in-flight lookups",
         stats.entries,
-        stats.hit_ratio() * 100.0
+        stats.hit_ratio() * 100.0,
+        stats.coalesced,
     );
 }

@@ -19,14 +19,22 @@
 //! index comes from the high bits of the key hash, which the per-shard
 //! `HashMap` does not reuse. Residency is bounded ([`DEFAULT_CAPACITY`]
 //! entries by default, configurable via [`EvalCache::with_capacity`]) with
-//! per-shard FIFO eviction, so a long-lived service cannot grow without
-//! limit. All counters are relaxed atomics — they feed throughput
+//! per-shard **second-chance (CLOCK) eviction**: every [`EvalCache::get`]
+//! hit sets the entry's reference bit, and the evictor skips (and clears)
+//! referenced entries once before removing them, so repeatedly-hit Pareto
+//! elites survive capacity pressure that plain FIFO would age them out
+//! under. All counters are relaxed atomics — they feed throughput
 //! dashboards, not control flow.
+//!
+//! The cache also arbitrates *concurrent misses*: [`EvalCache::begin_compute`]
+//! hands exactly one caller a [`ComputeGuard`] for a missing key while
+//! every other caller blocks until the owner inserts the entry (or gives
+//! up), so N threads racing on one key perform one evaluation instead of N.
 
 use mnc_core::{EvaluationResult, MappingConfig, StableHasher};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Number of independently locked shards (power of two).
 pub const SHARDS: usize = 64;
@@ -40,23 +48,74 @@ pub const DEFAULT_CAPACITY: usize = 65_536;
 /// One cached evaluation: the decoded configuration and its metrics.
 type Entry = (MappingConfig, EvaluationResult);
 
-/// One shard: the entry map plus insertion order for FIFO eviction.
+/// A resident entry plus its second-chance reference bit.
+#[derive(Debug)]
+struct Slot {
+    entry: Entry,
+    /// Set on every hit, cleared when the CLOCK hand passes the entry.
+    referenced: bool,
+}
+
+/// One shard: the entry map plus the CLOCK ring (insertion order, with
+/// referenced entries recycled to the back instead of evicted).
 #[derive(Debug, Default)]
 struct Shard {
-    entries: HashMap<u128, Entry>,
+    entries: HashMap<u128, Slot>,
     order: VecDeque<u128>,
 }
 
+impl Shard {
+    /// Evicts entries until the shard is back within `capacity`, giving
+    /// each referenced entry one second chance (its bit is cleared and the
+    /// key recycled to the back of the ring). Terminates because every
+    /// step either evicts an entry or clears one reference bit.
+    fn evict_to_capacity(&mut self, capacity: usize, evictions: &AtomicU64) {
+        while self.entries.len() > capacity {
+            let Some(candidate) = self.order.pop_front() else {
+                break;
+            };
+            match self.entries.get_mut(&candidate) {
+                Some(slot) if slot.referenced => {
+                    slot.referenced = false;
+                    self.order.push_back(candidate);
+                }
+                Some(_) => {
+                    self.entries.remove(&candidate);
+                    evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                // Stale ring key (defensive; the ring and map are kept in
+                // lockstep, but a mismatch must not wedge the evictor).
+                None => {}
+            }
+        }
+    }
+}
+
+/// One shard's in-flight computation registry: the keys currently owned
+/// by some thread plus the condvar their waiters sleep on. Sharded like
+/// the entry maps so the miss path contends no more than the hit path,
+/// and a completing computation only wakes waiters of its own shard.
+#[derive(Debug, Default)]
+struct InFlight {
+    keys: Mutex<HashSet<u128>>,
+    done: Condvar,
+}
+
 /// A sharded, fingerprint-keyed map from (evaluator, genome) to evaluation
-/// results, bounded to a fixed capacity with per-shard FIFO eviction.
+/// results, bounded to a fixed capacity with per-shard second-chance
+/// (CLOCK) eviction and per-key in-flight miss coalescing.
 #[derive(Debug)]
 pub struct EvalCache {
     shards: Vec<Mutex<Shard>>,
     shard_capacity: usize,
+    /// Per-shard in-flight sets (see [`EvalCache::begin_compute`]),
+    /// indexed by the same shard function as `shards`.
+    in_flight: Vec<InFlight>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 /// A point-in-time snapshot of the cache counters.
@@ -64,12 +123,18 @@ pub struct EvalCache {
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that fell through to a fresh evaluation.
+    /// Lookups that fell through to the compute path. Most become fresh
+    /// evaluations; some are coalesced onto a concurrent computation of
+    /// the same key instead (see [`CacheStats::coalesced`]).
     pub misses: u64,
-    /// Entries inserted (≤ misses; concurrent misses may race to insert).
+    /// Entries inserted under a key that was not resident (always
+    /// ≤ misses; overwriting a resident key does not count).
     pub insertions: u64,
     /// Entries evicted to stay within the capacity bound.
     pub evictions: u64,
+    /// Misses that waited for a concurrent computation of the same key
+    /// and were served its result — duplicate evaluations avoided.
+    pub coalesced: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -85,6 +150,43 @@ impl CacheStats {
     }
 }
 
+/// The outcome of [`EvalCache::begin_compute`] for a missing key.
+#[derive(Debug)]
+pub enum ComputeLease<'a> {
+    /// The caller owns the evaluation for this key: it must evaluate,
+    /// [`EvalCache::insert`] the result, and drop the guard (dropping
+    /// without inserting — e.g. on an evaluation error — safely passes
+    /// ownership to the next waiter).
+    Owner(ComputeGuard<'a>),
+    /// Another thread finished computing this key while the caller
+    /// waited; its result is returned directly.
+    Ready(Box<Entry>),
+}
+
+/// Exclusive ownership of the in-flight computation for one key.
+///
+/// Dropping the guard releases the key and wakes every waiter, whether or
+/// not a result was inserted — waiters re-check the cache and the first
+/// one to find the key still missing becomes the next owner.
+#[derive(Debug)]
+pub struct ComputeGuard<'a> {
+    cache: &'a EvalCache,
+    key: u128,
+}
+
+impl Drop for ComputeGuard<'_> {
+    fn drop(&mut self) {
+        let in_flight = self.cache.in_flight_shard(self.key);
+        let mut keys = in_flight
+            .keys
+            .lock()
+            .expect("in-flight set lock never poisoned");
+        keys.remove(&self.key);
+        drop(keys);
+        in_flight.done.notify_all();
+    }
+}
+
 impl EvalCache {
     /// Creates an empty cache with [`DEFAULT_CAPACITY`].
     pub fn new() -> Self {
@@ -97,10 +199,12 @@ impl EvalCache {
         EvalCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            in_flight: (0..SHARDS).map(|_| InFlight::default()).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -114,25 +218,37 @@ impl EvalCache {
         (u128::from(evaluator_fingerprint) << 64) | u128::from(genome_fingerprint)
     }
 
-    fn shard(&self, key: u128) -> &Mutex<Shard> {
+    fn shard_index(key: u128) -> usize {
         // Re-mix so keys differing only in high bits still spread, then
         // take the top bits (HashMap uses the low ones).
         let mut hasher = StableHasher::new();
         hasher.write_u64((key >> 64) as u64);
         hasher.write_u64(key as u64);
-        let index = (hasher.finish() >> 32) as usize % SHARDS;
-        &self.shards[index]
+        (hasher.finish() >> 32) as usize % SHARDS
     }
 
-    /// Looks up a cached evaluation, cloning it out.
+    fn shard(&self, key: u128) -> &Mutex<Shard> {
+        &self.shards[Self::shard_index(key)]
+    }
+
+    fn in_flight_shard(&self, key: u128) -> &InFlight {
+        &self.in_flight[Self::shard_index(key)]
+    }
+
+    /// Looks up a cached evaluation, cloning it out and marking the entry
+    /// recently used (its second-chance bit protects it from the next
+    /// eviction pass).
     pub fn get(&self, key: u128) -> Option<Entry> {
-        let found = self
-            .shard(key)
-            .lock()
-            .expect("cache shard lock never poisoned")
-            .entries
-            .get(&key)
-            .cloned();
+        let found = {
+            let mut shard = self
+                .shard(key)
+                .lock()
+                .expect("cache shard lock never poisoned");
+            shard.entries.get_mut(&key).map(|slot| {
+                slot.referenced = true;
+                slot.entry.clone()
+            })
+        };
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -140,26 +256,86 @@ impl EvalCache {
         found
     }
 
-    /// Inserts an evaluation, evicting the shard's oldest entries when the
-    /// capacity bound is reached. (Last writer wins; results for equal
-    /// keys are identical by construction, so the race is benign.)
+    /// Looks up a cached evaluation without touching the hit/miss counters
+    /// or the entry's recency — for callers observing the cache (waiters,
+    /// tests) rather than serving traffic through it.
+    pub fn peek(&self, key: u128) -> Option<Entry> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard lock never poisoned")
+            .entries
+            .get(&key)
+            .map(|slot| slot.entry.clone())
+    }
+
+    /// Claims the computation of a missing key.
+    ///
+    /// If no thread is computing `key`, the caller becomes the owner and
+    /// receives a [`ComputeGuard`]; it should evaluate, [`EvalCache::insert`]
+    /// and drop the guard. If another thread already owns `key`, the call
+    /// blocks until that computation completes and returns its result as
+    /// [`ComputeLease::Ready`] — or, when the owner released without
+    /// inserting (evaluation error), promotes the caller to owner.
+    ///
+    /// The cache is re-checked *after* the claim succeeds, closing the
+    /// race where a caller misses, a concurrent owner inserts and
+    /// releases, and the caller would otherwise re-evaluate a key that is
+    /// now resident. An `Owner` lease therefore guarantees the key was
+    /// absent at claim time — and stays un-inserted until the owner acts,
+    /// since every writer claims the key first.
+    pub fn begin_compute(&self, key: u128) -> ComputeLease<'_> {
+        let in_flight = self.in_flight_shard(key);
+        let mut keys = in_flight
+            .keys
+            .lock()
+            .expect("in-flight set lock never poisoned");
+        while !keys.insert(key) {
+            keys = in_flight
+                .done
+                .wait(keys)
+                .expect("in-flight set lock never poisoned");
+            // Re-check outside the in-flight lock: peek takes a shard lock
+            // and the two must never be held together.
+            drop(keys);
+            if let Some(entry) = self.peek(key) {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                return ComputeLease::Ready(Box::new(entry));
+            }
+            keys = in_flight
+                .keys
+                .lock()
+                .expect("in-flight set lock never poisoned");
+        }
+        drop(keys);
+        let guard = ComputeGuard { cache: self, key };
+        if let Some(entry) = self.peek(key) {
+            // The key became resident between the caller's miss and its
+            // claim; releasing the just-taken guard wakes any newer
+            // waiters, and the entry is served without re-evaluation.
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            drop(guard);
+            return ComputeLease::Ready(Box::new(entry));
+        }
+        ComputeLease::Owner(guard)
+    }
+
+    /// Inserts an evaluation, evicting via second chance when the shard is
+    /// over capacity. (Last writer wins; results for equal keys are
+    /// identical by construction, so the race is benign.)
     pub fn insert(&self, key: u128, config: MappingConfig, result: EvaluationResult) {
         let mut shard = self
             .shard(key)
             .lock()
             .expect("cache shard lock never poisoned");
-        if shard.entries.insert(key, (config, result)).is_none() {
+        let slot = Slot {
+            entry: (config, result),
+            referenced: false,
+        };
+        if shard.entries.insert(key, slot).is_none() {
             shard.order.push_back(key);
-            while shard.entries.len() > self.shard_capacity {
-                let Some(oldest) = shard.order.pop_front() else {
-                    break;
-                };
-                if shard.entries.remove(&oldest).is_some() {
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+            shard.evict_to_capacity(self.shard_capacity, &self.evictions);
+            self.insertions.fetch_add(1, Ordering::Relaxed);
         }
-        self.insertions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of resident entries across all shards.
@@ -197,6 +373,7 @@ impl EvalCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             entries: self.len(),
         }
     }
@@ -213,6 +390,7 @@ mod tests {
     use super::*;
     use mnc_mpsoc::Platform;
     use mnc_nn::models::{tiny_cnn, ModelPreset};
+    use std::sync::mpsc;
 
     fn sample_entry() -> Entry {
         let network = tiny_cnn(ModelPreset::cifar10());
@@ -246,6 +424,37 @@ mod tests {
     }
 
     #[test]
+    fn overwriting_a_resident_key_does_not_count_as_insertion() {
+        // Regression: `insert` used to bump `insertions` unconditionally,
+        // so duplicate-key overwrites broke the `insertions ≤ misses`
+        // invariant documented on `CacheStats`.
+        let cache = EvalCache::new();
+        let key = EvalCache::key(3, 4);
+        let (config, result) = sample_entry();
+        assert!(cache.get(key).is_none()); // 1 miss
+        cache.insert(key, config.clone(), result.clone());
+        cache.insert(key, config.clone(), result.clone());
+        cache.insert(key, config, result);
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 1, "overwrites inflated the counter");
+        assert_eq!(stats.entries, 1);
+        assert!(stats.insertions <= stats.misses);
+    }
+
+    #[test]
+    fn peek_does_not_touch_counters() {
+        let cache = EvalCache::new();
+        let key = EvalCache::key(5, 6);
+        assert!(cache.peek(key).is_none());
+        let (config, result) = sample_entry();
+        cache.insert(key, config, result);
+        assert!(cache.peek(key).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
     fn distinct_fingerprint_halves_make_distinct_keys() {
         assert_ne!(EvalCache::key(1, 2), EvalCache::key(2, 1));
         assert_ne!(EvalCache::key(0, 7), EvalCache::key(7, 0));
@@ -272,7 +481,7 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bound_evicts_oldest_entries() {
+    fn capacity_bound_evicts_entries() {
         // Capacity SHARDS → one entry per shard.
         let cache = EvalCache::with_capacity(SHARDS);
         assert_eq!(cache.capacity(), SHARDS);
@@ -302,5 +511,100 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn rehit_entries_outlive_fifo_aged_ones() {
+        // One shard's worth of keys that all land in the same shard, so the
+        // eviction order within it is fully controlled.
+        let cache = EvalCache::with_capacity(SHARDS * 4); // 4 entries/shard
+        let (config, result) = sample_entry();
+
+        // Find 5 keys sharing one shard.
+        let mut by_shard: HashMap<usize, Vec<u128>> = HashMap::new();
+        let mut colliding: Vec<u128> = Vec::new();
+        for genome in 0..10_000u64 {
+            let key = EvalCache::key(7, genome);
+            let index = cache
+                .shards
+                .iter()
+                .position(|shard| std::ptr::eq(shard, cache.shard(key)))
+                .unwrap();
+            let keys = by_shard.entry(index).or_default();
+            keys.push(key);
+            if keys.len() == 5 {
+                colliding = keys.clone();
+                break;
+            }
+        }
+        assert_eq!(colliding.len(), 5, "no 5-way shard collision in range");
+
+        // Fill the shard to capacity; keys[0] is the FIFO-oldest.
+        for &key in &colliding[..4] {
+            cache.insert(key, config.clone(), result.clone());
+        }
+        // Re-hit the oldest entry: under FIFO it would still be evicted
+        // first; under second chance its reference bit saves it.
+        assert!(cache.get(colliding[0]).is_some());
+        // Overflow the shard: the evictor must skip the referenced oldest
+        // entry and evict the unreferenced second-oldest instead.
+        cache.insert(colliding[4], config.clone(), result.clone());
+        assert!(
+            cache.peek(colliding[0]).is_some(),
+            "re-hit entry was evicted FIFO-style"
+        );
+        assert!(
+            cache.peek(colliding[1]).is_none(),
+            "unreferenced entry survived over a referenced one"
+        );
+    }
+
+    #[test]
+    fn begin_compute_owner_then_ready() {
+        let cache = EvalCache::new();
+        let key = EvalCache::key(11, 12);
+        let (config, result) = sample_entry();
+
+        // Sole caller on a missing key becomes the owner.
+        let ComputeLease::Owner(guard) = cache.begin_compute(key) else {
+            panic!("first caller must own the computation");
+        };
+
+        // A second thread claiming the same key blocks until the owner
+        // inserts and releases, then receives the entry directly.
+        let (started_tx, started_rx) = mpsc::channel();
+        let waiter = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                started_tx.send(()).unwrap();
+                cache.begin_compute(key)
+            });
+            started_rx.recv().unwrap();
+            cache.insert(key, config.clone(), result.clone());
+            drop(guard);
+            handle.join().unwrap()
+        });
+        // Whether the waiter blocked on the owner or arrived after the
+        // release, the post-claim cache re-check serves the entry.
+        let ComputeLease::Ready(entry) = waiter else {
+            panic!("second caller must be served the owner's result");
+        };
+        assert_eq!(*entry, (config, result));
+        assert_eq!(cache.stats().coalesced, 1);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn abandoned_compute_promotes_the_next_caller() {
+        let cache = EvalCache::new();
+        let key = EvalCache::key(13, 14);
+        let ComputeLease::Owner(guard) = cache.begin_compute(key) else {
+            panic!("first caller must own the computation");
+        };
+        // Owner gives up without inserting (an evaluation error): the key
+        // must become claimable again, not wedged in the in-flight set.
+        drop(guard);
+        let ComputeLease::Owner(_) = cache.begin_compute(key) else {
+            panic!("abandoned key must be claimable again");
+        };
     }
 }

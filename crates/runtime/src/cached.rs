@@ -12,8 +12,14 @@
 //! a pure function of the two, so a hit returns exactly what the fresh
 //! computation would have produced (see the bit-identity property test in
 //! `tests/service.rs`).
+//!
+//! Misses are **coalesced per key**: when several threads miss on the same
+//! genome at once (duplicate requests in a concurrent batch, duplicate
+//! candidates in one population), [`EvalCache::begin_compute`] elects one
+//! owner to decode + simulate while the rest block and are served the
+//! owner's result — one evaluation instead of N.
 
-use crate::cache::EvalCache;
+use crate::cache::{ComputeLease, EvalCache};
 use mnc_core::{EvaluationResult, Evaluator, MappingConfig};
 use mnc_mpsoc::Platform;
 use mnc_nn::Network;
@@ -33,6 +39,7 @@ pub struct CachedEvaluator {
     evaluator_fingerprint: u64,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl CachedEvaluator {
@@ -56,17 +63,26 @@ impl CachedEvaluator {
             evaluator_fingerprint,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
-    /// Cache hits observed through this wrapper.
+    /// Cache hits observed through this wrapper (including lookups served
+    /// by waiting on a concurrent computation of the same key).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Cache misses (fresh evaluations) observed through this wrapper.
+    /// Cache misses (fresh evaluations this wrapper performed itself).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed but were served by another thread's in-flight
+    /// evaluation of the same key (a subset of [`CachedEvaluator::hits`]):
+    /// duplicate evaluations this wrapper avoided.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
     }
 
     /// The wrapped evaluator.
@@ -109,11 +125,26 @@ impl ConfigEvaluator for CachedEvaluator {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(entry);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let config = genome.decode(self.evaluator.network(), self.evaluator.platform())?;
-        let result = self.evaluator.evaluate(&config)?;
-        self.cache.insert(key, config.clone(), result.clone());
-        Ok((config, result))
+        // Miss: claim the key. Exactly one thread becomes the owner and
+        // evaluates; concurrent missers block and reuse its result.
+        match self.cache.begin_compute(key) {
+            ComputeLease::Ready(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Ok(*entry)
+            }
+            ComputeLease::Owner(guard) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let config = genome.decode(self.evaluator.network(), self.evaluator.platform())?;
+                let result = self.evaluator.evaluate(&config)?;
+                self.cache.insert(key, config.clone(), result.clone());
+                // Release only after the insert so woken waiters find the
+                // entry; on the `?` error paths above the guard's drop
+                // hands the key to the next waiter instead.
+                drop(guard);
+                Ok((config, result))
+            }
+        }
     }
 }
 
@@ -145,6 +176,36 @@ mod tests {
         let stats = cached.cache().stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_key_evaluate_once() {
+        // Regression: before in-flight coalescing, N threads missing on
+        // the same genome all decoded + simulated it. Now exactly one
+        // owner evaluates and the rest are served its result.
+        let cached = cached(300);
+        let mut rng = StdRng::seed_from_u64(7);
+        let genome = Genome::random(cached.network(), cached.platform(), &mut rng);
+
+        const THREADS: u64 = 8;
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| scope.spawn(|| cached.evaluate_genome(&genome).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for result in &results[1..] {
+            assert_eq!(result, &results[0]);
+        }
+
+        // One fresh evaluation; every other lookup was a plain hit or a
+        // coalesced wait — never a second evaluation.
+        assert_eq!(cached.misses(), 1);
+        assert_eq!(cached.hits(), THREADS - 1);
+        let stats = cached.cache().stats();
+        assert_eq!(stats.insertions, 1);
+        assert!(stats.insertions <= stats.misses);
+        assert_eq!(stats.coalesced, cached.coalesced());
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //! * [`cached`] — [`CachedEvaluator`], the [`mnc_optim::ConfigEvaluator`]
 //!   implementation that splices the cache into the search loop, which
 //!   rayon-parallelises each generation across cores while staying
-//!   bit-deterministic for a given seed.
+//!   bit-deterministic for a given seed, and coalesces concurrent misses
+//!   on one key into a single evaluation,
+//! * [`scheduler`] — the batch scheduler behind
+//!   [`MappingService::submit_batch`]: identical in-flight requests are
+//!   deduplicated onto one search and distinct requests run concurrently
+//!   under a [`BatchConfig`] thread budget, with responses bit-identical
+//!   to serving each request alone.
 //!
 //! # Example
 //!
@@ -50,10 +56,12 @@ pub mod cache;
 pub mod cached;
 pub mod error;
 pub mod registry;
+pub mod scheduler;
 pub mod service;
 
-pub use cache::{CacheStats, EvalCache};
+pub use cache::{CacheStats, ComputeLease, EvalCache};
 pub use cached::CachedEvaluator;
 pub use error::RuntimeError;
 pub use registry::ModelRegistry;
+pub use scheduler::{BatchConfig, BatchReport, BatchStats};
 pub use service::{MappingRequest, MappingResponse, MappingService, RequestStats};

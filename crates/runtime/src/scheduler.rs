@@ -1,0 +1,413 @@
+//! The batch scheduler: coalescing + cross-request parallelism.
+//!
+//! [`MappingService::submit`] answers one request; a deployment-planning
+//! front-end typically holds a *batch* of them, many identical (several
+//! planners asking about the same model/board under the same budget at
+//! once). Serving such a batch sequentially wastes the machine twice:
+//! duplicate requests each re-run a full search, and distinct requests
+//! queue behind each other even when cores are idle.
+//!
+//! [`MappingService::submit_batch_with`] fixes both:
+//!
+//! 1. **Coalescing** — every request is fingerprinted over its *full*
+//!    request content (model, platform, weights, constraints, validation
+//!    size, search budget, selection, seed — everything that determines
+//!    the answer; the thread count is normalised out because it never
+//!    changes results). Requests with equal fingerprints form one group:
+//!    the group leader runs one search and every member receives a clone
+//!    of its response.
+//! 2. **Cross-request parallelism** — distinct groups are executed on a
+//!    scoped worker pool. [`BatchConfig`] carries the per-batch thread
+//!    budget: `max_concurrent` workers each run searches whose inner
+//!    population evaluation uses `threads_per_request` threads, so
+//!    `max_concurrent × threads_per_request` ≈ the machine's cores and the
+//!    outer batch never oversubscribes what the inner searches are
+//!    already using.
+//!
+//! Determinism is untouched: a search's outcome depends only on the
+//! request (seed included), never on thread counts or scheduling order, so
+//! every response is bit-identical to serving the same request alone
+//! through [`MappingService::submit`] — property-tested in
+//! `tests/service.rs` for `max_concurrent ∈ {1, N}`.
+
+use crate::error::RuntimeError;
+use crate::service::{MappingRequest, MappingResponse, MappingService};
+use mnc_core::fingerprint_serialized;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Thread budget for one batch: how many requests run at once, and how
+/// many threads each request's inner search may use.
+///
+/// Both knobs default (`None`) to a split of the machine's cores:
+/// `max_concurrent = min(#distinct requests, cores)` and
+/// `threads_per_request = max(1, cores / max_concurrent)`. Explicit values
+/// below 1 are treated as 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Upper bound on requests in flight at once (`None` = one per core,
+    /// capped at the batch size).
+    pub max_concurrent: Option<usize>,
+    /// Threads each in-flight request's population evaluation may use
+    /// (`None` = the machine's cores divided by the effective
+    /// `max_concurrent`). A request's own explicit `threads` is honoured
+    /// up to this cap.
+    pub threads_per_request: Option<usize>,
+}
+
+impl BatchConfig {
+    /// The default config: split the machine across the batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of requests served concurrently (minimum 1; 1
+    /// reproduces the sequential behaviour exactly).
+    #[must_use]
+    pub fn max_concurrent(mut self, max_concurrent: usize) -> Self {
+        self.max_concurrent = Some(max_concurrent.max(1));
+        self
+    }
+
+    /// Sets the inner-search thread budget per in-flight request
+    /// (minimum 1).
+    #[must_use]
+    pub fn threads_per_request(mut self, threads: usize) -> Self {
+        self.threads_per_request = Some(threads.max(1));
+        self
+    }
+
+    /// Resolves the two knobs against the machine and the number of
+    /// distinct requests, returning `(max_concurrent, threads_per_request)`.
+    fn effective(&self, distinct_requests: usize) -> (usize, usize) {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let concurrency = self
+            .max_concurrent
+            .unwrap_or(cores)
+            .clamp(1, distinct_requests.max(1));
+        let per_request = self
+            .threads_per_request
+            .unwrap_or_else(|| (cores / concurrency).max(1))
+            .max(1);
+        (concurrency, per_request)
+    }
+}
+
+/// Batch-level accounting, alongside the per-request [`super::RequestStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Distinct requests after coalescing — searches actually run.
+    pub unique_requests: usize,
+    /// Duplicate requests served by cloning a group leader's response
+    /// (`requests - unique_requests`).
+    pub coalesced_requests: usize,
+    /// Worker slots the batch ran with.
+    pub max_concurrent: usize,
+    /// Inner-search thread budget each worker ran with.
+    pub threads_per_request: usize,
+    /// Wall time for the whole batch, in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// The outcome of one scheduled batch: per-request responses in request
+/// order plus batch-level accounting.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One outcome per input request, in input order. Duplicates carry a
+    /// clone of their group leader's response (including its
+    /// [`super::RequestStats`] — the search ran once).
+    pub responses: Vec<Result<MappingResponse, RuntimeError>>,
+    /// The input position of each group's leader (its first occurrence),
+    /// in group order — the responses whose work was actually performed
+    /// this batch. Sum per-request stats over these positions to account
+    /// for work done; summing over all responses double-counts every
+    /// coalesced duplicate.
+    pub leader_positions: Vec<usize>,
+    /// Batch-level accounting.
+    pub stats: BatchStats,
+}
+
+/// One coalesced group: the request the leader will run (threads already
+/// normalised to the batch budget), its normalised form for exact
+/// membership checks, and the input positions it answers.
+#[derive(Debug)]
+struct Group {
+    request: MappingRequest,
+    normalized: MappingRequest,
+    positions: Vec<usize>,
+}
+
+/// The answer-determining content of a request: everything except the
+/// thread count, which never changes results. A zero thread count is
+/// invalid rather than answer-neutral, so it is kept distinct — an
+/// invalid request must not donate its error to (or steal a front from)
+/// valid duplicates.
+fn normalized_for_coalescing(request: &MappingRequest) -> MappingRequest {
+    let mut normalized = request.clone();
+    if normalized.threads != Some(0) {
+        normalized.threads = None;
+    }
+    normalized
+}
+
+/// Fingerprint of [`normalized_for_coalescing`] — the grouping hash.
+/// Groups additionally compare the normalised requests for equality, so a
+/// 64-bit collision between distinct requests splits into two groups
+/// instead of silently answering one with the other's front.
+fn coalescing_key(request: &MappingRequest) -> u64 {
+    fingerprint_serialized(&normalized_for_coalescing(request))
+}
+
+impl MappingService {
+    /// Answers a batch of requests under an explicit [`BatchConfig`]:
+    /// identical requests coalesce onto one search, distinct requests run
+    /// concurrently within the batch thread budget, and every response is
+    /// bit-identical to what [`MappingService::submit`] returns for the
+    /// same request.
+    pub fn submit_batch_with(
+        &self,
+        requests: &[MappingRequest],
+        config: &BatchConfig,
+    ) -> BatchReport {
+        let started = Instant::now();
+
+        // Coalesce: group positions by full-request fingerprint, keeping
+        // first-seen order so leaders run in request order. Membership is
+        // confirmed by comparing the normalised requests, so a hash
+        // collision degrades to a split group, never to a wrong answer.
+        let mut groups: Vec<Group> = Vec::new();
+        let mut groups_of: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (position, request) in requests.iter().enumerate() {
+            let normalized = normalized_for_coalescing(request);
+            let candidates = groups_of.entry(coalescing_key(request)).or_default();
+            match candidates
+                .iter()
+                .find(|&&index| groups[index].normalized == normalized)
+            {
+                Some(&index) => groups[index].positions.push(position),
+                None => {
+                    candidates.push(groups.len());
+                    groups.push(Group {
+                        request: request.clone(),
+                        normalized,
+                        positions: vec![position],
+                    });
+                }
+            }
+        }
+
+        let (concurrency, per_request) = config.effective(groups.len());
+        // Pin each leader's inner-search threads to the batch budget. An
+        // explicit smaller request value is kept (and an invalid zero is
+        // kept so `submit` rejects it as it would have sequentially).
+        for group in &mut groups {
+            group.request.threads = Some(match group.request.threads {
+                Some(explicit) => explicit.min(per_request),
+                None => per_request,
+            });
+        }
+
+        let outcomes: Vec<Result<MappingResponse, RuntimeError>> = if concurrency <= 1 {
+            groups
+                .iter()
+                .map(|group| self.submit(&group.request))
+                .collect()
+        } else {
+            self.run_concurrent(&groups, concurrency)
+        };
+
+        // Scatter each group's outcome back to the positions it answers.
+        let mut responses: Vec<Option<Result<MappingResponse, RuntimeError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (group, outcome) in groups.iter().zip(outcomes) {
+            let (last, rest) = group
+                .positions
+                .split_last()
+                .expect("every group holds at least one position");
+            for &position in rest {
+                responses[position] = Some(outcome.clone());
+            }
+            responses[*last] = Some(outcome);
+        }
+        let responses: Vec<_> = responses
+            .into_iter()
+            .map(|slot| slot.expect("every position answered by its group"))
+            .collect();
+
+        BatchReport {
+            leader_positions: groups.iter().map(|group| group.positions[0]).collect(),
+            stats: BatchStats {
+                requests: requests.len(),
+                unique_requests: groups.len(),
+                coalesced_requests: requests.len() - groups.len(),
+                max_concurrent: concurrency,
+                threads_per_request: per_request,
+                elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+            },
+            responses,
+        }
+    }
+
+    /// Runs the group leaders on `concurrency` scoped worker threads.
+    /// Work is handed out through an atomic cursor and results written
+    /// back by group index, so the output order is independent of
+    /// scheduling (the same ordered-write-back idiom as the rayon
+    /// stand-in's parallel map).
+    fn run_concurrent(
+        &self,
+        groups: &[Group],
+        concurrency: usize,
+    ) -> Vec<Result<MappingResponse, RuntimeError>> {
+        let slots: Vec<Mutex<Option<Result<MappingResponse, RuntimeError>>>> =
+            (0..groups.len()).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..concurrency.min(groups.len()) {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(group) = groups.get(index) else {
+                        break;
+                    };
+                    let outcome = self.submit(&group.request);
+                    *slots[index].lock().expect("slot lock never poisoned") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock never poisoned")
+                    .expect("every group visited by the cursor")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> MappingRequest {
+        MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+            .validation_samples(300)
+            .generations(2)
+            .population_size(8)
+    }
+
+    #[test]
+    fn coalescing_key_ignores_thread_count_only() {
+        let base = request();
+        assert_eq!(coalescing_key(&base), coalescing_key(&base.clone()));
+        assert_eq!(
+            coalescing_key(&base.clone().threads(4)),
+            coalescing_key(&base),
+            "thread count must not split a group"
+        );
+        assert_ne!(
+            coalescing_key(&base.clone().seed(7)),
+            coalescing_key(&base),
+            "seed is answer-determining"
+        );
+        assert_ne!(
+            coalescing_key(&base.clone().generations(3)),
+            coalescing_key(&base),
+            "budget is answer-determining"
+        );
+        // threads == Some(0) is invalid, not answer-neutral: it must not
+        // coalesce with valid duplicates.
+        let mut zero_threads = base.clone();
+        zero_threads.threads = Some(0);
+        assert_ne!(coalescing_key(&zero_threads), coalescing_key(&base));
+    }
+
+    #[test]
+    fn effective_budget_splits_cores_and_clamps() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let (concurrency, per_request) = BatchConfig::default().effective(3);
+        assert_eq!(concurrency, cores.min(3));
+        assert_eq!(per_request, (cores / concurrency).max(1));
+
+        let (concurrency, per_request) = BatchConfig::new()
+            .max_concurrent(2)
+            .threads_per_request(3)
+            .effective(8);
+        assert_eq!(concurrency, 2, "explicit max_concurrent is binding");
+        assert_eq!(per_request, 3);
+
+        // Zero-valued knobs are lifted to 1, and an empty batch still
+        // resolves to a sane (1, ≥1) budget.
+        let config = BatchConfig::new().max_concurrent(0).threads_per_request(0);
+        assert_eq!(config.max_concurrent, Some(1));
+        assert_eq!(config.threads_per_request, Some(1));
+        let (concurrency, per_request) = BatchConfig::default().effective(0);
+        assert_eq!(concurrency, 1);
+        assert!(per_request >= 1);
+    }
+
+    #[test]
+    fn duplicates_share_one_search() {
+        let service = MappingService::new();
+        let batch = vec![
+            request(),
+            request().threads(2), // same answer → same group
+            request().seed(31),
+            request(),
+        ];
+        let report = service.submit_batch_with(&batch, &BatchConfig::new().max_concurrent(2));
+        assert_eq!(report.stats.requests, 4);
+        assert_eq!(report.stats.unique_requests, 2);
+        assert_eq!(report.stats.coalesced_requests, 2);
+        assert_eq!(report.responses.len(), 4);
+        assert_eq!(report.leader_positions, vec![0, 2]);
+
+        let first = report.responses[0].as_ref().unwrap();
+        for duplicate in [1usize, 3] {
+            let response = report.responses[duplicate].as_ref().unwrap();
+            assert_eq!(response.pareto_front, first.pareto_front);
+            assert_eq!(response.best_by_objective, first.best_by_objective);
+            // Clone of the leader's response: the search ran once, so the
+            // duplicate carries the leader's accounting verbatim.
+            assert_eq!(response.stats, first.stats);
+        }
+        assert_ne!(
+            report.responses[2].as_ref().unwrap().pareto_front,
+            first.pareto_front,
+            "distinct seeds must not coalesce"
+        );
+    }
+
+    #[test]
+    fn errors_stay_per_group() {
+        let service = MappingService::new();
+        let bad = MappingRequest::new("no_such_model", "dual_test");
+        let batch = vec![request(), bad.clone(), bad];
+        let report = service.submit_batch_with(&batch, &BatchConfig::default());
+        assert!(report.responses[0].is_ok());
+        assert!(matches!(
+            report.responses[1],
+            Err(RuntimeError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            report.responses[2],
+            Err(RuntimeError::UnknownModel { .. })
+        ));
+        assert_eq!(report.stats.unique_requests, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let service = MappingService::new();
+        let report = service.submit_batch_with(&[], &BatchConfig::default());
+        assert!(report.responses.is_empty());
+        assert_eq!(report.stats.requests, 0);
+        assert_eq!(report.stats.unique_requests, 0);
+    }
+}

@@ -26,21 +26,70 @@ use mnc_core::{
 use mnc_mpsoc::PlatformRegistry;
 use mnc_optim::{EvaluatedConfig, MappingSearch, MutationConfig, SearchConfig, SelectionStrategy};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Upper bound on memoised evaluators: each pins a network, platform,
 /// accuracy model and validation set, so the pool is bounded like the
-/// evaluation cache (FIFO eviction; in-flight requests keep their
+/// evaluation cache (LRU eviction; in-flight requests keep their
 /// evaluator alive through the `Arc`).
 const MAX_POOLED_EVALUATORS: usize = 64;
 
-/// The evaluator pool: fingerprint-keyed entries plus insertion order.
+/// The evaluator pool: fingerprint-keyed entries plus recency order
+/// (front = least recently used). Hits reposition the key at the back, so
+/// a hot model/platform shape survives arbitrarily many other shapes
+/// passing through — under the previous FIFO order it was evicted by
+/// insertion age even while in heavy rotation.
 #[derive(Debug, Default)]
 struct EvaluatorPool {
     entries: HashMap<u64, (Arc<Evaluator>, u64)>,
     order: VecDeque<u64>,
+}
+
+impl EvaluatorPool {
+    /// Looks up a pooled evaluator, marking it most recently used.
+    fn get(&mut self, key: u64) -> Option<(Arc<Evaluator>, u64)> {
+        let (evaluator, fingerprint) = self.entries.get(&key)?;
+        let found = (Arc::clone(evaluator), *fingerprint);
+        self.touch(key);
+        Some(found)
+    }
+
+    /// Moves `key` to the most-recently-used end (O(pool size), which is
+    /// capped at [`MAX_POOLED_EVALUATORS`] — far cheaper than rebuilding
+    /// an evaluator).
+    fn touch(&mut self, key: u64) {
+        if let Some(position) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(position);
+        }
+        self.order.push_back(key);
+    }
+
+    /// Inserts a freshly built evaluator, evicting least-recently-used
+    /// entries beyond the bound. If a concurrent request built the same
+    /// evaluator first, the resident one wins (both are equivalent, but
+    /// sharing maximises `Arc` reuse).
+    fn insert(
+        &mut self,
+        key: u64,
+        evaluator: Arc<Evaluator>,
+        fingerprint: u64,
+    ) -> (Arc<Evaluator>, u64) {
+        if let Some(existing) = self.get(key) {
+            return existing;
+        }
+        while self.entries.len() >= MAX_POOLED_EVALUATORS {
+            let Some(lru) = self.order.pop_front() else {
+                break;
+            };
+            self.entries.remove(&lru);
+        }
+        self.entries
+            .insert(key, (Arc::clone(&evaluator), fingerprint));
+        self.order.push_back(key);
+        (evaluator, fingerprint)
+    }
 }
 
 /// A mapping query: which workload, which board, what to optimise, how
@@ -245,6 +294,32 @@ pub struct MappingService {
     platforms: PlatformRegistry,
     cache: Arc<EvalCache>,
     evaluators: Mutex<EvaluatorPool>,
+    /// Evaluator keys some thread is currently building (validation-set
+    /// generation is the slow part of a cold request); concurrent requests
+    /// for the same shape wait here instead of each building their own.
+    building: Mutex<HashSet<u64>>,
+    building_done: Condvar,
+}
+
+/// Exclusive claim on building one evaluator shape. Dropping it (build
+/// finished *or* failed) releases the key and wakes waiters, which
+/// re-check the pool and, if the build failed, retry it themselves.
+struct BuildClaim<'a> {
+    building: &'a Mutex<HashSet<u64>>,
+    done: &'a Condvar,
+    key: u64,
+}
+
+impl Drop for BuildClaim<'_> {
+    fn drop(&mut self) {
+        let mut building = self
+            .building
+            .lock()
+            .expect("evaluator build set lock never poisoned");
+        building.remove(&self.key);
+        drop(building);
+        self.done.notify_all();
+    }
 }
 
 impl MappingService {
@@ -260,6 +335,8 @@ impl MappingService {
             platforms: PlatformRegistry::new(),
             cache,
             evaluators: Mutex::new(EvaluatorPool::default()),
+            building: Mutex::new(HashSet::new()),
+            building_done: Condvar::new(),
         }
     }
 
@@ -291,17 +368,57 @@ impl MappingService {
         request: &MappingRequest,
     ) -> Result<(Arc<Evaluator>, u64), RuntimeError> {
         let key = request.evaluator_key();
-        if let Some((evaluator, fingerprint)) = self
+        if let Some(found) = self
             .evaluators
             .lock()
             .expect("evaluator pool lock never poisoned")
-            .entries
-            .get(&key)
+            .get(key)
         {
-            return Ok((Arc::clone(evaluator), *fingerprint));
+            return Ok(found);
         }
-        // Build outside the lock: evaluator construction generates the
-        // validation set and is the slow part of a cold request.
+        // Claim the build so concurrent requests for the same shape don't
+        // each generate a validation set only to discard all but one.
+        let _claim = loop {
+            let mut building = self
+                .building
+                .lock()
+                .expect("evaluator build set lock never poisoned");
+            if building.insert(key) {
+                break BuildClaim {
+                    building: &self.building,
+                    done: &self.building_done,
+                    key,
+                };
+            }
+            // Another thread is building this shape: wait for it, then
+            // serve from the pool — or loop to claim the key ourselves if
+            // its build failed.
+            drop(
+                self.building_done
+                    .wait(building)
+                    .expect("evaluator build set lock never poisoned"),
+            );
+            if let Some(found) = self
+                .evaluators
+                .lock()
+                .expect("evaluator pool lock never poisoned")
+                .get(key)
+            {
+                return Ok(found);
+            }
+        };
+        // The builder may have finished between our pool miss and the
+        // claim; re-check before paying for the build.
+        if let Some(found) = self
+            .evaluators
+            .lock()
+            .expect("evaluator pool lock never poisoned")
+            .get(key)
+        {
+            return Ok(found);
+        }
+        // Build outside the pool lock: evaluator construction generates
+        // the validation set and is the slow part of a cold request.
         let network = self.models.build(&request.model)?;
         let platform = self
             .platforms
@@ -324,17 +441,7 @@ impl MappingService {
             .evaluators
             .lock()
             .expect("evaluator pool lock never poisoned");
-        if !pool.entries.contains_key(&key) {
-            pool.order.push_back(key);
-            while pool.entries.len() >= MAX_POOLED_EVALUATORS {
-                let Some(oldest) = pool.order.pop_front() else {
-                    break;
-                };
-                pool.entries.remove(&oldest);
-            }
-        }
-        let (evaluator, fingerprint) = pool.entries.entry(key).or_insert((evaluator, fingerprint));
-        Ok((Arc::clone(evaluator), *fingerprint))
+        Ok(pool.insert(key, evaluator, fingerprint))
     }
 
     /// Answers one mapping request.
@@ -386,18 +493,19 @@ impl MappingService {
         })
     }
 
-    /// Answers a batch of requests sequentially on the shared cache,
-    /// returning per-request outcomes. (Each search already parallelises
-    /// across cores; batching adds cache reuse between requests, not more
-    /// parallelism.)
+    /// Answers a batch of requests with the default [`BatchConfig`]:
+    /// identical requests are deduplicated onto one search and distinct
+    /// requests run concurrently on a scoped worker pool sharing the
+    /// machine's cores (see [`MappingService::submit_batch_with`] in
+    /// [`crate::scheduler`]). Responses come back in request order and are
+    /// bit-identical to serving each request through
+    /// [`MappingService::submit`].
     pub fn submit_batch(
         &self,
         requests: &[MappingRequest],
     ) -> Vec<Result<MappingResponse, RuntimeError>> {
-        requests
-            .iter()
-            .map(|request| self.submit(request))
-            .collect()
+        self.submit_batch_with(requests, &crate::scheduler::BatchConfig::default())
+            .responses
     }
 }
 
@@ -512,5 +620,55 @@ mod tests {
         let pool = service.evaluators.lock().unwrap();
         assert_eq!(pool.entries.len(), MAX_POOLED_EVALUATORS);
         assert_eq!(pool.order.len(), MAX_POOLED_EVALUATORS);
+    }
+
+    #[test]
+    fn concurrent_resolves_share_one_evaluator_build() {
+        let service = MappingService::new();
+        let request = small_request();
+        let evaluators: Vec<Arc<Evaluator>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| service.resolve_evaluator(&request).unwrap().0))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // The build-claim serialises construction, so every thread holds
+        // the *same* pooled evaluator, not an equivalent duplicate.
+        for evaluator in &evaluators[1..] {
+            assert!(Arc::ptr_eq(evaluator, &evaluators[0]));
+        }
+        assert_eq!(service.evaluators.lock().unwrap().entries.len(), 1);
+    }
+
+    #[test]
+    fn evaluator_pool_evicts_least_recently_used() {
+        // Regression: the pool used to evict by insertion order, so a hot
+        // shape died once MAX_POOLED_EVALUATORS other shapes passed
+        // through, however often it was being hit.
+        let service = MappingService::new();
+        let requests: Vec<MappingRequest> = (0..MAX_POOLED_EVALUATORS)
+            .map(|i| small_request().validation_samples(50 + i))
+            .collect();
+        for request in &requests {
+            service.resolve_evaluator(request).unwrap();
+        }
+        // Re-touch the oldest entry, then overflow the pool by one: the
+        // touched entry must survive and the now-least-recently-used
+        // second entry must go instead.
+        service.resolve_evaluator(&requests[0]).unwrap();
+        let overflow = small_request().validation_samples(50 + MAX_POOLED_EVALUATORS);
+        service.resolve_evaluator(&overflow).unwrap();
+
+        let pool = service.evaluators.lock().unwrap();
+        assert_eq!(pool.entries.len(), MAX_POOLED_EVALUATORS);
+        assert!(
+            pool.entries.contains_key(&requests[0].evaluator_key()),
+            "re-touched entry was evicted insertion-age-style"
+        );
+        assert!(
+            !pool.entries.contains_key(&requests[1].evaluator_key()),
+            "least-recently-used entry survived eviction"
+        );
+        assert!(pool.entries.contains_key(&overflow.evaluator_key()));
     }
 }

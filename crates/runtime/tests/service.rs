@@ -5,7 +5,7 @@ use mnc_core::EvaluatorBuilder;
 use mnc_mpsoc::Platform;
 use mnc_nn::models::{visformer_tiny, ModelPreset};
 use mnc_optim::{ConfigEvaluator, Genome, MappingSearch, SearchConfig};
-use mnc_runtime::{CachedEvaluator, EvalCache, MappingRequest, MappingService};
+use mnc_runtime::{BatchConfig, CachedEvaluator, EvalCache, MappingRequest, MappingService};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -205,6 +205,149 @@ fn repeated_request_is_served_from_cache_at_least_5x_faster() {
         cold.stats.elapsed_ms,
         warm_ms
     );
+}
+
+/// A mixed batch with duplicates, the shape the scheduler exists for:
+/// two models × two platforms × two seeds plus exact repeats.
+fn mixed_batch() -> Vec<MappingRequest> {
+    let mut requests = Vec::new();
+    for model in ["tiny_cnn_cifar10", "visformer_tiny_cifar100"] {
+        for platform in ["dual_test", "edge_biglittle"] {
+            for seed in [1u64, 2] {
+                requests.push(
+                    MappingRequest::new(model, platform)
+                        .validation_samples(400)
+                        .generations(3)
+                        .population_size(8)
+                        .seed(seed),
+                );
+            }
+        }
+    }
+    // Duplicates: repeat every other request, one of them with an explicit
+    // thread count (answer-neutral, must still coalesce).
+    let duplicates: Vec<MappingRequest> = requests.iter().step_by(2).cloned().collect();
+    requests.extend(duplicates);
+    requests[8].threads = Some(2);
+    requests
+}
+
+/// Property: for every request in a duplicate-laden mixed batch, the
+/// batched response is bit-identical to the sequential `submit` response,
+/// for `max_concurrent` of both 1 and N. Each service is fresh, so the
+/// comparison covers the full cold search, not a cache replay.
+#[test]
+fn submit_batch_is_bit_identical_to_sequential_submit() {
+    let batch = mixed_batch();
+
+    let sequential_service = MappingService::new();
+    let sequential: Vec<_> = batch
+        .iter()
+        .map(|request| sequential_service.submit(request).unwrap())
+        .collect();
+
+    for max_concurrent in [1usize, 4] {
+        let service = MappingService::new();
+        let report =
+            service.submit_batch_with(&batch, &BatchConfig::new().max_concurrent(max_concurrent));
+        assert_eq!(report.stats.requests, batch.len());
+        assert_eq!(report.stats.unique_requests, 8);
+        assert_eq!(report.stats.coalesced_requests, 4);
+
+        for (index, (batched, reference)) in report.responses.iter().zip(&sequential).enumerate() {
+            let batched = batched
+                .as_ref()
+                .unwrap_or_else(|e| panic!("request {index} failed in batch: {e}"));
+            assert_eq!(
+                batched.pareto_front, reference.pareto_front,
+                "front differs at request {index}, max_concurrent {max_concurrent}"
+            );
+            assert_eq!(batched.best_by_objective, reference.best_by_objective);
+            // Bit-identity of every float on the front, not just PartialEq.
+            for (a, b) in batched.pareto_front.iter().zip(&reference.pareto_front) {
+                assert_eq!(a.result.objective.to_bits(), b.result.objective.to_bits());
+                assert_eq!(
+                    a.result.average_energy_mj.to_bits(),
+                    b.result.average_energy_mj.to_bits()
+                );
+                assert_eq!(
+                    a.result.average_latency_ms.to_bits(),
+                    b.result.average_latency_ms.to_bits()
+                );
+            }
+        }
+    }
+}
+
+/// Property: the shared cache's counters stay consistent under a
+/// multi-threaded batch — fresh inserts never exceed compute-path misses,
+/// residency never exceeds capacity, and the coalescing counters agree
+/// with the batch accounting.
+#[test]
+fn batch_keeps_shared_cache_counters_consistent() {
+    let service = MappingService::new();
+    let batch = mixed_batch();
+    let report = service.submit_batch_with(&batch, &BatchConfig::new().max_concurrent(4));
+    for response in &report.responses {
+        assert!(response.is_ok());
+    }
+
+    let stats = service.cache_stats();
+    assert!(
+        stats.insertions <= stats.misses,
+        "insertions {} exceed misses {}",
+        stats.insertions,
+        stats.misses
+    );
+    assert!(
+        stats.entries <= service.cache().capacity(),
+        "residency {} exceeds capacity {}",
+        stats.entries,
+        service.cache().capacity()
+    );
+    assert!(stats.insertions as usize >= stats.entries);
+    assert!(stats.coalesced <= stats.misses);
+    assert!(stats.hits > 0, "batch with duplicates produced no reuse");
+
+    // Replaying the whole batch is answered without a single fresh
+    // evaluation — the scheduler coalesces within the batch and the cache
+    // carries reuse across batches.
+    let before = service.cache_stats();
+    let replay = service.submit_batch_with(&batch, &BatchConfig::new().max_concurrent(4));
+    for (fresh, replayed) in report.responses.iter().zip(&replay.responses) {
+        assert_eq!(
+            fresh.as_ref().unwrap().pareto_front,
+            replayed.as_ref().unwrap().pareto_front
+        );
+    }
+    let after = service.cache_stats();
+    assert_eq!(after.insertions, before.insertions, "replay re-evaluated");
+}
+
+/// N identical requests in one batch run exactly one search and clone one
+/// response for the rest.
+#[test]
+fn identical_requests_coalesce_onto_one_search() {
+    let service = MappingService::new();
+    let request = MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+        .validation_samples(400)
+        .generations(3)
+        .population_size(8);
+    let batch = vec![request.clone(); 6];
+
+    let report = service.submit_batch_with(&batch, &BatchConfig::new().max_concurrent(4));
+    assert_eq!(report.stats.unique_requests, 1);
+    assert_eq!(report.stats.coalesced_requests, 5);
+
+    let leader = report.responses[0].as_ref().unwrap();
+    for response in &report.responses[1..] {
+        let response = response.as_ref().unwrap();
+        assert_eq!(response.pareto_front, leader.pareto_front);
+        assert_eq!(response.stats, leader.stats);
+    }
+    // Exactly one search's worth of fresh evaluations hit the cache.
+    let stats = service.cache_stats();
+    assert_eq!(stats.insertions, leader.stats.cache_misses);
 }
 
 /// A parallel search over one of the new registry presets finishes within

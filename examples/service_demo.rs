@@ -1,18 +1,22 @@
-//! Demo of the mapping service: submit requests for several models and
-//! platforms, then repeat one to show the evaluation cache at work.
+//! Demo of the mapping service: submit a batch of requests (with
+//! duplicates) for several models and platforms through the coalescing
+//! batch scheduler, then repeat one request to show the evaluation cache
+//! at work.
 //!
 //! ```text
 //! cargo run --release --example service_demo
 //! ```
 
-use map_and_conquer::runtime::{MappingRequest, MappingService};
+use map_and_conquer::runtime::{BatchConfig, MappingRequest, MappingService};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let service = MappingService::new();
     println!("models:    {}", service.models().names().join(", "));
     println!("platforms: {}\n", service.platforms().names().join(", "));
 
-    // A small sweep: one transformer and one CNN across three boards.
+    // A small sweep: one transformer and one CNN across three boards —
+    // plus duplicates, the way several planners asking about the same
+    // deployment at once look to the service.
     let mut requests = Vec::new();
     for model in ["visformer_tiny_cifar100", "vgg11_cifar100"] {
         for platform in ["agx_xavier", "orin_agx", "edge_biglittle"] {
@@ -25,13 +29,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+    requests.push(requests[0].clone());
+    requests.push(requests[3].clone());
+
+    let report = service.submit_batch_with(&requests, &BatchConfig::default());
+    println!(
+        "batch: {} requests, {} searches run, {} coalesced onto them \
+         (max_concurrent={}, threads/request={}, {:.1} ms)\n",
+        report.stats.requests,
+        report.stats.unique_requests,
+        report.stats.coalesced_requests,
+        report.stats.max_concurrent,
+        report.stats.threads_per_request,
+        report.stats.elapsed_ms,
+    );
 
     println!(
         "{:<26} {:<16} {:>6} {:>7} {:>9} {:>9} {:>9}",
         "model", "platform", "front", "evals", "hit%", "ms", "best obj"
     );
-    for request in &requests {
-        let response = service.submit(request)?;
+    for result in &report.responses {
+        let response = result.as_ref().map_err(|e| Box::new(e.clone()))?;
         let best = response
             .best_by_objective
             .as_ref()
@@ -61,11 +79,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let totals = service.cache_stats();
     println!(
-        "cache after sweep: {} entries, {} hits / {} misses ({:.1}% hit ratio)",
+        "cache after sweep: {} entries, {} hits / {} misses ({:.1}% hit ratio), {} coalesced lookups",
         totals.entries,
         totals.hits,
         totals.misses,
-        totals.hit_ratio() * 100.0
+        totals.hit_ratio() * 100.0,
+        totals.coalesced,
     );
     Ok(())
 }
