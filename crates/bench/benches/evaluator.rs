@@ -1,11 +1,15 @@
 //! Criterion benchmarks of the configuration evaluator: the cost of one
 //! end-to-end evaluation (dynamic transformation + concurrent performance
-//! model + accuracy/exit model) for the paper's two architectures, and of
-//! its main sub-steps. These measure the framework itself (the paper's
-//! search performs 12 000 of these evaluations).
+//! model + accuracy/exit model) for the paper's two architectures, of its
+//! main sub-steps, and of the fast path against the retained reference
+//! pipeline (`evaluate` vs `evaluate_reference`, tabled vs dispatched
+//! performance model, closed-form vs per-sample accuracy). These measure
+//! the framework itself (the paper's search performs 12 000 of these
+//! evaluations); `evaluator_fastpath` (a bin in this crate) records the
+//! same comparison into `results/`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mnc_core::{Estimator, EvaluatorBuilder, MappingConfig};
+use mnc_core::{CostTable, Estimator, EvaluatorBuilder, MappingConfig};
 use mnc_dynamic::DynamicNetwork;
 use mnc_mpsoc::Platform;
 use mnc_nn::models::{vgg19, visformer, ModelPreset};
@@ -31,6 +35,13 @@ fn bench_evaluate(c: &mut Criterion) {
                     .expect("evaluation succeeds")
             })
         });
+        group.bench_function(format!("evaluate_reference/{name}"), |b| {
+            b.iter(|| {
+                evaluator
+                    .evaluate_reference(black_box(&config))
+                    .expect("reference evaluation succeeds")
+            })
+        });
 
         let dynamic = DynamicNetwork::transform(&network, &config.partition, &config.indicator)
             .expect("transform succeeds");
@@ -54,6 +65,28 @@ fn bench_evaluate(c: &mut Criterion) {
                 )
                 .expect("performance model succeeds")
             })
+        });
+        let table = CostTable::build(&network, &platform);
+        group.bench_function(format!("perf_model_tabled/{name}"), |b| {
+            b.iter(|| {
+                mnc_core::perf::evaluate_performance_tabled(
+                    black_box(&dynamic),
+                    black_box(&config),
+                    black_box(&platform),
+                    black_box(&table),
+                )
+                .expect("tabled performance model succeeds")
+            })
+        });
+
+        let accuracy = evaluator.accuracy_model();
+        let validation = mnc_dynamic::SyntheticValidationSet::cifar100_like(3);
+        validation.difficulty_index(); // amortised once per evaluator in practice
+        group.bench_function(format!("accuracy_fast/{name}"), |b| {
+            b.iter(|| accuracy.evaluate(black_box(&dynamic), black_box(&validation)))
+        });
+        group.bench_function(format!("accuracy_reference/{name}"), |b| {
+            b.iter(|| accuracy.evaluate_reference(black_box(&dynamic), black_box(&validation)))
         });
     }
     group.finish();

@@ -21,7 +21,41 @@
 
 use mnc_bench::Budget;
 use mnc_runtime::{BatchConfig, BatchReport, MappingRequest, MappingService};
+use serde::Serialize;
 use std::time::Instant;
+
+/// Machine-readable metrics of one batch phase (cold/warm/mixed).
+#[derive(Debug, Clone, Serialize)]
+struct PhaseMetrics {
+    phase: String,
+    requests: usize,
+    unique_requests: usize,
+    coalesced_requests: usize,
+    elapsed_ms: f64,
+    requests_per_s: f64,
+    evaluations: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_ratio: f64,
+}
+
+/// The `--json` report: phase throughputs plus cache/coalescing totals,
+/// written under `results/` so the service-throughput trajectory is
+/// tracked across PRs.
+#[derive(Debug, Serialize)]
+struct ThroughputReport {
+    bench: String,
+    budget: String,
+    quick: bool,
+    base_requests: usize,
+    phases: Vec<PhaseMetrics>,
+    sequential_mixed_s: f64,
+    batched_mixed_s: f64,
+    batched_vs_sequential: f64,
+    cache_entries: usize,
+    lifetime_hit_ratio: f64,
+    coalesced_inflight_lookups: u64,
+}
 
 fn workload(budget: Budget, quick: bool) -> Vec<MappingRequest> {
     let (samples, generations, population) = match budget {
@@ -84,7 +118,7 @@ fn run_phase(
     requests: &[MappingRequest],
     config: &BatchConfig,
     label: &str,
-) -> BatchReport {
+) -> (BatchReport, PhaseMetrics) {
     let report = service.submit_batch_with(requests, config);
     let mut evaluations = 0usize;
     let mut hits = 0u64;
@@ -102,11 +136,12 @@ fn run_phase(
     }
     let elapsed = report.stats.elapsed_ms / 1e3;
     let lookups = hits + misses;
-    let hit_pct = if lookups == 0 {
+    let hit_ratio = if lookups == 0 {
         0.0
     } else {
-        hits as f64 / lookups as f64 * 100.0
+        hits as f64 / lookups as f64
     };
+    let hit_pct = hit_ratio * 100.0;
     println!(
         "{label:<6} {:>4} requests ({:>2} unique, {:>2} coalesced) in {elapsed:>7.2} s  ({:>6.2} req/s, {evaluations:>8} evaluations, {hit_pct:>5.1}% cache hits)",
         report.stats.requests,
@@ -114,7 +149,19 @@ fn run_phase(
         report.stats.coalesced_requests,
         report.stats.requests as f64 / elapsed,
     );
-    report
+    let metrics = PhaseMetrics {
+        phase: label.to_string(),
+        requests: report.stats.requests,
+        unique_requests: report.stats.unique_requests,
+        coalesced_requests: report.stats.coalesced_requests,
+        elapsed_ms: report.stats.elapsed_ms,
+        requests_per_s: report.stats.requests as f64 / elapsed.max(1e-9),
+        evaluations,
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_hit_ratio: hit_ratio,
+    };
+    (report, metrics)
 }
 
 /// Serves `mixed` sequentially and through the concurrent scheduler on two
@@ -123,7 +170,7 @@ fn run_phase(
 fn sequential_vs_batched(
     base: &[MappingRequest],
     mixed: &[MappingRequest],
-) -> (Vec<mnc_runtime::MappingResponse>, BatchReport) {
+) -> (Vec<mnc_runtime::MappingResponse>, BatchReport, f64) {
     let sequential_service = MappingService::new();
     let batched_service = MappingService::new();
     // Warm both caches with the base workload so the comparison measures
@@ -151,7 +198,7 @@ fn sequential_vs_batched(
         report.stats.threads_per_request,
         sequential_s / batched_s.max(1e-9),
     );
-    (sequential, report)
+    (sequential, report, sequential_s)
 }
 
 /// Asserts every batched response is bit-identical to its sequential
@@ -181,7 +228,13 @@ fn assert_bit_identical(sequential: &[mnc_runtime::MappingResponse], report: &Ba
 }
 
 fn main() {
-    let quick = std::env::args().any(|arg| arg == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|arg| arg == "--quick");
+    let json_path = args
+        .iter()
+        .position(|arg| arg == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let budget = if quick {
         Budget::Ci
     } else {
@@ -196,18 +249,23 @@ fn main() {
         if quick { " (quick)" } else { "" },
         requests.len()
     );
+    let mut phases = Vec::new();
     // Cold: every evaluation is fresh.
-    run_phase(&service, &requests, &BatchConfig::default(), "cold");
+    let (_, cold_metrics) = run_phase(&service, &requests, &BatchConfig::default(), "cold");
+    phases.push(cold_metrics);
     // Warm: identical traffic, answered from the evaluation cache.
-    run_phase(&service, &requests, &BatchConfig::default(), "warm");
+    let (_, warm_metrics) = run_phase(&service, &requests, &BatchConfig::default(), "warm");
+    phases.push(warm_metrics);
     // Mixed: repeats + new seeds + in-batch duplicates.
-    let mixed_report = run_phase(&service, &mixed, &BatchConfig::default(), "mixed");
+    let (mixed_report, mixed_metrics) =
+        run_phase(&service, &mixed, &BatchConfig::default(), "mixed");
+    phases.push(mixed_metrics);
     assert!(
         mixed_report.stats.coalesced_requests > 0,
         "mixed workload must exercise the coalescer"
     );
 
-    let (sequential, report) = sequential_vs_batched(&requests, &mixed);
+    let (sequential, report, sequential_s) = sequential_vs_batched(&requests, &mixed);
     if quick {
         assert_bit_identical(&sequential, &report);
         // Recompute the expected grouping independently of the scheduler
@@ -240,4 +298,22 @@ fn main() {
         stats.hit_ratio() * 100.0,
         stats.coalesced,
     );
+
+    if let Some(path) = json_path {
+        let batched_s = report.stats.elapsed_ms / 1e3;
+        let summary = ThroughputReport {
+            bench: "service_throughput".to_string(),
+            budget: format!("{budget:?}").to_lowercase(),
+            quick,
+            base_requests: requests.len(),
+            phases,
+            sequential_mixed_s: sequential_s,
+            batched_mixed_s: batched_s,
+            batched_vs_sequential: sequential_s / batched_s.max(1e-9),
+            cache_entries: stats.entries,
+            lifetime_hit_ratio: stats.hit_ratio(),
+            coalesced_inflight_lookups: stats.coalesced,
+        };
+        mnc_bench::write_json_report(&path, &summary);
+    }
 }

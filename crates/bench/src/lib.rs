@@ -219,6 +219,25 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Serialises `value` as pretty JSON (trailing newline) to an explicit
+/// path, creating parent directories — the writer behind the throughput /
+/// fast-path binaries' `--json <path>` flags. Unlike [`write_json`], the
+/// caller asked for this exact file, so I/O failures panic instead of
+/// degrading to a warning.
+///
+/// # Panics
+///
+/// Panics when the directory cannot be created, the value cannot be
+/// serialised or the file cannot be written.
+pub fn write_json_report<T: Serialize>(path: &str, value: &T) {
+    if let Some(parent) = Path::new(path).parent() {
+        std::fs::create_dir_all(parent).expect("create report directory");
+    }
+    let json = serde_json::to_string_pretty(value).expect("report serializes");
+    std::fs::write(path, json + "\n").expect("write report");
+    println!("json report written to {path}");
+}
+
 /// Formats a ratio as `x.xx×`.
 pub fn format_factor(value: f64) -> String {
     format!("{value:.2}x")

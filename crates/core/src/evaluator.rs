@@ -12,13 +12,17 @@ use crate::config::MappingConfig;
 use crate::error::CoreError;
 use crate::estimator::Estimator;
 use crate::objective::{objective_value, Constraints, ObjectiveWeights};
-use crate::perf::{evaluate_performance, PerformanceBreakdown, StagePerformance};
+use crate::perf::{
+    evaluate_performance, evaluate_performance_tabled, PerformanceBreakdown, StagePerformance,
+};
+use crate::tables::CostTable;
 use mnc_dynamic::{
     AccuracyModel, AccuracyProfile, DynamicAccuracyReport, DynamicNetwork, SyntheticValidationSet,
 };
 use mnc_mpsoc::Platform;
 use mnc_nn::{ImportanceModel, Network};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Everything the evaluator derives from one configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -203,7 +207,15 @@ impl EvaluatorBuilder {
         let validation = self.validation_set.unwrap_or_else(|| {
             SyntheticValidationSet::generate(self.validation_samples, self.validation_seed, 1.0)
         });
-        Ok(Evaluator {
+        // The analytic estimator's per-slice arithmetic is invariant during
+        // a search, so resolve it into a cost table once. The surrogate's
+        // output depends on the continuous slice features and keeps the
+        // dynamic dispatch path.
+        let cost_table = match &self.estimator {
+            Estimator::Analytic => Some(CostTable::build(&self.network, &self.platform)),
+            Estimator::Surrogate(_) => None,
+        };
+        let evaluator = Evaluator {
             network: self.network,
             platform: self.platform,
             accuracy,
@@ -211,7 +223,13 @@ impl EvaluatorBuilder {
             constraints: self.constraints,
             estimator: self.estimator,
             weights: self.weights,
-        })
+            cost_table,
+            fingerprint: OnceLock::new(),
+        };
+        // Pay the serialization pass once at build time; every later
+        // `fingerprint()` call is a load.
+        evaluator.fingerprint();
+        Ok(evaluator)
     }
 }
 
@@ -225,6 +243,11 @@ pub struct Evaluator {
     constraints: Constraints,
     estimator: Estimator,
     weights: ObjectiveWeights,
+    /// Precomputed per-(unit, level, class) coefficients; `None` for the
+    /// surrogate estimator (see [`CostTable`]).
+    cost_table: Option<CostTable>,
+    /// Memoised [`Evaluator::fingerprint`], set at build time.
+    fingerprint: OnceLock<u64>,
 }
 
 impl Evaluator {
@@ -265,19 +288,28 @@ impl Evaluator {
     /// Two evaluators with equal fingerprints produce bit-identical
     /// [`EvaluationResult`]s for the same configuration, so the fingerprint
     /// is a sound cache-key component (see `mnc_runtime`'s evaluation
-    /// cache). Computed once per evaluator, not per evaluation.
+    /// cache). The serialization pass behind it — network, platform and
+    /// the full validation set — runs once, at build time; every later
+    /// call returns the memoised value.
     pub fn fingerprint(&self) -> u64 {
-        let mut hasher = crate::fingerprint::StableHasher::new();
-        hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.network));
-        hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.platform));
-        hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.accuracy));
-        hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.validation));
-        hasher.write_u64(crate::fingerprint::fingerprint_serialized(
-            &self.constraints,
-        ));
-        hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.estimator));
-        hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.weights));
-        hasher.finish()
+        *self.fingerprint.get_or_init(|| {
+            let mut hasher = crate::fingerprint::StableHasher::new();
+            hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.network));
+            hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.platform));
+            hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.accuracy));
+            hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.validation));
+            hasher.write_u64(crate::fingerprint::fingerprint_serialized(
+                &self.constraints,
+            ));
+            hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.estimator));
+            hasher.write_u64(crate::fingerprint::fingerprint_serialized(&self.weights));
+            hasher.finish()
+        })
+    }
+
+    /// The precomputed cost table, when the estimator supports one.
+    pub fn cost_table(&self) -> Option<&CostTable> {
+        self.cost_table.as_ref()
     }
 
     /// Evaluates a configuration end to end.
@@ -295,6 +327,13 @@ impl Evaluator {
     /// Evaluates a configuration whose dynamic transformation has already
     /// been computed (lets callers amortise the transform).
     ///
+    /// `dynamic` must have been transformed from **this evaluator's
+    /// network** — the precomputed cost table classifies layers from it,
+    /// so a dynamic network derived from a different model would be
+    /// silently mispriced (debug builds assert this; release builds, where
+    /// this sits on the hot path, trust the caller the same way the
+    /// stage-count check trusts `config`).
+    ///
     /// # Errors
     ///
     /// Returns an error when the configuration does not match the dynamic
@@ -304,9 +343,38 @@ impl Evaluator {
         dynamic: &DynamicNetwork,
         config: &MappingConfig,
     ) -> Result<EvaluationResult, CoreError> {
-        let perf = evaluate_performance(dynamic, config, &self.platform, &self.estimator)?;
+        debug_assert!(
+            dynamic.network() == &self.network,
+            "dynamic network was transformed from a different model than this evaluator's"
+        );
+        let perf = match &self.cost_table {
+            Some(table) => evaluate_performance_tabled(dynamic, config, &self.platform, table)?,
+            None => evaluate_performance(dynamic, config, &self.platform, &self.estimator)?,
+        };
         let report = self.accuracy.evaluate(dynamic, &self.validation);
         Ok(self.assemble(dynamic, &perf, report))
+    }
+
+    /// Evaluates a configuration through the pre-fast-path pipeline: fresh
+    /// dynamic transformation, per-slice estimator dispatch (no cost
+    /// table) and the naive per-sample accuracy loop.
+    ///
+    /// Retained as the oracle for the fast-path-equivalence property
+    /// tests and the baseline for the `evaluator_fastpath` benchmark; the
+    /// results are bit-identical to [`Evaluator::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Evaluator::evaluate`].
+    pub fn evaluate_reference(
+        &self,
+        config: &MappingConfig,
+    ) -> Result<EvaluationResult, CoreError> {
+        let dynamic =
+            DynamicNetwork::transform(&self.network, &config.partition, &config.indicator)?;
+        let perf = evaluate_performance(&dynamic, config, &self.platform, &self.estimator)?;
+        let report = self.accuracy.evaluate_reference(&dynamic, &self.validation);
+        Ok(self.assemble(&dynamic, &perf, report))
     }
 
     fn assemble(
@@ -317,6 +385,22 @@ impl Evaluator {
     ) -> EvaluationResult {
         let num_stages = perf.num_stages();
         let total_samples: usize = report.exit_counts.iter().sum();
+
+        // Cumulative views in one pass: `latency_with_stages(i + 1)` is a
+        // running max and `energy_with_stages(i + 1)` a running sum, both
+        // left-folded exactly like the `PerformanceBreakdown` methods, so
+        // the former per-stage recomputation (O(stages²)) collapses to
+        // O(stages) with bit-identical values.
+        let mut cumulative_latency = Vec::with_capacity(num_stages);
+        let mut cumulative_energy = Vec::with_capacity(num_stages);
+        let mut worst_case_latency_ms = 0.0f64;
+        let mut full_energy_mj = 0.0f64;
+        for stage in &perf.stages {
+            worst_case_latency_ms = worst_case_latency_ms.max(stage.latency_ms);
+            full_energy_mj += stage.energy_mj;
+            cumulative_latency.push(worst_case_latency_ms);
+            cumulative_energy.push(full_energy_mj);
+        }
 
         // Expected latency/energy over the exit distribution: an input that
         // exits at stage i pays max latency of stages 0..=i and the energy
@@ -329,18 +413,15 @@ impl Evaluator {
                     continue;
                 }
                 let weight = *count as f64 / total_samples as f64;
-                average_latency_ms += weight * perf.latency_with_stages(stage + 1);
-                average_energy_mj += weight * perf.energy_with_stages(stage + 1);
+                average_latency_ms += weight * cumulative_latency[stage];
+                average_energy_mj += weight * cumulative_energy[stage];
             }
         } else {
-            average_latency_ms = perf.makespan_ms();
-            average_energy_mj = perf.total_energy_mj();
+            average_latency_ms = worst_case_latency_ms;
+            average_energy_mj = full_energy_mj;
         }
 
         let stage_latencies: Vec<f64> = perf.stages.iter().map(|s| s.latency_ms).collect();
-        let cumulative_energy: Vec<f64> = (0..num_stages)
-            .map(|i| perf.energy_with_stages(i + 1))
-            .collect();
         let objective = objective_value(
             self.baseline_accuracy(),
             &report,
@@ -351,8 +432,8 @@ impl Evaluator {
 
         let accuracy_drop = (self.baseline_accuracy() - report.overall_accuracy).max(0.0);
         let violations = self.constraints.violations(
-            perf.makespan_ms(),
-            perf.total_energy_mj(),
+            worst_case_latency_ms,
+            full_energy_mj,
             dynamic.fmap_reuse_ratio(),
             accuracy_drop,
             dynamic.stored_feature_bytes(),
@@ -362,8 +443,8 @@ impl Evaluator {
         EvaluationResult {
             average_latency_ms,
             average_energy_mj,
-            worst_case_latency_ms: perf.makespan_ms(),
-            full_energy_mj: perf.total_energy_mj(),
+            worst_case_latency_ms,
+            full_energy_mj,
             accuracy: report.overall_accuracy,
             final_stage_accuracy: report.final_stage_accuracy,
             accuracy_drop,
@@ -477,6 +558,58 @@ mod tests {
         let a = evaluator.evaluate(&config).unwrap();
         let b = evaluator.evaluate_transformed(&dynamic, &config).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_pipeline_bitwise() {
+        let evaluator = evaluator();
+        let config = skewed_config(&evaluator);
+        let fast = evaluator.evaluate(&config).unwrap();
+        let reference = evaluator.evaluate_reference(&config).unwrap();
+        assert_eq!(fast, reference);
+        assert_eq!(fast.objective.to_bits(), reference.objective.to_bits());
+        assert_eq!(
+            fast.average_latency_ms.to_bits(),
+            reference.average_latency_ms.to_bits()
+        );
+        assert_eq!(
+            fast.average_energy_mj.to_bits(),
+            reference.average_energy_mj.to_bits()
+        );
+        assert_eq!(
+            fast.worst_case_latency_ms.to_bits(),
+            reference.worst_case_latency_ms.to_bits()
+        );
+        assert_eq!(
+            fast.full_energy_mj.to_bits(),
+            reference.full_energy_mj.to_bits()
+        );
+    }
+
+    #[test]
+    fn analytic_evaluator_builds_a_cost_table() {
+        let evaluator = evaluator();
+        let table = evaluator.cost_table().expect("analytic builds a table");
+        assert_eq!(table.num_units(), evaluator.platform().num_compute_units());
+        assert_eq!(table.num_layers(), evaluator.network().num_layers());
+    }
+
+    #[test]
+    fn fingerprint_is_memoised_and_stable() {
+        let evaluator = evaluator();
+        let first = evaluator.fingerprint();
+        assert_eq!(first, evaluator.fingerprint());
+        // A clone carries the memoised value and agrees with it.
+        assert_eq!(first, evaluator.clone().fingerprint());
+        // A freshly built identical evaluator recomputes the same value.
+        let rebuilt = EvaluatorBuilder::new(
+            visformer_tiny(ModelPreset::cifar100()),
+            Platform::dual_test(),
+        )
+        .validation_samples(2000)
+        .build()
+        .unwrap();
+        assert_eq!(first, rebuilt.fingerprint());
     }
 
     #[test]

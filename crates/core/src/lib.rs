@@ -53,6 +53,7 @@ pub mod fingerprint;
 pub mod objective;
 pub mod perf;
 pub mod simulator;
+pub mod tables;
 
 pub use baselines::{BaselineKind, BaselineResult};
 pub use config::{DvfsAssignment, Mapping, MappingConfig};
@@ -63,3 +64,4 @@ pub use fingerprint::{fingerprint_serialized, Fingerprint, StableHasher};
 pub use objective::{Constraints, ObjectiveWeights};
 pub use perf::{PerformanceBreakdown, StagePerformance};
 pub use simulator::{ExecutionTrace, SliceEvent};
+pub use tables::CostTable;

@@ -18,7 +18,8 @@
 use crate::config::MappingConfig;
 use crate::error::CoreError;
 use crate::estimator::Estimator;
-use mnc_dynamic::DynamicNetwork;
+use crate::tables::CostTable;
+use mnc_dynamic::{DynamicNetwork, LayerSlice};
 use mnc_mpsoc::{CuId, Platform};
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +99,44 @@ pub fn evaluate_performance(
     platform: &Platform,
     estimator: &Estimator,
 ) -> Result<PerformanceBreakdown, CoreError> {
+    let network = dynamic.network();
+    evaluate_performance_with(dynamic, config, platform, |cu, dvfs_level, slice| {
+        let layer = network.layer(slice.layer)?;
+        estimator.estimate(platform, cu, layer, &slice.cost, dvfs_level)
+    })
+}
+
+/// [`evaluate_performance`] driven by a precomputed [`CostTable`] instead
+/// of per-slice estimator dispatch — the evaluator's fast path for the
+/// analytic estimator. Produces bit-identical results: both paths share
+/// the same recursion and the table reproduces the analytic estimates
+/// exactly (see `crate::tables`).
+///
+/// # Errors
+///
+/// Same failure modes as [`evaluate_performance`].
+pub fn evaluate_performance_tabled(
+    dynamic: &DynamicNetwork,
+    config: &MappingConfig,
+    platform: &Platform,
+    table: &CostTable,
+) -> Result<PerformanceBreakdown, CoreError> {
+    evaluate_performance_with(dynamic, config, platform, |cu, dvfs_level, slice| {
+        table.estimate(cu, dvfs_level, slice.layer, &slice.cost)
+    })
+}
+
+/// The shared concurrent-model recursion, generic over how a slice's
+/// `(latency, energy)` is produced.
+fn evaluate_performance_with<F>(
+    dynamic: &DynamicNetwork,
+    config: &MappingConfig,
+    platform: &Platform,
+    mut estimate: F,
+) -> Result<PerformanceBreakdown, CoreError>
+where
+    F: FnMut(CuId, usize, &LayerSlice) -> Result<(f64, f64), CoreError>,
+{
     let num_stages = dynamic.num_stages();
     if config.num_stages() != num_stages {
         return Err(CoreError::InvalidMapping {
@@ -134,8 +173,7 @@ pub fn evaluate_performance(
         let mut transfer_energy_mj = 0.0;
 
         for (layer_index, slice) in stage.slices.iter().enumerate() {
-            let layer = network.layer(slice.layer)?;
-            let (tau, e) = estimator.estimate(platform, cu, layer, &slice.cost, dvfs_level)?;
+            let (tau, e) = estimate(cu, dvfs_level, slice)?;
             busy_ms += tau;
             energy_mj += e;
 
@@ -251,6 +289,24 @@ mod tests {
         let sequential: f64 = perf.stages.iter().map(|s| s.busy_ms).sum::<f64>()
             + perf.stages.iter().map(|s| s.transfer_ms).sum::<f64>();
         assert!(perf.makespan_ms() < sequential);
+    }
+
+    #[test]
+    fn tabled_performance_matches_estimator_path_bitwise() {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        for reuse in [true, false] {
+            let (dynamic, config, platform) = setup(&net, reuse);
+            let table = CostTable::build(&net, &platform);
+            let reference =
+                evaluate_performance(&dynamic, &config, &platform, &Estimator::Analytic).unwrap();
+            let tabled = evaluate_performance_tabled(&dynamic, &config, &platform, &table).unwrap();
+            assert_eq!(reference, tabled);
+            for (a, b) in reference.stages.iter().zip(&tabled.stages) {
+                assert_eq!(a.latency_ms.to_bits(), b.latency_ms.to_bits());
+                assert_eq!(a.energy_mj.to_bits(), b.energy_mj.to_bits());
+                assert_eq!(a.busy_ms.to_bits(), b.busy_ms.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,8 @@
 use crate::config::MappingConfig;
 use crate::error::CoreError;
 use crate::estimator::Estimator;
-use mnc_dynamic::DynamicNetwork;
+use crate::tables::CostTable;
+use mnc_dynamic::{DynamicNetwork, LayerSlice};
 use mnc_mpsoc::{CuId, Platform};
 use mnc_nn::LayerId;
 use serde::{Deserialize, Serialize};
@@ -68,6 +69,42 @@ impl ExecutionTrace {
         platform: &Platform,
         estimator: &Estimator,
     ) -> Result<Self, CoreError> {
+        let network = dynamic.network();
+        Self::simulate_with(dynamic, config, platform, |cu, dvfs_level, slice| {
+            let layer = network.layer(slice.layer)?;
+            estimator.estimate(platform, cu, layer, &slice.cost, dvfs_level)
+        })
+    }
+
+    /// [`ExecutionTrace::simulate`] driven by a precomputed [`CostTable`]
+    /// instead of per-slice estimator dispatch; bit-identical for the
+    /// analytic estimator (the table reproduces its estimates exactly).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ExecutionTrace::simulate`].
+    pub fn simulate_tabled(
+        dynamic: &DynamicNetwork,
+        config: &MappingConfig,
+        platform: &Platform,
+        table: &CostTable,
+    ) -> Result<Self, CoreError> {
+        Self::simulate_with(dynamic, config, platform, |cu, dvfs_level, slice| {
+            table.estimate(cu, dvfs_level, slice.layer, &slice.cost)
+        })
+    }
+
+    /// The shared slice-by-slice replay, generic over how a slice's
+    /// `(latency, energy)` is produced.
+    fn simulate_with<F>(
+        dynamic: &DynamicNetwork,
+        config: &MappingConfig,
+        platform: &Platform,
+        mut estimate: F,
+    ) -> Result<Self, CoreError>
+    where
+        F: FnMut(CuId, usize, &LayerSlice) -> Result<(f64, f64), CoreError>,
+    {
         let num_stages = dynamic.num_stages();
         if config.num_stages() != num_stages {
             return Err(CoreError::InvalidMapping {
@@ -103,8 +140,7 @@ impl ExecutionTrace {
                 .expect("stage count checked above");
 
             for (layer_index, slice) in stage.slices.iter().enumerate() {
-                let layer = network.layer(slice.layer)?;
-                let (tau, _) = estimator.estimate(platform, cu, layer, &slice.cost, dvfs_level)?;
+                let (tau, _) = estimate(cu, dvfs_level, slice)?;
 
                 // The slice is ready once forwarded features have arrived.
                 let mut ready_ms = 0.0f64;
@@ -219,6 +255,20 @@ mod tests {
             );
         }
         assert!((trace.makespan_ms() - perf.makespan_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tabled_simulation_matches_estimator_path() {
+        let (dynamic, config, platform) = setup();
+        let table = CostTable::build(dynamic.network(), &platform);
+        let reference =
+            ExecutionTrace::simulate(&dynamic, &config, &platform, &Estimator::Analytic).unwrap();
+        let tabled = ExecutionTrace::simulate_tabled(&dynamic, &config, &platform, &table).unwrap();
+        assert_eq!(reference, tabled);
+        for (a, b) in reference.events().iter().zip(tabled.events()) {
+            assert_eq!(a.start_ms.to_bits(), b.start_ms.to_bits());
+            assert_eq!(a.end_ms.to_bits(), b.end_ms.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Precomputed cost tables for the evaluation fast path.
+//!
+//! [`Estimator::estimate`](crate::Estimator::estimate) pays, per layer
+//! slice, a compute-unit lookup, a DVFS-table lookup, a workload
+//! classification and the full roofline/power arithmetic. All of that is
+//! invariant during a search — the platform, the DVFS tables and the layer
+//! kinds never change — so [`CostTable::build`] resolves it once per
+//! evaluator:
+//!
+//! * per (compute unit, DVFS level, workload class): the
+//!   [`ExecutionCoefficients`] the unit would derive on every call,
+//! * per layer: its [`WorkloadClass`].
+//!
+//! [`CostTable::estimate`] is then two bounds checks, two array reads, two
+//! divisions, a max and a multiply. Because `ComputeUnit::execute` is
+//! itself defined in terms of `execution_coefficients(..).execute(..)`,
+//! the table reproduces the analytic estimator **bit for bit** (covered by
+//! the `fast_path` property tests).
+//!
+//! The table only models [`Estimator::Analytic`]. The surrogate estimator
+//! runs a gradient-boosted predictor whose output depends on the
+//! continuous slice features, so it cannot be folded into per-level
+//! coefficients; surrogate evaluators keep the dynamic dispatch path.
+
+use crate::error::CoreError;
+use mnc_mpsoc::{CuId, ExecutionCoefficients, Platform, WorkloadClass};
+use mnc_nn::{LayerId, Network, SliceCost};
+
+/// Per-unit slice of the table: one coefficient row per DVFS level, one
+/// entry per workload class (indexed by [`WorkloadClass::index`]).
+#[derive(Debug, Clone)]
+struct UnitTable {
+    levels: Vec<[ExecutionCoefficients; WorkloadClass::ALL.len()]>,
+}
+
+/// Precomputed per-(compute unit, DVFS level, workload class) execution
+/// coefficients plus per-layer workload classes for one
+/// (network, platform) pair.
+#[derive(Debug, Clone)]
+pub struct CostTable {
+    units: Vec<UnitTable>,
+    layer_classes: Vec<WorkloadClass>,
+}
+
+impl CostTable {
+    /// Resolves every (compute unit, DVFS level, workload class)
+    /// combination of `platform` and classifies every layer of `network`.
+    pub fn build(network: &Network, platform: &Platform) -> Self {
+        let units = platform
+            .compute_units()
+            .iter()
+            .map(|unit| {
+                let levels = (0..unit.dvfs().num_levels())
+                    .map(|level| {
+                        let point = unit
+                            .dvfs()
+                            .point(level)
+                            .expect("level enumerated from the table");
+                        WorkloadClass::ALL.map(|class| unit.execution_coefficients(class, point))
+                    })
+                    .collect();
+                UnitTable { levels }
+            })
+            .collect();
+        let layer_classes = network
+            .layers()
+            .iter()
+            .map(WorkloadClass::from_layer)
+            .collect();
+        CostTable {
+            units,
+            layer_classes,
+        }
+    }
+
+    /// Estimates `(latency_ms, energy_mj)` of running `cost` (a slice of
+    /// layer `layer`) on compute unit `cu` at DVFS level `dvfs_level` —
+    /// the table-driven equivalent of the analytic
+    /// [`Estimator::estimate`](crate::Estimator::estimate).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for compute units, DVFS levels or layers outside
+    /// the table (the cases where the estimator path would fail too).
+    pub fn estimate(
+        &self,
+        cu: CuId,
+        dvfs_level: usize,
+        layer: LayerId,
+        cost: &SliceCost,
+    ) -> Result<(f64, f64), CoreError> {
+        let unit = self
+            .units
+            .get(cu.0)
+            .ok_or_else(|| CoreError::InvalidMapping {
+                reason: format!("unknown compute unit {cu} (table has {})", self.units.len()),
+            })?;
+        let coefficients = unit
+            .levels
+            .get(dvfs_level)
+            .ok_or_else(|| CoreError::InvalidDvfs {
+                reason: format!(
+                    "dvfs level {dvfs_level} out of range for {cu} ({} levels)",
+                    unit.levels.len()
+                ),
+            })?;
+        let class = self
+            .layer_classes
+            .get(layer.0)
+            .ok_or_else(|| CoreError::InvalidMapping {
+                reason: format!(
+                    "layer {layer} outside the cost table ({} layers)",
+                    self.layer_classes.len()
+                ),
+            })?;
+        Ok(coefficients[class.index()].latency_energy(cost))
+    }
+
+    /// Number of compute units covered.
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Number of layers classified.
+    pub fn num_layers(&self) -> usize {
+        self.layer_classes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::Estimator;
+    use mnc_nn::models::{tiny_cnn, visformer_tiny, ModelPreset};
+
+    #[test]
+    fn table_matches_analytic_estimator_bit_for_bit() {
+        for network in [
+            tiny_cnn(ModelPreset::cifar10()),
+            visformer_tiny(ModelPreset::cifar100()),
+        ] {
+            for platform in [Platform::dual_test(), Platform::agx_xavier()] {
+                let table = CostTable::build(&network, &platform);
+                assert_eq!(table.num_units(), platform.num_compute_units());
+                assert_eq!(table.num_layers(), network.num_layers());
+                for (id, layer) in network.iter() {
+                    let cost = layer
+                        .full_cost(&network.input_shape_of(id).unwrap())
+                        .unwrap();
+                    for cu in 0..platform.num_compute_units() {
+                        let unit = platform.compute_unit(CuId(cu)).unwrap();
+                        for level in 0..unit.dvfs().num_levels() {
+                            let (lat_t, e_t) = table.estimate(CuId(cu), level, id, &cost).unwrap();
+                            let (lat_a, e_a) = Estimator::Analytic
+                                .estimate(&platform, CuId(cu), layer, &cost, level)
+                                .unwrap();
+                            assert_eq!(lat_t.to_bits(), lat_a.to_bits());
+                            assert_eq!(e_t.to_bits(), e_a.to_bits());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_targets_are_rejected() {
+        let network = tiny_cnn(ModelPreset::cifar10());
+        let platform = Platform::dual_test();
+        let table = CostTable::build(&network, &platform);
+        let cost = SliceCost::zero();
+        assert!(table.estimate(CuId(99), 0, LayerId(0), &cost).is_err());
+        assert!(table.estimate(CuId(0), 99, LayerId(0), &cost).is_err());
+        assert!(table
+            .estimate(CuId(0), 0, LayerId(network.num_layers()), &cost)
+            .is_err());
+        assert!(table.estimate(CuId(0), 0, LayerId(0), &cost).is_ok());
+    }
+}

@@ -1,0 +1,217 @@
+//! Fast-path ↔ reference equivalence property tests.
+//!
+//! The evaluation fast path (closed-form accuracy over the
+//! sorted-difficulty index, precomputed cost tables, prefix-scan
+//! assembly) promises **bit-identical** results to the retained reference
+//! implementations. These properties drive random partitions, indicators,
+//! mappings and DVFS assignments across two model presets and two
+//! platforms through both pipelines and compare every float by bit
+//! pattern:
+//!
+//! * `prop_accuracy_fast_path_equals_reference` —
+//!   [`AccuracyModel::evaluate`] vs [`AccuracyModel::evaluate_reference`],
+//! * `prop_tabled_performance_equals_estimator_path` —
+//!   [`evaluate_performance_tabled`] vs [`evaluate_performance`] (and the
+//!   tabled simulator against the closed-form recursion),
+//! * `prop_evaluator_fast_path_equals_reference_pipeline` — the whole
+//!   [`Evaluator::evaluate`] vs [`Evaluator::evaluate_reference`].
+
+use mnc_core::perf::{evaluate_performance, evaluate_performance_tabled};
+use mnc_core::{
+    CostTable, DvfsAssignment, Evaluator, EvaluatorBuilder, ExecutionTrace, Mapping, MappingConfig,
+};
+use mnc_dynamic::{
+    AccuracyModel, AccuracyProfile, DynamicNetwork, IndicatorMatrix, PartitionMatrix,
+    SyntheticValidationSet,
+};
+use mnc_mpsoc::{CuId, Platform};
+use mnc_nn::models::{tiny_cnn, visformer_tiny, ModelPreset};
+use mnc_nn::{ImportanceModel, Network};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// The model × platform grid the properties sweep (two presets, two
+/// platforms — `dual_test` is 2 homogeneous-ish units, `agx_xavier` is the
+/// paper's heterogeneous GPU + DLA target).
+fn scenario(index: usize) -> (Network, Platform) {
+    let network = match index % 2 {
+        0 => tiny_cnn(ModelPreset::cifar10()),
+        _ => visformer_tiny(ModelPreset::cifar100()),
+    };
+    let platform = match (index / 2) % 2 {
+        0 => Platform::dual_test(),
+        _ => Platform::agx_xavier(),
+    };
+    (network, platform)
+}
+
+/// A uniformly random valid configuration: random 8-slot splits per
+/// partitionable layer, random forwarding bits, a random compute-unit
+/// permutation and random per-stage DVFS levels — the same candidate
+/// space `mnc_optim::Genome::random` spans.
+fn random_config(network: &Network, platform: &Platform, rng: &mut StdRng) -> MappingConfig {
+    let stages = platform.num_compute_units();
+
+    let uniform_row = vec![1.0 / stages as f64; stages];
+    let mut rows = vec![uniform_row; network.num_layers()];
+    for layer in network.partitionable_layers() {
+        let mut slots = vec![0u32; stages];
+        for _ in 0..8 {
+            slots[rng.random_range(0..stages)] += 1;
+        }
+        rows[layer.0] = slots.iter().map(|s| f64::from(*s) / 8.0).collect();
+    }
+    let partition = PartitionMatrix::from_rows(network, rows).expect("random split is valid");
+
+    let density = rng.random::<f64>();
+    let indicator_rows: Vec<Vec<bool>> = (0..network.num_layers())
+        .map(|_| {
+            (0..stages)
+                .map(|stage| stage + 1 < stages && rng.random::<f64>() < density)
+                .collect()
+        })
+        .collect();
+    let indicator =
+        IndicatorMatrix::from_rows(network, indicator_rows).expect("random indicator is valid");
+
+    let mut cus: Vec<usize> = (0..stages).collect();
+    cus.shuffle(rng);
+    let mapping =
+        Mapping::new(cus.iter().map(|&i| CuId(i)).collect(), platform).expect("permutation");
+    let levels: Vec<usize> = cus
+        .iter()
+        .map(|&cu| {
+            let table = platform.compute_unit(CuId(cu)).expect("cu in range").dvfs();
+            rng.random_range(0..table.num_levels())
+        })
+        .collect();
+    let dvfs = DvfsAssignment::new(levels, &mapping, platform).expect("levels in range");
+    MappingConfig::new(partition, indicator, mapping, dvfs).expect("config is consistent")
+}
+
+fn assert_bits_eq(label: &str, fast: &[f64], reference: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(fast.len(), reference.len());
+    for (index, (a, b)) in fast.iter().zip(reference).enumerate() {
+        prop_assert!(
+            a.to_bits() == b.to_bits(),
+            "{label}[{index}]: fast {a} != reference {b}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+    #[test]
+    fn prop_accuracy_fast_path_equals_reference(
+        seed in 0u64..1_000_000,
+        scenario_index in 0usize..4,
+        skew in 0.5f64..2.0,
+    ) {
+        let (network, platform) = scenario(scenario_index);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = random_config(&network, &platform, &mut rng);
+        let dynamic = DynamicNetwork::transform(&network, &config.partition, &config.indicator)
+            .expect("transform succeeds");
+
+        let profile = if scenario_index % 2 == 0 {
+            AccuracyProfile::vgg19_cifar100()
+        } else {
+            AccuracyProfile::visformer_cifar100()
+        };
+        let model = AccuracyModel::new(
+            profile,
+            ImportanceModel::synthetic(&network, seed ^ 0xabcd, 1.5),
+        )
+        .expect("profile is valid");
+        let dataset = SyntheticValidationSet::generate(1500, seed.wrapping_add(7), skew);
+
+        let fast = model.evaluate(&dynamic, &dataset);
+        let reference = model.evaluate_reference(&dynamic, &dataset);
+        prop_assert_eq!(&fast, &reference);
+        assert_bits_eq("stage_capacity", &fast.stage_capacity, &reference.stage_capacity)?;
+        assert_bits_eq("stage_accuracy", &fast.stage_accuracy, &reference.stage_accuracy)?;
+        prop_assert_eq!(fast.exit_counts, reference.exit_counts);
+        prop_assert_eq!(fast.newly_correct, reference.newly_correct);
+        prop_assert!(fast.overall_accuracy.to_bits() == reference.overall_accuracy.to_bits());
+        prop_assert!(
+            fast.average_stages_executed.to_bits()
+                == reference.average_stages_executed.to_bits()
+        );
+    }
+
+    #[test]
+    fn prop_tabled_performance_equals_estimator_path(
+        seed in 0u64..1_000_000,
+        scenario_index in 0usize..4,
+    ) {
+        let (network, platform) = scenario(scenario_index);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = random_config(&network, &platform, &mut rng);
+        let dynamic = DynamicNetwork::transform(&network, &config.partition, &config.indicator)
+            .expect("transform succeeds");
+        let table = CostTable::build(&network, &platform);
+
+        let reference =
+            evaluate_performance(&dynamic, &config, &platform, &mnc_core::Estimator::Analytic)
+                .expect("estimator path succeeds");
+        let tabled = evaluate_performance_tabled(&dynamic, &config, &platform, &table)
+            .expect("tabled path succeeds");
+        prop_assert_eq!(&reference, &tabled);
+        for (a, b) in reference.stages.iter().zip(&tabled.stages) {
+            prop_assert!(a.latency_ms.to_bits() == b.latency_ms.to_bits());
+            prop_assert!(a.busy_ms.to_bits() == b.busy_ms.to_bits());
+            prop_assert!(a.energy_mj.to_bits() == b.energy_mj.to_bits());
+            prop_assert!(a.transfer_ms.to_bits() == b.transfer_ms.to_bits());
+            prop_assert!(a.transfer_energy_mj.to_bits() == b.transfer_energy_mj.to_bits());
+        }
+
+        let trace_reference = ExecutionTrace::simulate(
+            &dynamic,
+            &config,
+            &platform,
+            &mnc_core::Estimator::Analytic,
+        )
+        .expect("simulate succeeds");
+        let trace_tabled = ExecutionTrace::simulate_tabled(&dynamic, &config, &platform, &table)
+            .expect("tabled simulate succeeds");
+        prop_assert_eq!(trace_reference, trace_tabled);
+    }
+
+    #[test]
+    fn prop_evaluator_fast_path_equals_reference_pipeline(
+        seed in 0u64..1_000_000,
+        scenario_index in 0usize..4,
+    ) {
+        let (network, platform) = scenario(scenario_index);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        let config = random_config(&network, &platform, &mut rng);
+        let evaluator: Evaluator = EvaluatorBuilder::new(network, platform)
+            .validation_samples(1000)
+            .validation_seed(seed)
+            .build()
+            .expect("evaluator builds");
+
+        let fast = evaluator.evaluate(&config).expect("fast path succeeds");
+        let reference = evaluator
+            .evaluate_reference(&config)
+            .expect("reference path succeeds");
+        prop_assert_eq!(&fast, &reference);
+        prop_assert!(fast.objective.to_bits() == reference.objective.to_bits());
+        prop_assert!(
+            fast.average_latency_ms.to_bits() == reference.average_latency_ms.to_bits()
+        );
+        prop_assert!(
+            fast.average_energy_mj.to_bits() == reference.average_energy_mj.to_bits()
+        );
+        prop_assert!(
+            fast.worst_case_latency_ms.to_bits() == reference.worst_case_latency_ms.to_bits()
+        );
+        prop_assert!(fast.full_energy_mj.to_bits() == reference.full_energy_mj.to_bits());
+        prop_assert!(fast.accuracy.to_bits() == reference.accuracy.to_bits());
+        prop_assert_eq!(fast.exit_counts, reference.exit_counts);
+    }
+}

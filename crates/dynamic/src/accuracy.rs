@@ -20,8 +20,9 @@
 use crate::dataset::SyntheticValidationSet;
 use crate::error::DynamicError;
 use crate::transform::DynamicNetwork;
-use mnc_nn::{ImportanceModel, LayerId};
+use mnc_nn::{ChannelRanking, ImportanceModel, LayerId};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Accuracy-model parameters for one architecture/dataset pair.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -137,10 +138,46 @@ impl DynamicAccuracyReport {
 
 /// Accuracy model binding an [`AccuracyProfile`] to a channel-importance
 /// model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Carries a lazily-built table of per-layer [`ChannelRanking`]s: building
+/// a ranking sorts the layer's scores, and the importance model is fixed
+/// for the model's lifetime, so the sorts are paid once instead of on
+/// every `mass_of_top_fraction` call. The table is derived state and is
+/// excluded from equality and serialization (the hand-written impls below
+/// mirror what `#[derive]` produced before the field existed).
+#[derive(Debug, Clone)]
 pub struct AccuracyModel {
     profile: AccuracyProfile,
     importance: ImportanceModel,
+    rankings: OnceLock<Vec<Option<ChannelRanking>>>,
+}
+
+impl PartialEq for AccuracyModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.profile == other.profile && self.importance == other.importance
+    }
+}
+
+impl Serialize for AccuracyModel {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("profile".to_string(), Serialize::to_value(&self.profile)),
+            (
+                "importance".to_string(),
+                Serialize::to_value(&self.importance),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for AccuracyModel {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(AccuracyModel {
+            profile: Deserialize::from_value(serde::value::field(value, "profile")?)?,
+            importance: Deserialize::from_value(serde::value::field(value, "importance")?)?,
+            rankings: OnceLock::new(),
+        })
+    }
 }
 
 impl AccuracyModel {
@@ -157,7 +194,49 @@ impl AccuracyModel {
         Ok(AccuracyModel {
             profile,
             importance,
+            rankings: OnceLock::new(),
         })
+    }
+
+    /// The cached per-layer rankings, sorted on first use.
+    fn cached_rankings(&self) -> &[Option<ChannelRanking>] {
+        self.rankings.get_or_init(|| self.importance.rankings())
+    }
+
+    /// Mass of the top `fraction` of `layer`'s channels, read from the
+    /// cached rankings. Matches [`ImportanceModel::mass_of_top_fraction`]
+    /// exactly: rankings are a pure function of the (fixed) scores.
+    fn cached_mass(&self, layer: LayerId, fraction: f64) -> f64 {
+        match self.cached_rankings().get(layer.0).and_then(Option::as_ref) {
+            Some(ranking) => ranking.mass_of_top_fraction(fraction),
+            None => fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Per-(layer, stage) slice masses: the importance mass of the rank
+    /// interval stage `k` owns in `layer`, memoised so the capacity
+    /// computation stops recomputing it per (stage, earlier-stage) pair.
+    /// Each entry is built with the same expression `visible_mass` uses,
+    /// so reading the table is bit-identical to recomputing.
+    fn slice_mass_table(&self, dynamic: &DynamicNetwork, layers: &[LayerId]) -> Vec<Vec<f64>> {
+        let partition = dynamic.partition();
+        let num_stages = dynamic.num_stages();
+        layers
+            .iter()
+            .map(|layer| {
+                (0..num_stages)
+                    .map(|k| {
+                        let upper = partition.cumulative_fraction(*layer, k);
+                        let lower = if k == 0 {
+                            0.0
+                        } else {
+                            partition.cumulative_fraction(*layer, k - 1)
+                        };
+                        self.cached_mass(*layer, upper) - self.cached_mass(*layer, lower)
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// The profile in use.
@@ -232,7 +311,141 @@ impl AccuracyModel {
     /// Evaluates the dynamic network on a synthetic validation set,
     /// producing the exit histogram and accuracy figures the evaluator and
     /// the search objective consume.
+    ///
+    /// This is the closed-form fast path: capacities come from the
+    /// memoised slice-mass table and the exit histogram from O(stages ·
+    /// log n) binary searches over the dataset's sorted-difficulty index
+    /// instead of a loop over every sample. The counts it produces are
+    /// **bit-identical** to [`AccuracyModel::evaluate_reference`] (the
+    /// retained naive loop, property-tested in `mnc_core`'s `fast_path`
+    /// suite): every count is an order-independent integer defined by the
+    /// same `d <= x` comparisons, namely
+    ///
+    /// * a sample exits within the first `i+1` stages iff its difficulty
+    ///   is ≤ the running max of the exit thresholds `t_0..=t_i`,
+    /// * every early exit is correct (`t_i = A_i · confidence ≤ A_i`), and
+    ///   a last-stage sample is correct iff its difficulty is ≤ the final
+    ///   stage accuracy,
+    /// * a sample is first classifiable at stage `i` iff its difficulty is
+    ///   ≤ the running max of `A_0..=A_i` but not of `A_0..=A_{i-1}`.
     pub fn evaluate(
+        &self,
+        dynamic: &DynamicNetwork,
+        dataset: &SyntheticValidationSet,
+    ) -> DynamicAccuracyReport {
+        let num_stages = dynamic.num_stages();
+        let network = dynamic.network();
+        let indicator = dynamic.indicator();
+        let layers = network.partitionable_layers();
+
+        // Capacities from the memoised slice-mass table: same loop order
+        // and arithmetic as `stage_capacity`/`visible_mass`, with the mass
+        // differences computed once per (layer, stage) instead of once per
+        // (layer, stage, earlier-stage) triple.
+        let stage_capacity: Vec<f64> = if layers.is_empty() {
+            vec![1.0; num_stages]
+        } else {
+            let masses = self.slice_mass_table(dynamic, &layers);
+            (0..num_stages)
+                .map(|stage| {
+                    let mut total = 0.0;
+                    for (row, layer) in masses.iter().zip(&layers) {
+                        let mut visible = row[stage];
+                        for (earlier, slice) in row.iter().enumerate().take(stage) {
+                            if indicator.is_forwarded(*layer, earlier) {
+                                visible += slice;
+                            }
+                        }
+                        total += visible.clamp(0.0, 1.0);
+                    }
+                    (total / layers.len() as f64).clamp(0.0, 1.0)
+                })
+                .collect()
+        };
+        let stage_accuracy: Vec<f64> = stage_capacity
+            .iter()
+            .map(|c| self.profile.max_accuracy * self.quality(*c))
+            .collect();
+        let exit_threshold: Vec<f64> = stage_accuracy
+            .iter()
+            .map(|a| a * self.profile.exit_confidence)
+            .collect();
+
+        let num_samples = dataset.len();
+        let index = dataset.difficulty_index();
+        let mut exit_counts = vec![0usize; num_stages];
+        let mut newly_correct = vec![0usize; num_stages];
+
+        // Exit histogram. `caught` = samples that exit within the stages
+        // processed so far = count(d ≤ running max threshold); the last
+        // stage absorbs everything that remains (caught or not).
+        let mut caught = 0usize;
+        let mut running_threshold = f64::NEG_INFINITY;
+        for (stage, threshold) in exit_threshold
+            .iter()
+            .enumerate()
+            .take(num_stages.saturating_sub(1))
+        {
+            running_threshold = running_threshold.max(*threshold);
+            let cumulative = index.count_at_most(running_threshold);
+            exit_counts[stage] = cumulative - caught;
+            caught = cumulative;
+        }
+        exit_counts[num_stages - 1] = num_samples - caught;
+
+        let stages_executed_total: usize = exit_counts
+            .iter()
+            .enumerate()
+            .map(|(stage, count)| (stage + 1) * count)
+            .sum();
+
+        // Early exits are always correct: the exit threshold is the stage
+        // accuracy scaled by a confidence in (0, 1], and IEEE
+        // multiplication by a factor ≤ 1 never rounds a non-negative
+        // product above the multiplicand, so `d ≤ t_i` implies
+        // `d ≤ A_i`. Last-stage samples are correct iff `d ≤ A_last` and
+        // they were not caught earlier — so the total is whichever of the
+        // two prefixes (caught early, or within the final accuracy)
+        // reaches further.
+        let final_capable = index.count_at_most(stage_accuracy[num_stages - 1]);
+        let correct = caught.max(final_capable);
+
+        // The paper's N_i: first stage whose standalone accuracy reaches
+        // the sample, via the running max of the accuracies.
+        let mut capable = 0usize;
+        let mut running_accuracy = f64::NEG_INFINITY;
+        for (stage, accuracy) in stage_accuracy.iter().enumerate() {
+            running_accuracy = running_accuracy.max(*accuracy);
+            let cumulative = index.count_at_most(running_accuracy);
+            newly_correct[stage] = cumulative - capable;
+            capable = cumulative;
+        }
+
+        DynamicAccuracyReport {
+            final_stage_accuracy: stage_accuracy.last().copied().unwrap_or(0.0),
+            overall_accuracy: if num_samples == 0 {
+                0.0
+            } else {
+                correct as f64 / num_samples as f64
+            },
+            average_stages_executed: if num_samples == 0 {
+                0.0
+            } else {
+                stages_executed_total as f64 / num_samples as f64
+            },
+            stage_accuracy,
+            stage_capacity,
+            exit_counts,
+            newly_correct,
+            num_samples,
+        }
+    }
+
+    /// The naive per-sample evaluation loop — the pre-fast-path
+    /// implementation, retained as the oracle for the
+    /// fast-path-equivalence property tests. Do not use in hot paths:
+    /// it is O(samples × stages) and re-sorts channel rankings.
+    pub fn evaluate_reference(
         &self,
         dynamic: &DynamicNetwork,
         dataset: &SyntheticValidationSet,
@@ -443,6 +656,54 @@ mod tests {
         assert_eq!(report.overall_accuracy, 0.0);
         assert_eq!(report.num_samples, 0);
         assert_eq!(report.early_exit_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_loop() {
+        let net = visformer(ModelPreset::cifar100());
+        let model = visformer_model(&net);
+        let dataset = SyntheticValidationSet::cifar100_like(17);
+        for reuse in [true, false] {
+            let dynamic = dynamic_with_reuse(&net, reuse);
+            let fast = model.evaluate(&dynamic, &dataset);
+            let reference = model.evaluate_reference(&dynamic, &dataset);
+            assert_eq!(fast, reference);
+            // PartialEq would accept -0.0 == 0.0; the fast path promises
+            // bit identity.
+            assert_eq!(
+                fast.overall_accuracy.to_bits(),
+                reference.overall_accuracy.to_bits()
+            );
+            assert_eq!(
+                fast.average_stages_executed.to_bits(),
+                reference.average_stages_executed.to_bits()
+            );
+            for (a, b) in fast.stage_capacity.iter().zip(&reference.stage_capacity) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in fast.stage_accuracy.iter().zip(&reference.stage_accuracy) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_handles_single_stage_and_empty_dataset() {
+        let net = visformer_tiny(ModelPreset::cifar100());
+        let partition = PartitionMatrix::uniform(&net, 1).unwrap();
+        let indicator = IndicatorMatrix::full(&net, 1);
+        let dynamic = DynamicNetwork::transform(&net, &partition, &indicator).unwrap();
+        let model = visformer_model(&net);
+        let dataset = SyntheticValidationSet::generate(500, 3, 1.0);
+        assert_eq!(
+            model.evaluate(&dynamic, &dataset),
+            model.evaluate_reference(&dynamic, &dataset)
+        );
+        let empty = SyntheticValidationSet::generate(0, 3, 1.0);
+        assert_eq!(
+            model.evaluate(&dynamic, &empty),
+            model.evaluate_reference(&dynamic, &empty)
+        );
     }
 
     #[test]

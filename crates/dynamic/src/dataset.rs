@@ -12,6 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// One synthetic validation sample.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -21,10 +22,78 @@ pub struct SyntheticSample {
     pub difficulty: f64,
 }
 
+/// Sorted view of a validation set's difficulties, answering
+/// "how many samples have difficulty ≤ x" in O(log n).
+///
+/// Counting with the index is *exactly* equivalent to looping over the
+/// samples: both apply the same `d <= x` comparison to the same `f64`
+/// values, and a count of matching samples is order-independent — so the
+/// closed-form accuracy evaluation built on top of this index (see
+/// [`crate::AccuracyModel::evaluate`]) reproduces the naive per-sample
+/// loop bit for bit.
+#[derive(Debug, Clone)]
+pub struct DifficultyIndex {
+    sorted: Vec<f64>,
+}
+
+impl DifficultyIndex {
+    fn build(samples: &[SyntheticSample]) -> Self {
+        let mut sorted: Vec<f64> = samples.iter().map(|s| s.difficulty).collect();
+        sorted.sort_unstable_by(f64::total_cmp);
+        DifficultyIndex { sorted }
+    }
+
+    /// Number of samples with `difficulty <= threshold`.
+    pub fn count_at_most(&self, threshold: f64) -> usize {
+        self.sorted.partition_point(|d| *d <= threshold)
+    }
+
+    /// Number of samples indexed.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
 /// A seeded collection of synthetic validation samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Carries a lazily-built [`DifficultyIndex`] for the evaluator's
+/// closed-form accuracy fast path. The index is derived state: it is
+/// excluded from equality, serialization and fingerprints (the hand-written
+/// impls below mirror what `#[derive]` produced before the field existed),
+/// and a deserialized or freshly generated set rebuilds it on first use.
+#[derive(Debug, Clone)]
 pub struct SyntheticValidationSet {
     samples: Vec<SyntheticSample>,
+    index: OnceLock<DifficultyIndex>,
+}
+
+impl PartialEq for SyntheticValidationSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples == other.samples
+    }
+}
+
+impl Serialize for SyntheticValidationSet {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![(
+            "samples".to_string(),
+            Serialize::to_value(&self.samples),
+        )])
+    }
+}
+
+impl Deserialize for SyntheticValidationSet {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(SyntheticValidationSet {
+            samples: Deserialize::from_value(serde::value::field(value, "samples")?)?,
+            index: OnceLock::new(),
+        })
+    }
 }
 
 impl SyntheticValidationSet {
@@ -47,7 +116,10 @@ impl SyntheticValidationSet {
                 difficulty: rng.random::<f64>().powf(skew),
             })
             .collect();
-        SyntheticValidationSet { samples }
+        SyntheticValidationSet {
+            samples,
+            index: OnceLock::new(),
+        }
     }
 
     /// A CIFAR-100-validation-sized set (10 000 samples) with uniform
@@ -59,6 +131,13 @@ impl SyntheticValidationSet {
     /// The samples.
     pub fn samples(&self) -> &[SyntheticSample] {
         &self.samples
+    }
+
+    /// The sorted-difficulty index, built on first use and shared by every
+    /// subsequent evaluation of this set.
+    pub fn difficulty_index(&self) -> &DifficultyIndex {
+        self.index
+            .get_or_init(|| DifficultyIndex::build(&self.samples))
     }
 
     /// Number of samples.
@@ -116,6 +195,41 @@ mod tests {
         let c = SyntheticValidationSet::generate(100, 10, 1.0);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn index_counts_match_naive_loop() {
+        let set = SyntheticValidationSet::generate(777, 4, 1.3);
+        let index = set.difficulty_index();
+        assert_eq!(index.len(), set.len());
+        for threshold in [-0.5, 0.0, 0.1, 0.25, 0.5, 0.9, 1.0, 1.5] {
+            let naive = set
+                .samples()
+                .iter()
+                .filter(|s| s.difficulty <= threshold)
+                .count();
+            assert_eq!(index.count_at_most(threshold), naive, "at {threshold}");
+        }
+        // Exact sample values must count themselves (the `<=` boundary).
+        let d = set.samples()[13].difficulty;
+        let naive = set.samples().iter().filter(|s| s.difficulty <= d).count();
+        assert_eq!(index.count_at_most(d), naive);
+    }
+
+    #[test]
+    fn index_is_derived_state_only() {
+        let warm = SyntheticValidationSet::generate(50, 2, 1.0);
+        warm.difficulty_index();
+        let cold = SyntheticValidationSet::generate(50, 2, 1.0);
+        // Building the index changes neither equality nor serialization.
+        assert_eq!(warm, cold);
+        let warm_json = serde_json::to_string(&warm).unwrap();
+        let cold_json = serde_json::to_string(&cold).unwrap();
+        assert_eq!(warm_json, cold_json);
+        let back: SyntheticValidationSet = serde_json::from_str(&warm_json).unwrap();
+        assert_eq!(back, warm);
+        assert_eq!(back.difficulty_index().len(), 50);
+        assert!(!back.difficulty_index().is_empty());
     }
 
     #[test]

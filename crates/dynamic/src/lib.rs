@@ -45,7 +45,7 @@ pub mod partition;
 pub mod transform;
 
 pub use accuracy::{AccuracyModel, AccuracyProfile, DynamicAccuracyReport};
-pub use dataset::{SyntheticSample, SyntheticValidationSet};
+pub use dataset::{DifficultyIndex, SyntheticSample, SyntheticValidationSet};
 pub use error::DynamicError;
 pub use indicator::IndicatorMatrix;
 pub use partition::{PartitionMatrix, RATIO_QUANTUM};

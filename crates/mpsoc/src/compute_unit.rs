@@ -89,6 +89,55 @@ impl ExecutionSample {
     }
 }
 
+/// Fully-resolved roofline/power coefficients of one compute unit at one
+/// (workload class, DVFS point) combination: everything
+/// [`ComputeUnit::execute`] needs that does not depend on the slice cost.
+///
+/// Evaluation hot paths precompute these per (unit, level, class) so a
+/// slice estimate is two divisions, a max and a multiply — no profile,
+/// DVFS-table or power-model lookups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionCoefficients {
+    /// Denominator of the compute roofline: `peak·efficiency·ϑ` in FLOP/s.
+    pub compute_denom: f64,
+    /// Denominator of the memory roofline: effective bandwidth in B/s.
+    pub memory_denom: f64,
+    /// Fixed per-layer launch/driver overhead in milliseconds.
+    pub launch_overhead_ms: f64,
+    /// Busy power `α + β·ϑ·u` in watts.
+    pub power_w: f64,
+}
+
+impl ExecutionCoefficients {
+    /// Executes one slice cost under these coefficients (the body of
+    /// [`ComputeUnit::execute`]).
+    pub fn execute(&self, cost: &SliceCost) -> ExecutionSample {
+        if cost.flops <= 0.0 && cost.total_bytes() <= 0.0 {
+            return ExecutionSample::zero();
+        }
+        let compute_ms = cost.flops / self.compute_denom * 1e3;
+        let memory_ms = cost.total_bytes() / self.memory_denom * 1e3;
+        let latency_ms = compute_ms.max(memory_ms) + self.launch_overhead_ms;
+        ExecutionSample {
+            latency_ms,
+            energy_mj: self.power_w * latency_ms,
+            power_w: self.power_w,
+            compute_ms,
+            memory_ms,
+        }
+    }
+
+    /// Latency and energy only — the pair the evaluator's inner loop
+    /// consumes. Delegates to [`ExecutionCoefficients::execute`] so there
+    /// is exactly one copy of the roofline formula (the bit-identity
+    /// contract of the fast path rests on that); the intermediate
+    /// [`ExecutionSample`] is elided by the optimiser.
+    pub fn latency_energy(&self, cost: &SliceCost) -> (f64, f64) {
+        let sample = self.execute(cost);
+        (sample.latency_ms, sample.energy_mj)
+    }
+}
+
 /// One processing element of the MPSoC.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ComputeUnit {
@@ -175,28 +224,34 @@ impl ComputeUnit {
         class: WorkloadClass,
         dvfs: DvfsPoint,
     ) -> ExecutionSample {
-        if cost.flops <= 0.0 && cost.total_bytes() <= 0.0 {
-            return ExecutionSample::zero();
-        }
+        self.execution_coefficients(class, dvfs).execute(cost)
+    }
+
+    /// The roofline/power coefficients of this unit at one
+    /// (workload class, DVFS point) combination.
+    ///
+    /// [`ComputeUnit::execute`] is defined as
+    /// `execution_coefficients(class, dvfs).execute(cost)`, so coefficients
+    /// precomputed once (see `mnc_core`'s cost tables) reproduce a fresh
+    /// `execute` call bit for bit — there is only one formula.
+    pub fn execution_coefficients(
+        &self,
+        class: WorkloadClass,
+        dvfs: DvfsPoint,
+    ) -> ExecutionCoefficients {
         let efficiency = self.profile.efficiency(class);
         let utilization = self.profile.utilization(class);
         let scale = dvfs.scale.clamp(0.0, 1.0).max(1e-6);
 
         let effective_gflops = self.peak_gflops * efficiency * scale;
-        let compute_ms = cost.flops / (effective_gflops * 1e9) * 1e3;
-
         let memory_scale = self.memory_scale_floor + (1.0 - self.memory_scale_floor) * scale;
         let effective_bandwidth = self.memory_bandwidth_gbps * memory_scale;
-        let memory_ms = cost.total_bytes() / (effective_bandwidth * 1e9) * 1e3;
 
-        let latency_ms = compute_ms.max(memory_ms) + self.launch_overhead_ms;
-        let power_w = self.power.busy_w(scale, utilization);
-        ExecutionSample {
-            latency_ms,
-            energy_mj: power_w * latency_ms,
-            power_w,
-            compute_ms,
-            memory_ms,
+        ExecutionCoefficients {
+            compute_denom: effective_gflops * 1e9,
+            memory_denom: effective_bandwidth * 1e9,
+            launch_overhead_ms: self.launch_overhead_ms,
+            power_w: self.power.busy_w(scale, utilization),
         }
     }
 
@@ -422,6 +477,26 @@ mod tests {
         );
         assert!(slow.latency_ms > fast.latency_ms);
         assert!(slow.power_w < fast.power_w);
+    }
+
+    #[test]
+    fn precomputed_coefficients_reproduce_execute_bit_for_bit() {
+        let cu = test_cu();
+        for class in WorkloadClass::ALL {
+            for level in 0..cu.dvfs().num_levels() {
+                let point = cu.dvfs().point(level).unwrap();
+                let coeffs = cu.execution_coefficients(class, point);
+                for cost in [compute_heavy_cost(), memory_heavy_cost(), SliceCost::zero()] {
+                    let fresh = cu.execute(&cost, class, point);
+                    let tabled = coeffs.execute(&cost);
+                    assert_eq!(fresh.latency_ms.to_bits(), tabled.latency_ms.to_bits());
+                    assert_eq!(fresh.energy_mj.to_bits(), tabled.energy_mj.to_bits());
+                    let (lat, energy) = coeffs.latency_energy(&cost);
+                    assert_eq!(lat.to_bits(), fresh.latency_ms.to_bits());
+                    assert_eq!(energy.to_bits(), fresh.energy_mj.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub mod power;
 pub mod registry;
 pub mod workload;
 
-pub use compute_unit::{ComputeUnit, ComputeUnitBuilder, CuId, CuKind, ExecutionSample};
+pub use compute_unit::{
+    ComputeUnit, ComputeUnitBuilder, CuId, CuKind, ExecutionCoefficients, ExecutionSample,
+};
 pub use dvfs::{DvfsPoint, DvfsTable};
 pub use error::MpsocError;
 pub use interconnect::Interconnect;

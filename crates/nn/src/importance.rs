@@ -255,6 +255,21 @@ impl ImportanceModel {
         self.layer(id).map(LayerImportance::ranking)
     }
 
+    /// Rankings for every layer, indexed by [`LayerId`] (`None` for
+    /// non-partitionable layers).
+    ///
+    /// Building a [`ChannelRanking`] sorts the layer's scores, so hot paths
+    /// should call this once and index the returned table instead of
+    /// calling [`ImportanceModel::ranking`] (or the per-call
+    /// [`ImportanceModel::mass_of_top_fraction`]) repeatedly — the cached
+    /// rankings produce exactly the same masses.
+    pub fn rankings(&self) -> Vec<Option<ChannelRanking>> {
+        self.per_layer
+            .iter()
+            .map(|imp| imp.as_ref().map(LayerImportance::ranking))
+            .collect()
+    }
+
     /// Importance mass captured when a stage owns the top `fraction` of the
     /// layer's channels after reordering. Non-partitionable layers return
     /// `fraction` unchanged (they carry no choice).
