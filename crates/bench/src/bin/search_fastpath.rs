@@ -1,0 +1,415 @@
+//! Search-loop fast path vs the pre-fast-path loop, plus the surrogate
+//! warm start.
+//!
+//! Two measurements, both on the acceptance workload (visformer on
+//! `agx_xavier`, full 10 000-sample validation set):
+//!
+//! 1. **Loop speedup** — `MappingSearch::run` (within-run memoization,
+//!    per-structure transform sharing, `Arc`-backed archive, skyline
+//!    Pareto extraction) against `MappingSearch::run_reference` (every
+//!    candidate evaluated afresh, deep-copied archive) with the pre-PR
+//!    quadratic front extraction, at the **default** `SearchConfig`
+//!    (the paper's 200 × 60 budget). Archives are asserted bit-identical
+//!    before anything is timed; "end-to-end" covers what every consumer
+//!    does with a search — run it, extract the feasible Pareto front,
+//!    pick the best-by-objective configuration.
+//!
+//! 2. **Warm-start evaluations-to-front** — a cold search (seed B) is the
+//!    baseline; a warm search with the same seed B but seeded from a
+//!    prior seed-A search's Pareto elites (surrogate-ranked, exactly what
+//!    `MappingService` does for `warm_start` requests) must reach the
+//!    cold search's final best objective in strictly fewer evaluations
+//!    and end with a best objective no worse. A service-level replay of
+//!    the same shape records the request counters.
+//!
+//! ```text
+//! cargo run --release -p mnc-bench --bin search_fastpath
+//! cargo run --release -p mnc-bench --bin search_fastpath -- --smoke --json results/search_fastpath_ci.json
+//! ```
+//!
+//! `--smoke` additionally asserts the acceptance bounds (bit-identity,
+//! ≥3× end-to-end speedup, warm-start strictly-fewer-evaluations) for
+//! CI. It keeps the full iteration count: the assertion rides on a
+//! wall-clock ratio, and the interleaved min-of-N is what keeps it
+//! stable on noisy shared runners (the whole bench costs a few seconds).
+
+use mnc_core::{Evaluator, EvaluatorBuilder};
+use mnc_mpsoc::Platform;
+use mnc_nn::models::{visformer, ModelPreset};
+use mnc_optim::{
+    pareto_front_indices_reference, Genome, MappingSearch, SearchConfig, SearchOutcome,
+};
+use mnc_runtime::{MappingRequest, MappingService, SurrogateRanker};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+const MODEL: &str = "visformer_cifar100";
+const PLATFORM: &str = "agx_xavier";
+const VALIDATION_SAMPLES: usize = 10_000;
+
+#[derive(Debug, Serialize)]
+struct LoopReport {
+    generations: usize,
+    population_size: usize,
+    evaluations_scheduled: usize,
+    evaluations_performed: usize,
+    memo_hits: usize,
+    memo_hit_ratio: f64,
+    timed_iterations: usize,
+    reference_run_ms: f64,
+    fast_run_ms: f64,
+    run_speedup: f64,
+    reference_end_to_end_ms: f64,
+    fast_end_to_end_ms: f64,
+    end_to_end_speedup: f64,
+    bit_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct WarmStartReport {
+    generations: usize,
+    population_size: usize,
+    cold_evaluations: usize,
+    cold_best_objective: f64,
+    cold_evaluations_to_best: usize,
+    warm_seeds: usize,
+    warm_evaluations: usize,
+    warm_best_objective: f64,
+    warm_evaluations_to_cold_best: usize,
+    service_cold_evaluations: usize,
+    service_warm_evaluations: usize,
+    service_warm_seeds: usize,
+    service_warm_best_no_worse: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct SearchFastPathReport {
+    bench: String,
+    model: String,
+    platform: String,
+    validation_samples: usize,
+    search_loop: LoopReport,
+    warm_start: WarmStartReport,
+    smoke: bool,
+}
+
+/// The pre-fast-path front extraction: feasible filter, per-point
+/// `Vec<f64>` objective rows, quadratic dominance rescan — what
+/// `SearchOutcome::pareto_front` did before the skyline sweep. Retained
+/// here so the end-to-end baseline pays what the pre-PR consumer paid.
+fn pareto_front_reference(outcome: &SearchOutcome) -> Vec<usize> {
+    let feasible: Vec<_> = outcome
+        .archive()
+        .iter()
+        .filter(|c| c.result.feasible)
+        .collect();
+    let points: Vec<Vec<f64>> = feasible
+        .iter()
+        .map(|c| vec![c.result.average_energy_mj, c.result.average_latency_ms])
+        .collect();
+    pareto_front_indices_reference(&points)
+}
+
+fn best_by_objective_reference(outcome: &SearchOutcome) -> Option<f64> {
+    outcome
+        .archive()
+        .iter()
+        .filter(|c| c.result.feasible)
+        .map(|c| c.result.objective)
+        .min_by(f64::total_cmp)
+}
+
+fn measure_loop(evaluator: &Evaluator, iterations: usize) -> LoopReport {
+    let config = SearchConfig::default();
+
+    // Bit-identity gate before timing anything.
+    let fast = MappingSearch::new(evaluator, config).run().expect("fast");
+    let reference = MappingSearch::new(evaluator, config)
+        .run_reference()
+        .expect("reference");
+    assert_eq!(
+        fast.archive().len(),
+        reference.archive().len(),
+        "archive lengths diverged"
+    );
+    for (a, b) in fast.archive().iter().zip(reference.archive()) {
+        assert_eq!(a.genome, b.genome, "genome diverged");
+        assert_eq!(a.config, b.config, "config diverged");
+        assert_eq!(a.generation, b.generation, "generation diverged");
+        assert_eq!(
+            a.result.objective.to_bits(),
+            b.result.objective.to_bits(),
+            "objective bits diverged"
+        );
+        assert_eq!(
+            a.result.average_energy_mj.to_bits(),
+            b.result.average_energy_mj.to_bits()
+        );
+        assert_eq!(
+            a.result.average_latency_ms.to_bits(),
+            b.result.average_latency_ms.to_bits()
+        );
+    }
+    // The skyline front must pick exactly the points the quadratic
+    // rescan picks.
+    let fast_front = fast.pareto_front();
+    let reference_front = pareto_front_reference(&reference);
+    assert_eq!(
+        fast_front.len(),
+        reference_front.len(),
+        "front size diverged"
+    );
+    assert_eq!(
+        fast.best_by_objective().map(|c| c.result.objective),
+        best_by_objective_reference(&reference),
+        "best-by-objective diverged"
+    );
+
+    // Interleave the two loops and keep each side's fastest iteration:
+    // the run is deterministic, so iteration-to-iteration variance is
+    // scheduler/throttling noise and the minimum is the honest cost on
+    // the machine (the same methodology as taking the best of several
+    // criterion samples). The gate above already warmed both paths.
+    let mut reference_run_ms = f64::INFINITY;
+    let mut reference_end_to_end_ms = f64::INFINITY;
+    let mut fast_run_ms = f64::INFINITY;
+    let mut fast_end_to_end_ms = f64::INFINITY;
+    for _ in 0..iterations {
+        let started = Instant::now();
+        let outcome = MappingSearch::new(evaluator, config)
+            .run_reference()
+            .expect("reference");
+        reference_run_ms = reference_run_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        let front = pareto_front_reference(&outcome);
+        let best = best_by_objective_reference(&outcome);
+        std::hint::black_box((front, best));
+        reference_end_to_end_ms =
+            reference_end_to_end_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        drop(outcome);
+
+        let started = Instant::now();
+        let outcome = MappingSearch::new(evaluator, config).run().expect("fast");
+        fast_run_ms = fast_run_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        let front: Vec<_> = outcome.pareto_front();
+        let best = outcome.best_by_objective().map(|c| c.result.objective);
+        std::hint::black_box((front.len(), best));
+        fast_end_to_end_ms = fast_end_to_end_ms.min(started.elapsed().as_secs_f64() * 1e3);
+    }
+
+    LoopReport {
+        generations: config.generations,
+        population_size: config.population_size,
+        evaluations_scheduled: fast.evaluations(),
+        evaluations_performed: fast.evaluations_performed(),
+        memo_hits: fast.memo_hits(),
+        memo_hit_ratio: fast.memo_hits() as f64 / fast.evaluations().max(1) as f64,
+        timed_iterations: iterations,
+        reference_run_ms,
+        fast_run_ms,
+        run_speedup: reference_run_ms / fast_run_ms.max(1e-9),
+        reference_end_to_end_ms,
+        fast_end_to_end_ms,
+        end_to_end_speedup: reference_end_to_end_ms / fast_end_to_end_ms.max(1e-9),
+        bit_identical: true,
+    }
+}
+
+fn measure_warm_start(evaluator: &Evaluator, platform: &Platform) -> WarmStartReport {
+    let base = SearchConfig {
+        generations: 20,
+        population_size: 24,
+        seed: 1001,
+        ..SearchConfig::default()
+    };
+
+    // A prior request's search (seed A) supplies the elites.
+    let prior = MappingSearch::new(evaluator, base).run().expect("prior");
+    let mut seeds: Vec<Arc<Genome>> = prior
+        .pareto_front()
+        .into_iter()
+        .map(|c| Arc::clone(&c.genome))
+        .collect();
+    if let Some(best) = prior.best_by_objective() {
+        seeds.push(Arc::clone(&best.genome));
+    }
+    // Surrogate-rank the seeds for the target platform, exactly as the
+    // service's warm-start path does.
+    let ranker = SurrogateRanker::train(platform).expect("ranker trains");
+    ranker.rank(&mut seeds, evaluator.network(), platform);
+    seeds.truncate(base.population_size / 2);
+
+    // Cold baseline: seed B, no seeds.
+    let cold_config = SearchConfig { seed: 2002, ..base };
+    let cold = MappingSearch::new(evaluator, cold_config)
+        .run()
+        .expect("cold");
+    let cold_best = cold
+        .best_by_objective()
+        .expect("cold search finds a feasible config")
+        .result
+        .objective;
+    let cold_to_best = cold
+        .evaluations_to_objective(cold_best)
+        .expect("cold search reached its own best");
+
+    // Warm: same seed B, same budget, seeded initial population.
+    let warm_config = SearchConfig {
+        warm_start: true,
+        ..cold_config
+    };
+    let warm = MappingSearch::new(evaluator, warm_config)
+        .with_seeds(seeds.clone())
+        .run()
+        .expect("warm");
+    let warm_best = warm
+        .best_by_objective()
+        .expect("warm search finds a feasible config")
+        .result
+        .objective;
+    let warm_to_cold_best = warm
+        .evaluations_to_objective(cold_best)
+        .expect("warm search reaches the cold best");
+
+    // Service-level replay of the same shape: a prior request fills the
+    // elite archive, a warm request with a third of the budget still ends
+    // no worse than the cold full-budget baseline.
+    let request = MappingRequest::new("visformer_tiny_cifar100", "dual_test")
+        .validation_samples(1000)
+        .generations(12)
+        .population_size(12)
+        .stall_generations(3)
+        .seed(11);
+    let service_cold = MappingService::new()
+        .submit(&request)
+        .expect("cold request");
+    let service = MappingService::new();
+    service
+        .submit(&request.clone().seed(77))
+        .expect("archive-filling request");
+    let service_warm = service
+        .submit(&request.clone().generations(4).warm_start(true))
+        .expect("warm request");
+    let service_warm_best_no_worse = match (
+        &service_warm.best_by_objective,
+        &service_cold.best_by_objective,
+    ) {
+        (Some(warm), Some(cold)) => warm.result.objective <= cold.result.objective,
+        _ => false,
+    };
+
+    WarmStartReport {
+        generations: base.generations,
+        population_size: base.population_size,
+        cold_evaluations: cold.evaluations(),
+        cold_best_objective: cold_best,
+        cold_evaluations_to_best: cold_to_best,
+        warm_seeds: warm.warm_start_seeds(),
+        warm_evaluations: warm.evaluations(),
+        warm_best_objective: warm_best,
+        warm_evaluations_to_cold_best: warm_to_cold_best,
+        service_cold_evaluations: service_cold.stats.evaluations,
+        service_warm_evaluations: service_warm.stats.evaluations,
+        service_warm_seeds: service_warm.stats.warm_start_seeds,
+        service_warm_best_no_worse,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/search_fastpath.json".to_string());
+
+    let network = visformer(ModelPreset::cifar100());
+    let platform = Platform::agx_xavier();
+    let evaluator = EvaluatorBuilder::new(network, platform.clone())
+        .validation_samples(VALIDATION_SAMPLES)
+        .build()
+        .expect("evaluator preset is valid");
+
+    let iterations = 7;
+    println!(
+        "search fast path — {MODEL} on {PLATFORM}, {VALIDATION_SAMPLES} samples, default SearchConfig"
+    );
+    let search_loop = measure_loop(&evaluator, iterations);
+    println!(
+        "  budget             : {} generations x {} candidates = {} scheduled evaluations",
+        search_loop.generations, search_loop.population_size, search_loop.evaluations_scheduled
+    );
+    println!(
+        "  memoization        : {} performed, {} memo hits ({:.1}%)",
+        search_loop.evaluations_performed,
+        search_loop.memo_hits,
+        search_loop.memo_hit_ratio * 100.0
+    );
+    println!(
+        "  reference loop     : {:>8.1} ms run, {:>8.1} ms with front extraction",
+        search_loop.reference_run_ms, search_loop.reference_end_to_end_ms
+    );
+    println!(
+        "  fast loop          : {:>8.1} ms run ({:.2}x), {:>8.1} ms end-to-end ({:.2}x)",
+        search_loop.fast_run_ms,
+        search_loop.run_speedup,
+        search_loop.fast_end_to_end_ms,
+        search_loop.end_to_end_speedup
+    );
+
+    let warm_start = measure_warm_start(&evaluator, &platform);
+    println!(
+        "  warm start         : cold best {:.4} after {} of {} evaluations",
+        warm_start.cold_best_objective,
+        warm_start.cold_evaluations_to_best,
+        warm_start.cold_evaluations
+    );
+    println!(
+        "                       warm ({} seeds) reaches it after {} evaluations, best {:.4}",
+        warm_start.warm_seeds,
+        warm_start.warm_evaluations_to_cold_best,
+        warm_start.warm_best_objective
+    );
+    println!(
+        "                       service: warm {} evals vs cold {} (front no worse: {})",
+        warm_start.service_warm_evaluations,
+        warm_start.service_cold_evaluations,
+        warm_start.service_warm_best_no_worse
+    );
+
+    let report = SearchFastPathReport {
+        bench: "search_fastpath".to_string(),
+        model: MODEL.to_string(),
+        platform: PLATFORM.to_string(),
+        validation_samples: VALIDATION_SAMPLES,
+        search_loop,
+        warm_start,
+        smoke,
+    };
+    mnc_bench::write_json_report(&json_path, &report);
+
+    if smoke {
+        assert!(
+            report.search_loop.end_to_end_speedup >= 3.0,
+            "end-to-end search speedup {:.2}x below the 3x acceptance threshold",
+            report.search_loop.end_to_end_speedup
+        );
+        assert!(
+            report.warm_start.warm_evaluations_to_cold_best
+                < report.warm_start.cold_evaluations_to_best,
+            "warm start did not reach the cold best in fewer evaluations"
+        );
+        assert!(
+            report.warm_start.warm_best_objective <= report.warm_start.cold_best_objective,
+            "warm-started front worse than cold"
+        );
+        assert!(
+            report.warm_start.service_warm_evaluations < report.warm_start.service_cold_evaluations
+                && report.warm_start.service_warm_best_no_worse,
+            "service warm start regressed"
+        );
+        println!("smoke: bit-identity, >=3x end-to-end speedup and warm-start bounds verified");
+    }
+}

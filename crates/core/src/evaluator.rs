@@ -13,14 +13,16 @@ use crate::error::CoreError;
 use crate::estimator::Estimator;
 use crate::objective::{objective_value, Constraints, ObjectiveWeights};
 use crate::perf::{
-    evaluate_performance, evaluate_performance_tabled, PerformanceBreakdown, StagePerformance,
+    evaluate_performance, evaluate_performance_grid, evaluate_performance_quant,
+    evaluate_performance_tabled, PerformanceBreakdown, StagePerformance,
 };
-use crate::tables::CostTable;
+use crate::tables::{CostTable, QuantizedCostTable};
 use mnc_dynamic::{
-    AccuracyModel, AccuracyProfile, DynamicAccuracyReport, DynamicNetwork, SyntheticValidationSet,
+    AccuracyModel, AccuracyProfile, DynamicAccuracyReport, DynamicNetwork, QuantSliceGrid,
+    SliceGrid, SyntheticValidationSet,
 };
 use mnc_mpsoc::Platform;
-use mnc_nn::{ImportanceModel, Network};
+use mnc_nn::{ImportanceModel, LayerId, Network};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
@@ -215,6 +217,23 @@ impl EvaluatorBuilder {
             Estimator::Analytic => Some(CostTable::build(&self.network, &self.platform)),
             Estimator::Surrogate(_) => None,
         };
+        let quantized = match &cost_table {
+            Some(table) => Some(QuantizedCostTable::build(
+                &self.network,
+                &self.platform,
+                table,
+            )?),
+            None => None,
+        };
+        let partitionable = self.network.partitionable_layers();
+        let output_bytes = (0..self.network.num_layers())
+            .map(|layer| {
+                Ok(self
+                    .network
+                    .output_shape_of(mnc_nn::LayerId(layer))?
+                    .num_bytes() as f64)
+            })
+            .collect::<Result<Vec<f64>, CoreError>>()?;
         let evaluator = Evaluator {
             network: self.network,
             platform: self.platform,
@@ -224,6 +243,9 @@ impl EvaluatorBuilder {
             estimator: self.estimator,
             weights: self.weights,
             cost_table,
+            quantized,
+            partitionable,
+            output_bytes,
             fingerprint: OnceLock::new(),
         };
         // Pay the serialization pass once at build time; every later
@@ -246,6 +268,15 @@ pub struct Evaluator {
     /// Precomputed per-(unit, level, class) coefficients; `None` for the
     /// surrogate estimator (see [`CostTable`]).
     cost_table: Option<CostTable>,
+    /// The fully resolved estimate grid over exact 1/8 width fractions
+    /// (see [`QuantizedCostTable`]); `None` for the surrogate estimator.
+    quantized: Option<QuantizedCostTable>,
+    /// The network's partitionable layers, resolved once at build time so
+    /// the fused evaluation path stops re-deriving them per evaluation.
+    partitionable: Vec<LayerId>,
+    /// Each layer's output-feature byte count, resolved once at build time
+    /// (shapes are fixed); feeds the fused paths' transfer derivation.
+    output_bytes: Vec<f64>,
     /// Memoised [`Evaluator::fingerprint`], set at build time.
     fingerprint: OnceLock<u64>,
 }
@@ -352,7 +383,112 @@ impl Evaluator {
             None => evaluate_performance(dynamic, config, &self.platform, &self.estimator)?,
         };
         let report = self.accuracy.evaluate(dynamic, &self.validation);
-        Ok(self.assemble(dynamic, &perf, report))
+        Ok(self.assemble(dynamic, perf, report))
+    }
+
+    /// Evaluates a configuration through the fused fast path: the
+    /// transform recursion runs into a flat [`SliceGrid`] (three
+    /// allocations) instead of materialising a [`DynamicNetwork`] (a clone
+    /// of the network, both matrices and ~200 slice/transfer allocations),
+    /// the performance model derives transfers on the fly and the accuracy
+    /// model reads the configuration directly. Results are **bit-identical**
+    /// to [`Evaluator::evaluate`] — every intermediate float is computed by
+    /// the same expression from the same inputs in the same order
+    /// (property-tested in `tests/fast_path.rs`).
+    ///
+    /// The surrogate estimator keeps its dynamic dispatch and falls back
+    /// to [`Evaluator::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Evaluator::evaluate`].
+    pub fn evaluate_fused(&self, config: &MappingConfig) -> Result<EvaluationResult, CoreError> {
+        self.evaluate_fused_inner(config, None)
+    }
+
+    /// [`Evaluator::evaluate_fused`] with caller-supplied per-layer row
+    /// keys (one per partitionable layer, e.g.
+    /// `mnc_optim::Genome::partition_row_keys`) that memoise the accuracy
+    /// model's slice-mass rows across evaluations — partition rows repeat
+    /// constantly across a population while full structures never do.
+    /// Keys are verified before use, so results stay bit-identical to
+    /// [`Evaluator::evaluate`] for any key input.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Evaluator::evaluate`].
+    pub fn evaluate_fused_keyed(
+        &self,
+        config: &MappingConfig,
+        row_keys: &[u64],
+    ) -> Result<EvaluationResult, CoreError> {
+        self.evaluate_fused_inner(config, Some(row_keys))
+    }
+
+    fn evaluate_fused_inner(
+        &self,
+        config: &MappingConfig,
+        row_keys: Option<&[u64]>,
+    ) -> Result<EvaluationResult, CoreError> {
+        let Some(table) = &self.cost_table else {
+            return self.evaluate(config);
+        };
+        // Preferred: the quantised path (pure table reads per slice).
+        // Configurations off the 1/8 grid — not produced by the genome
+        // encoding — fall back to the general grid path.
+        let (perf, stored_feature_bytes) = match &self.quantized {
+            Some(quant) => {
+                match QuantSliceGrid::compute(&self.network, &config.partition, &config.indicator)?
+                {
+                    Some(grid) => {
+                        let perf = evaluate_performance_quant(
+                            &grid,
+                            config,
+                            &self.platform,
+                            quant,
+                            &self.output_bytes,
+                        )?;
+                        (perf, grid.stored_feature_bytes())
+                    }
+                    None => self.fused_grid_performance(config, table)?,
+                }
+            }
+            None => self.fused_grid_performance(config, table)?,
+        };
+        let report = match row_keys {
+            Some(keys) => self.accuracy.evaluate_parts_keyed(
+                &config.partition,
+                &config.indicator,
+                &self.partitionable,
+                &self.validation,
+                keys,
+            ),
+            None => self.accuracy.evaluate_parts(
+                &config.partition,
+                &config.indicator,
+                &self.partitionable,
+                &self.validation,
+            ),
+        };
+        Ok(self.assemble_parts(
+            config.indicator.reuse_ratio(),
+            stored_feature_bytes,
+            perf,
+            report,
+        ))
+    }
+
+    /// The un-quantised fused performance path: flat [`SliceGrid`] plus
+    /// the coefficient table.
+    fn fused_grid_performance(
+        &self,
+        config: &MappingConfig,
+        table: &CostTable,
+    ) -> Result<(PerformanceBreakdown, f64), CoreError> {
+        let grid = SliceGrid::compute(&self.network, &config.partition, &config.indicator)?;
+        let perf =
+            evaluate_performance_grid(&grid, config, &self.platform, table, &self.output_bytes)?;
+        Ok((perf, grid.stored_feature_bytes()))
     }
 
     /// Evaluates a configuration through the pre-fast-path pipeline: fresh
@@ -374,13 +510,32 @@ impl Evaluator {
             DynamicNetwork::transform(&self.network, &config.partition, &config.indicator)?;
         let perf = evaluate_performance(&dynamic, config, &self.platform, &self.estimator)?;
         let report = self.accuracy.evaluate_reference(&dynamic, &self.validation);
-        Ok(self.assemble(&dynamic, &perf, report))
+        Ok(self.assemble(&dynamic, perf, report))
     }
 
     fn assemble(
         &self,
         dynamic: &DynamicNetwork,
-        perf: &PerformanceBreakdown,
+        perf: PerformanceBreakdown,
+        report: DynamicAccuracyReport,
+    ) -> EvaluationResult {
+        self.assemble_parts(
+            dynamic.fmap_reuse_ratio(),
+            dynamic.stored_feature_bytes(),
+            perf,
+            report,
+        )
+    }
+
+    /// [`Evaluator::assemble`] from the two scalars it actually reads off
+    /// the dynamic network, so the fused path can call it without one.
+    /// Takes the performance breakdown by value: its stage vector moves
+    /// into the result instead of being cloned.
+    fn assemble_parts(
+        &self,
+        fmap_reuse: f64,
+        stored_feature_bytes: f64,
+        perf: PerformanceBreakdown,
         report: DynamicAccuracyReport,
     ) -> EvaluationResult {
         let num_stages = perf.num_stages();
@@ -434,9 +589,9 @@ impl Evaluator {
         let violations = self.constraints.violations(
             worst_case_latency_ms,
             full_energy_mj,
-            dynamic.fmap_reuse_ratio(),
+            fmap_reuse,
             accuracy_drop,
-            dynamic.stored_feature_bytes(),
+            stored_feature_bytes,
             self.platform.shared_memory().capacity_bytes(),
         );
 
@@ -448,12 +603,12 @@ impl Evaluator {
             accuracy: report.overall_accuracy,
             final_stage_accuracy: report.final_stage_accuracy,
             accuracy_drop,
-            fmap_reuse: dynamic.fmap_reuse_ratio(),
-            stored_feature_bytes: dynamic.stored_feature_bytes(),
+            fmap_reuse,
+            stored_feature_bytes,
             objective,
             feasible: violations.is_empty(),
             violations,
-            stage_performance: perf.stages.clone(),
+            stage_performance: perf.stages,
             exit_counts: report.exit_counts,
             average_stages_executed: report.average_stages_executed,
         }

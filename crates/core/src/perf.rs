@@ -19,8 +19,10 @@ use crate::config::MappingConfig;
 use crate::error::CoreError;
 use crate::estimator::Estimator;
 use crate::tables::CostTable;
-use mnc_dynamic::{DynamicNetwork, LayerSlice};
+use crate::tables::QuantizedCostTable;
+use mnc_dynamic::{DynamicNetwork, LayerSlice, QuantSliceGrid, SliceGrid};
 use mnc_mpsoc::{CuId, Platform};
+use mnc_nn::LayerId;
 use serde::{Deserialize, Serialize};
 
 /// Latency/energy outcome of one stage under the concurrent model.
@@ -124,6 +126,169 @@ pub fn evaluate_performance_tabled(
     evaluate_performance_with(dynamic, config, platform, |cu, dvfs_level, slice| {
         table.estimate(cu, dvfs_level, slice.layer, &slice.cost)
     })
+}
+
+/// [`evaluate_performance_tabled`] over a [`SliceGrid`] instead of a
+/// materialised [`DynamicNetwork`] — the fused evaluation path.
+///
+/// Transfers are derived on the fly from the grid's width fractions and
+/// the indicator, with the same conditions, byte expressions, iteration
+/// order and accumulation order as the slice lists the transform builds,
+/// so every output float is bit-identical to
+/// [`evaluate_performance_tabled`] on the corresponding dynamic network
+/// (property-tested in `tests/fast_path.rs`). `output_bytes` carries each
+/// layer's output-feature byte count (precomputed once per evaluator —
+/// the shapes never change).
+///
+/// # Errors
+///
+/// Same failure modes as [`evaluate_performance_tabled`].
+pub fn evaluate_performance_grid(
+    grid: &SliceGrid,
+    config: &MappingConfig,
+    platform: &Platform,
+    table: &CostTable,
+    output_bytes: &[f64],
+) -> Result<PerformanceBreakdown, CoreError> {
+    evaluate_performance_flat(
+        grid.num_stages(),
+        grid.num_layers(),
+        |layer, stage| grid.own_fraction(layer, stage),
+        |stage, layer, cu, dvfs_level| {
+            table.estimate(cu, dvfs_level, LayerId(layer), grid.cost(stage, layer))
+        },
+        config,
+        platform,
+        output_bytes,
+    )
+}
+
+/// [`evaluate_performance_grid`] over a [`QuantSliceGrid`] and a
+/// [`QuantizedCostTable`]: every slice's `(latency, energy)` is a direct
+/// table read instead of a slice-cost computation plus coefficient
+/// evaluation. Bit-identical by construction — the table entries were
+/// produced by the same calls on the same exact fractions.
+///
+/// # Errors
+///
+/// Same failure modes as [`evaluate_performance_grid`].
+pub fn evaluate_performance_quant(
+    grid: &QuantSliceGrid,
+    config: &MappingConfig,
+    platform: &Platform,
+    table: &QuantizedCostTable,
+    output_bytes: &[f64],
+) -> Result<PerformanceBreakdown, CoreError> {
+    evaluate_performance_flat(
+        grid.num_stages(),
+        grid.num_layers(),
+        |layer, stage| grid.own_fraction(layer, stage),
+        |stage, layer, cu, dvfs_level| {
+            let (out_k, in_k) = grid.slice_eighths(stage, layer);
+            Ok(table.lookup(cu, dvfs_level, layer, out_k, in_k))
+        },
+        config,
+        platform,
+        output_bytes,
+    )
+}
+
+/// The flat-storage concurrent-model recursion shared by the grid and
+/// quantised fast paths: identical to [`evaluate_performance_with`]'s
+/// recursion, with per-slice estimates and width fractions supplied by
+/// closures and transfers derived on the fly.
+fn evaluate_performance_flat<OwnF, EstimateF>(
+    num_stages: usize,
+    num_layers: usize,
+    own: OwnF,
+    mut estimate: EstimateF,
+    config: &MappingConfig,
+    platform: &Platform,
+    output_bytes: &[f64],
+) -> Result<PerformanceBreakdown, CoreError>
+where
+    OwnF: Fn(usize, usize) -> f64,
+    EstimateF: FnMut(usize, usize, CuId, usize) -> Result<(f64, f64), CoreError>,
+{
+    if config.num_stages() != num_stages {
+        return Err(CoreError::InvalidMapping {
+            reason: format!(
+                "configuration has {} stages but the dynamic network has {num_stages}",
+                config.num_stages()
+            ),
+        });
+    }
+    debug_assert_eq!(output_bytes.len(), num_layers);
+    let indicator = &config.indicator;
+    let interconnect = platform.interconnect();
+
+    // finish[stage * num_layers + layer] = cumulative completion time.
+    let mut finish = vec![0.0f64; num_stages * num_layers];
+    let mut stages = Vec::with_capacity(num_stages);
+    for stage_index in 0..num_stages {
+        let cu = config
+            .mapping
+            .compute_unit(stage_index)
+            .expect("stage count checked above");
+        let dvfs_level = config
+            .dvfs
+            .level(stage_index)
+            .expect("stage count checked above");
+
+        let mut busy_ms = 0.0;
+        let mut energy_mj = 0.0;
+        let mut transfer_ms = 0.0;
+        let mut transfer_energy_mj = 0.0;
+
+        for layer_index in 0..num_layers {
+            let (tau, e) = estimate(stage_index, layer_index, cu, dvfs_level)?;
+            busy_ms += tau;
+            energy_mj += e;
+
+            // Dependency on the previous layer of the same stage.
+            let mut ready_ms = if layer_index == 0 {
+                0.0
+            } else {
+                finish[stage_index * num_layers + layer_index - 1]
+            };
+            // Dependencies on forwarded features of earlier stages: the
+            // transfers the transform would have recorded on this slice,
+            // derived with the same condition (`forwarded && own > 0`),
+            // bytes and earlier-stage order.
+            if let Some(prev) = layer_index.checked_sub(1) {
+                let prev_bytes = output_bytes[prev];
+                for earlier in 0..stage_index {
+                    let own_frac = own(prev, earlier);
+                    if indicator.is_forwarded(LayerId(prev), earlier) && own_frac > 0.0 {
+                        let bytes = prev_bytes * own_frac;
+                        let producer_finish = finish[earlier * num_layers + layer_index - 1];
+                        let u = interconnect.transfer_ms(bytes);
+                        transfer_ms += u;
+                        transfer_energy_mj += interconnect.transfer_energy_mj(bytes);
+                        ready_ms = ready_ms.max(producer_finish + u);
+                    }
+                }
+            }
+            finish[stage_index * num_layers + layer_index] = ready_ms + tau;
+        }
+
+        energy_mj += transfer_energy_mj;
+        stages.push(StagePerformance {
+            stage: stage_index,
+            cu,
+            latency_ms: if num_layers == 0 {
+                0.0
+            } else {
+                finish[stage_index * num_layers + num_layers - 1]
+            },
+            busy_ms,
+            energy_mj,
+            transfer_ms,
+            transfer_energy_mj,
+        });
+    }
+
+    Ok(PerformanceBreakdown { stages })
 }
 
 /// The shared concurrent-model recursion, generic over how a slice's

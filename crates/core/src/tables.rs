@@ -127,6 +127,135 @@ impl CostTable {
     }
 }
 
+/// Number of representable width fractions on the search's 1/8 grid
+/// (`k/8` for `k in 0..=8`).
+pub const QUANT_STEPS: usize = 9;
+
+/// The fully quantised estimate table (the ROADMAP's "fold the estimator
+/// into a quantised table" refinement): `(latency_ms, energy_mj)` for
+/// every (compute unit, DVFS level, layer, out-fraction, in-fraction)
+/// combination on the search's exact 1/8-width grid.
+///
+/// Every genome the search evaluates decodes into slice fractions that
+/// are exact multiples of 1/8 (8 width slots per layer; visibility sums
+/// of such multiples stay exact in IEEE arithmetic), so the per-slice
+/// workload arithmetic (`Layer::slice_cost`) and the coefficient
+/// evaluation ([`CostTable::estimate`]) are pure functions of five small
+/// integers. Resolving them once at evaluator-build time turns the hot
+/// loop's ~72 slice-cost computations + estimator calls per candidate
+/// into direct array reads. Entries are produced by the *same* calls the
+/// un-quantised path makes, so a lookup is bit-identical to recomputing.
+#[derive(Debug, Clone)]
+pub struct QuantizedCostTable {
+    /// `(latency_ms, energy_mj)`, indexed
+    /// `((level_offsets[cu] + level) * num_layers + layer) * 81 + out_k * 9 + in_k`.
+    entries: Vec<(f64, f64)>,
+    /// Cumulative DVFS-level offset per compute unit.
+    level_offsets: Vec<usize>,
+    num_layers: usize,
+}
+
+impl QuantizedCostTable {
+    /// Resolves the full grid for one (network, platform) pair through
+    /// `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a slice cost cannot be computed (mismatched
+    /// shapes), which does not happen for a validated network.
+    pub fn build(
+        network: &Network,
+        platform: &Platform,
+        table: &CostTable,
+    ) -> Result<Self, CoreError> {
+        let num_layers = network.num_layers();
+        let cells = QUANT_STEPS * QUANT_STEPS;
+
+        // Slice costs per (layer, out_k, in_k): computed once, shared by
+        // every (unit, level) block.
+        let mut slice_costs = Vec::with_capacity(num_layers * cells);
+        for (layer_id, layer) in network.iter() {
+            let input_shape = network.input_shape_of(layer_id)?;
+            for out_k in 0..QUANT_STEPS {
+                for in_k in 0..QUANT_STEPS {
+                    slice_costs.push(layer.slice_cost(
+                        &input_shape,
+                        out_k as f64 / 8.0,
+                        in_k as f64 / 8.0,
+                    )?);
+                }
+            }
+        }
+
+        let mut level_offsets = Vec::with_capacity(platform.num_compute_units());
+        let mut total_levels = 0usize;
+        for unit in platform.compute_units() {
+            level_offsets.push(total_levels);
+            total_levels += unit.dvfs().num_levels();
+        }
+
+        let mut entries = Vec::with_capacity(total_levels * num_layers * cells);
+        for (cu_index, unit) in platform.compute_units().iter().enumerate() {
+            for level in 0..unit.dvfs().num_levels() {
+                for layer in 0..num_layers {
+                    for cost in &slice_costs[layer * cells..(layer + 1) * cells] {
+                        entries.push(table.estimate(
+                            CuId(cu_index),
+                            level,
+                            LayerId(layer),
+                            cost,
+                        )?);
+                    }
+                }
+            }
+        }
+        Ok(QuantizedCostTable {
+            entries,
+            level_offsets,
+            num_layers,
+        })
+    }
+
+    /// The resolved `(latency_ms, energy_mj)` of the slice
+    /// `(layer, out_k/8, in_k/8)` on `cu` at `dvfs_level` — bit-identical
+    /// to [`CostTable::estimate`] on the slice cost of those fractions.
+    #[inline]
+    pub fn lookup(
+        &self,
+        cu: CuId,
+        dvfs_level: usize,
+        layer: usize,
+        out_k: usize,
+        in_k: usize,
+    ) -> (f64, f64) {
+        debug_assert!(out_k < QUANT_STEPS && in_k < QUANT_STEPS);
+        // `dvfs_level` is validated against the unit's table when the
+        // `DvfsAssignment` is constructed; assert it stays inside the
+        // unit's block rather than silently reading a neighbour's.
+        debug_assert!(
+            self.level_offsets
+                .get(cu.0 + 1)
+                .is_none_or(|next| self.level_offsets[cu.0] + dvfs_level < *next),
+            "dvfs level {dvfs_level} outside {cu}'s quantised block"
+        );
+        let level_index = self.level_offsets[cu.0] + dvfs_level;
+        let index = (level_index * self.num_layers + layer) * (QUANT_STEPS * QUANT_STEPS)
+            + out_k * QUANT_STEPS
+            + in_k;
+        self.entries[index]
+    }
+
+    /// Number of resolved entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty (an empty network).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

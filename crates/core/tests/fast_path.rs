@@ -14,7 +14,11 @@
 //!   [`evaluate_performance_tabled`] vs [`evaluate_performance`] (and the
 //!   tabled simulator against the closed-form recursion),
 //! * `prop_evaluator_fast_path_equals_reference_pipeline` — the whole
-//!   [`Evaluator::evaluate`] vs [`Evaluator::evaluate_reference`].
+//!   [`Evaluator::evaluate`] vs [`Evaluator::evaluate_reference`],
+//! * `prop_fused_evaluation_equals_transform_pipeline` — the fused path
+//!   ([`Evaluator::evaluate_fused`]: `SliceGrid` + grid performance + the
+//!   parts-based accuracy call, no materialised `DynamicNetwork`) vs
+//!   [`Evaluator::evaluate`].
 
 use mnc_core::perf::{evaluate_performance, evaluate_performance_tabled};
 use mnc_core::{
@@ -213,5 +217,51 @@ proptest! {
         prop_assert!(fast.full_energy_mj.to_bits() == reference.full_energy_mj.to_bits());
         prop_assert!(fast.accuracy.to_bits() == reference.accuracy.to_bits());
         prop_assert_eq!(fast.exit_counts, reference.exit_counts);
+    }
+
+    #[test]
+    fn prop_fused_evaluation_equals_transform_pipeline(
+        seed in 0u64..1_000_000,
+        scenario_index in 0usize..4,
+    ) {
+        let (network, platform) = scenario(scenario_index);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(17));
+        let config = random_config(&network, &platform, &mut rng);
+        let evaluator: Evaluator = EvaluatorBuilder::new(network, platform)
+            .validation_samples(1000)
+            .validation_seed(seed)
+            .build()
+            .expect("evaluator builds");
+
+        let fused = evaluator.evaluate_fused(&config).expect("fused path succeeds");
+        let transformed = evaluator.evaluate(&config).expect("transform path succeeds");
+        prop_assert_eq!(&fused, &transformed);
+        prop_assert!(fused.objective.to_bits() == transformed.objective.to_bits());
+        prop_assert!(
+            fused.average_latency_ms.to_bits() == transformed.average_latency_ms.to_bits()
+        );
+        prop_assert!(
+            fused.average_energy_mj.to_bits() == transformed.average_energy_mj.to_bits()
+        );
+        prop_assert!(
+            fused.worst_case_latency_ms.to_bits()
+                == transformed.worst_case_latency_ms.to_bits()
+        );
+        prop_assert!(fused.full_energy_mj.to_bits() == transformed.full_energy_mj.to_bits());
+        prop_assert!(
+            fused.stored_feature_bytes.to_bits()
+                == transformed.stored_feature_bytes.to_bits()
+        );
+        prop_assert!(fused.fmap_reuse.to_bits() == transformed.fmap_reuse.to_bits());
+        prop_assert!(fused.accuracy.to_bits() == transformed.accuracy.to_bits());
+        prop_assert_eq!(&fused.stage_performance, &transformed.stage_performance);
+        for (a, b) in fused.stage_performance.iter().zip(&transformed.stage_performance) {
+            prop_assert!(a.latency_ms.to_bits() == b.latency_ms.to_bits());
+            prop_assert!(a.busy_ms.to_bits() == b.busy_ms.to_bits());
+            prop_assert!(a.energy_mj.to_bits() == b.energy_mj.to_bits());
+            prop_assert!(a.transfer_ms.to_bits() == b.transfer_ms.to_bits());
+            prop_assert!(a.transfer_energy_mj.to_bits() == b.transfer_energy_mj.to_bits());
+        }
+        prop_assert_eq!(fused.exit_counts, transformed.exit_counts);
     }
 }

@@ -22,7 +22,8 @@ use crate::error::DynamicError;
 use crate::transform::DynamicNetwork;
 use mnc_nn::{ChannelRanking, ImportanceModel, LayerId};
 use serde::{Deserialize, Serialize};
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 /// Accuracy-model parameters for one architecture/dataset pair.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -145,11 +146,45 @@ impl DynamicAccuracyReport {
 /// every `mass_of_top_fraction` call. The table is derived state and is
 /// excluded from equality and serialization (the hand-written impls below
 /// mirror what `#[derive]` produced before the field existed).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AccuracyModel {
     profile: AccuracyProfile,
     importance: ImportanceModel,
     rankings: OnceLock<Vec<Option<ChannelRanking>>>,
+    /// Memoised per-(layer, slot-row) slice-mass rows for the keyed fast
+    /// path (see [`AccuracyModel::evaluate_parts_keyed`]). Derived state
+    /// like `rankings`: excluded from equality and serialization, reset on
+    /// clone-through-deserialize. Bounded naturally — a layer has at most
+    /// `C(slots + stages - 1, stages - 1)` distinct slot rows (165 for the
+    /// paper's 8 slots over 4 stages).
+    mass_cache: Mutex<HashMap<u64, MassRow>>,
+}
+
+/// One memoised slice-mass row plus the inputs it was derived from, so a
+/// hit is only honoured for the exact same (layer, fractions) pair —
+/// mis-keyed or colliding lookups fall back to recomputation instead of
+/// producing wrong masses.
+#[derive(Debug, Clone)]
+struct MassRow {
+    layer: LayerId,
+    fractions: Vec<f64>,
+    masses: Vec<f64>,
+}
+
+impl Clone for AccuracyModel {
+    fn clone(&self) -> Self {
+        AccuracyModel {
+            profile: self.profile,
+            importance: self.importance.clone(),
+            rankings: self.rankings.clone(),
+            mass_cache: Mutex::new(
+                self.mass_cache
+                    .lock()
+                    .expect("mass cache lock never poisoned")
+                    .clone(),
+            ),
+        }
+    }
 }
 
 impl PartialEq for AccuracyModel {
@@ -176,6 +211,7 @@ impl Deserialize for AccuracyModel {
             profile: Deserialize::from_value(serde::value::field(value, "profile")?)?,
             importance: Deserialize::from_value(serde::value::field(value, "importance")?)?,
             rankings: OnceLock::new(),
+            mass_cache: Mutex::new(HashMap::new()),
         })
     }
 }
@@ -195,6 +231,7 @@ impl AccuracyModel {
             profile,
             importance,
             rankings: OnceLock::new(),
+            mass_cache: Mutex::new(HashMap::new()),
         })
     }
 
@@ -217,26 +254,39 @@ impl AccuracyModel {
     /// interval stage `k` owns in `layer`, memoised so the capacity
     /// computation stops recomputing it per (stage, earlier-stage) pair.
     /// Each entry is built with the same expression `visible_mass` uses,
-    /// so reading the table is bit-identical to recomputing.
-    fn slice_mass_table(&self, dynamic: &DynamicNetwork, layers: &[LayerId]) -> Vec<Vec<f64>> {
-        let partition = dynamic.partition();
-        let num_stages = dynamic.num_stages();
-        layers
-            .iter()
-            .map(|layer| {
-                (0..num_stages)
-                    .map(|k| {
-                        let upper = partition.cumulative_fraction(*layer, k);
-                        let lower = if k == 0 {
-                            0.0
-                        } else {
-                            partition.cumulative_fraction(*layer, k - 1)
-                        };
-                        self.cached_mass(*layer, upper) - self.cached_mass(*layer, lower)
-                    })
-                    .collect()
-            })
-            .collect()
+    /// so reading the table is bit-identical to recomputing. Flat
+    /// layer-major storage (`layers.len() × num_stages`), one allocation.
+    fn slice_mass_rows(
+        &self,
+        partition: &crate::partition::PartitionMatrix,
+        num_stages: usize,
+        layers: &[LayerId],
+    ) -> Vec<f64> {
+        let mut masses = Vec::with_capacity(layers.len() * num_stages);
+        for layer in layers {
+            self.push_mass_row(partition, num_stages, *layer, &mut masses);
+        }
+        masses
+    }
+
+    /// Appends one layer's slice-mass row to `masses` — the single
+    /// expression every mass in the model comes from.
+    fn push_mass_row(
+        &self,
+        partition: &crate::partition::PartitionMatrix,
+        num_stages: usize,
+        layer: LayerId,
+        masses: &mut Vec<f64>,
+    ) {
+        for k in 0..num_stages {
+            let upper = partition.cumulative_fraction(layer, k);
+            let lower = if k == 0 {
+                0.0
+            } else {
+                partition.cumulative_fraction(layer, k - 1)
+            };
+            masses.push(self.cached_mass(layer, upper) - self.cached_mass(layer, lower));
+        }
     }
 
     /// The profile in use.
@@ -333,35 +383,145 @@ impl AccuracyModel {
         dynamic: &DynamicNetwork,
         dataset: &SyntheticValidationSet,
     ) -> DynamicAccuracyReport {
-        let num_stages = dynamic.num_stages();
-        let network = dynamic.network();
-        let indicator = dynamic.indicator();
-        let layers = network.partitionable_layers();
+        self.evaluate_parts(
+            dynamic.partition(),
+            dynamic.indicator(),
+            &dynamic.network().partitionable_layers(),
+            dataset,
+        )
+    }
 
-        // Capacities from the memoised slice-mass table: same loop order
-        // and arithmetic as `stage_capacity`/`visible_mass`, with the mass
-        // differences computed once per (layer, stage) instead of once per
-        // (layer, stage, earlier-stage) triple.
-        let stage_capacity: Vec<f64> = if layers.is_empty() {
+    /// [`AccuracyModel::evaluate`] from the transformation's defining
+    /// parts — the accuracy model only ever reads the partition, the
+    /// indicator and the partitionable-layer list, so callers that never
+    /// materialise a [`DynamicNetwork`] (the fused evaluation path) call
+    /// this directly with a precomputed layer list.
+    pub fn evaluate_parts(
+        &self,
+        partition: &crate::partition::PartitionMatrix,
+        indicator: &crate::indicator::IndicatorMatrix,
+        layers: &[LayerId],
+        dataset: &SyntheticValidationSet,
+    ) -> DynamicAccuracyReport {
+        let num_stages = partition.num_stages();
+        let stage_capacity = if layers.is_empty() {
             vec![1.0; num_stages]
         } else {
-            let masses = self.slice_mass_table(dynamic, &layers);
-            (0..num_stages)
-                .map(|stage| {
-                    let mut total = 0.0;
-                    for (row, layer) in masses.iter().zip(&layers) {
-                        let mut visible = row[stage];
-                        for (earlier, slice) in row.iter().enumerate().take(stage) {
-                            if indicator.is_forwarded(*layer, earlier) {
-                                visible += slice;
-                            }
-                        }
-                        total += visible.clamp(0.0, 1.0);
-                    }
-                    (total / layers.len() as f64).clamp(0.0, 1.0)
-                })
-                .collect()
+            let masses = self.slice_mass_rows(partition, num_stages, layers);
+            self.capacities_from_masses(&masses, indicator, layers, num_stages)
         };
+        self.report_from_capacities(stage_capacity, num_stages, dataset)
+    }
+
+    /// [`AccuracyModel::evaluate_parts`] with caller-supplied per-layer
+    /// row keys that memoise the slice-mass rows across evaluations.
+    ///
+    /// `row_keys[i]` must be a value that changes whenever `layers[i]`'s
+    /// partition row changes (the search derives it from the genome's
+    /// integer slot row, whose space per layer is tiny — at most 165
+    /// distinct rows for 8 slots over 4 stages — so rows repeat constantly
+    /// across a population while full structures never do). A key hit is
+    /// verified against the stored layer and fractions before it is
+    /// honoured, so a stale or colliding key degrades to recomputation,
+    /// never to wrong masses; every mass is produced by the same
+    /// expression as [`AccuracyModel::evaluate_parts`], making the report
+    /// bit-identical.
+    pub fn evaluate_parts_keyed(
+        &self,
+        partition: &crate::partition::PartitionMatrix,
+        indicator: &crate::indicator::IndicatorMatrix,
+        layers: &[LayerId],
+        dataset: &SyntheticValidationSet,
+        row_keys: &[u64],
+    ) -> DynamicAccuracyReport {
+        if row_keys.len() != layers.len() {
+            return self.evaluate_parts(partition, indicator, layers, dataset);
+        }
+        let num_stages = partition.num_stages();
+        let stage_capacity = if layers.is_empty() {
+            vec![1.0; num_stages]
+        } else {
+            let mut masses = Vec::with_capacity(layers.len() * num_stages);
+            let mut fractions = Vec::with_capacity(num_stages);
+            for (layer, key) in layers.iter().zip(row_keys) {
+                fractions.clear();
+                fractions.extend((0..num_stages).map(|k| partition.fraction(*layer, k)));
+                // Probe under a short-lived lock; misses recompute with
+                // the lock *released* so parallel evaluation workers never
+                // serialise behind each other's row computations (the row
+                // is a pure function — a racing duplicate insert is
+                // benign, last writer wins with an equal value).
+                let hit = {
+                    let cache = self
+                        .mass_cache
+                        .lock()
+                        .expect("mass cache lock never poisoned");
+                    match cache.get(key) {
+                        Some(row) if row.layer == *layer && row.fractions == fractions => {
+                            masses.extend_from_slice(&row.masses);
+                            true
+                        }
+                        _ => false,
+                    }
+                };
+                if !hit {
+                    let start = masses.len();
+                    self.push_mass_row(partition, num_stages, *layer, &mut masses);
+                    self.mass_cache
+                        .lock()
+                        .expect("mass cache lock never poisoned")
+                        .insert(
+                            *key,
+                            MassRow {
+                                layer: *layer,
+                                fractions: fractions.clone(),
+                                masses: masses[start..].to_vec(),
+                            },
+                        );
+                }
+            }
+            self.capacities_from_masses(&masses, indicator, layers, num_stages)
+        };
+        self.report_from_capacities(stage_capacity, num_stages, dataset)
+    }
+
+    /// Stage capacities from flat slice-mass rows: same loop order and
+    /// arithmetic as `stage_capacity`/`visible_mass`, with the mass
+    /// differences computed once per (layer, stage) instead of once per
+    /// (layer, stage, earlier-stage) triple.
+    fn capacities_from_masses(
+        &self,
+        masses: &[f64],
+        indicator: &crate::indicator::IndicatorMatrix,
+        layers: &[LayerId],
+        num_stages: usize,
+    ) -> Vec<f64> {
+        (0..num_stages)
+            .map(|stage| {
+                let mut total = 0.0;
+                for (row, layer) in masses.chunks_exact(num_stages).zip(layers) {
+                    let mut visible = row[stage];
+                    for (earlier, slice) in row.iter().enumerate().take(stage) {
+                        if indicator.is_forwarded(*layer, earlier) {
+                            visible += slice;
+                        }
+                    }
+                    total += visible.clamp(0.0, 1.0);
+                }
+                (total / layers.len() as f64).clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+
+    /// Everything downstream of the capacities: accuracies, exit
+    /// histogram, correctness counts and the assembled report. Shared by
+    /// the plain and keyed paths so they cannot drift.
+    fn report_from_capacities(
+        &self,
+        stage_capacity: Vec<f64>,
+        num_stages: usize,
+        dataset: &SyntheticValidationSet,
+    ) -> DynamicAccuracyReport {
         let stage_accuracy: Vec<f64> = stage_capacity
             .iter()
             .map(|c| self.profile.max_accuracy * self.quality(*c))

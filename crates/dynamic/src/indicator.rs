@@ -15,9 +15,10 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IndicatorMatrix {
     num_stages: usize,
-    /// `rows[layer][stage]` — whether stage `stage`'s output of `layer` is
-    /// forwarded to later stages.
-    rows: Vec<Vec<bool>>,
+    /// `data[layer * num_stages + stage]` — whether stage `stage`'s output
+    /// of `layer` is forwarded to later stages. Flat row-major storage:
+    /// one allocation per decoded genome instead of one per layer.
+    data: Vec<bool>,
 }
 
 impl IndicatorMatrix {
@@ -26,7 +27,7 @@ impl IndicatorMatrix {
     pub fn full(network: &Network, num_stages: usize) -> Self {
         IndicatorMatrix {
             num_stages: num_stages.max(1),
-            rows: vec![vec![true; num_stages.max(1)]; network.num_layers()],
+            data: vec![true; network.num_layers() * num_stages.max(1)],
         }
     }
 
@@ -35,7 +36,7 @@ impl IndicatorMatrix {
     pub fn none(network: &Network, num_stages: usize) -> Self {
         IndicatorMatrix {
             num_stages: num_stages.max(1),
-            rows: vec![vec![false; num_stages.max(1)]; network.num_layers()],
+            data: vec![false; network.num_layers() * num_stages.max(1)],
         }
     }
 
@@ -49,12 +50,6 @@ impl IndicatorMatrix {
         if rows.is_empty() || rows[0].is_empty() {
             return Err(DynamicError::InvalidStageCount { stages: 0 });
         }
-        if rows.len() != network.num_layers() {
-            return Err(DynamicError::ShapeMismatch {
-                expected: format!("{} layer rows", network.num_layers()),
-                actual: format!("{} rows", rows.len()),
-            });
-        }
         let num_stages = rows[0].len();
         for (index, row) in rows.iter().enumerate() {
             if row.len() != num_stages {
@@ -64,7 +59,33 @@ impl IndicatorMatrix {
                 });
             }
         }
-        Ok(IndicatorMatrix { num_stages, rows })
+        let data = rows.into_iter().flatten().collect();
+        Self::from_flat(network, num_stages, data)
+    }
+
+    /// Builds an indicator matrix from flat row-major entries
+    /// (`data[layer * num_stages + stage]`) — the allocation-light
+    /// constructor genome decoding uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the entry count does not match
+    /// `network.num_layers() * num_stages`.
+    pub fn from_flat(
+        network: &Network,
+        num_stages: usize,
+        data: Vec<bool>,
+    ) -> Result<Self, DynamicError> {
+        if num_stages == 0 || data.is_empty() {
+            return Err(DynamicError::InvalidStageCount { stages: 0 });
+        }
+        if data.len() != network.num_layers() * num_stages {
+            return Err(DynamicError::ShapeMismatch {
+                expected: format!("{} layer rows", network.num_layers()),
+                actual: format!("{} rows", data.len() / num_stages),
+            });
+        }
+        Ok(IndicatorMatrix { num_stages, data })
     }
 
     /// Number of stages.
@@ -74,17 +95,28 @@ impl IndicatorMatrix {
 
     /// Number of layer rows.
     pub fn num_layers(&self) -> usize {
-        self.rows.len()
+        self.data.len() / self.num_stages.max(1)
     }
 
     /// Whether stage `stage`'s features of `layer` are forwarded to later
     /// stages. Out-of-range queries return `false`.
     pub fn is_forwarded(&self, layer: LayerId, stage: usize) -> bool {
-        self.rows
-            .get(layer.0)
-            .and_then(|row| row.get(stage))
+        if stage >= self.num_stages {
+            return false;
+        }
+        self.data
+            .get(layer.0 * self.num_stages + stage)
             .copied()
             .unwrap_or(false)
+    }
+
+    /// One layer's forwarding row (`row(l)[s] == is_forwarded(l, s)`), or
+    /// `None` for an out-of-range layer. Hot loops that test forwarding
+    /// for many (layer, stage) pairs hoist the row once instead of paying
+    /// the per-call double lookup.
+    pub fn row(&self, layer: LayerId) -> Option<&[bool]> {
+        let start = layer.0.checked_mul(self.num_stages)?;
+        self.data.get(start..start + self.num_stages)
     }
 
     /// Sets one entry.
@@ -98,20 +130,19 @@ impl IndicatorMatrix {
         stage: usize,
         forwarded: bool,
     ) -> Result<(), DynamicError> {
-        let row = self
-            .rows
-            .get_mut(layer.0)
-            .ok_or_else(|| DynamicError::ShapeMismatch {
+        if layer.0 >= self.num_layers() {
+            return Err(DynamicError::ShapeMismatch {
                 expected: "valid layer index".to_string(),
                 actual: format!("layer {}", layer.0),
-            })?;
-        let entry = row
-            .get_mut(stage)
-            .ok_or_else(|| DynamicError::ShapeMismatch {
+            });
+        }
+        if stage >= self.num_stages {
+            return Err(DynamicError::ShapeMismatch {
                 expected: format!("stage < {}", self.num_stages),
                 actual: format!("stage {stage}"),
-            })?;
-        *entry = forwarded;
+            });
+        }
+        self.data[layer.0 * self.num_stages + stage] = forwarded;
         Ok(())
     }
 
@@ -119,16 +150,11 @@ impl IndicatorMatrix {
     /// count, because the last stage has no later consumer. This is the
     /// "Fmap Reuse %" the paper reports and constrains.
     pub fn reuse_ratio(&self) -> f64 {
-        if self.num_stages <= 1 || self.rows.is_empty() {
+        if self.num_stages <= 1 || self.data.is_empty() {
             return 0.0;
         }
-        let relevant = self.rows.len() * (self.num_stages - 1);
-        let set: usize = self
-            .rows
-            .iter()
-            .map(|row| row.iter().take(self.num_stages - 1).filter(|b| **b).count())
-            .sum();
-        set as f64 / relevant as f64
+        let relevant = self.num_layers() * (self.num_stages - 1);
+        set_count(&self.data, self.num_stages) as f64 / relevant as f64
     }
 
     /// Number of `(layer, stage)` pairs whose features are forwarded
@@ -137,11 +163,16 @@ impl IndicatorMatrix {
         if self.num_stages <= 1 {
             return 0;
         }
-        self.rows
-            .iter()
-            .map(|row| row.iter().take(self.num_stages - 1).filter(|b| **b).count())
-            .sum()
+        set_count(&self.data, self.num_stages)
     }
+}
+
+/// Set bits over stages `0..num_stages-1` of every row of a flat
+/// indicator buffer.
+fn set_count(data: &[bool], num_stages: usize) -> usize {
+    data.chunks_exact(num_stages)
+        .map(|row| row.iter().take(num_stages - 1).filter(|b| **b).count())
+        .sum()
 }
 
 #[cfg(test)]

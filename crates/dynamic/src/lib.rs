@@ -49,4 +49,4 @@ pub use dataset::{DifficultyIndex, SyntheticSample, SyntheticValidationSet};
 pub use error::DynamicError;
 pub use indicator::IndicatorMatrix;
 pub use partition::{PartitionMatrix, RATIO_QUANTUM};
-pub use transform::{DynamicNetwork, LayerSlice, Stage, StageTransfer};
+pub use transform::{DynamicNetwork, LayerSlice, QuantSliceGrid, SliceGrid, Stage, StageTransfer};

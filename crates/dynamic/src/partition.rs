@@ -18,9 +18,12 @@ pub const RATIO_QUANTUM: f64 = 1.0 / 8.0;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartitionMatrix {
     num_stages: usize,
-    /// `rows[layer][stage]` — fraction of layer `layer`'s width assigned to
-    /// `stage`. One row per network layer (partitionable or not).
-    rows: Vec<Vec<f64>>,
+    /// `data[layer * num_stages + stage]` — fraction of layer `layer`'s
+    /// width assigned to `stage`, one row per network layer
+    /// (partitionable or not). Flat row-major storage: a matrix is built
+    /// once per decoded genome on the search's hot path, so it costs one
+    /// allocation instead of one per layer.
+    data: Vec<f64>,
 }
 
 impl PartitionMatrix {
@@ -60,12 +63,6 @@ impl PartitionMatrix {
         if rows.is_empty() || rows[0].is_empty() {
             return Err(DynamicError::InvalidStageCount { stages: 0 });
         }
-        if rows.len() != network.num_layers() {
-            return Err(DynamicError::ShapeMismatch {
-                expected: format!("{} layer rows", network.num_layers()),
-                actual: format!("{} rows", rows.len()),
-            });
-        }
         let num_stages = rows[0].len();
         for (index, row) in rows.iter().enumerate() {
             if row.len() != num_stages {
@@ -74,6 +71,34 @@ impl PartitionMatrix {
                     actual: format!("{} entries in row {index}", row.len()),
                 });
             }
+        }
+        let data = rows.into_iter().flatten().collect();
+        Self::from_flat(network, num_stages, data)
+    }
+
+    /// Builds a partition from flat row-major fractions
+    /// (`data[layer * num_stages + stage]`) — the allocation-light
+    /// constructor genome decoding uses (one buffer instead of one row
+    /// vector per layer).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`PartitionMatrix::from_rows`].
+    pub fn from_flat(
+        network: &Network,
+        num_stages: usize,
+        data: Vec<f64>,
+    ) -> Result<Self, DynamicError> {
+        if num_stages == 0 || data.is_empty() {
+            return Err(DynamicError::InvalidStageCount { stages: 0 });
+        }
+        if data.len() != network.num_layers() * num_stages {
+            return Err(DynamicError::ShapeMismatch {
+                expected: format!("{} layer rows", network.num_layers()),
+                actual: format!("{} rows", data.len() / num_stages),
+            });
+        }
+        for (index, row) in data.chunks_exact(num_stages).enumerate() {
             let layer = network
                 .layer(LayerId(index))
                 .expect("row count checked against the network");
@@ -94,7 +119,7 @@ impl PartitionMatrix {
                 });
             }
         }
-        Ok(PartitionMatrix { num_stages, rows })
+        Ok(PartitionMatrix { num_stages, data })
     }
 
     /// Number of inference stages `M`.
@@ -104,20 +129,23 @@ impl PartitionMatrix {
 
     /// Number of layer rows.
     pub fn num_layers(&self) -> usize {
-        self.rows.len()
+        self.data.len() / self.num_stages.max(1)
     }
 
     /// The split row of a layer (`None` when out of range).
     pub fn row(&self, layer: LayerId) -> Option<&[f64]> {
-        self.rows.get(layer.0).map(Vec::as_slice)
+        let start = layer.0.checked_mul(self.num_stages)?;
+        self.data.get(start..start + self.num_stages)
     }
 
     /// Fraction of layer `layer`'s width assigned to `stage` (0 when out of
     /// range).
     pub fn fraction(&self, layer: LayerId, stage: usize) -> f64 {
-        self.rows
-            .get(layer.0)
-            .and_then(|row| row.get(stage))
+        if stage >= self.num_stages {
+            return 0.0;
+        }
+        self.data
+            .get(layer.0 * self.num_stages + stage)
             .copied()
             .unwrap_or(0.0)
     }
@@ -125,8 +153,7 @@ impl PartitionMatrix {
     /// Cumulative fraction of layer `layer`'s width owned by stages
     /// `0..=stage`.
     pub fn cumulative_fraction(&self, layer: LayerId, stage: usize) -> f64 {
-        self.rows
-            .get(layer.0)
+        self.row(layer)
             .map(|row| row.iter().take(stage + 1).sum::<f64>().min(1.0))
             .unwrap_or(0.0)
     }
@@ -138,9 +165,9 @@ impl PartitionMatrix {
     /// Returns an error when the layer index is out of range, the row has
     /// the wrong number of stages, or is not a valid split.
     pub fn set_row(&mut self, layer: LayerId, row: Vec<f64>) -> Result<(), DynamicError> {
-        if layer.0 >= self.rows.len() {
+        if layer.0 >= self.num_layers() {
             return Err(DynamicError::ShapeMismatch {
-                expected: format!("layer index < {}", self.rows.len()),
+                expected: format!("layer index < {}", self.num_layers()),
                 actual: format!("layer index {}", layer.0),
             });
         }
@@ -157,7 +184,8 @@ impl PartitionMatrix {
                 reason: "row is not a valid split".to_string(),
             });
         }
-        self.rows[layer.0] = row;
+        let start = layer.0 * self.num_stages;
+        self.data[start..start + self.num_stages].copy_from_slice(&row);
         Ok(())
     }
 

@@ -11,7 +11,7 @@
 use crate::error::DynamicError;
 use crate::indicator::IndicatorMatrix;
 use crate::partition::PartitionMatrix;
-use mnc_nn::{LayerId, LayerKind, Network, SliceCost};
+use mnc_nn::{FeatureShape, Layer, LayerId, LayerKind, Network, SliceCost};
 use serde::{Deserialize, Serialize};
 
 /// Bytes a layer slice must receive from one earlier stage before it can
@@ -65,6 +65,321 @@ impl Stage {
     /// Total bytes the stage pulls from earlier stages.
     pub fn total_incoming_bytes(&self) -> f64 {
         self.slices.iter().map(LayerSlice::incoming_bytes).sum()
+    }
+}
+
+/// The allocation-light evaluation view of a dynamic transformation.
+///
+/// [`DynamicNetwork::transform`] materialises the full stage/slice
+/// structure — including a clone of the network and the matrices — which
+/// costs two orders of magnitude more allocations than the arithmetic it
+/// performs. Hot evaluation paths (the search loop evaluates thousands of
+/// configurations whose structures never repeat) only ever consume three
+/// things per slice: its workload, its width fraction and the derived
+/// transfer bytes. [`SliceGrid::compute`] produces exactly those, in flat
+/// storage (three allocations total), by running the *same* recursion in
+/// the same order — every value is bit-identical to the corresponding
+/// [`DynamicNetwork`] field (property-tested in this module and end-to-end
+/// in `mnc_core`'s fused-evaluation suite).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceGrid {
+    num_stages: usize,
+    num_layers: usize,
+    /// `costs[stage * num_layers + layer]` — slice workloads, stage-major
+    /// so the performance model walks each stage contiguously.
+    costs: Vec<SliceCost>,
+    /// `own_fracs[layer * num_stages + stage]` — width fraction each stage
+    /// computes, layer-major like the recursion that fills it.
+    own_fracs: Vec<f64>,
+    stored_feature_bytes: f64,
+}
+
+/// Validates the (network, partition, indicator) shape agreement the grid
+/// builders require — the same checks, in the same order, with the same
+/// errors as [`DynamicNetwork::transform`]. Returns the stage count.
+fn validate_grid_shapes(
+    network: &Network,
+    partition: &PartitionMatrix,
+    indicator: &IndicatorMatrix,
+) -> Result<usize, DynamicError> {
+    let num_stages = partition.num_stages();
+    if num_stages == 0 {
+        return Err(DynamicError::InvalidStageCount { stages: 0 });
+    }
+    if indicator.num_stages() != num_stages {
+        return Err(DynamicError::ShapeMismatch {
+            expected: format!("{num_stages} stages in indicator"),
+            actual: format!("{}", indicator.num_stages()),
+        });
+    }
+    if partition.num_layers() != network.num_layers()
+        || indicator.num_layers() != network.num_layers()
+    {
+        return Err(DynamicError::ShapeMismatch {
+            expected: format!("{} layers", network.num_layers()),
+            actual: format!(
+                "partition {} / indicator {} layers",
+                partition.num_layers(),
+                indicator.num_layers()
+            ),
+        });
+    }
+    Ok(num_stages)
+}
+
+/// The shared layer-major transform recursion behind both grid builders:
+/// identical expressions and accumulation order to
+/// [`DynamicNetwork::transform`], with each slice handed to `record`
+/// instead of materialised. `record` returns `Ok(false)` to abort (the
+/// quantised builder bails on an off-grid fraction), in which case the
+/// function returns `None`. On success it returns the flat layer-major
+/// `own_fracs` matrix and the stored-feature byte total (same separate
+/// pass and summation order as the transform).
+fn slice_recursion<R>(
+    network: &Network,
+    partition: &PartitionMatrix,
+    indicator: &IndicatorMatrix,
+    num_stages: usize,
+    mut record: R,
+) -> Result<Option<(Vec<f64>, f64)>, DynamicError>
+where
+    R: FnMut(usize, LayerId, &Layer, &FeatureShape, f64, f64) -> Result<bool, DynamicError>,
+{
+    let num_layers = network.num_layers();
+    let mut own_fracs = vec![0.0f64; num_layers * num_stages];
+    let mut prev_own: Vec<f64> = vec![1.0; num_stages];
+    let default_frac = 1.0 / num_stages as f64;
+
+    for (layer_id, layer) in network.iter() {
+        let input_shape = network.input_shape_of(layer_id)?;
+        let prev_layer = layer_id.0.checked_sub(1).map(LayerId);
+
+        // The previous layer's forwarding row, hoisted out of the
+        // stage x earlier-stage loop (every row has `num_stages`
+        // entries, validated at matrix construction).
+        let prev_forwarded = prev_layer.and_then(|prev| indicator.row(prev));
+        for stage in 0..num_stages {
+            let in_frac = if let Some(forwarded) = prev_forwarded {
+                let mut visible = prev_own[stage];
+                for (earlier, own) in prev_own.iter().enumerate().take(stage) {
+                    if forwarded[earlier] {
+                        visible += own;
+                    }
+                }
+                visible.min(1.0)
+            } else {
+                1.0
+            };
+
+            let out_frac = match layer.kind {
+                _ if layer.is_partitionable() => partition.fraction(layer_id, stage),
+                LayerKind::Pool { .. } => prev_own[stage],
+                LayerKind::GlobalPool => in_frac,
+                LayerKind::Classifier { .. } => 1.0,
+                // Unreachable today: every non-partitionable kind is
+                // listed above, but stay conservative for new kinds.
+                _ => default_frac,
+            };
+            let out_frac = out_frac.clamp(0.0, 1.0);
+
+            if !record(stage, layer_id, layer, &input_shape, out_frac, in_frac)? {
+                return Ok(None);
+            }
+            own_fracs[layer_id.0 * num_stages + stage] = out_frac;
+        }
+
+        prev_own
+            .copy_from_slice(&own_fracs[layer_id.0 * num_stages..(layer_id.0 + 1) * num_stages]);
+    }
+
+    let mut stored_feature_bytes = 0.0;
+    for (layer_id, _) in network.iter() {
+        let bytes = network.output_shape_of(layer_id)?.num_bytes() as f64;
+        let forwarded = indicator
+            .row(layer_id)
+            .expect("layer count validated above");
+        for (stage, own) in own_fracs[layer_id.0 * num_stages..(layer_id.0 + 1) * num_stages]
+            .iter()
+            .enumerate()
+            .take(num_stages.saturating_sub(1))
+        {
+            if forwarded[stage] {
+                stored_feature_bytes += bytes * own;
+            }
+        }
+    }
+
+    Ok(Some((own_fracs, stored_feature_bytes)))
+}
+
+impl SliceGrid {
+    /// Runs the transform recursion without materialising the per-stage
+    /// slice structure.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`DynamicNetwork::transform`] on the same
+    /// inputs.
+    pub fn compute(
+        network: &Network,
+        partition: &PartitionMatrix,
+        indicator: &IndicatorMatrix,
+    ) -> Result<Self, DynamicError> {
+        let num_stages = validate_grid_shapes(network, partition, indicator)?;
+        let num_layers = network.num_layers();
+        let mut costs = vec![SliceCost::zero(); num_stages * num_layers];
+        let (own_fracs, stored_feature_bytes) = slice_recursion(
+            network,
+            partition,
+            indicator,
+            num_stages,
+            |stage, layer_id, layer, input_shape, out_frac, in_frac| {
+                costs[stage * num_layers + layer_id.0] =
+                    layer.slice_cost(input_shape, out_frac, in_frac)?;
+                Ok(true)
+            },
+        )?
+        .expect("the cost recorder never aborts");
+
+        Ok(SliceGrid {
+            num_stages,
+            num_layers,
+            costs,
+            own_fracs,
+            stored_feature_bytes,
+        })
+    }
+
+    /// Number of inference stages `M`.
+    pub fn num_stages(&self) -> usize {
+        self.num_stages
+    }
+
+    /// Number of network layers.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Workload of `layer`'s slice in `stage`.
+    pub fn cost(&self, stage: usize, layer: usize) -> &SliceCost {
+        &self.costs[stage * self.num_layers + layer]
+    }
+
+    /// Width fraction of `layer` computed by `stage` — bit-identical to
+    /// [`DynamicNetwork::own_fraction`].
+    pub fn own_fraction(&self, layer: usize, stage: usize) -> f64 {
+        self.own_fracs[layer * self.num_stages + stage]
+    }
+
+    /// Bytes of forwarded features that must stay resident in shared
+    /// memory — bit-identical to [`DynamicNetwork::stored_feature_bytes`].
+    pub fn stored_feature_bytes(&self) -> f64 {
+        self.stored_feature_bytes
+    }
+}
+
+/// [`SliceGrid`] for configurations whose slice fractions all sit on the
+/// exact 1/8-width grid the search's genome encoding produces: slices are
+/// recorded as integer eighths (`out_k`, `in_k`) instead of computed
+/// [`SliceCost`]s, so a quantised estimate table can resolve each slice's
+/// latency/energy with a single read and the per-slice workload
+/// arithmetic disappears from the hot path entirely.
+///
+/// [`QuantSliceGrid::compute`] runs the same recursion as
+/// [`SliceGrid::compute`] (the fractions it derives are bit-equal — sums,
+/// `min` and `clamp` of exact multiples of 1/8 stay exact in IEEE
+/// arithmetic) and returns `None` as soon as any fraction leaves the
+/// grid, letting callers fall back to the general path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantSliceGrid {
+    num_stages: usize,
+    num_layers: usize,
+    /// `[out_k, in_k]` in eighths, `indices[stage * num_layers + layer]`.
+    indices: Vec<[u8; 2]>,
+    /// `own_fracs[layer * num_stages + stage]`, exactly as [`SliceGrid`].
+    own_fracs: Vec<f64>,
+    stored_feature_bytes: f64,
+}
+
+/// `frac` as exact eighths, or `None` when it is off the 1/8 grid.
+fn eighths(frac: f64) -> Option<u8> {
+    let scaled = frac * 8.0;
+    if (0.0..=8.0).contains(&scaled) && scaled.fract() == 0.0 {
+        Some(scaled as u8)
+    } else {
+        None
+    }
+}
+
+impl QuantSliceGrid {
+    /// Runs the transform recursion in integer eighths. Returns
+    /// `Ok(None)` when a fraction falls off the 1/8 grid (a configuration
+    /// not produced by the genome encoding).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SliceGrid::compute`] on the same inputs.
+    pub fn compute(
+        network: &Network,
+        partition: &PartitionMatrix,
+        indicator: &IndicatorMatrix,
+    ) -> Result<Option<Self>, DynamicError> {
+        let num_stages = validate_grid_shapes(network, partition, indicator)?;
+        let num_layers = network.num_layers();
+        let mut indices = vec![[0u8; 2]; num_stages * num_layers];
+        let Some((own_fracs, stored_feature_bytes)) = slice_recursion(
+            network,
+            partition,
+            indicator,
+            num_stages,
+            |stage, layer_id, _layer, _input_shape, out_frac, in_frac| {
+                let (Some(out_k), Some(in_k)) = (eighths(out_frac), eighths(in_frac)) else {
+                    return Ok(false);
+                };
+                indices[stage * num_layers + layer_id.0] = [out_k, in_k];
+                Ok(true)
+            },
+        )?
+        else {
+            return Ok(None);
+        };
+
+        Ok(Some(QuantSliceGrid {
+            num_stages,
+            num_layers,
+            indices,
+            own_fracs,
+            stored_feature_bytes,
+        }))
+    }
+
+    /// Number of inference stages `M`.
+    pub fn num_stages(&self) -> usize {
+        self.num_stages
+    }
+
+    /// Number of network layers.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// `(out_k, in_k)` of `layer`'s slice in `stage`, in eighths.
+    #[inline]
+    pub fn slice_eighths(&self, stage: usize, layer: usize) -> (usize, usize) {
+        let [out_k, in_k] = self.indices[stage * self.num_layers + layer];
+        (out_k as usize, in_k as usize)
+    }
+
+    /// Width fraction of `layer` computed by `stage` — bit-identical to
+    /// [`DynamicNetwork::own_fraction`].
+    pub fn own_fraction(&self, layer: usize, stage: usize) -> f64 {
+        self.own_fracs[layer * self.num_stages + stage]
+    }
+
+    /// Bytes of forwarded features that must stay resident in shared
+    /// memory — bit-identical to [`DynamicNetwork::stored_feature_bytes`].
+    pub fn stored_feature_bytes(&self) -> f64 {
+        self.stored_feature_bytes
     }
 }
 
@@ -440,6 +755,47 @@ mod tests {
         let stage_cost = dynamic.stage(0).unwrap().total_cost();
         assert!((static_cost.macs - stage_cost.macs).abs() / static_cost.macs < 1e-9);
         assert_eq!(dynamic.total_transfer_bytes(), 0.0);
+    }
+
+    #[test]
+    fn slice_grid_matches_full_transform_bit_for_bit() {
+        for (net, stages) in [
+            (visformer_tiny(ModelPreset::cifar100()), 3),
+            (tiny_cnn(ModelPreset::cifar10()), 2),
+        ] {
+            let partition = PartitionMatrix::uniform(&net, stages).unwrap();
+            let mut indicator = IndicatorMatrix::full(&net, stages);
+            for layer in 0..net.num_layers() {
+                if layer % 3 == 0 {
+                    indicator.set(LayerId(layer), 0, false).unwrap();
+                }
+            }
+            let dynamic = DynamicNetwork::transform(&net, &partition, &indicator).unwrap();
+            let grid = SliceGrid::compute(&net, &partition, &indicator).unwrap();
+            assert_eq!(grid.num_stages(), dynamic.num_stages());
+            assert_eq!(grid.num_layers(), net.num_layers());
+            assert_eq!(
+                grid.stored_feature_bytes().to_bits(),
+                dynamic.stored_feature_bytes().to_bits()
+            );
+            for stage in dynamic.stages() {
+                for (layer, slice) in stage.slices.iter().enumerate() {
+                    assert_eq!(grid.cost(stage.index, layer), &slice.cost);
+                    assert_eq!(
+                        grid.own_fraction(layer, stage.index).to_bits(),
+                        dynamic.own_fraction(LayerId(layer), stage.index).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_grid_rejects_mismatched_matrices() {
+        let net = tiny_cnn(ModelPreset::cifar10());
+        let partition = PartitionMatrix::uniform(&net, 3).unwrap();
+        let indicator_two = IndicatorMatrix::full(&net, 2);
+        assert!(SliceGrid::compute(&net, &partition, &indicator_two).is_err());
     }
 
     proptest! {

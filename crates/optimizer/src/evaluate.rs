@@ -12,6 +12,20 @@
 //!   search or across service requests — skip both the decode and the
 //!   simulation.
 //!
+//! Results come back `Arc`-backed: one evaluation is shared by the search
+//! archive, the elite set and any cache layer without ever deep-cloning
+//! the decoded configuration again.
+//!
+//! The search loop's fresh evaluations go through
+//! [`ConfigEvaluator::evaluate_genome_fast`]: implementations route it to
+//! their cheapest bit-identical pipeline — for [`mnc_core::Evaluator`]
+//! that is [`mnc_core::Evaluator::evaluate_fused`], which runs the
+//! transform recursion into flat storage instead of materialising a
+//! `DynamicNetwork` per candidate (a GA population practically never
+//! repeats a structure, so per-structure transform caching cannot help;
+//! making the one-shot pipeline allocation-light does). The default
+//! implementation falls back to [`ConfigEvaluator::evaluate_genome`].
+//!
 //! Implementations must be pure: the same genome must always produce the
 //! same result. The search relies on this for its determinism guarantee
 //! (identical outcomes regardless of thread count).
@@ -21,6 +35,7 @@ use crate::genome::Genome;
 use mnc_core::{EvaluationResult, Evaluator, MappingConfig};
 use mnc_mpsoc::Platform;
 use mnc_nn::Network;
+use std::sync::Arc;
 
 /// Turns genomes into evaluated configurations for one (network, platform)
 /// pair.
@@ -40,7 +55,38 @@ pub trait ConfigEvaluator: Sync {
     fn evaluate_genome(
         &self,
         genome: &Genome,
-    ) -> Result<(MappingConfig, EvaluationResult), OptimError>;
+    ) -> Result<(Arc<MappingConfig>, Arc<EvaluationResult>), OptimError>;
+
+    /// Like [`ConfigEvaluator::evaluate_genome`], through the
+    /// implementation's fastest bit-identical pipeline — the hook the
+    /// search loop's fresh (non-memoised) evaluations use. The default
+    /// forwards to the plain path.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ConfigEvaluator::evaluate_genome`].
+    fn evaluate_genome_fast(
+        &self,
+        genome: &Genome,
+    ) -> Result<(Arc<MappingConfig>, Arc<EvaluationResult>), OptimError> {
+        self.evaluate_genome(genome)
+    }
+
+    /// Like [`ConfigEvaluator::evaluate_genome`], through the
+    /// implementation's retained pre-fast-path pipeline — the hook
+    /// [`crate::MappingSearch::run_reference`] drives so the benchmark
+    /// baseline pays what the loop paid before the search fast path. The
+    /// default forwards to the plain path.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ConfigEvaluator::evaluate_genome`].
+    fn evaluate_genome_reference(
+        &self,
+        genome: &Genome,
+    ) -> Result<(Arc<MappingConfig>, Arc<EvaluationResult>), OptimError> {
+        self.evaluate_genome(genome)
+    }
 }
 
 impl ConfigEvaluator for Evaluator {
@@ -55,10 +101,35 @@ impl ConfigEvaluator for Evaluator {
     fn evaluate_genome(
         &self,
         genome: &Genome,
-    ) -> Result<(MappingConfig, EvaluationResult), OptimError> {
+    ) -> Result<(Arc<MappingConfig>, Arc<EvaluationResult>), OptimError> {
         let config = genome.decode(Evaluator::network(self), Evaluator::platform(self))?;
         let result = self.evaluate(&config)?;
-        Ok((config, result))
+        Ok((Arc::new(config), Arc::new(result)))
+    }
+
+    fn evaluate_genome_fast(
+        &self,
+        genome: &Genome,
+    ) -> Result<(Arc<MappingConfig>, Arc<EvaluationResult>), OptimError> {
+        let config = genome.decode(Evaluator::network(self), Evaluator::platform(self))?;
+        // Bit-identical to `evaluate` (property-tested in `mnc_core`'s
+        // fused-evaluation suite), two orders of magnitude fewer
+        // allocations; the genome's integer slot rows key the accuracy
+        // model's slice-mass memo.
+        let result = self.evaluate_fused_keyed(&config, &genome.partition_row_keys())?;
+        Ok((Arc::new(config), Arc::new(result)))
+    }
+
+    fn evaluate_genome_reference(
+        &self,
+        genome: &Genome,
+    ) -> Result<(Arc<MappingConfig>, Arc<EvaluationResult>), OptimError> {
+        // The pre-fast-path pipeline end to end: row-by-row decode plus
+        // the transform-materialising `evaluate`.
+        let config =
+            genome.decode_reference(Evaluator::network(self), Evaluator::platform(self))?;
+        let result = self.evaluate(&config)?;
+        Ok((Arc::new(config), Arc::new(result)))
     }
 }
 
@@ -74,7 +145,60 @@ impl<T: ConfigEvaluator + ?Sized> ConfigEvaluator for &T {
     fn evaluate_genome(
         &self,
         genome: &Genome,
-    ) -> Result<(MappingConfig, EvaluationResult), OptimError> {
+    ) -> Result<(Arc<MappingConfig>, Arc<EvaluationResult>), OptimError> {
         (**self).evaluate_genome(genome)
+    }
+
+    fn evaluate_genome_fast(
+        &self,
+        genome: &Genome,
+    ) -> Result<(Arc<MappingConfig>, Arc<EvaluationResult>), OptimError> {
+        (**self).evaluate_genome_fast(genome)
+    }
+
+    fn evaluate_genome_reference(
+        &self,
+        genome: &Genome,
+    ) -> Result<(Arc<MappingConfig>, Arc<EvaluationResult>), OptimError> {
+        (**self).evaluate_genome_reference(genome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_core::EvaluatorBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn evaluator() -> Evaluator {
+        EvaluatorBuilder::new(
+            mnc_nn::models::visformer_tiny(mnc_nn::models::ModelPreset::cifar100()),
+            Platform::dual_test(),
+        )
+        .validation_samples(300)
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn fast_hook_is_bit_identical_to_plain() {
+        let evaluator = evaluator();
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..8 {
+            let genome = Genome::random(
+                ConfigEvaluator::network(&evaluator),
+                ConfigEvaluator::platform(&evaluator),
+                &mut rng,
+            );
+            let (plain_config, plain_result) = evaluator.evaluate_genome(&genome).unwrap();
+            let (fast_config, fast_result) = evaluator.evaluate_genome_fast(&genome).unwrap();
+            assert_eq!(*plain_config, *fast_config);
+            assert_eq!(*plain_result, *fast_result);
+            assert_eq!(
+                plain_result.objective.to_bits(),
+                fast_result.objective.to_bits()
+            );
+        }
     }
 }

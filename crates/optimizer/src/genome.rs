@@ -131,6 +131,13 @@ impl Genome {
         self.num_stages
     }
 
+    /// Number of network layers the genome encodes indicator rows for —
+    /// the layer count of the network it was built against (used to
+    /// screen warm-start seeds before decoding).
+    pub fn num_layers(&self) -> usize {
+        self.indicator.len()
+    }
+
     /// Slot allocations per partitionable layer.
     pub fn partition_slots(&self) -> &[Vec<u8>] {
         &self.partition_slots
@@ -246,8 +253,138 @@ impl Genome {
             });
         }
 
+        // Flat buffers cannot detect a mis-sized row after the fact the
+        // way the nested constructors can, so reject malformed rows (only
+        // reachable through hand-deserialized genomes) up front with the
+        // same error shape `from_rows` raises in `decode_reference` —
+        // without this, a short and a long row could compensate each
+        // other and silently misalign the flat matrix.
+        for (slot_row, layer_index) in self.partition_slots.iter().zip(&self.partitionable) {
+            if slot_row.len() != self.num_stages {
+                return Err(
+                    CoreError::Dynamic(mnc_dynamic::DynamicError::ShapeMismatch {
+                        expected: format!("{} stages", self.num_stages),
+                        actual: format!("{} entries in row {layer_index}", slot_row.len()),
+                    })
+                    .into(),
+                );
+            }
+        }
+        for (layer, row) in self.indicator.iter().enumerate() {
+            if row.len() + 1 != self.num_stages {
+                return Err(
+                    CoreError::Dynamic(mnc_dynamic::DynamicError::ShapeMismatch {
+                        expected: format!("{} stages", self.num_stages),
+                        actual: format!("{} entries in row {layer}", row.len() + 1),
+                    })
+                    .into(),
+                );
+            }
+        }
+
         // Partition matrix: explicit rows for partitionable layers, an even
         // placeholder for the rest (they follow their producers anyway).
+        // Built as one flat row-major buffer — decoding runs once per
+        // fresh evaluation on the search's hot path, so it costs two
+        // matrix allocations, not two per layer. The layer list every
+        // constructor produces is ascending, so rows stream in place; the
+        // fallback covers hand-deserialized genomes with a shuffled list.
+        let uniform = 1.0 / self.num_stages as f64;
+        let mut partition_data = Vec::with_capacity(network.num_layers() * self.num_stages);
+        let sorted = self.partitionable.windows(2).all(|pair| pair[0] < pair[1]);
+        if sorted {
+            let mut next = self
+                .partitionable
+                .iter()
+                .zip(&self.partition_slots)
+                .peekable();
+            for layer in 0..network.num_layers() {
+                match next.peek() {
+                    Some((index, slot_row)) if **index == layer => {
+                        partition_data
+                            .extend(slot_row.iter().map(|s| *s as f64 / PARTITION_SLOTS as f64));
+                        next.next();
+                    }
+                    _ => partition_data.extend(std::iter::repeat_n(uniform, self.num_stages)),
+                }
+            }
+        } else {
+            partition_data.extend(std::iter::repeat_n(
+                uniform,
+                network.num_layers() * self.num_stages,
+            ));
+            for (slot_row, layer_index) in self.partition_slots.iter().zip(&self.partitionable) {
+                for (stage, slot) in slot_row.iter().take(self.num_stages).enumerate() {
+                    partition_data[layer_index * self.num_stages + stage] =
+                        *slot as f64 / PARTITION_SLOTS as f64;
+                }
+            }
+        }
+        let partition = PartitionMatrix::from_flat(network, self.num_stages, partition_data)
+            .map_err(CoreError::Dynamic)?;
+
+        let mut indicator_data = Vec::with_capacity(network.num_layers() * self.num_stages);
+        for row in &self.indicator {
+            indicator_data.extend_from_slice(row);
+            indicator_data.push(false); // the final stage's features are never forwarded
+        }
+        let indicator = IndicatorMatrix::from_flat(network, self.num_stages, indicator_data)
+            .map_err(CoreError::Dynamic)?;
+
+        let mapping = Mapping::new(self.mapping.iter().map(|&i| CuId(i)).collect(), platform)?;
+
+        let levels: Vec<usize> = self
+            .mapping
+            .iter()
+            .zip(&self.dvfs)
+            .map(|(&cu_index, &gene)| {
+                let cu = platform
+                    .compute_unit(CuId(cu_index))
+                    .expect("mapping validated above");
+                let max_level = cu.dvfs().num_levels() - 1;
+                ((gene as f64 / (DVFS_RESOLUTION - 1) as f64) * max_level as f64).round() as usize
+            })
+            .collect();
+        let dvfs = DvfsAssignment::new(levels, &mapping, platform)?;
+
+        Ok(MappingConfig::new(partition, indicator, mapping, dvfs)?)
+    }
+
+    /// Decodes through the pre-fast-path construction: per-layer row
+    /// vectors assembled one allocation at a time and flattened by the
+    /// matrix constructors, exactly as decoding worked before the search
+    /// fast path. The configuration it produces is identical to
+    /// [`Genome::decode`]'s (property-tested); retained as the baseline
+    /// for the `search_fastpath` benchmark and as the oracle for the
+    /// flat-construction rewrite.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Genome::decode`].
+    pub fn decode_reference(
+        &self,
+        network: &Network,
+        platform: &Platform,
+    ) -> Result<MappingConfig, OptimError> {
+        if self.num_stages != platform.num_compute_units() {
+            return Err(OptimError::InvalidConfig {
+                reason: format!(
+                    "genome encodes {} stages but platform has {} compute units",
+                    self.num_stages,
+                    platform.num_compute_units()
+                ),
+            });
+        }
+        if self.indicator.len() != network.num_layers() {
+            return Err(OptimError::InvalidConfig {
+                reason: format!(
+                    "genome encodes {} layers but network has {}",
+                    self.indicator.len(),
+                    network.num_layers()
+                ),
+            });
+        }
+
         let uniform_row = vec![1.0 / self.num_stages as f64; self.num_stages];
         let mut rows = vec![uniform_row; network.num_layers()];
         for (slot_row, layer_index) in self.partition_slots.iter().zip(&self.partitionable) {
@@ -271,7 +408,6 @@ impl Genome {
             IndicatorMatrix::from_rows(network, indicator_rows).map_err(CoreError::Dynamic)?;
 
         let mapping = Mapping::new(self.mapping.iter().map(|&i| CuId(i)).collect(), platform)?;
-
         let levels: Vec<usize> = self
             .mapping
             .iter()
@@ -309,6 +445,30 @@ impl Genome {
         self.partitionable.iter().map(|&i| LayerId(i)).collect()
     }
 
+    /// Per-partitionable-layer cache keys for the keyed accuracy fast
+    /// path (`mnc_dynamic`'s `AccuracyModel::evaluate_parts_keyed`): one
+    /// `u64` per partitionable layer, packing the layer index with the
+    /// integer slot row (4 bits per slot, slot values are at most
+    /// [`PARTITION_SLOTS`]). Two genomes produce equal keys for a layer
+    /// iff their slot rows are equal (for at most 10 stages — beyond
+    /// that, packed rows could alias, which the consumer's verify-on-hit
+    /// turns into a recomputation rather than an error), so the decoded
+    /// fraction rows — `slots / 8` exactly, in IEEE arithmetic — are
+    /// equal too.
+    pub fn partition_row_keys(&self) -> Vec<u64> {
+        self.partitionable
+            .iter()
+            .zip(&self.partition_slots)
+            .map(|(layer, slots)| {
+                let mut packed = (*layer as u64) << 40;
+                for (position, slot) in slots.iter().enumerate().take(10) {
+                    packed |= (u64::from(*slot) & 0xF) << (position * 4);
+                }
+                packed
+            })
+            .collect()
+    }
+
     /// A stable 64-bit fingerprint of every gene.
     ///
     /// Two genomes fingerprint equal iff they are equal, up to hash
@@ -320,8 +480,13 @@ impl Genome {
     pub fn fingerprint(&self) -> u64 {
         let mut hasher = mnc_core::StableHasher::new();
         self.structure_into(&mut hasher);
+        // Mapping entries are stage indices (< num_stages, recorded in the
+        // structure prefix), so a byte each suffices; indices above 255 —
+        // platforms with >256 compute units — would truncate into the
+        // "up to hash collisions" budget the contract already allows.
+        hasher.write_usize(self.mapping.len());
         for cu in &self.mapping {
-            hasher.write_usize(*cu);
+            hasher.write_bytes(&[(*cu & 0xFF) as u8]);
         }
         hasher.write_bytes(&self.dvfs);
         hasher.finish()
@@ -346,6 +511,13 @@ impl Genome {
     /// Feeds the structure genes (everything except mapping and DVFS)
     /// into `hasher`; shared prefix of [`Genome::fingerprint`] and
     /// [`Genome::structure_fingerprint`].
+    ///
+    /// This sits on the search's hot path (once per scheduled candidate),
+    /// so the encoding is compact: indicator bits are packed into `u64`
+    /// words instead of hashed per-`bool`, with layer count and total bit
+    /// count as prefixes (valid genomes have uniform row lengths, so the
+    /// two pin the shape; unequal *invalid* genomes aliasing under this
+    /// packing fall into the contract's hash-collision budget).
     fn structure_into(&self, hasher: &mut mnc_core::StableHasher) {
         hasher.write_usize(self.num_stages);
         hasher.write_usize(self.partitionable.len());
@@ -355,11 +527,26 @@ impl Genome {
         for row in &self.partition_slots {
             hasher.write_bytes(row);
         }
+        hasher.write_usize(self.indicator.len());
+        let total_bits: usize = self.indicator.iter().map(Vec::len).sum();
+        hasher.write_usize(total_bits);
+        let mut word = 0u64;
+        let mut bit = 0u32;
         for row in &self.indicator {
-            hasher.write_usize(row.len());
-            for bit in row {
-                hasher.write_bool(*bit);
+            for flag in row {
+                if *flag {
+                    word |= 1u64 << bit;
+                }
+                bit += 1;
+                if bit == 64 {
+                    hasher.write_u64(word);
+                    word = 0;
+                    bit = 0;
+                }
             }
+        }
+        if bit > 0 {
+            hasher.write_u64(word);
         }
     }
 }
@@ -412,6 +599,30 @@ mod tests {
         // Maximum-frequency DVFS genes decode to the top level.
         let cu0_levels = platform.compute_unit(CuId(0)).unwrap().dvfs().num_levels();
         assert_eq!(config.dvfs.level(0), Some(cu0_levels - 1));
+    }
+
+    #[test]
+    fn flat_decode_matches_reference_decode() {
+        let (net, platform, mut rng) = setup();
+        for _ in 0..24 {
+            let genome = Genome::random(&net, &platform, &mut rng);
+            let flat = genome.decode(&net, &platform).unwrap();
+            let reference = genome.decode_reference(&net, &platform).unwrap();
+            assert_eq!(flat, reference);
+            for layer in 0..net.num_layers() {
+                for stage in 0..genome.num_stages() {
+                    assert_eq!(
+                        flat.partition
+                            .fraction(mnc_nn::LayerId(layer), stage)
+                            .to_bits(),
+                        reference
+                            .partition
+                            .fraction(mnc_nn::LayerId(layer), stage)
+                            .to_bits()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

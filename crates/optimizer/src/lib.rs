@@ -52,5 +52,8 @@ pub use error::OptimError;
 pub use evaluate::ConfigEvaluator;
 pub use genome::Genome;
 pub use operators::MutationConfig;
-pub use pareto::{crowding_distance, pareto_front_indices};
+pub use pareto::{
+    crowding_distance, non_dominated_fronts, non_dominated_fronts_reference, pareto_front_indices,
+    pareto_front_indices_reference,
+};
 pub use search::{EvaluatedConfig, MappingSearch, SearchConfig, SearchOutcome, SelectionStrategy};

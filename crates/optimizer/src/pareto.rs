@@ -5,6 +5,22 @@
 //! constraint — from all evaluated configurations. These helpers implement
 //! dominance checks, Pareto-front extraction and the NSGA-II crowding
 //! distance used for tie-breaking among equally-ranked candidates.
+//!
+//! Two implementations exist for the expensive operations:
+//!
+//! * the **fast paths** ([`pareto_front_indices`], [`non_dominated_fronts`])
+//!   — a 2-D skyline sweep (O(n log n)) for single-front extraction and
+//!   NSGA-II dominance-count fast sorting (one O(n²) pairwise pass instead
+//!   of an O(n²) rescan *per front*) for the full partition. Both are
+//!   generic over `AsRef<[f64]>`, so callers can pass flat `[f64; N]`
+//!   storage instead of allocating a `Vec<Vec<f64>>` per generation.
+//! * the **reference paths** ([`pareto_front_indices_reference`],
+//!   [`non_dominated_fronts_reference`]) — the original direct
+//!   implementations, retained as property-test oracles (the fast paths
+//!   are asserted to produce identical partitions on random point sets,
+//!   including duplicates and ties).
+
+use std::cmp::Ordering;
 
 /// Returns `true` when point `a` dominates point `b` (all objectives are
 /// minimised): `a` is no worse in every objective and strictly better in at
@@ -27,24 +43,202 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
     strictly_better
 }
 
+/// Pairwise dominance in one pass: `Ordering::Less` when `a` dominates `b`,
+/// `Ordering::Greater` when `b` dominates `a`, `Ordering::Equal` when
+/// neither dominates (equal or mutually non-dominated points).
+fn dominance(a: &[f64], b: &[f64]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    let mut a_better = false;
+    let mut b_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            a_better = true;
+        } else if x > y {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return Ordering::Equal;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        _ => Ordering::Equal,
+    }
+}
+
 /// Indices of the non-dominated points (the Pareto front) among `points`,
-/// all objectives minimised. Duplicate points are all kept.
-pub fn pareto_front_indices(points: &[Vec<f64>]) -> Vec<usize> {
+/// all objectives minimised. Duplicate points are all kept. Indices come
+/// back in ascending order.
+///
+/// Two-dimensional inputs with finite-or-infinite (non-NaN) coordinates
+/// take an O(n log n) skyline sweep — the shape of
+/// [`crate::SearchOutcome::pareto_front`]'s (energy, latency) extraction,
+/// which previously rescanned a 12 000-point archive quadratically. Other
+/// shapes fall back to the reference scan.
+pub fn pareto_front_indices<P: AsRef<[f64]>>(points: &[P]) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let two_d_finite = points
+        .iter()
+        .all(|p| p.as_ref().len() == 2 && !p.as_ref().iter().any(|v| v.is_nan()));
+    if two_d_finite {
+        return skyline_2d(points);
+    }
+    pareto_front_indices_reference(points)
+}
+
+/// The pre-fast-path Pareto-front extraction: for every point, scan every
+/// other point for a dominator (O(n²)). Retained as the oracle the skyline
+/// sweep is property-tested against, and as the fallback for dimensions
+/// other than 2 (where no sweep order exists) and NaN inputs (where the
+/// dominance relation degenerates and only the direct definition is
+/// trustworthy).
+pub fn pareto_front_indices_reference<P: AsRef<[f64]>>(points: &[P]) -> Vec<usize> {
     (0..points.len())
         .filter(|&i| {
             !points
                 .iter()
                 .enumerate()
-                .any(|(j, other)| j != i && dominates(other, &points[i]))
+                .any(|(j, other)| j != i && dominates(other.as_ref(), points[i].as_ref()))
         })
         .collect()
 }
 
-/// Partitions `points` into successive non-dominated fronts (NSGA-II fast
-/// non-dominated sorting): front 0 is the Pareto front, front 1 the Pareto
-/// front of the remainder, and so on. Every index appears in exactly one
-/// front.
-pub fn non_dominated_fronts(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
+/// O(n log n) skyline sweep over 2-D minimisation points: sort by
+/// (x, y), walk x-groups in ascending order and keep each group's
+/// y-minimal points when they strictly improve on the best y seen in
+/// strictly-smaller-x groups. Duplicates of a surviving point all survive
+/// (they do not dominate each other). Caller guarantees no NaNs.
+fn skyline_2d<P: AsRef<[f64]>>(points: &[P]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Sort keys are normalised with `+ 0.0` so the signed zeros compare
+    // equal, exactly as the dominance relation's numeric comparisons see
+    // them — `total_cmp` alone would order `-0.0` before `0.0` and break
+    // the group-sorted-by-y invariant the sweep relies on (the groups
+    // below are formed with numeric `==`).
+    order.sort_unstable_by(|&a, &b| {
+        let (pa, pb) = (points[a].as_ref(), points[b].as_ref());
+        (pa[0] + 0.0)
+            .total_cmp(&(pb[0] + 0.0))
+            .then_with(|| (pa[1] + 0.0).total_cmp(&(pb[1] + 0.0)))
+    });
+
+    let mut front = Vec::new();
+    // Best y among all points with x strictly smaller than the current
+    // group's x — `None` for the minimal-x group, which is always on the
+    // front (a `f64::INFINITY` sentinel would wrongly exclude a first
+    // group whose own minimum y is infinite). A later point is
+    // non-dominated iff it has its group's minimal y and that y beats
+    // `best_y` strictly (a point with equal y and smaller x dominates via
+    // the x coordinate).
+    let mut best_y: Option<f64> = None;
+    let mut group_start = 0;
+    while group_start < order.len() {
+        let x = points[order[group_start]].as_ref()[0];
+        let mut group_end = group_start + 1;
+        while group_end < order.len() && points[order[group_end]].as_ref()[0] == x {
+            group_end += 1;
+        }
+        // The group is sorted by y, so its minimum is at the start.
+        let group_min_y = points[order[group_start]].as_ref()[1];
+        if best_y.is_none_or(|best| group_min_y < best) {
+            front.extend(
+                order[group_start..group_end]
+                    .iter()
+                    .copied()
+                    .take_while(|&i| points[i].as_ref()[1] == group_min_y),
+            );
+            best_y = Some(group_min_y);
+        }
+        group_start = group_end;
+    }
+    front.sort_unstable();
+    front
+}
+
+/// Partitions `points` into successive non-dominated fronts: front 0 is
+/// the Pareto front, front 1 the Pareto front of the remainder, and so on.
+/// Every index appears in exactly one front; each front's indices come
+/// back ascending.
+///
+/// This is NSGA-II *fast* non-dominated sorting: one O(n²) pairwise pass
+/// computes, for every point, its domination count and the list of points
+/// it dominates; the fronts then peel off in O(n + edges) instead of the
+/// reference implementation's O(n²) rescan per front.
+///
+/// **Invariant:** for inputs without NaN coordinates, dominance is a
+/// strict partial order, so every peeling step empties at least one
+/// domination count and the peel terminates with every point assigned —
+/// the reference implementation's "flush the remainder" guard was dead
+/// code for such inputs and survives here only as a `debug_assert!` plus a
+/// release-mode fallback for NaN-degenerate inputs.
+pub fn non_dominated_fronts<P: AsRef<[f64]>>(points: &[P]) -> Vec<Vec<usize>> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // One triangular pass: both directions of every pair in one dominance
+    // comparison.
+    let mut dominated_count = vec![0usize; n];
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let a = points[i].as_ref();
+        for j in (i + 1)..n {
+            match dominance(a, points[j].as_ref()) {
+                Ordering::Less => {
+                    dominates_list[i].push(j);
+                    dominated_count[j] += 1;
+                }
+                Ordering::Greater => {
+                    dominates_list[j].push(i);
+                    dominated_count[i] += 1;
+                }
+                Ordering::Equal => {}
+            }
+        }
+    }
+
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    // `(0..n).filter(..)` yields ascending indices, so front 0 needs no
+    // sort; later fronts are sorted as they are collected.
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_count[i] == 0).collect();
+    let mut assigned = current.len();
+    while !current.is_empty() {
+        let mut next: Vec<usize> = Vec::new();
+        for &i in &current {
+            for &j in &dominates_list[i] {
+                dominated_count[j] -= 1;
+                if dominated_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable();
+        assigned += next.len();
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    if assigned < n {
+        // Only reachable when NaN coordinates make the dominance relation
+        // cyclic (a ≺ b ≺ c ≺ a through NaN-masked coordinates), which no
+        // finite input can produce — evaluation results are always finite.
+        debug_assert!(
+            points.iter().any(|p| p.as_ref().iter().any(|v| v.is_nan())),
+            "non-dominated peel stalled on NaN-free input"
+        );
+        let mut remainder: Vec<usize> = (0..n).filter(|&i| dominated_count[i] > 0).collect();
+        remainder.sort_unstable();
+        fronts.push(remainder);
+    }
+    fronts
+}
+
+/// The pre-fast-path front partition: recompute the Pareto front of the
+/// unassigned remainder once per front (O(n² · fronts)). Retained as the
+/// oracle [`non_dominated_fronts`] is property-tested against.
+pub fn non_dominated_fronts_reference<P: AsRef<[f64]>>(points: &[P]) -> Vec<Vec<usize>> {
     let n = points.len();
     let mut fronts: Vec<Vec<usize>> = Vec::new();
     let mut assigned = vec![false; n];
@@ -55,14 +249,16 @@ pub fn non_dominated_fronts(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
             if assigned[i] {
                 continue;
             }
-            let dominated =
-                (0..n).any(|j| j != i && !assigned[j] && dominates(&points[j], &points[i]));
+            let dominated = (0..n).any(|j| {
+                j != i && !assigned[j] && dominates(points[j].as_ref(), points[i].as_ref())
+            });
             if !dominated {
                 front.push(i);
             }
         }
-        // Guard against pathological floating-point cases: if nothing was
-        // selected (impossible for finite inputs), flush the remainder.
+        // Dead for finite inputs (see the invariant on
+        // `non_dominated_fronts`); kept so NaN-degenerate inputs cannot
+        // wedge the oracle either.
         if front.is_empty() {
             front = (0..n).filter(|&i| !assigned[i]).collect();
         }
@@ -77,28 +273,21 @@ pub fn non_dominated_fronts(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
 
 /// NSGA-II crowding distance of every point (larger = more isolated =
 /// preferred for diversity). Boundary points get `f64::INFINITY`.
-pub fn crowding_distance(points: &[Vec<f64>]) -> Vec<f64> {
+pub fn crowding_distance<P: AsRef<[f64]>>(points: &[P]) -> Vec<f64> {
     let n = points.len();
     if n == 0 {
         return Vec::new();
     }
-    let dims = points[0].len();
+    let dims = points[0].as_ref().len();
     let mut distance = vec![0.0f64; n];
     if n <= 2 {
         return vec![f64::INFINITY; n];
     }
-    // `points` is indexed `[point][dimension]`, so iterating the dimension
-    // axis by index is the natural shape here.
-    #[allow(clippy::needless_range_loop)]
     for d in 0..dims {
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            points[a][d]
-                .partial_cmp(&points[b][d])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let min = points[order[0]][d];
-        let max = points[order[n - 1]][d];
+        order.sort_by(|&a, &b| points[a].as_ref()[d].total_cmp(&points[b].as_ref()[d]));
+        let min = points[order[0]].as_ref()[d];
+        let max = points[order[n - 1]].as_ref()[d];
         distance[order[0]] = f64::INFINITY;
         distance[order[n - 1]] = f64::INFINITY;
         let range = max - min;
@@ -106,8 +295,8 @@ pub fn crowding_distance(points: &[Vec<f64>]) -> Vec<f64> {
             continue;
         }
         for window in 1..n - 1 {
-            let prev = points[order[window - 1]][d];
-            let next = points[order[window + 1]][d];
+            let prev = points[order[window - 1]].as_ref()[d];
+            let next = points[order[window + 1]].as_ref()[d];
             distance[order[window]] += (next - prev) / range;
         }
     }
@@ -129,6 +318,24 @@ mod tests {
     }
 
     #[test]
+    fn pairwise_dominance_matches_both_directions() {
+        let cases = [
+            ([1.0, 1.0], [2.0, 2.0]),
+            ([2.0, 2.0], [1.0, 1.0]),
+            ([1.0, 3.0], [2.0, 2.0]),
+            ([1.0, 1.0], [1.0, 1.0]),
+        ];
+        for (a, b) in cases {
+            let expected = match (dominates(&a, &b), dominates(&b, &a)) {
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+                _ => Ordering::Equal,
+            };
+            assert_eq!(dominance(&a, &b), expected, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "equal length")]
     fn mismatched_dimensions_panic() {
         let _ = dominates(&[1.0], &[1.0, 2.0]);
@@ -145,13 +352,85 @@ mod tests {
         ];
         let front = pareto_front_indices(&points);
         assert_eq!(front, vec![0, 1, 2]);
+        assert_eq!(front, pareto_front_indices_reference(&points));
+    }
+
+    #[test]
+    fn skyline_keeps_duplicates_and_breaks_equal_coordinate_ties() {
+        // Exact duplicates of a front point all survive; a point with the
+        // same energy but strictly worse latency (or vice versa) does not.
+        let points = vec![
+            [1.0, 5.0],
+            [1.0, 5.0], // duplicate of the front point: kept
+            [1.0, 6.0], // same x, worse y: dominated
+            [2.0, 5.0], // same y as (1,5), worse x: dominated
+            [2.0, 4.0],
+        ];
+        let front = pareto_front_indices(&points);
+        assert_eq!(front, vec![0, 1, 4]);
+        assert_eq!(front, pareto_front_indices_reference(&points));
+    }
+
+    #[test]
+    fn infinite_coordinates_match_the_reference() {
+        // Regression: a `f64::INFINITY` best-y sentinel excluded a
+        // minimal-x point whose own y is infinite, though nothing
+        // dominates it.
+        let points = vec![[0.0, f64::INFINITY], [1.0, 2.0]];
+        assert_eq!(
+            pareto_front_indices(&points),
+            pareto_front_indices_reference(&points)
+        );
+        assert_eq!(pareto_front_indices(&points), vec![0, 1]);
+
+        let points = vec![
+            [0.0, f64::INFINITY],
+            [0.0, 1.0],
+            [f64::INFINITY, 0.0],
+            [f64::INFINITY, f64::INFINITY],
+        ];
+        assert_eq!(
+            pareto_front_indices(&points),
+            pareto_front_indices_reference(&points)
+        );
+    }
+
+    #[test]
+    fn signed_zero_coordinates_match_the_reference() {
+        // Regression: `total_cmp` orders -0.0 before 0.0 while the
+        // dominance relation treats them as equal; without sort-key
+        // normalisation the sweep grouped them together but read the
+        // wrong group minimum, returning a dominated point.
+        let points = vec![[-0.0, 5.0], [0.0, 1.0]];
+        assert_eq!(
+            pareto_front_indices(&points),
+            pareto_front_indices_reference(&points)
+        );
+        assert_eq!(pareto_front_indices(&points), vec![1]);
+
+        let points = vec![[0.0, -0.0], [-0.0, 0.0], [1.0, -0.0]];
+        assert_eq!(
+            pareto_front_indices(&points),
+            pareto_front_indices_reference(&points)
+        );
+    }
+
+    #[test]
+    fn nan_points_fall_back_to_the_reference_scan() {
+        // A NaN coordinate makes a point incomparable: the reference
+        // definition keeps it (nothing dominates it), and the fast path
+        // must agree rather than sweep past it.
+        let points = vec![[1.0, 5.0], [f64::NAN, 0.0], [2.0, 6.0]];
+        let front = pareto_front_indices(&points);
+        assert_eq!(front, pareto_front_indices_reference(&points));
+        assert!(front.contains(&1));
     }
 
     #[test]
     fn empty_and_singleton_inputs() {
-        assert!(pareto_front_indices(&[]).is_empty());
+        assert!(pareto_front_indices::<Vec<f64>>(&[]).is_empty());
         assert_eq!(pareto_front_indices(&[vec![1.0, 2.0]]), vec![0]);
-        assert!(crowding_distance(&[]).is_empty());
+        assert!(crowding_distance::<Vec<f64>>(&[]).is_empty());
         assert_eq!(crowding_distance(&[vec![1.0, 2.0]]), vec![f64::INFINITY]);
     }
 
@@ -200,11 +479,20 @@ mod tests {
                     .any(|&j| dominates(&points[j], &points[i])));
             }
         }
+        assert_eq!(fronts, non_dominated_fronts_reference(&points));
+    }
+
+    #[test]
+    fn fast_fronts_accept_flat_array_storage() {
+        let flat: Vec<[f64; 3]> = vec![[1.0, 2.0, 3.0], [2.0, 1.0, 3.0], [3.0, 3.0, 3.0]];
+        let fronts = non_dominated_fronts(&flat);
+        assert_eq!(fronts, vec![vec![0, 1], vec![2]]);
     }
 
     #[test]
     fn non_dominated_fronts_of_empty_set_is_empty() {
-        assert!(non_dominated_fronts(&[]).is_empty());
+        assert!(non_dominated_fronts::<Vec<f64>>(&[]).is_empty());
+        assert!(non_dominated_fronts_reference::<Vec<f64>>(&[]).is_empty());
     }
 
     proptest! {
@@ -244,6 +532,66 @@ mod tests {
                     prop_assert!(points.iter().any(|p| dominates(p, &points[i])));
                 }
             }
+        }
+
+        // The fast-path-equality properties draw coordinates from a small
+        // integer grid so duplicates and per-coordinate ties are common —
+        // the regime where a sweep or a dominance-count peel is easiest to
+        // get subtly wrong.
+        #[test]
+        fn prop_skyline_front_equals_reference_with_ties(
+            grid in proptest::collection::vec(
+                proptest::collection::vec(0u8..6, 2), 1..40)
+        ) {
+            let points: Vec<[f64; 2]> = grid
+                .iter()
+                .map(|p| [f64::from(p[0]), f64::from(p[1])])
+                .collect();
+            prop_assert_eq!(
+                pareto_front_indices(&points),
+                pareto_front_indices_reference(&points)
+            );
+        }
+
+        #[test]
+        fn prop_fast_fronts_equal_reference_with_ties_2d(
+            grid in proptest::collection::vec(
+                proptest::collection::vec(0u8..5, 2), 1..40)
+        ) {
+            let points: Vec<[f64; 2]> = grid
+                .iter()
+                .map(|p| [f64::from(p[0]), f64::from(p[1])])
+                .collect();
+            prop_assert_eq!(
+                non_dominated_fronts(&points),
+                non_dominated_fronts_reference(&points)
+            );
+        }
+
+        #[test]
+        fn prop_fast_fronts_equal_reference_3d(
+            grid in proptest::collection::vec(
+                proptest::collection::vec(0u8..4, 3), 1..30)
+        ) {
+            let points: Vec<[f64; 3]> = grid
+                .iter()
+                .map(|p| [f64::from(p[0]), f64::from(p[1]), f64::from(p[2])])
+                .collect();
+            prop_assert_eq!(
+                non_dominated_fronts(&points),
+                non_dominated_fronts_reference(&points)
+            );
+        }
+
+        #[test]
+        fn prop_fast_fronts_equal_reference_continuous(
+            points in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..100.0, 3), 1..30)
+        ) {
+            prop_assert_eq!(
+                non_dominated_fronts(&points),
+                non_dominated_fronts_reference(&points)
+            );
         }
     }
 }

@@ -1,4 +1,33 @@
 //! The evolutionary search loop (paper §V-C, Fig. 5).
+//!
+//! # The search fast path
+//!
+//! [`MappingSearch::run`] drives the paper's GA-with-elitism loop through
+//! three loop-level optimisations, all result-preserving:
+//!
+//! * **within-run memoization** — elites are cloned into the next
+//!   generation and duplicate children recur as the population converges,
+//!   so the loop keys a per-run memo on the full genome fingerprint and
+//!   evaluates each distinct genome exactly once per run. A memo hit is
+//!   bit-identical by construction (evaluation is a pure function of the
+//!   genome) and collision-safe (the memoised genome is compared for
+//!   equality before a fingerprint match is honoured).
+//! * **fused fresh evaluations** — first occurrences go through
+//!   [`ConfigEvaluator::evaluate_genome_fast`], which for a plain
+//!   [`mnc_core::Evaluator`] runs the allocation-light fused pipeline
+//!   (`SliceGrid` instead of a materialised `DynamicNetwork` per
+//!   candidate).
+//! * **`Arc`-backed results** — [`EvaluatedConfig`] holds its genome,
+//!   configuration and metrics behind `Arc`s, so archiving, elite
+//!   selection and cache layers stop deep-cloning decoded configurations.
+//!
+//! [`MappingSearch::run_reference`] retains the pre-fast-path loop —
+//! every candidate evaluated afresh through
+//! [`ConfigEvaluator::evaluate_genome`] and archived as an independent
+//! deep copy — as the oracle the memoized loop is property-tested
+//! against (`run` and `run_reference` produce bit-identical archives for
+//! any seed and thread count) and as the baseline of the
+//! `search_fastpath` benchmark.
 
 use crate::error::OptimError;
 use crate::evaluate::ConfigEvaluator;
@@ -10,6 +39,8 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How elites are chosen from an evaluated generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,6 +84,11 @@ pub struct SearchConfig {
     /// Stop early when the best feasible objective has not improved for
     /// this many consecutive generations.
     pub stall_generations: Option<usize>,
+    /// Seed the initial population from [`MappingSearch::with_seeds`]
+    /// genomes (surrogate-ranked elites of similar past searches). Off by
+    /// default: a cold search's outcome depends only on its
+    /// [`SearchConfig`], never on ambient state.
+    pub warm_start: bool,
 }
 
 impl SearchConfig {
@@ -71,6 +107,7 @@ impl SearchConfig {
             threads: None,
             max_evaluations: None,
             stall_generations: None,
+            warm_start: false,
         }
     }
 
@@ -88,6 +125,7 @@ impl SearchConfig {
             threads: None,
             max_evaluations: None,
             stall_generations: None,
+            warm_start: false,
         }
     }
 
@@ -144,15 +182,23 @@ impl Default for SearchConfig {
 }
 
 /// One evaluated candidate: its genome, decoded configuration and metrics.
+///
+/// All three are `Arc`-backed: the archive, the elite set, the evaluation
+/// cache and every response front share one allocation per evaluation
+/// instead of deep-cloning configurations at each hand-off. Equality and
+/// serialization see through the `Arc`s, so two configs compare (and
+/// serialize) exactly as their contents do.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvaluatedConfig {
     /// The genome that produced the configuration.
-    pub genome: Genome,
+    pub genome: Arc<Genome>,
     /// The decoded configuration.
-    pub config: MappingConfig,
+    pub config: Arc<MappingConfig>,
     /// The evaluator's metrics for it.
-    pub result: EvaluationResult,
-    /// Generation in which it was evaluated.
+    pub result: Arc<EvaluationResult>,
+    /// Generation in which the search scheduled it (a memoized replay of
+    /// an elite keeps appearing in every generation that re-selected it,
+    /// exactly like the pre-memoization loop's re-evaluations did).
     pub generation: usize,
 }
 
@@ -162,6 +208,9 @@ pub struct SearchOutcome {
     archive: Vec<EvaluatedConfig>,
     generations_run: usize,
     early_stopped: bool,
+    evaluations_performed: usize,
+    memo_hits: usize,
+    warm_start_seeds: usize,
 }
 
 impl SearchOutcome {
@@ -179,14 +228,49 @@ impl SearchOutcome {
         &self.archive
     }
 
-    /// Number of evaluations performed.
+    /// Number of evaluations the search *scheduled* (the archive length —
+    /// the pre-memoization loop performed all of them).
     pub fn evaluations(&self) -> usize {
         self.archive.len()
+    }
+
+    /// Number of evaluations actually performed by the evaluator; the rest
+    /// ([`SearchOutcome::memo_hits`]) were served from the within-run
+    /// memo.
+    pub fn evaluations_performed(&self) -> usize {
+        self.evaluations_performed
+    }
+
+    /// Scheduled evaluations answered by the within-run memo (elites
+    /// re-selected into later generations, duplicate children): always
+    /// `evaluations() - evaluations_performed()`.
+    pub fn memo_hits(&self) -> usize {
+        self.memo_hits
+    }
+
+    /// Number of warm-start seed genomes injected into the initial
+    /// population (0 unless [`SearchConfig::warm_start`] was set and
+    /// [`MappingSearch::with_seeds`] supplied compatible genomes).
+    pub fn warm_start_seeds(&self) -> usize {
+        self.warm_start_seeds
     }
 
     /// Number of generations completed.
     pub fn generations_run(&self) -> usize {
         self.generations_run
+    }
+
+    /// Number of scheduled evaluations until a feasible candidate with an
+    /// objective no worse than `target` first appeared in the archive
+    /// (`None` when the search never reached it). The benchmark's
+    /// "evaluations-to-front" metric: a warm-started search reaching the
+    /// cold search's final best objective after fewer evaluations
+    /// converged faster in a budget-independent sense.
+    pub fn evaluations_to_objective(&self, target: f64) -> Option<usize> {
+        self.archive
+            .iter()
+            .position(|c| c.result.feasible && c.result.objective <= target)
+            .map(|index| index + 1)
     }
 
     /// Feasible configurations only.
@@ -195,12 +279,13 @@ impl SearchOutcome {
     }
 
     /// Pareto front over (average energy, average latency) among feasible
-    /// configurations.
+    /// configurations (an O(n log n) skyline sweep — see
+    /// [`pareto_front_indices`]).
     pub fn pareto_front(&self) -> Vec<&EvaluatedConfig> {
         let feasible = self.feasible();
-        let points: Vec<Vec<f64>> = feasible
+        let points: Vec<[f64; 2]> = feasible
             .iter()
-            .map(|c| vec![c.result.average_energy_mj, c.result.average_latency_ms])
+            .map(|c| [c.result.average_energy_mj, c.result.average_latency_ms])
             .collect();
         pareto_front_indices(&points)
             .into_iter()
@@ -211,12 +296,9 @@ impl SearchOutcome {
     /// The feasible configuration with the lowest scalar objective
     /// (eq. 16).
     pub fn best_by_objective(&self) -> Option<&EvaluatedConfig> {
-        self.feasible().into_iter().min_by(|a, b| {
-            a.result
-                .objective
-                .partial_cmp(&b.result.objective)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        self.feasible()
+            .into_iter()
+            .min_by(|a, b| a.result.objective.total_cmp(&b.result.objective))
     }
 
     /// The paper's "Ours-E" pick: the lowest-energy Pareto configuration
@@ -228,8 +310,7 @@ impl SearchOutcome {
             .min_by(|a, b| {
                 a.result
                     .average_energy_mj
-                    .partial_cmp(&b.result.average_energy_mj)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&b.result.average_energy_mj)
             })
     }
 
@@ -242,10 +323,22 @@ impl SearchOutcome {
             .min_by(|a, b| {
                 a.result
                     .average_latency_ms
-                    .partial_cmp(&b.result.average_latency_ms)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&b.result.average_latency_ms)
             })
     }
+}
+
+/// One `Arc`-backed evaluation: the decoded configuration plus metrics.
+type EvaluatedPair = (Arc<MappingConfig>, Arc<EvaluationResult>);
+
+/// One memoised evaluation. The genome is retained so a fingerprint match
+/// is honoured only for a genuinely equal genome (a 64-bit collision falls
+/// through to a fresh evaluation instead of replaying the wrong result).
+#[derive(Debug)]
+struct MemoEntry {
+    genome: Arc<Genome>,
+    config: Arc<MappingConfig>,
+    result: Arc<EvaluationResult>,
 }
 
 /// The evolutionary mapping search.
@@ -258,12 +351,28 @@ impl SearchOutcome {
 pub struct MappingSearch<'a, E: ConfigEvaluator = Evaluator> {
     evaluator: &'a E,
     config: SearchConfig,
+    seeds: Vec<Arc<Genome>>,
 }
 
 impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
     /// Creates a search over the given evaluator.
     pub fn new(evaluator: &'a E, config: SearchConfig) -> Self {
-        MappingSearch { evaluator, config }
+        MappingSearch {
+            evaluator,
+            config,
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Supplies warm-start seed genomes (typically Pareto elites of a
+    /// similar past search, surrogate-ranked best-first). They join the
+    /// initial population — after the balanced default, before the random
+    /// fill — only when [`SearchConfig::warm_start`] is set; incompatible
+    /// or duplicate seeds are skipped silently.
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: Vec<Arc<Genome>>) -> Self {
+        self.seeds = seeds;
+        self
     }
 
     /// The search configuration.
@@ -271,7 +380,12 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
         &self.config
     }
 
-    /// Runs the search to completion.
+    /// Runs the search to completion through the memoized fast path: each
+    /// distinct genome is evaluated exactly once per run, fresh
+    /// evaluations share dynamic transformations per structure, and the
+    /// archive shares allocations with the elite set. The outcome is
+    /// bit-identical to [`MappingSearch::run_reference`] for any seed and
+    /// thread count (property-tested).
     ///
     /// # Errors
     ///
@@ -279,15 +393,62 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
     /// cannot be evaluated (which indicates an internal inconsistency, not
     /// a constraint violation).
     pub fn run(&self) -> Result<SearchOutcome, OptimError> {
+        self.run_loop(true)
+    }
+
+    /// Runs the search through the pre-fast-path loop: every scheduled
+    /// candidate is evaluated afresh through
+    /// [`ConfigEvaluator::evaluate_genome`] (no within-run memo, no
+    /// transform sharing) and archived as an independent deep copy, the
+    /// way the loop behaved before the search fast path. Retained as the
+    /// property-test oracle and the `search_fastpath` benchmark baseline.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MappingSearch::run`].
+    pub fn run_reference(&self) -> Result<SearchOutcome, OptimError> {
+        self.run_loop(false)
+    }
+
+    /// The shared generation loop. `memoize` selects the evaluation path:
+    /// the memoized fast path or the evaluate-everything reference.
+    /// Everything else — RNG stream, budget trimming, stall handling,
+    /// elite selection, breeding — is common, so the two paths cannot
+    /// drift apart in loop semantics.
+    fn run_loop(&self, memoize: bool) -> Result<SearchOutcome, OptimError> {
         self.config.validate()?;
         let network = self.evaluator.network();
         let platform = self.evaluator.platform();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
-        // Initial population: the balanced default plus random genomes.
-        let mut population = vec![Genome::balanced(network, platform)];
+        // Initial population: the balanced default, then (warm start only)
+        // the compatible seed genomes, then random genomes.
+        let mut population: Vec<Arc<Genome>> = vec![Arc::new(Genome::balanced(network, platform))];
+        let mut warm_start_seeds = 0usize;
+        if self.config.warm_start {
+            let mut seen: Vec<u64> = population.iter().map(|g| g.fingerprint()).collect();
+            for seed in &self.seeds {
+                if population.len() >= self.config.population_size {
+                    break;
+                }
+                if !seed.is_valid()
+                    || seed.num_stages() != platform.num_compute_units()
+                    || seed.num_layers() != network.num_layers()
+                    || seed.partitionable_layers() != network.partitionable_layers()
+                {
+                    continue;
+                }
+                let fingerprint = seed.fingerprint();
+                if seen.contains(&fingerprint) {
+                    continue;
+                }
+                seen.push(fingerprint);
+                population.push(Arc::clone(seed));
+                warm_start_seeds += 1;
+            }
+        }
         while population.len() < self.config.population_size {
-            population.push(Genome::random(network, platform, &mut rng));
+            population.push(Arc::new(Genome::random(network, platform, &mut rng)));
         }
 
         let mut archive: Vec<EvaluatedConfig> = Vec::new();
@@ -308,6 +469,15 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
         } else {
             None
         };
+        let mut memo: HashMap<u64, MemoEntry> = HashMap::new();
+        // Fingerprints per Arc instance: elites re-enter the population as
+        // clones of the same allocation every generation, so their
+        // fingerprints are computed once per genome instead of once per
+        // scheduling. Each entry holds a strong reference, so a key's
+        // allocation can never be freed and reused while the map lives.
+        let mut known: HashMap<usize, (Arc<Genome>, u64)> = HashMap::new();
+        let mut evaluations_performed = 0usize;
+        let mut memo_hits = 0usize;
         let mut early_stopped = false;
         let mut generations_run = 0;
         let mut best_objective = f64::INFINITY;
@@ -318,7 +488,7 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
             // the search performs exactly `max_evaluations` evaluations.
             // (The post-evaluation break below guarantees at least one
             // evaluation remains when an iteration starts.)
-            let mut candidates: &[Genome] = &population;
+            let mut candidates: &[Arc<Genome>] = &population;
             if let Some(budget) = self.config.max_evaluations {
                 let remaining = budget.saturating_sub(archive.len());
                 if remaining < candidates.len() {
@@ -326,9 +496,41 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
                 }
             }
 
-            let evaluated = self.evaluate_population(candidates, generation, pool.as_ref())?;
+            let evaluated = if memoize {
+                self.evaluate_generation_memoized(
+                    candidates,
+                    generation,
+                    pool.as_ref(),
+                    &mut memo,
+                    &mut known,
+                    &mut evaluations_performed,
+                    &mut memo_hits,
+                )?
+            } else {
+                let fresh =
+                    self.evaluate_generation_reference(candidates, generation, pool.as_ref())?;
+                evaluations_performed += fresh.len();
+                fresh
+            };
             generations_run = generation + 1;
-            archive.extend(evaluated.iter().cloned());
+            let generation_start = archive.len();
+            if memoize {
+                // The generation's records move into the archive — the
+                // stall check and elite selection below read the archive
+                // tail, so nothing is cloned on the way in.
+                archive.extend(evaluated);
+            } else {
+                // The pre-fast-path loop archived independent copies;
+                // reproduce its per-candidate allocation behaviour so the
+                // benchmark baseline stays honest.
+                archive.extend(evaluated.into_iter().map(|c| EvaluatedConfig {
+                    genome: Arc::new((*c.genome).clone()),
+                    config: Arc::new((*c.config).clone()),
+                    result: Arc::new((*c.result).clone()),
+                    generation: c.generation,
+                }));
+            }
+            let evaluated = &archive[generation_start..];
 
             if self
                 .config
@@ -361,30 +563,31 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
                 }
             }
 
-            let elites: Vec<Genome> = match self.config.selection {
-                SelectionStrategy::ObjectiveElitism => {
-                    // Feasible candidates first, then by the scalar objective.
-                    let mut ranked: Vec<&EvaluatedConfig> = evaluated.iter().collect();
-                    ranked.sort_by(|a, b| {
-                        let key_a = (!a.result.feasible, a.result.objective);
-                        let key_b = (!b.result.feasible, b.result.objective);
-                        key_a
-                            .partial_cmp(&key_b)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    });
-                    ranked
-                        .iter()
-                        .take(elite_count)
-                        .map(|c| c.genome.clone())
-                        .collect()
-                }
-                SelectionStrategy::ParetoCrowding => {
-                    select_by_pareto_crowding(&evaluated, elite_count)
-                }
+            let elites = select_elites(evaluated, self.config.selection, elite_count);
+            // The pre-fast-path loop cloned each elite genome out of the
+            // evaluated generation at selection time; reproduce that copy
+            // so the baseline's allocation behaviour stays honest. (The
+            // fast path shares the archive's `Arc`s instead.)
+            let elites: Vec<Arc<Genome>> = if memoize {
+                elites
+            } else {
+                elites
+                    .iter()
+                    .map(|genome| Arc::new((**genome).clone()))
+                    .collect()
             };
 
-            // Next generation: elites survive, the rest are children.
-            let mut next = elites.clone();
+            // Next generation: elites survive, the rest are children. The
+            // pre-fast-path loop deep-cloned the elites into the next
+            // population; the fast path clones `Arc`s.
+            let mut next: Vec<Arc<Genome>> = if memoize {
+                elites.clone()
+            } else {
+                elites
+                    .iter()
+                    .map(|genome| Arc::new((**genome).clone()))
+                    .collect()
+            };
             while next.len() < self.config.population_size {
                 let parent_a = &elites[rng.random_range(0..elites.len())];
                 let mut child =
@@ -392,59 +595,200 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
                         let parent_b = &elites[rng.random_range(0..elites.len())];
                         crossover(parent_a, parent_b, &mut rng)
                     } else {
-                        parent_a.clone()
+                        (**parent_a).clone()
                     };
                 mutate(&mut child, &self.config.mutation, &mut rng);
-                next.push(child);
+                next.push(Arc::new(child));
             }
             population = next;
         }
 
         Ok(SearchOutcome {
+            memo_hits: archive.len() - evaluations_performed,
             archive,
             generations_run,
             early_stopped,
+            evaluations_performed,
+            warm_start_seeds,
         })
     }
 
-    /// Evaluates a population, optionally across threads.
-    ///
-    /// The parallel path maps the population through a rayon-style ordered
-    /// parallel iterator: results come back in population order and the
-    /// evaluation hook is pure, so the outcome is bit-identical to the
-    /// sequential path for any thread count.
-    fn evaluate_population(
+    /// Evaluates one generation through the within-run memo: previously
+    /// seen genomes (and within-generation duplicates) replay their
+    /// memoised evaluation, only first occurrences reach the evaluator —
+    /// in population order, through an ordered parallel map, so the
+    /// outcome is independent of the thread count.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_generation_memoized(
         &self,
-        population: &[Genome],
+        candidates: &[Arc<Genome>],
+        generation: usize,
+        pool: Option<&rayon::ThreadPool>,
+        memo: &mut HashMap<u64, MemoEntry>,
+        known: &mut HashMap<usize, (Arc<Genome>, u64)>,
+        evaluations_performed: &mut usize,
+        memo_hits: &mut usize,
+    ) -> Result<Vec<EvaluatedConfig>, OptimError> {
+        let fingerprints: Vec<u64> = candidates
+            .iter()
+            .map(|genome| {
+                let pointer = Arc::as_ptr(genome) as usize;
+                match known.get(&pointer) {
+                    Some((_, fingerprint)) => *fingerprint,
+                    None => {
+                        let fingerprint = genome.fingerprint();
+                        known.insert(pointer, (Arc::clone(genome), fingerprint));
+                        fingerprint
+                    }
+                }
+            })
+            .collect();
+
+        // Candidate indices that need a fresh evaluation: not memoised,
+        // and not a duplicate of an earlier candidate in this generation.
+        // (A fingerprint match is only a hit when the genomes are equal —
+        // collisions are always evaluated and never overwrite the memo.
+        // The pointer check short-circuits the comparison for elites,
+        // which re-enter as clones of the very allocation the memo holds.)
+        let mut fresh: Vec<usize> = Vec::new();
+        let mut first_occurrence: HashMap<u64, usize> = HashMap::new();
+        for (index, (genome, fingerprint)) in candidates.iter().zip(&fingerprints).enumerate() {
+            if let Some(entry) = memo.get(fingerprint) {
+                if !Arc::ptr_eq(&entry.genome, genome) && *entry.genome != **genome {
+                    fresh.push(index);
+                }
+                continue;
+            }
+            match first_occurrence.get(fingerprint) {
+                Some(&first) if *candidates[first] == **genome => {}
+                Some(_) => fresh.push(index),
+                None => {
+                    first_occurrence.insert(*fingerprint, index);
+                    fresh.push(index);
+                }
+            }
+        }
+
+        let results = self.evaluate_indices(candidates, &fresh, pool)?;
+
+        let mut fresh_results: Vec<Option<EvaluatedPair>> =
+            (0..candidates.len()).map(|_| None).collect();
+        for (&index, (config, result)) in fresh.iter().zip(results) {
+            memo.entry(fingerprints[index])
+                .or_insert_with(|| MemoEntry {
+                    genome: Arc::clone(&candidates[index]),
+                    config: Arc::clone(&config),
+                    result: Arc::clone(&result),
+                });
+            fresh_results[index] = Some((config, result));
+        }
+
+        let mut evaluated = Vec::with_capacity(candidates.len());
+        for (index, (genome, fingerprint)) in candidates.iter().zip(&fingerprints).enumerate() {
+            let (config, result) = match fresh_results[index].take() {
+                Some(pair) => {
+                    *evaluations_performed += 1;
+                    pair
+                }
+                None => {
+                    let entry = memo
+                        .get(fingerprint)
+                        .expect("memo holds every non-fresh candidate");
+                    debug_assert_eq!(*entry.genome, **genome, "memo hit on unequal genome");
+                    *memo_hits += 1;
+                    (Arc::clone(&entry.config), Arc::clone(&entry.result))
+                }
+            };
+            evaluated.push(EvaluatedConfig {
+                genome: Arc::clone(genome),
+                config,
+                result,
+                generation,
+            });
+        }
+        Ok(evaluated)
+    }
+
+    /// Evaluates one generation the pre-fast-path way: every candidate
+    /// through [`ConfigEvaluator::evaluate_genome`] (decode + full
+    /// transform), no memo, and an independent genome copy per evaluated
+    /// record — the allocation behaviour of the pre-fast-path loop.
+    fn evaluate_generation_reference(
+        &self,
+        candidates: &[Arc<Genome>],
         generation: usize,
         pool: Option<&rayon::ThreadPool>,
     ) -> Result<Vec<EvaluatedConfig>, OptimError> {
-        let (Some(pool), true) = (pool, population.len() >= 4) else {
-            return population
-                .iter()
-                .map(|genome| self.evaluate_genome(genome, generation))
-                .collect();
+        let evaluate = |genome: &Arc<Genome>| -> Result<EvaluatedConfig, OptimError> {
+            let (config, result) = self.evaluator.evaluate_genome_reference(genome)?;
+            Ok(EvaluatedConfig {
+                genome: Arc::new((**genome).clone()),
+                config,
+                result,
+                generation,
+            })
+        };
+        let (Some(pool), true) = (pool, candidates.len() >= 4) else {
+            return candidates.iter().map(evaluate).collect();
         };
         pool.install(|| {
-            population
+            candidates
                 .par_iter()
-                .map(|genome| self.evaluate_genome(genome, generation))
+                .map(evaluate)
                 .collect::<Result<Vec<_>, OptimError>>()
         })
     }
 
-    fn evaluate_genome(
+    /// Evaluates `indices` into `candidates` through the fast evaluation
+    /// hook, optionally across threads. The parallel path maps through a
+    /// rayon-style ordered parallel iterator: results come back in index
+    /// order and the evaluation hook is pure, so the outcome is
+    /// bit-identical to the sequential path for any thread count.
+    fn evaluate_indices(
         &self,
-        genome: &Genome,
-        generation: usize,
-    ) -> Result<EvaluatedConfig, OptimError> {
-        let (config, result) = self.evaluator.evaluate_genome(genome)?;
-        Ok(EvaluatedConfig {
-            genome: genome.clone(),
-            config,
-            result,
-            generation,
+        candidates: &[Arc<Genome>],
+        indices: &[usize],
+        pool: Option<&rayon::ThreadPool>,
+    ) -> Result<Vec<EvaluatedPair>, OptimError> {
+        let (Some(pool), true) = (pool, indices.len() >= 4) else {
+            return indices
+                .iter()
+                .map(|&i| self.evaluator.evaluate_genome_fast(&candidates[i]))
+                .collect();
+        };
+        pool.install(|| {
+            indices
+                .par_iter()
+                .map(|&i| self.evaluator.evaluate_genome_fast(&candidates[i]))
+                .collect::<Result<Vec<_>, OptimError>>()
         })
+    }
+}
+
+/// Elite selection over one evaluated generation. Shared by the memoized
+/// and reference loops; all comparators are `total_cmp`-based, so the
+/// ordering is deterministic even if a NaN objective ever slips in.
+fn select_elites(
+    evaluated: &[EvaluatedConfig],
+    strategy: SelectionStrategy,
+    elite_count: usize,
+) -> Vec<Arc<Genome>> {
+    match strategy {
+        SelectionStrategy::ObjectiveElitism => {
+            // Feasible candidates first, then by the scalar objective.
+            let mut ranked: Vec<&EvaluatedConfig> = evaluated.iter().collect();
+            ranked.sort_by(|a, b| {
+                (!a.result.feasible)
+                    .cmp(&!b.result.feasible)
+                    .then_with(|| a.result.objective.total_cmp(&b.result.objective))
+            });
+            ranked
+                .iter()
+                .take(elite_count)
+                .map(|c| Arc::clone(&c.genome))
+                .collect()
+        }
+        SelectionStrategy::ParetoCrowding => select_by_pareto_crowding(evaluated, elite_count),
     }
 }
 
@@ -452,42 +796,43 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
 /// accuracy drop): walk the non-dominated fronts of the feasible candidates,
 /// breaking ties inside the last partially-taken front by crowding distance.
 /// Infeasible candidates are only used to pad out the elite set when there
-/// are not enough feasible ones.
-fn select_by_pareto_crowding(evaluated: &[EvaluatedConfig], elite_count: usize) -> Vec<Genome> {
+/// are not enough feasible ones. Objectives live in flat `[f64; 3]` rows —
+/// no per-generation `Vec<Vec<f64>>` — and the fronts come from the
+/// dominance-count fast sort.
+fn select_by_pareto_crowding(
+    evaluated: &[EvaluatedConfig],
+    elite_count: usize,
+) -> Vec<Arc<Genome>> {
     let feasible: Vec<&EvaluatedConfig> = evaluated.iter().filter(|c| c.result.feasible).collect();
-    let points: Vec<Vec<f64>> = feasible
+    let points: Vec<[f64; 3]> = feasible
         .iter()
         .map(|c| {
-            vec![
+            [
                 c.result.average_energy_mj,
                 c.result.average_latency_ms,
                 c.result.accuracy_drop,
             ]
         })
         .collect();
-    let mut elites: Vec<Genome> = Vec::with_capacity(elite_count);
+    let mut elites: Vec<Arc<Genome>> = Vec::with_capacity(elite_count);
     for front in non_dominated_fronts(&points) {
         if elites.len() >= elite_count {
             break;
         }
         let remaining = elite_count - elites.len();
         if front.len() <= remaining {
-            elites.extend(front.iter().map(|&i| feasible[i].genome.clone()));
+            elites.extend(front.iter().map(|&i| Arc::clone(&feasible[i].genome)));
         } else {
             // Partial front: prefer the most isolated candidates.
-            let front_points: Vec<Vec<f64>> = front.iter().map(|&i| points[i].clone()).collect();
+            let front_points: Vec<[f64; 3]> = front.iter().map(|&i| points[i]).collect();
             let distances = crowding_distance(&front_points);
             let mut order: Vec<usize> = (0..front.len()).collect();
-            order.sort_by(|&a, &b| {
-                distances[b]
-                    .partial_cmp(&distances[a])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            order.sort_by(|&a, &b| distances[b].total_cmp(&distances[a]));
             elites.extend(
                 order
                     .into_iter()
                     .take(remaining)
-                    .map(|k| feasible[front[k]].genome.clone()),
+                    .map(|k| Arc::clone(&feasible[front[k]].genome)),
             );
         }
     }
@@ -500,12 +845,17 @@ fn select_by_pareto_crowding(evaluated: &[EvaluatedConfig], elite_count: usize) 
             infeasible
                 .into_iter()
                 .take(elite_count - elites.len())
-                .map(|c| c.genome.clone()),
+                .map(|c| Arc::clone(&c.genome)),
         );
     }
     if elites.is_empty() {
         // Degenerate case: keep whatever was evaluated first.
-        elites.extend(evaluated.iter().take(elite_count).map(|c| c.genome.clone()));
+        elites.extend(
+            evaluated
+                .iter()
+                .take(elite_count)
+                .map(|c| Arc::clone(&c.genome)),
+        );
     }
     elites
 }
@@ -516,6 +866,7 @@ mod tests {
     use mnc_core::{Constraints, EvaluatorBuilder};
     use mnc_mpsoc::{CuId, Platform};
     use mnc_nn::models::{visformer_tiny, ModelPreset};
+    use proptest::prelude::*;
 
     fn evaluator(constraints: Constraints) -> Evaluator {
         EvaluatorBuilder::new(
@@ -557,6 +908,7 @@ mod tests {
         .validate()
         .is_err());
         assert_eq!(SearchConfig::default(), SearchConfig::paper());
+        assert!(!SearchConfig::default().warm_start);
     }
 
     #[test]
@@ -576,6 +928,13 @@ mod tests {
         assert!(outcome.best_by_objective().is_some());
         assert!(outcome.energy_oriented(0.05).is_some());
         assert!(outcome.latency_oriented(0.05).is_some());
+        // The elites of generations 1..3 replay from the memo.
+        assert!(outcome.memo_hits() > 0);
+        assert_eq!(
+            outcome.evaluations_performed() + outcome.memo_hits(),
+            outcome.evaluations()
+        );
+        assert_eq!(outcome.warm_start_seeds(), 0);
     }
 
     #[test]
@@ -709,5 +1068,237 @@ mod tests {
                 && c.result.average_latency_ms < dla.latency_ms
         });
         assert!(dominating, "no configuration beats both baselines");
+    }
+
+    /// Exhaustive bit-identity check of two outcomes.
+    fn assert_outcomes_bit_identical(fast: &SearchOutcome, reference: &SearchOutcome) {
+        assert_eq!(fast.archive().len(), reference.archive().len());
+        for (a, b) in fast.archive().iter().zip(reference.archive()) {
+            assert_eq!(a.genome, b.genome);
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.generation, b.generation);
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.result.objective.to_bits(), b.result.objective.to_bits());
+            assert_eq!(
+                a.result.average_energy_mj.to_bits(),
+                b.result.average_energy_mj.to_bits()
+            );
+            assert_eq!(
+                a.result.average_latency_ms.to_bits(),
+                b.result.average_latency_ms.to_bits()
+            );
+        }
+        assert_eq!(fast.generations_run(), reference.generations_run());
+        assert_eq!(fast.early_stopped(), reference.early_stopped());
+        assert_eq!(fast.pareto_front(), reference.pareto_front());
+        assert_eq!(fast.best_by_objective(), reference.best_by_objective());
+    }
+
+    #[test]
+    fn memoized_run_never_reevaluates_a_genome() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// Counts evaluator calls and remembers every genome fingerprint
+        /// it ever evaluated — a repeat proves the memo leaked.
+        struct CountingEvaluator {
+            inner: Evaluator,
+            calls: AtomicUsize,
+            seen: std::sync::Mutex<std::collections::HashSet<u64>>,
+            repeats: AtomicUsize,
+        }
+        impl ConfigEvaluator for CountingEvaluator {
+            fn network(&self) -> &mnc_nn::Network {
+                ConfigEvaluator::network(&self.inner)
+            }
+            fn platform(&self) -> &Platform {
+                ConfigEvaluator::platform(&self.inner)
+            }
+            fn evaluate_genome(
+                &self,
+                genome: &Genome,
+            ) -> Result<(Arc<MappingConfig>, Arc<EvaluationResult>), OptimError> {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                if !self.seen.lock().unwrap().insert(genome.fingerprint()) {
+                    self.repeats.fetch_add(1, Ordering::Relaxed);
+                }
+                self.inner.evaluate_genome(genome)
+            }
+        }
+
+        let counting = CountingEvaluator {
+            inner: evaluator(Constraints::default()),
+            calls: AtomicUsize::new(0),
+            seen: std::sync::Mutex::new(std::collections::HashSet::new()),
+            repeats: AtomicUsize::new(0),
+        };
+        let config = SearchConfig {
+            generations: 6,
+            population_size: 12,
+            ..SearchConfig::fast()
+        };
+        let outcome = MappingSearch::new(&counting, config).run().unwrap();
+        assert_eq!(
+            counting.calls.load(Ordering::Relaxed),
+            outcome.evaluations_performed()
+        );
+        assert_eq!(counting.repeats.load(Ordering::Relaxed), 0);
+        assert!(outcome.memo_hits() > 0, "elite replays should hit the memo");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The tentpole property: the memoized fast path is bit-identical
+        /// to the pre-fast-path reference loop for random seeds × budgets
+        /// × thread counts, with and without parallel evaluation.
+        #[test]
+        fn prop_memoized_run_matches_reference(
+            seed in 0u64..1_000_000,
+            generations in 2usize..5,
+            population in 6usize..14,
+            threads in 1usize..5,
+        ) {
+            let evaluator = evaluator(Constraints::default());
+            let base = SearchConfig {
+                generations,
+                population_size: population,
+                seed,
+                ..SearchConfig::fast()
+            };
+            let parallel = SearchConfig {
+                parallel: true,
+                threads: Some(threads),
+                ..base
+            };
+            let reference = MappingSearch::new(&evaluator, base).run_reference().unwrap();
+            let fast_serial = MappingSearch::new(&evaluator, base).run().unwrap();
+            let fast_parallel = MappingSearch::new(&evaluator, parallel).run().unwrap();
+            assert_outcomes_bit_identical(&fast_serial, &reference);
+            assert_outcomes_bit_identical(&fast_parallel, &reference);
+            prop_assert_eq!(
+                fast_serial.evaluations_performed() + fast_serial.memo_hits(),
+                fast_serial.evaluations()
+            );
+            prop_assert_eq!(
+                fast_serial.evaluations_performed(),
+                fast_parallel.evaluations_performed()
+            );
+            prop_assert!(fast_serial.evaluations_performed() <= reference.evaluations());
+        }
+    }
+
+    #[test]
+    fn memoized_run_matches_reference_with_pareto_crowding_and_budget() {
+        let evaluator = evaluator(Constraints::default());
+        let config = SearchConfig {
+            generations: 5,
+            population_size: 12,
+            selection: SelectionStrategy::ParetoCrowding,
+            max_evaluations: Some(50),
+            stall_generations: Some(2),
+            ..SearchConfig::fast()
+        };
+        let fast = MappingSearch::new(&evaluator, config).run().unwrap();
+        let reference = MappingSearch::new(&evaluator, config)
+            .run_reference()
+            .unwrap();
+        assert_outcomes_bit_identical(&fast, &reference);
+        // Whichever fires first — the trimmed budget or the stall window —
+        // both paths agree on it.
+        assert!(fast.evaluations() <= 50);
+        assert!(fast.early_stopped());
+    }
+
+    #[test]
+    fn warm_start_seeds_join_the_initial_population() {
+        let evaluator = evaluator(Constraints::default());
+        let cold_config = SearchConfig {
+            generations: 4,
+            population_size: 10,
+            ..SearchConfig::fast()
+        };
+        let cold = MappingSearch::new(&evaluator, cold_config).run().unwrap();
+        let seeds: Vec<Arc<Genome>> = cold
+            .pareto_front()
+            .into_iter()
+            .map(|c| Arc::clone(&c.genome))
+            .collect();
+        assert!(!seeds.is_empty());
+
+        let warm_config = SearchConfig {
+            seed: 99,
+            warm_start: true,
+            ..cold_config
+        };
+        let warm = MappingSearch::new(&evaluator, warm_config)
+            .with_seeds(seeds.clone())
+            .run()
+            .unwrap();
+        assert!(warm.warm_start_seeds() > 0);
+        assert!(warm.warm_start_seeds() <= seeds.len());
+        // The (non-duplicate) seeds are scheduled in generation 0, right
+        // after the balanced default. (The balanced genome is often on the
+        // cold front itself, in which case it is deduplicated away rather
+        // than scheduled twice.)
+        let seed_fingerprints: Vec<u64> = seeds.iter().map(|g| g.fingerprint()).collect();
+        for entry in warm.archive().iter().skip(1).take(warm.warm_start_seeds()) {
+            assert!(seed_fingerprints.contains(&entry.genome.fingerprint()));
+        }
+        // Warm start can only improve on the seeds it was given: the best
+        // seed objective is an upper bound on the warm best.
+        let best_seed_objective = cold
+            .pareto_front()
+            .iter()
+            .filter(|c| c.result.feasible)
+            .map(|c| c.result.objective)
+            .fold(f64::INFINITY, f64::min);
+        let warm_best = warm.best_by_objective().unwrap().result.objective;
+        assert!(warm_best <= best_seed_objective);
+
+        // Without the flag, the same seeds are ignored and the outcome is
+        // bit-identical to a seedless run.
+        let off_config = SearchConfig {
+            warm_start: false,
+            ..warm_config
+        };
+        let ignored = MappingSearch::new(&evaluator, off_config)
+            .with_seeds(seeds)
+            .run()
+            .unwrap();
+        let plain = MappingSearch::new(&evaluator, off_config).run().unwrap();
+        assert_outcomes_bit_identical(&ignored, &plain);
+        assert_eq!(ignored.warm_start_seeds(), 0);
+    }
+
+    #[test]
+    fn incompatible_or_duplicate_seeds_are_skipped() {
+        let evaluator = evaluator(Constraints::default());
+        let network = ConfigEvaluator::network(&evaluator);
+        let platform = ConfigEvaluator::platform(&evaluator);
+        let mut rng = StdRng::seed_from_u64(3);
+        let good = Arc::new(Genome::random(network, platform, &mut rng));
+        // A genome built for a 4-CU platform cannot seed a 2-CU search.
+        let wrong_platform = Arc::new(Genome::balanced(
+            &mnc_nn::models::vgg11(ModelPreset::cifar100()),
+            &Platform::agx_xavier(),
+        ));
+        // The balanced genome is already in the population: duplicate.
+        let balanced = Arc::new(Genome::balanced(network, platform));
+        let config = SearchConfig {
+            generations: 2,
+            population_size: 8,
+            warm_start: true,
+            ..SearchConfig::fast()
+        };
+        let outcome = MappingSearch::new(&evaluator, config)
+            .with_seeds(vec![
+                wrong_platform,
+                balanced,
+                Arc::clone(&good),
+                good, // exact duplicate of the previous seed
+            ])
+            .run()
+            .unwrap();
+        assert_eq!(outcome.warm_start_seeds(), 1);
     }
 }

@@ -34,7 +34,7 @@
 use mnc_core::{EvaluationResult, MappingConfig, StableHasher};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Number of independently locked shards (power of two).
 pub const SHARDS: usize = 64;
@@ -45,8 +45,13 @@ pub const SHARDS: usize = 64;
 /// with more memory can raise it via [`EvalCache::with_capacity`].
 pub const DEFAULT_CAPACITY: usize = 65_536;
 
-/// One cached evaluation: the decoded configuration and its metrics.
-type Entry = (MappingConfig, EvaluationResult);
+/// One cached evaluation: the decoded configuration and its metrics,
+/// `Arc`-backed so a hit clones two pointers instead of a full decoded
+/// configuration (the ROADMAP's "allocation-free cache hits" refinement).
+/// The same `Arc`s flow through `mnc_optim::EvaluatedConfig` into search
+/// archives and response fronts, so one evaluation is allocated once
+/// however many times it is served.
+type Entry = (Arc<MappingConfig>, Arc<EvaluationResult>);
 
 /// A resident entry plus its second-chance reference bit.
 #[derive(Debug)]
@@ -322,7 +327,7 @@ impl EvalCache {
     /// Inserts an evaluation, evicting via second chance when the shard is
     /// over capacity. (Last writer wins; results for equal keys are
     /// identical by construction, so the race is benign.)
-    pub fn insert(&self, key: u128, config: MappingConfig, result: EvaluationResult) {
+    pub fn insert(&self, key: u128, config: Arc<MappingConfig>, result: Arc<EvaluationResult>) {
         let mut shard = self
             .shard(key)
             .lock()
@@ -401,7 +406,7 @@ mod tests {
             .build()
             .unwrap();
         let result = evaluator.evaluate(&config).unwrap();
-        (config, result)
+        (Arc::new(config), Arc::new(result))
     }
 
     #[test]

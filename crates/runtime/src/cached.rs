@@ -5,7 +5,8 @@
 //! [`mnc_optim::MappingSearch`] transparently reuses every evaluation any
 //! previous search performed against the same evaluator state. On a hit
 //! the genome is neither decoded nor simulated — the cached configuration
-//! and result are cloned out.
+//! and result come back as two `Arc` clones (allocation-free; the cache
+//! and every consumer share one allocation per evaluation).
 //!
 //! Caching never changes results: the cache key covers the evaluator's
 //! full fingerprint and the genome's full gene content, and evaluation is
@@ -238,7 +239,7 @@ impl ConfigEvaluator for CachedEvaluator {
     fn evaluate_genome(
         &self,
         genome: &Genome,
-    ) -> Result<(MappingConfig, EvaluationResult), OptimError> {
+    ) -> Result<(Arc<MappingConfig>, Arc<EvaluationResult>), OptimError> {
         let key = self.key_for(genome);
         if let Some(entry) = self.cache.get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -260,10 +261,54 @@ impl ConfigEvaluator for CachedEvaluator {
                 // straight to `evaluate_transformed`.
                 let dynamic = self.transformed(genome.structure_fingerprint(), &config)?;
                 let result = self.evaluator.evaluate_transformed(&dynamic, &config)?;
-                self.cache.insert(key, config.clone(), result.clone());
+                let config = Arc::new(config);
+                let result = Arc::new(result);
+                // The cache holds the same `Arc`s the caller receives —
+                // cloning an entry out is two reference-count bumps.
+                self.cache
+                    .insert(key, Arc::clone(&config), Arc::clone(&result));
                 // Release only after the insert so woken waiters find the
                 // entry; on the `?` error paths above the guard's drop
                 // hands the key to the next waiter instead.
+                drop(guard);
+                Ok((config, result))
+            }
+        }
+    }
+
+    fn evaluate_genome_fast(
+        &self,
+        genome: &Genome,
+    ) -> Result<(Arc<MappingConfig>, Arc<EvaluationResult>), OptimError> {
+        let key = self.key_for(genome);
+        if let Some(entry) = self.cache.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(entry);
+        }
+        match self.cache.begin_compute(key) {
+            ComputeLease::Ready(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Ok(*entry)
+            }
+            ComputeLease::Owner(guard) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let config = genome.decode(self.evaluator.network(), self.evaluator.platform())?;
+                // The search-loop hook: a GA population practically never
+                // repeats a structure, so the transform LRU cannot pay for
+                // itself here — evaluate through the fused pipeline
+                // (bit-identical, no materialised `DynamicNetwork`)
+                // instead, with the genome's slot rows keying the accuracy
+                // model's slice-mass memo. The plain hook above keeps the
+                // LRU for workloads that *do* share structures
+                // (mapping/DVFS variants of one partitioning).
+                let result = self
+                    .evaluator
+                    .evaluate_fused_keyed(&config, &genome.partition_row_keys())?;
+                let config = Arc::new(config);
+                let result = Arc::new(result);
+                self.cache
+                    .insert(key, Arc::clone(&config), Arc::clone(&result));
                 drop(guard);
                 Ok((config, result))
             }
@@ -361,7 +406,7 @@ mod tests {
         // The memoised transform changes nothing: a fresh evaluator
         // produces the same result for the base genome.
         let fresh = cached.evaluator().evaluate(&config_a).unwrap();
-        assert_eq!(fresh, result_a);
+        assert_eq!(fresh, *result_a);
         assert_eq!(fresh.objective.to_bits(), result_a.objective.to_bits());
     }
 

@@ -34,6 +34,8 @@ pub enum RuntimeError {
     Core(mnc_core::CoreError),
     /// An error bubbled up from the search.
     Optim(mnc_optim::OptimError),
+    /// An error bubbled up from the warm-start surrogate.
+    Predictor(mnc_predictor::PredictorError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -54,6 +56,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Mpsoc(e) => write!(f, "platform error: {e}"),
             RuntimeError::Core(e) => write!(f, "evaluation error: {e}"),
             RuntimeError::Optim(e) => write!(f, "search error: {e}"),
+            RuntimeError::Predictor(e) => write!(f, "warm-start surrogate error: {e}"),
         }
     }
 }
@@ -64,6 +67,7 @@ impl Error for RuntimeError {
             RuntimeError::Mpsoc(e) => Some(e),
             RuntimeError::Core(e) => Some(e),
             RuntimeError::Optim(e) => Some(e),
+            RuntimeError::Predictor(e) => Some(e),
             _ => None,
         }
     }
@@ -84,6 +88,12 @@ impl From<mnc_core::CoreError> for RuntimeError {
 impl From<mnc_optim::OptimError> for RuntimeError {
     fn from(e: mnc_optim::OptimError) -> Self {
         RuntimeError::Optim(e)
+    }
+}
+
+impl From<mnc_predictor::PredictorError> for RuntimeError {
+    fn from(e: mnc_predictor::PredictorError) -> Self {
+        RuntimeError::Predictor(e)
     }
 }
 

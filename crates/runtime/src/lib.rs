@@ -26,7 +26,13 @@
 //!   [`MappingService::submit_batch`]: identical in-flight requests are
 //!   deduplicated onto one search and distinct requests run concurrently
 //!   under a [`BatchConfig`] thread budget, with responses bit-identical
-//!   to serving each request alone.
+//!   to serving each request alone,
+//! * [`warmstart`] — the opt-in warm-start path: Pareto elites of
+//!   answered requests are archived per (model, platform) and, when a
+//!   request sets `warm_start`, re-ranked by an `mnc_predictor` surrogate
+//!   for the target platform and injected into the search's initial
+//!   population, so similar requests converge in measurably fewer
+//!   evaluations.
 //!
 //! # Example
 //!
@@ -58,6 +64,7 @@ pub mod error;
 pub mod registry;
 pub mod scheduler;
 pub mod service;
+pub mod warmstart;
 
 pub use cache::{CacheStats, ComputeLease, EvalCache};
 pub use cached::CachedEvaluator;
@@ -65,3 +72,4 @@ pub use error::RuntimeError;
 pub use registry::ModelRegistry;
 pub use scheduler::{BatchConfig, BatchReport, BatchStats};
 pub use service::{MappingRequest, MappingResponse, MappingService, RequestStats};
+pub use warmstart::{EliteArchive, SurrogateRanker};

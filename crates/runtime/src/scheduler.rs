@@ -24,11 +24,17 @@
 //!    outer batch never oversubscribes what the inner searches are
 //!    already using.
 //!
-//! Determinism is untouched: a search's outcome depends only on the
-//! request (seed included), never on thread counts or scheduling order, so
-//! every response is bit-identical to serving the same request alone
-//! through [`MappingService::submit`] — property-tested in
-//! `tests/service.rs` for `max_concurrent ∈ {1, N}`.
+//! Determinism is untouched for cold requests: a cold search's outcome
+//! depends only on the request (seed included), never on thread counts or
+//! scheduling order, so every cold response is bit-identical to serving
+//! the same request alone through [`MappingService::submit`] —
+//! property-tested in `tests/service.rs` for `max_concurrent ∈ {1, N}`.
+//! Requests that opt into `MappingRequest::warm_start` trade that
+//! guarantee away by design: their seeds come from the service's elite
+//! archive, which concurrent batch-mates and earlier requests mutate, so
+//! a warm response depends on scheduling order and service history (see
+//! `crate::warmstart`). Coalescing still answers identical warm
+//! duplicates with one search's response.
 
 use crate::error::RuntimeError;
 use crate::service::{MappingRequest, MappingResponse, MappingService};
@@ -168,9 +174,11 @@ fn coalescing_key(request: &MappingRequest) -> u64 {
 impl MappingService {
     /// Answers a batch of requests under an explicit [`BatchConfig`]:
     /// identical requests coalesce onto one search, distinct requests run
-    /// concurrently within the batch thread budget, and every response is
-    /// bit-identical to what [`MappingService::submit`] returns for the
-    /// same request.
+    /// concurrently within the batch thread budget, and every cold
+    /// (non-`warm_start`) response is bit-identical to what
+    /// [`MappingService::submit`] returns for the same request.
+    /// Warm-started responses additionally depend on what the elite
+    /// archive held when their search began (see the module docs).
     pub fn submit_batch_with(
         &self,
         requests: &[MappingRequest],

@@ -19,12 +19,15 @@ use crate::cache::{CacheStats, EvalCache};
 use crate::cached::CachedEvaluator;
 use crate::error::RuntimeError;
 use crate::registry::ModelRegistry;
+use crate::warmstart::{EliteArchive, SurrogateRanker};
 use mnc_core::{
     fingerprint_serialized, Constraints, Evaluator, EvaluatorBuilder, ObjectiveWeights,
     StableHasher,
 };
-use mnc_mpsoc::PlatformRegistry;
-use mnc_optim::{EvaluatedConfig, MappingSearch, MutationConfig, SearchConfig, SelectionStrategy};
+use mnc_mpsoc::{Platform, PlatformRegistry};
+use mnc_optim::{
+    EvaluatedConfig, Genome, MappingSearch, MutationConfig, SearchConfig, SelectionStrategy,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -120,6 +123,12 @@ pub struct MappingRequest {
     pub stall_generations: Option<usize>,
     /// Worker threads for population evaluation (`None` = all cores).
     pub threads: Option<usize>,
+    /// Seed the search from surrogate-ranked Pareto elites of earlier
+    /// same-model requests (see [`crate::warmstart`]). Off by default:
+    /// a cold request's response depends only on the request itself,
+    /// while a warm-started response additionally depends on what the
+    /// service answered before.
+    pub warm_start: bool,
 }
 
 impl MappingRequest {
@@ -139,6 +148,7 @@ impl MappingRequest {
             max_evaluations: None,
             stall_generations: None,
             threads: None,
+            warm_start: false,
         }
     }
 
@@ -212,6 +222,23 @@ impl MappingRequest {
         self
     }
 
+    /// Opts in to the surrogate warm start: the initial population is
+    /// seeded from the archived Pareto elites of earlier requests for the
+    /// same model (same platform first, then neighbouring platforms with
+    /// the same stage count), re-ranked by the target platform's
+    /// `mnc_predictor` surrogate. With a stall window set, warm-started
+    /// requests reach a front no worse than the cold search in strictly
+    /// fewer evaluations once the archive holds relevant elites.
+    ///
+    /// Note the trade: a warm-started response depends on what the
+    /// service answered before, so the bit-identical-replay guarantee
+    /// applies only to requests with `warm_start` off.
+    #[must_use]
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
     /// The search configuration this request describes.
     pub fn search_config(&self) -> SearchConfig {
         SearchConfig {
@@ -226,6 +253,7 @@ impl MappingRequest {
             threads: self.threads,
             max_evaluations: self.max_evaluations,
             stall_generations: self.stall_generations,
+            warm_start: self.warm_start,
         }
     }
 
@@ -246,8 +274,18 @@ impl MappingRequest {
 /// Per-request accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RequestStats {
-    /// Configurations the search examined (cached or fresh).
+    /// Configurations the search examined (memoised, cached or fresh).
     pub evaluations: usize,
+    /// Evaluations that reached the evaluator (the rest were served by
+    /// the search's within-run memo).
+    pub evaluations_performed: usize,
+    /// Scheduled evaluations answered by the search's within-run memo
+    /// (elite replays, duplicate children): always
+    /// `evaluations - evaluations_performed`.
+    pub memo_hits: usize,
+    /// Warm-start seed genomes injected into the initial population
+    /// (0 unless the request set [`MappingRequest::warm_start`]).
+    pub warm_start_seeds: usize,
     /// Generations actually run.
     pub generations_run: usize,
     /// Whether the search stopped before its generation count.
@@ -299,6 +337,11 @@ pub struct MappingService {
     /// for the same shape wait here instead of each building their own.
     building: Mutex<HashSet<u64>>,
     building_done: Condvar,
+    /// Pareto elites of answered requests, the warm-start seed pool.
+    elites: EliteArchive,
+    /// Surrogate rankers memoised per platform preset (training one takes
+    /// longer than ranking with it by orders of magnitude).
+    rankers: Mutex<HashMap<String, Arc<SurrogateRanker>>>,
 }
 
 /// Exclusive claim on building one evaluator shape. Dropping it (build
@@ -337,6 +380,8 @@ impl MappingService {
             evaluators: Mutex::new(EvaluatorPool::default()),
             building: Mutex::new(HashSet::new()),
             building_done: Condvar::new(),
+            elites: EliteArchive::new(),
+            rankers: Mutex::new(HashMap::new()),
         }
     }
 
@@ -358,6 +403,63 @@ impl MappingService {
     /// The shared evaluation cache.
     pub fn cache(&self) -> &Arc<EvalCache> {
         &self.cache
+    }
+
+    /// The warm-start elite archive (Pareto elites of answered requests).
+    pub fn elite_archive(&self) -> &EliteArchive {
+        &self.elites
+    }
+
+    /// The memoised surrogate ranker for one platform preset, training it
+    /// on first use. Training is deterministic (fixed dataset seed), so
+    /// every service instance ranks identically.
+    fn ranker_for(
+        &self,
+        name: &str,
+        platform: &Platform,
+    ) -> Result<Arc<SurrogateRanker>, RuntimeError> {
+        if let Some(found) = self
+            .rankers
+            .lock()
+            .expect("ranker pool lock never poisoned")
+            .get(name)
+        {
+            return Ok(Arc::clone(found));
+        }
+        // Train outside the lock: two concurrent trainings produce equal
+        // models (deterministic dataset), the first insert wins.
+        let ranker = Arc::new(SurrogateRanker::train(platform)?);
+        let mut rankers = self
+            .rankers
+            .lock()
+            .expect("ranker pool lock never poisoned");
+        Ok(Arc::clone(
+            rankers.entry(name.to_string()).or_insert(ranker),
+        ))
+    }
+
+    /// Gathers and surrogate-ranks warm-start seeds for one request:
+    /// archived elites of the same model (same platform first, then
+    /// neighbouring platforms with the same stage count), best-predicted
+    /// first, truncated to half the population so the search keeps room
+    /// for exploration.
+    fn warm_start_seeds(
+        &self,
+        request: &MappingRequest,
+        evaluator: &Evaluator,
+    ) -> Result<Vec<Arc<Genome>>, RuntimeError> {
+        let platform = evaluator.platform();
+        let mut seeds = self.elites.seeds_for(
+            &request.model,
+            &request.platform,
+            platform.num_compute_units(),
+        );
+        if seeds.len() > 1 {
+            let ranker = self.ranker_for(&request.platform, platform)?;
+            ranker.rank(&mut seeds, evaluator.network(), platform);
+        }
+        seeds.truncate((request.population_size / 2).max(1));
+        Ok(seeds)
     }
 
     /// Resolves (building or reusing) the evaluator a request needs,
@@ -469,12 +571,36 @@ impl MappingService {
         let started = Instant::now();
 
         let (evaluator, fingerprint) = self.resolve_evaluator(request)?;
+        let seeds = if request.warm_start {
+            self.warm_start_seeds(request, &evaluator)?
+        } else {
+            Vec::new()
+        };
         let cached =
             CachedEvaluator::with_fingerprint(evaluator, Arc::clone(&self.cache), fingerprint);
-        let outcome = MappingSearch::new(&cached, config).run()?;
+        let outcome = MappingSearch::new(&cached, config)
+            .with_seeds(seeds)
+            .run()?;
+
+        let pareto_front: Vec<EvaluatedConfig> =
+            outcome.pareto_front().into_iter().cloned().collect();
+        let best_by_objective = outcome.best_by_objective().cloned();
+
+        // Feed the elite archive for future warm starts: the front plus
+        // the best-by-objective pick (which a 2-D front need not contain).
+        // `Arc`-shared with the response, so this costs refcount bumps.
+        let elites = pareto_front
+            .iter()
+            .map(|c| Arc::clone(&c.genome))
+            .chain(best_by_objective.iter().map(|c| Arc::clone(&c.genome)));
+        self.elites
+            .record(&request.model, &request.platform, elites);
 
         let stats = RequestStats {
             evaluations: outcome.evaluations(),
+            evaluations_performed: outcome.evaluations_performed(),
+            memo_hits: outcome.memo_hits(),
+            warm_start_seeds: outcome.warm_start_seeds(),
             generations_run: outcome.generations_run(),
             early_stopped: outcome.early_stopped(),
             // Per-request counters from the wrapper, not deltas of the
@@ -487,8 +613,8 @@ impl MappingService {
         Ok(MappingResponse {
             model: request.model.clone(),
             platform: request.platform.clone(),
-            pareto_front: outcome.pareto_front().into_iter().cloned().collect(),
-            best_by_objective: outcome.best_by_objective().cloned(),
+            pareto_front,
+            best_by_objective,
             stats,
         })
     }

@@ -1,0 +1,383 @@
+//! Surrogate-guided warm start for mapping searches.
+//!
+//! A service that has answered a request for a model has already paid to
+//! discover good genomes for it; a later request for the *same model* —
+//! on the same board or a neighbouring one with the same stage count —
+//! should not start its search from scratch. This module supplies the two
+//! pieces `MappingService` plumbs together when a request opts in via
+//! `MappingRequest::warm_start`:
+//!
+//! * [`EliteArchive`] — a bounded, (model, platform)-keyed store of the
+//!   Pareto-elite genomes of answered requests. Genomes are `Arc`-shared
+//!   with the response fronts they came from, so archiving costs
+//!   reference-count bumps, not clones.
+//! * [`SurrogateRanker`] — an `mnc_predictor` latency/energy surrogate
+//!   trained per platform. Candidate seeds are re-ranked by the
+//!   surrogate's predicted cost on the *target* platform before they are
+//!   handed to `MappingSearch::with_seeds`, so elites learned on a
+//!   neighbouring board enter the initial population in the order most
+//!   promising for the board actually being mapped.
+//!
+//! Warm-starting trades the cold search's independence from service
+//! history for convergence speed: the seeded generation 0 already contains
+//! the best known genomes, so a stall-windowed search terminates in
+//! measurably fewer evaluations with a front no worse than the cold one
+//! (see the `search_fastpath` benchmark). With `warm_start` off nothing
+//! here runs and responses stay bit-identical to a fresh service's.
+
+use mnc_mpsoc::{Platform, WorkloadClass};
+use mnc_nn::{Network, SliceCost};
+use mnc_optim::Genome;
+use mnc_predictor::{
+    DatasetConfig, GbtConfig, PerformancePredictor, PredictorError, QueryFeatures,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Upper bound on archived elite genomes per (model, platform) pair.
+/// Fronts are typically a handful of points; the bound only matters for a
+/// service that answers many distinct-seed requests for one shape.
+pub const MAX_ELITES_PER_SHAPE: usize = 32;
+
+/// Deterministic benchmark-dataset settings for the per-platform
+/// surrogate: ranking must not wobble between equal requests, so the
+/// dataset seed is fixed and the full sample set trains (no held-out
+/// split — the analytic model the dataset is drawn from is the oracle
+/// next door, validation would only shrink the training set).
+fn ranker_dataset() -> DatasetConfig {
+    DatasetConfig {
+        samples: 512,
+        seed: 0x5eed_ca2e,
+        noise_std: 0.02,
+        train_fraction: 1.0,
+    }
+}
+
+/// platform → elite genomes (newest first) for one model, each stored
+/// with its fingerprint so recording and seeding never re-hash resident
+/// genomes.
+type PlatformElites = HashMap<String, Vec<(u64, Arc<Genome>)>>;
+
+/// A bounded, (model, platform)-keyed store of Pareto-elite genomes from
+/// answered requests — the seed pool for warm-started searches.
+#[derive(Debug, Default)]
+pub struct EliteArchive {
+    /// model → platform → elite genomes, newest first.
+    entries: Mutex<HashMap<String, PlatformElites>>,
+}
+
+impl EliteArchive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        EliteArchive::default()
+    }
+
+    /// Records the elite genomes of one answered request, newest first,
+    /// deduplicated by fingerprint and truncated to
+    /// [`MAX_ELITES_PER_SHAPE`].
+    pub fn record<I>(&self, model: &str, platform: &str, genomes: I)
+    where
+        I: IntoIterator<Item = Arc<Genome>>,
+    {
+        let mut entries = self
+            .entries
+            .lock()
+            .expect("elite archive lock never poisoned");
+        let shape = entries
+            .entry(model.to_string())
+            .or_default()
+            .entry(platform.to_string())
+            .or_default();
+        let mut fresh: Vec<(u64, Arc<Genome>)> = Vec::new();
+        for genome in genomes {
+            // Incoming fingerprints are computed once; resident ones were
+            // stored when they were recorded.
+            let fingerprint = genome.fingerprint();
+            if fresh.iter().any(|(resident, _)| *resident == fingerprint)
+                || shape.iter().any(|(resident, _)| *resident == fingerprint)
+            {
+                continue;
+            }
+            fresh.push((fingerprint, genome));
+        }
+        // Newest results go to the front so truncation drops the oldest.
+        fresh.extend(shape.iter().cloned());
+        fresh.truncate(MAX_ELITES_PER_SHAPE);
+        *shape = fresh;
+    }
+
+    /// Seed candidates for a request: elites recorded for the same model,
+    /// same-platform entries first, then neighbouring platforms (sorted by
+    /// name for determinism) whose genomes encode the same stage count.
+    pub fn seeds_for(&self, model: &str, platform: &str, num_stages: usize) -> Vec<Arc<Genome>> {
+        let entries = self
+            .entries
+            .lock()
+            .expect("elite archive lock never poisoned");
+        let Some(platforms) = entries.get(model) else {
+            return Vec::new();
+        };
+        let mut seeds: Vec<Arc<Genome>> = Vec::new();
+        let mut seen: Vec<u64> = Vec::new();
+        let mut push_compatible = |genomes: &[(u64, Arc<Genome>)]| {
+            for (fingerprint, genome) in genomes {
+                if genome.num_stages() != num_stages {
+                    continue;
+                }
+                if seen.contains(fingerprint) {
+                    continue;
+                }
+                seen.push(*fingerprint);
+                seeds.push(Arc::clone(genome));
+            }
+        };
+        if let Some(same) = platforms.get(platform) {
+            push_compatible(same);
+        }
+        let mut neighbours: Vec<&String> = platforms
+            .keys()
+            .filter(|name| name.as_str() != platform)
+            .collect();
+        neighbours.sort();
+        for name in neighbours {
+            push_compatible(&platforms[name]);
+        }
+        seeds
+    }
+
+    /// Total number of archived genomes across every shape.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("elite archive lock never poisoned")
+            .values()
+            .flat_map(|platforms| platforms.values())
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether the archive holds no genomes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A per-platform latency/energy surrogate that orders warm-start seed
+/// candidates by their predicted cost on the target platform.
+#[derive(Debug)]
+pub struct SurrogateRanker {
+    predictor: PerformancePredictor,
+}
+
+impl SurrogateRanker {
+    /// Trains the surrogate on a deterministic benchmark dataset drawn
+    /// from `platform`'s analytic model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the dataset cannot be generated or the
+    /// gradient-boosted models fail to fit (empty platform).
+    pub fn train(platform: &Platform) -> Result<Self, PredictorError> {
+        let predictor =
+            PerformancePredictor::train(platform, &ranker_dataset(), &GbtConfig::fast())?;
+        Ok(SurrogateRanker { predictor })
+    }
+
+    /// The trained surrogate.
+    pub fn predictor(&self) -> &PerformancePredictor {
+        &self.predictor
+    }
+
+    /// Predicted scalar cost (total latency + total energy over all
+    /// stages) of one genome on `platform`. `None` when the genome does
+    /// not decode against (network, platform) — such seeds rank last.
+    ///
+    /// The per-stage workload is aggregated per [`WorkloadClass`] from the
+    /// full-layer costs scaled by the genome's partition fractions — the
+    /// same features the surrogate trained on, one query per non-empty
+    /// (stage, class) pair instead of one per layer slice, so ranking a
+    /// seed costs a handful of tree lookups rather than an evaluation.
+    pub fn score(
+        &self,
+        genome: &Genome,
+        network: &Network,
+        platform: &Platform,
+        layer_costs: &[SliceCost],
+        layer_classes: &[WorkloadClass],
+    ) -> Option<f64> {
+        let config = genome.decode(network, platform).ok()?;
+        let mut total = 0.0;
+        for stage in 0..config.num_stages() {
+            let cu_id = config.mapping.compute_unit(stage)?;
+            let cu = platform.compute_unit(cu_id).ok()?;
+            let level = config.dvfs.level(stage)?;
+            let point = cu.dvfs().point(level).ok()?;
+
+            let mut class_costs = [SliceCost::zero(); WorkloadClass::ALL.len()];
+            for ((layer_id, _), (cost, class)) in
+                network.iter().zip(layer_costs.iter().zip(layer_classes))
+            {
+                let fraction = config.partition.fraction(layer_id, stage);
+                if fraction <= 0.0 {
+                    continue;
+                }
+                let slot = &mut class_costs[class.index()];
+                slot.macs += cost.macs * fraction;
+                slot.flops += cost.flops * fraction;
+                slot.weight_bytes += cost.weight_bytes * fraction;
+                slot.input_bytes += cost.input_bytes * fraction;
+                slot.output_bytes += cost.output_bytes * fraction;
+            }
+            for (class, cost) in WorkloadClass::ALL.iter().zip(&class_costs) {
+                if cost.flops <= 0.0 && cost.total_bytes() <= 0.0 {
+                    continue;
+                }
+                let (latency_ms, energy_mj) = self
+                    .predictor
+                    .predict(&QueryFeatures::new(*cost, *class, cu, point));
+                total += latency_ms + energy_mj;
+            }
+        }
+        Some(total)
+    }
+
+    /// Reorders `seeds` best-first by surrogate score (stable: equal
+    /// scores keep their archive order; undecodable seeds sink to the
+    /// end).
+    pub fn rank(&self, seeds: &mut [Arc<Genome>], network: &Network, platform: &Platform) {
+        if seeds.len() < 2 {
+            return;
+        }
+        let layer_costs = network.layer_costs();
+        let layer_classes: Vec<WorkloadClass> = network
+            .iter()
+            .map(|(_, layer)| WorkloadClass::from_layer(layer))
+            .collect();
+        let mut keyed: Vec<(f64, Arc<Genome>)> = seeds
+            .iter()
+            .map(|genome| {
+                let score = self
+                    .score(genome, network, platform, &layer_costs, &layer_classes)
+                    .unwrap_or(f64::INFINITY);
+                (score, Arc::clone(genome))
+            })
+            .collect();
+        keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (slot, (_, genome)) in seeds.iter_mut().zip(keyed) {
+            *slot = genome;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_nn::models::{tiny_cnn, visformer_tiny, ModelPreset};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn genomes(count: usize, seed: u64) -> (Network, Platform, Vec<Arc<Genome>>) {
+        let network = visformer_tiny(ModelPreset::cifar100());
+        let platform = Platform::dual_test();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let genomes = (0..count)
+            .map(|_| Arc::new(Genome::random(&network, &platform, &mut rng)))
+            .collect();
+        (network, platform, genomes)
+    }
+
+    #[test]
+    fn archive_records_dedupes_and_bounds() {
+        let (_, _, batch) = genomes(MAX_ELITES_PER_SHAPE + 10, 1);
+        let archive = EliteArchive::new();
+        assert!(archive.is_empty());
+        archive.record("m", "p", batch.iter().cloned());
+        // Duplicates are dropped...
+        archive.record("m", "p", batch.iter().cloned());
+        // ...and the per-shape bound holds.
+        assert_eq!(archive.len(), MAX_ELITES_PER_SHAPE);
+        let seeds = archive.seeds_for("m", "p", 2);
+        assert_eq!(seeds.len(), MAX_ELITES_PER_SHAPE);
+        assert!(archive.seeds_for("other_model", "p", 2).is_empty());
+    }
+
+    #[test]
+    fn newest_elites_survive_truncation() {
+        let (_, _, batch) = genomes(MAX_ELITES_PER_SHAPE + 4, 2);
+        let archive = EliteArchive::new();
+        archive.record("m", "p", batch[..MAX_ELITES_PER_SHAPE].iter().cloned());
+        archive.record("m", "p", batch[MAX_ELITES_PER_SHAPE..].iter().cloned());
+        let seeds = archive.seeds_for("m", "p", 2);
+        // The four newest genomes lead, the four oldest fell off.
+        for (i, genome) in batch[MAX_ELITES_PER_SHAPE..].iter().enumerate() {
+            assert_eq!(seeds[i].fingerprint(), genome.fingerprint());
+        }
+        assert_eq!(seeds.len(), MAX_ELITES_PER_SHAPE);
+    }
+
+    #[test]
+    fn same_platform_seeds_lead_and_stage_mismatches_drop() {
+        let (_, _, duals) = genomes(3, 3);
+        // Genomes for a four-unit platform must not seed a two-unit search.
+        let quad_network = visformer_tiny(ModelPreset::cifar100());
+        let quad = Arc::new(Genome::balanced(&quad_network, &Platform::agx_xavier()));
+        let archive = EliteArchive::new();
+        archive.record("m", "edge", duals[1..].iter().cloned());
+        archive.record("m", "dual", [Arc::clone(&duals[0])]);
+        archive.record("m", "quad", [quad]);
+
+        let seeds = archive.seeds_for("m", "dual", 2);
+        assert_eq!(seeds.len(), 3, "quad-stage genome must be filtered out");
+        assert_eq!(seeds[0].fingerprint(), duals[0].fingerprint());
+    }
+
+    #[test]
+    fn ranker_orders_decodable_seeds_and_sinks_foreign_ones() {
+        let (network, platform, mut seeds) = genomes(6, 4);
+        // A genome from another model: undecodable, must sink to the end.
+        let foreign = Arc::new(Genome::balanced(
+            &tiny_cnn(ModelPreset::cifar10()),
+            &Platform::dual_test(),
+        ));
+        seeds.insert(0, Arc::clone(&foreign));
+
+        let ranker = SurrogateRanker::train(&platform).unwrap();
+        ranker.rank(&mut seeds, &network, &platform);
+        assert_eq!(
+            seeds.last().unwrap().fingerprint(),
+            foreign.fingerprint(),
+            "undecodable seed must rank last"
+        );
+
+        // Scores are deterministic and ascending after ranking.
+        let layer_costs = network.layer_costs();
+        let layer_classes: Vec<WorkloadClass> = network
+            .iter()
+            .map(|(_, layer)| WorkloadClass::from_layer(layer))
+            .collect();
+        let scores: Vec<f64> = seeds[..seeds.len() - 1]
+            .iter()
+            .map(|g| {
+                ranker
+                    .score(g, &network, &platform, &layer_costs, &layer_classes)
+                    .unwrap()
+            })
+            .collect();
+        for pair in scores.windows(2) {
+            assert!(pair[0] <= pair[1], "ranking not ascending: {scores:?}");
+        }
+        assert!(scores.iter().all(|s| s.is_finite() && *s > 0.0));
+    }
+
+    #[test]
+    fn ranking_is_deterministic() {
+        let (network, platform, seeds) = genomes(5, 9);
+        let ranker = SurrogateRanker::train(&platform).unwrap();
+        let mut a = seeds.clone();
+        let mut b = seeds;
+        ranker.rank(&mut a, &network, &platform);
+        ranker.rank(&mut b, &network, &platform);
+        let fps = |v: &[Arc<Genome>]| v.iter().map(|g| g.fingerprint()).collect::<Vec<_>>();
+        assert_eq!(fps(&a), fps(&b));
+    }
+}

@@ -45,8 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!(
-        "{:<26} {:<16} {:>6} {:>7} {:>9} {:>9} {:>9}",
-        "model", "platform", "front", "evals", "hit%", "ms", "best obj"
+        "{:<26} {:<16} {:>6} {:>7} {:>7} {:>6} {:>9} {:>9} {:>9}",
+        "model", "platform", "front", "evals", "fresh", "memo", "hit%", "ms", "best obj"
     );
     for result in &report.responses {
         let response = result.as_ref().map_err(|e| Box::new(e.clone()))?;
@@ -56,11 +56,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|c| format!("{:.3}", c.result.objective))
             .unwrap_or_else(|| "-".to_string());
         println!(
-            "{:<26} {:<16} {:>6} {:>7} {:>8.1}% {:>9.1} {:>9}",
+            "{:<26} {:<16} {:>6} {:>7} {:>7} {:>6} {:>8.1}% {:>9.1} {:>9}",
             response.model,
             response.platform,
             response.pareto_front.len(),
             response.stats.evaluations,
+            response.stats.evaluations_performed,
+            response.stats.memo_hits,
             response.stats.cache_hit_ratio() * 100.0,
             response.stats.elapsed_ms,
             best,
@@ -70,11 +72,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Replay the first request: the whole search is answered from cache.
     let replay = service.submit(&requests[0])?;
     println!(
-        "\nreplayed {} on {}: {:.1}% cache hits, {:.1} ms",
+        "\nreplayed {} on {}: {:.1}% cache hits, {} memo hits, {:.1} ms",
         replay.model,
         replay.platform,
         replay.stats.cache_hit_ratio() * 100.0,
+        replay.stats.memo_hits,
         replay.stats.elapsed_ms
+    );
+
+    // Warm-start the same workload under a different seed: the elite
+    // archive seeds the initial population (surrogate-ranked), so a third
+    // of the budget reaches a front no worse than the cold search's.
+    let warm = service.submit(
+        &requests[0]
+            .clone()
+            .seed(4242)
+            .generations(3)
+            .warm_start(true),
+    )?;
+    println!(
+        "warm-started {} on {}: {} seeds injected, {} evaluations ({} fresh), best obj {}",
+        warm.model,
+        warm.platform,
+        warm.stats.warm_start_seeds,
+        warm.stats.evaluations,
+        warm.stats.evaluations_performed,
+        warm.best_by_objective
+            .as_ref()
+            .map(|c| format!("{:.3}", c.result.objective))
+            .unwrap_or_else(|| "-".to_string()),
     );
 
     let totals = service.cache_stats();
