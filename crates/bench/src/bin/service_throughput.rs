@@ -20,7 +20,7 @@
 //! drift, panic, or coalescing-accounting mismatch).
 
 use mnc_bench::Budget;
-use mnc_runtime::{BatchConfig, BatchReport, MappingRequest, MappingService};
+use mnc_runtime::{BatchConfig, BatchReport, MappingRequest, MappingService, PipelineStats};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -55,6 +55,9 @@ struct ThroughputReport {
     cache_entries: usize,
     lifetime_hit_ratio: f64,
     coalesced_inflight_lookups: u64,
+    /// Service-lifetime per-stage pipeline counters (the staged request
+    /// path every phase above was served through).
+    pipeline: PipelineStats,
 }
 
 fn workload(budget: Budget, quick: bool) -> Vec<MappingRequest> {
@@ -299,6 +302,26 @@ fn main() {
         stats.coalesced,
     );
 
+    let pipeline = service.pipeline_stats();
+    println!(
+        "pipeline: {} requests over {} batches ({} coalesced), {} searches, {} evaluator builds / {} pool hits",
+        pipeline.requests,
+        pipeline.batches,
+        pipeline.coalesced_requests,
+        pipeline.searches_run,
+        pipeline.evaluator_builds,
+        pipeline.evaluator_pool_hits,
+    );
+    for stage in &pipeline.stages {
+        println!(
+            "  {:<17} {:>5} entered, {:>2} errors, {:>10.1} ms busy",
+            stage.stage,
+            stage.entered,
+            stage.errors,
+            stage.busy_micros as f64 / 1e3,
+        );
+    }
+
     if let Some(path) = json_path {
         let batched_s = report.stats.elapsed_ms / 1e3;
         let summary = ThroughputReport {
@@ -313,6 +336,7 @@ fn main() {
             cache_entries: stats.entries,
             lifetime_hit_ratio: stats.hit_ratio(),
             coalesced_inflight_lookups: stats.coalesced,
+            pipeline,
         };
         mnc_bench::write_json_report(&path, &summary);
     }

@@ -56,4 +56,6 @@ pub use pareto::{
     crowding_distance, non_dominated_fronts, non_dominated_fronts_reference, pareto_front_indices,
     pareto_front_indices_reference,
 };
-pub use search::{EvaluatedConfig, MappingSearch, SearchConfig, SearchOutcome, SelectionStrategy};
+pub use search::{
+    EvaluatedConfig, MappingSearch, SearchConfig, SearchOutcome, SearchSummary, SelectionStrategy,
+};

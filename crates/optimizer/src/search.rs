@@ -213,6 +213,26 @@ pub struct SearchOutcome {
     warm_start_seeds: usize,
 }
 
+/// The counters of a finished search as one compact, copyable value — what
+/// a serving layer reports per request (`mnc_runtime`'s pipeline folds one
+/// of these into its `RequestStats`, and the JSON wire front-end carries it
+/// verbatim) without holding the archive alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchSummary {
+    /// Configurations the search scheduled (the archive length).
+    pub evaluations: usize,
+    /// Evaluations that reached the evaluator (the rest were memo hits).
+    pub evaluations_performed: usize,
+    /// Scheduled evaluations answered by the within-run memo.
+    pub memo_hits: usize,
+    /// Warm-start seed genomes injected into the initial population.
+    pub warm_start_seeds: usize,
+    /// Generations actually run.
+    pub generations_run: usize,
+    /// Whether the search stopped before its generation count.
+    pub early_stopped: bool,
+}
+
 impl SearchOutcome {
     /// Whether the search terminated before its configured generation
     /// count, either because the evaluation budget ran out or because the
@@ -258,6 +278,18 @@ impl SearchOutcome {
     /// Number of generations completed.
     pub fn generations_run(&self) -> usize {
         self.generations_run
+    }
+
+    /// The outcome's counters as one copyable [`SearchSummary`].
+    pub fn summary(&self) -> SearchSummary {
+        SearchSummary {
+            evaluations: self.evaluations(),
+            evaluations_performed: self.evaluations_performed,
+            memo_hits: self.memo_hits,
+            warm_start_seeds: self.warm_start_seeds,
+            generations_run: self.generations_run,
+            early_stopped: self.early_stopped,
+        }
     }
 
     /// Number of scheduled evaluations until a feasible candidate with an

@@ -32,6 +32,7 @@
 //! up), so N threads racing on one key perform one evaluation instead of N.
 
 use mnc_core::{EvaluationResult, MappingConfig, StableHasher};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -123,8 +124,10 @@ pub struct EvalCache {
     coalesced: AtomicU64,
 }
 
-/// A point-in-time snapshot of the cache counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A point-in-time snapshot of the cache counters (serializable so the
+/// wire front-end's `Stats` query and the throughput bench's `--json`
+/// report carry it verbatim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,

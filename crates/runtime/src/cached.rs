@@ -26,9 +26,24 @@ use mnc_dynamic::DynamicNetwork;
 use mnc_mpsoc::Platform;
 use mnc_nn::Network;
 use mnc_optim::{ConfigEvaluator, Genome, OptimError};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// One wrapper's cache traffic, read as a unit — what the pipeline's
+/// ArchiveFeedback stage folds into `RequestStats` so per-request
+/// accounting never mixes counters sampled at different moments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheTraffic {
+    /// Lookups served from the cache (including coalesced waits).
+    pub hits: u64,
+    /// Fresh evaluations this wrapper performed itself.
+    pub misses: u64,
+    /// Hits that were served by waiting on another thread's in-flight
+    /// evaluation of the same key (a subset of `hits`).
+    pub coalesced: u64,
+}
 
 /// Capacity of the per-evaluator transform cache. A generation holds far
 /// fewer distinct (partition, indicator) structures than genomes — the
@@ -142,6 +157,15 @@ impl CachedEvaluator {
     /// duplicate evaluations this wrapper avoided.
     pub fn coalesced(&self) -> u64 {
         self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// All three traffic counters in one snapshot.
+    pub fn traffic(&self) -> CacheTraffic {
+        CacheTraffic {
+            hits: self.hits(),
+            misses: self.misses(),
+            coalesced: self.coalesced(),
+        }
     }
 
     /// The wrapped evaluator.
@@ -374,6 +398,17 @@ mod tests {
         assert_eq!(stats.insertions, 1);
         assert!(stats.insertions <= stats.misses);
         assert_eq!(stats.coalesced, cached.coalesced());
+        // The snapshot reads the same three counters as one unit.
+        let traffic = cached.traffic();
+        assert_eq!(
+            traffic,
+            CacheTraffic {
+                hits: THREADS - 1,
+                misses: 1,
+                coalesced: cached.coalesced(),
+            }
+        );
+        assert!(traffic.coalesced <= traffic.hits);
     }
 
     #[test]

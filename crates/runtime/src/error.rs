@@ -28,6 +28,14 @@ pub enum RuntimeError {
         /// Description of the problem.
         reason: String,
     },
+    /// An elite-archive snapshot could not be written, read or parsed
+    /// (see `crate::warmstart::EliteArchive::{snapshot_to, load_from}`).
+    Persistence {
+        /// The snapshot file involved.
+        path: String,
+        /// What went wrong.
+        reason: String,
+    },
     /// An error bubbled up from the hardware model.
     Mpsoc(mnc_mpsoc::MpsocError),
     /// An error bubbled up from the evaluator.
@@ -52,6 +60,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::InvalidRequest { reason } => {
                 write!(f, "invalid mapping request: {reason}")
+            }
+            RuntimeError::Persistence { path, reason } => {
+                write!(f, "archive persistence failed for `{path}`: {reason}")
             }
             RuntimeError::Mpsoc(e) => write!(f, "platform error: {e}"),
             RuntimeError::Core(e) => write!(f, "evaluation error: {e}"),

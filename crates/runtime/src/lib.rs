@@ -27,6 +27,12 @@
 //!   deduplicated onto one search and distinct requests run concurrently
 //!   under a [`BatchConfig`] thread budget, with responses bit-identical
 //!   to serving each request alone,
+//! * [`pipeline`] — the staged request pipeline (`Normalize →
+//!   Fingerprint → Coalesce → CacheLookup → WarmStartSeed → Search →
+//!   ArchiveFeedback`) that `submit`, `submit_batch` and the
+//!   `mnc-wire`/`mnc-server` JSON front-end all drive, with per-stage
+//!   counters ([`PipelineStats`]) and a per-request stage trace in every
+//!   [`RequestStats`],
 //! * [`warmstart`] — the opt-in warm-start path: Pareto elites of
 //!   answered requests are archived per (model, platform) and, when a
 //!   request sets `warm_start`, re-ranked by an `mnc_predictor` surrogate
@@ -61,15 +67,19 @@
 pub mod cache;
 pub mod cached;
 pub mod error;
+pub mod pipeline;
 pub mod registry;
 pub mod scheduler;
 pub mod service;
 pub mod warmstart;
 
 pub use cache::{CacheStats, ComputeLease, EvalCache};
-pub use cached::CachedEvaluator;
+pub use cached::{CacheTraffic, CachedEvaluator};
 pub use error::RuntimeError;
+pub use pipeline::{
+    PipelineStage, PipelineStats, RequestPipeline, StageMicros, StageStats, STAGE_COUNT,
+};
 pub use registry::ModelRegistry;
 pub use scheduler::{BatchConfig, BatchReport, BatchStats};
 pub use service::{MappingRequest, MappingResponse, MappingService, RequestStats};
-pub use warmstart::{EliteArchive, SurrogateRanker};
+pub use warmstart::{ArchiveShape, ArchiveSnapshot, EliteArchive, SurrogateRanker};

@@ -1,0 +1,756 @@
+//! The staged request pipeline — the one serving path every front-end
+//! drives.
+//!
+//! Before this module, the serving logic was interleaved across
+//! `service.rs` (validation, evaluator pooling, warm-start plumbing,
+//! response assembly) and `scheduler.rs` (coalescing, cross-request
+//! parallelism): any new front-end — an HTTP server, a priority queue, a
+//! deadline scheduler — would have had to re-implement half of it.
+//! [`RequestPipeline`] makes the path explicit instead: an ordered
+//! sequence of stages,
+//!
+//! ```text
+//! Normalize → Fingerprint → Coalesce → CacheLookup → WarmStartSeed
+//!           → Search → ArchiveFeedback
+//! ```
+//!
+//! over a per-request context, so [`MappingService::submit`],
+//! [`MappingService::submit_batch`] and the `mnc-wire`/`mnc-server` JSON
+//! front-end all execute the *same* code in the *same* order:
+//!
+//! * **Normalize** — reject malformed budgets and unknown presets before
+//!   any expensive work, and derive the answer-neutral normalised form
+//!   (thread count stripped) that coalescing groups on.
+//! * **Fingerprint** — hash the answer-determining request content: the
+//!   full-request coalescing key and the evaluator-defining key that
+//!   indexes the evaluator pool.
+//! * **Coalesce** — group identical requests so N duplicates run one
+//!   search (a batch-level stage; a single request passes through and is
+//!   merely counted).
+//! * **CacheLookup** — resolve the evaluator (pooled or freshly built,
+//!   build-claimed so concurrent cold requests share one construction)
+//!   and splice the shared [`EvalCache`](crate::cache::EvalCache) in
+//!   front of it.
+//! * **WarmStartSeed** — when the request opts in, gather and
+//!   surrogate-rank elite genomes from earlier answers.
+//! * **Search** — run the evolutionary search.
+//! * **ArchiveFeedback** — feed the Pareto elites back into the archive
+//!   for future warm starts and assemble the response.
+//!
+//! Every stage is timed and counted: each response's
+//! [`RequestStats::stage_micros`](crate::service::RequestStats) carries
+//! the per-request split, and the service-lifetime [`PipelineStats`]
+//! (per-stage entered/error/busy counters plus coalescing, evaluator-pool
+//! and archive totals) replaces the ad-hoc accounting that used to be
+//! spread across the request path. The refactor is behaviour-preserving:
+//! responses are bit-identical to the pre-pipeline `submit`/`submit_batch`
+//! for identical requests (property-tested in `tests/pipeline.rs`).
+
+use crate::cached::CachedEvaluator;
+use crate::error::RuntimeError;
+use crate::scheduler::{normalized_for_coalescing, BatchConfig, BatchReport, BatchStats};
+use crate::service::{MappingRequest, MappingResponse, MappingService, RequestStats};
+use mnc_core::fingerprint_serialized;
+use mnc_optim::{EvaluatedConfig, MappingSearch};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The ordered stages of the serving path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineStage {
+    /// Request validation + answer-neutral normalisation.
+    Normalize,
+    /// Coalescing and evaluator-pool key derivation.
+    Fingerprint,
+    /// Duplicate-request grouping (batch-level; pass-through for one
+    /// request).
+    Coalesce,
+    /// Evaluator resolution (pool hit or claimed build) + evaluation-cache
+    /// splice.
+    CacheLookup,
+    /// Warm-start seed gathering and surrogate ranking (opt-in).
+    WarmStartSeed,
+    /// The evolutionary search itself.
+    Search,
+    /// Elite-archive feedback + response assembly.
+    ArchiveFeedback,
+}
+
+/// Number of pipeline stages.
+pub const STAGE_COUNT: usize = 7;
+
+impl PipelineStage {
+    /// Every stage, in execution order.
+    pub const ALL: [PipelineStage; STAGE_COUNT] = [
+        PipelineStage::Normalize,
+        PipelineStage::Fingerprint,
+        PipelineStage::Coalesce,
+        PipelineStage::CacheLookup,
+        PipelineStage::WarmStartSeed,
+        PipelineStage::Search,
+        PipelineStage::ArchiveFeedback,
+    ];
+
+    /// Position of the stage in [`PipelineStage::ALL`] — the index used by
+    /// [`RequestStats::stage_micros`](crate::service::RequestStats) and
+    /// [`PipelineStats::stages`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case stage name (wire/JSON identifier).
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineStage::Normalize => "normalize",
+            PipelineStage::Fingerprint => "fingerprint",
+            PipelineStage::Coalesce => "coalesce",
+            PipelineStage::CacheLookup => "cache_lookup",
+            PipelineStage::WarmStartSeed => "warm_start_seed",
+            PipelineStage::Search => "search",
+            PipelineStage::ArchiveFeedback => "archive_feedback",
+        }
+    }
+}
+
+/// Per-request wall time by stage, in microseconds, indexed by
+/// [`PipelineStage::index`].
+pub type StageMicros = [f64; STAGE_COUNT];
+
+/// Service-lifetime pipeline counters (relaxed atomics — observability,
+/// not control flow).
+#[derive(Debug)]
+pub(crate) struct PipelineCounters {
+    entered: [AtomicU64; STAGE_COUNT],
+    errors: [AtomicU64; STAGE_COUNT],
+    /// Accumulated in nanoseconds so sub-microsecond stage entries are
+    /// not floored away; snapshots report microseconds.
+    busy_nanos: [AtomicU64; STAGE_COUNT],
+    requests: AtomicU64,
+    batches: AtomicU64,
+    coalesced_requests: AtomicU64,
+    evaluator_pool_hits: AtomicU64,
+    evaluator_builds: AtomicU64,
+    warm_seeds_gathered: AtomicU64,
+    searches_run: AtomicU64,
+    evaluations_scheduled: AtomicU64,
+    evaluations_performed: AtomicU64,
+    elites_recorded: AtomicU64,
+}
+
+impl PipelineCounters {
+    pub(crate) fn new() -> Self {
+        PipelineCounters {
+            entered: std::array::from_fn(|_| AtomicU64::new(0)),
+            errors: std::array::from_fn(|_| AtomicU64::new(0)),
+            busy_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            coalesced_requests: AtomicU64::new(0),
+            evaluator_pool_hits: AtomicU64::new(0),
+            evaluator_builds: AtomicU64::new(0),
+            warm_seeds_gathered: AtomicU64::new(0),
+            searches_run: AtomicU64::new(0),
+            evaluations_scheduled: AtomicU64::new(0),
+            evaluations_performed: AtomicU64::new(0),
+            elites_recorded: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> PipelineStats {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        PipelineStats {
+            stages: PipelineStage::ALL
+                .iter()
+                .map(|stage| StageStats {
+                    stage: stage.name().to_string(),
+                    entered: load(&self.entered[stage.index()]),
+                    errors: load(&self.errors[stage.index()]),
+                    busy_micros: load(&self.busy_nanos[stage.index()]) / 1_000,
+                })
+                .collect(),
+            requests: load(&self.requests),
+            batches: load(&self.batches),
+            coalesced_requests: load(&self.coalesced_requests),
+            evaluator_pool_hits: load(&self.evaluator_pool_hits),
+            evaluator_builds: load(&self.evaluator_builds),
+            warm_seeds_gathered: load(&self.warm_seeds_gathered),
+            searches_run: load(&self.searches_run),
+            evaluations_scheduled: load(&self.evaluations_scheduled),
+            evaluations_performed: load(&self.evaluations_performed),
+            elites_recorded: load(&self.elites_recorded),
+        }
+    }
+}
+
+/// One stage's lifetime counters in a [`PipelineStats`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Stage name ([`PipelineStage::name`]).
+    pub stage: String,
+    /// Times the stage was entered.
+    pub entered: u64,
+    /// Times the stage returned an error.
+    pub errors: u64,
+    /// Cumulative wall time spent inside the stage, microseconds. Stages
+    /// running concurrently (batch leaders) each contribute their own
+    /// time, so this can exceed elapsed wall time.
+    pub busy_micros: u64,
+}
+
+/// A point-in-time snapshot of the service-lifetime pipeline counters —
+/// the per-stage observability the wire front-end and the throughput
+/// bench report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Per-stage counters, in [`PipelineStage::ALL`] order.
+    pub stages: Vec<StageStats>,
+    /// Requests that entered the per-request pipeline (batch leaders
+    /// included; coalesced duplicates are not re-run and counted below).
+    pub requests: u64,
+    /// Batches served through [`RequestPipeline::run_batch`].
+    pub batches: u64,
+    /// Duplicate requests answered by cloning a coalesced group leader's
+    /// response instead of running the pipeline again.
+    pub coalesced_requests: u64,
+    /// CacheLookup resolutions served by the evaluator pool.
+    pub evaluator_pool_hits: u64,
+    /// CacheLookup resolutions that built a fresh evaluator.
+    pub evaluator_builds: u64,
+    /// Warm-start seed genomes gathered (before population truncation).
+    pub warm_seeds_gathered: u64,
+    /// Searches run by the Search stage.
+    pub searches_run: u64,
+    /// Evaluations the searches scheduled (memo hits included).
+    pub evaluations_scheduled: u64,
+    /// Evaluations that reached an evaluator.
+    pub evaluations_performed: u64,
+    /// Elite genomes offered to the archive by ArchiveFeedback (before
+    /// deduplication).
+    pub elites_recorded: u64,
+}
+
+impl PipelineStats {
+    /// The snapshot of one stage, by stage.
+    pub fn stage(&self, stage: PipelineStage) -> &StageStats {
+        &self.stages[stage.index()]
+    }
+}
+
+/// A request prepared by the Normalize + Fingerprint stages.
+struct PreparedRequest<'r> {
+    request: &'r MappingRequest,
+    config: mnc_optim::SearchConfig,
+    evaluator_key: u64,
+}
+
+/// One coalesced group: the request its leader runs (threads pinned to
+/// the batch budget), the normalised form that defines membership, and
+/// the input positions it answers.
+struct Group {
+    request: MappingRequest,
+    normalized: MappingRequest,
+    positions: Vec<usize>,
+}
+
+/// The staged serving path over one [`MappingService`].
+///
+/// Cheap to construct (a borrow); every entry point of the service —
+/// [`MappingService::submit`], [`MappingService::submit_batch_with`], the
+/// wire front-end — obtains one via [`MappingService::pipeline`] and
+/// drives the same stages.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestPipeline<'s> {
+    service: &'s MappingService,
+}
+
+impl<'s> RequestPipeline<'s> {
+    pub(crate) fn new(service: &'s MappingService) -> Self {
+        RequestPipeline { service }
+    }
+
+    /// The service this pipeline serves.
+    pub fn service(&self) -> &'s MappingService {
+        self.service
+    }
+
+    /// Runs one stage: bumps the entered/error counters, accumulates the
+    /// stage's wall time into the service counters and the per-request
+    /// trace.
+    fn try_stage<T>(
+        &self,
+        stage: PipelineStage,
+        trace: &mut StageMicros,
+        body: impl FnOnce() -> Result<T, RuntimeError>,
+    ) -> Result<T, RuntimeError> {
+        let counters = self.service.pipeline_counters();
+        counters.entered[stage.index()].fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let outcome = body();
+        let elapsed = started.elapsed();
+        trace[stage.index()] += elapsed.as_secs_f64() * 1e6;
+        // Nanosecond granularity: flooring to whole microseconds per
+        // entry would erase the sub-microsecond bookkeeping stages from
+        // the lifetime totals entirely.
+        counters.busy_nanos[stage.index()].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        if outcome.is_err() {
+            counters.errors[stage.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    /// [`RequestPipeline::try_stage`] for infallible stage bodies.
+    fn stage<T>(
+        &self,
+        stage: PipelineStage,
+        trace: &mut StageMicros,
+        body: impl FnOnce() -> T,
+    ) -> T {
+        self.try_stage(stage, trace, || Ok(body()))
+            .unwrap_or_else(|_: RuntimeError| unreachable!("infallible stage"))
+    }
+
+    /// Normalize + Fingerprint for one request: validate the budgets,
+    /// reject unknown presets before any expensive work, and derive the
+    /// evaluator-pool key.
+    fn prepare<'r>(
+        &self,
+        request: &'r MappingRequest,
+        trace: &mut StageMicros,
+    ) -> Result<PreparedRequest<'r>, RuntimeError> {
+        let config = self.try_stage(PipelineStage::Normalize, trace, || {
+            if request.validation_samples == 0 {
+                return Err(RuntimeError::InvalidRequest {
+                    reason: "validation_samples must be at least 1".to_string(),
+                });
+            }
+            // Reject malformed search budgets before paying for evaluator
+            // construction (validation-set generation dominates cold
+            // setup).
+            let config = request.search_config();
+            config
+                .validate()
+                .map_err(|e| RuntimeError::InvalidRequest {
+                    reason: e.to_string(),
+                })?;
+            // Unknown presets are cheap name lookups: fail them here
+            // instead of inside the build-claimed CacheLookup stage. The
+            // errors are constructed exactly as the registries construct
+            // them, so the failure surface is unchanged.
+            let models = self.service.models();
+            if !models.contains(&request.model) {
+                return Err(RuntimeError::UnknownModel {
+                    name: request.model.clone(),
+                    available: models.available(),
+                });
+            }
+            let platforms = self.service.platforms();
+            if !platforms.contains(&request.platform) {
+                return Err(RuntimeError::UnknownPlatform {
+                    name: request.platform.clone(),
+                    available: platforms.names().join(", "),
+                });
+            }
+            Ok(config)
+        })?;
+        let evaluator_key = self.stage(PipelineStage::Fingerprint, trace, || {
+            request.evaluator_key()
+        });
+        Ok(PreparedRequest {
+            request,
+            config,
+            evaluator_key,
+        })
+    }
+
+    /// Runs the per-request pipeline end to end. This is what
+    /// [`MappingService::submit`] delegates to, and what each coalesced
+    /// group leader of [`RequestPipeline::run_batch`] executes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown presets, an invalid request, or an
+    /// internal evaluation failure.
+    pub fn run(&self, request: &MappingRequest) -> Result<MappingResponse, RuntimeError> {
+        let started = Instant::now();
+        let counters = self.service.pipeline_counters();
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        let mut trace: StageMicros = [0.0; STAGE_COUNT];
+        let prepared = self.prepare(request, &mut trace)?;
+        // A single request has nothing to merge with: the Coalesce stage
+        // passes through (batch traffic does its grouping in
+        // `run_batch`), counted so the stage totals reflect every
+        // request's path.
+        self.stage(PipelineStage::Coalesce, &mut trace, || ());
+        self.finish(prepared, trace, started)
+    }
+
+    /// CacheLookup → WarmStartSeed → Search → ArchiveFeedback for a
+    /// prepared request.
+    fn finish(
+        &self,
+        prepared: PreparedRequest<'_>,
+        mut trace: StageMicros,
+        started: Instant,
+    ) -> Result<MappingResponse, RuntimeError> {
+        let counters = self.service.pipeline_counters();
+        let request = prepared.request;
+
+        let (cached, evaluator) = self.try_stage(PipelineStage::CacheLookup, &mut trace, || {
+            let (evaluator, fingerprint, built) = self
+                .service
+                .resolve_evaluator_keyed(request, prepared.evaluator_key)?;
+            if built {
+                counters.evaluator_builds.fetch_add(1, Ordering::Relaxed);
+            } else {
+                counters.evaluator_pool_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            let cached = CachedEvaluator::with_fingerprint(
+                Arc::clone(&evaluator),
+                Arc::clone(self.service.cache()),
+                fingerprint,
+            );
+            Ok((cached, evaluator))
+        })?;
+
+        let seeds = self.try_stage(PipelineStage::WarmStartSeed, &mut trace, || {
+            if !request.warm_start {
+                return Ok(Vec::new());
+            }
+            let seeds = self.service.warm_start_seeds(request, &evaluator)?;
+            counters
+                .warm_seeds_gathered
+                .fetch_add(seeds.len() as u64, Ordering::Relaxed);
+            Ok(seeds)
+        })?;
+
+        let outcome = self.try_stage(PipelineStage::Search, &mut trace, || {
+            let outcome = MappingSearch::new(&cached, prepared.config)
+                .with_seeds(seeds)
+                .run()?;
+            counters.searches_run.fetch_add(1, Ordering::Relaxed);
+            counters
+                .evaluations_scheduled
+                .fetch_add(outcome.evaluations() as u64, Ordering::Relaxed);
+            counters
+                .evaluations_performed
+                .fetch_add(outcome.evaluations_performed() as u64, Ordering::Relaxed);
+            Ok(outcome)
+        })?;
+
+        let (pareto_front, best_by_objective) =
+            self.stage(PipelineStage::ArchiveFeedback, &mut trace, || {
+                let pareto_front: Vec<EvaluatedConfig> =
+                    outcome.pareto_front().into_iter().cloned().collect();
+                let best_by_objective = outcome.best_by_objective().cloned();
+                // Feed the elite archive for future warm starts: the front
+                // plus the best-by-objective pick (which a 2-D front need
+                // not contain). `Arc`-shared with the response, so this
+                // costs refcount bumps.
+                let elites = pareto_front
+                    .iter()
+                    .map(|c| Arc::clone(&c.genome))
+                    .chain(best_by_objective.iter().map(|c| Arc::clone(&c.genome)));
+                counters.elites_recorded.fetch_add(
+                    (pareto_front.len() + usize::from(best_by_objective.is_some())) as u64,
+                    Ordering::Relaxed,
+                );
+                self.service
+                    .elite_archive()
+                    .record(&request.model, &request.platform, elites);
+                (pareto_front, best_by_objective)
+            });
+
+        let summary = outcome.summary();
+        // Per-request counters from the wrapper, not deltas of the
+        // shared cache counters: concurrent requests would otherwise
+        // misattribute each other's traffic.
+        let traffic = cached.traffic();
+        let stats = RequestStats {
+            evaluations: summary.evaluations,
+            evaluations_performed: summary.evaluations_performed,
+            memo_hits: summary.memo_hits,
+            warm_start_seeds: summary.warm_start_seeds,
+            generations_run: summary.generations_run,
+            early_stopped: summary.early_stopped,
+            cache_hits: traffic.hits,
+            cache_misses: traffic.misses,
+            cache_coalesced: traffic.coalesced,
+            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+            stage_micros: trace,
+        };
+        Ok(MappingResponse {
+            model: request.model.clone(),
+            platform: request.platform.clone(),
+            pareto_front,
+            best_by_objective,
+            stats,
+        })
+    }
+
+    /// Runs a batch through the pipeline: batch-level Normalize /
+    /// Fingerprint / Coalesce stages group identical requests, then each
+    /// group leader executes the full per-request pipeline — sequentially
+    /// or on a scoped worker pool under the [`BatchConfig`] thread budget.
+    /// Responses come back in request order, duplicates as clones of
+    /// their leader's.
+    pub fn run_batch(&self, requests: &[MappingRequest], config: &BatchConfig) -> BatchReport {
+        let started = Instant::now();
+        let counters = self.service.pipeline_counters();
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        let mut batch_trace: StageMicros = [0.0; STAGE_COUNT];
+
+        // Normalize (batch-level): the answer-neutral form every request
+        // coalesces under. Validation stays per-leader so an invalid
+        // request yields exactly the error sequential `submit` returns.
+        let normalized: Vec<MappingRequest> =
+            self.stage(PipelineStage::Normalize, &mut batch_trace, || {
+                requests.iter().map(normalized_for_coalescing).collect()
+            });
+        // Fingerprint (batch-level): the full-request grouping keys,
+        // hashed over the normalised forms the Normalize stage just
+        // built (re-deriving them via `coalescing_key` would clone and
+        // normalise every request a second time).
+        let keys: Vec<u64> = self.stage(PipelineStage::Fingerprint, &mut batch_trace, || {
+            normalized.iter().map(fingerprint_serialized).collect()
+        });
+
+        // Coalesce: group positions by key, membership confirmed by
+        // normalised equality so a 64-bit collision splits a group
+        // instead of answering one request with another's front; then pin
+        // each leader's inner-search threads to the batch budget.
+        let (mut groups, concurrency, per_request) =
+            self.stage(PipelineStage::Coalesce, &mut batch_trace, || {
+                let mut groups: Vec<Group> = Vec::new();
+                let mut groups_of: std::collections::HashMap<u64, Vec<usize>> =
+                    std::collections::HashMap::new();
+                for (position, (request, normalized)) in
+                    requests.iter().zip(&normalized).enumerate()
+                {
+                    let candidates = groups_of.entry(keys[position]).or_default();
+                    match candidates
+                        .iter()
+                        .find(|&&index| &groups[index].normalized == normalized)
+                    {
+                        Some(&index) => groups[index].positions.push(position),
+                        None => {
+                            candidates.push(groups.len());
+                            groups.push(Group {
+                                request: request.clone(),
+                                normalized: normalized.clone(),
+                                positions: vec![position],
+                            });
+                        }
+                    }
+                }
+                let (concurrency, per_request) = config.effective(groups.len());
+                counters
+                    .coalesced_requests
+                    .fetch_add((requests.len() - groups.len()) as u64, Ordering::Relaxed);
+                (groups, concurrency, per_request)
+            });
+        // An explicit smaller request value is kept (and an invalid zero
+        // is kept so the leader's Normalize stage rejects it exactly as
+        // sequential `submit` would have).
+        for group in &mut groups {
+            group.request.threads = Some(match group.request.threads {
+                Some(explicit) => explicit.min(per_request),
+                None => per_request,
+            });
+        }
+
+        let outcomes: Vec<Result<MappingResponse, RuntimeError>> = if concurrency <= 1 {
+            groups
+                .iter()
+                .map(|group| self.run(&group.request))
+                .collect()
+        } else {
+            self.run_concurrent(&groups, concurrency)
+        };
+
+        // Scatter each group's outcome back to the positions it answers.
+        let mut responses: Vec<Option<Result<MappingResponse, RuntimeError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (group, outcome) in groups.iter().zip(outcomes) {
+            let (last, rest) = group
+                .positions
+                .split_last()
+                .expect("every group holds at least one position");
+            for &position in rest {
+                responses[position] = Some(outcome.clone());
+            }
+            responses[*last] = Some(outcome);
+        }
+        let responses: Vec<_> = responses
+            .into_iter()
+            .map(|slot| slot.expect("every position answered by its group"))
+            .collect();
+
+        BatchReport {
+            leader_positions: groups.iter().map(|group| group.positions[0]).collect(),
+            stats: BatchStats {
+                requests: requests.len(),
+                unique_requests: groups.len(),
+                coalesced_requests: requests.len() - groups.len(),
+                max_concurrent: concurrency,
+                threads_per_request: per_request,
+                elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+            },
+            responses,
+        }
+    }
+
+    /// Runs the group leaders on `concurrency` scoped worker threads.
+    /// Work is handed out through an atomic cursor and results written
+    /// back by group index, so the output order is independent of
+    /// scheduling (the same ordered-write-back idiom as the rayon
+    /// stand-in's parallel map).
+    fn run_concurrent(
+        &self,
+        groups: &[Group],
+        concurrency: usize,
+    ) -> Vec<Result<MappingResponse, RuntimeError>> {
+        let slots: Vec<Mutex<Option<Result<MappingResponse, RuntimeError>>>> =
+            (0..groups.len()).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..concurrency.min(groups.len()) {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                    let Some(group) = groups.get(index) else {
+                        break;
+                    };
+                    let outcome = self.run(&group.request);
+                    *slots[index].lock().expect("slot lock never poisoned") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock never poisoned")
+                    .expect("every group visited by the cursor")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_request() -> MappingRequest {
+        MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+            .validation_samples(300)
+            .generations(2)
+            .population_size(8)
+    }
+
+    #[test]
+    fn stage_order_names_and_indices_are_stable() {
+        assert_eq!(PipelineStage::ALL.len(), STAGE_COUNT);
+        for (position, stage) in PipelineStage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), position);
+        }
+        let names: Vec<&str> = PipelineStage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "normalize",
+                "fingerprint",
+                "coalesce",
+                "cache_lookup",
+                "warm_start_seed",
+                "search",
+                "archive_feedback"
+            ]
+        );
+    }
+
+    #[test]
+    fn run_counts_every_stage_once_per_request() {
+        let service = MappingService::new();
+        let response = service.pipeline().run(&small_request()).unwrap();
+        let stats = service.pipeline_stats();
+        for stage in PipelineStage::ALL {
+            assert_eq!(stats.stage(stage).entered, 1, "{}", stage.name());
+            assert_eq!(stats.stage(stage).errors, 0, "{}", stage.name());
+        }
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.searches_run, 1);
+        assert_eq!(stats.evaluations_scheduled, 16);
+        assert_eq!(
+            stats.evaluations_performed + response.stats.memo_hits as u64,
+            stats.evaluations_scheduled
+        );
+        // The per-request trace covers the same stages.
+        assert!(response.stats.stage_micros.iter().all(|&m| m >= 0.0));
+        assert!(response.stats.stage_micros[PipelineStage::Search.index()] > 0.0);
+    }
+
+    #[test]
+    fn rejected_requests_error_in_normalize_before_any_expensive_stage() {
+        let service = MappingService::new();
+        let unknown = MappingRequest::new("resnet", "dual_test");
+        assert!(matches!(
+            service.pipeline().run(&unknown),
+            Err(RuntimeError::UnknownModel { .. })
+        ));
+        let invalid = MappingRequest {
+            population_size: 1,
+            ..small_request()
+        };
+        assert!(matches!(
+            service.pipeline().run(&invalid),
+            Err(RuntimeError::InvalidRequest { .. })
+        ));
+        let stats = service.pipeline_stats();
+        assert_eq!(stats.stage(PipelineStage::Normalize).entered, 2);
+        assert_eq!(stats.stage(PipelineStage::Normalize).errors, 2);
+        // Neither request made it past Normalize.
+        assert_eq!(stats.stage(PipelineStage::CacheLookup).entered, 0);
+        assert_eq!(stats.stage(PipelineStage::Search).entered, 0);
+        assert_eq!(stats.evaluator_builds, 0);
+    }
+
+    #[test]
+    fn batch_counts_leaders_and_coalesced_duplicates() {
+        let service = MappingService::new();
+        let batch = vec![small_request(), small_request(), small_request().seed(5)];
+        let report = service
+            .pipeline()
+            .run_batch(&batch, &BatchConfig::new().max_concurrent(2));
+        assert_eq!(report.stats.unique_requests, 2);
+        let stats = service.pipeline_stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.requests, 2, "only leaders run the pipeline");
+        assert_eq!(stats.coalesced_requests, 1);
+        assert_eq!(stats.searches_run, 2);
+        // Batch-level stages ran once for the batch, per-request stages
+        // once per leader.
+        assert_eq!(stats.stage(PipelineStage::Coalesce).entered, 1 + 2);
+        assert_eq!(stats.stage(PipelineStage::Search).entered, 2);
+    }
+
+    #[test]
+    fn pool_hits_and_builds_are_distinguished() {
+        let service = MappingService::new();
+        service.pipeline().run(&small_request()).unwrap();
+        service.pipeline().run(&small_request().seed(9)).unwrap();
+        let stats = service.pipeline_stats();
+        assert_eq!(stats.evaluator_builds, 1);
+        assert_eq!(stats.evaluator_pool_hits, 1);
+    }
+
+    #[test]
+    fn pipeline_stats_serialize_round_trip() {
+        let service = MappingService::new();
+        service.pipeline().run(&small_request()).unwrap();
+        let stats = service.pipeline_stats();
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: PipelineStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+    }
+}

@@ -49,6 +49,14 @@ impl ModelRegistry {
         MODELS.iter().any(|(n, _)| *n == name)
     }
 
+    /// The registered names as one comma-separated string — the
+    /// `available` field of [`RuntimeError::UnknownModel`], shared by the
+    /// pipeline's Normalize stage and [`ModelRegistry::build`] so both
+    /// reject unknown presets with the identical error.
+    pub fn available(&self) -> String {
+        self.names().join(", ")
+    }
+
     /// Builds the model with the given name.
     ///
     /// # Errors
@@ -61,7 +69,7 @@ impl ModelRegistry {
             .map(|(_, build)| build())
             .ok_or_else(|| RuntimeError::UnknownModel {
                 name: name.to_string(),
-                available: self.names().join(", "),
+                available: self.available(),
             })
     }
 }

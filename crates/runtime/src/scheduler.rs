@@ -1,5 +1,13 @@
 //! The batch scheduler: coalescing + cross-request parallelism.
 //!
+//! Since the pipeline refactor this module holds the batch *types*
+//! ([`BatchConfig`], [`BatchStats`], [`BatchReport`]) and the
+//! normalisation/fingerprint helpers; the actual grouping and the scoped
+//! worker pool are the batch-level stages of
+//! [`crate::pipeline::RequestPipeline::run_batch`], which
+//! [`MappingService::submit_batch_with`] delegates to — so batch traffic
+//! and single submits run the identical staged path.
+//!
 //! [`MappingService::submit`] answers one request; a deployment-planning
 //! front-end typically holds a *batch* of them, many identical (several
 //! planners asking about the same model/board under the same budget at
@@ -38,12 +46,7 @@
 
 use crate::error::RuntimeError;
 use crate::service::{MappingRequest, MappingResponse, MappingService};
-use mnc_core::fingerprint_serialized;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
 
 /// Thread budget for one batch: how many requests run at once, and how
 /// many threads each request's inner search may use.
@@ -87,8 +90,9 @@ impl BatchConfig {
     }
 
     /// Resolves the two knobs against the machine and the number of
-    /// distinct requests, returning `(max_concurrent, threads_per_request)`.
-    fn effective(&self, distinct_requests: usize) -> (usize, usize) {
+    /// distinct requests, returning `(max_concurrent, threads_per_request)`
+    /// (consumed by the pipeline's Coalesce stage).
+    pub(crate) fn effective(&self, distinct_requests: usize) -> (usize, usize) {
         let cores = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
@@ -140,22 +144,12 @@ pub struct BatchReport {
     pub stats: BatchStats,
 }
 
-/// One coalesced group: the request the leader will run (threads already
-/// normalised to the batch budget), its normalised form for exact
-/// membership checks, and the input positions it answers.
-#[derive(Debug)]
-struct Group {
-    request: MappingRequest,
-    normalized: MappingRequest,
-    positions: Vec<usize>,
-}
-
 /// The answer-determining content of a request: everything except the
 /// thread count, which never changes results. A zero thread count is
 /// invalid rather than answer-neutral, so it is kept distinct — an
 /// invalid request must not donate its error to (or steal a front from)
-/// valid duplicates.
-fn normalized_for_coalescing(request: &MappingRequest) -> MappingRequest {
+/// valid duplicates. (The pipeline's batch-level Normalize stage.)
+pub(crate) fn normalized_for_coalescing(request: &MappingRequest) -> MappingRequest {
     let mut normalized = request.clone();
     if normalized.threads != Some(0) {
         normalized.threads = None;
@@ -166,9 +160,12 @@ fn normalized_for_coalescing(request: &MappingRequest) -> MappingRequest {
 /// Fingerprint of [`normalized_for_coalescing`] — the grouping hash.
 /// Groups additionally compare the normalised requests for equality, so a
 /// 64-bit collision between distinct requests splits into two groups
-/// instead of silently answering one with the other's front.
-fn coalescing_key(request: &MappingRequest) -> u64 {
-    fingerprint_serialized(&normalized_for_coalescing(request))
+/// instead of silently answering one with the other's front. (The
+/// pipeline's batch-level Fingerprint stage hashes its already-normalised
+/// requests directly; this one-call form exists for the grouping tests.)
+#[cfg(test)]
+pub(crate) fn coalescing_key(request: &MappingRequest) -> u64 {
+    mnc_core::fingerprint_serialized(&normalized_for_coalescing(request))
 }
 
 impl MappingService {
@@ -184,118 +181,7 @@ impl MappingService {
         requests: &[MappingRequest],
         config: &BatchConfig,
     ) -> BatchReport {
-        let started = Instant::now();
-
-        // Coalesce: group positions by full-request fingerprint, keeping
-        // first-seen order so leaders run in request order. Membership is
-        // confirmed by comparing the normalised requests, so a hash
-        // collision degrades to a split group, never to a wrong answer.
-        let mut groups: Vec<Group> = Vec::new();
-        let mut groups_of: HashMap<u64, Vec<usize>> = HashMap::new();
-        for (position, request) in requests.iter().enumerate() {
-            let normalized = normalized_for_coalescing(request);
-            let candidates = groups_of.entry(coalescing_key(request)).or_default();
-            match candidates
-                .iter()
-                .find(|&&index| groups[index].normalized == normalized)
-            {
-                Some(&index) => groups[index].positions.push(position),
-                None => {
-                    candidates.push(groups.len());
-                    groups.push(Group {
-                        request: request.clone(),
-                        normalized,
-                        positions: vec![position],
-                    });
-                }
-            }
-        }
-
-        let (concurrency, per_request) = config.effective(groups.len());
-        // Pin each leader's inner-search threads to the batch budget. An
-        // explicit smaller request value is kept (and an invalid zero is
-        // kept so `submit` rejects it as it would have sequentially).
-        for group in &mut groups {
-            group.request.threads = Some(match group.request.threads {
-                Some(explicit) => explicit.min(per_request),
-                None => per_request,
-            });
-        }
-
-        let outcomes: Vec<Result<MappingResponse, RuntimeError>> = if concurrency <= 1 {
-            groups
-                .iter()
-                .map(|group| self.submit(&group.request))
-                .collect()
-        } else {
-            self.run_concurrent(&groups, concurrency)
-        };
-
-        // Scatter each group's outcome back to the positions it answers.
-        let mut responses: Vec<Option<Result<MappingResponse, RuntimeError>>> =
-            (0..requests.len()).map(|_| None).collect();
-        for (group, outcome) in groups.iter().zip(outcomes) {
-            let (last, rest) = group
-                .positions
-                .split_last()
-                .expect("every group holds at least one position");
-            for &position in rest {
-                responses[position] = Some(outcome.clone());
-            }
-            responses[*last] = Some(outcome);
-        }
-        let responses: Vec<_> = responses
-            .into_iter()
-            .map(|slot| slot.expect("every position answered by its group"))
-            .collect();
-
-        BatchReport {
-            leader_positions: groups.iter().map(|group| group.positions[0]).collect(),
-            stats: BatchStats {
-                requests: requests.len(),
-                unique_requests: groups.len(),
-                coalesced_requests: requests.len() - groups.len(),
-                max_concurrent: concurrency,
-                threads_per_request: per_request,
-                elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
-            },
-            responses,
-        }
-    }
-
-    /// Runs the group leaders on `concurrency` scoped worker threads.
-    /// Work is handed out through an atomic cursor and results written
-    /// back by group index, so the output order is independent of
-    /// scheduling (the same ordered-write-back idiom as the rayon
-    /// stand-in's parallel map).
-    fn run_concurrent(
-        &self,
-        groups: &[Group],
-        concurrency: usize,
-    ) -> Vec<Result<MappingResponse, RuntimeError>> {
-        let slots: Vec<Mutex<Option<Result<MappingResponse, RuntimeError>>>> =
-            (0..groups.len()).map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..concurrency.min(groups.len()) {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(group) = groups.get(index) else {
-                        break;
-                    };
-                    let outcome = self.submit(&group.request);
-                    *slots[index].lock().expect("slot lock never poisoned") = Some(outcome);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot lock never poisoned")
-                    .expect("every group visited by the cursor")
-            })
-            .collect()
+        self.pipeline().run_batch(requests, config)
     }
 }
 

@@ -16,8 +16,8 @@
 //! one thread or on many.
 
 use crate::cache::{CacheStats, EvalCache};
-use crate::cached::CachedEvaluator;
 use crate::error::RuntimeError;
+use crate::pipeline::{PipelineCounters, PipelineStats, RequestPipeline, StageMicros};
 use crate::registry::ModelRegistry;
 use crate::warmstart::{EliteArchive, SurrogateRanker};
 use mnc_core::{
@@ -25,13 +25,11 @@ use mnc_core::{
     StableHasher,
 };
 use mnc_mpsoc::{Platform, PlatformRegistry};
-use mnc_optim::{
-    EvaluatedConfig, Genome, MappingSearch, MutationConfig, SearchConfig, SelectionStrategy,
-};
+use mnc_optim::{EvaluatedConfig, Genome, MutationConfig, SearchConfig, SelectionStrategy};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
 
 /// Upper bound on memoised evaluators: each pins a network, platform,
 /// accuracy model and validation set, so the pool is bounded like the
@@ -259,8 +257,9 @@ impl MappingRequest {
 
     /// Fingerprint of the evaluator-defining part of the request (model,
     /// platform, validation size, constraints, weights — not the search
-    /// budget), used to memoise evaluators across requests.
-    fn evaluator_key(&self) -> u64 {
+    /// budget), used to memoise evaluators across requests. Computed by
+    /// the pipeline's Fingerprint stage.
+    pub(crate) fn evaluator_key(&self) -> u64 {
         let mut hasher = StableHasher::new();
         hasher.write_str(&self.model);
         hasher.write_str(&self.platform);
@@ -294,8 +293,18 @@ pub struct RequestStats {
     pub cache_hits: u64,
     /// Cache misses (fresh evaluations) while serving this request.
     pub cache_misses: u64,
+    /// Cache hits served by waiting on a concurrent in-flight evaluation
+    /// of the same key (a subset of [`RequestStats::cache_hits`]):
+    /// duplicate evaluations this request avoided.
+    pub cache_coalesced: u64,
     /// Wall time spent serving the request, in milliseconds.
     pub elapsed_ms: f64,
+    /// Wall time per pipeline stage, microseconds, indexed by
+    /// [`crate::pipeline::PipelineStage::index`]. For a coalesced
+    /// duplicate this is a clone of the group leader's trace (the
+    /// duplicate ran no stages of its own); batch-level grouping time is
+    /// reported in the service-lifetime [`PipelineStats`], not here.
+    pub stage_micros: StageMicros,
 }
 
 impl RequestStats {
@@ -306,6 +315,12 @@ impl RequestStats {
             return 0.0;
         }
         self.cache_hits as f64 / total as f64
+    }
+
+    /// Total wall time across the per-request stage trace, microseconds
+    /// (≤ `elapsed_ms × 1000`; the difference is inter-stage overhead).
+    pub fn stage_micros_total(&self) -> f64 {
+        self.stage_micros.iter().sum()
     }
 }
 
@@ -342,6 +357,8 @@ pub struct MappingService {
     /// Surrogate rankers memoised per platform preset (training one takes
     /// longer than ranking with it by orders of magnitude).
     rankers: Mutex<HashMap<String, Arc<SurrogateRanker>>>,
+    /// Service-lifetime per-stage pipeline counters.
+    pipeline_counters: PipelineCounters,
 }
 
 /// Exclusive claim on building one evaluator shape. Dropping it (build
@@ -382,7 +399,48 @@ impl MappingService {
             building_done: Condvar::new(),
             elites: EliteArchive::new(),
             rankers: Mutex::new(HashMap::new()),
+            pipeline_counters: PipelineCounters::new(),
         }
+    }
+
+    /// Creates a service whose elite archive is pre-loaded from a JSON
+    /// snapshot written by [`MappingService::save_archive`] — the
+    /// restart path: warm-start requests seed from the previous
+    /// process's elites instead of starting from an empty archive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Persistence`] when the file cannot be
+    /// read or does not hold a valid archive snapshot.
+    pub fn with_archive_from(path: &Path) -> Result<Self, RuntimeError> {
+        let service = MappingService::new();
+        service.load_archive(path)?;
+        Ok(service)
+    }
+
+    /// Loads elite genomes from a JSON snapshot into the archive (merged
+    /// with whatever the archive already holds; duplicates are dropped).
+    /// Returns the number of genomes the snapshot carried.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Persistence`] for unreadable files or
+    /// malformed snapshots.
+    pub fn load_archive(&self, path: &Path) -> Result<usize, RuntimeError> {
+        self.elites.load_from(path)
+    }
+
+    /// Persists the elite archive to a JSON snapshot that
+    /// [`MappingService::load_archive`] (or the `mnc-server`
+    /// `--archive-dir` flag) restores after a restart. Returns the number
+    /// of genomes written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Persistence`] when the file cannot be
+    /// written.
+    pub fn save_archive(&self, path: &Path) -> Result<usize, RuntimeError> {
+        self.elites.snapshot_to(path)
     }
 
     /// The model catalogue.
@@ -408,6 +466,23 @@ impl MappingService {
     /// The warm-start elite archive (Pareto elites of answered requests).
     pub fn elite_archive(&self) -> &EliteArchive {
         &self.elites
+    }
+
+    /// The staged request pipeline over this service — the single serving
+    /// path [`MappingService::submit`], [`MappingService::submit_batch`]
+    /// and the wire front-end all drive.
+    pub fn pipeline(&self) -> RequestPipeline<'_> {
+        RequestPipeline::new(self)
+    }
+
+    /// Service-lifetime per-stage pipeline counters.
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.pipeline_counters.snapshot()
+    }
+
+    /// The raw pipeline counter cells (bumped by the pipeline stages).
+    pub(crate) fn pipeline_counters(&self) -> &PipelineCounters {
+        &self.pipeline_counters
     }
 
     /// The memoised surrogate ranker for one platform preset, training it
@@ -443,7 +518,7 @@ impl MappingService {
     /// neighbouring platforms with the same stage count), best-predicted
     /// first, truncated to half the population so the search keeps room
     /// for exploration.
-    fn warm_start_seeds(
+    pub(crate) fn warm_start_seeds(
         &self,
         request: &MappingRequest,
         evaluator: &Evaluator,
@@ -462,21 +537,37 @@ impl MappingService {
         Ok(seeds)
     }
 
-    /// Resolves (building or reusing) the evaluator a request needs,
-    /// returning it together with its memoised fingerprint so warm
-    /// requests skip the fingerprint serialization pass too.
+    /// Resolves (building or reusing) the evaluator a request needs —
+    /// the test-friendly wrapper over
+    /// [`MappingService::resolve_evaluator_keyed`] that hashes the key
+    /// itself.
+    #[cfg(test)]
     fn resolve_evaluator(
         &self,
         request: &MappingRequest,
     ) -> Result<(Arc<Evaluator>, u64), RuntimeError> {
-        let key = request.evaluator_key();
-        if let Some(found) = self
+        self.resolve_evaluator_keyed(request, request.evaluator_key())
+            .map(|(evaluator, fingerprint, _)| (evaluator, fingerprint))
+    }
+
+    /// Resolves (building or reusing) the evaluator a request needs under
+    /// a pre-computed pool key (the pipeline's Fingerprint stage already
+    /// hashed it), returning it together with its memoised fingerprint —
+    /// so warm requests skip the fingerprint serialization pass too — and
+    /// whether this call performed the build (`false` = served from the
+    /// pool or a concurrent builder).
+    pub(crate) fn resolve_evaluator_keyed(
+        &self,
+        request: &MappingRequest,
+        key: u64,
+    ) -> Result<(Arc<Evaluator>, u64, bool), RuntimeError> {
+        if let Some((evaluator, fingerprint)) = self
             .evaluators
             .lock()
             .expect("evaluator pool lock never poisoned")
             .get(key)
         {
-            return Ok(found);
+            return Ok((evaluator, fingerprint, false));
         }
         // Claim the build so concurrent requests for the same shape don't
         // each generate a validation set only to discard all but one.
@@ -500,24 +591,24 @@ impl MappingService {
                     .wait(building)
                     .expect("evaluator build set lock never poisoned"),
             );
-            if let Some(found) = self
+            if let Some((evaluator, fingerprint)) = self
                 .evaluators
                 .lock()
                 .expect("evaluator pool lock never poisoned")
                 .get(key)
             {
-                return Ok(found);
+                return Ok((evaluator, fingerprint, false));
             }
         };
         // The builder may have finished between our pool miss and the
         // claim; re-check before paying for the build.
-        if let Some(found) = self
+        if let Some((evaluator, fingerprint)) = self
             .evaluators
             .lock()
             .expect("evaluator pool lock never poisoned")
             .get(key)
         {
-            return Ok(found);
+            return Ok((evaluator, fingerprint, false));
         }
         // Build outside the pool lock: evaluator construction generates
         // the validation set and is the slow part of a cold request.
@@ -543,10 +634,14 @@ impl MappingService {
             .evaluators
             .lock()
             .expect("evaluator pool lock never poisoned");
-        Ok(pool.insert(key, evaluator, fingerprint))
+        let (evaluator, fingerprint) = pool.insert(key, evaluator, fingerprint);
+        Ok((evaluator, fingerprint, true))
     }
 
-    /// Answers one mapping request.
+    /// Answers one mapping request by driving the staged
+    /// [`RequestPipeline`] (Normalize → Fingerprint → Coalesce →
+    /// CacheLookup → WarmStartSeed → Search → ArchiveFeedback) — the same
+    /// path [`MappingService::submit_batch`] and the wire front-end use.
     ///
     /// # Errors
     ///
@@ -555,68 +650,7 @@ impl MappingService {
     /// an infeasible workload — infeasible candidates simply drop off the
     /// Pareto front).
     pub fn submit(&self, request: &MappingRequest) -> Result<MappingResponse, RuntimeError> {
-        if request.validation_samples == 0 {
-            return Err(RuntimeError::InvalidRequest {
-                reason: "validation_samples must be at least 1".to_string(),
-            });
-        }
-        // Reject malformed search budgets before paying for evaluator
-        // construction (validation-set generation dominates cold setup).
-        let config = request.search_config();
-        config
-            .validate()
-            .map_err(|e| RuntimeError::InvalidRequest {
-                reason: e.to_string(),
-            })?;
-        let started = Instant::now();
-
-        let (evaluator, fingerprint) = self.resolve_evaluator(request)?;
-        let seeds = if request.warm_start {
-            self.warm_start_seeds(request, &evaluator)?
-        } else {
-            Vec::new()
-        };
-        let cached =
-            CachedEvaluator::with_fingerprint(evaluator, Arc::clone(&self.cache), fingerprint);
-        let outcome = MappingSearch::new(&cached, config)
-            .with_seeds(seeds)
-            .run()?;
-
-        let pareto_front: Vec<EvaluatedConfig> =
-            outcome.pareto_front().into_iter().cloned().collect();
-        let best_by_objective = outcome.best_by_objective().cloned();
-
-        // Feed the elite archive for future warm starts: the front plus
-        // the best-by-objective pick (which a 2-D front need not contain).
-        // `Arc`-shared with the response, so this costs refcount bumps.
-        let elites = pareto_front
-            .iter()
-            .map(|c| Arc::clone(&c.genome))
-            .chain(best_by_objective.iter().map(|c| Arc::clone(&c.genome)));
-        self.elites
-            .record(&request.model, &request.platform, elites);
-
-        let stats = RequestStats {
-            evaluations: outcome.evaluations(),
-            evaluations_performed: outcome.evaluations_performed(),
-            memo_hits: outcome.memo_hits(),
-            warm_start_seeds: outcome.warm_start_seeds(),
-            generations_run: outcome.generations_run(),
-            early_stopped: outcome.early_stopped(),
-            // Per-request counters from the wrapper, not deltas of the
-            // shared cache counters: concurrent submits would otherwise
-            // misattribute each other's traffic.
-            cache_hits: cached.hits(),
-            cache_misses: cached.misses(),
-            elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
-        };
-        Ok(MappingResponse {
-            model: request.model.clone(),
-            platform: request.platform.clone(),
-            pareto_front,
-            best_by_objective,
-            stats,
-        })
+        self.pipeline().run(request)
     }
 
     /// Answers a batch of requests with the default [`BatchConfig`]:

@@ -25,14 +25,46 @@
 //! (see the `search_fastpath` benchmark). With `warm_start` off nothing
 //! here runs and responses stay bit-identical to a fresh service's.
 
+use crate::error::RuntimeError;
 use mnc_mpsoc::{Platform, WorkloadClass};
 use mnc_nn::{Network, SliceCost};
 use mnc_optim::Genome;
 use mnc_predictor::{
     DatasetConfig, GbtConfig, PerformancePredictor, PredictorError, QueryFeatures,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
+
+/// Version stamp of the on-disk archive snapshot format; bumped on any
+/// incompatible change so a stale file fails loudly instead of seeding
+/// searches with misdecoded genomes.
+pub const ARCHIVE_SNAPSHOT_VERSION: u32 = 1;
+
+/// A serializable point-in-time copy of an [`EliteArchive`] — what
+/// [`EliteArchive::snapshot_to`] writes and [`EliteArchive::load_from`]
+/// restores across service restarts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchiveSnapshot {
+    /// Format version ([`ARCHIVE_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Every archived (model, platform) shape, sorted by name so equal
+    /// archives serialize byte-identically.
+    pub shapes: Vec<ArchiveShape>,
+}
+
+/// The archived elites of one (model, platform) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchiveShape {
+    /// Model preset name.
+    pub model: String,
+    /// Platform preset name.
+    pub platform: String,
+    /// Elite genomes in resident order (newest first), so restoring
+    /// reproduces the archive's seed order exactly.
+    pub genomes: Vec<Genome>,
+}
 
 /// Upper bound on archived elite genomes per (model, platform) pair.
 /// Fronts are typically a handful of points; the bound only matters for a
@@ -143,6 +175,101 @@ impl EliteArchive {
             push_compatible(&platforms[name]);
         }
         seeds
+    }
+
+    /// A serializable copy of the archive, shapes sorted by
+    /// (model, platform) so equal archives snapshot byte-identically.
+    pub fn snapshot(&self) -> ArchiveSnapshot {
+        let entries = self
+            .entries
+            .lock()
+            .expect("elite archive lock never poisoned");
+        let mut shapes: Vec<ArchiveShape> = entries
+            .iter()
+            .flat_map(|(model, platforms)| {
+                platforms.iter().map(|(platform, genomes)| ArchiveShape {
+                    model: model.clone(),
+                    platform: platform.clone(),
+                    genomes: genomes.iter().map(|(_, g)| (**g).clone()).collect(),
+                })
+            })
+            .collect();
+        shapes.sort_by(|a, b| (&a.model, &a.platform).cmp(&(&b.model, &b.platform)));
+        ArchiveSnapshot {
+            version: ARCHIVE_SNAPSHOT_VERSION,
+            shapes,
+        }
+    }
+
+    /// Merges a snapshot into the archive (duplicates dropped, per-shape
+    /// bound enforced), returning the number of genomes the snapshot
+    /// carried. Restoring into an empty archive reproduces the snapshotted
+    /// seed order exactly, so a restarted service warm-starts exactly like
+    /// the process that wrote the snapshot.
+    pub fn restore(&self, snapshot: &ArchiveSnapshot) -> usize {
+        let mut restored = 0;
+        for shape in &snapshot.shapes {
+            restored += shape.genomes.len();
+            self.record(
+                &shape.model,
+                &shape.platform,
+                shape.genomes.iter().cloned().map(Arc::new),
+            );
+        }
+        restored
+    }
+
+    /// Writes the archive as pretty-printed JSON to `path` (the restart
+    /// persistence file `mnc-server --archive-dir` maintains), returning
+    /// the number of genomes written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Persistence`] when serialization or the
+    /// write fails.
+    pub fn snapshot_to(&self, path: &Path) -> Result<usize, RuntimeError> {
+        let snapshot = self.snapshot();
+        let json =
+            serde_json::to_string_pretty(&snapshot).map_err(|e| RuntimeError::Persistence {
+                path: path.display().to_string(),
+                reason: format!("serializing archive snapshot: {e}"),
+            })?;
+        std::fs::write(path, json).map_err(|e| RuntimeError::Persistence {
+            path: path.display().to_string(),
+            reason: format!("writing archive snapshot: {e}"),
+        })?;
+        Ok(snapshot.shapes.iter().map(|s| s.genomes.len()).sum())
+    }
+
+    /// Loads a snapshot written by [`EliteArchive::snapshot_to`] and
+    /// merges it into the archive, returning the number of genomes the
+    /// file carried.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Persistence`] for unreadable files,
+    /// malformed JSON, or a snapshot written by an incompatible format
+    /// version.
+    pub fn load_from(&self, path: &Path) -> Result<usize, RuntimeError> {
+        let text = std::fs::read_to_string(path).map_err(|e| RuntimeError::Persistence {
+            path: path.display().to_string(),
+            reason: format!("reading archive snapshot: {e}"),
+        })?;
+        let snapshot: ArchiveSnapshot =
+            serde_json::from_str(&text).map_err(|e| RuntimeError::Persistence {
+                path: path.display().to_string(),
+                reason: format!("parsing archive snapshot: {e}"),
+            })?;
+        if snapshot.version != ARCHIVE_SNAPSHOT_VERSION {
+            return Err(RuntimeError::Persistence {
+                path: path.display().to_string(),
+                reason: format!(
+                    "archive snapshot version {} is not the supported {}",
+                    snapshot.version, ARCHIVE_SNAPSHOT_VERSION
+                ),
+            });
+        }
+        Ok(self.restore(&snapshot))
     }
 
     /// Total number of archived genomes across every shape.

@@ -1,0 +1,276 @@
+//! Pipeline-refactor acceptance tests: the staged `RequestPipeline` is
+//! behaviour-preserving (batch vs sequential bit-identity over random
+//! request mixes × worker counts), per-stage accounting is coherent, and
+//! the persisted elite archive replays warm starts across a simulated
+//! restart.
+
+use mnc_runtime::{
+    BatchConfig, MappingRequest, MappingService, PipelineStage, RuntimeError, STAGE_COUNT,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::path::PathBuf;
+
+const MODELS: &[&str] = &["tiny_cnn_cifar10", "visformer_tiny_cifar100"];
+const PLATFORMS: &[&str] = &["dual_test", "edge_biglittle"];
+
+/// Draws one random (mostly valid) request.
+fn random_request(rng: &mut StdRng) -> MappingRequest {
+    let mut request = MappingRequest::new(
+        MODELS[rng.random_range(0..MODELS.len())],
+        PLATFORMS[rng.random_range(0..PLATFORMS.len())],
+    )
+    .validation_samples(200 + 100 * rng.random_range(0..3usize))
+    .generations(1 + rng.random_range(0..3usize))
+    .population_size(6 + 2 * rng.random_range(0..2usize))
+    .seed(rng.random_range(0..5u64));
+    if rng.random_range(0..4u32) == 0 {
+        request = request.max_evaluations(5 + rng.random_range(0..20usize));
+    }
+    if rng.random_range(0..4u32) == 0 {
+        request = request.threads(1 + rng.random_range(0..3usize));
+    }
+    request
+}
+
+/// A random mix: valid requests, exact duplicates, and sprinkled-in
+/// invalid/unknown requests whose errors must survive batching verbatim.
+fn random_mix(rng: &mut StdRng, len: usize) -> Vec<MappingRequest> {
+    let mut requests: Vec<MappingRequest> = Vec::with_capacity(len);
+    for _ in 0..len {
+        let roll = rng.random_range(0..10u32);
+        if roll == 0 {
+            requests.push(MappingRequest::new(
+                "no_such_model",
+                PLATFORMS[rng.random_range(0..PLATFORMS.len())],
+            ));
+        } else if roll == 1 {
+            let mut invalid = random_request(rng);
+            invalid.population_size = 1;
+            requests.push(invalid);
+        } else if roll <= 4 && !requests.is_empty() {
+            // Exact duplicate of an earlier request (the coalescer's food).
+            let index = rng.random_range(0..requests.len());
+            requests.push(requests[index].clone());
+        } else {
+            requests.push(random_request(rng));
+        }
+    }
+    requests
+}
+
+fn assert_same_outcome(
+    reference: &Result<mnc_runtime::MappingResponse, RuntimeError>,
+    batched: &Result<mnc_runtime::MappingResponse, RuntimeError>,
+    context: &str,
+) {
+    match (reference, batched) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.pareto_front, b.pareto_front, "front differs: {context}");
+            assert_eq!(a.best_by_objective, b.best_by_objective, "{context}");
+            for (x, y) in a.pareto_front.iter().zip(&b.pareto_front) {
+                assert_eq!(x.result.objective.to_bits(), y.result.objective.to_bits());
+                assert_eq!(
+                    x.result.average_energy_mj.to_bits(),
+                    y.result.average_energy_mj.to_bits()
+                );
+                assert_eq!(
+                    x.result.average_latency_ms.to_bits(),
+                    y.result.average_latency_ms.to_bits()
+                );
+            }
+        }
+        (Err(a), Err(b)) => assert_eq!(a, b, "error differs: {context}"),
+        (a, b) => panic!("outcome kind differs: {context}: {a:?} vs {b:?}"),
+    }
+}
+
+/// Property: over random request mixes (duplicates, invalid and unknown
+/// requests included) and worker counts, batched responses through the
+/// pipeline are bit-identical to sequential `submit` — the refactor's
+/// behaviour-preservation acceptance criterion.
+#[test]
+fn pipeline_batches_match_sequential_submit_over_random_mixes() {
+    let mut rng = StdRng::seed_from_u64(0x9e37);
+    for case in 0..4u64 {
+        let mix = random_mix(&mut rng, 8 + (case as usize) * 2);
+
+        let sequential_service = MappingService::new();
+        let sequential: Vec<_> = mix
+            .iter()
+            .map(|request| sequential_service.submit(request))
+            .collect();
+
+        for max_concurrent in [1usize, 4] {
+            let service = MappingService::new();
+            let report =
+                service.submit_batch_with(&mix, &BatchConfig::new().max_concurrent(max_concurrent));
+            assert_eq!(report.responses.len(), mix.len());
+            for (index, (reference, batched)) in
+                sequential.iter().zip(&report.responses).enumerate()
+            {
+                assert_same_outcome(
+                    reference,
+                    batched,
+                    &format!("case {case}, request {index}, workers {max_concurrent}"),
+                );
+            }
+            // Coalesced duplicates must carry their leader's stats
+            // verbatim — the "one search per distinct request" guarantee.
+            assert_eq!(report.stats.unique_requests, report.leader_positions.len());
+        }
+    }
+}
+
+/// The per-request stage trace is coherent: every stage non-negative,
+/// the search stage dominant for a cold request, and the total bounded
+/// by the request's wall time.
+#[test]
+fn stage_trace_is_coherent_per_request() {
+    let service = MappingService::new();
+    let request = MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+        .validation_samples(400)
+        .generations(3)
+        .population_size(8);
+    let response = service.submit(&request).unwrap();
+    let trace = response.stats.stage_micros;
+    assert_eq!(trace.len(), STAGE_COUNT);
+    assert!(trace.iter().all(|&micros| micros >= 0.0));
+    assert!(
+        trace[PipelineStage::Search.index()] > 0.0,
+        "the search stage ran"
+    );
+    assert!(
+        response.stats.stage_micros_total() <= response.stats.elapsed_ms * 1e3 + 1.0,
+        "stage totals exceed the request wall time"
+    );
+    // A cold request spends its time in CacheLookup (evaluator build) and
+    // Search; bookkeeping stages are comparatively free.
+    assert!(
+        trace[PipelineStage::Normalize.index()] + trace[PipelineStage::Fingerprint.index()]
+            < response.stats.elapsed_ms * 1e3
+    );
+}
+
+/// Service-lifetime stage counters add up across a mixed workload.
+#[test]
+fn pipeline_counters_add_up_across_batches_and_errors() {
+    let service = MappingService::new();
+    let ok = MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+        .validation_samples(300)
+        .generations(2)
+        .population_size(8);
+    let batch = vec![ok.clone(), ok.clone(), ok.clone().seed(3)];
+    service.submit_batch(&batch);
+    service.submit(&ok).unwrap();
+    let _ = service.submit(&MappingRequest::new("missing", "dual_test"));
+
+    let stats = service.pipeline_stats();
+    // 2 batch leaders + 1 direct + 1 rejected entered the request path.
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.coalesced_requests, 1);
+    assert_eq!(stats.searches_run, 3);
+    assert_eq!(stats.stage(PipelineStage::Normalize).errors, 1);
+    assert_eq!(stats.stage(PipelineStage::Search).entered, 3);
+    assert!(stats.evaluations_scheduled >= stats.evaluations_performed);
+    assert_eq!(
+        stats.evaluator_builds + stats.evaluator_pool_hits,
+        stats.stage(PipelineStage::CacheLookup).entered
+    );
+}
+
+fn temp_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "mnc_pipeline_test_{tag}_{}.json",
+        std::process::id()
+    ))
+}
+
+/// The elite archive round-trips through its JSON snapshot: a restored
+/// service warm-starts exactly like the one that wrote the snapshot
+/// (the ISSUE's restart acceptance property, with equality).
+#[test]
+fn persisted_archive_replays_warm_starts_after_restart() {
+    let request = MappingRequest::new("visformer_tiny_cifar100", "dual_test")
+        .validation_samples(400)
+        .generations(4)
+        .population_size(8);
+
+    // First life: two cold submits fill the archive; snapshot; then the
+    // pre-restart warm request.
+    let service = MappingService::new();
+    service.submit(&request).unwrap();
+    service.submit(&request.clone().seed(77)).unwrap();
+    let path = temp_file("archive");
+    let saved = service.save_archive(&path).unwrap();
+    assert!(saved > 0);
+    assert_eq!(saved, service.elite_archive().len());
+
+    let warm_request = request
+        .clone()
+        .seed(4242)
+        .generations(6)
+        .stall_generations(2)
+        .warm_start(true);
+    let warm_before = service.submit(&warm_request).unwrap();
+    assert!(warm_before.stats.warm_start_seeds > 0);
+
+    // Simulated restart: a fresh service loads the snapshot. Its archive
+    // equals the snapshotted one, so the warm request reaches the same
+    // front with exactly as many evaluations (no-worse / no-more, with
+    // equality because everything downstream is deterministic).
+    let restarted = MappingService::with_archive_from(&path).unwrap();
+    assert_eq!(restarted.elite_archive().len(), saved);
+    // Snapshot the freshly restored archive before it absorbs new
+    // responses: restore must be lossless.
+    let roundtrip = temp_file("archive_roundtrip");
+    restarted.save_archive(&roundtrip).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        std::fs::read_to_string(&roundtrip).unwrap(),
+        "snapshot → restore → snapshot must be lossless"
+    );
+    let warm_after = restarted.submit(&warm_request).unwrap();
+    assert!(warm_after.stats.evaluations <= warm_before.stats.evaluations);
+    assert_eq!(warm_after.stats.evaluations, warm_before.stats.evaluations);
+    assert_eq!(warm_after.pareto_front, warm_before.pareto_front);
+    assert_eq!(warm_after.best_by_objective, warm_before.best_by_objective);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&roundtrip);
+}
+
+/// Malformed, missing and version-skewed snapshots fail structurally.
+#[test]
+fn archive_persistence_errors_are_structured() {
+    let service = MappingService::new();
+
+    let missing = temp_file("missing");
+    assert!(matches!(
+        service.load_archive(&missing),
+        Err(RuntimeError::Persistence { .. })
+    ));
+
+    let malformed = temp_file("malformed");
+    std::fs::write(&malformed, "this is not json").unwrap();
+    assert!(matches!(
+        service.load_archive(&malformed),
+        Err(RuntimeError::Persistence { .. })
+    ));
+    std::fs::write(&malformed, "{\"version\": 999, \"shapes\": []}").unwrap();
+    let error = service.load_archive(&malformed).unwrap_err();
+    match &error {
+        RuntimeError::Persistence { reason, .. } => {
+            assert!(reason.contains("version"), "unhelpful reason: {reason}")
+        }
+        other => panic!("version skew gave {other:?}"),
+    }
+    let _ = std::fs::remove_file(&malformed);
+
+    // Unwritable path.
+    let unwritable = PathBuf::from("/definitely/not/a/real/dir/archive.json");
+    assert!(matches!(
+        service.save_archive(&unwritable),
+        Err(RuntimeError::Persistence { .. })
+    ));
+}

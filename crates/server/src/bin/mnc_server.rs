@@ -1,0 +1,119 @@
+//! The `mnc-server` binary: the mapping service behind a TCP socket.
+//!
+//! ```text
+//! mnc-server [--addr 127.0.0.1:7477] [--archive-dir DIR]
+//!            [--max-batch N] [--max-evaluations N] [--max-samples N]
+//! ```
+//!
+//! Binds the address (port 0 picks an ephemeral port), prints
+//! `mnc-server listening on <addr>` — scripts parse the actual port from
+//! that line — and serves length-prefixed JSON wire requests until a
+//! `Shutdown` command arrives. With `--archive-dir`, the elite archive
+//! snapshot in that directory is loaded at startup and rewritten on every
+//! wire `Persist` command, so warm-start knowledge survives restarts.
+
+use mnc_server::{RequestLimits, Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    archive_dir: Option<PathBuf>,
+    limits: RequestLimits,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7477".to_string(),
+        archive_dir: None,
+        limits: RequestLimits::default(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--archive-dir" => args.archive_dir = Some(PathBuf::from(value("--archive-dir")?)),
+            "--max-batch" => {
+                args.limits.max_batch_requests = value("--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch: {e}"))?;
+            }
+            "--max-evaluations" => {
+                args.limits.max_evaluations = value("--max-evaluations")?
+                    .parse()
+                    .map_err(|e| format!("--max-evaluations: {e}"))?;
+            }
+            "--max-samples" => {
+                args.limits.max_validation_samples = value("--max-samples")?
+                    .parse()
+                    .map_err(|e| format!("--max-samples: {e}"))?;
+            }
+            "--help" | "-h" => {
+                // Help is a successful outcome: usage on stdout, exit 0
+                // (scripts chain `mnc-server --help && ...`).
+                println!(
+                    "usage: mnc-server [--addr HOST:PORT] [--archive-dir DIR] \
+                     [--max-batch N] [--max-evaluations N] [--max-samples N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = &args.archive_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create archive directory {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let server = match Server::bind(ServerConfig {
+        addr: args.addr,
+        archive_dir: args.archive_dir,
+        limits: args.limits,
+    }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("startup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("startup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if server.archive_loaded() > 0 {
+        println!(
+            "loaded {} archived elite genomes for warm starts",
+            server.archive_loaded()
+        );
+    }
+    println!("mnc-server listening on {addr}");
+    match server.run() {
+        Ok(()) => {
+            println!("mnc-server stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! A small blocking wire client — what the demo, the benchmarks and the
+//! CI round-trip smoke use to talk to `mnc-server`.
+
+use mnc_runtime::{MappingRequest, MappingResponse};
+use mnc_wire::frame::{self, FrameError};
+use mnc_wire::{
+    decode_response, encode_request, PersistReport, ServiceStats, WireBatch, WireBatchReport,
+    WireBody, WireError, WirePayload, WireRequest, PROTOCOL_VERSION,
+};
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure.
+    Io(std::io::Error),
+    /// Framing failure.
+    Frame(FrameError),
+    /// The server closed the connection before answering.
+    Disconnected,
+    /// The exchange violated the protocol (bad JSON, wrong id, wrong
+    /// payload kind for the command).
+    Protocol(String),
+    /// The server answered with a structured error.
+    Server(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "client framing error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+            ClientError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A blocking connection to one `mnc-server`, issuing one command at a
+/// time and correlating responses by id.
+#[derive(Debug)]
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl WireClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the TCP connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(WireClient {
+            reader,
+            writer: stream,
+            next_id: 1,
+        })
+    }
+
+    /// Issues one command and returns the payload, mapping structured
+    /// server errors to [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] variant.
+    pub fn call(&mut self, body: WireBody) -> Result<WirePayload, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = WireRequest::new(id, body);
+        let text = encode_request(&request).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        frame::write_frame(&mut self.writer, &text)?;
+        let reply = frame::read_frame(&mut self.reader)?.ok_or(ClientError::Disconnected)?;
+        let response = decode_response(&reply).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if response.version != PROTOCOL_VERSION {
+            return Err(ClientError::Protocol(format!(
+                "server answered with protocol version {}",
+                response.version
+            )));
+        }
+        // id 0 marks a response the server could not correlate (it could
+        // not decode the request far enough); any other mismatch is a
+        // protocol violation.
+        if response.id != id && response.id != 0 {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                response.id
+            )));
+        }
+        response.outcome.into_result().map_err(ClientError::Server)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] variant, including unexpected payload kinds.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(WireBody::Ping)? {
+            WirePayload::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// The server's registered model presets.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] variant.
+    pub fn models(&mut self) -> Result<Vec<String>, ClientError> {
+        match self.call(WireBody::ListModels)? {
+            WirePayload::Models(names) => Ok(names),
+            other => Err(unexpected("Models", &other)),
+        }
+    }
+
+    /// The server's registered platform presets.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] variant.
+    pub fn platforms(&mut self) -> Result<Vec<String>, ClientError> {
+        match self.call(WireBody::ListPlatforms)? {
+            WirePayload::Platforms(names) => Ok(names),
+            other => Err(unexpected("Platforms", &other)),
+        }
+    }
+
+    /// Submits one mapping request.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] variant; service-level failures arrive as
+    /// [`ClientError::Server`].
+    pub fn submit(&mut self, request: &MappingRequest) -> Result<MappingResponse, ClientError> {
+        match self.call(WireBody::Submit(request.clone()))? {
+            WirePayload::Front(response) => Ok(response),
+            other => Err(unexpected("Front", &other)),
+        }
+    }
+
+    /// Submits a batch through the coalescing scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] variant.
+    pub fn submit_batch(&mut self, batch: WireBatch) -> Result<WireBatchReport, ClientError> {
+        match self.call(WireBody::SubmitBatch(batch))? {
+            WirePayload::Batch(report) => Ok(report),
+            other => Err(unexpected("Batch", &other)),
+        }
+    }
+
+    /// Snapshots the server's cache/pipeline/archive counters.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] variant.
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        match self.call(WireBody::Stats)? {
+            WirePayload::Stats(stats) => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Persists the server's elite archive to its `--archive-dir`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] variant; [`ClientError::Server`] with a
+    /// persistence code when no archive directory is configured.
+    pub fn persist(&mut self) -> Result<PersistReport, ClientError> {
+        match self.call(WireBody::Persist)? {
+            WirePayload::Persisted(report) => Ok(report),
+            other => Err(unexpected("Persisted", &other)),
+        }
+    }
+
+    /// Asks the server to stop accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] variant.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(WireBody::Shutdown)? {
+            WirePayload::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &WirePayload) -> ClientError {
+    let kind = match got {
+        WirePayload::Pong => "Pong",
+        WirePayload::Models(_) => "Models",
+        WirePayload::Platforms(_) => "Platforms",
+        WirePayload::Front(_) => "Front",
+        WirePayload::Batch(_) => "Batch",
+        WirePayload::Stats(_) => "Stats",
+        WirePayload::Persisted(_) => "Persisted",
+        WirePayload::ShuttingDown => "ShuttingDown",
+    };
+    ClientError::Protocol(format!("expected a {wanted} payload, got {kind}"))
+}

@@ -1,0 +1,245 @@
+//! Length-prefixed message framing.
+//!
+//! Every message travels as an ASCII decimal byte length, a newline, and
+//! exactly that many payload bytes:
+//!
+//! ```text
+//! 17\n{"version":1,...}
+//! ```
+//!
+//! The prefix makes message boundaries explicit on a byte stream: a
+//! malformed JSON payload still ends where its header said, so the
+//! server can answer it with a structured error and keep the connection
+//! usable. Only a corrupt *header* (non-digits, overlong, or a length
+//! beyond the cap) loses synchronisation — that is the one case a peer
+//! must close after, and [`FrameError::is_resynchronizable`] tells the
+//! two apart.
+
+use std::io::{BufRead, Write};
+
+/// Default cap on one frame's payload. A Pareto-front response for the
+/// largest presets is well under a megabyte; the cap only exists so a
+/// corrupt or hostile header cannot make the reader allocate gigabytes.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Maximum header length: enough digits for any permitted frame size
+/// plus the newline.
+const MAX_HEADER_BYTES: usize = 20;
+
+/// Framing failures.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (includes a truncated payload).
+    Io(std::io::Error),
+    /// The length header was not a decimal number terminated by `\n`.
+    BadHeader(String),
+    /// The header announced a payload beyond the reader's cap.
+    TooLarge {
+        /// Announced payload size.
+        announced: usize,
+        /// The reader's cap.
+        max: usize,
+    },
+    /// The payload was not valid UTF-8.
+    NotUtf8,
+}
+
+impl FrameError {
+    /// Whether the connection is still synchronised after this error.
+    /// `true` for payload-level failures (the reader consumed exactly the
+    /// announced bytes); `false` for header corruption, after which the
+    /// stream position is meaningless and the connection must close.
+    pub fn is_resynchronizable(&self) -> bool {
+        matches!(self, FrameError::NotUtf8)
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::BadHeader(header) => {
+                write!(f, "malformed frame header {header:?}")
+            }
+            FrameError::TooLarge { announced, max } => {
+                write!(f, "frame of {announced} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::NotUtf8 => write!(f, "frame payload is not valid utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (header + payload) and flushes.
+///
+/// # Errors
+///
+/// Returns an error when the underlying writer fails.
+pub fn write_frame(writer: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    writer.write_all(format!("{}\n", payload.len()).as_bytes())?;
+    writer.write_all(payload.as_bytes())?;
+    writer.flush()
+}
+
+/// Reads one frame's payload with the default size cap.
+///
+/// # Errors
+///
+/// See [`read_frame_with_cap`].
+pub fn read_frame(reader: &mut impl BufRead) -> Result<Option<String>, FrameError> {
+    read_frame_with_cap(reader, DEFAULT_MAX_FRAME_BYTES)
+}
+
+/// Reads one frame's payload, returning `Ok(None)` on a clean end of
+/// stream (EOF before the first header byte).
+///
+/// # Errors
+///
+/// * [`FrameError::BadHeader`] — the header was not `<digits>\n` (or the
+///   stream ended mid-header);
+/// * [`FrameError::TooLarge`] — the announced length exceeds `max_bytes`;
+/// * [`FrameError::NotUtf8`] — the payload bytes are not UTF-8 (the
+///   frame was still fully consumed, so the stream stays synchronised);
+/// * [`FrameError::Io`] — the stream failed or ended mid-payload.
+pub fn read_frame_with_cap(
+    reader: &mut impl BufRead,
+    max_bytes: usize,
+) -> Result<Option<String>, FrameError> {
+    let mut header = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if header.is_empty() {
+                    return Ok(None);
+                }
+                return Err(FrameError::BadHeader(
+                    String::from_utf8_lossy(&header).into_owned(),
+                ));
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        header.push(byte[0]);
+        if header.len() > MAX_HEADER_BYTES {
+            return Err(FrameError::BadHeader(
+                String::from_utf8_lossy(&header).into_owned(),
+            ));
+        }
+    }
+    let text = std::str::from_utf8(&header)
+        .map_err(|_| FrameError::BadHeader(String::from_utf8_lossy(&header).into_owned()))?;
+    let length: usize = text
+        .parse()
+        .map_err(|_| FrameError::BadHeader(text.to_string()))?;
+    if length > max_bytes {
+        return Err(FrameError::TooLarge {
+            announced: length,
+            max: max_bytes,
+        });
+    }
+    let mut payload = vec![0u8; length];
+    reader.read_exact(&mut payload)?;
+    match String::from_utf8(payload) {
+        Ok(text) => Ok(Some(text)),
+        Err(_) => Err(FrameError::NotUtf8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn framed(payload: &str) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, payload).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut bytes = framed("hello");
+        bytes.extend(framed(""));
+        bytes.extend(framed("{\"k\": \"v\\n\"}"));
+        let mut reader = Cursor::new(bytes);
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), "hello");
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), "");
+        assert_eq!(
+            read_frame(&mut reader).unwrap().unwrap(),
+            "{\"k\": \"v\\n\"}"
+        );
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected() {
+        for bad in [
+            "abc\nxxx",
+            "12 34\npayload",
+            "\npayload",
+            "999999999999999999999\n",
+        ] {
+            let mut reader = Cursor::new(bad.as_bytes().to_vec());
+            let error = read_frame(&mut reader).unwrap_err();
+            assert!(
+                matches!(error, FrameError::BadHeader(_)),
+                "{bad:?} gave {error:?}"
+            );
+            assert!(!error.is_resynchronizable());
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut reader = Cursor::new(b"1000\nxy".to_vec());
+        let error = read_frame_with_cap(&mut reader, 16).unwrap_err();
+        assert!(matches!(
+            error,
+            FrameError::TooLarge {
+                announced: 1000,
+                max: 16
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_an_io_error() {
+        let mut reader = Cursor::new(b"10\nshort".to_vec());
+        assert!(matches!(
+            read_frame(&mut reader).unwrap_err(),
+            FrameError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn non_utf8_payload_keeps_the_stream_synchronised() {
+        let mut bytes = b"2\n".to_vec();
+        bytes.extend([0xff, 0xfe]);
+        bytes.extend(framed("next"));
+        let mut reader = Cursor::new(bytes);
+        let error = read_frame(&mut reader).unwrap_err();
+        assert!(matches!(error, FrameError::NotUtf8));
+        assert!(error.is_resynchronizable());
+        // The bad frame was fully consumed: the next one parses.
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), "next");
+    }
+}

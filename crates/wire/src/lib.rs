@@ -1,0 +1,459 @@
+//! The JSON wire protocol of the mapping service.
+//!
+//! `mnc_runtime`'s request pipeline serves mapping queries in-process;
+//! this crate defines how the same queries travel over a byte stream so a
+//! remote client and [`MappingService::submit`](mnc_runtime::MappingService)
+//! return bit-identical answers:
+//!
+//! * [`WireRequest`] / [`WireResponse`] — versioned envelopes around a
+//!   [`WireBody`] command and a [`WireOutcome`] result. The payload types
+//!   are the runtime's own serde-derived `MappingRequest` /
+//!   `MappingResponse` / `RequestStats` / `BatchStats` /
+//!   `PipelineStats`, so nothing is re-modelled (or silently diverges)
+//!   at the protocol boundary.
+//! * [`WireError`] — the structured error every failure path maps to:
+//!   malformed JSON, unsupported protocol versions, unknown presets,
+//!   invalid or over-budget requests, and internal failures each carry an
+//!   [`ErrorCode`] plus a human-readable message. A conforming server
+//!   never answers a well-framed message with a closed connection.
+//! * [`frame`] — length-prefixed framing (`<decimal byte length>\n<json>`)
+//!   over any `Read`/`Write` pair, so message boundaries survive partial
+//!   reads and malformed payloads without ambiguity.
+//!
+//! The protocol is transport-agnostic; `mnc-server` drives it over
+//! blocking TCP.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+
+use mnc_runtime::{
+    BatchConfig, BatchStats, CacheStats, MappingRequest, MappingResponse, PipelineStats,
+    RuntimeError,
+};
+use serde::{Deserialize, Serialize};
+
+/// Current wire protocol version. A server answers a mismatched version
+/// with [`ErrorCode::UnsupportedVersion`] instead of guessing at field
+/// semantics.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One request envelope: protocol version, a client-chosen correlation id
+/// (echoed verbatim in the response) and the command body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Protocol version ([`PROTOCOL_VERSION`]).
+    pub version: u32,
+    /// Client-chosen correlation id, echoed in the response. A response
+    /// the server could not correlate (e.g. malformed JSON) carries id 0.
+    pub id: u64,
+    /// The command.
+    pub body: WireBody,
+}
+
+impl WireRequest {
+    /// An id-tagged request at the current protocol version.
+    pub fn new(id: u64, body: WireBody) -> Self {
+        WireRequest {
+            version: PROTOCOL_VERSION,
+            id,
+            body,
+        }
+    }
+}
+
+/// The commands a wire client can issue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireBody {
+    /// Liveness probe; answered with [`WirePayload::Pong`].
+    Ping,
+    /// List the registered model presets.
+    ListModels,
+    /// List the registered platform presets.
+    ListPlatforms,
+    /// Answer one mapping request with its Pareto front.
+    Submit(MappingRequest),
+    /// Answer a batch through the coalescing scheduler.
+    SubmitBatch(WireBatch),
+    /// Snapshot the service counters (cache, pipeline stages, archive).
+    Stats,
+    /// Persist the elite archive to the server's archive file (requires
+    /// the server to run with `--archive-dir`).
+    Persist,
+    /// Stop accepting connections. Shutdown does *not* persist the
+    /// archive implicitly — issue [`WireBody::Persist`] first to keep
+    /// warm-start knowledge across the restart.
+    Shutdown,
+}
+
+/// A batched submission: the requests plus the batch thread budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireBatch {
+    /// The mapping requests, answered in order.
+    pub requests: Vec<MappingRequest>,
+    /// Scheduler thread budget (defaults split the machine's cores).
+    pub config: BatchConfig,
+}
+
+/// One response envelope, correlated to its request by `id`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// Protocol version of the answering server.
+    pub version: u32,
+    /// The request's correlation id (0 when the request could not be
+    /// decoded far enough to learn it).
+    pub id: u64,
+    /// The result.
+    pub outcome: WireOutcome,
+}
+
+impl WireResponse {
+    /// A success response at the current protocol version.
+    pub fn ok(id: u64, payload: WirePayload) -> Self {
+        WireResponse {
+            version: PROTOCOL_VERSION,
+            id,
+            outcome: WireOutcome::payload(payload),
+        }
+    }
+
+    /// An error response at the current protocol version.
+    pub fn err(id: u64, error: WireError) -> Self {
+        WireResponse {
+            version: PROTOCOL_VERSION,
+            id,
+            outcome: WireOutcome::Err(error),
+        }
+    }
+}
+
+/// A response's result: payload or structured error. (The vendored serde
+/// has no `Result` impl, and a named enum keeps the JSON self-describing:
+/// `{"Ok": ...}` / `{"Err": ...}`. The payload is boxed — it dwarfs the
+/// error arm, and serde sees through the `Box`, so the JSON is
+/// unaffected.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireOutcome {
+    /// The command succeeded.
+    Ok(Box<WirePayload>),
+    /// The command failed.
+    Err(WireError),
+}
+
+impl WireOutcome {
+    /// Wraps a payload.
+    pub fn payload(payload: WirePayload) -> Self {
+        WireOutcome::Ok(Box::new(payload))
+    }
+
+    /// Converts into a standard `Result`.
+    pub fn into_result(self) -> Result<WirePayload, WireError> {
+        match self {
+            WireOutcome::Ok(payload) => Ok(*payload),
+            WireOutcome::Err(error) => Err(error),
+        }
+    }
+}
+
+/// Per-request result inside a batch response (requests in a batch fail
+/// independently; the response arm is boxed like [`WireOutcome`]'s).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireResult {
+    /// The request was answered.
+    Ok(Box<MappingResponse>),
+    /// The request failed.
+    Err(WireError),
+}
+
+impl WireResult {
+    /// Wraps a response.
+    pub fn response(response: MappingResponse) -> Self {
+        WireResult::Ok(Box::new(response))
+    }
+
+    /// Converts into a standard `Result`.
+    pub fn into_result(self) -> Result<MappingResponse, WireError> {
+        match self {
+            WireResult::Ok(response) => Ok(*response),
+            WireResult::Err(error) => Err(error),
+        }
+    }
+}
+
+/// The payload of a successful [`WireResponse`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WirePayload {
+    /// Answer to [`WireBody::Ping`].
+    Pong,
+    /// Registered model preset names.
+    Models(Vec<String>),
+    /// Registered platform preset names.
+    Platforms(Vec<String>),
+    /// The Pareto front for one [`WireBody::Submit`].
+    Front(MappingResponse),
+    /// The per-request outcomes of one [`WireBody::SubmitBatch`].
+    Batch(WireBatchReport),
+    /// Service counters for [`WireBody::Stats`].
+    Stats(ServiceStats),
+    /// The archive was persisted.
+    Persisted(PersistReport),
+    /// The server acknowledged [`WireBody::Shutdown`] and will stop.
+    ShuttingDown,
+}
+
+/// A batch answer: per-request results in request order plus the batch
+/// accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireBatchReport {
+    /// One result per submitted request, in submission order (coalesced
+    /// duplicates carry clones of their group leader's response).
+    pub responses: Vec<WireResult>,
+    /// Input positions of the coalesced group leaders, in group order.
+    pub leader_positions: Vec<usize>,
+    /// Batch-level accounting. `requests` counts every submitted request
+    /// (matching `responses.len()`); members rejected by the server's
+    /// budget caps ran no search, so they appear in neither
+    /// `unique_requests` nor `coalesced_requests`.
+    pub stats: BatchStats,
+}
+
+/// Service-lifetime counters: the evaluation cache, the per-stage
+/// pipeline counters and the warm-start archive size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Evaluation-cache counters.
+    pub cache: CacheStats,
+    /// Per-stage request-pipeline counters.
+    pub pipeline: PipelineStats,
+    /// Elite genomes currently archived for warm starts.
+    pub archive_genomes: usize,
+}
+
+/// Acknowledgement of a successful [`WireBody::Persist`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersistReport {
+    /// The snapshot file written.
+    pub path: String,
+    /// Elite genomes it holds.
+    pub genomes: usize,
+}
+
+/// Machine-readable failure class of a [`WireError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The frame held no decodable [`WireRequest`] (malformed JSON or a
+    /// shape mismatch).
+    MalformedRequest,
+    /// The request's protocol version is not served by this server.
+    UnsupportedVersion,
+    /// The named model preset is not registered.
+    UnknownModel,
+    /// The named platform preset is not registered.
+    UnknownPlatform,
+    /// A request parameter is invalid (zero budget, bad rates, ...).
+    InvalidRequest,
+    /// The request exceeds the server's configured budget limits.
+    OverBudget,
+    /// Archive persistence failed (or no archive file is configured).
+    Persistence,
+    /// An internal failure: the request was well-formed but the service
+    /// could not answer it.
+    Internal,
+}
+
+/// A structured wire-level error: every failure a conforming server can
+/// produce, including malformed input, maps to one of these — never to a
+/// silently closed connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// The failure class.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl WireError {
+    /// An error with the given code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// A malformed-request error.
+    pub fn malformed(message: impl Into<String>) -> Self {
+        WireError::new(ErrorCode::MalformedRequest, message)
+    }
+
+    /// An unsupported-version error naming both versions.
+    pub fn unsupported_version(requested: u32) -> Self {
+        WireError::new(
+            ErrorCode::UnsupportedVersion,
+            format!("protocol version {requested} is not served (this server speaks {PROTOCOL_VERSION})"),
+        )
+    }
+
+    /// An over-budget error.
+    pub fn over_budget(message: impl Into<String>) -> Self {
+        WireError::new(ErrorCode::OverBudget, message)
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<&RuntimeError> for WireError {
+    fn from(error: &RuntimeError) -> Self {
+        let code = match error {
+            RuntimeError::UnknownModel { .. } => ErrorCode::UnknownModel,
+            RuntimeError::UnknownPlatform { .. } => ErrorCode::UnknownPlatform,
+            RuntimeError::InvalidRequest { .. } => ErrorCode::InvalidRequest,
+            RuntimeError::Persistence { .. } => ErrorCode::Persistence,
+            RuntimeError::Mpsoc(_)
+            | RuntimeError::Core(_)
+            | RuntimeError::Optim(_)
+            | RuntimeError::Predictor(_) => ErrorCode::Internal,
+        };
+        WireError::new(code, error.to_string())
+    }
+}
+
+impl From<RuntimeError> for WireError {
+    fn from(error: RuntimeError) -> Self {
+        WireError::from(&error)
+    }
+}
+
+/// Encodes a request envelope as compact JSON.
+///
+/// # Errors
+///
+/// Returns an error when the value cannot be rendered (non-finite float).
+pub fn encode_request(request: &WireRequest) -> Result<String, serde_json::Error> {
+    serde_json::to_string(request)
+}
+
+/// Decodes a request envelope from JSON.
+///
+/// # Errors
+///
+/// Returns an error for malformed JSON or a shape mismatch (mapped to
+/// [`ErrorCode::MalformedRequest`] by servers).
+pub fn decode_request(text: &str) -> Result<WireRequest, serde_json::Error> {
+    serde_json::from_str(text)
+}
+
+/// Encodes a response envelope as compact JSON.
+///
+/// # Errors
+///
+/// Returns an error when the value cannot be rendered (non-finite float).
+pub fn encode_response(response: &WireResponse) -> Result<String, serde_json::Error> {
+    serde_json::to_string(response)
+}
+
+/// Decodes a response envelope from JSON.
+///
+/// # Errors
+///
+/// Returns an error for malformed JSON or a shape mismatch.
+pub fn decode_response(text: &str) -> Result<WireResponse, serde_json::Error> {
+    serde_json::from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_envelopes_round_trip() {
+        let request = WireRequest::new(
+            7,
+            WireBody::Submit(
+                MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+                    .validation_samples(300)
+                    .generations(2)
+                    .population_size(8)
+                    .seed(u64::MAX - 1),
+            ),
+        );
+        let back = decode_request(&encode_request(&request).unwrap()).unwrap();
+        assert_eq!(request, back);
+
+        let batch = WireRequest::new(
+            8,
+            WireBody::SubmitBatch(WireBatch {
+                requests: vec![MappingRequest::new("a", "b")],
+                config: BatchConfig::new().max_concurrent(2),
+            }),
+        );
+        let back = decode_request(&encode_request(&batch).unwrap()).unwrap();
+        assert_eq!(batch, back);
+
+        for body in [
+            WireBody::Ping,
+            WireBody::ListModels,
+            WireBody::ListPlatforms,
+            WireBody::Stats,
+            WireBody::Persist,
+            WireBody::Shutdown,
+        ] {
+            let request = WireRequest::new(1, body);
+            assert_eq!(
+                decode_request(&encode_request(&request).unwrap()).unwrap(),
+                request
+            );
+        }
+    }
+
+    #[test]
+    fn error_responses_round_trip_with_codes() {
+        for (code, message) in [
+            (ErrorCode::MalformedRequest, "bad json"),
+            (ErrorCode::UnsupportedVersion, "v99"),
+            (ErrorCode::UnknownModel, "resnet"),
+            (ErrorCode::OverBudget, "too many evaluations"),
+            (ErrorCode::Internal, "boom"),
+        ] {
+            let response = WireResponse::err(3, WireError::new(code, message));
+            let back = decode_response(&encode_response(&response).unwrap()).unwrap();
+            assert_eq!(response, back);
+            match back.outcome {
+                WireOutcome::Err(error) => assert_eq!(error.code, code),
+                WireOutcome::Ok(_) => panic!("error outcome expected"),
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_errors_map_to_wire_codes() {
+        let unknown = RuntimeError::UnknownModel {
+            name: "resnet".to_string(),
+            available: "vgg".to_string(),
+        };
+        assert_eq!(WireError::from(&unknown).code, ErrorCode::UnknownModel);
+        let invalid = RuntimeError::InvalidRequest {
+            reason: "zero".to_string(),
+        };
+        assert_eq!(WireError::from(invalid).code, ErrorCode::InvalidRequest);
+        let persistence = RuntimeError::Persistence {
+            path: "/tmp/a".to_string(),
+            reason: "denied".to_string(),
+        };
+        assert_eq!(WireError::from(persistence).code, ErrorCode::Persistence);
+    }
+
+    #[test]
+    fn malformed_json_fails_to_decode() {
+        assert!(decode_request("{\"version\":1,").is_err());
+        assert!(decode_request("not json at all").is_err());
+        assert!(decode_request("{\"version\":1,\"id\":2}").is_err());
+    }
+}

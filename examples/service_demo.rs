@@ -112,5 +112,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         totals.hit_ratio() * 100.0,
         totals.coalesced,
     );
+
+    // Every request above — batched, replayed, warm-started — went
+    // through the same staged pipeline; its per-stage counters tell the
+    // service's story in one table.
+    let pipeline = service.pipeline_stats();
+    println!(
+        "\npipeline: {} requests ({} coalesced), {} searches, {} evaluator builds / {} pool hits",
+        pipeline.requests,
+        pipeline.coalesced_requests,
+        pipeline.searches_run,
+        pipeline.evaluator_builds,
+        pipeline.evaluator_pool_hits,
+    );
+    for stage in &pipeline.stages {
+        println!(
+            "  {:<17} {:>4} entered, {:>9.1} ms busy",
+            stage.stage,
+            stage.entered,
+            stage.busy_micros as f64 / 1e3
+        );
+    }
     Ok(())
 }

@@ -19,7 +19,10 @@
 //! * [`optim`] — the evolutionary mapping search and Pareto utilities,
 //! * [`runtime`] — the concurrent mapping service: model/platform
 //!   registries, a sharded evaluation cache and parallel Pareto search
-//!   behind a request/response API.
+//!   behind a staged request pipeline,
+//! * [`wire`] — the versioned JSON wire protocol of the service, and
+//! * [`server`] — the blocking TCP front-end (`mnc-server` binary) plus
+//!   the [`server::WireClient`] used by the demos and CI.
 //!
 //! # Quickstart
 //!
@@ -60,3 +63,5 @@ pub use mnc_nn as nn;
 pub use mnc_optim as optim;
 pub use mnc_predictor as predictor;
 pub use mnc_runtime as runtime;
+pub use mnc_server as server;
+pub use mnc_wire as wire;
