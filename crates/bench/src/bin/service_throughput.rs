@@ -20,7 +20,9 @@
 //! drift, panic, or coalescing-accounting mismatch).
 
 use mnc_bench::Budget;
-use mnc_runtime::{BatchConfig, BatchReport, MappingRequest, MappingService, PipelineStats};
+use mnc_runtime::{
+    BatchConfig, BatchReport, LatencySummary, MappingRequest, MappingService, PipelineStats,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -58,6 +60,31 @@ struct ThroughputReport {
     /// Service-lifetime per-stage pipeline counters (the staged request
     /// path every phase above was served through).
     pipeline: PipelineStats,
+    /// Per-stage latency digests (p50/p99/p999) from the telemetry
+    /// histograms behind the counters above.
+    stage_latency: Vec<LatencySummary>,
+    /// End-to-end request-latency digest across every phase.
+    request_latency: LatencySummary,
+}
+
+/// Prints the per-stage and end-to-end percentile table the telemetry
+/// histograms hold.
+fn print_latency_table(stage_latency: &[LatencySummary], request_latency: &LatencySummary) {
+    println!(
+        "\n{:<17} {:>7} {:>12} {:>12} {:>12} {:>12}",
+        "latency", "count", "p50 us", "p99 us", "p99.9 us", "max us"
+    );
+    for summary in stage_latency.iter().chain(std::iter::once(request_latency)) {
+        println!(
+            "{:<17} {:>7} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            summary.name,
+            summary.count,
+            summary.p50_micros,
+            summary.p99_micros,
+            summary.p999_micros,
+            summary.max_micros,
+        );
+    }
 }
 
 fn workload(budget: Budget, quick: bool) -> Vec<MappingRequest> {
@@ -322,6 +349,14 @@ fn main() {
         );
     }
 
+    let stage_latency = service.stage_latency();
+    let request_latency = service.request_latency();
+    print_latency_table(&stage_latency, &request_latency);
+    assert_eq!(
+        request_latency.count, pipeline.requests,
+        "request-latency histogram counts every pipeline request"
+    );
+
     if let Some(path) = json_path {
         let batched_s = report.stats.elapsed_ms / 1e3;
         let summary = ThroughputReport {
@@ -337,6 +372,8 @@ fn main() {
             lifetime_hit_ratio: stats.hit_ratio(),
             coalesced_inflight_lookups: stats.coalesced,
             pipeline,
+            stage_latency,
+            request_latency,
         };
         mnc_bench::write_json_report(&path, &summary);
     }

@@ -1,0 +1,267 @@
+//! Overhead of the always-on telemetry layer.
+//!
+//! Times the same traffic against two long-lived services — one with the
+//! default [`TelemetryConfig`] (histograms, traces, generation events),
+//! one with [`TelemetryConfig::minimal`] (counters only, no traces, no
+//! search telemetry) — and reports the cost ratio. Two request classes
+//! are mixed, because telemetry is a different fraction of each:
+//!
+//! - **memoised repeats**: the evaluator's memo tables answer most of
+//!   the search, so the per-request wrapper (histograms, span trace,
+//!   ring push) and per-generation events are proportionally at their
+//!   largest;
+//! - **fresh searches**: full NSGA-II runs with fresh evaluations.
+//!
+//! Getting a trustworthy ratio on a shared machine is the hard part:
+//! wall-clock comparisons at the few-percent level are dominated by
+//! neighbour steal, preemption, frequency epochs and cache cross-talk.
+//! The bench therefore asserts on **paired slices**: each iteration runs
+//! one multi-request slice on each service back to back, so both sides
+//! share the same frequency epoch and neighbour conditions, and the
+//! per-pair wall ratio is meaningful where the absolute times are not.
+//! The within-pair order alternates every iteration (`AB`, `BA`, …) so
+//! whatever the second slice systematically inherits from the first
+//! (warmed predictors, evicted cache lines) biases both directions
+//! equally, and the asserted figure is the geometric mean of the two
+//! order-bucket medians — medians shrug off interference spikes, the
+//! geometric mean cancels the order bias. An untimed warm-up runs first,
+//! because the process speeds up substantially over its first seconds of
+//! serving; accumulated per-side process CPU (`utime + stime` from
+//! `/proc/self/stat`) is reported alongside as a steal-free diagnostic.
+//!
+//! ```text
+//! cargo run --release -p mnc-bench --bin telemetry_overhead -- --smoke --json results/telemetry_overhead.json
+//! ```
+//!
+//! `--smoke` is the CI mode: a bit-identity check between the two
+//! services' fronts (telemetry must never change what the search
+//! returns) and a hard assertion that full telemetry costs at most 2%
+//! over the minimal configuration end to end.
+
+use mnc_bench::Budget;
+use mnc_runtime::{MappingRequest, MappingService, TelemetryConfig};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Telemetry must stay under this fraction of end-to-end service time.
+const OVERHEAD_LIMIT_PCT: f64 = 2.0;
+
+/// The `--json` report tracked under `results/`.
+#[derive(Debug, Serialize)]
+struct OverheadReport {
+    bench: String,
+    budget: String,
+    smoke: bool,
+    slices_per_side: u32,
+    hits_per_slice: u32,
+    searches_per_slice: u32,
+    /// The asserted ratio comes from order-balanced paired-slice wall
+    /// medians; the per-side process CPU totals are diagnostics.
+    estimator: String,
+    enabled_cpu_s: f64,
+    disabled_cpu_s: f64,
+    enabled_hit_wall_us: f64,
+    disabled_hit_wall_us: f64,
+    enabled_search_wall_us: f64,
+    disabled_search_wall_us: f64,
+    overhead_pct: f64,
+    limit_pct: f64,
+    fronts_bit_identical: bool,
+}
+
+fn base_request(budget: Budget) -> MappingRequest {
+    // Search depth matches deployment-planning traffic (the paper's runs
+    // use tens of generations); sub-millisecond toy searches would only
+    // measure timer jitter.
+    let (samples, generations, population) = match budget {
+        Budget::Ci => (1000, 8, 24),
+        Budget::Default => (1000, 10, 24),
+        Budget::Paper => (2000, 16, 32),
+    };
+    MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+        .validation_samples(samples)
+        .generations(generations)
+        .population_size(population)
+        .seed(1)
+}
+
+/// Cumulative user+system CPU of this process in clock ticks, from
+/// `/proc/self/stat` (fields 14 and 15, counting from 1 after the
+/// parenthesised command — which may itself contain spaces).
+fn process_cpu_ticks() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    let after_comm = &stat[stat.rfind(')')? + 1..];
+    let mut fields = after_comm.split_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some(utime + stime)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|arg| arg == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|arg| arg == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let budget = if smoke {
+        Budget::Ci
+    } else {
+        Budget::from_env()
+    };
+    let request = base_request(budget);
+    // Short slices keep the two halves of a pair close in time (same
+    // frequency epoch, same neighbours); many pairs give the medians a
+    // deep sample to reject interference from.
+    let (slices_per_side, hits_per_slice, searches_per_slice) = if smoke {
+        (240u32, 20u32, 2u32)
+    } else {
+        (400, 20, 2)
+    };
+
+    let enabled = MappingService::with_telemetry_config(TelemetryConfig::default());
+    let disabled = MappingService::with_telemetry_config(TelemetryConfig::minimal());
+
+    // Telemetry is observe-only: both configurations must return the
+    // exact same front for the same request. This submit also warms each
+    // service's evaluator pool and memo tables for the timed loops.
+    let enabled_front = enabled.submit(&request).expect("probe request valid");
+    let disabled_front = disabled.submit(&request).expect("probe request valid");
+    assert_eq!(
+        enabled_front.pareto_front, disabled_front.pareto_front,
+        "telemetry changed the search result"
+    );
+    for (a, b) in enabled_front
+        .pareto_front
+        .iter()
+        .zip(&disabled_front.pareto_front)
+    {
+        assert_eq!(a.result.objective.to_bits(), b.result.objective.to_bits());
+        assert_eq!(
+            a.result.average_energy_mj.to_bits(),
+            b.result.average_energy_mj.to_bits()
+        );
+    }
+    println!("telemetry_overhead: fronts bit-identical with telemetry on and off");
+
+    let services = [&enabled, &disabled];
+    let mut side_seed = [1_000_000u64; 2];
+
+    // The process speeds up substantially over its first seconds of
+    // serving (allocator, page cache, frequency governor all settling),
+    // so anything measured early looks slow. Burn that transient on BOTH
+    // services with untimed traffic before a single timed slice runs.
+    let warmup = Instant::now();
+    while warmup.elapsed() < Duration::from_millis(4000) {
+        for side in [0, 1] {
+            for _ in 0..20 {
+                services[side].submit(&request).expect("warm request valid");
+            }
+            side_seed[side] += 1;
+            services[side]
+                .submit(&request.clone().seed(side_seed[side]))
+                .expect("warm request valid");
+        }
+    }
+    println!(
+        "telemetry_overhead, budget {budget:?}{}: {slices_per_side} paired slices of {hits_per_slice} repeats + {searches_per_slice} fresh searches per side, alternating order",
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    let mut cpu_ticks = [0u64; 2];
+    let mut cpu_available = true;
+    let mut hit_min = [Duration::MAX; 2];
+    let mut search_min = [Duration::MAX; 2];
+    // One ratio bucket per within-pair order (enabled-first, minimal-first).
+    let mut ratios: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for pair in 0..slices_per_side {
+        let leader = (pair % 2) as usize;
+        let mut slice_wall = [Duration::ZERO; 2];
+        for side in [leader, 1 - leader] {
+            let service = services[side];
+            let slice_cpu = process_cpu_ticks();
+            let started = Instant::now();
+            for _ in 0..hits_per_slice {
+                service.submit(&request).expect("repeat request valid");
+            }
+            let hits_elapsed = started.elapsed();
+            hit_min[side] = hit_min[side].min(hits_elapsed / hits_per_slice);
+
+            let started = Instant::now();
+            for _ in 0..searches_per_slice {
+                side_seed[side] += 1;
+                service
+                    .submit(&request.clone().seed(side_seed[side]))
+                    .expect("fresh request valid");
+            }
+            let searches_elapsed = started.elapsed();
+            search_min[side] = search_min[side].min(searches_elapsed / searches_per_slice);
+            slice_wall[side] = hits_elapsed + searches_elapsed;
+            match (slice_cpu, process_cpu_ticks()) {
+                (Some(before), Some(after)) => cpu_ticks[side] += after - before,
+                _ => cpu_available = false,
+            }
+        }
+        ratios[leader].push(slice_wall[0].as_secs_f64() / slice_wall[1].as_secs_f64());
+    }
+
+    // Median per order bucket, then the geometric mean of the two: the
+    // enabled-first and minimal-first medians carry equal and opposite
+    // follow-the-leader bias, which the geometric mean cancels.
+    let median = |values: &mut Vec<f64>| -> f64 {
+        values.sort_by(f64::total_cmp);
+        values[values.len() / 2]
+    };
+    let enabled_first = median(&mut ratios[0]);
+    let minimal_first = median(&mut ratios[1]);
+    let overhead_pct = ((enabled_first * minimal_first).sqrt() - 1.0) * 100.0;
+    let cpu_s = [cpu_ticks[0] as f64 / 100.0, cpu_ticks[1] as f64 / 100.0];
+    println!(
+        "repeats:        enabled {:>9.2?}/req vs minimal {:>9.2?}/req (wall min)",
+        hit_min[0], hit_min[1]
+    );
+    println!(
+        "fresh searches: enabled {:>9.2?}/req vs minimal {:>9.2?}/req (wall min)",
+        search_min[0], search_min[1]
+    );
+    println!(
+        "paired slices: median ratio {enabled_first:.4} enabled-first, {minimal_first:.4} minimal-first"
+    );
+    if cpu_available {
+        println!(
+            "process CPU: enabled {:.2} s vs minimal {:.2} s over identical work (diagnostic)",
+            cpu_s[0], cpu_s[1]
+        );
+    }
+    println!("telemetry_overhead: {overhead_pct:+.2}% end to end (limit {OVERHEAD_LIMIT_PCT:.1}%)");
+    if smoke {
+        assert!(
+            overhead_pct <= OVERHEAD_LIMIT_PCT,
+            "telemetry overhead {overhead_pct:.2}% exceeds the {OVERHEAD_LIMIT_PCT:.1}% budget"
+        );
+    }
+
+    if let Some(path) = json_path {
+        let report = OverheadReport {
+            bench: "telemetry_overhead".to_string(),
+            budget: format!("{budget:?}").to_lowercase(),
+            smoke,
+            slices_per_side,
+            hits_per_slice,
+            searches_per_slice,
+            estimator: "paired_slice_wall_median".to_string(),
+            enabled_cpu_s: cpu_s[0],
+            disabled_cpu_s: cpu_s[1],
+            enabled_hit_wall_us: hit_min[0].as_secs_f64() * 1e6,
+            disabled_hit_wall_us: hit_min[1].as_secs_f64() * 1e6,
+            enabled_search_wall_us: search_min[0].as_secs_f64() * 1e6,
+            disabled_search_wall_us: search_min[1].as_secs_f64() * 1e6,
+            overhead_pct,
+            limit_pct: OVERHEAD_LIMIT_PCT,
+            fronts_bit_identical: true,
+        };
+        mnc_bench::write_json_report(&path, &report);
+    }
+    println!("telemetry_overhead: done");
+}

@@ -59,3 +59,6 @@ pub use pareto::{
 pub use search::{
     EvaluatedConfig, MappingSearch, SearchConfig, SearchOutcome, SearchSummary, SelectionStrategy,
 };
+// Re-exported so search callers can attach sinks without naming the
+// telemetry crate themselves.
+pub use mnc_telemetry::{GenerationBuffer, GenerationEvent, TelemetrySink};

@@ -33,8 +33,9 @@ use crate::error::OptimError;
 use crate::evaluate::ConfigEvaluator;
 use crate::genome::Genome;
 use crate::operators::{crossover, mutate, MutationConfig};
-use crate::pareto::{crowding_distance, non_dominated_fronts, pareto_front_indices};
+use crate::pareto::{crowding_distance, dominates, non_dominated_fronts, pareto_front_indices};
 use mnc_core::{EvaluationResult, Evaluator, MappingConfig};
+use mnc_telemetry::{GenerationEvent, TelemetrySink};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rayon::prelude::*;
@@ -379,11 +380,21 @@ struct MemoEntry {
 /// [`mnc_core::Evaluator`] for the paper's offline workflow, or a
 /// cache-aware wrapper (such as `mnc_runtime::CachedEvaluator`) so repeated
 /// genomes skip re-simulation.
-#[derive(Debug)]
 pub struct MappingSearch<'a, E: ConfigEvaluator = Evaluator> {
     evaluator: &'a E,
     config: SearchConfig,
     seeds: Vec<Arc<Genome>>,
+    sink: Option<&'a dyn TelemetrySink>,
+}
+
+impl<E: ConfigEvaluator> std::fmt::Debug for MappingSearch<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappingSearch")
+            .field("config", &self.config)
+            .field("seeds", &self.seeds.len())
+            .field("telemetry", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
@@ -393,7 +404,19 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
             evaluator,
             config,
             seeds: Vec::new(),
+            sink: None,
         }
+    }
+
+    /// Attaches a per-generation telemetry sink. The sink only observes:
+    /// it is consulted after each generation's evaluations are archived
+    /// and never feeds back into the RNG stream, the evaluation order or
+    /// the archive, so [`MappingSearch::run`] stays bit-identical with
+    /// and without telemetry (property-tested).
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: &'a dyn TelemetrySink) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Supplies warm-start seed genomes (typically Pareto elites of a
@@ -527,6 +550,8 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
                     candidates = &population[..remaining];
                 }
             }
+            let fresh_before = evaluations_performed;
+            let memo_before = memo_hits;
 
             let evaluated = if memoize {
                 self.evaluate_generation_memoized(
@@ -564,38 +589,80 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
             }
             let evaluated = &archive[generation_start..];
 
-            if self
+            let budget_exhausted = self
                 .config
                 .max_evaluations
-                .is_some_and(|budget| archive.len() >= budget)
-            {
+                .is_some_and(|budget| archive.len() >= budget);
+
+            // Early stop when the best feasible objective stops improving.
+            // A budget-exhausted final generation breaks before the stall
+            // bookkeeping, so none of it runs in that case.
+            let mut stall_stop = false;
+            if !budget_exhausted {
+                let generation_best = || {
+                    evaluated
+                        .iter()
+                        .filter(|c| c.result.feasible)
+                        .map(|c| c.result.objective)
+                        .fold(f64::INFINITY, f64::min)
+                };
+                if let Some(window) = self.config.stall_generations {
+                    let generation_best = generation_best();
+                    if generation_best < best_objective - 1e-12 {
+                        best_objective = generation_best;
+                        stalled_generations = 0;
+                    } else if best_objective.is_finite() {
+                        // Only count stall once a feasible candidate exists:
+                        // a constrained search that has not reached the
+                        // feasible region yet is exploring, not converged.
+                        stalled_generations += 1;
+                        if stalled_generations >= window {
+                            stall_stop = true;
+                        }
+                    }
+                } else if self.sink.is_some() {
+                    // No stall stopping configured: track the running best
+                    // for the telemetry stream only (pure observation, no
+                    // effect on the search).
+                    best_objective = best_objective.min(generation_best());
+                }
+            }
+
+            let stopping = budget_exhausted || stall_stop;
+            // Selection runs before the telemetry event so the event can
+            // reuse the dominance partition Pareto-crowding selection
+            // ranks anyway — the per-generation event then costs a few
+            // counter bumps and a ring push, not a second front sort. A
+            // stopping generation selects nothing, and rank-based
+            // selection never partitions, so those fall back to a direct
+            // scan.
+            let (elites, front_stats) = if stopping {
+                (Vec::new(), None)
+            } else {
+                select_elites(evaluated, self.config.selection, elite_count)
+            };
+
+            if let Some(sink) = self.sink {
+                let (feasible, front_size) =
+                    front_stats.unwrap_or_else(|| generation_front_stats(evaluated));
+                sink.on_generation(GenerationEvent {
+                    generation,
+                    scheduled: evaluated.len(),
+                    fresh_evaluations: evaluations_performed - fresh_before,
+                    memo_hits: memo_hits - memo_before,
+                    evaluations_total: archive.len(),
+                    feasible,
+                    front_size,
+                    best_objective: best_objective.is_finite().then_some(best_objective),
+                    stalled_generations,
+                });
+            }
+
+            if stopping {
                 early_stopped = generations_run < self.config.generations;
                 break;
             }
 
-            // Early stop when the best feasible objective stops improving.
-            if let Some(window) = self.config.stall_generations {
-                let generation_best = evaluated
-                    .iter()
-                    .filter(|c| c.result.feasible)
-                    .map(|c| c.result.objective)
-                    .fold(f64::INFINITY, f64::min);
-                if generation_best < best_objective - 1e-12 {
-                    best_objective = generation_best;
-                    stalled_generations = 0;
-                } else if best_objective.is_finite() {
-                    // Only count stall once a feasible candidate exists:
-                    // a constrained search that has not reached the
-                    // feasible region yet is exploring, not converged.
-                    stalled_generations += 1;
-                    if stalled_generations >= window {
-                        early_stopped = generations_run < self.config.generations;
-                        break;
-                    }
-                }
-            }
-
-            let elites = select_elites(evaluated, self.config.selection, elite_count);
             // The pre-fast-path loop cloned each elite genome out of the
             // evaluated generation at selection time; reproduce that copy
             // so the baseline's allocation behaviour stays honest. (The
@@ -797,14 +864,54 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
     }
 }
 
+/// The objective vector the search selects on: average energy, average
+/// latency, accuracy drop.
+fn objective_point(candidate: &EvaluatedConfig) -> [f64; 3] {
+    [
+        candidate.result.average_energy_mj,
+        candidate.result.average_latency_ms,
+        candidate.result.accuracy_drop,
+    ]
+}
+
+/// Feasibility count and non-dominated-front size of one generation, in
+/// the same objective space selection ranks on. Only consulted when elite
+/// selection did not already produce the partition (a stopping
+/// generation, or rank-based selection); the scan is quadratic but
+/// allocation-free, and a generation holds at most `population_size`
+/// points.
+fn generation_front_stats(evaluated: &[EvaluatedConfig]) -> (usize, usize) {
+    let mut feasible = 0usize;
+    let mut front_size = 0usize;
+    for (index, candidate) in evaluated.iter().enumerate() {
+        if !candidate.result.feasible {
+            continue;
+        }
+        feasible += 1;
+        let point = objective_point(candidate);
+        let dominated = evaluated.iter().enumerate().any(|(other, c)| {
+            other != index && c.result.feasible && dominates(&objective_point(c), &point)
+        });
+        if !dominated {
+            front_size += 1;
+        }
+    }
+    (feasible, front_size)
+}
+
 /// Elite selection over one evaluated generation. Shared by the memoized
 /// and reference loops; all comparators are `total_cmp`-based, so the
 /// ordering is deterministic even if a NaN objective ever slips in.
+///
+/// Alongside the elites, returns the generation's `(feasible, front_size)`
+/// pair when the strategy computed the dominance partition anyway
+/// (Pareto crowding), so the telemetry stream can report it without a
+/// second pass; rank-based selection returns `None`.
 fn select_elites(
     evaluated: &[EvaluatedConfig],
     strategy: SelectionStrategy,
     elite_count: usize,
-) -> Vec<Arc<Genome>> {
+) -> (Vec<Arc<Genome>>, Option<(usize, usize)>) {
     match strategy {
         SelectionStrategy::ObjectiveElitism => {
             // Feasible candidates first, then by the scalar objective.
@@ -814,11 +921,12 @@ fn select_elites(
                     .cmp(&!b.result.feasible)
                     .then_with(|| a.result.objective.total_cmp(&b.result.objective))
             });
-            ranked
+            let elites = ranked
                 .iter()
                 .take(elite_count)
                 .map(|c| Arc::clone(&c.genome))
-                .collect()
+                .collect();
+            (elites, None)
         }
         SelectionStrategy::ParetoCrowding => select_by_pareto_crowding(evaluated, elite_count),
     }
@@ -834,20 +942,13 @@ fn select_elites(
 fn select_by_pareto_crowding(
     evaluated: &[EvaluatedConfig],
     elite_count: usize,
-) -> Vec<Arc<Genome>> {
+) -> (Vec<Arc<Genome>>, Option<(usize, usize)>) {
     let feasible: Vec<&EvaluatedConfig> = evaluated.iter().filter(|c| c.result.feasible).collect();
-    let points: Vec<[f64; 3]> = feasible
-        .iter()
-        .map(|c| {
-            [
-                c.result.average_energy_mj,
-                c.result.average_latency_ms,
-                c.result.accuracy_drop,
-            ]
-        })
-        .collect();
+    let points: Vec<[f64; 3]> = feasible.iter().map(|c| objective_point(c)).collect();
+    let fronts = non_dominated_fronts(&points);
+    let front_stats = Some((feasible.len(), fronts.first().map_or(0, Vec::len)));
     let mut elites: Vec<Arc<Genome>> = Vec::with_capacity(elite_count);
-    for front in non_dominated_fronts(&points) {
+    for front in fronts {
         if elites.len() >= elite_count {
             break;
         }
@@ -889,7 +990,7 @@ fn select_by_pareto_crowding(
                 .map(|c| Arc::clone(&c.genome)),
         );
     }
-    elites
+    (elites, front_stats)
 }
 
 #[cfg(test)]
@@ -898,6 +999,7 @@ mod tests {
     use mnc_core::{Constraints, EvaluatorBuilder};
     use mnc_mpsoc::{CuId, Platform};
     use mnc_nn::models::{visformer_tiny, ModelPreset};
+    use mnc_telemetry::GenerationBuffer;
     use proptest::prelude::*;
 
     fn evaluator(constraints: Constraints) -> Evaluator {
@@ -1207,6 +1309,34 @@ mod tests {
             let fast_parallel = MappingSearch::new(&evaluator, parallel).run().unwrap();
             assert_outcomes_bit_identical(&fast_serial, &reference);
             assert_outcomes_bit_identical(&fast_parallel, &reference);
+
+            // Telemetry observes without perturbing: the same run with a
+            // sink attached is bit-identical, and its generation stream
+            // adds up to the outcome's totals.
+            let buffer = GenerationBuffer::new();
+            let fast_observed = MappingSearch::new(&evaluator, base)
+                .with_telemetry(&buffer)
+                .run()
+                .unwrap();
+            assert_outcomes_bit_identical(&fast_observed, &reference);
+            let events = buffer.take();
+            prop_assert_eq!(events.len(), fast_observed.generations_run());
+            prop_assert_eq!(
+                events.iter().map(|e| e.scheduled).sum::<usize>(),
+                fast_observed.evaluations()
+            );
+            prop_assert_eq!(
+                events.iter().map(|e| e.fresh_evaluations).sum::<usize>(),
+                fast_observed.evaluations_performed()
+            );
+            prop_assert_eq!(
+                events.iter().map(|e| e.memo_hits).sum::<usize>(),
+                fast_observed.memo_hits()
+            );
+            prop_assert_eq!(
+                events.last().map(|e| e.evaluations_total),
+                Some(fast_observed.evaluations())
+            );
             prop_assert_eq!(
                 fast_serial.evaluations_performed() + fast_serial.memo_hits(),
                 fast_serial.evaluations()

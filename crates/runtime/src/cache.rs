@@ -385,6 +385,29 @@ impl EvalCache {
             entries: self.len(),
         }
     }
+
+    /// Appends the cache's counters and occupancy to a metrics snapshot
+    /// (the cache owns its atomics, so the service's registry does not
+    /// duplicate them).
+    pub fn record_metrics(&self, snapshot: &mut mnc_telemetry::MetricsSnapshot) {
+        use mnc_telemetry::MetricKey;
+        let stats = self.stats();
+        snapshot.push_counter(MetricKey::plain("mnc_cache_hits_total"), stats.hits);
+        snapshot.push_counter(MetricKey::plain("mnc_cache_misses_total"), stats.misses);
+        snapshot.push_counter(
+            MetricKey::plain("mnc_cache_insertions_total"),
+            stats.insertions,
+        );
+        snapshot.push_counter(
+            MetricKey::plain("mnc_cache_evictions_total"),
+            stats.evictions,
+        );
+        snapshot.push_counter(
+            MetricKey::plain("mnc_cache_coalesced_total"),
+            stats.coalesced,
+        );
+        snapshot.push_gauge(MetricKey::plain("mnc_cache_entries"), stats.entries as f64);
+    }
 }
 
 impl Default for EvalCache {

@@ -45,6 +45,14 @@ pub struct CacheTraffic {
     pub coalesced: u64,
 }
 
+impl CacheTraffic {
+    /// Total cache lookups this wrapper performed (`hits + misses`).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
 /// Capacity of the per-evaluator transform cache. A generation holds far
 /// fewer distinct (partition, indicator) structures than genomes — the
 /// mapping/DVFS operators leave the structure untouched — so a small LRU

@@ -71,6 +71,7 @@ pub mod pipeline;
 pub mod registry;
 pub mod scheduler;
 pub mod service;
+pub mod telemetry;
 pub mod warmstart;
 
 pub use cache::{CacheStats, ComputeLease, EvalCache};
@@ -82,4 +83,12 @@ pub use pipeline::{
 pub use registry::ModelRegistry;
 pub use scheduler::{BatchConfig, BatchReport, BatchStats};
 pub use service::{MappingRequest, MappingResponse, MappingService, RequestStats};
+pub use telemetry::TelemetryConfig;
 pub use warmstart::{ArchiveShape, ArchiveSnapshot, EliteArchive, SurrogateRanker};
+// Telemetry vocabulary types, re-exported so front-ends (wire, server,
+// bench) can consume snapshots and traces without naming the telemetry
+// crate themselves.
+pub use mnc_telemetry::{
+    find_sample, parse_prometheus, GenerationEvent, HistogramSnapshot, LatencySummary,
+    MetricsSnapshot, PromSample, RequestTrace, StageSpan, TraceEvent,
+};

@@ -52,10 +52,11 @@ use crate::scheduler::{normalized_for_coalescing, BatchConfig, BatchReport, Batc
 use crate::service::{MappingRequest, MappingResponse, MappingService, RequestStats};
 use mnc_core::fingerprint_serialized;
 use mnc_optim::{EvaluatedConfig, MappingSearch};
+use mnc_telemetry::{saturating_nanos, GenerationBuffer, SpanRecorder};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The ordered stages of the serving path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -118,69 +119,64 @@ impl PipelineStage {
 /// [`PipelineStage::index`].
 pub type StageMicros = [f64; STAGE_COUNT];
 
-/// Service-lifetime pipeline counters (relaxed atomics — observability,
-/// not control flow).
+/// One request's in-flight stage bookkeeping: integer-nanosecond stage
+/// durations (saturating — sub-microsecond stages are never floored to
+/// zero, pathological durations never wrap) plus the optional span
+/// recorder retaining the full trace.
 #[derive(Debug)]
-pub(crate) struct PipelineCounters {
-    entered: [AtomicU64; STAGE_COUNT],
-    errors: [AtomicU64; STAGE_COUNT],
-    /// Accumulated in nanoseconds so sub-microsecond stage entries are
-    /// not floored away; snapshots report microseconds.
-    busy_nanos: [AtomicU64; STAGE_COUNT],
-    requests: AtomicU64,
-    batches: AtomicU64,
-    coalesced_requests: AtomicU64,
-    evaluator_pool_hits: AtomicU64,
-    evaluator_builds: AtomicU64,
-    warm_seeds_gathered: AtomicU64,
-    searches_run: AtomicU64,
-    evaluations_scheduled: AtomicU64,
-    evaluations_performed: AtomicU64,
-    elites_recorded: AtomicU64,
+pub(crate) struct StageTrace {
+    nanos: [u64; STAGE_COUNT],
+    recorder: Option<SpanRecorder>,
 }
 
-impl PipelineCounters {
-    pub(crate) fn new() -> Self {
-        PipelineCounters {
-            entered: std::array::from_fn(|_| AtomicU64::new(0)),
-            errors: std::array::from_fn(|_| AtomicU64::new(0)),
-            busy_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
-            requests: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            coalesced_requests: AtomicU64::new(0),
-            evaluator_pool_hits: AtomicU64::new(0),
-            evaluator_builds: AtomicU64::new(0),
-            warm_seeds_gathered: AtomicU64::new(0),
-            searches_run: AtomicU64::new(0),
-            evaluations_scheduled: AtomicU64::new(0),
-            evaluations_performed: AtomicU64::new(0),
-            elites_recorded: AtomicU64::new(0),
+impl StageTrace {
+    fn new(recorder: Option<SpanRecorder>) -> Self {
+        StageTrace {
+            nanos: [0; STAGE_COUNT],
+            recorder,
         }
     }
 
-    pub(crate) fn snapshot(&self) -> PipelineStats {
-        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        PipelineStats {
-            stages: PipelineStage::ALL
-                .iter()
-                .map(|stage| StageStats {
-                    stage: stage.name().to_string(),
-                    entered: load(&self.entered[stage.index()]),
-                    errors: load(&self.errors[stage.index()]),
-                    busy_micros: load(&self.busy_nanos[stage.index()]) / 1_000,
-                })
-                .collect(),
-            requests: load(&self.requests),
-            batches: load(&self.batches),
-            coalesced_requests: load(&self.coalesced_requests),
-            evaluator_pool_hits: load(&self.evaluator_pool_hits),
-            evaluator_builds: load(&self.evaluator_builds),
-            warm_seeds_gathered: load(&self.warm_seeds_gathered),
-            searches_run: load(&self.searches_run),
-            evaluations_scheduled: load(&self.evaluations_scheduled),
-            evaluations_performed: load(&self.evaluations_performed),
-            elites_recorded: load(&self.elites_recorded),
+    /// A trace without span retention — what batch-level stages use.
+    fn untraced() -> Self {
+        StageTrace::new(None)
+    }
+
+    /// Accumulates one stage execution.
+    fn record(&mut self, stage: PipelineStage, elapsed: Duration) {
+        let nanos = saturating_nanos(elapsed);
+        let slot = &mut self.nanos[stage.index()];
+        *slot = slot.saturating_add(nanos);
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.stage(stage.name(), elapsed);
         }
+    }
+
+    /// Records a decision event on the span, when one is being kept.
+    /// The detail closure only runs when tracing is on.
+    fn note(&mut self, label: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.event(label, detail());
+        }
+    }
+
+    /// Attaches the search's generation stream to the span.
+    fn generations(&mut self, events: Vec<mnc_telemetry::GenerationEvent>) {
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.generations(events);
+        }
+    }
+
+    /// The microsecond view [`RequestStats::stage_micros`] reports,
+    /// derived from the nanosecond truth.
+    pub(crate) fn stage_micros(&self) -> StageMicros {
+        std::array::from_fn(|index| self.nanos[index] as f64 / 1e3)
+    }
+
+    /// Detaches the span recorder so the pipeline can freeze it into a
+    /// retained trace.
+    fn take_recorder(&mut self) -> Option<SpanRecorder> {
+        self.recorder.take()
     }
 }
 
@@ -275,27 +271,27 @@ impl<'s> RequestPipeline<'s> {
         self.service
     }
 
-    /// Runs one stage: bumps the entered/error counters, accumulates the
-    /// stage's wall time into the service counters and the per-request
-    /// trace.
+    /// Runs one stage: records its wall time into the stage's latency
+    /// histogram (whose count doubles as the stage's `entered` total, so
+    /// every entry records — errors included) and into the per-request
+    /// trace, and bumps the stage error counter on failure.
     fn try_stage<T>(
         &self,
         stage: PipelineStage,
-        trace: &mut StageMicros,
+        trace: &mut StageTrace,
         body: impl FnOnce() -> Result<T, RuntimeError>,
     ) -> Result<T, RuntimeError> {
-        let counters = self.service.pipeline_counters();
-        counters.entered[stage.index()].fetch_add(1, Ordering::Relaxed);
+        let telemetry = self.service.telemetry();
         let started = Instant::now();
         let outcome = body();
         let elapsed = started.elapsed();
-        trace[stage.index()] += elapsed.as_secs_f64() * 1e6;
         // Nanosecond granularity: flooring to whole microseconds per
         // entry would erase the sub-microsecond bookkeeping stages from
         // the lifetime totals entirely.
-        counters.busy_nanos[stage.index()].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        telemetry.stage_duration[stage.index()].record(saturating_nanos(elapsed));
+        trace.record(stage, elapsed);
         if outcome.is_err() {
-            counters.errors[stage.index()].fetch_add(1, Ordering::Relaxed);
+            telemetry.stage_errors[stage.index()].inc();
         }
         outcome
     }
@@ -304,7 +300,7 @@ impl<'s> RequestPipeline<'s> {
     fn stage<T>(
         &self,
         stage: PipelineStage,
-        trace: &mut StageMicros,
+        trace: &mut StageTrace,
         body: impl FnOnce() -> T,
     ) -> T {
         self.try_stage(stage, trace, || Ok(body()))
@@ -317,7 +313,7 @@ impl<'s> RequestPipeline<'s> {
     fn prepare<'r>(
         &self,
         request: &'r MappingRequest,
-        trace: &mut StageMicros,
+        trace: &mut StageTrace,
     ) -> Result<PreparedRequest<'r>, RuntimeError> {
         let config = self.try_stage(PipelineStage::Normalize, trace, || {
             if request.validation_samples == 0 {
@@ -374,15 +370,34 @@ impl<'s> RequestPipeline<'s> {
     /// internal evaluation failure.
     pub fn run(&self, request: &MappingRequest) -> Result<MappingResponse, RuntimeError> {
         let started = Instant::now();
-        let counters = self.service.pipeline_counters();
-        counters.requests.fetch_add(1, Ordering::Relaxed);
-        let mut trace: StageMicros = [0.0; STAGE_COUNT];
-        let prepared = self.prepare(request, &mut trace)?;
+        let telemetry = self.service.telemetry();
+        telemetry.requests.inc();
+        let mut trace = StageTrace::new(telemetry.begin_trace(&request.model, &request.platform));
+        let outcome = self.run_traced(request, &mut trace, started);
+        // The request histogram records errors too, so its count always
+        // equals the requests counter.
+        telemetry
+            .request_duration
+            .record(saturating_nanos(started.elapsed()));
+        let error = outcome.as_ref().err().map(ToString::to_string);
+        telemetry.finish_trace(trace.take_recorder(), error);
+        outcome
+    }
+
+    /// [`RequestPipeline::run`] minus the request-level telemetry
+    /// bracketing, so `?` can be used freely.
+    fn run_traced(
+        &self,
+        request: &MappingRequest,
+        trace: &mut StageTrace,
+        started: Instant,
+    ) -> Result<MappingResponse, RuntimeError> {
+        let prepared = self.prepare(request, trace)?;
         // A single request has nothing to merge with: the Coalesce stage
         // passes through (batch traffic does its grouping in
         // `run_batch`), counted so the stage totals reflect every
         // request's path.
-        self.stage(PipelineStage::Coalesce, &mut trace, || ());
+        self.stage(PipelineStage::Coalesce, trace, || ());
         self.finish(prepared, trace, started)
     }
 
@@ -391,56 +406,76 @@ impl<'s> RequestPipeline<'s> {
     fn finish(
         &self,
         prepared: PreparedRequest<'_>,
-        mut trace: StageMicros,
+        trace: &mut StageTrace,
         started: Instant,
     ) -> Result<MappingResponse, RuntimeError> {
-        let counters = self.service.pipeline_counters();
+        let telemetry = self.service.telemetry();
         let request = prepared.request;
 
-        let (cached, evaluator) = self.try_stage(PipelineStage::CacheLookup, &mut trace, || {
-            let (evaluator, fingerprint, built) = self
-                .service
-                .resolve_evaluator_keyed(request, prepared.evaluator_key)?;
-            if built {
-                counters.evaluator_builds.fetch_add(1, Ordering::Relaxed);
-            } else {
-                counters.evaluator_pool_hits.fetch_add(1, Ordering::Relaxed);
-            }
-            let cached = CachedEvaluator::with_fingerprint(
-                Arc::clone(&evaluator),
-                Arc::clone(self.service.cache()),
-                fingerprint,
-            );
-            Ok((cached, evaluator))
-        })?;
+        let (cached, evaluator, built) =
+            self.try_stage(PipelineStage::CacheLookup, trace, || {
+                let (evaluator, fingerprint, built) = self
+                    .service
+                    .resolve_evaluator_keyed(request, prepared.evaluator_key)?;
+                if built {
+                    telemetry.evaluator_builds.inc();
+                } else {
+                    telemetry.evaluator_pool_hits.inc();
+                }
+                let cached = CachedEvaluator::with_fingerprint(
+                    Arc::clone(&evaluator),
+                    Arc::clone(self.service.cache()),
+                    fingerprint,
+                );
+                Ok((cached, evaluator, built))
+            })?;
+        trace.note("cache_lookup", || {
+            format!("evaluator {}", if built { "built" } else { "pool_hit" })
+        });
 
-        let seeds = self.try_stage(PipelineStage::WarmStartSeed, &mut trace, || {
+        let seeds = self.try_stage(PipelineStage::WarmStartSeed, trace, || {
             if !request.warm_start {
                 return Ok(Vec::new());
             }
             let seeds = self.service.warm_start_seeds(request, &evaluator)?;
-            counters
-                .warm_seeds_gathered
-                .fetch_add(seeds.len() as u64, Ordering::Relaxed);
+            telemetry.warm_seeds_gathered.add(seeds.len() as u64);
             Ok(seeds)
         })?;
+        trace.note("warm_start_seed", || {
+            if request.warm_start {
+                format!("{} seeds gathered", seeds.len())
+            } else {
+                "warm start not requested".to_string()
+            }
+        });
 
-        let outcome = self.try_stage(PipelineStage::Search, &mut trace, || {
-            let outcome = MappingSearch::new(&cached, prepared.config)
-                .with_seeds(seeds)
-                .run()?;
-            counters.searches_run.fetch_add(1, Ordering::Relaxed);
-            counters
+        // When the generation stream is on, the search reports every
+        // generation into a request-local buffer; nothing the search
+        // decides depends on it (the sink is write-only).
+        let generations = telemetry.search_telemetry().then(GenerationBuffer::new);
+        let outcome = self.try_stage(PipelineStage::Search, trace, || {
+            let mut search = MappingSearch::new(&cached, prepared.config).with_seeds(seeds);
+            if let Some(buffer) = &generations {
+                search = search.with_telemetry(buffer);
+            }
+            let outcome = search.run()?;
+            telemetry.searches_run.inc();
+            telemetry
                 .evaluations_scheduled
-                .fetch_add(outcome.evaluations() as u64, Ordering::Relaxed);
-            counters
+                .add(outcome.evaluations() as u64);
+            telemetry
                 .evaluations_performed
-                .fetch_add(outcome.evaluations_performed() as u64, Ordering::Relaxed);
+                .add(outcome.evaluations_performed() as u64);
             Ok(outcome)
         })?;
+        if let Some(buffer) = generations {
+            let events = buffer.take();
+            telemetry.search_generations.add(events.len() as u64);
+            trace.generations(events);
+        }
 
         let (pareto_front, best_by_objective) =
-            self.stage(PipelineStage::ArchiveFeedback, &mut trace, || {
+            self.stage(PipelineStage::ArchiveFeedback, trace, || {
                 let pareto_front: Vec<EvaluatedConfig> =
                     outcome.pareto_front().into_iter().cloned().collect();
                 let best_by_objective = outcome.best_by_objective().cloned();
@@ -452,10 +487,9 @@ impl<'s> RequestPipeline<'s> {
                     .iter()
                     .map(|c| Arc::clone(&c.genome))
                     .chain(best_by_objective.iter().map(|c| Arc::clone(&c.genome)));
-                counters.elites_recorded.fetch_add(
-                    (pareto_front.len() + usize::from(best_by_objective.is_some())) as u64,
-                    Ordering::Relaxed,
-                );
+                telemetry
+                    .elites_recorded
+                    .add((pareto_front.len() + usize::from(best_by_objective.is_some())) as u64);
                 self.service
                     .elite_archive()
                     .record(&request.model, &request.platform, elites);
@@ -467,6 +501,21 @@ impl<'s> RequestPipeline<'s> {
         // shared cache counters: concurrent requests would otherwise
         // misattribute each other's traffic.
         let traffic = cached.traffic();
+        trace.note("search", || {
+            format!(
+                "{} generations, {} evaluations ({} memoized), {} cache hits / {} misses{}",
+                summary.generations_run,
+                summary.evaluations,
+                summary.memo_hits,
+                traffic.hits,
+                traffic.misses,
+                if summary.early_stopped {
+                    ", early stop"
+                } else {
+                    ""
+                }
+            )
+        });
         let stats = RequestStats {
             evaluations: summary.evaluations,
             evaluations_performed: summary.evaluations_performed,
@@ -478,7 +527,7 @@ impl<'s> RequestPipeline<'s> {
             cache_misses: traffic.misses,
             cache_coalesced: traffic.coalesced,
             elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
-            stage_micros: trace,
+            stage_micros: trace.stage_micros(),
         };
         Ok(MappingResponse {
             model: request.model.clone(),
@@ -497,9 +546,12 @@ impl<'s> RequestPipeline<'s> {
     /// their leader's.
     pub fn run_batch(&self, requests: &[MappingRequest], config: &BatchConfig) -> BatchReport {
         let started = Instant::now();
-        let counters = self.service.pipeline_counters();
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        let mut batch_trace: StageMicros = [0.0; STAGE_COUNT];
+        let telemetry = self.service.telemetry();
+        telemetry.batches.inc();
+        telemetry.batch_size.record(requests.len() as u64);
+        // Batch-level stages contribute to the stage totals but belong to
+        // no single request, so they run untraced.
+        let mut batch_trace = StageTrace::untraced();
 
         // Normalize (batch-level): the answer-neutral form every request
         // coalesces under. Validation stays per-leader so an invalid
@@ -545,9 +597,9 @@ impl<'s> RequestPipeline<'s> {
                     }
                 }
                 let (concurrency, per_request) = config.effective(groups.len());
-                counters
+                telemetry
                     .coalesced_requests
-                    .fetch_add((requests.len() - groups.len()) as u64, Ordering::Relaxed);
+                    .add((requests.len() - groups.len()) as u64);
                 (groups, concurrency, per_request)
             });
         // An explicit smaller request value is kept (and an invalid zero
@@ -742,6 +794,67 @@ mod tests {
         let stats = service.pipeline_stats();
         assert_eq!(stats.evaluator_builds, 1);
         assert_eq!(stats.evaluator_pool_hits, 1);
+    }
+
+    #[test]
+    fn stage_trace_keeps_sub_microsecond_durations() {
+        // The satellite regression: 250 ns stage entries used to be
+        // floored to 0 µs by per-entry microsecond accumulation.
+        let mut trace = StageTrace::untraced();
+        trace.record(PipelineStage::Fingerprint, Duration::from_nanos(250));
+        trace.record(PipelineStage::Fingerprint, Duration::from_nanos(250));
+        let micros = trace.stage_micros();
+        assert!((micros[PipelineStage::Fingerprint.index()] - 0.5).abs() < 1e-12);
+        assert_eq!(micros[PipelineStage::Search.index()], 0.0);
+    }
+
+    #[test]
+    fn stage_trace_saturates_instead_of_wrapping() {
+        let mut trace = StageTrace::untraced();
+        trace.record(PipelineStage::Search, Duration::MAX);
+        trace.record(PipelineStage::Search, Duration::from_secs(1));
+        assert_eq!(
+            trace.stage_micros()[PipelineStage::Search.index()],
+            u64::MAX as f64 / 1e3
+        );
+    }
+
+    #[test]
+    fn run_retains_a_trace_with_spans_events_and_generations() {
+        let service = MappingService::new();
+        let response = service.pipeline().run(&small_request()).unwrap();
+        let traces = service.telemetry().traces().recent();
+        assert_eq!(traces.len(), 1);
+        let trace = &traces[0];
+        assert_eq!(trace.model, "tiny_cnn_cifar10");
+        assert!(trace.error.is_none());
+        // Every stage left a span, in execution order.
+        let span_stages: Vec<&str> = trace.stages.iter().map(|s| s.stage.as_ref()).collect();
+        let expected: Vec<&str> = PipelineStage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(span_stages, expected);
+        // Decision events and the search's generation stream rode along.
+        assert!(trace.events.iter().any(|e| e.label == "cache_lookup"));
+        assert_eq!(trace.generations.len(), response.stats.generations_run);
+        assert_eq!(
+            trace
+                .generations
+                .iter()
+                .map(|g| g.scheduled as u64)
+                .sum::<u64>(),
+            response.stats.evaluations as u64
+        );
+    }
+
+    #[test]
+    fn errored_requests_still_record_request_duration_and_trace() {
+        let service = MappingService::new();
+        let unknown = MappingRequest::new("resnet", "dual_test");
+        assert!(service.pipeline().run(&unknown).is_err());
+        let telemetry = service.telemetry();
+        assert_eq!(telemetry.request_duration.count(), 1);
+        let traces = telemetry.traces().recent();
+        assert_eq!(traces.len(), 1);
+        assert!(traces[0].error.as_deref().unwrap().contains("resnet"));
     }
 
     #[test]

@@ -126,6 +126,18 @@ pub struct BatchStats {
     pub elapsed_ms: f64,
 }
 
+impl BatchStats {
+    /// Fraction of the batch answered by coalescing onto a group
+    /// leader's search, in `[0, 1]` (0 for an empty batch).
+    #[must_use]
+    pub fn coalesce_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.coalesced_requests as f64 / self.requests as f64
+    }
+}
+
 /// The outcome of one scheduled batch: per-request responses in request
 /// order plus batch-level accounting.
 #[derive(Debug)]

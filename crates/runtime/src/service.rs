@@ -17,8 +17,9 @@
 
 use crate::cache::{CacheStats, EvalCache};
 use crate::error::RuntimeError;
-use crate::pipeline::{PipelineCounters, PipelineStats, RequestPipeline, StageMicros};
+use crate::pipeline::{PipelineStats, RequestPipeline, StageMicros};
 use crate::registry::ModelRegistry;
+use crate::telemetry::{ServiceTelemetry, TelemetryConfig};
 use crate::warmstart::{EliteArchive, SurrogateRanker};
 use mnc_core::{
     fingerprint_serialized, Constraints, Evaluator, EvaluatorBuilder, ObjectiveWeights,
@@ -26,6 +27,7 @@ use mnc_core::{
 };
 use mnc_mpsoc::{Platform, PlatformRegistry};
 use mnc_optim::{EvaluatedConfig, Genome, MutationConfig, SearchConfig, SelectionStrategy};
+use mnc_telemetry::{render_prometheus, LatencySummary, MetricKey, MetricsSnapshot, RequestTrace};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::Path;
@@ -357,8 +359,9 @@ pub struct MappingService {
     /// Surrogate rankers memoised per platform preset (training one takes
     /// longer than ranking with it by orders of magnitude).
     rankers: Mutex<HashMap<String, Arc<SurrogateRanker>>>,
-    /// Service-lifetime per-stage pipeline counters.
-    pipeline_counters: PipelineCounters,
+    /// The service's telemetry hub: metric registry, pre-wired pipeline
+    /// handles and the trace rings.
+    telemetry: ServiceTelemetry,
 }
 
 /// Exclusive claim on building one evaluator shape. Dropping it (build
@@ -383,13 +386,26 @@ impl Drop for BuildClaim<'_> {
 }
 
 impl MappingService {
-    /// Creates a service with a fresh cache.
+    /// Creates a service with a fresh cache and default telemetry
+    /// (trace retention and search-generation streaming on).
     pub fn new() -> Self {
         Self::with_cache(Arc::new(EvalCache::new()))
     }
 
     /// Creates a service over an existing (possibly shared) cache.
     pub fn with_cache(cache: Arc<EvalCache>) -> Self {
+        Self::with_cache_and_telemetry(cache, TelemetryConfig::default())
+    }
+
+    /// Creates a service with a fresh cache and the given telemetry
+    /// configuration.
+    pub fn with_telemetry_config(config: TelemetryConfig) -> Self {
+        Self::with_cache_and_telemetry(Arc::new(EvalCache::new()), config)
+    }
+
+    /// Creates a service over an existing cache with the given telemetry
+    /// configuration.
+    pub fn with_cache_and_telemetry(cache: Arc<EvalCache>, config: TelemetryConfig) -> Self {
         MappingService {
             models: ModelRegistry::new(),
             platforms: PlatformRegistry::new(),
@@ -399,7 +415,7 @@ impl MappingService {
             building_done: Condvar::new(),
             elites: EliteArchive::new(),
             rankers: Mutex::new(HashMap::new()),
-            pipeline_counters: PipelineCounters::new(),
+            telemetry: ServiceTelemetry::new(config),
         }
     }
 
@@ -475,14 +491,67 @@ impl MappingService {
         RequestPipeline::new(self)
     }
 
-    /// Service-lifetime per-stage pipeline counters.
+    /// Service-lifetime per-stage pipeline counters — a view derived from
+    /// the metric registry (see [`MappingService::metrics_snapshot`] for
+    /// the full registry including latency histograms).
     pub fn pipeline_stats(&self) -> PipelineStats {
-        self.pipeline_counters.snapshot()
+        self.telemetry.pipeline_stats()
     }
 
-    /// The raw pipeline counter cells (bumped by the pipeline stages).
-    pub(crate) fn pipeline_counters(&self) -> &PipelineCounters {
-        &self.pipeline_counters
+    /// The telemetry hub (pre-wired metric handles, trace rings).
+    pub(crate) fn telemetry(&self) -> &ServiceTelemetry {
+        &self.telemetry
+    }
+
+    /// The telemetry configuration this service runs with.
+    pub fn telemetry_config(&self) -> TelemetryConfig {
+        *self.telemetry.config()
+    }
+
+    /// A point-in-time snapshot of every metric the service keeps:
+    /// pipeline stage histograms and counters, request/batch histograms,
+    /// cache counters, archive and trace-ring gauges.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = self.telemetry.metrics_snapshot();
+        self.cache.record_metrics(&mut snapshot);
+        snapshot.push_gauge(
+            MetricKey::plain("mnc_archive_genomes"),
+            self.elites.len() as f64,
+        );
+        snapshot
+    }
+
+    /// [`MappingService::metrics_snapshot`] rendered as Prometheus text
+    /// exposition (`text/plain; version=0.0.4`).
+    pub fn prometheus_text(&self) -> String {
+        render_prometheus(&self.metrics_snapshot())
+    }
+
+    /// Per-stage latency digests (count, p50/p99/p999 bounds), in
+    /// pipeline-stage order.
+    pub fn stage_latency(&self) -> Vec<LatencySummary> {
+        self.telemetry.stage_latency()
+    }
+
+    /// End-to-end request latency digest.
+    pub fn request_latency(&self) -> LatencySummary {
+        self.telemetry.request_latency()
+    }
+
+    /// The most recent retained request traces, oldest first.
+    pub fn recent_traces(&self) -> Vec<Arc<RequestTrace>> {
+        self.telemetry.traces().recent()
+    }
+
+    /// Retained slow-request traces (total time over the configured
+    /// threshold), oldest first.
+    pub fn slow_traces(&self) -> Vec<Arc<RequestTrace>> {
+        self.telemetry.traces().slow()
+    }
+
+    /// The slowest request trace still retained in either ring.
+    pub fn slowest_trace(&self) -> Option<Arc<RequestTrace>> {
+        self.telemetry.slowest_trace()
     }
 
     /// The memoised surrogate ranker for one platform preset, training it

@@ -1,0 +1,288 @@
+//! The service's telemetry hub: the metric registry wiring, the trace
+//! ring and the knobs controlling both.
+//!
+//! [`ServiceTelemetry`] owns one [`MetricsRegistry`] and hands the
+//! pipeline pre-registered handles (stage latency histograms, error
+//! counters, lifetime totals), so the hot path never touches the
+//! registry lock. The legacy [`PipelineStats`] serde shape is *derived*
+//! from the registry here — per-stage `entered` is the stage histogram's
+//! count, `busy_micros` its sum — so wire clients and JSON reports keep
+//! their schema while quantiles become available underneath.
+
+use crate::pipeline::{PipelineStage, PipelineStats, StageStats, STAGE_COUNT};
+use mnc_telemetry::{
+    Counter, Histogram, LatencySummary, MetricKey, MetricsRegistry, MetricsSnapshot, RequestTrace,
+    SpanRecorder, TraceRing,
+};
+use std::sync::Arc;
+
+/// Stage latency histograms: `mnc_pipeline_stage_duration_nanos{stage=…}`.
+pub(crate) const STAGE_DURATION_METRIC: &str = "mnc_pipeline_stage_duration_nanos";
+/// Stage error counters: `mnc_pipeline_stage_errors_total{stage=…}`.
+pub(crate) const STAGE_ERRORS_METRIC: &str = "mnc_pipeline_stage_errors_total";
+/// End-to-end request latency histogram.
+pub(crate) const REQUEST_DURATION_METRIC: &str = "mnc_request_duration_nanos";
+/// Requests-per-batch histogram.
+pub(crate) const BATCH_SIZE_METRIC: &str = "mnc_batch_size";
+
+/// How much observability the service records. Histograms and lifetime
+/// counters are always on (they replace the former ad-hoc totals at the
+/// same per-request cost); the knobs govern the trace ring and the
+/// per-generation search stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Finished traces retained in the recent ring (0 disables tracing
+    /// entirely — no [`SpanRecorder`] is allocated per request).
+    pub trace_capacity: usize,
+    /// Slow traces retained in the outlier ring.
+    pub slow_trace_capacity: usize,
+    /// Threshold (µs) above which a request's full trace is also kept
+    /// in the outlier ring (0 disables the slow ring).
+    pub slow_threshold_micros: u64,
+    /// Whether searches run with a per-generation telemetry sink so
+    /// traces carry the generation stream.
+    pub search_generations: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            trace_capacity: 64,
+            slow_trace_capacity: 16,
+            slow_threshold_micros: 250_000,
+            search_generations: true,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Everything optional off: no trace retention, no per-generation
+    /// search stream. The baseline the `telemetry_overhead` bench
+    /// compares the default against.
+    #[must_use]
+    pub fn minimal() -> Self {
+        TelemetryConfig {
+            trace_capacity: 0,
+            slow_trace_capacity: 0,
+            slow_threshold_micros: 0,
+            search_generations: false,
+        }
+    }
+}
+
+/// The pre-wired metric handles and trace ring one [`MappingService`]
+/// owns.
+///
+/// [`MappingService`]: crate::service::MappingService
+#[derive(Debug)]
+pub(crate) struct ServiceTelemetry {
+    config: TelemetryConfig,
+    registry: MetricsRegistry,
+    pub(crate) stage_duration: [Arc<Histogram>; STAGE_COUNT],
+    pub(crate) stage_errors: [Arc<Counter>; STAGE_COUNT],
+    pub(crate) request_duration: Arc<Histogram>,
+    pub(crate) batch_size: Arc<Histogram>,
+    pub(crate) requests: Arc<Counter>,
+    pub(crate) batches: Arc<Counter>,
+    pub(crate) coalesced_requests: Arc<Counter>,
+    pub(crate) evaluator_pool_hits: Arc<Counter>,
+    pub(crate) evaluator_builds: Arc<Counter>,
+    pub(crate) warm_seeds_gathered: Arc<Counter>,
+    pub(crate) searches_run: Arc<Counter>,
+    pub(crate) search_generations: Arc<Counter>,
+    pub(crate) evaluations_scheduled: Arc<Counter>,
+    pub(crate) evaluations_performed: Arc<Counter>,
+    pub(crate) elites_recorded: Arc<Counter>,
+    traces: TraceRing,
+}
+
+impl ServiceTelemetry {
+    pub(crate) fn new(config: TelemetryConfig) -> Self {
+        let registry = MetricsRegistry::new();
+        let stage_duration = std::array::from_fn(|index| {
+            registry.histogram(MetricKey::labeled(
+                STAGE_DURATION_METRIC,
+                "stage",
+                PipelineStage::ALL[index].name(),
+            ))
+        });
+        let stage_errors = std::array::from_fn(|index| {
+            registry.counter(MetricKey::labeled(
+                STAGE_ERRORS_METRIC,
+                "stage",
+                PipelineStage::ALL[index].name(),
+            ))
+        });
+        let counter = |name: &str| registry.counter(MetricKey::plain(name));
+        ServiceTelemetry {
+            stage_duration,
+            stage_errors,
+            request_duration: registry.histogram(MetricKey::plain(REQUEST_DURATION_METRIC)),
+            batch_size: registry.histogram(MetricKey::plain(BATCH_SIZE_METRIC)),
+            requests: counter("mnc_requests_total"),
+            batches: counter("mnc_batches_total"),
+            coalesced_requests: counter("mnc_coalesced_requests_total"),
+            evaluator_pool_hits: counter("mnc_evaluator_pool_hits_total"),
+            evaluator_builds: counter("mnc_evaluator_builds_total"),
+            warm_seeds_gathered: counter("mnc_warm_seeds_gathered_total"),
+            searches_run: counter("mnc_searches_total"),
+            search_generations: counter("mnc_search_generations_total"),
+            evaluations_scheduled: counter("mnc_evaluations_scheduled_total"),
+            evaluations_performed: counter("mnc_evaluations_performed_total"),
+            elites_recorded: counter("mnc_elites_recorded_total"),
+            traces: TraceRing::new(
+                config.trace_capacity,
+                config.slow_trace_capacity,
+                config.slow_threshold_micros.saturating_mul(1_000),
+            ),
+            registry,
+            config,
+        }
+    }
+
+    pub(crate) fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
+    /// Whether searches should run with a generation sink attached.
+    pub(crate) fn search_telemetry(&self) -> bool {
+        self.config.search_generations
+    }
+
+    /// A recorder for one request, when tracing is enabled.
+    pub(crate) fn begin_trace(&self, model: &str, platform: &str) -> Option<SpanRecorder> {
+        self.traces
+            .enabled()
+            .then(|| SpanRecorder::new(self.traces.next_id(), model, platform))
+    }
+
+    /// Freezes and retains a request's trace.
+    pub(crate) fn finish_trace(&self, recorder: Option<SpanRecorder>, error: Option<String>) {
+        if let Some(recorder) = recorder {
+            self.traces
+                .push(recorder.finish(error, self.traces.slow_threshold_nanos()));
+        }
+    }
+
+    pub(crate) fn traces(&self) -> &TraceRing {
+        &self.traces
+    }
+
+    /// The legacy counter view, derived from the registry: `entered` is
+    /// the stage histogram's count (every entry records a duration,
+    /// errors included), `busy_micros` its nanosecond sum.
+    pub(crate) fn pipeline_stats(&self) -> PipelineStats {
+        PipelineStats {
+            stages: PipelineStage::ALL
+                .iter()
+                .map(|stage| StageStats {
+                    stage: stage.name().to_string(),
+                    entered: self.stage_duration[stage.index()].count(),
+                    errors: self.stage_errors[stage.index()].value(),
+                    busy_micros: self.stage_duration[stage.index()].sum() / 1_000,
+                })
+                .collect(),
+            requests: self.requests.value(),
+            batches: self.batches.value(),
+            coalesced_requests: self.coalesced_requests.value(),
+            evaluator_pool_hits: self.evaluator_pool_hits.value(),
+            evaluator_builds: self.evaluator_builds.value(),
+            warm_seeds_gathered: self.warm_seeds_gathered.value(),
+            searches_run: self.searches_run.value(),
+            evaluations_scheduled: self.evaluations_scheduled.value(),
+            evaluations_performed: self.evaluations_performed.value(),
+            elites_recorded: self.elites_recorded.value(),
+        }
+    }
+
+    /// Snapshot of every registered metric, plus trace-ring occupancy
+    /// gauges. Callers append subsystem state (cache, archive) on top.
+    pub(crate) fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = self.registry.snapshot();
+        let (recent, slow) = self.traces.retained();
+        snapshot.push_gauge(MetricKey::plain("mnc_traces_retained"), recent as f64);
+        snapshot.push_gauge(MetricKey::plain("mnc_slow_traces_retained"), slow as f64);
+        snapshot
+    }
+
+    /// Per-stage latency digests, in stage order.
+    pub(crate) fn stage_latency(&self) -> Vec<LatencySummary> {
+        PipelineStage::ALL
+            .iter()
+            .map(|stage| {
+                LatencySummary::from_snapshot(
+                    stage.name(),
+                    &self.stage_duration[stage.index()].snapshot(),
+                )
+            })
+            .collect()
+    }
+
+    /// End-to-end request latency digest.
+    pub(crate) fn request_latency(&self) -> LatencySummary {
+        LatencySummary::from_snapshot("request", &self.request_duration.snapshot())
+    }
+
+    /// The slowest trace still retained.
+    pub(crate) fn slowest_trace(&self) -> Option<Arc<RequestTrace>> {
+        self.traces.slowest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_traces_and_minimal_does_not() {
+        let full = ServiceTelemetry::new(TelemetryConfig::default());
+        assert!(full.begin_trace("m", "p").is_some());
+        assert!(full.search_telemetry());
+
+        let minimal = ServiceTelemetry::new(TelemetryConfig::minimal());
+        assert!(minimal.begin_trace("m", "p").is_none());
+        assert!(!minimal.search_telemetry());
+        // Passing `None` through is a no-op, which is exactly what the
+        // pipeline does when tracing is off.
+        minimal.finish_trace(None, None);
+        assert_eq!(minimal.traces().retained(), (0, 0));
+    }
+
+    #[test]
+    fn pipeline_stats_derive_from_the_registry() {
+        let telemetry = ServiceTelemetry::new(TelemetryConfig::default());
+        let search = PipelineStage::Search.index();
+        telemetry.stage_duration[search].record(2_500);
+        telemetry.stage_duration[search].record(1_500);
+        telemetry.stage_errors[search].inc();
+        telemetry.requests.inc();
+
+        let stats = telemetry.pipeline_stats();
+        assert_eq!(stats.stage(PipelineStage::Search).entered, 2);
+        assert_eq!(stats.stage(PipelineStage::Search).errors, 1);
+        assert_eq!(stats.stage(PipelineStage::Search).busy_micros, 4);
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.stage(PipelineStage::Normalize).entered, 0);
+    }
+
+    #[test]
+    fn snapshot_carries_ring_gauges_and_stage_histograms() {
+        let telemetry = ServiceTelemetry::new(TelemetryConfig::default());
+        telemetry.stage_duration[0].record(900);
+        let snapshot = telemetry.metrics_snapshot();
+        assert_eq!(
+            snapshot
+                .labeled_histogram(STAGE_DURATION_METRIC, "stage", "normalize")
+                .map(|h| h.count),
+            Some(1)
+        );
+        assert!(snapshot
+            .gauges
+            .iter()
+            .any(|gauge| gauge.key.name == "mnc_traces_retained"));
+        let latency = telemetry.stage_latency();
+        assert_eq!(latency.len(), STAGE_COUNT);
+        assert_eq!(latency[0].count, 1);
+        assert!(latency[0].p50_micros > 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! CI smoke for the telemetry exposition path.
+//!
+//! Boots a real `mnc-server` on an ephemeral port, drives a known mixed
+//! workload — one direct submit, one duplicate-laden batch, one invalid
+//! request — then fetches the wire `Metrics` report and asserts, exiting
+//! non-zero on any violation:
+//!
+//! 1. counter consistency: the request counter equals the request-latency
+//!    histogram count, per-stage entry counts follow the exact request
+//!    mix (batch-level Normalize included), and the one invalid request
+//!    shows up as exactly one Normalize-stage error;
+//! 2. the latency digests agree with the raw histograms (same counts,
+//!    non-zero medians for stages that did real work);
+//! 3. the Prometheus text parses line by line and its samples agree with
+//!    the JSON snapshot they were rendered from.
+//!
+//! ```text
+//! cargo run --release -p mnc-server --bin metrics_smoke -- --json results/metrics_smoke_ci.json
+//! ```
+
+use mnc_runtime::{find_sample, parse_prometheus, MappingRequest};
+use mnc_server::{spawn_on_ephemeral_port, RequestLimits, WireClient};
+use mnc_wire::WireBatch;
+use serde::Serialize;
+
+const STAGE_DURATION: &str = "mnc_pipeline_stage_duration_nanos";
+const STAGE_ERRORS: &str = "mnc_pipeline_stage_errors_total";
+const REQUEST_DURATION: &str = "mnc_request_duration_nanos";
+
+/// The `--json` report tracked under `results/`.
+#[derive(Debug, Serialize)]
+struct SmokeReport {
+    bench: String,
+    requests_total: u64,
+    request_histogram_count: u64,
+    normalize_entered: u64,
+    normalize_errors: u64,
+    searches_run: u64,
+    search_generations_total: u64,
+    coalesced_requests: u64,
+    request_p50_micros: f64,
+    request_p99_micros: f64,
+    prometheus_samples: usize,
+}
+
+fn request(seed: u64) -> MappingRequest {
+    MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+        .validation_samples(400)
+        .generations(3)
+        .population_size(8)
+        .seed(seed)
+}
+
+fn counter(snapshot: &mnc_runtime::MetricsSnapshot, name: &str) -> u64 {
+    snapshot
+        .counter_value(name)
+        .unwrap_or_else(|| panic!("counter {name} missing from the snapshot"))
+}
+
+fn stage_count(snapshot: &mnc_runtime::MetricsSnapshot, stage: &str) -> u64 {
+    snapshot
+        .labeled_histogram(STAGE_DURATION, "stage", stage)
+        .unwrap_or_else(|| panic!("stage histogram for {stage} missing"))
+        .count
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|arg| arg == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let handle = spawn_on_ephemeral_port(None, RequestLimits::default())
+        .expect("server boots on an ephemeral port");
+    let addr = handle.addr();
+    println!("metrics_smoke: server on {addr}");
+    let mut client = WireClient::connect(addr).expect("client connects");
+
+    // --- known traffic mix ------------------------------------------------
+    // 1 direct submit + a batch of 4 (3 unique, 1 coalesced) + 1 invalid
+    // request rejected by the Normalize stage. Seeds are all distinct so
+    // no request is answered from the response cache: every leader runs a
+    // real search.
+    client.submit(&request(11)).expect("direct submit");
+    let report = client
+        .submit_batch(WireBatch {
+            requests: vec![request(21), request(22), request(21), request(23)],
+            config: mnc_runtime::BatchConfig::new().max_concurrent(2),
+        })
+        .expect("batch submit");
+    assert_eq!(report.stats.unique_requests, 3);
+    assert_eq!(report.stats.coalesced_requests, 1);
+    let mut invalid = request(31);
+    invalid.validation_samples = 0;
+    match client.submit(&invalid) {
+        Err(mnc_server::ClientError::Server(_)) => {}
+        other => panic!("invalid request gave {other:?}"),
+    }
+
+    // --- fetch the Metrics report ----------------------------------------
+    let metrics = client.metrics().expect("metrics");
+    let snapshot = &metrics.metrics;
+
+    // --- 1. counter consistency ------------------------------------------
+    // 1 direct + 3 batch leaders + 1 invalid entered the per-request
+    // pipeline; the coalesced duplicate never re-ran it.
+    let requests = counter(snapshot, "mnc_requests_total");
+    assert_eq!(requests, 5, "requests counter");
+    let request_histogram = snapshot
+        .histogram(REQUEST_DURATION)
+        .expect("request-duration histogram present");
+    assert_eq!(
+        request_histogram.count, requests,
+        "request histogram counts every request, errors included"
+    );
+    assert_eq!(counter(snapshot, "mnc_batches_total"), 1);
+    assert_eq!(counter(snapshot, "mnc_coalesced_requests_total"), 1);
+
+    // Normalize ran per request (5) plus once batch-level; the invalid
+    // request died there, so Fingerprint saw one entry fewer per-request.
+    assert_eq!(stage_count(snapshot, "normalize"), 6, "normalize entries");
+    assert_eq!(
+        snapshot
+            .labeled_counter_value(STAGE_ERRORS, "stage", "normalize")
+            .expect("normalize error counter present"),
+        1,
+        "exactly the invalid request errored in Normalize"
+    );
+    assert_eq!(
+        stage_count(snapshot, "fingerprint"),
+        5,
+        "fingerprint entries"
+    );
+    assert_eq!(stage_count(snapshot, "search"), 4, "search entries");
+    let searches = counter(snapshot, "mnc_searches_total");
+    assert_eq!(searches, 4, "searches counter matches the search stage");
+    let generations = counter(snapshot, "mnc_search_generations_total");
+    assert!(
+        generations >= searches,
+        "every search reported at least one generation (got {generations})"
+    );
+    let builds = counter(snapshot, "mnc_evaluator_builds_total");
+    let pool_hits = counter(snapshot, "mnc_evaluator_pool_hits_total");
+    assert_eq!(builds + pool_hits, 4, "every search resolved an evaluator");
+    assert!(builds >= 1, "the first search built the evaluator");
+    println!("metrics_smoke: counters consistent (5 requests, 4 searches, 1 rejected)");
+
+    // --- 2. latency digests agree with the raw histograms ----------------
+    assert_eq!(metrics.request_latency.count, requests);
+    assert!(
+        metrics.request_latency.p50_micros > 0.0,
+        "request p50 is non-zero"
+    );
+    assert!(metrics.request_latency.p99_micros >= metrics.request_latency.p50_micros);
+    let search_summary = metrics
+        .stage_latency
+        .iter()
+        .find(|summary| summary.name == "search")
+        .expect("search stage summary present");
+    assert_eq!(search_summary.count, 4);
+    assert!(search_summary.p50_micros > 0.0, "searches took real time");
+    println!(
+        "metrics_smoke: request p50 {:.1}us p99 {:.1}us, search p50 {:.1}us",
+        metrics.request_latency.p50_micros,
+        metrics.request_latency.p99_micros,
+        search_summary.p50_micros
+    );
+
+    // --- 3. Prometheus text parses and agrees with the snapshot ----------
+    let samples = parse_prometheus(&metrics.prometheus).expect("prometheus text parses");
+    assert!(!samples.is_empty());
+    let requests_sample = find_sample(&samples, "mnc_requests_total", &[])
+        .expect("mnc_requests_total exposed")
+        .value;
+    assert_eq!(requests_sample, requests as f64);
+    let normalize_count = find_sample(
+        &samples,
+        &format!("{STAGE_DURATION}_count"),
+        &[("stage", "normalize")],
+    )
+    .expect("normalize histogram count exposed")
+    .value;
+    assert_eq!(normalize_count, 6.0);
+    let request_count = find_sample(&samples, &format!("{REQUEST_DURATION}_count"), &[])
+        .expect("request histogram count exposed")
+        .value;
+    assert_eq!(request_count, requests as f64);
+    let request_sum = find_sample(&samples, &format!("{REQUEST_DURATION}_sum"), &[])
+        .expect("request histogram sum exposed")
+        .value;
+    assert_eq!(request_sum, request_histogram.sum_nanos as f64);
+    let retained = find_sample(&samples, "mnc_traces_retained", &[])
+        .expect("trace-ring gauge exposed")
+        .value;
+    assert_eq!(retained, 5.0, "every request left a retained trace");
+    println!(
+        "metrics_smoke: prometheus exposition parsed ({} samples, consistent with JSON)",
+        samples.len()
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server stopped cleanly");
+
+    if let Some(path) = json_path {
+        let report = SmokeReport {
+            bench: "metrics_smoke".to_string(),
+            requests_total: requests,
+            request_histogram_count: request_histogram.count,
+            normalize_entered: stage_count(snapshot, "normalize"),
+            normalize_errors: 1,
+            searches_run: searches,
+            search_generations_total: generations,
+            coalesced_requests: counter(snapshot, "mnc_coalesced_requests_total"),
+            request_p50_micros: metrics.request_latency.p50_micros,
+            request_p99_micros: metrics.request_latency.p99_micros,
+            prometheus_samples: samples.len(),
+        };
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(parent).expect("create results dir");
+        }
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, json).expect("write report");
+        println!("metrics_smoke: report written to {path}");
+    }
+    println!("metrics_smoke: all checks passed");
+}

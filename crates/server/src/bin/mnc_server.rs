@@ -3,6 +3,9 @@
 //! ```text
 //! mnc-server [--addr 127.0.0.1:7477] [--archive-dir DIR]
 //!            [--max-batch N] [--max-evaluations N] [--max-samples N]
+//!            [--trace-capacity N] [--slow-threshold-micros N]
+//! mnc-server --metrics [HOST:PORT]       # scrape a running server (Prometheus text)
+//! mnc-server --metrics-json [HOST:PORT]  # scrape a running server (JSON snapshot)
 //! ```
 //!
 //! Binds the address (port 0 picks an ephemeral port), prints
@@ -11,15 +14,33 @@
 //! `Shutdown` command arrives. With `--archive-dir`, the elite archive
 //! snapshot in that directory is loaded at startup and rewritten on every
 //! wire `Persist` command, so warm-start knowledge survives restarts.
+//!
+//! `--metrics`/`--metrics-json` turn the binary into a one-shot client:
+//! it connects to the given address (default `127.0.0.1:7477`), issues
+//! the wire `Metrics` command and prints the exposition to stdout — the
+//! scrape path for cron jobs and Prometheus textfile collectors.
 
-use mnc_server::{RequestLimits, Server, ServerConfig};
+use mnc_server::{RequestLimits, Server, ServerConfig, WireClient};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: mnc-server [--addr HOST:PORT] [--archive-dir DIR] \
+                     [--max-batch N] [--max-evaluations N] [--max-samples N] \
+                     [--trace-capacity N] [--slow-threshold-micros N] | \
+                     mnc-server --metrics|--metrics-json [HOST:PORT]";
+
+/// What kind of one-shot metrics scrape was requested, if any.
+enum MetricsMode {
+    Prometheus,
+    Json,
+}
 
 struct Args {
     addr: String,
     archive_dir: Option<PathBuf>,
     limits: RequestLimits,
+    telemetry: mnc_runtime::TelemetryConfig,
+    metrics: Option<MetricsMode>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,8 +48,10 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7477".to_string(),
         archive_dir: None,
         limits: RequestLimits::default(),
+        telemetry: mnc_runtime::TelemetryConfig::default(),
+        metrics: None,
     };
-    let mut iter = std::env::args().skip(1);
+    let mut iter = std::env::args().skip(1).peekable();
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
             iter.next()
@@ -52,19 +75,58 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-samples: {e}"))?;
             }
+            "--trace-capacity" => {
+                args.telemetry.trace_capacity = value("--trace-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--trace-capacity: {e}"))?;
+            }
+            "--slow-threshold-micros" => {
+                args.telemetry.slow_threshold_micros = value("--slow-threshold-micros")?
+                    .parse()
+                    .map_err(|e| format!("--slow-threshold-micros: {e}"))?;
+            }
+            "--metrics" | "--metrics-json" => {
+                args.metrics = Some(if flag == "--metrics" {
+                    MetricsMode::Prometheus
+                } else {
+                    MetricsMode::Json
+                });
+                // An optional positional address follows.
+                if let Some(next) = iter.peek() {
+                    if !next.starts_with("--") {
+                        args.addr = iter.next().expect("peeked");
+                    }
+                }
+            }
             "--help" | "-h" => {
                 // Help is a successful outcome: usage on stdout, exit 0
                 // (scripts chain `mnc-server --help && ...`).
-                println!(
-                    "usage: mnc-server [--addr HOST:PORT] [--archive-dir DIR] \
-                     [--max-batch N] [--max-evaluations N] [--max-samples N]"
-                );
+                println!("{USAGE}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
     Ok(args)
+}
+
+/// One-shot client mode: fetch the running server's telemetry snapshot
+/// and print it to stdout.
+fn scrape_metrics(addr: &str, mode: &MetricsMode) -> Result<(), String> {
+    let mut client =
+        WireClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let report = client
+        .metrics()
+        .map_err(|e| format!("metrics request failed: {e}"))?;
+    match mode {
+        MetricsMode::Prometheus => print!("{}", report.prometheus),
+        MetricsMode::Json => {
+            let json = serde_json::to_string_pretty(&report)
+                .map_err(|e| format!("cannot render metrics report: {e}"))?;
+            println!("{json}");
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -75,6 +137,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(mode) = &args.metrics {
+        return match scrape_metrics(&args.addr, mode) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if let Some(dir) = &args.archive_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create archive directory {}: {e}", dir.display());
@@ -85,6 +156,7 @@ fn main() -> ExitCode {
         addr: args.addr,
         archive_dir: args.archive_dir,
         limits: args.limits,
+        telemetry: args.telemetry,
     }) {
         Ok(server) => server,
         Err(e) => {

@@ -243,6 +243,42 @@ fn main() {
     );
     let searches_run = stats.pipeline.searches_run;
 
+    // `PipelineStats` is now a view derived from the telemetry registry;
+    // its wire schema must not have drifted from the hand-rolled struct
+    // it replaced.
+    let pipeline_json =
+        serde_json::to_string(&stats.pipeline).expect("pipeline stats serialize to JSON");
+    for key in [
+        "stages",
+        "requests",
+        "batches",
+        "coalesced_requests",
+        "evaluator_pool_hits",
+        "evaluator_builds",
+        "warm_seeds_gathered",
+        "searches_run",
+        "evaluations_scheduled",
+        "evaluations_performed",
+        "elites_recorded",
+        // Per-stage entries keep their field names and stage identifiers.
+        "stage",
+        "entered",
+        "errors",
+        "busy_micros",
+        "normalize",
+        "search",
+    ] {
+        assert!(
+            pipeline_json.contains(&format!("\"{key}\"")),
+            "pipeline stats lost key `{key}`"
+        );
+    }
+    // Round-trips through the same serde path the client used to decode it.
+    let reparsed: mnc_runtime::PipelineStats =
+        serde_json::from_str(&pipeline_json).expect("pipeline stats re-parse");
+    assert_eq!(reparsed.searches_run, searches_run);
+    println!("wire_smoke: derived pipeline stats kept the wire schema");
+
     client.shutdown().expect("shutdown");
     handle.join().expect("server stopped cleanly");
 

@@ -4,8 +4,8 @@
 use mnc_runtime::{MappingRequest, MappingResponse};
 use mnc_wire::frame::{self, FrameError};
 use mnc_wire::{
-    decode_response, encode_request, PersistReport, ServiceStats, WireBatch, WireBatchReport,
-    WireBody, WireError, WirePayload, WireRequest, PROTOCOL_VERSION,
+    decode_response, encode_request, MetricsReport, PersistReport, ServiceStats, WireBatch,
+    WireBatchReport, WireBody, WireError, WirePayload, WireRequest, PROTOCOL_VERSION,
 };
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -191,6 +191,19 @@ impl WireClient {
         }
     }
 
+    /// Snapshots the server's full telemetry registry: histograms with
+    /// latency digests, counters, gauges and the Prometheus rendering.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] variant.
+    pub fn metrics(&mut self) -> Result<MetricsReport, ClientError> {
+        match self.call(WireBody::Metrics)? {
+            WirePayload::Metrics(report) => Ok(report),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
     /// Persists the server's elite archive to its `--archive-dir`.
     ///
     /// # Errors
@@ -225,6 +238,7 @@ fn unexpected(wanted: &str, got: &WirePayload) -> ClientError {
         WirePayload::Front(_) => "Front",
         WirePayload::Batch(_) => "Batch",
         WirePayload::Stats(_) => "Stats",
+        WirePayload::Metrics(_) => "Metrics",
         WirePayload::Persisted(_) => "Persisted",
         WirePayload::ShuttingDown => "ShuttingDown",
     };

@@ -27,11 +27,12 @@ pub mod client;
 
 pub use client::{ClientError, WireClient};
 
-use mnc_runtime::{MappingRequest, MappingService, RuntimeError};
+use mnc_runtime::{MappingRequest, MappingService, RuntimeError, TelemetryConfig};
 use mnc_wire::frame::{self, FrameError};
 use mnc_wire::{
-    decode_request, encode_response, ErrorCode, PersistReport, ServiceStats, WireBatch,
-    WireBatchReport, WireBody, WireError, WirePayload, WireResponse, WireResult, PROTOCOL_VERSION,
+    decode_request, encode_response, ErrorCode, MetricsReport, PersistReport, ServiceStats,
+    WireBatch, WireBatchReport, WireBody, WireError, WirePayload, WireResponse, WireResult,
+    PROTOCOL_VERSION,
 };
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -108,6 +109,9 @@ pub struct ServerConfig {
     pub archive_dir: Option<PathBuf>,
     /// Per-request budget caps.
     pub limits: RequestLimits,
+    /// Telemetry knobs of the served [`MappingService`] (trace retention,
+    /// slow-request threshold, search-generation streaming).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +120,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             archive_dir: None,
             limits: RequestLimits::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -227,7 +232,7 @@ impl Server {
     /// start, not an error).
     pub fn bind(config: ServerConfig) -> Result<Self, ServerError> {
         let listener = TcpListener::bind(&config.addr)?;
-        let service = Arc::new(MappingService::new());
+        let service = Arc::new(MappingService::with_telemetry_config(config.telemetry));
         let archive_path = config.archive_dir.map(|dir| dir.join(ARCHIVE_FILE_NAME));
         let mut archive_loaded = 0;
         if let Some(path) = &archive_path {
@@ -505,6 +510,15 @@ impl Server {
                 })),
                 false,
             ),
+            WireBody::Metrics => (
+                Ok(WirePayload::Metrics(MetricsReport {
+                    metrics: self.service.metrics_snapshot(),
+                    stage_latency: self.service.stage_latency(),
+                    request_latency: self.service.request_latency(),
+                    prometheus: self.service.prometheus_text(),
+                })),
+                false,
+            ),
             WireBody::Persist => (self.persist().map(WirePayload::Persisted), false),
             WireBody::Shutdown => (Ok(WirePayload::ShuttingDown), true),
         }
@@ -651,6 +665,7 @@ pub fn spawn_on_ephemeral_port(
         addr: "127.0.0.1:0".to_string(),
         archive_dir,
         limits,
+        telemetry: TelemetryConfig::default(),
     })?
     .spawn()
 }

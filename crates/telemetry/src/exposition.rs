@@ -1,0 +1,334 @@
+//! Prometheus-style text exposition and a strict line-by-line parser.
+//!
+//! [`render_prometheus`] turns a [`MetricsSnapshot`] into the
+//! `text/plain; version=0.0.4` format: `# TYPE` comments, one sample
+//! per line, histograms as cumulative `_bucket{le="..."}` series plus
+//! `_sum`/`_count`. Histogram bucket bounds are emitted in nanoseconds
+//! (the unit everything in this crate records), spelled out in the
+//! metric names (`*_nanos`).
+//!
+//! [`parse_prometheus`] is the inverse's validator: it parses every
+//! line back into `(name, labels, value)` samples and rejects anything
+//! malformed, which is exactly what the CI metrics smoke asserts.
+
+use crate::histogram::bucket_upper_bound;
+use crate::registry::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name.
+    pub name: String,
+    /// `key="value"` labels in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+fn write_type(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    if last != name {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        last.clear();
+        last.push_str(name);
+    }
+}
+
+fn render_labels(label: Option<&crate::registry::Label>, extra: Option<(&str, &str)>) -> String {
+    let mut parts = Vec::new();
+    if let Some(label) = label {
+        parts.push(format!("{}=\"{}\"", label.key, label.value));
+    }
+    if let Some((key, value)) = extra {
+        parts.push(format!("{key}=\"{value}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders a snapshot in Prometheus text format. Deterministic: sample
+/// order follows the snapshot's (sorted) order.
+#[must_use]
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last = String::new();
+
+    for sample in &snapshot.counters {
+        write_type(&mut out, &mut last, &sample.key.name, "counter");
+        let labels = render_labels(sample.key.label.as_ref(), None);
+        let _ = writeln!(out, "{}{labels} {}", sample.key.name, sample.value);
+    }
+    for sample in &snapshot.gauges {
+        write_type(&mut out, &mut last, &sample.key.name, "gauge");
+        let labels = render_labels(sample.key.label.as_ref(), None);
+        let _ = writeln!(out, "{}{labels} {}", sample.key.name, sample.value);
+    }
+    for sample in &snapshot.histograms {
+        let name = &sample.key.name;
+        write_type(&mut out, &mut last, name, "histogram");
+        let mut cumulative = 0u64;
+        for bucket in &sample.histogram.buckets {
+            cumulative += bucket.count;
+            let upper = bucket_upper_bound(bucket.index);
+            if upper == u64::MAX {
+                // The catch-all bucket is the +Inf line below.
+                continue;
+            }
+            let labels = render_labels(sample.key.label.as_ref(), Some(("le", &upper.to_string())));
+            let _ = writeln!(out, "{name}_bucket{labels} {cumulative}");
+        }
+        let labels = render_labels(sample.key.label.as_ref(), Some(("le", "+Inf")));
+        let _ = writeln!(out, "{name}_bucket{labels} {}", sample.histogram.count);
+        let labels = render_labels(sample.key.label.as_ref(), None);
+        let _ = writeln!(out, "{name}_sum{labels} {}", sample.histogram.sum_nanos);
+        let _ = writeln!(out, "{name}_count{labels} {}", sample.histogram.count);
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_label_block(block: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    for pair in block.split(',') {
+        let (key, rest) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("line {line_no}: label `{pair}` has no `=`"))?;
+        if !valid_metric_name(key) {
+            return Err(format!("line {line_no}: invalid label key `{key}`"));
+        }
+        let value = rest
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("line {line_no}: label value `{rest}` is not quoted"))?;
+        labels.push((key.to_string(), value.to_string()));
+    }
+    Ok(labels)
+}
+
+fn parse_value(text: &str, line_no: usize) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("line {line_no}: `{other}` is not a number")),
+    }
+}
+
+/// Parses Prometheus text exposition line by line, returning every
+/// sample or the first violation (with its 1-based line number).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line: bad comment
+/// shape, invalid metric name, unbalanced label braces, unquoted label
+/// values or a non-numeric sample value.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            if let Some("TYPE") = words.next() {
+                let name = words
+                    .next()
+                    .ok_or_else(|| format!("line {line_no}: TYPE without a metric name"))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("line {line_no}: invalid metric name `{name}`"));
+                }
+                let kind = words
+                    .next()
+                    .ok_or_else(|| format!("line {line_no}: TYPE without a kind"))?;
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {line_no}: unknown metric kind `{kind}`"));
+                }
+            }
+            continue;
+        }
+        let (series, value_text) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {line_no}: no value on sample line"))?;
+        let value = parse_value(value_text.trim(), line_no)?;
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let block = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {line_no}: unbalanced label braces"))?;
+                (name.to_string(), parse_label_block(block, line_no)?)
+            }
+        };
+        if !valid_metric_name(&name) {
+            return Err(format!("line {line_no}: invalid metric name `{name}`"));
+        }
+        samples.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+/// Convenience: the first sample named `name` whose labels contain all
+/// of `labels`.
+#[must_use]
+pub fn find_sample<'a>(
+    samples: &'a [PromSample],
+    name: &str,
+    labels: &[(&str, &str)],
+) -> Option<&'a PromSample> {
+    samples.iter().find(|sample| {
+        sample.name == name
+            && labels.iter().all(|(k, v)| {
+                sample
+                    .labels
+                    .iter()
+                    .any(|(key, value)| key == k && value == v)
+            })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+    use crate::registry::{MetricKey, MetricsRegistry};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter(MetricKey::plain("mnc_requests_total"))
+            .add(5);
+        registry
+            .counter(MetricKey::labeled(
+                "mnc_pipeline_stage_errors_total",
+                "stage",
+                "normalize",
+            ))
+            .add(2);
+        registry
+            .gauge(MetricKey::plain("mnc_cache_entries"))
+            .set(12.0);
+        let histogram = registry.histogram(MetricKey::labeled(
+            "mnc_stage_duration_nanos",
+            "stage",
+            "search",
+        ));
+        for value in [900, 1_500, 2_000_000, 7] {
+            histogram.record(value);
+        }
+        registry.snapshot()
+    }
+
+    #[test]
+    fn rendered_text_parses_back_with_consistent_samples() {
+        let snapshot = sample_snapshot();
+        let text = render_prometheus(&snapshot);
+        let samples = parse_prometheus(&text).expect("rendered exposition parses");
+        assert!(!samples.is_empty());
+
+        let requests = find_sample(&samples, "mnc_requests_total", &[]).expect("counter present");
+        assert_eq!(requests.value, 5.0);
+        let errors = find_sample(
+            &samples,
+            "mnc_pipeline_stage_errors_total",
+            &[("stage", "normalize")],
+        )
+        .expect("labelled counter present");
+        assert_eq!(errors.value, 2.0);
+
+        // The histogram's +Inf bucket and _count agree with the
+        // snapshot, and cumulative bucket counts never decrease.
+        let count = find_sample(
+            &samples,
+            "mnc_stage_duration_nanos_count",
+            &[("stage", "search")],
+        )
+        .expect("histogram count present");
+        assert_eq!(count.value, 4.0);
+        let inf = find_sample(
+            &samples,
+            "mnc_stage_duration_nanos_bucket",
+            &[("stage", "search"), ("le", "+Inf")],
+        )
+        .expect("+Inf bucket present");
+        assert_eq!(inf.value, 4.0);
+        let mut last = 0.0;
+        for sample in samples
+            .iter()
+            .filter(|s| s.name == "mnc_stage_duration_nanos_bucket")
+        {
+            assert!(sample.value >= last, "cumulative buckets regressed");
+            last = sample.value;
+        }
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        assert_eq!(
+            render_prometheus(&sample_snapshot()),
+            render_prometheus(&sample_snapshot())
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for (text, what) in [
+            ("mnc_x{stage=\"a\" 1", "unbalanced braces"),
+            ("mnc_x nope", "non-numeric value"),
+            ("mnc_x{stage=a} 1", "unquoted label"),
+            ("1bad_name 2", "invalid name"),
+            ("# TYPE mnc_x rocket", "unknown kind"),
+        ] {
+            assert!(parse_prometheus(text).is_err(), "accepted {what}: {text}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_empty_and_comment_only_input() {
+        assert_eq!(parse_prometheus("").expect("empty ok"), Vec::new());
+        assert_eq!(
+            parse_prometheus("# HELP mnc_x whatever\n\n# TYPE mnc_x counter\n")
+                .expect("comments ok"),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn full_range_histogram_renders_and_parses() {
+        let histogram = Histogram::new();
+        histogram.record(0);
+        histogram.record(u64::MAX);
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.histograms.push(crate::registry::HistogramSample {
+            key: MetricKey::plain("mnc_extreme_nanos"),
+            histogram: histogram.snapshot(),
+        });
+        let samples = parse_prometheus(&render_prometheus(&snapshot)).expect("parses");
+        let inf = find_sample(&samples, "mnc_extreme_nanos_bucket", &[("le", "+Inf")])
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 2.0);
+    }
+}

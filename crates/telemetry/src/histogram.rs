@@ -1,0 +1,470 @@
+//! Fixed-bucket log-scale latency histograms over sharded atomics.
+//!
+//! Values (nanoseconds) 0–15 get exact buckets; every larger value lands
+//! in one of eight sub-buckets per power of two, so a bucket's width is
+//! at most 1/8 of its lower bound — quantile *bounds* read back from a
+//! snapshot bracket the true quantile with ≤ 12.5% relative error.
+//! Recording is a handful of relaxed atomic ops on a per-thread shard;
+//! snapshots merge the shards and are themselves mergeable, so
+//! histograms from several services (or several snapshots over time)
+//! aggregate without loss.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Values below this get one exact bucket each.
+const DIRECT_BUCKETS: usize = 16;
+/// Sub-buckets per power of two above the direct range.
+const SUB_BUCKETS: usize = 8;
+/// First octave covered by the log-scale range (2^4 = 16).
+const FIRST_OCTAVE: u32 = 4;
+/// Independent atomic shards recording threads spread over.
+const SHARDS: usize = 8;
+
+/// Total number of buckets: 16 exact + 8 per octave for octaves 4–63.
+pub const BUCKET_COUNT: usize = DIRECT_BUCKETS + (64 - FIRST_OCTAVE as usize) * SUB_BUCKETS;
+
+/// The bucket a value lands in. Total order: higher values never map to
+/// lower buckets.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value < DIRECT_BUCKETS as u64 {
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros();
+    let sub = ((value >> (octave - 3)) & 0x7) as usize;
+    DIRECT_BUCKETS + (octave - FIRST_OCTAVE) as usize * SUB_BUCKETS + sub
+}
+
+/// Smallest value mapping to `index`.
+///
+/// # Panics
+///
+/// Panics when `index >= BUCKET_COUNT`.
+#[must_use]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    assert!(index < BUCKET_COUNT, "bucket index {index} out of range");
+    if index < DIRECT_BUCKETS {
+        return index as u64;
+    }
+    let offset = index - DIRECT_BUCKETS;
+    let octave = (offset / SUB_BUCKETS) as u32 + FIRST_OCTAVE;
+    let sub = (offset % SUB_BUCKETS) as u64;
+    (1u64 << octave) + (sub << (octave - 3))
+}
+
+/// Largest value mapping to `index` (`u64::MAX` for the last bucket).
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index + 1 >= BUCKET_COUNT {
+        u64::MAX
+    } else {
+        bucket_lower_bound(index + 1) - 1
+    }
+}
+
+/// Picks a stable per-thread shard slot so concurrent recorders rarely
+/// contend on the same cache lines.
+fn shard_slot() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SLOT.with(|slot| {
+        let mut value = slot.get();
+        if value == usize::MAX {
+            static NEXT: AtomicUsize = AtomicUsize::new(0);
+            value = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            slot.set(value);
+        }
+        value
+    })
+}
+
+/// One shard's bucket counts.
+#[derive(Debug)]
+struct Shard {
+    counts: Vec<AtomicU64>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            counts: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// A concurrent fixed-bucket log-scale histogram of nanosecond values.
+#[derive(Debug)]
+pub struct Histogram {
+    shards: Vec<Shard>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value — a handful of relaxed atomic ops on the
+    /// calling thread's shard.
+    pub fn record(&self, value: u64) {
+        let shard = &self.shards[shard_slot()];
+        shard.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded values (cheap — one atomic load).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (cheap — one atomic load).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Merges all shards into a serialisable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut merged = vec![0u64; BUCKET_COUNT];
+        for shard in &self.shards {
+            for (slot, count) in merged.iter_mut().zip(&shard.counts) {
+                *slot += count.load(Ordering::Relaxed);
+            }
+        }
+        let buckets: Vec<BucketCount> = merged
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, &count)| BucketCount { index, count })
+            .collect();
+        let count: u64 = buckets.iter().map(|b| b.count).sum();
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum_nanos: self.sum.load(Ordering::Relaxed),
+            min_nanos: if count == 0 { 0 } else { min },
+            max_nanos: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A non-empty bucket in a [`HistogramSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Bucket index (see [`bucket_lower_bound`] / [`bucket_upper_bound`]).
+    pub index: usize,
+    /// Number of recorded values in the bucket.
+    pub count: u64,
+}
+
+/// Bounds bracketing a requested quantile: the true quantile of the
+/// recorded values lies in `lower_nanos..=upper_nanos`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantileBound {
+    /// Inclusive lower bound in nanoseconds.
+    pub lower_nanos: u64,
+    /// Inclusive upper bound in nanoseconds.
+    pub upper_nanos: u64,
+}
+
+/// A merged, serialisable view of a [`Histogram`]: sparse non-empty
+/// buckets plus count/sum/min/max.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Non-empty buckets, ascending by index.
+    pub buckets: Vec<BucketCount>,
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values in nanoseconds.
+    pub sum_nanos: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min_nanos: u64,
+    /// Largest recorded value (0 when empty).
+    pub max_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self`; the result is exactly the snapshot a
+    /// single histogram fed both value streams would produce.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut merged: Vec<BucketCount> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() && j < other.buckets.len() {
+            let (x, y) = (self.buckets[i], other.buckets[j]);
+            if x.index == y.index {
+                merged.push(BucketCount {
+                    index: x.index,
+                    count: x.count + y.count,
+                });
+                i += 1;
+                j += 1;
+            } else if x.index < y.index {
+                merged.push(x);
+                i += 1;
+            } else {
+                merged.push(y);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.buckets[i..]);
+        merged.extend_from_slice(&other.buckets[j..]);
+        if other.count > 0 {
+            self.min_nanos = if self.count == 0 {
+                other.min_nanos
+            } else {
+                self.min_nanos.min(other.min_nanos)
+            };
+            self.max_nanos = self.max_nanos.max(other.max_nanos);
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum_nanos += other.sum_nanos;
+    }
+
+    /// Mean recorded value in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64
+        }
+    }
+
+    /// Bounds bracketing the `q`-quantile (nearest-rank definition) of
+    /// the recorded values, tightened by the exact min/max. `None` when
+    /// the histogram is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<QuantileBound> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for bucket in &self.buckets {
+            seen += bucket.count;
+            if seen >= rank {
+                let lower = bucket_lower_bound(bucket.index).max(self.min_nanos);
+                let upper = bucket_upper_bound(bucket.index).min(self.max_nanos);
+                return Some(QuantileBound {
+                    lower_nanos: lower.min(upper),
+                    upper_nanos: upper,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// The quantile digest of one latency histogram in microseconds — what
+/// crosses the wire and lands in JSON reports. Quantile values are the
+/// *upper* bound of the bracketing bucket (a conservative estimate, ≤
+/// 12.5% above the true quantile).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Metric this summarises (e.g. a pipeline stage name).
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Median upper bound in microseconds.
+    pub p50_micros: f64,
+    /// 99th-percentile upper bound in microseconds.
+    pub p99_micros: f64,
+    /// 99.9th-percentile upper bound in microseconds.
+    pub p999_micros: f64,
+    /// Exact mean in microseconds.
+    pub mean_micros: f64,
+    /// Exact maximum in microseconds.
+    pub max_micros: f64,
+}
+
+impl LatencySummary {
+    /// Digests a snapshot. All fields are zero when it is empty.
+    #[must_use]
+    pub fn from_snapshot(name: &str, snapshot: &HistogramSnapshot) -> Self {
+        let upper = |q: f64| {
+            snapshot
+                .quantile(q)
+                .map_or(0.0, |bound| bound.upper_nanos as f64 / 1e3)
+        };
+        LatencySummary {
+            name: name.to_string(),
+            count: snapshot.count,
+            p50_micros: upper(0.50),
+            p99_micros: upper(0.99),
+            p999_micros: upper(0.999),
+            mean_micros: snapshot.mean_nanos() / 1e3,
+            max_micros: snapshot.max_nanos as f64 / 1e3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_bounds_partition_the_value_space() {
+        // Every bucket's bounds are consistent and adjacent buckets abut.
+        for index in 0..BUCKET_COUNT {
+            let lower = bucket_lower_bound(index);
+            let upper = bucket_upper_bound(index);
+            assert!(lower <= upper, "bucket {index}: {lower} > {upper}");
+            assert_eq!(bucket_index(lower), index);
+            assert_eq!(bucket_index(upper), index);
+            if index + 1 < BUCKET_COUNT {
+                assert_eq!(bucket_lower_bound(index + 1), upper + 1);
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        // Above the exact range a bucket is never wider than 1/8 of its
+        // lower bound — the ≤12.5% quantile error the docs promise.
+        for index in DIRECT_BUCKETS..BUCKET_COUNT - 1 {
+            let lower = bucket_lower_bound(index) as f64;
+            let upper = bucket_upper_bound(index) as f64;
+            assert!((upper - lower) / lower <= 0.125 + 1e-12, "bucket {index}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_empty() {
+        let snapshot = Histogram::new().snapshot();
+        assert_eq!(snapshot.count, 0);
+        assert_eq!(snapshot.min_nanos, 0);
+        assert_eq!(snapshot.max_nanos, 0);
+        assert!(snapshot.quantile(0.5).is_none());
+        let summary = LatencySummary::from_snapshot("empty", &snapshot);
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.p99_micros, 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_never_loses_counts() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 20_000;
+        let histogram = Histogram::new();
+        std::thread::scope(|scope| {
+            for thread in 0..THREADS {
+                let histogram = &histogram;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Spread values across the direct and log ranges.
+                        histogram.record(i.wrapping_mul(2_654_435_761 + thread as u64) % (1 << 34));
+                    }
+                });
+            }
+        });
+        let expected = THREADS as u64 * PER_THREAD;
+        assert_eq!(histogram.count(), expected);
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count, expected, "merged shards lost counts");
+        let bucket_total: u64 = snapshot.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(bucket_total, expected);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let histogram = Histogram::new();
+        for value in [0, 1, 15, 16, 1_000, 123_456_789, u64::MAX] {
+            histogram.record(value);
+        }
+        let snapshot = histogram.snapshot();
+        let json = serde_json::to_string(&snapshot).expect("snapshot serialises");
+        let back: HistogramSnapshot = serde_json::from_str(&json).expect("snapshot deserialises");
+        assert_eq!(back, snapshot);
+    }
+
+    fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_quantile_bounds_bracket_the_true_quantile(
+            samples in proptest::collection::vec(0u64..50_000_000_000, 1..300),
+            q in 0.001f64..0.9995,
+        ) {
+            let histogram = Histogram::new();
+            for &sample in &samples {
+                histogram.record(sample);
+            }
+            let snapshot = histogram.snapshot();
+            prop_assert_eq!(snapshot.count, samples.len() as u64);
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let truth = true_quantile(&sorted, q);
+            let bound = snapshot.quantile(q).expect("non-empty histogram");
+            prop_assert!(
+                bound.lower_nanos <= truth && truth <= bound.upper_nanos,
+                "q={} truth={} outside [{}, {}]",
+                q, truth, bound.lower_nanos, bound.upper_nanos
+            );
+        }
+
+        #[test]
+        fn prop_merged_snapshots_match_a_single_histogram(
+            left in proptest::collection::vec(0u64..10_000_000_000, 0..150),
+            right in proptest::collection::vec(0u64..10_000_000_000, 0..150),
+        ) {
+            let (a, b, all) = (Histogram::new(), Histogram::new(), Histogram::new());
+            for &v in &left {
+                a.record(v);
+                all.record(v);
+            }
+            for &v in &right {
+                b.record(v);
+                all.record(v);
+            }
+            let mut merged = a.snapshot();
+            merged.merge(&b.snapshot());
+            prop_assert_eq!(&merged, &all.snapshot());
+            // Quantile bounds of the merged snapshot still bracket the
+            // true quantile of the concatenated samples.
+            if !left.is_empty() || !right.is_empty() {
+                let mut sorted: Vec<u64> = left.iter().chain(&right).copied().collect();
+                sorted.sort_unstable();
+                for q in [0.5, 0.99, 0.999] {
+                    let truth = true_quantile(&sorted, q);
+                    let bound = merged.quantile(q).expect("non-empty merge");
+                    prop_assert!(bound.lower_nanos <= truth && truth <= bound.upper_nanos);
+                }
+            }
+        }
+    }
+}

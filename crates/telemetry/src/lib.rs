@@ -1,0 +1,48 @@
+//! Observability primitives for the Map-and-Conquer serving stack.
+//!
+//! The serving path (PR 5's staged `RequestPipeline`) needs more than
+//! lifetime totals to drive the run-time management work the paper's
+//! related literature builds on: tail-latency distributions, slow-request
+//! forensics and per-generation search progress. This crate provides the
+//! building blocks, deliberately free of any dependency on the rest of
+//! the workspace so every layer (optimizer, runtime, wire, server) can
+//! use them without cycles:
+//!
+//! * [`histogram`] — fixed-bucket log-scale latency histograms over
+//!   sharded atomics: lock-free recording, mergeable snapshots, exact
+//!   quantile *bounds* (the true quantile provably lies inside the
+//!   returned bucket, relative error ≤ 12.5%).
+//! * [`registry`] — a [`MetricsRegistry`] of named counters, gauges and
+//!   histograms with deterministic, serialisable snapshots.
+//! * [`span`] — per-request [`SpanRecorder`]s producing structured
+//!   [`RequestTrace`]s, retained in a bounded [`TraceRing`] with a
+//!   separate ring for slow outliers.
+//! * [`sink`] — the zero-cost-when-disabled [`TelemetrySink`] hook the
+//!   search loop emits per-generation [`GenerationEvent`]s through.
+//! * [`exposition`] — Prometheus-style text rendering and a
+//!   line-by-line parser used by the CI smoke to validate it.
+//!
+//! Everything here *observes*: nothing feeds back into fingerprints,
+//! search decisions or RNG streams, so bit-identity guarantees of the
+//! instrumented code are untouched.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exposition;
+pub mod histogram;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use exposition::{find_sample, parse_prometheus, render_prometheus, PromSample};
+pub use histogram::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, BucketCount, Histogram,
+    HistogramSnapshot, LatencySummary, QuantileBound, BUCKET_COUNT,
+};
+pub use registry::{
+    Counter, CounterSample, Gauge, GaugeSample, HistogramSample, Label, MetricKey, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use sink::{GenerationBuffer, GenerationEvent, TelemetrySink};
+pub use span::{saturating_nanos, RequestTrace, SpanRecorder, StageSpan, TraceEvent, TraceRing};

@@ -1,0 +1,365 @@
+//! A registry of named counters, gauges and histograms with
+//! deterministic, serialisable snapshots.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s handed out
+//! once at wiring time; the hot path touches only their atomics — the
+//! registry lock is taken on registration and snapshot, never per
+//! event. Snapshot order is the `BTreeMap` order of the metric keys, so
+//! snapshots (and the Prometheus text rendered from them) are stable
+//! across runs.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the latest observation of some level (f64 bits in an
+/// atomic, so `set` is lock-free).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Replaces the gauge's value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// One `key="value"` label on a metric.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label {
+    /// Label key (e.g. `stage`).
+    pub key: String,
+    /// Label value (e.g. `normalize`).
+    pub value: String,
+}
+
+/// A metric's identity: a name plus at most one label.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MetricKey {
+    /// Metric name (Prometheus-style, e.g. `mnc_requests_total`).
+    pub name: String,
+    /// Optional label distinguishing series under the same name.
+    pub label: Option<Label>,
+}
+
+impl MetricKey {
+    /// A label-less key.
+    #[must_use]
+    pub fn plain(name: &str) -> Self {
+        MetricKey {
+            name: name.to_string(),
+            label: None,
+        }
+    }
+
+    /// A key with one `key="value"` label.
+    #[must_use]
+    pub fn labeled(name: &str, key: &str, value: &str) -> Self {
+        MetricKey {
+            name: name.to_string(),
+            label: Some(Label {
+                key: key.to_string(),
+                value: value.to_string(),
+            }),
+        }
+    }
+
+    /// Renders `name` or `name{key="value"}`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match &self.label {
+            None => self.name.clone(),
+            Some(label) => format!("{}{{{}=\"{}\"}}", self.name, label.key, label.value),
+        }
+    }
+}
+
+/// A counter's value in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// The metric's identity.
+    pub key: MetricKey,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+/// A gauge's value in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// The metric's identity.
+    pub key: MetricKey,
+    /// Gauge value at snapshot time.
+    pub value: f64,
+}
+
+/// A histogram's merged state in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// The metric's identity.
+    pub key: MetricKey,
+    /// Merged shard state at snapshot time.
+    pub histogram: HistogramSnapshot,
+}
+
+/// A point-in-time view of every registered metric, ordered by key.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, ascending by key.
+    pub counters: Vec<CounterSample>,
+    /// All gauges, ascending by key.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms, ascending by key.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// Appends a counter gathered outside the registry (e.g. cache
+    /// totals owned by another subsystem).
+    pub fn push_counter(&mut self, key: MetricKey, value: u64) {
+        self.counters.push(CounterSample { key, value });
+    }
+
+    /// Appends a gauge gathered outside the registry.
+    pub fn push_gauge(&mut self, key: MetricKey, value: f64) {
+        self.gauges.push(GaugeSample { key, value });
+    }
+
+    /// Value of the label-less counter `name`, when present.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|sample| sample.key.name == name && sample.key.label.is_none())
+            .map(|sample| sample.value)
+    }
+
+    /// Value of the counter `name{key="value"}`, when present.
+    #[must_use]
+    pub fn labeled_counter_value(&self, name: &str, key: &str, value: &str) -> Option<u64> {
+        let wanted = MetricKey::labeled(name, key, value);
+        self.counters
+            .iter()
+            .find(|sample| sample.key == wanted)
+            .map(|sample| sample.value)
+    }
+
+    /// The label-less histogram `name`, when present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|sample| sample.key.name == name && sample.key.label.is_none())
+            .map(|sample| &sample.histogram)
+    }
+
+    /// The histogram `name{key="value"}`, when present.
+    #[must_use]
+    pub fn labeled_histogram(
+        &self,
+        name: &str,
+        key: &str,
+        value: &str,
+    ) -> Option<&HistogramSnapshot> {
+        let wanted = MetricKey::labeled(name, key, value);
+        self.histograms
+            .iter()
+            .find(|sample| sample.key == wanted)
+            .map(|sample| &sample.histogram)
+    }
+}
+
+/// The registry itself: three keyed families of metric handles.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<MetricKey, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<MetricKey, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<MetricKey, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter registered under `key`, creating it on first use.
+    /// Repeated calls with the same key return the same handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the registry lock is poisoned.
+    #[must_use]
+    pub fn counter(&self, key: MetricKey) -> Arc<Counter> {
+        let mut counters = self.counters.lock().expect("counter registry poisoned");
+        Arc::clone(counters.entry(key).or_default())
+    }
+
+    /// The gauge registered under `key`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the registry lock is poisoned.
+    #[must_use]
+    pub fn gauge(&self, key: MetricKey) -> Arc<Gauge> {
+        let mut gauges = self.gauges.lock().expect("gauge registry poisoned");
+        Arc::clone(gauges.entry(key).or_default())
+    }
+
+    /// The histogram registered under `key`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the registry lock is poisoned.
+    #[must_use]
+    pub fn histogram(&self, key: MetricKey) -> Arc<Histogram> {
+        let mut histograms = self.histograms.lock().expect("histogram registry poisoned");
+        Arc::clone(histograms.entry(key).or_default())
+    }
+
+    /// Snapshots every registered metric in key order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a registry lock is poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(key, counter)| CounterSample {
+                key: key.clone(),
+                value: counter.value(),
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(key, gauge)| GaugeSample {
+                key: key.clone(),
+                value: gauge.value(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(key, histogram)| HistogramSample {
+                key: key.clone(),
+                histogram: histogram.snapshot(),
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter(MetricKey::plain("mnc_requests_total"));
+        let b = registry.counter(MetricKey::plain("mnc_requests_total"));
+        a.inc();
+        b.add(2);
+        assert_eq!(a.value(), 3, "both handles hit the same counter");
+
+        let gauge = registry.gauge(MetricKey::plain("mnc_cache_entries"));
+        gauge.set(17.0);
+        assert_eq!(
+            registry
+                .gauge(MetricKey::plain("mnc_cache_entries"))
+                .value(),
+            17.0
+        );
+    }
+
+    #[test]
+    fn snapshot_is_ordered_and_round_trips_through_serde() {
+        let registry = MetricsRegistry::new();
+        registry.counter(MetricKey::plain("mnc_b_total")).add(2);
+        registry.counter(MetricKey::plain("mnc_a_total")).inc();
+        registry
+            .counter(MetricKey::labeled("mnc_a_total", "stage", "search"))
+            .add(5);
+        registry
+            .histogram(MetricKey::labeled(
+                "mnc_stage_duration_nanos",
+                "stage",
+                "normalize",
+            ))
+            .record(1_500);
+
+        let snapshot = registry.snapshot();
+        let names: Vec<String> = snapshot.counters.iter().map(|s| s.key.render()).collect();
+        // BTreeMap order: plain key sorts before the labelled one (None < Some).
+        assert_eq!(
+            names,
+            vec![
+                "mnc_a_total".to_string(),
+                "mnc_a_total{stage=\"search\"}".to_string(),
+                "mnc_b_total".to_string(),
+            ]
+        );
+        assert_eq!(snapshot.counter_value("mnc_a_total"), Some(1));
+        assert_eq!(
+            snapshot.labeled_counter_value("mnc_a_total", "stage", "search"),
+            Some(5)
+        );
+        assert_eq!(
+            snapshot
+                .labeled_histogram("mnc_stage_duration_nanos", "stage", "normalize")
+                .map(|h| h.count),
+            Some(1)
+        );
+
+        let json = serde_json::to_string(&snapshot).expect("snapshot serialises");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("snapshot deserialises");
+        assert_eq!(back, snapshot);
+    }
+}

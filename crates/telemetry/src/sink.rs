@@ -1,0 +1,139 @@
+//! Search-generation telemetry: the zero-cost-when-disabled hook the
+//! evolutionary search emits one event per generation through.
+//!
+//! The search loop holds an `Option<&dyn TelemetrySink>`; with `None`
+//! nothing is computed or emitted, so the uninstrumented hot path pays
+//! only a branch. Sinks observe — they must never feed back into search
+//! decisions, which is what keeps the bit-identity property tests valid
+//! with telemetry enabled.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// What one search generation did, emitted after its evaluations are
+/// archived and the stall bookkeeping has run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationEvent {
+    /// Zero-based generation index.
+    pub generation: usize,
+    /// Candidates scheduled for evaluation this generation.
+    pub scheduled: usize,
+    /// Evaluations actually computed (not answered by the memo table).
+    pub fresh_evaluations: usize,
+    /// Evaluations answered by the within-run memo table.
+    pub memo_hits: usize,
+    /// Archive size after this generation (cumulative evaluations).
+    pub evaluations_total: usize,
+    /// Feasible configurations among this generation's evaluations.
+    pub feasible: usize,
+    /// Feasible evaluations of this generation left non-dominated in the
+    /// objective space the search selects on (average energy, average
+    /// latency, accuracy drop).
+    pub front_size: usize,
+    /// Best objective seen so far across the run; `None` until a
+    /// feasible configuration exists (keeps JSON free of non-finite
+    /// floats).
+    pub best_objective: Option<f64>,
+    /// Consecutive generations without improvement, after this one.
+    pub stalled_generations: usize,
+}
+
+/// A consumer of per-generation search events.
+pub trait TelemetrySink: Sync {
+    /// Called once per generation, in generation order.
+    fn on_generation(&self, event: GenerationEvent);
+}
+
+/// A sink that buffers events in memory — what the request pipeline
+/// attaches to searches so traces can carry the generation stream.
+#[derive(Debug, Default)]
+pub struct GenerationBuffer {
+    events: Mutex<Vec<GenerationEvent>>,
+}
+
+impl GenerationBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        GenerationBuffer::default()
+    }
+
+    /// Drains the buffered events in emission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer lock is poisoned.
+    #[must_use]
+    pub fn take(&self) -> Vec<GenerationEvent> {
+        std::mem::take(&mut self.events.lock().expect("generation buffer poisoned"))
+    }
+
+    /// Number of buffered events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events
+            .lock()
+            .expect("generation buffer poisoned")
+            .len()
+    }
+
+    /// Whether no events have been buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TelemetrySink for GenerationBuffer {
+    fn on_generation(&self, event: GenerationEvent) {
+        self.events
+            .lock()
+            .expect("generation buffer poisoned")
+            .push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(generation: usize) -> GenerationEvent {
+        GenerationEvent {
+            generation,
+            scheduled: 8,
+            fresh_evaluations: 6,
+            memo_hits: 2,
+            evaluations_total: 8 * (generation + 1),
+            feasible: 5,
+            front_size: 3,
+            best_objective: Some(0.25),
+            stalled_generations: 0,
+        }
+    }
+
+    #[test]
+    fn buffer_preserves_emission_order_and_drains() {
+        let buffer = GenerationBuffer::new();
+        buffer.on_generation(event(0));
+        buffer.on_generation(event(1));
+        assert_eq!(buffer.len(), 2);
+        let events = buffer.take();
+        assert_eq!(
+            events.iter().map(|e| e.generation).collect::<Vec<_>>(),
+            [0, 1]
+        );
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        let original = event(3);
+        let json = serde_json::to_string(&original).expect("event serialises");
+        let back: GenerationEvent = serde_json::from_str(&json).expect("event deserialises");
+        assert_eq!(back, original);
+    }
+}

@@ -1,0 +1,392 @@
+//! Per-request span traces and the bounded rings retaining them.
+//!
+//! A [`SpanRecorder`] rides along with one request through the staged
+//! pipeline, collecting stage spans, decision events (cache hit or
+//! build, coalescing, warm-start seeding) and the search's generation
+//! stream. At the end it freezes into a [`RequestTrace`], which a
+//! [`TraceRing`] retains: every trace competes for the bounded `recent`
+//! ring, and traces slower than a configurable threshold are *also* kept
+//! in a separate `slow` ring so outlier forensics survive a burst of
+//! fast traffic.
+//!
+//! All durations are recorded in integer nanoseconds and conversions
+//! from [`Duration`] saturate (see [`saturating_nanos`]), so
+//! sub-microsecond stages are never rounded to zero and pathological
+//! durations cannot wrap.
+
+use crate::sink::GenerationEvent;
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A [`Duration`] as whole nanoseconds, saturating at `u64::MAX`
+/// (≈ 584 years) instead of wrapping.
+#[must_use]
+pub fn saturating_nanos(duration: Duration) -> u64 {
+    u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One pipeline stage's execution inside a request.
+///
+/// Names and labels are `Cow<'static, str>`: the recorder borrows the
+/// pipeline's static stage names on the hot path, while deserialised
+/// traces (read back from the wire) own theirs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSpan {
+    /// Stage name (e.g. `cache_lookup`).
+    pub stage: Cow<'static, str>,
+    /// Offset of the stage's start from the request's start, nanoseconds.
+    pub enter_nanos: u64,
+    /// How long the stage ran, nanoseconds.
+    pub duration_nanos: u64,
+}
+
+/// A decision the pipeline took while serving the request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Offset from the request's start, nanoseconds.
+    pub at_nanos: u64,
+    /// Short machine-readable label (e.g. `cache_lookup`).
+    pub label: Cow<'static, str>,
+    /// Human-readable detail (e.g. `evaluator pool_hit`).
+    pub detail: Cow<'static, str>,
+}
+
+/// A finished request's structured trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    /// Monotonically increasing trace id (per ring).
+    pub id: u64,
+    /// Model preset the request named.
+    pub model: String,
+    /// Platform preset the request named.
+    pub platform: String,
+    /// Stage spans in execution order.
+    pub stages: Vec<StageSpan>,
+    /// Decision events in emission order.
+    pub events: Vec<TraceEvent>,
+    /// The search's per-generation telemetry stream, when enabled.
+    pub generations: Vec<GenerationEvent>,
+    /// End-to-end duration, nanoseconds.
+    pub total_nanos: u64,
+    /// The error that ended the request, when it failed.
+    pub error: Option<String>,
+    /// Whether `total_nanos` crossed the ring's slow threshold.
+    pub slow: bool,
+}
+
+impl RequestTrace {
+    /// End-to-end duration in microseconds.
+    #[must_use]
+    pub fn total_micros(&self) -> f64 {
+        self.total_nanos as f64 / 1e3
+    }
+
+    /// Total nanoseconds spent in the named stage.
+    #[must_use]
+    pub fn stage_nanos(&self, stage: &str) -> u64 {
+        self.stages
+            .iter()
+            .filter(|span| span.stage == stage)
+            .map(|span| span.duration_nanos)
+            .fold(0, u64::saturating_add)
+    }
+}
+
+/// Collects one request's spans and events; freezes into a
+/// [`RequestTrace`] via [`SpanRecorder::finish`].
+#[derive(Debug)]
+pub struct SpanRecorder {
+    id: u64,
+    model: String,
+    platform: String,
+    started: Instant,
+    stages: Vec<StageSpan>,
+    events: Vec<TraceEvent>,
+    generations: Vec<GenerationEvent>,
+}
+
+impl SpanRecorder {
+    /// Starts recording now.
+    #[must_use]
+    pub fn new(id: u64, model: &str, platform: &str) -> Self {
+        SpanRecorder {
+            id,
+            model: model.to_string(),
+            platform: platform.to_string(),
+            started: Instant::now(),
+            // A successful request records one span per pipeline stage
+            // and a handful of decision events; sizing for that up front
+            // keeps the hot path free of mid-request regrowth.
+            stages: Vec::with_capacity(8),
+            events: Vec::with_capacity(4),
+            generations: Vec::new(),
+        }
+    }
+
+    /// Records a just-finished stage of the given duration.
+    pub fn stage(&mut self, stage: &'static str, duration: Duration) {
+        let at = saturating_nanos(self.started.elapsed());
+        let duration_nanos = saturating_nanos(duration);
+        self.stages.push(StageSpan {
+            stage: Cow::Borrowed(stage),
+            enter_nanos: at.saturating_sub(duration_nanos),
+            duration_nanos,
+        });
+    }
+
+    /// Records a decision event.
+    pub fn event(&mut self, label: &'static str, detail: impl Into<Cow<'static, str>>) {
+        self.events.push(TraceEvent {
+            at_nanos: saturating_nanos(self.started.elapsed()),
+            label: Cow::Borrowed(label),
+            detail: detail.into(),
+        });
+    }
+
+    /// Attaches the search's generation stream.
+    pub fn generations(&mut self, events: Vec<GenerationEvent>) {
+        self.generations.extend(events);
+    }
+
+    /// Freezes into a trace, stamping the end-to-end duration and the
+    /// slow flag (`slow_threshold_nanos == 0` disables it).
+    #[must_use]
+    pub fn finish(self, error: Option<String>, slow_threshold_nanos: u64) -> RequestTrace {
+        let total_nanos = saturating_nanos(self.started.elapsed());
+        RequestTrace {
+            id: self.id,
+            model: self.model,
+            platform: self.platform,
+            stages: self.stages,
+            events: self.events,
+            generations: self.generations,
+            total_nanos,
+            error,
+            slow: slow_threshold_nanos > 0 && total_nanos >= slow_threshold_nanos,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Rings {
+    recent: VecDeque<Arc<RequestTrace>>,
+    slow: VecDeque<Arc<RequestTrace>>,
+}
+
+/// Bounded retention for finished traces: a `recent` ring every trace
+/// passes through and a `slow` ring only threshold-crossing traces
+/// enter, so outliers survive longer than the traffic around them.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    slow_capacity: usize,
+    slow_threshold_nanos: u64,
+    next_id: AtomicU64,
+    rings: Mutex<Rings>,
+}
+
+impl TraceRing {
+    /// A ring retaining up to `capacity` recent traces and
+    /// `slow_capacity` slow ones (`capacity == 0` disables retention).
+    #[must_use]
+    pub fn new(capacity: usize, slow_capacity: usize, slow_threshold_nanos: u64) -> Self {
+        TraceRing {
+            capacity,
+            slow_capacity,
+            slow_threshold_nanos,
+            next_id: AtomicU64::new(0),
+            rings: Mutex::new(Rings::default()),
+        }
+    }
+
+    /// Whether traces are retained at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Threshold above which a trace counts as slow, nanoseconds.
+    #[must_use]
+    pub fn slow_threshold_nanos(&self) -> u64 {
+        self.slow_threshold_nanos
+    }
+
+    /// Hands out the next trace id.
+    #[must_use]
+    pub fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Retains a finished trace (no-op when disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ring lock is poisoned.
+    pub fn push(&self, trace: RequestTrace) {
+        if self.capacity == 0 {
+            return;
+        }
+        let trace = Arc::new(trace);
+        let mut rings = self.rings.lock().expect("trace ring poisoned");
+        rings.recent.push_back(Arc::clone(&trace));
+        while rings.recent.len() > self.capacity {
+            rings.recent.pop_front();
+        }
+        if trace.slow && self.slow_capacity > 0 {
+            rings.slow.push_back(trace);
+            while rings.slow.len() > self.slow_capacity {
+                rings.slow.pop_front();
+            }
+        }
+    }
+
+    /// The retained recent traces, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ring lock is poisoned.
+    #[must_use]
+    pub fn recent(&self) -> Vec<Arc<RequestTrace>> {
+        let rings = self.rings.lock().expect("trace ring poisoned");
+        rings.recent.iter().cloned().collect()
+    }
+
+    /// The retained slow traces, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ring lock is poisoned.
+    #[must_use]
+    pub fn slow(&self) -> Vec<Arc<RequestTrace>> {
+        let rings = self.rings.lock().expect("trace ring poisoned");
+        rings.slow.iter().cloned().collect()
+    }
+
+    /// The slowest trace still retained in either ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ring lock is poisoned.
+    #[must_use]
+    pub fn slowest(&self) -> Option<Arc<RequestTrace>> {
+        let rings = self.rings.lock().expect("trace ring poisoned");
+        rings
+            .recent
+            .iter()
+            .chain(rings.slow.iter())
+            .max_by_key(|trace| trace.total_nanos)
+            .cloned()
+    }
+
+    /// `(recent, slow)` retention counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ring lock is poisoned.
+    #[must_use]
+    pub fn retained(&self) -> (usize, usize) {
+        let rings = self.rings.lock().expect("trace ring poisoned");
+        (rings.recent.len(), rings.slow.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, total_nanos: u64, slow: bool) -> RequestTrace {
+        RequestTrace {
+            id,
+            model: "m".to_string(),
+            platform: "p".to_string(),
+            stages: Vec::new(),
+            events: Vec::new(),
+            generations: Vec::new(),
+            total_nanos,
+            error: None,
+            slow,
+        }
+    }
+
+    #[test]
+    fn sub_microsecond_stages_are_not_floored_to_zero() {
+        // The regression this module exists to prevent: a 250 ns stage
+        // used to vanish when durations were stored as whole
+        // microseconds.
+        let mut recorder = SpanRecorder::new(1, "m", "p");
+        recorder.stage("fingerprint", Duration::from_nanos(250));
+        let trace = recorder.finish(None, 0);
+        assert_eq!(trace.stage_nanos("fingerprint"), 250);
+        assert!(trace.stages[0].duration_nanos > 0);
+    }
+
+    #[test]
+    fn duration_conversion_saturates_instead_of_wrapping() {
+        assert_eq!(saturating_nanos(Duration::MAX), u64::MAX);
+        assert_eq!(saturating_nanos(Duration::from_nanos(u64::MAX)), u64::MAX);
+        assert_eq!(saturating_nanos(Duration::from_nanos(7)), 7);
+        // Accumulating past the ceiling stays pinned there.
+        let mut recorder = SpanRecorder::new(1, "m", "p");
+        recorder.stage("search", Duration::MAX);
+        recorder.stage("search", Duration::from_secs(1));
+        let trace = recorder.finish(None, 0);
+        assert_eq!(trace.stage_nanos("search"), u64::MAX);
+    }
+
+    #[test]
+    fn ring_bounds_retention_and_keeps_slow_outliers() {
+        let ring = TraceRing::new(3, 2, 1_000);
+        for id in 0..6 {
+            // Traces 0 and 4 are slow; the rest are fast.
+            let slow = id % 4 == 0;
+            ring.push(trace(id, if slow { 5_000 + id } else { 10 }, slow));
+        }
+        let (recent, slow) = ring.retained();
+        assert_eq!(recent, 3, "recent ring is bounded");
+        assert_eq!(slow, 2, "slow ring keeps the outliers");
+        let recent_ids: Vec<u64> = ring.recent().iter().map(|t| t.id).collect();
+        assert_eq!(recent_ids, [3, 4, 5], "oldest traces evicted first");
+        // Trace 0 fell out of `recent` but survives in `slow`.
+        let slow_ids: Vec<u64> = ring.slow().iter().map(|t| t.id).collect();
+        assert_eq!(slow_ids, [0, 4]);
+        assert_eq!(ring.slowest().map(|t| t.id), Some(4));
+    }
+
+    #[test]
+    fn disabled_ring_retains_nothing() {
+        let ring = TraceRing::new(0, 8, 1);
+        assert!(!ring.enabled());
+        ring.push(trace(1, u64::MAX, true));
+        assert_eq!(ring.retained(), (0, 0));
+        assert!(ring.slowest().is_none());
+    }
+
+    #[test]
+    fn finish_stamps_the_slow_flag_from_the_threshold() {
+        let recorder = SpanRecorder::new(9, "m", "p");
+        std::thread::sleep(Duration::from_millis(2));
+        let trace = recorder.finish(Some("boom".to_string()), 1);
+        assert!(trace.slow, "any positive total crosses a 1 ns threshold");
+        assert_eq!(trace.error.as_deref(), Some("boom"));
+        assert!(trace.total_micros() > 0.0);
+
+        let recorder = SpanRecorder::new(10, "m", "p");
+        let trace = recorder.finish(None, u64::MAX);
+        assert!(!trace.slow);
+    }
+
+    #[test]
+    fn traces_round_trip_through_serde() {
+        let mut recorder = SpanRecorder::new(2, "visformer", "orin");
+        recorder.stage("normalize", Duration::from_nanos(800));
+        recorder.event("cache_lookup", "evaluator pool_hit");
+        let original = recorder.finish(None, 0);
+        let json = serde_json::to_string(&original).expect("trace serialises");
+        let back: RequestTrace = serde_json::from_str(&json).expect("trace deserialises");
+        assert_eq!(back, original);
+    }
+}

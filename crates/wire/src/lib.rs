@@ -29,8 +29,8 @@
 pub mod frame;
 
 use mnc_runtime::{
-    BatchConfig, BatchStats, CacheStats, MappingRequest, MappingResponse, PipelineStats,
-    RuntimeError,
+    BatchConfig, BatchStats, CacheStats, LatencySummary, MappingRequest, MappingResponse,
+    MetricsSnapshot, PipelineStats, RuntimeError,
 };
 use serde::{Deserialize, Serialize};
 
@@ -78,6 +78,10 @@ pub enum WireBody {
     SubmitBatch(WireBatch),
     /// Snapshot the service counters (cache, pipeline stages, archive).
     Stats,
+    /// Snapshot the full telemetry registry: latency histograms with
+    /// quantile digests, counters, gauges and a Prometheus text
+    /// rendering; answered with [`WirePayload::Metrics`].
+    Metrics,
     /// Persist the elite archive to the server's archive file (requires
     /// the server to run with `--archive-dir`).
     Persist,
@@ -196,6 +200,8 @@ pub enum WirePayload {
     Batch(WireBatchReport),
     /// Service counters for [`WireBody::Stats`].
     Stats(ServiceStats),
+    /// Telemetry snapshot for [`WireBody::Metrics`].
+    Metrics(MetricsReport),
     /// The archive was persisted.
     Persisted(PersistReport),
     /// The server acknowledged [`WireBody::Shutdown`] and will stop.
@@ -228,6 +234,22 @@ pub struct ServiceStats {
     pub pipeline: PipelineStats,
     /// Elite genomes currently archived for warm starts.
     pub archive_genomes: usize,
+}
+
+/// The full telemetry snapshot for [`WireBody::Metrics`]: the raw
+/// registry (every counter, gauge and histogram), pre-digested latency
+/// summaries, and the same snapshot rendered as Prometheus text so
+/// scrape-style consumers need no JSON handling at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Every registered metric, in stable (sorted) order.
+    pub metrics: MetricsSnapshot,
+    /// Per-pipeline-stage latency digests, in stage order.
+    pub stage_latency: Vec<LatencySummary>,
+    /// End-to-end request latency digest.
+    pub request_latency: LatencySummary,
+    /// The snapshot rendered in Prometheus text exposition format.
+    pub prometheus: String,
 }
 
 /// Acknowledgement of a successful [`WireBody::Persist`].
@@ -402,6 +424,7 @@ mod tests {
             WireBody::ListModels,
             WireBody::ListPlatforms,
             WireBody::Stats,
+            WireBody::Metrics,
             WireBody::Persist,
             WireBody::Shutdown,
         ] {

@@ -133,5 +133,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stage.busy_micros as f64 / 1e3
         );
     }
+
+    // Underneath those lifetime counters sit log-scale latency
+    // histograms; the digests answer "how slow is slow" per stage.
+    println!(
+        "\n{:<17} {:>6} {:>10} {:>10} {:>10}",
+        "latency", "count", "p50 us", "p99 us", "max us"
+    );
+    let request_latency = service.request_latency();
+    for summary in service.stage_latency().iter().chain([&request_latency]) {
+        println!(
+            "{:<17} {:>6} {:>10.1} {:>10.1} {:>10.1}",
+            summary.name, summary.count, summary.p50_micros, summary.p99_micros, summary.max_micros
+        );
+    }
+
+    // The trace ring keeps full span traces for recent and slow
+    // requests; replaying the slowest one shows where its time went.
+    if let Some(trace) = service.slowest_trace() {
+        println!(
+            "\nslowest retained trace: #{} {} on {} ({:.1} us total, {} generations recorded)",
+            trace.id,
+            trace.model,
+            trace.platform,
+            trace.total_micros(),
+            trace.generations.len(),
+        );
+        for span in &trace.stages {
+            println!(
+                "  {:>9.1} us  {:<17} {:>9.1} us",
+                span.enter_nanos as f64 / 1e3,
+                span.stage,
+                span.duration_nanos as f64 / 1e3,
+            );
+        }
+        for event in &trace.events {
+            println!(
+                "  {:>9.1} us  {:<17} {}",
+                event.at_nanos as f64 / 1e3,
+                event.label,
+                event.detail,
+            );
+        }
+    }
     Ok(())
 }

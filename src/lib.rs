@@ -20,6 +20,10 @@
 //! * [`runtime`] — the concurrent mapping service: model/platform
 //!   registries, a sharded evaluation cache and parallel Pareto search
 //!   behind a staged request pipeline,
+//! * [`telemetry`] — observability primitives: the metrics registry with
+//!   log-scale latency histograms, request span traces with bounded
+//!   recent/slow trace rings, per-generation search telemetry sinks and
+//!   the Prometheus-style text exposition,
 //! * [`wire`] — the versioned JSON wire protocol of the service, and
 //! * [`server`] — the blocking TCP front-end (`mnc-server` binary) plus
 //!   the [`server::WireClient`] used by the demos and CI.
@@ -64,4 +68,5 @@ pub use mnc_optim as optim;
 pub use mnc_predictor as predictor;
 pub use mnc_runtime as runtime;
 pub use mnc_server as server;
+pub use mnc_telemetry as telemetry;
 pub use mnc_wire as wire;

@@ -9,8 +9,8 @@
 //!   [`value::Value`] data model (instead of serde's visitor machinery),
 //! * `#[derive(Serialize, Deserialize)]` for structs and enums (named,
 //!   tuple and unit forms; externally-tagged enum representation),
-//! * implementations for the primitive types, `String`, `Option`, `Vec`,
-//!   fixed-size arrays, tuples and maps.
+//! * implementations for the primitive types, `String`, `Cow`, `Option`,
+//!   `Vec`, fixed-size arrays, tuples and maps.
 //!
 //! The representation is compatible with the vendored `serde_json`, which
 //! renders [`value::Value`] trees to JSON text and parses them back, so
@@ -74,6 +74,28 @@ impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
 impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         T::from_value(value).map(std::rc::Rc::new)
+    }
+}
+
+impl<T> Serialize for std::borrow::Cow<'_, T>
+where
+    T: Serialize + ToOwned + ?Sized,
+{
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// Deserialization always produces the owned variant; borrowed content
+// would need to outlive the parsed `Value` tree, which the owned data
+// model cannot express.
+impl<T> Deserialize for std::borrow::Cow<'static, T>
+where
+    T: ToOwned + ?Sized,
+    T::Owned: Deserialize,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::Owned::from_value(value).map(std::borrow::Cow::Owned)
     }
 }
 
