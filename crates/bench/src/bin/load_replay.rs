@@ -1,0 +1,486 @@
+//! Load replay against the reactor front-end.
+//!
+//! Boots a real `ReactorServer` on an ephemeral port and replays
+//! synthetic arrival traces through it over the wire, reporting
+//! end-to-end latency percentiles (p50/p99/p99.9) and the shed rate per
+//! scenario to `results/load_replay.json`:
+//!
+//! - **arrival models** — `closed` (a fixed pool of connections, each
+//!   sending its next request the moment the previous answer lands) and
+//!   `open` (requests fired on a fixed schedule regardless of
+//!   completions, one connection per arrival — the model that actually
+//!   exposes queueing collapse);
+//! - **request mixes** — `cold` (every request unique: all of them
+//!   search), `hot` (one request repeated: after priming, every answer
+//!   is a fast-path response-cache replay), `mixed` (70 % from a small
+//!   hot set, 30 % unique cold);
+//! - **overload** — a deliberately starved server (`queue_depth 0`)
+//!   flooded with cold requests, measuring that shedding is structured.
+//!
+//! ```text
+//! cargo run --release -p mnc-bench --bin load_replay
+//! cargo run --release -p mnc-bench --bin load_replay -- --smoke --json results/load_replay_ci.json
+//! ```
+//!
+//! `--smoke` is the CI mode: small request counts plus hard assertions —
+//! fast-path answers never reach the search pool (the hot scenario's
+//! `searches_run` delta is zero while `fast_path_answered` counts every
+//! request), every shed response is a structured `Overloaded` error (not
+//! a dropped connection), and the hot-scenario p99 stays bounded. The
+//! process exits non-zero on any violation.
+
+use mnc_runtime::MappingRequest;
+use mnc_server::{
+    ClientError, ReactorConfig, ReactorHandle, ReactorServer, RequestLimits, ServerConfig,
+    WireClient,
+};
+use mnc_wire::ErrorCode;
+use serde::Serialize;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How one replayed request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// Answered with a Pareto front.
+    Answered,
+    /// Shed with a structured `Overloaded` error.
+    Shed,
+    /// Any other failure — a protocol error, an unstructured disconnect.
+    Failed,
+}
+
+/// One request's measurement.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    latency_us: f64,
+    outcome: Outcome,
+}
+
+/// Latency percentiles over a scenario's answered requests.
+#[derive(Debug, Clone, Copy, Serialize)]
+struct Percentiles {
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    max_us: f64,
+}
+
+fn percentiles(samples: &mut [f64]) -> Percentiles {
+    if samples.is_empty() {
+        return Percentiles {
+            p50_us: 0.0,
+            p99_us: 0.0,
+            p999_us: 0.0,
+            max_us: 0.0,
+        };
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let at = |q: f64| {
+        let index = ((samples.len() as f64 - 1.0) * q).round() as usize;
+        samples[index.min(samples.len() - 1)]
+    };
+    Percentiles {
+        p50_us: at(0.50),
+        p99_us: at(0.99),
+        p999_us: at(0.999),
+        max_us: *samples.last().expect("non-empty"),
+    }
+}
+
+/// The per-scenario entry of the JSON report.
+#[derive(Debug, Serialize)]
+struct ScenarioMetrics {
+    scenario: String,
+    arrivals: String,
+    mix: String,
+    requests: usize,
+    answered: usize,
+    shed: usize,
+    failed: usize,
+    shed_rate: f64,
+    elapsed_ms: f64,
+    requests_per_s: f64,
+    latency: Percentiles,
+    /// Pipeline searches this scenario ran (delta over the scenario).
+    searches_run: u64,
+    /// Fast-path response-cache replays this scenario produced (delta).
+    fast_path_answered: u64,
+}
+
+/// The `--json` report tracked under `results/`.
+#[derive(Debug, Serialize)]
+struct ReplayReport {
+    bench: String,
+    smoke: bool,
+    scenarios: Vec<ScenarioMetrics>,
+}
+
+fn base_request(seed: u64) -> MappingRequest {
+    MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+        .validation_samples(300)
+        .generations(2)
+        .population_size(8)
+        .seed(seed)
+}
+
+/// Which request the `i`-th arrival of a mix sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mix {
+    Cold,
+    Hot,
+    Mixed,
+}
+
+impl Mix {
+    fn name(self) -> &'static str {
+        match self {
+            Mix::Cold => "cold",
+            Mix::Hot => "hot",
+            Mix::Mixed => "mixed",
+        }
+    }
+
+    /// Seeds below this bound form the hot set the server is primed with.
+    const HOT_SEEDS: u64 = 4;
+
+    fn request(self, index: usize) -> MappingRequest {
+        match self {
+            Mix::Cold => base_request(10_000 + index as u64),
+            Mix::Hot => base_request(1),
+            // 70 % hot-set replays, 30 % unique cold — deterministic, no
+            // RNG needed: position in each block of 10 decides.
+            Mix::Mixed => {
+                if index % 10 < 7 {
+                    base_request(1 + (index as u64 % Self::HOT_SEEDS))
+                } else {
+                    base_request(20_000 + index as u64)
+                }
+            }
+        }
+    }
+
+    /// Primes the response cache so replays measure the fast path.
+    fn prime(self, addr: SocketAddr) {
+        let seeds: Vec<u64> = match self {
+            Mix::Cold => return,
+            Mix::Hot => vec![1],
+            Mix::Mixed => (1..=Self::HOT_SEEDS).collect(),
+        };
+        let mut client = WireClient::connect(addr).expect("prime connect");
+        for seed in seeds {
+            client.submit(&base_request(seed)).expect("prime submit");
+        }
+    }
+}
+
+fn classify(result: Result<mnc_runtime::MappingResponse, ClientError>) -> Outcome {
+    match result {
+        Ok(_) => Outcome::Answered,
+        Err(ClientError::Server(error)) if error.code == ErrorCode::Overloaded => Outcome::Shed,
+        Err(_) => Outcome::Failed,
+    }
+}
+
+/// Closed loop: `connections` clients, each sending back-to-back.
+fn run_closed_loop(addr: SocketAddr, mix: Mix, requests: usize, connections: usize) -> Vec<Sample> {
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let samples = Arc::new(Mutex::new(Vec::with_capacity(requests)));
+    std::thread::scope(|scope| {
+        for _ in 0..connections {
+            let cursor = Arc::clone(&cursor);
+            let samples = Arc::clone(&samples);
+            scope.spawn(move || {
+                let mut client = match WireClient::connect(addr) {
+                    Ok(client) => client,
+                    Err(_) => return,
+                };
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= requests {
+                        return;
+                    }
+                    let request = mix.request(index);
+                    let started = Instant::now();
+                    let outcome = classify(client.submit(&request));
+                    let sample = Sample {
+                        latency_us: started.elapsed().as_secs_f64() * 1e6,
+                        outcome,
+                    };
+                    samples.lock().expect("sample lock").push(sample);
+                }
+            });
+        }
+    });
+    Arc::try_unwrap(samples)
+        .expect("scenario threads joined")
+        .into_inner()
+        .expect("sample lock")
+}
+
+/// Open loop: arrivals on a fixed schedule, one connection per arrival.
+/// Latency includes the connect, as a real one-shot client would see it.
+fn run_open_loop(addr: SocketAddr, mix: Mix, requests: usize, rate_per_s: f64) -> Vec<Sample> {
+    let interval = Duration::from_secs_f64(1.0 / rate_per_s);
+    let samples = Arc::new(Mutex::new(Vec::with_capacity(requests)));
+    let start = Instant::now() + Duration::from_millis(5);
+    std::thread::scope(|scope| {
+        for index in 0..requests {
+            let samples = Arc::clone(&samples);
+            scope.spawn(move || {
+                let due = start + interval * index as u32;
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                let request = mix.request(index);
+                let started = Instant::now();
+                let outcome = match WireClient::connect(addr) {
+                    Ok(mut client) => classify(client.submit(&request)),
+                    Err(_) => Outcome::Failed,
+                };
+                let sample = Sample {
+                    latency_us: started.elapsed().as_secs_f64() * 1e6,
+                    outcome,
+                };
+                samples.lock().expect("sample lock").push(sample);
+            });
+        }
+    });
+    Arc::try_unwrap(samples)
+        .expect("scenario threads joined")
+        .into_inner()
+        .expect("sample lock")
+}
+
+/// Reads the lifetime pipeline counters the scenario deltas come from.
+fn pipeline_counters(addr: SocketAddr) -> (u64, u64) {
+    let mut client = WireClient::connect(addr).expect("stats connect");
+    let stats = client.stats().expect("stats");
+    (
+        stats.pipeline.searches_run,
+        stats.pipeline.fast_path_answered,
+    )
+}
+
+struct Scenario {
+    name: &'static str,
+    arrivals: &'static str,
+    mix: Mix,
+    requests: usize,
+    /// Closed-loop connection count, or open-loop arrival rate.
+    connections: usize,
+    rate_per_s: f64,
+}
+
+fn run_scenario(addr: SocketAddr, scenario: &Scenario) -> ScenarioMetrics {
+    scenario.mix.prime(addr);
+    let (searches_before, fast_before) = pipeline_counters(addr);
+    let started = Instant::now();
+    let samples = match scenario.arrivals {
+        "closed" => run_closed_loop(addr, scenario.mix, scenario.requests, scenario.connections),
+        "open" => run_open_loop(addr, scenario.mix, scenario.requests, scenario.rate_per_s),
+        other => panic!("unknown arrival model {other}"),
+    };
+    let elapsed = started.elapsed();
+    let (searches_after, fast_after) = pipeline_counters(addr);
+
+    let answered = samples
+        .iter()
+        .filter(|s| s.outcome == Outcome::Answered)
+        .count();
+    let shed = samples
+        .iter()
+        .filter(|s| s.outcome == Outcome::Shed)
+        .count();
+    let failed = samples
+        .iter()
+        .filter(|s| s.outcome == Outcome::Failed)
+        .count();
+    let mut answered_latencies: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.outcome == Outcome::Answered)
+        .map(|s| s.latency_us)
+        .collect();
+    let latency = percentiles(&mut answered_latencies);
+
+    let metrics = ScenarioMetrics {
+        scenario: scenario.name.to_string(),
+        arrivals: scenario.arrivals.to_string(),
+        mix: scenario.mix.name().to_string(),
+        requests: samples.len(),
+        answered,
+        shed,
+        failed,
+        shed_rate: shed as f64 / samples.len().max(1) as f64,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        requests_per_s: samples.len() as f64 / elapsed.as_secs_f64(),
+        latency,
+        searches_run: searches_after - searches_before,
+        fast_path_answered: fast_after - fast_before,
+    };
+    println!(
+        "load_replay: {:<16} {:>4} reqs  {:>4} answered  {:>4} shed  p50 {:>9.1}us  p99 {:>9.1}us  p99.9 {:>9.1}us  ({:.1} req/s)",
+        metrics.scenario,
+        metrics.requests,
+        metrics.answered,
+        metrics.shed,
+        metrics.latency.p50_us,
+        metrics.latency.p99_us,
+        metrics.latency.p999_us,
+        metrics.requests_per_s,
+    );
+    metrics
+}
+
+fn spawn_server(reactor: ReactorConfig) -> ReactorHandle {
+    ReactorServer::bind(
+        ServerConfig {
+            limits: RequestLimits::default(),
+            ..ServerConfig::default()
+        },
+        reactor,
+    )
+    .expect("reactor binds")
+    .spawn()
+    .expect("reactor spawns")
+}
+
+fn shutdown(handle: ReactorHandle) {
+    let mut client = WireClient::connect(handle.addr()).expect("shutdown connect");
+    client.shutdown().expect("shutdown command");
+    handle.join().expect("reactor stopped cleanly");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|arg| arg == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|arg| arg == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| (!smoke).then(|| "results/load_replay.json".to_string()));
+
+    let scale = if smoke { 1 } else { 4 };
+    let scenarios = [
+        Scenario {
+            name: "closed_cold",
+            arrivals: "closed",
+            mix: Mix::Cold,
+            requests: 24 * scale,
+            connections: 4,
+            rate_per_s: 0.0,
+        },
+        Scenario {
+            name: "closed_hot",
+            arrivals: "closed",
+            mix: Mix::Hot,
+            requests: 64 * scale,
+            connections: 4,
+            rate_per_s: 0.0,
+        },
+        Scenario {
+            name: "closed_mixed",
+            arrivals: "closed",
+            mix: Mix::Mixed,
+            requests: 40 * scale,
+            connections: 4,
+            rate_per_s: 0.0,
+        },
+        Scenario {
+            name: "open_mixed",
+            arrivals: "open",
+            mix: Mix::Mixed,
+            requests: 40 * scale,
+            connections: 0,
+            rate_per_s: 100.0,
+        },
+    ];
+
+    // --- healthy server: latency percentiles per arrival model × mix ---
+    let handle = spawn_server(ReactorConfig::default());
+    let addr = handle.addr();
+    println!(
+        "load_replay: reactor on {addr} ({} scenarios)",
+        scenarios.len() + 1
+    );
+    let mut results: Vec<ScenarioMetrics> = Vec::new();
+    for scenario in &scenarios {
+        results.push(run_scenario(addr, scenario));
+    }
+    shutdown(handle);
+
+    // --- starved server: every search is shed, structurally -------------
+    let handle = spawn_server(ReactorConfig {
+        queue_depth: 0,
+        ..ReactorConfig::default()
+    });
+    let overload = run_scenario(
+        handle.addr(),
+        &Scenario {
+            name: "overload_cold",
+            arrivals: "closed",
+            mix: Mix::Cold,
+            requests: 16 * scale,
+            connections: 4,
+            rate_per_s: 0.0,
+        },
+    );
+    shutdown(handle);
+    results.push(overload);
+
+    // --- smoke assertions -------------------------------------------------
+    let hot = results
+        .iter()
+        .find(|m| m.scenario == "closed_hot")
+        .expect("hot scenario ran");
+    let overload = results
+        .iter()
+        .find(|m| m.scenario == "overload_cold")
+        .expect("overload scenario ran");
+    // Fast-path answers never reach the search pool: the hot scenario
+    // (fully primed) runs zero searches and replays every request.
+    assert_eq!(
+        hot.searches_run, 0,
+        "a fast-path replay was enqueued to the search pool"
+    );
+    assert_eq!(
+        hot.fast_path_answered, hot.answered as u64,
+        "every hot answer came from the response cache"
+    );
+    assert_eq!(hot.shed + hot.failed, 0, "hot scenario was shed or failed");
+    // Overload is shed structurally: every cold request on the starved
+    // server got a parseable Overloaded error, none just lost its
+    // connection.
+    assert_eq!(overload.shed, overload.requests, "starved server shed all");
+    assert_eq!(overload.failed, 0, "sheds were structured, not disconnects");
+    if smoke {
+        // Bounded fast-path tail. The bound is deliberately loose — it
+        // catches the fast path regressing into the search path (three
+        // orders of magnitude), not scheduler jitter.
+        assert!(
+            hot.latency.p99_us < 250_000.0,
+            "hot p99 {}us blew the smoke bound",
+            hot.latency.p99_us
+        );
+        println!("load_replay: smoke assertions held (fast path never searched, sheds structured, p99 bounded)");
+    }
+
+    if let Some(path) = json_path {
+        let report = ReplayReport {
+            bench: "load_replay".to_string(),
+            smoke,
+            scenarios: results,
+        };
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(parent).expect("create results dir");
+        }
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, json).expect("write report");
+        println!("load_replay: report written to {path}");
+    }
+    println!("load_replay: done");
+}

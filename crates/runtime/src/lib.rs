@@ -27,12 +27,18 @@
 //!   deduplicated onto one search and distinct requests run concurrently
 //!   under a [`BatchConfig`] thread budget, with responses bit-identical
 //!   to serving each request alone,
-//! * [`pipeline`] — the staged request pipeline (`Normalize →
-//!   Fingerprint → Coalesce → CacheLookup → WarmStartSeed → Search →
-//!   ArchiveFeedback`) that `submit`, `submit_batch` and the
+//! * [`pipeline`] — the staged request pipeline, split into a pure
+//!   bounded-latency fast path (`Normalize → Fingerprint → Coalesce →
+//!   CacheLookup`) and a search-running slow path (`ResolveEvaluator →
+//!   WarmStartSeed → Search → ArchiveFeedback`) joined by the typed
+//!   [`FastPathOutcome`] seam, which `submit`, `submit_batch` and the
 //!   `mnc-wire`/`mnc-server` JSON front-end all drive, with per-stage
 //!   counters ([`PipelineStats`]) and a per-request stage trace in every
 //!   [`RequestStats`],
+//! * [`response_cache`] — the bounded cache of answered cold requests
+//!   behind the fast path: a repeated identical request replays its
+//!   stored response without touching the evaluator pool or a search
+//!   worker,
 //! * [`warmstart`] — the opt-in warm-start path: Pareto elites of
 //!   answered requests are archived per (model, platform) and, when a
 //!   request sets `warm_start`, re-ranked by an `mnc_predictor` surrogate
@@ -53,10 +59,12 @@
 //!     .population_size(8);
 //! let response = service.submit(&request)?;
 //! assert!(!response.pareto_front.is_empty());
-//! // An identical request is served almost entirely from the cache.
+//! // An identical request is answered on the pipeline's fast path: the
+//! // stored response replays bit-identically without running a search.
 //! let again = service.submit(&request)?;
 //! assert_eq!(response.pareto_front, again.pareto_front);
-//! assert!(again.stats.cache_hits > 0);
+//! assert_eq!(service.pipeline_stats().fast_path_answered, 1);
+//! assert_eq!(service.pipeline_stats().searches_run, 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -69,6 +77,7 @@ pub mod cached;
 pub mod error;
 pub mod pipeline;
 pub mod registry;
+pub mod response_cache;
 pub mod scheduler;
 pub mod service;
 pub mod telemetry;
@@ -78,12 +87,14 @@ pub use cache::{CacheStats, ComputeLease, EvalCache};
 pub use cached::{CacheTraffic, CachedEvaluator};
 pub use error::RuntimeError;
 pub use pipeline::{
-    PipelineStage, PipelineStats, RequestPipeline, StageMicros, StageStats, STAGE_COUNT,
+    FastPathOutcome, PipelineStage, PipelineStats, RequestPipeline, SearchTicket, StageMicros,
+    StageStats, STAGE_COUNT,
 };
 pub use registry::ModelRegistry;
+pub use response_cache::ResponseCacheStats;
 pub use scheduler::{BatchConfig, BatchReport, BatchStats};
-pub use service::{MappingRequest, MappingResponse, MappingService, RequestStats};
-pub use telemetry::TelemetryConfig;
+pub use service::{MappingRequest, MappingResponse, MappingService, RequestStats, ServiceConfig};
+pub use telemetry::{ServingMetrics, TelemetryConfig};
 pub use warmstart::{ArchiveShape, ArchiveSnapshot, EliteArchive, SurrogateRanker};
 // Telemetry vocabulary types, re-exported so front-ends (wire, server,
 // bench) can consume snapshots and traces without naming the telemetry

@@ -7,47 +7,74 @@
 //! parallelism): any new front-end — an HTTP server, a priority queue, a
 //! deadline scheduler — would have had to re-implement half of it.
 //! [`RequestPipeline`] makes the path explicit instead: an ordered
-//! sequence of stages,
+//! sequence of stages split into two tiers,
 //!
 //! ```text
-//! Normalize → Fingerprint → Coalesce → CacheLookup → WarmStartSeed
-//!           → Search → ArchiveFeedback
+//! fast path │ Normalize → Fingerprint → Coalesce → CacheLookup
+//!           │                                        │ Answered ───► response
+//!           │                                        │ Rejected ───► error
+//!           ▼                                        ▼ NeedsSearch
+//! slow path │ ResolveEvaluator → WarmStartSeed → Search → ArchiveFeedback
 //! ```
 //!
 //! over a per-request context, so [`MappingService::submit`],
 //! [`MappingService::submit_batch`] and the `mnc-wire`/`mnc-server` JSON
-//! front-end all execute the *same* code in the *same* order:
+//! front-end all execute the *same* code in the *same* order.
+//!
+//! The **fast path** ([`RequestPipeline::fast_path`]) is pure and
+//! bounded-latency — it validates, hashes and probes caches but never
+//! builds an evaluator or runs a search, so an event-driven server can
+//! run it on its reactor thread:
 //!
 //! * **Normalize** — reject malformed budgets and unknown presets before
 //!   any expensive work, and derive the answer-neutral normalised form
-//!   (thread count stripped) that coalescing groups on.
+//!   (thread count stripped) that coalescing and the response cache key
+//!   on.
 //! * **Fingerprint** — hash the answer-determining request content: the
 //!   full-request coalescing key and the evaluator-defining key that
 //!   indexes the evaluator pool.
 //! * **Coalesce** — group identical requests so N duplicates run one
 //!   search (a batch-level stage; a single request passes through and is
 //!   merely counted).
-//! * **CacheLookup** — resolve the evaluator (pooled or freshly built,
-//!   build-claimed so concurrent cold requests share one construction)
-//!   and splice the shared [`EvalCache`](crate::cache::EvalCache) in
-//!   front of it.
+//! * **CacheLookup** — probe the bounded
+//!   [`ResponseCache`](crate::response_cache) of previously answered
+//!   cold requests; a hit replays the stored response verbatim
+//!   ([`FastPathOutcome::Answered`]) without ever touching the search
+//!   pool.
+//!
+//! The outcome of the fast path is the typed seam between the tiers:
+//! [`FastPathOutcome::Answered`], [`FastPathOutcome::Rejected`], or
+//! [`FastPathOutcome::NeedsSearch`] carrying a [`SearchTicket`] that the
+//! **slow path** ([`RequestPipeline::slow_path`]) redeems — on the same
+//! thread (`submit`) or on a search worker (the reactor server):
+//!
+//! * **ResolveEvaluator** — resolve the evaluator (pooled or freshly
+//!   built, build-claimed so concurrent cold requests share one
+//!   construction) and splice the shared
+//!   [`EvalCache`](crate::cache::EvalCache) in front of it.
 //! * **WarmStartSeed** — when the request opts in, gather and
 //!   surrogate-rank elite genomes from earlier answers.
 //! * **Search** — run the evolutionary search.
 //! * **ArchiveFeedback** — feed the Pareto elites back into the archive
-//!   for future warm starts and assemble the response.
+//!   for future warm starts, store the response for future fast-path
+//!   answers, and assemble the response.
 //!
 //! Every stage is timed and counted: each response's
 //! [`RequestStats::stage_micros`](crate::service::RequestStats) carries
 //! the per-request split, and the service-lifetime [`PipelineStats`]
 //! (per-stage entered/error/busy counters plus coalescing, evaluator-pool
 //! and archive totals) replaces the ad-hoc accounting that used to be
-//! spread across the request path. The refactor is behaviour-preserving:
-//! responses are bit-identical to the pre-pipeline `submit`/`submit_batch`
-//! for identical requests (property-tested in `tests/pipeline.rs`).
+//! spread across the request path. The split is behaviour-preserving:
+//! [`RequestPipeline::run`] is exactly `fast_path` composed with
+//! `slow_path`, and responses stay bit-identical to serving the request
+//! through the former single-tier pipeline (property-tested in
+//! `tests/pipeline.rs`; cached answers replay the bit-identical stored
+//! response, stats included, the way coalesced batch duplicates replay
+//! their leader's).
 
 use crate::cached::CachedEvaluator;
 use crate::error::RuntimeError;
+use crate::response_cache::ResponseKey;
 use crate::scheduler::{normalized_for_coalescing, BatchConfig, BatchReport, BatchStats};
 use crate::service::{MappingRequest, MappingResponse, MappingService, RequestStats};
 use mnc_core::fingerprint_serialized;
@@ -58,7 +85,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// The ordered stages of the serving path.
+/// The ordered stages of the serving path. The first four are the fast
+/// path (pure, bounded latency — safe on a reactor thread); the rest are
+/// the slow path a [`SearchTicket`] redeems.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PipelineStage {
     /// Request validation + answer-neutral normalisation.
@@ -68,19 +97,22 @@ pub enum PipelineStage {
     /// Duplicate-request grouping (batch-level; pass-through for one
     /// request).
     Coalesce,
-    /// Evaluator resolution (pool hit or claimed build) + evaluation-cache
-    /// splice.
+    /// Response-cache probe: a previously answered identical cold
+    /// request is replayed without touching the search pool.
     CacheLookup,
+    /// Evaluator resolution (pool hit or claimed build) + evaluation-cache
+    /// splice. First slow-path stage.
+    ResolveEvaluator,
     /// Warm-start seed gathering and surrogate ranking (opt-in).
     WarmStartSeed,
     /// The evolutionary search itself.
     Search,
-    /// Elite-archive feedback + response assembly.
+    /// Elite-archive feedback, response-cache store + response assembly.
     ArchiveFeedback,
 }
 
 /// Number of pipeline stages.
-pub const STAGE_COUNT: usize = 7;
+pub const STAGE_COUNT: usize = 8;
 
 impl PipelineStage {
     /// Every stage, in execution order.
@@ -89,6 +121,7 @@ impl PipelineStage {
         PipelineStage::Fingerprint,
         PipelineStage::Coalesce,
         PipelineStage::CacheLookup,
+        PipelineStage::ResolveEvaluator,
         PipelineStage::WarmStartSeed,
         PipelineStage::Search,
         PipelineStage::ArchiveFeedback,
@@ -108,6 +141,7 @@ impl PipelineStage {
             PipelineStage::Fingerprint => "fingerprint",
             PipelineStage::Coalesce => "coalesce",
             PipelineStage::CacheLookup => "cache_lookup",
+            PipelineStage::ResolveEvaluator => "resolve_evaluator",
             PipelineStage::WarmStartSeed => "warm_start_seed",
             PipelineStage::Search => "search",
             PipelineStage::ArchiveFeedback => "archive_feedback",
@@ -225,6 +259,15 @@ pub struct PipelineStats {
     /// Elite genomes offered to the archive by ArchiveFeedback (before
     /// deduplication).
     pub elites_recorded: u64,
+    /// Requests answered on the fast path (response-cache hit in
+    /// CacheLookup) — no evaluator resolution, no search.
+    pub fast_path_answered: u64,
+    /// Requests refused by serving-layer admission control (answered as
+    /// structured `Overloaded` wire errors, never enqueued).
+    pub shed_requests: u64,
+    /// Requests answered by joining an identical in-flight search at the
+    /// serving layer instead of enqueueing their own.
+    pub inflight_coalesced: u64,
 }
 
 impl PipelineStats {
@@ -235,10 +278,73 @@ impl PipelineStats {
 }
 
 /// A request prepared by the Normalize + Fingerprint stages.
-struct PreparedRequest<'r> {
-    request: &'r MappingRequest,
+#[derive(Debug)]
+struct PreparedRequest {
     config: mnc_optim::SearchConfig,
     evaluator_key: u64,
+    /// The response-cache key, derived only when the request is eligible
+    /// (cold, and the cache is enabled).
+    response_key: Option<ResponseKey>,
+}
+
+/// What the fast path (Normalize → Fingerprint → Coalesce →
+/// CacheLookup) decided about one request — the typed seam between the
+/// reactor-safe tier and the search-pool tier.
+#[derive(Debug)]
+pub enum FastPathOutcome {
+    /// An identical cold request was answered before: the stored
+    /// response is replayed verbatim (stats included, the way coalesced
+    /// batch duplicates replay their leader's). The search pool was
+    /// never touched.
+    Answered(Box<MappingResponse>),
+    /// The request is valid but needs a search; redeem the ticket with
+    /// [`RequestPipeline::slow_path`] — inline or on a worker thread.
+    NeedsSearch(Box<SearchTicket>),
+    /// The request failed validation in Normalize; no expensive stage
+    /// ran.
+    Rejected(RuntimeError),
+}
+
+/// A validated request on its way to the slow path: everything the
+/// ResolveEvaluator → WarmStartSeed → Search → ArchiveFeedback stages
+/// need, detached from the caller so it can cross onto a search worker
+/// thread. Produced by [`RequestPipeline::fast_path`], consumed by
+/// [`RequestPipeline::slow_path`]; the in-flight stage trace and request
+/// clock ride along so the response's stage accounting spans both tiers.
+#[derive(Debug)]
+pub struct SearchTicket {
+    request: MappingRequest,
+    prepared: PreparedRequest,
+    trace: StageTrace,
+    started: Instant,
+}
+
+impl SearchTicket {
+    /// The request this ticket answers.
+    pub fn request(&self) -> &MappingRequest {
+        &self.request
+    }
+
+    /// The full-request coalescing fingerprint, when the request is
+    /// response-cache eligible (cold): the key a serving layer can use
+    /// to join identical in-flight searches.
+    pub fn coalescing_fingerprint(&self) -> Option<u64> {
+        self.prepared
+            .response_key
+            .as_ref()
+            .map(|key| key.fingerprint)
+    }
+
+    /// The answer-neutral normalised request behind
+    /// [`SearchTicket::coalescing_fingerprint`] — what a serving layer
+    /// compares to confirm two tickets with equal fingerprints really
+    /// are the same request (collision safety).
+    pub fn normalized_request(&self) -> Option<&MappingRequest> {
+        self.prepared
+            .response_key
+            .as_ref()
+            .map(|key| &key.normalized)
+    }
 }
 
 /// One coalesced group: the request its leader runs (threads pinned to
@@ -309,12 +415,13 @@ impl<'s> RequestPipeline<'s> {
 
     /// Normalize + Fingerprint for one request: validate the budgets,
     /// reject unknown presets before any expensive work, and derive the
-    /// evaluator-pool key.
-    fn prepare<'r>(
+    /// evaluator-pool key plus (for response-cache-eligible requests)
+    /// the full-request coalescing key.
+    fn prepare(
         &self,
-        request: &'r MappingRequest,
+        request: &MappingRequest,
         trace: &mut StageTrace,
-    ) -> Result<PreparedRequest<'r>, RuntimeError> {
+    ) -> Result<PreparedRequest, RuntimeError> {
         let config = self.try_stage(PipelineStage::Normalize, trace, || {
             if request.validation_samples == 0 {
                 return Err(RuntimeError::InvalidRequest {
@@ -350,17 +457,31 @@ impl<'s> RequestPipeline<'s> {
             }
             Ok(config)
         })?;
-        let evaluator_key = self.stage(PipelineStage::Fingerprint, trace, || {
-            request.evaluator_key()
+        let (evaluator_key, response_key) = self.stage(PipelineStage::Fingerprint, trace, || {
+            // The coalescing fingerprint only matters to the response
+            // cache and in-flight joining, both cold-only: warm-start
+            // answers depend on archive history, so they are never
+            // replayed.
+            let response_key =
+                (!request.warm_start && self.service.responses().enabled()).then(|| {
+                    let normalized = normalized_for_coalescing(request);
+                    ResponseKey {
+                        fingerprint: fingerprint_serialized(&normalized),
+                        normalized,
+                    }
+                });
+            (request.evaluator_key(), response_key)
         });
         Ok(PreparedRequest {
-            request,
             config,
             evaluator_key,
+            response_key,
         })
     }
 
-    /// Runs the per-request pipeline end to end. This is what
+    /// Runs the per-request pipeline end to end — exactly
+    /// [`RequestPipeline::fast_path`] composed with
+    /// [`RequestPipeline::slow_path`]. This is what
     /// [`MappingService::submit`] delegates to, and what each coalesced
     /// group leader of [`RequestPipeline::run_batch`] executes.
     ///
@@ -369,11 +490,97 @@ impl<'s> RequestPipeline<'s> {
     /// Returns an error for unknown presets, an invalid request, or an
     /// internal evaluation failure.
     pub fn run(&self, request: &MappingRequest) -> Result<MappingResponse, RuntimeError> {
+        match self.fast_path(request) {
+            FastPathOutcome::Answered(response) => Ok(*response),
+            FastPathOutcome::NeedsSearch(ticket) => self.slow_path(*ticket),
+            FastPathOutcome::Rejected(error) => Err(error),
+        }
+    }
+
+    /// Runs the fast path — Normalize → Fingerprint → Coalesce →
+    /// CacheLookup — for one request. Pure and bounded-latency: it
+    /// validates, hashes and probes the response cache, but never builds
+    /// an evaluator, never takes the evaluator build claim and never
+    /// runs a search, so an event-driven server can call it on its
+    /// reactor thread.
+    ///
+    /// Answered and Rejected outcomes complete the request's telemetry
+    /// (request counter, latency histogram, trace) here; a
+    /// [`FastPathOutcome::NeedsSearch`] ticket carries the in-flight
+    /// trace and clock into [`RequestPipeline::slow_path`], which
+    /// completes them.
+    pub fn fast_path(&self, request: &MappingRequest) -> FastPathOutcome {
         let started = Instant::now();
         let telemetry = self.service.telemetry();
         telemetry.requests.inc();
         let mut trace = StageTrace::new(telemetry.begin_trace(&request.model, &request.platform));
-        let outcome = self.run_traced(request, &mut trace, started);
+
+        let prepared = match self.prepare(request, &mut trace) {
+            Ok(prepared) => prepared,
+            Err(error) => {
+                telemetry
+                    .request_duration
+                    .record(saturating_nanos(started.elapsed()));
+                telemetry.finish_trace(trace.take_recorder(), Some(error.to_string()));
+                return FastPathOutcome::Rejected(error);
+            }
+        };
+        // A single request has nothing to merge with: the Coalesce stage
+        // passes through (batch traffic does its grouping in
+        // `run_batch`), counted so the stage totals reflect every
+        // request's path.
+        self.stage(PipelineStage::Coalesce, &mut trace, || ());
+
+        let replay = self.stage(PipelineStage::CacheLookup, &mut trace, || {
+            prepared
+                .response_key
+                .as_ref()
+                .and_then(|key| self.service.responses().probe(key))
+        });
+        trace.note("cache_lookup", || match (&replay, &prepared.response_key) {
+            (Some(_), _) => "response cache hit".to_string(),
+            (None, Some(_)) => "response cache miss".to_string(),
+            (None, None) => "response cache skipped (warm start or disabled)".to_string(),
+        });
+        if let Some(stored) = replay {
+            telemetry.fast_path_answered.inc();
+            telemetry
+                .request_duration
+                .record(saturating_nanos(started.elapsed()));
+            telemetry.finish_trace(trace.take_recorder(), None);
+            return FastPathOutcome::Answered(Box::new(MappingResponse::clone(&stored)));
+        }
+        FastPathOutcome::NeedsSearch(Box::new(SearchTicket {
+            request: request.clone(),
+            prepared,
+            trace,
+            started,
+        }))
+    }
+
+    /// Redeems a [`SearchTicket`]: ResolveEvaluator → WarmStartSeed →
+    /// Search → ArchiveFeedback, plus the response-cache store that
+    /// makes the next identical cold request a fast-path answer.
+    /// Completes the telemetry the fast path left in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an evaluator build failure or an internal
+    /// evaluation failure.
+    pub fn slow_path(&self, ticket: SearchTicket) -> Result<MappingResponse, RuntimeError> {
+        let SearchTicket {
+            request,
+            prepared,
+            mut trace,
+            started,
+        } = ticket;
+        let telemetry = self.service.telemetry();
+        let outcome = self.finish(&request, &prepared, &mut trace, started);
+        if let Ok(response) = &outcome {
+            if let Some(key) = &prepared.response_key {
+                self.service.responses().insert(key, response);
+            }
+        }
         // The request histogram records errors too, so its count always
         // equals the requests counter.
         telemetry
@@ -384,36 +591,19 @@ impl<'s> RequestPipeline<'s> {
         outcome
     }
 
-    /// [`RequestPipeline::run`] minus the request-level telemetry
-    /// bracketing, so `?` can be used freely.
-    fn run_traced(
-        &self,
-        request: &MappingRequest,
-        trace: &mut StageTrace,
-        started: Instant,
-    ) -> Result<MappingResponse, RuntimeError> {
-        let prepared = self.prepare(request, trace)?;
-        // A single request has nothing to merge with: the Coalesce stage
-        // passes through (batch traffic does its grouping in
-        // `run_batch`), counted so the stage totals reflect every
-        // request's path.
-        self.stage(PipelineStage::Coalesce, trace, || ());
-        self.finish(prepared, trace, started)
-    }
-
-    /// CacheLookup → WarmStartSeed → Search → ArchiveFeedback for a
+    /// ResolveEvaluator → WarmStartSeed → Search → ArchiveFeedback for a
     /// prepared request.
     fn finish(
         &self,
-        prepared: PreparedRequest<'_>,
+        request: &MappingRequest,
+        prepared: &PreparedRequest,
         trace: &mut StageTrace,
         started: Instant,
     ) -> Result<MappingResponse, RuntimeError> {
         let telemetry = self.service.telemetry();
-        let request = prepared.request;
 
         let (cached, evaluator, built) =
-            self.try_stage(PipelineStage::CacheLookup, trace, || {
+            self.try_stage(PipelineStage::ResolveEvaluator, trace, || {
                 let (evaluator, fingerprint, built) = self
                     .service
                     .resolve_evaluator_keyed(request, prepared.evaluator_key)?;
@@ -429,7 +619,7 @@ impl<'s> RequestPipeline<'s> {
                 );
                 Ok((cached, evaluator, built))
             })?;
-        trace.note("cache_lookup", || {
+        trace.note("resolve_evaluator", || {
             format!("evaluator {}", if built { "built" } else { "pool_hit" })
         });
 
@@ -714,6 +904,7 @@ mod tests {
                 "fingerprint",
                 "coalesce",
                 "cache_lookup",
+                "resolve_evaluator",
                 "warm_start_seed",
                 "search",
                 "archive_feedback"
@@ -763,8 +954,102 @@ mod tests {
         assert_eq!(stats.stage(PipelineStage::Normalize).errors, 2);
         // Neither request made it past Normalize.
         assert_eq!(stats.stage(PipelineStage::CacheLookup).entered, 0);
+        assert_eq!(stats.stage(PipelineStage::ResolveEvaluator).entered, 0);
         assert_eq!(stats.stage(PipelineStage::Search).entered, 0);
         assert_eq!(stats.evaluator_builds, 0);
+    }
+
+    #[test]
+    fn repeated_cold_request_is_answered_on_the_fast_path() {
+        let service = MappingService::new();
+        let cold = service.pipeline().run(&small_request()).unwrap();
+        let replay = service.pipeline().run(&small_request()).unwrap();
+        // Bit-identical replay, stats included — the stored response
+        // verbatim, like a coalesced batch duplicate.
+        assert_eq!(cold, replay);
+        let stats = service.pipeline_stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.fast_path_answered, 1);
+        assert_eq!(stats.searches_run, 1, "the replay never searched");
+        assert_eq!(stats.stage(PipelineStage::CacheLookup).entered, 2);
+        assert_eq!(
+            stats.stage(PipelineStage::ResolveEvaluator).entered,
+            1,
+            "the fast path never resolves an evaluator"
+        );
+        let responses = service.response_cache_stats();
+        assert_eq!(responses.hits, 1);
+        assert_eq!(responses.insertions, 1);
+    }
+
+    #[test]
+    fn fast_path_outcome_seam_is_typed_and_composable() {
+        let service = MappingService::new();
+        let pipeline = service.pipeline();
+        // Rejected: invalid requests never produce a ticket.
+        match pipeline.fast_path(&MappingRequest::new("resnet", "dual_test")) {
+            FastPathOutcome::Rejected(RuntimeError::UnknownModel { .. }) => {}
+            other => panic!("expected a rejection, got {other:?}"),
+        }
+        // NeedsSearch: a cold first-time request yields a ticket that
+        // carries the coalescing identity for in-flight joining.
+        let ticket = match pipeline.fast_path(&small_request()) {
+            FastPathOutcome::NeedsSearch(ticket) => ticket,
+            other => panic!("expected a ticket, got {other:?}"),
+        };
+        assert_eq!(ticket.request(), &small_request());
+        let fingerprint = ticket.coalescing_fingerprint().expect("cold → eligible");
+        assert!(ticket.normalized_request().is_some());
+        let response = pipeline.slow_path(*ticket).unwrap();
+        // Answered: redeeming the ticket stored the response, so the
+        // identical request now completes inside the fast path.
+        match pipeline.fast_path(&small_request()) {
+            FastPathOutcome::Answered(replay) => assert_eq!(*replay, response),
+            other => panic!("expected a fast-path answer, got {other:?}"),
+        }
+        // The fingerprint is the batch-coalescing key: stable across
+        // calls for the same request.
+        let again = match pipeline.fast_path(&small_request().seed(99)) {
+            FastPathOutcome::NeedsSearch(ticket) => ticket,
+            other => panic!("expected a ticket, got {other:?}"),
+        };
+        assert_ne!(again.coalescing_fingerprint().unwrap(), fingerprint);
+    }
+
+    #[test]
+    fn warm_start_requests_bypass_the_response_cache() {
+        let service = MappingService::new();
+        let pipeline = service.pipeline();
+        pipeline.run(&small_request()).unwrap();
+        let warm = small_request().warm_start(true).stall_generations(2);
+        pipeline.run(&warm).unwrap();
+        pipeline.run(&warm).unwrap();
+        let stats = service.pipeline_stats();
+        // Both warm submissions searched: warm answers depend on archive
+        // history, so they are never stored or replayed.
+        assert_eq!(stats.searches_run, 3);
+        assert_eq!(stats.fast_path_answered, 0);
+        match pipeline.fast_path(&warm) {
+            FastPathOutcome::NeedsSearch(ticket) => {
+                assert_eq!(ticket.coalescing_fingerprint(), None);
+                assert!(ticket.normalized_request().is_none());
+            }
+            other => panic!("warm requests always need a search, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_response_cache_reruns_every_search() {
+        let service = MappingService::with_config(crate::service::ServiceConfig {
+            response_cache_entries: 0,
+            ..Default::default()
+        });
+        service.pipeline().run(&small_request()).unwrap();
+        service.pipeline().run(&small_request()).unwrap();
+        let stats = service.pipeline_stats();
+        assert_eq!(stats.searches_run, 2);
+        assert_eq!(stats.fast_path_answered, 0);
+        assert_eq!(service.response_cache_stats().insertions, 0);
     }
 
     #[test]
@@ -832,8 +1117,11 @@ mod tests {
         let span_stages: Vec<&str> = trace.stages.iter().map(|s| s.stage.as_ref()).collect();
         let expected: Vec<&str> = PipelineStage::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(span_stages, expected);
-        // Decision events and the search's generation stream rode along.
+        // Decision events and the search's generation stream rode along
+        // — fast-path events (response-cache probe) and slow-path events
+        // (evaluator resolution) in one trace.
         assert!(trace.events.iter().any(|e| e.label == "cache_lookup"));
+        assert!(trace.events.iter().any(|e| e.label == "resolve_evaluator"));
         assert_eq!(trace.generations.len(), response.stats.generations_run);
         assert_eq!(
             trace

@@ -19,7 +19,8 @@ use crate::cache::{CacheStats, EvalCache};
 use crate::error::RuntimeError;
 use crate::pipeline::{PipelineStats, RequestPipeline, StageMicros};
 use crate::registry::ModelRegistry;
-use crate::telemetry::{ServiceTelemetry, TelemetryConfig};
+use crate::response_cache::{ResponseCache, ResponseCacheStats, DEFAULT_RESPONSE_CACHE_ENTRIES};
+use crate::telemetry::{ServiceTelemetry, ServingMetrics, TelemetryConfig};
 use crate::warmstart::{EliteArchive, SurrogateRanker};
 use mnc_core::{
     fingerprint_serialized, Constraints, Evaluator, EvaluatorBuilder, ObjectiveWeights,
@@ -341,6 +342,27 @@ pub struct MappingResponse {
     pub stats: RequestStats,
 }
 
+/// Service-wide construction knobs beyond the telemetry configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Observability knobs (trace rings, generation streaming).
+    pub telemetry: TelemetryConfig,
+    /// Bound on the response cache behind the pipeline's fast path, in
+    /// entries; 0 disables it, so every request runs its search (the
+    /// pre-split behaviour — what benchmarks of the evaluation cache
+    /// want).
+    pub response_cache_entries: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            telemetry: TelemetryConfig::default(),
+            response_cache_entries: DEFAULT_RESPONSE_CACHE_ENTRIES,
+        }
+    }
+}
+
 /// A long-lived mapping service with shared registries, evaluator pool and
 /// evaluation cache.
 #[derive(Debug)]
@@ -359,6 +381,9 @@ pub struct MappingService {
     /// Surrogate rankers memoised per platform preset (training one takes
     /// longer than ranking with it by orders of magnitude).
     rankers: Mutex<HashMap<String, Arc<SurrogateRanker>>>,
+    /// Previously answered cold requests, replayed by the pipeline's
+    /// fast path (see [`crate::response_cache`]).
+    responses: ResponseCache,
     /// The service's telemetry hub: metric registry, pre-wired pipeline
     /// handles and the trace rings.
     telemetry: ServiceTelemetry,
@@ -406,6 +431,24 @@ impl MappingService {
     /// Creates a service over an existing cache with the given telemetry
     /// configuration.
     pub fn with_cache_and_telemetry(cache: Arc<EvalCache>, config: TelemetryConfig) -> Self {
+        Self::with_cache_and_config(
+            cache,
+            ServiceConfig {
+                telemetry: config,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    /// Creates a service with a fresh cache and the given
+    /// [`ServiceConfig`].
+    pub fn with_config(config: ServiceConfig) -> Self {
+        Self::with_cache_and_config(Arc::new(EvalCache::new()), config)
+    }
+
+    /// Creates a service over an existing cache with the given
+    /// [`ServiceConfig`].
+    pub fn with_cache_and_config(cache: Arc<EvalCache>, config: ServiceConfig) -> Self {
         MappingService {
             models: ModelRegistry::new(),
             platforms: PlatformRegistry::new(),
@@ -415,7 +458,8 @@ impl MappingService {
             building_done: Condvar::new(),
             elites: EliteArchive::new(),
             rankers: Mutex::new(HashMap::new()),
-            telemetry: ServiceTelemetry::new(config),
+            responses: ResponseCache::new(config.response_cache_entries),
+            telemetry: ServiceTelemetry::new(config.telemetry),
         }
     }
 
@@ -484,6 +528,27 @@ impl MappingService {
         &self.elites
     }
 
+    /// The fast-path response cache.
+    pub(crate) fn responses(&self) -> &ResponseCache {
+        &self.responses
+    }
+
+    /// Service-lifetime response-cache counters (the cache behind
+    /// fast-path answers).
+    pub fn response_cache_stats(&self) -> ResponseCacheStats {
+        self.responses.stats()
+    }
+
+    /// The pre-registered serving-layer metric handles (connection and
+    /// queue gauges, shed/coalesce counters) a front-end drives. Values
+    /// land in the same registry as the pipeline's own counters, so they
+    /// show up in [`MappingService::metrics_snapshot`],
+    /// [`MappingService::prometheus_text`] and
+    /// [`MappingService::pipeline_stats`].
+    pub fn serving_metrics(&self) -> ServingMetrics {
+        self.telemetry.serving.clone()
+    }
+
     /// The staged request pipeline over this service — the single serving
     /// path [`MappingService::submit`], [`MappingService::submit_batch`]
     /// and the wire front-end all drive.
@@ -514,6 +579,27 @@ impl MappingService {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snapshot = self.telemetry.metrics_snapshot();
         self.cache.record_metrics(&mut snapshot);
+        let responses = self.responses.stats();
+        snapshot.push_counter(
+            MetricKey::plain("mnc_response_cache_hits_total"),
+            responses.hits,
+        );
+        snapshot.push_counter(
+            MetricKey::plain("mnc_response_cache_misses_total"),
+            responses.misses,
+        );
+        snapshot.push_counter(
+            MetricKey::plain("mnc_response_cache_insertions_total"),
+            responses.insertions,
+        );
+        snapshot.push_counter(
+            MetricKey::plain("mnc_response_cache_evictions_total"),
+            responses.evictions,
+        );
+        snapshot.push_gauge(
+            MetricKey::plain("mnc_response_cache_entries"),
+            responses.entries as f64,
+        );
         snapshot.push_gauge(
             MetricKey::plain("mnc_archive_genomes"),
             self.elites.len() as f64,
@@ -708,9 +794,13 @@ impl MappingService {
     }
 
     /// Answers one mapping request by driving the staged
-    /// [`RequestPipeline`] (Normalize → Fingerprint → Coalesce →
-    /// CacheLookup → WarmStartSeed → Search → ArchiveFeedback) — the same
-    /// path [`MappingService::submit_batch`] and the wire front-end use.
+    /// [`RequestPipeline`] — the fast path (Normalize → Fingerprint →
+    /// Coalesce → CacheLookup) composed with the slow path
+    /// (ResolveEvaluator → WarmStartSeed → Search → ArchiveFeedback) —
+    /// the same path [`MappingService::submit_batch`] and the wire
+    /// front-end use. A repeated identical cold request is answered on
+    /// the fast path by replaying the stored response without running a
+    /// search.
     ///
     /// # Errors
     ///

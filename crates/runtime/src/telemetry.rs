@@ -11,8 +11,8 @@
 
 use crate::pipeline::{PipelineStage, PipelineStats, StageStats, STAGE_COUNT};
 use mnc_telemetry::{
-    Counter, Histogram, LatencySummary, MetricKey, MetricsRegistry, MetricsSnapshot, RequestTrace,
-    SpanRecorder, TraceRing,
+    Counter, Gauge, Histogram, LatencySummary, MetricKey, MetricsRegistry, MetricsSnapshot,
+    RequestTrace, SpanRecorder, TraceRing,
 };
 use std::sync::Arc;
 
@@ -24,6 +24,30 @@ pub(crate) const STAGE_ERRORS_METRIC: &str = "mnc_pipeline_stage_errors_total";
 pub(crate) const REQUEST_DURATION_METRIC: &str = "mnc_request_duration_nanos";
 /// Requests-per-batch histogram.
 pub(crate) const BATCH_SIZE_METRIC: &str = "mnc_batch_size";
+
+/// The serving-layer metric handles a front-end (the reactor server)
+/// drives: connection and queue-depth gauges plus the admission-control
+/// counters. Handed out pre-registered by
+/// [`MappingService::serving_metrics`], so server hot paths touch only
+/// atomics and the values land in the same registry snapshot /
+/// [`PipelineStats`] as the pipeline's own counters.
+///
+/// [`MappingService::serving_metrics`]: crate::service::MappingService::serving_metrics
+#[derive(Debug, Clone)]
+pub struct ServingMetrics {
+    /// Open wire connections (`mnc_server_connections`).
+    pub connections: Arc<Gauge>,
+    /// Requests queued for the search-worker pool
+    /// (`mnc_server_queue_depth`).
+    pub queue_depth: Arc<Gauge>,
+    /// Requests shed by admission control
+    /// (`mnc_shed_requests_total`).
+    pub shed_requests: Arc<Counter>,
+    /// Requests answered by joining an identical in-flight search
+    /// instead of enqueueing their own
+    /// (`mnc_inflight_coalesced_total`).
+    pub inflight_coalesced: Arc<Counter>,
+}
 
 /// How much observability the service records. Histograms and lifetime
 /// counters are always on (they replace the former ad-hoc totals at the
@@ -93,6 +117,8 @@ pub(crate) struct ServiceTelemetry {
     pub(crate) evaluations_scheduled: Arc<Counter>,
     pub(crate) evaluations_performed: Arc<Counter>,
     pub(crate) elites_recorded: Arc<Counter>,
+    pub(crate) fast_path_answered: Arc<Counter>,
+    pub(crate) serving: ServingMetrics,
     traces: TraceRing,
 }
 
@@ -130,6 +156,13 @@ impl ServiceTelemetry {
             evaluations_scheduled: counter("mnc_evaluations_scheduled_total"),
             evaluations_performed: counter("mnc_evaluations_performed_total"),
             elites_recorded: counter("mnc_elites_recorded_total"),
+            fast_path_answered: counter("mnc_fast_path_answered_total"),
+            serving: ServingMetrics {
+                connections: registry.gauge(MetricKey::plain("mnc_server_connections")),
+                queue_depth: registry.gauge(MetricKey::plain("mnc_server_queue_depth")),
+                shed_requests: counter("mnc_shed_requests_total"),
+                inflight_coalesced: counter("mnc_inflight_coalesced_total"),
+            },
             traces: TraceRing::new(
                 config.trace_capacity,
                 config.slow_trace_capacity,
@@ -192,6 +225,9 @@ impl ServiceTelemetry {
             evaluations_scheduled: self.evaluations_scheduled.value(),
             evaluations_performed: self.evaluations_performed.value(),
             elites_recorded: self.elites_recorded.value(),
+            fast_path_answered: self.fast_path_answered.value(),
+            shed_requests: self.serving.shed_requests.value(),
+            inflight_coalesced: self.serving.inflight_coalesced.value(),
         }
     }
 

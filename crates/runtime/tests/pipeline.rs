@@ -144,8 +144,8 @@ fn stage_trace_is_coherent_per_request() {
         response.stats.stage_micros_total() <= response.stats.elapsed_ms * 1e3 + 1.0,
         "stage totals exceed the request wall time"
     );
-    // A cold request spends its time in CacheLookup (evaluator build) and
-    // Search; bookkeeping stages are comparatively free.
+    // A cold request spends its time in ResolveEvaluator (evaluator
+    // build) and Search; bookkeeping stages are comparatively free.
     assert!(
         trace[PipelineStage::Normalize.index()] + trace[PipelineStage::Fingerprint.index()]
             < response.stats.elapsed_ms * 1e3
@@ -170,13 +170,16 @@ fn pipeline_counters_add_up_across_batches_and_errors() {
     assert_eq!(stats.requests, 4);
     assert_eq!(stats.batches, 1);
     assert_eq!(stats.coalesced_requests, 1);
-    assert_eq!(stats.searches_run, 3);
+    // The direct re-submit of `ok` replays the batch leader's stored
+    // response on the fast path, so only the two batch leaders searched.
+    assert_eq!(stats.searches_run, 2);
+    assert_eq!(stats.fast_path_answered, 1);
     assert_eq!(stats.stage(PipelineStage::Normalize).errors, 1);
-    assert_eq!(stats.stage(PipelineStage::Search).entered, 3);
+    assert_eq!(stats.stage(PipelineStage::Search).entered, 2);
     assert!(stats.evaluations_scheduled >= stats.evaluations_performed);
     assert_eq!(
         stats.evaluator_builds + stats.evaluator_pool_hits,
-        stats.stage(PipelineStage::CacheLookup).entered
+        stats.stage(PipelineStage::ResolveEvaluator).entered
     );
 }
 

@@ -5,7 +5,9 @@ use mnc_core::EvaluatorBuilder;
 use mnc_mpsoc::Platform;
 use mnc_nn::models::{visformer_tiny, ModelPreset};
 use mnc_optim::{ConfigEvaluator, Genome, MappingSearch, SearchConfig};
-use mnc_runtime::{BatchConfig, CachedEvaluator, EvalCache, MappingRequest, MappingService};
+use mnc_runtime::{
+    BatchConfig, CachedEvaluator, EvalCache, MappingRequest, MappingService, ServiceConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -186,7 +188,14 @@ fn repeated_request_is_served_from_cache_at_least_3x_faster() {
     // model) large enough to dominate the search-loop overhead both
     // requests share — the evaluation fast path made cold evaluations
     // ~10-100× cheaper, which is exactly the margin this test divides by.
-    let service = MappingService::new();
+    // The response cache is disabled so the repeat actually re-runs its
+    // search against the *evaluation* cache (with it on, the repeat is a
+    // verbatim fast-path replay and never touches the evaluator — that
+    // path is covered by the pipeline tests).
+    let service = MappingService::with_config(ServiceConfig {
+        response_cache_entries: 0,
+        ..Default::default()
+    });
     let request = MappingRequest::new("visformer_cifar100", "dual_test")
         .validation_samples(1000)
         .generations(6)

@@ -4,6 +4,9 @@
 //! mnc-server [--addr 127.0.0.1:7477] [--archive-dir DIR]
 //!            [--max-batch N] [--max-evaluations N] [--max-samples N]
 //!            [--trace-capacity N] [--slow-threshold-micros N]
+//!            [--max-connections N] [--queue-depth N]
+//!            [--inflight-per-conn N] [--workers N]
+//!            [--drain-deadline-ms N] [--legacy-blocking]
 //! mnc-server --metrics [HOST:PORT]       # scrape a running server (Prometheus text)
 //! mnc-server --metrics-json [HOST:PORT]  # scrape a running server (JSON snapshot)
 //! ```
@@ -15,18 +18,28 @@
 //! snapshot in that directory is loaded at startup and rewritten on every
 //! wire `Persist` command, so warm-start knowledge survives restarts.
 //!
+//! By default the event-driven reactor front-end serves the socket:
+//! one reactor thread multiplexes every connection, answers fast-path
+//! requests (response-cache hits, structured rejections) inline and
+//! hands searches to a bounded worker pool, shedding overload as
+//! structured `Overloaded` errors per the admission-control flags.
+//! `--legacy-blocking` selects the original thread-per-connection
+//! server instead (same wire semantics, no admission control).
+//!
 //! `--metrics`/`--metrics-json` turn the binary into a one-shot client:
 //! it connects to the given address (default `127.0.0.1:7477`), issues
 //! the wire `Metrics` command and prints the exposition to stdout — the
 //! scrape path for cron jobs and Prometheus textfile collectors.
 
-use mnc_server::{RequestLimits, Server, ServerConfig, WireClient};
+use mnc_server::{ReactorConfig, ReactorServer, RequestLimits, Server, ServerConfig, WireClient};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: mnc-server [--addr HOST:PORT] [--archive-dir DIR] \
                      [--max-batch N] [--max-evaluations N] [--max-samples N] \
-                     [--trace-capacity N] [--slow-threshold-micros N] | \
+                     [--trace-capacity N] [--slow-threshold-micros N] \
+                     [--max-connections N] [--queue-depth N] [--inflight-per-conn N] \
+                     [--workers N] [--drain-deadline-ms N] [--legacy-blocking] | \
                      mnc-server --metrics|--metrics-json [HOST:PORT]";
 
 /// What kind of one-shot metrics scrape was requested, if any.
@@ -41,6 +54,9 @@ struct Args {
     limits: RequestLimits,
     telemetry: mnc_runtime::TelemetryConfig,
     metrics: Option<MetricsMode>,
+    reactor: ReactorConfig,
+    drain_deadline_ms: u64,
+    legacy_blocking: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +66,9 @@ fn parse_args() -> Result<Args, String> {
         limits: RequestLimits::default(),
         telemetry: mnc_runtime::TelemetryConfig::default(),
         metrics: None,
+        reactor: ReactorConfig::default(),
+        drain_deadline_ms: mnc_server::DEFAULT_DRAIN_DEADLINE_MS,
+        legacy_blocking: false,
     };
     let mut iter = std::env::args().skip(1).peekable();
     while let Some(flag) = iter.next() {
@@ -85,6 +104,32 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--slow-threshold-micros: {e}"))?;
             }
+            "--max-connections" => {
+                args.reactor.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?;
+            }
+            "--queue-depth" => {
+                args.reactor.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--inflight-per-conn" => {
+                args.reactor.inflight_per_conn = value("--inflight-per-conn")?
+                    .parse()
+                    .map_err(|e| format!("--inflight-per-conn: {e}"))?;
+            }
+            "--workers" => {
+                args.reactor.search_workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--drain-deadline-ms" => {
+                args.drain_deadline_ms = value("--drain-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--drain-deadline-ms: {e}"))?;
+            }
+            "--legacy-blocking" => args.legacy_blocking = true,
             "--metrics" | "--metrics-json" => {
                 args.metrics = Some(if flag == "--metrics" {
                     MetricsMode::Prometheus
@@ -152,12 +197,58 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let server = match Server::bind(ServerConfig {
+    let config = ServerConfig {
         addr: args.addr,
         archive_dir: args.archive_dir,
         limits: args.limits,
         telemetry: args.telemetry,
-    }) {
+        drain_deadline_ms: args.drain_deadline_ms,
+    };
+    if args.legacy_blocking {
+        run_blocking(config)
+    } else {
+        run_reactor(config, args.reactor)
+    }
+}
+
+/// Serves with the original thread-per-connection front-end.
+fn run_blocking(config: ServerConfig) -> ExitCode {
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("startup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("startup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if server.archive_loaded() > 0 {
+        println!(
+            "loaded {} archived elite genomes for warm starts",
+            server.archive_loaded()
+        );
+    }
+    println!("mnc-server listening on {addr}");
+    match server.run() {
+        Ok(()) => {
+            println!("mnc-server stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Serves with the event-driven reactor front-end (the default).
+fn run_reactor(config: ServerConfig, reactor: ReactorConfig) -> ExitCode {
+    let server = match ReactorServer::bind(config, reactor) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("startup failed: {e}");

@@ -1,8 +1,9 @@
-//! CI round-trip smoke for the wire front-end.
+//! CI round-trip smoke for the wire front-ends.
 //!
-//! Boots a real `mnc-server` on an ephemeral port (the same
-//! `Server::run` accept loop the binary uses), drives it with the
-//! `WireClient`, and asserts — exiting non-zero on any violation:
+//! Runs one shared assertion suite against **both** servers — the
+//! legacy blocking `Server` and the event-driven `ReactorServer` — on
+//! ephemeral ports, drives them with the `WireClient`, and asserts —
+//! exiting non-zero on any violation:
 //!
 //! 1. a wire `Submit` returns a Pareto front **bit-identical** to
 //!    in-process `MappingService::submit` for the same request;
@@ -14,24 +15,30 @@
 //! 4. persistence: after `Persist` + restart into the same
 //!    `--archive-dir`, a warm-started request schedules exactly as many
 //!    evaluations and returns exactly the front of the pre-restart warm
-//!    request (the archive the two searches seed from is identical).
+//!    request (the archive the two searches seed from is identical);
+//! 5. a repeated cold request is answered on the fast path (the batch
+//!    leader that duplicates the first submit replays its cached
+//!    response instead of searching again).
 //!
 //! ```text
 //! cargo run --release -p mnc-server --bin wire_smoke -- --json results/wire_smoke_ci.json
 //! ```
 
 use mnc_runtime::{MappingRequest, MappingService};
-use mnc_server::{spawn_on_ephemeral_port, RequestLimits, WireClient};
+use mnc_server::reactor::spawn_reactor_on_ephemeral_port;
+use mnc_server::{spawn_on_ephemeral_port, ReactorHandle, RequestLimits, ServerHandle, WireClient};
 use mnc_wire::frame;
 use mnc_wire::{ErrorCode, WireBatch, WireResult};
 use serde::Serialize;
 use std::io::BufReader;
 use std::net::TcpStream;
+use std::path::Path;
 
 /// The `--json` report tracked under `results/`.
 #[derive(Debug, Serialize)]
 struct SmokeReport {
     bench: String,
+    servers_checked: Vec<String>,
     roundtrip_bit_identical: bool,
     batch_requests: usize,
     batch_coalesced: usize,
@@ -40,6 +47,78 @@ struct SmokeReport {
     warm_evaluations_after_restart: usize,
     persisted_genomes: usize,
     pipeline_searches_run: u64,
+    fast_path_answered: u64,
+}
+
+/// Which front-end a suite run talks to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServerKind {
+    Blocking,
+    Reactor,
+}
+
+impl ServerKind {
+    fn label(self) -> &'static str {
+        match self {
+            ServerKind::Blocking => "blocking",
+            ServerKind::Reactor => "reactor",
+        }
+    }
+}
+
+/// A spawned server of either kind — the suite only needs an address
+/// and a join.
+enum Handle {
+    Blocking(ServerHandle),
+    Reactor(ReactorHandle),
+}
+
+impl Handle {
+    fn addr(&self) -> std::net::SocketAddr {
+        match self {
+            Handle::Blocking(handle) => handle.addr(),
+            Handle::Reactor(handle) => handle.addr(),
+        }
+    }
+
+    fn join(self) {
+        match self {
+            Handle::Blocking(handle) => {
+                handle.join().expect("server stopped cleanly");
+            }
+            Handle::Reactor(handle) => {
+                handle.join().expect("reactor stopped cleanly");
+            }
+        }
+    }
+}
+
+fn spawn(kind: ServerKind, archive_dir: &Path) -> Handle {
+    match kind {
+        ServerKind::Blocking => Handle::Blocking(
+            spawn_on_ephemeral_port(Some(archive_dir.to_path_buf()), RequestLimits::default())
+                .expect("blocking server boots on an ephemeral port"),
+        ),
+        ServerKind::Reactor => Handle::Reactor(
+            spawn_reactor_on_ephemeral_port(
+                Some(archive_dir.to_path_buf()),
+                RequestLimits::default(),
+            )
+            .expect("reactor server boots on an ephemeral port"),
+        ),
+    }
+}
+
+/// What one full suite run measured (consumed by the JSON report).
+struct SuiteOutcome {
+    batch_requests: usize,
+    batch_coalesced: usize,
+    error_paths: usize,
+    warm_evaluations_before: usize,
+    warm_evaluations_after: usize,
+    persisted_genomes: usize,
+    searches_run: u64,
+    fast_path_answered: u64,
 }
 
 fn request() -> MappingRequest {
@@ -86,21 +165,18 @@ fn raw_exchange(addr: std::net::SocketAddr, payload: &str) -> mnc_wire::WireResp
     mnc_wire::decode_response(&text).expect("decode raw response")
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let json_path = args
-        .iter()
-        .position(|arg| arg == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-
-    let archive_dir = std::env::temp_dir().join(format!("mnc_wire_smoke_{}", std::process::id()));
+/// The shared suite: every assertion runs identically against both
+/// front-ends, so the reactor cannot drift from the blocking reference
+/// semantics.
+fn run_suite(kind: ServerKind) -> SuiteOutcome {
+    let label = kind.label();
+    let archive_dir =
+        std::env::temp_dir().join(format!("mnc_wire_smoke_{label}_{}", std::process::id()));
     std::fs::create_dir_all(&archive_dir).expect("create archive dir");
 
-    let handle = spawn_on_ephemeral_port(Some(archive_dir.clone()), RequestLimits::default())
-        .expect("server boots on an ephemeral port");
+    let handle = spawn(kind, &archive_dir);
     let addr = handle.addr();
-    println!("wire_smoke: server on {addr}");
+    println!("wire_smoke[{label}]: server on {addr}");
     let mut client = WireClient::connect(addr).expect("client connects");
 
     // --- liveness + catalogues -------------------------------------------
@@ -121,7 +197,7 @@ fn main() {
         wire_response.stats.stage_micros_total() > 0.0,
         "per-stage trace crossed the wire"
     );
-    println!("wire_smoke: round trip bit-identical to in-process submit");
+    println!("wire_smoke[{label}]: round trip bit-identical to in-process submit");
 
     // --- 2. batch with duplicates coalesces and stays bit-identical ------
     let batch: Vec<MappingRequest> = vec![request(), request().seed(9), request()];
@@ -143,7 +219,7 @@ fn main() {
         assert_fronts_bit_identical(wire_response, &reference, "batch round trip");
     }
     println!(
-        "wire_smoke: batch of {} ({} coalesced) bit-identical to in-process",
+        "wire_smoke[{label}]: batch of {} ({} coalesced) bit-identical to in-process",
         report.stats.requests, report.stats.coalesced_requests
     );
 
@@ -214,7 +290,7 @@ fn main() {
     client
         .ping()
         .expect("connection survived the error gauntlet");
-    println!("wire_smoke: {error_paths} error paths answered structurally");
+    println!("wire_smoke[{label}]: {error_paths} error paths answered structurally");
 
     // --- 4. warm-start persistence across a restart ----------------------
     // Fill the archive (the submits above already did), persist, then run
@@ -232,16 +308,23 @@ fn main() {
         "warm request found no seeds"
     );
 
-    // One direct submit + two batch leaders + the warm request reached
-    // the Search stage; every error-path probe above was rejected first.
+    // The direct submit, the seed-9 batch leader and the warm request
+    // reached the Search stage. The batch leader duplicating the first
+    // submit was answered on the fast path (response-cache replay), and
+    // every error-path probe above was rejected before searching.
     let stats = client.stats().expect("stats");
-    assert_eq!(stats.pipeline.searches_run, 4);
+    assert_eq!(stats.pipeline.searches_run, 3);
+    assert_eq!(
+        stats.pipeline.fast_path_answered, 1,
+        "the duplicate batch leader replayed the cached response"
+    );
     assert_eq!(
         stats.pipeline.stages.len(),
         mnc_runtime::STAGE_COUNT,
         "pipeline stage counters crossed the wire"
     );
     let searches_run = stats.pipeline.searches_run;
+    let fast_path_answered = stats.pipeline.fast_path_answered;
 
     // `PipelineStats` is now a view derived from the telemetry registry;
     // its wire schema must not have drifted from the hand-rolled struct
@@ -257,6 +340,7 @@ fn main() {
         "evaluator_builds",
         "warm_seeds_gathered",
         "searches_run",
+        "fast_path_answered",
         "evaluations_scheduled",
         "evaluations_performed",
         "elites_recorded",
@@ -277,17 +361,16 @@ fn main() {
     let reparsed: mnc_runtime::PipelineStats =
         serde_json::from_str(&pipeline_json).expect("pipeline stats re-parse");
     assert_eq!(reparsed.searches_run, searches_run);
-    println!("wire_smoke: derived pipeline stats kept the wire schema");
+    println!("wire_smoke[{label}]: derived pipeline stats kept the wire schema");
 
     client.shutdown().expect("shutdown");
-    handle.join().expect("server stopped cleanly");
+    handle.join();
 
     // Restart into the same archive dir: the loaded archive equals the
     // persisted one (persist ran before the warm request, and `record`
     // on restore replays the snapshot verbatim), so the first warm
     // request after the restart re-runs the identical seeded search.
-    let handle = spawn_on_ephemeral_port(Some(archive_dir.clone()), RequestLimits::default())
-        .expect("server restarts");
+    let handle = spawn(kind, &archive_dir);
     let mut client = WireClient::connect(handle.addr()).expect("client reconnects");
     let warm_after = client.submit(&warm_request).expect("warm after restart");
     assert_eq!(
@@ -300,25 +383,59 @@ fn main() {
     );
     assert_fronts_bit_identical(&warm_after, &warm_before, "warm restart");
     println!(
-        "wire_smoke: warm restart replayed {} evaluations for an identical front",
+        "wire_smoke[{label}]: warm restart replayed {} evaluations for an identical front",
         warm_after.stats.evaluations
     );
 
     client.shutdown().expect("second shutdown");
-    handle.join().expect("second server stopped cleanly");
+    handle.join();
     let _ = std::fs::remove_dir_all(&archive_dir);
+
+    SuiteOutcome {
+        batch_requests: report.stats.requests,
+        batch_coalesced: report.stats.coalesced_requests,
+        error_paths,
+        warm_evaluations_before: warm_before.stats.evaluations,
+        warm_evaluations_after: warm_after.stats.evaluations,
+        persisted_genomes: persisted.genomes,
+        searches_run,
+        fast_path_answered,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|arg| arg == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let blocking = run_suite(ServerKind::Blocking);
+    let reactor = run_suite(ServerKind::Reactor);
+
+    // The two front-ends answered the shared suite with identical
+    // pipeline accounting — same searches, same fast-path replays.
+    assert_eq!(blocking.searches_run, reactor.searches_run);
+    assert_eq!(blocking.fast_path_answered, reactor.fast_path_answered);
+    assert_eq!(
+        blocking.warm_evaluations_before,
+        reactor.warm_evaluations_before
+    );
 
     if let Some(path) = json_path {
         let report = SmokeReport {
             bench: "wire_smoke".to_string(),
+            servers_checked: vec!["blocking".to_string(), "reactor".to_string()],
             roundtrip_bit_identical: true,
-            batch_requests: report.stats.requests,
-            batch_coalesced: report.stats.coalesced_requests,
-            error_paths_checked: error_paths,
-            warm_evaluations_before_restart: warm_before.stats.evaluations,
-            warm_evaluations_after_restart: warm_after.stats.evaluations,
-            persisted_genomes: persisted.genomes,
-            pipeline_searches_run: searches_run,
+            batch_requests: reactor.batch_requests,
+            batch_coalesced: reactor.batch_coalesced,
+            error_paths_checked: blocking.error_paths + reactor.error_paths,
+            warm_evaluations_before_restart: reactor.warm_evaluations_before,
+            warm_evaluations_after_restart: reactor.warm_evaluations_after,
+            persisted_genomes: reactor.persisted_genomes,
+            pipeline_searches_run: reactor.searches_run,
+            fast_path_answered: reactor.fast_path_answered,
         };
         if let Some(parent) = std::path::Path::new(&path).parent() {
             std::fs::create_dir_all(parent).expect("create results dir");
@@ -327,5 +444,5 @@ fn main() {
         std::fs::write(&path, json).expect("write report");
         println!("wire_smoke: report written to {path}");
     }
-    println!("wire_smoke: all checks passed");
+    println!("wire_smoke: all checks passed on both servers");
 }

@@ -78,6 +78,9 @@ impl WireClient {
     /// Returns an error when the TCP connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        // Request/response framing sends small segments; Nagle only adds
+        // delayed-ACK latency here.
+        stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(WireClient {
             reader,

@@ -1,12 +1,25 @@
-//! The TCP front-end of the mapping service.
+//! The TCP front-ends of the mapping service.
 //!
-//! [`Server`] binds a std `TcpListener`, serves one blocking thread per
-//! connection, and drives every decoded [`mnc_wire::WireRequest`] through
-//! the *same* [`mnc_runtime::RequestPipeline`] that in-process
+//! Two servers share one command [`Dispatcher`] over the same
+//! [`mnc_runtime::MappingService`]:
+//!
+//! * [`Server`] — the legacy blocking front-end: one thread per
+//!   connection, frames in, frames out. Simple, and still the reference
+//!   for wire semantics.
+//! * [`reactor::ReactorServer`] — the event-driven front-end: one
+//!   reactor thread multiplexes every connection through an epoll-style
+//!   [`poller::Poller`], answers fast-path requests (response-cache
+//!   hits, structured rejections) inline, and hands searches to a
+//!   bounded worker pool. Admission control ([`reactor::ReactorConfig`])
+//!   sheds overload as structured [`ErrorCode::Overloaded`] errors
+//!   instead of queueing without bound.
+//!
+//! Both drive every decoded [`mnc_wire::WireRequest`] through the *same*
+//! [`mnc_runtime::RequestPipeline`] that in-process
 //! [`MappingService::submit`] uses — a wire round-trip therefore returns
 //! a Pareto front bit-identical to the in-process answer for the same
 //! request (asserted by `tests/roundtrip.rs` and the `wire_smoke` CI
-//! binary).
+//! binary, which runs its assertions against both servers).
 //!
 //! Failure handling is structured end to end: malformed JSON, unsupported
 //! protocol versions, unknown presets, invalid requests and over-budget
@@ -15,24 +28,35 @@
 //! panic in the service surfaces as an [`ErrorCode::Internal`] error
 //! instead of tearing the connection down.
 //!
+//! Shutdown drains: both servers stop accepting, let in-flight requests
+//! finish (bounded by a configurable drain deadline), and only then
+//! force-close lingering idle connections — a `Shutdown` command racing
+//! an active batch no longer resets that batch's connection.
+//!
 //! With `--archive-dir` the server loads the elite archive snapshot at
 //! startup and writes it back on the wire `Persist` command, so
 //! warm-start knowledge survives restarts (`Shutdown` does *not* persist
 //! implicitly — persistence is an explicit, observable action).
 
-#![forbid(unsafe_code)]
+// The reactor's poller needs raw `epoll` FFI on Linux (the workspace is
+// built offline, without a libc binding crate); everything outside
+// `poller::sys` stays free of unsafe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod poller;
+pub mod reactor;
 
 pub use client::{ClientError, WireClient};
+pub use reactor::{ReactorConfig, ReactorHandle, ReactorServer};
 
 use mnc_runtime::{MappingRequest, MappingService, RuntimeError, TelemetryConfig};
 use mnc_wire::frame::{self, FrameError};
 use mnc_wire::{
     decode_request, encode_response, ErrorCode, MetricsReport, PersistReport, ServiceStats,
-    WireBatch, WireBatchReport, WireBody, WireError, WirePayload, WireResponse, WireResult,
-    PROTOCOL_VERSION,
+    WireBatch, WireBatchReport, WireBody, WireError, WirePayload, WireRequest, WireResponse,
+    WireResult, PROTOCOL_VERSION,
 };
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -41,9 +65,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// File name of the elite-archive snapshot inside `--archive-dir`.
 pub const ARCHIVE_FILE_NAME: &str = "elite_archive.json";
+
+/// Default time a stopping server waits for in-flight requests before
+/// force-closing their connections.
+pub const DEFAULT_DRAIN_DEADLINE_MS: u64 = 5_000;
 
 /// Per-request budget caps the server enforces before running a search.
 /// Requests beyond a cap are answered with [`ErrorCode::OverBudget`]
@@ -112,6 +141,9 @@ pub struct ServerConfig {
     /// Telemetry knobs of the served [`MappingService`] (trace retention,
     /// slow-request threshold, search-generation streaming).
     pub telemetry: TelemetryConfig,
+    /// How long shutdown waits for in-flight requests to finish before
+    /// force-closing their connections.
+    pub drain_deadline_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +153,7 @@ impl Default for ServerConfig {
             archive_dir: None,
             limits: RequestLimits::default(),
             telemetry: TelemetryConfig::default(),
+            drain_deadline_ms: DEFAULT_DRAIN_DEADLINE_MS,
         }
     }
 }
@@ -164,313 +197,90 @@ impl From<RuntimeError> for ServerError {
     }
 }
 
-/// Shutdown coordination shared between the accept loop, the connection
-/// handlers and [`ServerHandle`]: the stop flag plus the registry of
-/// live connections. Stopping closes every registered socket, so
-/// handlers blocked in `read_frame` on idle connections wake up and the
-/// accept loop's scope can join them instead of deadlocking.
-#[derive(Debug, Default)]
-struct ServerShared {
-    shutdown: AtomicBool,
-    connections: Mutex<HashMap<u64, TcpStream>>,
-    next_connection: AtomicU64,
-}
-
-impl ServerShared {
-    /// Flags shutdown and force-closes every live connection.
-    fn begin_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        let connections = {
-            let mut registry = self
-                .connections
-                .lock()
-                .expect("connection registry lock never poisoned");
-            std::mem::take(&mut *registry)
-        };
-        for stream in connections.into_values() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-    }
-
-    fn is_shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
-    }
-
-    /// The one shutdown protocol: flag + force-close live connections,
-    /// then poke the accept loop awake with a throwaway connection so it
-    /// observes the flag. Shared by the wire `Shutdown` handler and
-    /// [`ServerHandle::shutdown`] so the sequence cannot drift apart.
-    fn stop(&self, addr: Option<SocketAddr>) {
-        self.begin_shutdown();
-        if let Some(addr) = addr {
-            drop(TcpStream::connect(addr));
-        }
-    }
-}
-
-/// A bound (but not yet serving) wire front-end over one
-/// [`MappingService`].
+/// The transport-agnostic command layer shared by the blocking server
+/// and the reactor: decodes wire requests, enforces [`RequestLimits`],
+/// executes commands against one [`MappingService`], and owns archive
+/// persistence. Keeping this in one place is what guarantees the two
+/// front-ends cannot drift apart semantically.
 #[derive(Debug)]
-pub struct Server {
-    listener: TcpListener,
+pub struct Dispatcher {
     service: Arc<MappingService>,
     limits: RequestLimits,
     archive_path: Option<PathBuf>,
-    shared: Arc<ServerShared>,
-    /// Elite genomes loaded from the archive snapshot at startup.
-    archive_loaded: usize,
 }
 
-impl Server {
-    /// Binds the listener and, when an archive directory is configured
-    /// and holds a snapshot, loads it into the service's elite archive.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when the address cannot be bound or an existing
-    /// snapshot fails to load (a *missing* snapshot is a clean cold
-    /// start, not an error).
-    pub fn bind(config: ServerConfig) -> Result<Self, ServerError> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let service = Arc::new(MappingService::with_telemetry_config(config.telemetry));
-        let archive_path = config.archive_dir.map(|dir| dir.join(ARCHIVE_FILE_NAME));
-        let mut archive_loaded = 0;
-        if let Some(path) = &archive_path {
-            if path.exists() {
-                archive_loaded = service.load_archive(path)?;
-            }
-        }
-        Ok(Server {
-            listener,
+impl Dispatcher {
+    /// Builds a dispatcher over a service.
+    pub fn new(
+        service: Arc<MappingService>,
+        limits: RequestLimits,
+        archive_path: Option<PathBuf>,
+    ) -> Self {
+        Dispatcher {
             service,
-            limits: config.limits,
+            limits,
             archive_path,
-            shared: Arc::new(ServerShared::default()),
-            archive_loaded,
-        })
+        }
     }
 
-    /// The bound address (with the actual port when 0 was requested).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when the socket is gone.
-    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
-        self.listener.local_addr()
-    }
-
-    /// The service this front-end serves (shared: in-process callers see
-    /// the same cache, archive and pipeline counters as wire clients).
+    /// The served service.
     pub fn service(&self) -> &Arc<MappingService> {
         &self.service
     }
 
-    /// Elite genomes loaded from the archive snapshot at startup.
-    pub fn archive_loaded(&self) -> usize {
-        self.archive_loaded
+    /// The per-request budget caps.
+    pub fn limits(&self) -> &RequestLimits {
+        &self.limits
     }
 
-    /// Serves connections until a wire `Shutdown` request (or
-    /// [`ServerHandle::shutdown`]) flips the stop flag. Each connection
-    /// runs on its own scoped thread; the listener thread only accepts.
-    ///
-    /// `accept` failures never kill the server: they are all transient
-    /// from the listener's point of view (`EMFILE` under fd pressure,
-    /// `EINTR`, aborted handshakes), so the loop sheds the failure,
-    /// backs off briefly to avoid spinning, and keeps serving — a load
-    /// spike must degrade into refused connections, not a permanent
-    /// outage. Only the shutdown flag ends the loop.
+    /// Decodes one framed payload and checks its protocol version,
+    /// mapping failures to the ready-to-send error response.
     ///
     /// # Errors
     ///
-    /// Currently always returns `Ok` on shutdown; the `Result` is kept
-    /// so callers are ready for genuinely fatal exits.
-    pub fn run(&self) -> Result<(), ServerError> {
-        std::thread::scope(|scope| {
-            loop {
-                let (stream, _) = match self.listener.accept() {
-                    Ok(accepted) => accepted,
-                    Err(_) => {
-                        if self.shared.is_shutting_down() {
-                            return Ok(());
-                        }
-                        std::thread::sleep(std::time::Duration::from_millis(50));
-                        continue;
-                    }
-                };
-                if self.shared.is_shutting_down() {
-                    // The wake-up connection (or any racing client) after
-                    // shutdown: drop it and stop accepting. Registered
-                    // connections were force-closed by `begin_shutdown`,
-                    // so the scope joins their handlers promptly.
-                    drop(stream);
-                    return Ok(());
-                }
-                scope.spawn(move || self.handle_connection(stream));
+    /// Returns the [`WireResponse`] to send for malformed or
+    /// version-skewed requests.
+    pub fn decode_checked(text: &str) -> Result<WireRequest, Box<WireResponse>> {
+        let request = match decode_request(text) {
+            Ok(request) => request,
+            Err(error) => {
+                return Err(Box::new(WireResponse::err(
+                    0,
+                    WireError::malformed(error.to_string()),
+                )))
             }
-        })
-    }
-
-    /// Runs the server on a background thread, returning a handle with
-    /// the bound address — the entry point for tests, the smoke binary
-    /// and in-process demos.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when the bound address cannot be read back.
-    pub fn spawn(self) -> Result<ServerHandle, ServerError> {
-        let addr = self.local_addr()?;
-        let service = Arc::clone(&self.service);
-        let shared = Arc::clone(&self.shared);
-        let thread = std::thread::spawn(move || self.run());
-        Ok(ServerHandle {
-            addr,
-            service,
-            shared,
-            thread,
-        })
-    }
-
-    /// Flags shutdown, force-closes live connections and pokes the accept
-    /// loop awake with a throwaway connection.
-    fn request_shutdown(&self) {
-        self.shared.stop(self.local_addr().ok());
-    }
-
-    /// Serves one connection: frames in, frames out, until the client
-    /// disconnects, framing desynchronises, or shutdown is requested.
-    fn handle_connection(&self, stream: TcpStream) {
-        let Ok(read_half) = stream.try_clone() else {
-            return;
         };
-        // Register so shutdown can interrupt a blocked read; registration
-        // is racy against an in-flight `begin_shutdown`, so re-check the
-        // flag afterwards and bail out if the server is already stopping.
-        let connection_id = self.shared.next_connection.fetch_add(1, Ordering::Relaxed);
-        if let Ok(registered) = stream.try_clone() {
-            self.shared
-                .connections
-                .lock()
-                .expect("connection registry lock never poisoned")
-                .insert(connection_id, registered);
+        if request.version != PROTOCOL_VERSION {
+            return Err(Box::new(WireResponse::err(
+                request.id,
+                WireError::unsupported_version(request.version),
+            )));
         }
-        if self.shared.is_shutting_down() {
-            self.unregister(connection_id);
-            return;
-        }
-        let mut reader = BufReader::new(read_half);
-        let mut writer = stream;
-        self.serve_frames(&mut reader, &mut writer);
-        self.unregister(connection_id);
-    }
-
-    /// Removes one connection from the shutdown registry.
-    fn unregister(&self, connection_id: u64) {
-        self.shared
-            .connections
-            .lock()
-            .expect("connection registry lock never poisoned")
-            .remove(&connection_id);
-    }
-
-    /// The frame loop of one registered connection.
-    fn serve_frames(&self, reader: &mut BufReader<TcpStream>, writer: &mut TcpStream) {
-        loop {
-            match frame::read_frame(reader) {
-                Ok(None) => return, // clean disconnect
-                Ok(Some(text)) => {
-                    let (response, stop) = self.respond(&text);
-                    if Self::send(writer, &response).is_err() {
-                        return;
-                    }
-                    if stop {
-                        self.request_shutdown();
-                        return;
-                    }
-                    if self.shared.is_shutting_down() {
-                        return;
-                    }
-                }
-                Err(error) => {
-                    // Answer the framing failure structurally, then keep
-                    // the connection only if the stream is still
-                    // synchronised (payload-level failure); a corrupt
-                    // header or dead socket forces a close.
-                    let resynchronizable = error.is_resynchronizable();
-                    let io_failure = matches!(error, FrameError::Io(_));
-                    if !io_failure {
-                        let response = WireResponse::err(
-                            0,
-                            WireError::malformed(format!("unreadable frame: {error}")),
-                        );
-                        let _ = Self::send(writer, &response);
-                    }
-                    if !resynchronizable {
-                        return;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Encodes and frames one response.
-    fn send(writer: &mut TcpStream, response: &WireResponse) -> std::io::Result<()> {
-        let text = encode_response(response).unwrap_or_else(|e| {
-            // A response that cannot serialize (non-finite float) is an
-            // internal bug; degrade to a structured error rather than a
-            // dropped connection.
-            encode_response(&WireResponse::err(
-                response.id,
-                WireError::new(ErrorCode::Internal, format!("unserializable response: {e}")),
-            ))
-            .expect("error responses always serialize")
-        });
-        frame::write_frame(writer, &text)
+        Ok(request)
     }
 
     /// Decodes one framed payload and dispatches it, returning the
     /// response plus whether the server should stop.
-    fn respond(&self, text: &str) -> (WireResponse, bool) {
-        let request = match decode_request(text) {
-            Ok(request) => request,
-            Err(error) => {
-                return (
-                    WireResponse::err(0, WireError::malformed(error.to_string())),
-                    false,
-                )
-            }
-        };
-        if request.version != PROTOCOL_VERSION {
-            return (
-                WireResponse::err(request.id, WireError::unsupported_version(request.version)),
-                false,
-            );
+    pub fn respond(&self, text: &str) -> (WireResponse, bool) {
+        match Self::decode_checked(text) {
+            Ok(request) => self.dispatch_guarded(request.id, request.body),
+            Err(response) => (*response, false),
         }
-        let id = request.id;
-        // Surface a panicking request as an Internal error instead of a
-        // dropped connection. The evaluation path is pure computation,
-        // so a panic there leaves no broken invariants behind; the
-        // residual risk is a panic *while holding* one of the service's
-        // mutexes, which poisons that lock and turns later requests on
-        // the same path into further (caught, structured) Internal
-        // errors rather than crashes.
-        match catch_unwind(AssertUnwindSafe(|| self.dispatch(request.body))) {
+    }
+
+    /// Dispatches one decoded command, converting a panic into an
+    /// [`ErrorCode::Internal`] error response.
+    ///
+    /// The evaluation path is pure computation, so a panic there leaves
+    /// no broken invariants behind; the residual risk is a panic *while
+    /// holding* one of the service's mutexes, which poisons that lock and
+    /// turns later requests on the same path into further (caught,
+    /// structured) Internal errors rather than crashes.
+    pub fn dispatch_guarded(&self, id: u64, body: WireBody) -> (WireResponse, bool) {
+        match catch_unwind(AssertUnwindSafe(|| self.dispatch(body))) {
             Ok((Ok(payload), stop)) => (WireResponse::ok(id, payload), stop),
             Ok((Err(error), stop)) => (WireResponse::err(id, error), stop),
-            Err(panic) => {
-                let message = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "request handler panicked".to_string());
-                (
-                    WireResponse::err(
-                        id,
-                        WireError::new(ErrorCode::Internal, format!("panic: {message}")),
-                    ),
-                    false,
-                )
-            }
+            Err(panic) => (WireResponse::err(id, panic_error(panic)), false),
         }
     }
 
@@ -502,25 +312,29 @@ impl Server {
             ),
             WireBody::Submit(request) => (self.submit(&request), false),
             WireBody::SubmitBatch(batch) => (self.submit_batch(batch), false),
-            WireBody::Stats => (
-                Ok(WirePayload::Stats(ServiceStats {
-                    cache: self.service.cache_stats(),
-                    pipeline: self.service.pipeline_stats(),
-                    archive_genomes: self.service.elite_archive().len(),
-                })),
-                false,
-            ),
-            WireBody::Metrics => (
-                Ok(WirePayload::Metrics(MetricsReport {
-                    metrics: self.service.metrics_snapshot(),
-                    stage_latency: self.service.stage_latency(),
-                    request_latency: self.service.request_latency(),
-                    prometheus: self.service.prometheus_text(),
-                })),
-                false,
-            ),
+            WireBody::Stats => (Ok(WirePayload::Stats(self.stats())), false),
+            WireBody::Metrics => (Ok(WirePayload::Metrics(self.metrics())), false),
             WireBody::Persist => (self.persist().map(WirePayload::Persisted), false),
             WireBody::Shutdown => (Ok(WirePayload::ShuttingDown), true),
+        }
+    }
+
+    /// Snapshot of the service's cache/pipeline/archive counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            cache: self.service.cache_stats(),
+            pipeline: self.service.pipeline_stats(),
+            archive_genomes: self.service.elite_archive().len(),
+        }
+    }
+
+    /// Snapshot of the service's full telemetry registry.
+    pub fn metrics(&self) -> MetricsReport {
+        MetricsReport {
+            metrics: self.service.metrics_snapshot(),
+            stage_latency: self.service.stage_latency(),
+            request_latency: self.service.request_latency(),
+            prometheus: self.service.prometheus_text(),
         }
     }
 
@@ -536,7 +350,7 @@ impl Server {
     /// A batch through the coalescing scheduler. Requests over the budget
     /// caps are answered with per-request `OverBudget` errors; the rest
     /// of the batch still runs (and still coalesces).
-    fn submit_batch(&self, batch: WireBatch) -> Result<WirePayload, WireError> {
+    pub fn submit_batch(&self, batch: WireBatch) -> Result<WirePayload, WireError> {
         if batch.requests.len() > self.limits.max_batch_requests {
             return Err(WireError::over_budget(format!(
                 "batch of {} requests exceeds the server cap of {}",
@@ -587,7 +401,7 @@ impl Server {
     }
 
     /// Writes the elite archive to the configured snapshot file.
-    fn persist(&self) -> Result<PersistReport, WireError> {
+    pub fn persist(&self) -> Result<PersistReport, WireError> {
         let Some(path) = &self.archive_path else {
             return Err(WireError::new(
                 ErrorCode::Persistence,
@@ -602,7 +416,312 @@ impl Server {
     }
 }
 
-/// A running server on a background thread.
+/// Renders a caught panic payload as a structured wire error.
+pub(crate) fn panic_error(panic: Box<dyn std::any::Any + Send>) -> WireError {
+    let message = panic
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "request handler panicked".to_string());
+    WireError::new(ErrorCode::Internal, format!("panic: {message}"))
+}
+
+/// Encodes one response, degrading an unserializable response (an
+/// internal bug: non-finite float) to a structured Internal error rather
+/// than a dropped connection.
+pub(crate) fn encode_response_or_internal(response: &WireResponse) -> String {
+    encode_response(response).unwrap_or_else(|e| {
+        encode_response(&WireResponse::err(
+            response.id,
+            WireError::new(ErrorCode::Internal, format!("unserializable response: {e}")),
+        ))
+        .expect("error responses always serialize")
+    })
+}
+
+/// Shutdown coordination shared between the accept loop, the connection
+/// handlers and [`ServerHandle`]: the stop flag, the count of requests
+/// currently executing, and the registry of live connections. Stopping
+/// waits for the in-flight requests to drain (bounded by the configured
+/// deadline), then closes every registered socket so handlers blocked in
+/// `read_frame` on idle connections wake up and the accept loop's scope
+/// can join them instead of deadlocking.
+#[derive(Debug, Default)]
+struct ServerShared {
+    shutdown: AtomicBool,
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    next_connection: AtomicU64,
+    active_requests: AtomicU64,
+    drain_deadline_ms: AtomicU64,
+}
+
+impl ServerShared {
+    /// Flags shutdown, waits (up to the drain deadline) for in-flight
+    /// requests to finish, then force-closes every live connection.
+    ///
+    /// The drain is what lets a `Shutdown` command race an active batch
+    /// without resetting the batch's connection: once the flag is up no
+    /// handler starts a *new* request, and the one it is serving gets to
+    /// send its response before the socket goes away.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let deadline =
+            Instant::now() + Duration::from_millis(self.drain_deadline_ms.load(Ordering::Relaxed));
+        while self.active_requests.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let connections = {
+            let mut registry = self
+                .connections
+                .lock()
+                .expect("connection registry lock never poisoned");
+            std::mem::take(&mut *registry)
+        };
+        for stream in connections.into_values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The one shutdown protocol: flag + drain + force-close live
+    /// connections, then poke the accept loop awake with a throwaway
+    /// connection so it observes the flag. Shared by the wire `Shutdown`
+    /// handler and [`ServerHandle::shutdown`] so the sequence cannot
+    /// drift apart.
+    fn stop(&self, addr: Option<SocketAddr>) {
+        self.begin_shutdown();
+        if let Some(addr) = addr {
+            drop(TcpStream::connect(addr));
+        }
+    }
+}
+
+/// A bound (but not yet serving) blocking wire front-end over one
+/// [`MappingService`].
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    dispatcher: Dispatcher,
+    shared: Arc<ServerShared>,
+    /// Elite genomes loaded from the archive snapshot at startup.
+    archive_loaded: usize,
+}
+
+impl Server {
+    /// Binds the listener and, when an archive directory is configured
+    /// and holds a snapshot, loads it into the service's elite archive.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the address cannot be bound or an existing
+    /// snapshot fails to load (a *missing* snapshot is a clean cold
+    /// start, not an error).
+    pub fn bind(config: ServerConfig) -> Result<Self, ServerError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let service = Arc::new(MappingService::with_telemetry_config(config.telemetry));
+        let archive_path = config.archive_dir.map(|dir| dir.join(ARCHIVE_FILE_NAME));
+        let mut archive_loaded = 0;
+        if let Some(path) = &archive_path {
+            if path.exists() {
+                archive_loaded = service.load_archive(path)?;
+            }
+        }
+        let shared = Arc::new(ServerShared::default());
+        shared
+            .drain_deadline_ms
+            .store(config.drain_deadline_ms, Ordering::Relaxed);
+        Ok(Server {
+            listener,
+            dispatcher: Dispatcher::new(service, config.limits, archive_path),
+            shared,
+            archive_loaded,
+        })
+    }
+
+    /// The bound address (with the actual port when 0 was requested).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the socket is gone.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The service this front-end serves (shared: in-process callers see
+    /// the same cache, archive and pipeline counters as wire clients).
+    pub fn service(&self) -> &Arc<MappingService> {
+        self.dispatcher.service()
+    }
+
+    /// Elite genomes loaded from the archive snapshot at startup.
+    pub fn archive_loaded(&self) -> usize {
+        self.archive_loaded
+    }
+
+    /// Serves connections until a wire `Shutdown` request (or
+    /// [`ServerHandle::shutdown`]) flips the stop flag. Each connection
+    /// runs on its own scoped thread; the listener thread only accepts.
+    ///
+    /// `accept` failures never kill the server: they are all transient
+    /// from the listener's point of view (`EMFILE` under fd pressure,
+    /// `EINTR`, aborted handshakes), so the loop sheds the failure,
+    /// backs off briefly to avoid spinning, and keeps serving — a load
+    /// spike must degrade into refused connections, not a permanent
+    /// outage. Only the shutdown flag ends the loop.
+    ///
+    /// # Errors
+    ///
+    /// Currently always returns `Ok` on shutdown; the `Result` is kept
+    /// so callers are ready for genuinely fatal exits.
+    pub fn run(&self) -> Result<(), ServerError> {
+        std::thread::scope(|scope| {
+            loop {
+                let (stream, _) = match self.listener.accept() {
+                    Ok(accepted) => accepted,
+                    Err(_) => {
+                        if self.shared.is_shutting_down() {
+                            return Ok(());
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        continue;
+                    }
+                };
+                if self.shared.is_shutting_down() {
+                    // The wake-up connection (or any racing client) after
+                    // shutdown: drop it and stop accepting. Registered
+                    // connections were drained and force-closed by
+                    // `begin_shutdown`, so the scope joins their handlers
+                    // promptly.
+                    drop(stream);
+                    return Ok(());
+                }
+                // Small framed responses; Nagle only adds delayed-ACK
+                // latency on this traffic shape.
+                let _ = stream.set_nodelay(true);
+                scope.spawn(move || self.handle_connection(stream));
+            }
+        })
+    }
+
+    /// Runs the server on a background thread, returning a handle with
+    /// the bound address — the entry point for tests, the smoke binary
+    /// and in-process demos.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the bound address cannot be read back.
+    pub fn spawn(self) -> Result<ServerHandle, ServerError> {
+        let addr = self.local_addr()?;
+        let service = Arc::clone(self.dispatcher.service());
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            service,
+            shared,
+            thread,
+        })
+    }
+
+    /// Flags shutdown, drains in-flight requests, force-closes lingering
+    /// connections and pokes the accept loop awake with a throwaway
+    /// connection.
+    fn request_shutdown(&self) {
+        self.shared.stop(self.local_addr().ok());
+    }
+
+    /// Serves one connection: frames in, frames out, until the client
+    /// disconnects, framing desynchronises, or shutdown is requested.
+    fn handle_connection(&self, stream: TcpStream) {
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        // Register so shutdown can interrupt a blocked read; registration
+        // is racy against an in-flight `begin_shutdown`, so re-check the
+        // flag afterwards and bail out if the server is already stopping.
+        let connection_id = self.shared.next_connection.fetch_add(1, Ordering::Relaxed);
+        if let Ok(registered) = stream.try_clone() {
+            self.shared
+                .connections
+                .lock()
+                .expect("connection registry lock never poisoned")
+                .insert(connection_id, registered);
+        }
+        if self.shared.is_shutting_down() {
+            self.unregister(connection_id);
+            return;
+        }
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        self.serve_frames(&mut reader, &mut writer);
+        self.unregister(connection_id);
+    }
+
+    /// Removes one connection from the shutdown registry.
+    fn unregister(&self, connection_id: u64) {
+        self.shared
+            .connections
+            .lock()
+            .expect("connection registry lock never poisoned")
+            .remove(&connection_id);
+    }
+
+    /// The frame loop of one registered connection.
+    fn serve_frames(&self, reader: &mut BufReader<TcpStream>, writer: &mut TcpStream) {
+        loop {
+            match frame::read_frame(reader) {
+                Ok(None) => return, // clean disconnect
+                Ok(Some(text)) => {
+                    // Bracket the request as "active" so a concurrent
+                    // shutdown drains it (response sent) instead of
+                    // resetting the socket underneath it.
+                    self.shared.active_requests.fetch_add(1, Ordering::SeqCst);
+                    let (response, stop) = self.dispatcher.respond(&text);
+                    let sent = Self::send(writer, &response);
+                    self.shared.active_requests.fetch_sub(1, Ordering::SeqCst);
+                    if sent.is_err() {
+                        return;
+                    }
+                    if stop {
+                        self.request_shutdown();
+                        return;
+                    }
+                    if self.shared.is_shutting_down() {
+                        return;
+                    }
+                }
+                Err(error) => {
+                    // Answer the framing failure structurally, then keep
+                    // the connection only if the stream is still
+                    // synchronised (payload-level failure); a corrupt
+                    // header or dead socket forces a close.
+                    let resynchronizable = error.is_resynchronizable();
+                    let io_failure = matches!(error, FrameError::Io(_));
+                    if !io_failure {
+                        let response = WireResponse::err(
+                            0,
+                            WireError::malformed(format!("unreadable frame: {error}")),
+                        );
+                        let _ = Self::send(writer, &response);
+                    }
+                    if !resynchronizable {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Encodes and frames one response.
+    fn send(writer: &mut TcpStream, response: &WireResponse) -> std::io::Result<()> {
+        frame::write_frame(writer, &encode_response_or_internal(response))
+    }
+}
+
+/// A running blocking server on a background thread.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
@@ -622,7 +741,8 @@ impl ServerHandle {
         &self.service
     }
 
-    /// Stops the accept loop and joins the server thread.
+    /// Stops the accept loop (draining in-flight requests first) and
+    /// joins the server thread.
     ///
     /// # Errors
     ///
@@ -652,7 +772,8 @@ impl ServerHandle {
     }
 }
 
-/// Binds and spawns a server in one call — the test/demo entry point.
+/// Binds and spawns a blocking server in one call — the test/demo entry
+/// point.
 ///
 /// # Errors
 ///
@@ -665,7 +786,7 @@ pub fn spawn_on_ephemeral_port(
         addr: "127.0.0.1:0".to_string(),
         archive_dir,
         limits,
-        telemetry: TelemetryConfig::default(),
+        ..ServerConfig::default()
     })?
     .spawn()
 }

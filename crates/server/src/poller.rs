@@ -1,0 +1,341 @@
+//! Readiness polling for the reactor.
+//!
+//! The workspace builds offline — no `mio`, no `libc` crate — so the
+//! reactor's poller is hand-rolled. On Linux it talks to `epoll`
+//! directly through four `extern "C"` declarations (std already links
+//! libc, so the symbols resolve without any binding crate); everywhere
+//! else a portable scan poller keeps the reactor *correct* by reporting
+//! every registered descriptor as ready on a short cadence and letting
+//! the reactor's non-blocking syscalls sort out which ones actually are.
+//!
+//! The interface is deliberately tiny and level-triggered: register a
+//! descriptor with an [`Interest`], [`Poller::wait`] for [`Event`]s,
+//! re-arm by [`Poller::modify`]. Tokens are opaque `u64`s the caller
+//! maps back to connections.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// What readiness a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the descriptor is readable (or peer-closed).
+    pub readable: bool,
+    /// Wake when the descriptor accepts writes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// Read + write interest — a connection with a backlogged out-buffer.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// Readable now (includes EOF/peer-reset: a read will not block).
+    pub readable: bool,
+    /// Writable now.
+    pub writable: bool,
+}
+
+pub use sys::Poller;
+
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod sys {
+    //! The real `epoll` poller. The only unsafe in the crate lives here,
+    //! confined to four thin syscall wrappers.
+
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Mirror of `struct epoll_event`. The kernel ABI packs it on
+    /// x86_64 (12 bytes); other architectures use natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    /// A level-triggered `epoll` instance.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        /// Creates the epoll instance.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_create1` failure.
+        pub fn new() -> io::Result<Self> {
+            // SAFETY: epoll_create1 takes a flags word and returns a new
+            // fd or -1; no pointers are involved.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, event: Option<&mut EpollEvent>) -> io::Result<()> {
+            let ptr = event.map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+            // SAFETY: `ptr` is either null (only for EPOLL_CTL_DEL, which
+            // ignores it) or points at a live, exclusively borrowed
+            // EpollEvent for the duration of the call.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, ptr) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Registers a descriptor.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_ctl` failure.
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: interest_bits(interest),
+                data: token,
+            };
+            self.ctl(EPOLL_CTL_ADD, fd, Some(&mut event))
+        }
+
+        /// Re-arms a registered descriptor with a new interest set.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_ctl` failure.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: interest_bits(interest),
+                data: token,
+            };
+            self.ctl(EPOLL_CTL_MOD, fd, Some(&mut event))
+        }
+
+        /// Removes a descriptor.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_ctl` failure.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        /// Waits for readiness, appending to `events` (cleared first).
+        /// `None` blocks indefinitely. A signal interruption returns an
+        /// empty event set, like a timeout.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_wait` failure.
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            events.clear();
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 256];
+            let timeout_ms = timeout.map_or(-1i32, |t| {
+                i32::try_from(t.as_millis().min(i32::MAX as u128)).unwrap_or(i32::MAX)
+            });
+            // SAFETY: `raw` is a live buffer of 256 EpollEvents; the
+            // kernel writes at most `maxevents` entries into it.
+            let count = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), 256, timeout_ms) };
+            if count < 0 {
+                let error = io::Error::last_os_error();
+                if error.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(error);
+            }
+            for entry in raw.iter().take(count as usize) {
+                // Field reads copy out of the (possibly packed) struct.
+                let bits = entry.events;
+                let token = entry.data;
+                events.push(Event {
+                    token,
+                    // Error/hangup conditions surface as readability so
+                    // the reactor's next read observes the EOF/reset.
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: closing the fd we exclusively own.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    //! Portable fallback: a scan poller. Without an OS readiness API it
+    //! cannot *know* which descriptors are ready, so it reports every
+    //! registered descriptor as ready at a short, bounded cadence; the
+    //! reactor's non-blocking reads/writes then return `WouldBlock` for
+    //! the quiet ones. Correct everywhere, at the cost of a ~5 ms wake
+    //! cadence instead of true event-driven sleeps.
+
+    use super::{Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const SCAN_INTERVAL: Duration = Duration::from_millis(5);
+
+    /// The portable scan poller.
+    #[derive(Debug, Default)]
+    pub struct Poller {
+        registered: Mutex<HashMap<RawFd, (u64, Interest)>>,
+    }
+
+    impl Poller {
+        /// Creates the poller.
+        ///
+        /// # Errors
+        ///
+        /// Infallible in the portable implementation.
+        pub fn new() -> io::Result<Self> {
+            Ok(Poller::default())
+        }
+
+        /// Registers a descriptor.
+        ///
+        /// # Errors
+        ///
+        /// Infallible in the portable implementation.
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.registered
+                .lock()
+                .expect("poller registry lock never poisoned")
+                .insert(fd, (token, interest));
+            Ok(())
+        }
+
+        /// Re-arms a registered descriptor with a new interest set.
+        ///
+        /// # Errors
+        ///
+        /// Infallible in the portable implementation.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.register(fd, token, interest)
+        }
+
+        /// Removes a descriptor.
+        ///
+        /// # Errors
+        ///
+        /// Infallible in the portable implementation.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.registered
+                .lock()
+                .expect("poller registry lock never poisoned")
+                .remove(&fd);
+            Ok(())
+        }
+
+        /// Sleeps one scan interval (bounded by `timeout`) and reports
+        /// every registered descriptor ready for its full interest set.
+        ///
+        /// # Errors
+        ///
+        /// Infallible in the portable implementation.
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            events.clear();
+            let nap = timeout.map_or(SCAN_INTERVAL, |t| t.min(SCAN_INTERVAL));
+            std::thread::sleep(nap);
+            let registered = self
+                .registered
+                .lock()
+                .expect("poller registry lock never poisoned");
+            for (&_fd, &(token, interest)) in registered.iter() {
+                events.push(Event {
+                    token,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Convenience: the raw fd of any socket-like type, without importing
+/// the trait at every call site.
+pub fn raw_fd<T: std::os::fd::AsRawFd>(socket: &T) -> RawFd {
+    socket.as_raw_fd()
+}
+
+/// Creates the reactor's wake channel: a connected loopback TCP pair.
+/// Writing one byte to the returned sender makes the receiver (which the
+/// reactor registers with its poller) readable, pulling the reactor out
+/// of `wait` — the classic self-pipe trick, built from sockets so it
+/// works through the same poller as everything else.
+///
+/// # Errors
+///
+/// Returns the socket failure.
+pub fn wake_pair() -> io::Result<(std::net::TcpStream, std::net::TcpStream)> {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let sender = std::net::TcpStream::connect(listener.local_addr()?)?;
+    let (receiver, _) = listener.accept()?;
+    sender.set_nonblocking(true)?;
+    receiver.set_nonblocking(true)?;
+    sender.set_nodelay(true)?;
+    Ok((sender, receiver))
+}

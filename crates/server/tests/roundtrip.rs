@@ -3,7 +3,11 @@
 //! restart.
 
 use mnc_runtime::{BatchConfig, MappingRequest, MappingService};
-use mnc_server::{spawn_on_ephemeral_port, ClientError, RequestLimits, WireClient};
+use mnc_server::reactor::spawn_reactor_on_ephemeral_port;
+use mnc_server::{
+    spawn_on_ephemeral_port, ClientError, ReactorConfig, ReactorServer, RequestLimits,
+    ServerConfig, WireClient,
+};
 use mnc_wire::frame;
 use mnc_wire::{ErrorCode, WireBatch, WireOutcome, WireResult};
 use std::io::BufReader;
@@ -287,13 +291,26 @@ fn stats_carry_cache_pipeline_and_archive_counters() {
     let mut client = WireClient::connect(handle.addr()).unwrap();
 
     client.submit(&small_request()).unwrap();
+    // A verbatim repeat replays from the response cache on the fast path
+    // — no second search runs for it.
     client.submit(&small_request()).unwrap();
+    // A warm-started variant is a different request: it searches, and its
+    // population re-evaluates genomes the first search already scored, so
+    // the evaluation cache registers hits.
+    client.submit(&small_request().warm_start(true)).unwrap();
     let stats = client.stats().unwrap();
 
     assert_eq!(stats.pipeline.searches_run, 2);
+    assert_eq!(
+        stats.pipeline.fast_path_answered, 1,
+        "the verbatim repeat was answered without searching"
+    );
     assert_eq!(stats.pipeline.stages.len(), mnc_runtime::STAGE_COUNT);
     assert!(stats.pipeline.stages.iter().all(|s| s.errors == 0));
-    assert!(stats.cache.hits > 0, "the repeat request hit the cache");
+    assert!(
+        stats.cache.hits > 0,
+        "the warm search re-hit cached evaluations"
+    );
     assert!(stats.archive_genomes > 0);
 
     // Persist without --archive-dir is a structured persistence error.
@@ -303,4 +320,226 @@ fn stats_carry_cache_pipeline_and_archive_counters() {
     }
 
     handle.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Reactor front-end
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reactor_submit_and_batch_are_bit_identical_to_in_process() {
+    let handle = spawn_reactor_on_ephemeral_port(None, RequestLimits::default()).unwrap();
+    let mut client = WireClient::connect(handle.addr()).unwrap();
+
+    let request = small_request();
+    let over_wire = client.submit(&request).unwrap();
+    let in_process = MappingService::new().submit(&request).unwrap();
+    assert_eq!(over_wire.pareto_front, in_process.pareto_front);
+    assert_eq!(over_wire.best_by_objective, in_process.best_by_objective);
+    for (a, b) in over_wire.pareto_front.iter().zip(&in_process.pareto_front) {
+        assert_eq!(a.result.objective.to_bits(), b.result.objective.to_bits());
+    }
+
+    // Batches run on the search-worker pool but keep the coalescing
+    // semantics of the blocking server.
+    let report = client
+        .submit_batch(WireBatch {
+            requests: vec![
+                small_request().seed(5),
+                small_request().seed(5),
+                MappingRequest::new("no_such_model", "dual_test"),
+            ],
+            config: BatchConfig::new().max_concurrent(2),
+        })
+        .unwrap();
+    assert_eq!(report.responses.len(), 3);
+    assert_eq!(report.stats.coalesced_requests, 1);
+    assert!(matches!(report.responses[0], WireResult::Ok(_)));
+    assert!(matches!(report.responses[1], WireResult::Ok(_)));
+    match &report.responses[2] {
+        WireResult::Err(error) => assert_eq!(error.code, ErrorCode::UnknownModel),
+        WireResult::Ok(_) => panic!("unknown model was answered"),
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn reactor_sheds_searches_with_a_structured_overloaded_error() {
+    // A zero-depth queue admits no search jobs at all: every fast-path
+    // miss is shed. Fast-path work (ping, catalogues) must keep flowing.
+    let server = ReactorServer::bind(
+        ServerConfig::default(),
+        ReactorConfig {
+            queue_depth: 0,
+            ..ReactorConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.spawn().unwrap();
+    let mut client = WireClient::connect(handle.addr()).unwrap();
+
+    match client.submit(&small_request()) {
+        Err(ClientError::Server(error)) => {
+            assert_eq!(error.code, ErrorCode::Overloaded);
+            assert!(!error.message.is_empty(), "shed reason travels to clients");
+        }
+        other => panic!("shed submit gave {other:?}"),
+    }
+    // Shedding is per-request, not per-connection: the same connection
+    // still answers inline work.
+    client.ping().expect("connection survived the shed");
+    assert!(!client.models().unwrap().is_empty());
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn reactor_isolates_a_slow_reader() {
+    let handle = spawn_reactor_on_ephemeral_port(None, RequestLimits::default()).unwrap();
+    let addr = handle.addr();
+
+    // The slow reader floods pings and reads none of the responses.
+    let slow = TcpStream::connect(addr).unwrap();
+    let mut slow_writer = slow.try_clone().unwrap();
+    const FLOOD: u64 = 64;
+    for id in 1..=FLOOD {
+        let text =
+            mnc_wire::encode_request(&mnc_wire::WireRequest::new(id, mnc_wire::WireBody::Ping))
+                .unwrap();
+        frame::write_frame(&mut slow_writer, &text).unwrap();
+    }
+
+    // A well-behaved client on another connection is answered promptly —
+    // the reactor never blocks on the slow reader's socket.
+    let mut client = WireClient::connect(addr).unwrap();
+    let started = std::time::Instant::now();
+    client.ping().expect("fast client answered");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(2),
+        "fast client stalled behind a slow reader"
+    );
+
+    // Once the slow reader drains, every buffered response is intact and
+    // in order.
+    let mut slow_reader = BufReader::new(slow);
+    for id in 1..=FLOOD {
+        let text = frame::read_frame(&mut slow_reader)
+            .unwrap()
+            .expect("buffered pong delivered");
+        let response = mnc_wire::decode_response(&text).unwrap();
+        assert_eq!(response.id, id);
+        assert!(matches!(
+            response.outcome.into_result(),
+            Ok(mnc_wire::WirePayload::Pong)
+        ));
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn reactor_shutdown_drains_an_active_batch_before_teardown() {
+    // Regression: a Shutdown racing an in-flight batch used to tear the
+    // connection down before the batch response was written. The drain
+    // phase must deliver the queued batch first.
+    let handle = spawn_reactor_on_ephemeral_port(None, RequestLimits::default()).unwrap();
+
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Queue a batch, then shut down on the same connection before the
+    // batch can possibly have finished.
+    let batch = mnc_wire::WireRequest::new(
+        1,
+        mnc_wire::WireBody::SubmitBatch(WireBatch {
+            requests: vec![
+                small_request().seed(11),
+                small_request().seed(12),
+                small_request().seed(13),
+            ],
+            config: BatchConfig::new().max_concurrent(2),
+        }),
+    );
+    frame::write_frame(&mut writer, &mnc_wire::encode_request(&batch).unwrap()).unwrap();
+    let shutdown = mnc_wire::WireRequest::new(2, mnc_wire::WireBody::Shutdown);
+    frame::write_frame(&mut writer, &mnc_wire::encode_request(&shutdown).unwrap()).unwrap();
+
+    // The shutdown acknowledgement comes back immediately; the batch
+    // report follows once the workers drain.
+    let mut got_batch = false;
+    let mut got_shutdown = false;
+    while !(got_batch && got_shutdown) {
+        let text = frame::read_frame(&mut reader)
+            .unwrap()
+            .expect("drain delivered every pending response");
+        let response = mnc_wire::decode_response(&text).unwrap();
+        match response.id {
+            1 => {
+                match response.outcome.into_result().expect("batch succeeded") {
+                    mnc_wire::WirePayload::Batch(report) => {
+                        assert_eq!(report.responses.len(), 3);
+                        assert!(report
+                            .responses
+                            .iter()
+                            .all(|r| matches!(r, WireResult::Ok(_))));
+                    }
+                    other => panic!("batch answered with {other:?}"),
+                }
+                got_batch = true;
+            }
+            2 => {
+                assert!(matches!(
+                    response.outcome.into_result(),
+                    Ok(mnc_wire::WirePayload::ShuttingDown)
+                ));
+                got_shutdown = true;
+            }
+            other => panic!("unexpected response id {other}"),
+        }
+    }
+
+    handle.join().unwrap();
+}
+
+#[test]
+fn blocking_shutdown_drains_an_active_request_before_teardown() {
+    // Same regression on the legacy blocking server: Shutdown from one
+    // connection must wait for another connection's in-flight batch.
+    let handle = spawn_on_ephemeral_port(None, RequestLimits::default()).unwrap();
+    let addr = handle.addr();
+
+    let batch_thread = std::thread::spawn(move || {
+        let mut client = WireClient::connect(addr).unwrap();
+        client.submit_batch(WireBatch {
+            requests: vec![
+                small_request().seed(21),
+                small_request().seed(22),
+                small_request().seed(23),
+            ],
+            config: BatchConfig::new().max_concurrent(2),
+        })
+    });
+
+    // Let the batch land in a connection thread, then shut down from a
+    // second connection while it is (very likely) still searching.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let mut shutdown_client = WireClient::connect(addr).unwrap();
+    shutdown_client.shutdown().unwrap();
+
+    let report = batch_thread
+        .join()
+        .expect("batch thread finished")
+        .expect("in-flight batch was drained, not reset");
+    assert_eq!(report.responses.len(), 3);
+    assert!(report
+        .responses
+        .iter()
+        .all(|r| matches!(r, WireResult::Ok(_))));
+
+    handle.join().unwrap();
 }

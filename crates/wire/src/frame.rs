@@ -90,8 +90,10 @@ impl From<std::io::Error> for FrameError {
 ///
 /// Returns an error when the underlying writer fails.
 pub fn write_frame(writer: &mut impl Write, payload: &str) -> std::io::Result<()> {
-    writer.write_all(format!("{}\n", payload.len()).as_bytes())?;
-    writer.write_all(payload.as_bytes())?;
+    // One write per frame: splitting header and payload across two
+    // writes on an unbuffered socket interacts with Nagle + delayed ACK
+    // and can stall the payload segment for tens of milliseconds.
+    writer.write_all(format!("{}\n{}", payload.len(), payload).as_bytes())?;
     writer.flush()
 }
 
@@ -164,6 +166,131 @@ pub fn read_frame_with_cap(
     }
 }
 
+/// An incremental, push-based frame decoder for non-blocking readers.
+///
+/// The blocking [`read_frame`] pulls bytes until a frame completes — a
+/// reactor can't do that: a socket hands over whatever bytes are ready
+/// (often a partial header or payload) and the loop must move on to
+/// other connections. `FrameDecoder` inverts the flow: feed it whatever
+/// arrived with [`FrameDecoder::extend`], then drain complete frames
+/// with [`FrameDecoder::next_frame`]. Byte-at-a-time delivery, frames
+/// split at any offset, and several frames arriving in one read all
+/// decode identically to the blocking reader (unit-tested against it).
+///
+/// Error semantics mirror [`read_frame_with_cap`]: a non-UTF-8 payload
+/// consumes the frame and stays synchronised; a corrupt header poisons
+/// the decoder (every later call returns the error again) because the
+/// stream position is meaningless after it.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max_bytes: usize,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames (drained
+    /// lazily, so hot loops don't memmove per frame).
+    consumed: usize,
+    poisoned: Option<String>,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder with the default frame cap.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameDecoder::with_cap(DEFAULT_MAX_FRAME_BYTES)
+    }
+
+    /// A decoder capping frames at `max_bytes` payload bytes.
+    #[must_use]
+    pub fn with_cap(max_bytes: usize) -> Self {
+        FrameDecoder {
+            max_bytes,
+            buf: Vec::new(),
+            consumed: 0,
+            poisoned: None,
+        }
+    }
+
+    /// Feeds freshly read bytes into the decoder.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.consumed > 0 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Pops the next complete frame, `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// * [`FrameError::BadHeader`] / [`FrameError::TooLarge`] — header
+    ///   corruption; the decoder stays poisoned and the connection must
+    ///   close;
+    /// * [`FrameError::NotUtf8`] — the payload bytes are not UTF-8; the
+    ///   frame was consumed and decoding can continue.
+    pub fn next_frame(&mut self) -> Result<Option<String>, FrameError> {
+        if let Some(header) = &self.poisoned {
+            return Err(FrameError::BadHeader(header.clone()));
+        }
+        let pending = &self.buf[self.consumed..];
+        let Some(newline) = pending
+            .iter()
+            .take(MAX_HEADER_BYTES + 1)
+            .position(|&b| b == b'\n')
+        else {
+            if pending.len() > MAX_HEADER_BYTES {
+                let header = pending[..=MAX_HEADER_BYTES].to_vec();
+                return Err(self.poison(&header));
+            }
+            return Ok(None);
+        };
+        let header = pending[..newline].to_vec();
+        let Some(length) = std::str::from_utf8(&header)
+            .ok()
+            .and_then(|text| text.parse::<usize>().ok())
+        else {
+            return Err(self.poison(&header));
+        };
+        if length > self.max_bytes {
+            let max = self.max_bytes;
+            self.poisoned = Some(format!("{length}"));
+            return Err(FrameError::TooLarge {
+                announced: length,
+                max,
+            });
+        }
+        if pending.len() < newline + 1 + length {
+            return Ok(None);
+        }
+        let payload = pending[newline + 1..newline + 1 + length].to_vec();
+        self.consumed += newline + 1 + length;
+        match String::from_utf8(payload) {
+            Ok(text) => Ok(Some(text)),
+            // The frame was fully consumed, so the stream stays
+            // synchronised — same contract as the blocking reader.
+            Err(_) => Err(FrameError::NotUtf8),
+        }
+    }
+
+    fn poison(&mut self, header: &[u8]) -> FrameError {
+        let text = String::from_utf8_lossy(header).into_owned();
+        self.poisoned = Some(text.clone());
+        FrameError::BadHeader(text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +355,133 @@ mod tests {
             read_frame(&mut reader).unwrap_err(),
             FrameError::Io(_)
         ));
+    }
+
+    /// A reader that delivers one byte per `read` call and injects an
+    /// `Interrupted` error before every byte — the worst legal behaviour
+    /// of a socket under signal delivery.
+    struct ChunkedReader {
+        bytes: Vec<u8>,
+        position: usize,
+        interrupt_next: bool,
+    }
+
+    impl ChunkedReader {
+        fn new(bytes: Vec<u8>) -> Self {
+            ChunkedReader {
+                bytes,
+                position: 0,
+                interrupt_next: true,
+            }
+        }
+    }
+
+    impl std::io::Read for ChunkedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "signal",
+                ));
+            }
+            self.interrupt_next = true;
+            if self.position >= self.bytes.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.bytes[self.position];
+            self.position += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn blocking_reader_survives_one_byte_reads_and_interrupts() {
+        // The satellite regression: partial reads and Interrupted must
+        // retry, not error. BufReader's internal `read` can legally
+        // return one byte at a time; Interrupted arrives on signals.
+        let mut bytes = framed("hello");
+        bytes.extend(framed("{\"key\": \"value\"}"));
+        let mut reader = std::io::BufReader::new(ChunkedReader::new(bytes));
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap(), "hello");
+        assert_eq!(
+            read_frame(&mut reader).unwrap().unwrap(),
+            "{\"key\": \"value\"}"
+        );
+        assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn decoder_matches_blocking_reader_byte_at_a_time() {
+        let mut bytes = framed("hello");
+        bytes.extend(framed(""));
+        bytes.extend(framed("{\"k\": \"v\\n\"}"));
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for byte in &bytes {
+            decoder.extend(std::slice::from_ref(byte));
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames, ["hello", "", "{\"k\": \"v\\n\"}"]);
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_pops_multiple_frames_from_one_chunk() {
+        let mut bytes = framed("one");
+        bytes.extend(framed("two"));
+        // And a trailing partial frame.
+        bytes.extend(b"5\nthr");
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&bytes);
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), "one");
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), "two");
+        assert_eq!(decoder.next_frame().unwrap(), None);
+        decoder.extend(b"ee");
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), "three");
+    }
+
+    #[test]
+    fn decoder_poisons_on_header_corruption() {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(b"abc\nxxx");
+        let error = decoder.next_frame().unwrap_err();
+        assert!(matches!(error, FrameError::BadHeader(_)));
+        assert!(!error.is_resynchronizable());
+        // Still poisoned on the next call — the stream cannot recover.
+        assert!(decoder.next_frame().is_err());
+
+        let mut overlong = FrameDecoder::new();
+        overlong.extend(b"999999999999999999999999");
+        assert!(matches!(
+            overlong.next_frame().unwrap_err(),
+            FrameError::BadHeader(_)
+        ));
+
+        let mut capped = FrameDecoder::with_cap(16);
+        capped.extend(b"1000\nxy");
+        assert!(matches!(
+            capped.next_frame().unwrap_err(),
+            FrameError::TooLarge {
+                announced: 1000,
+                max: 16
+            }
+        ));
+    }
+
+    #[test]
+    fn decoder_skips_non_utf8_payload_and_stays_synchronised() {
+        let mut bytes = b"2\n".to_vec();
+        bytes.extend([0xff, 0xfe]);
+        bytes.extend(framed("next"));
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&bytes);
+        let error = decoder.next_frame().unwrap_err();
+        assert!(matches!(error, FrameError::NotUtf8));
+        assert!(error.is_resynchronizable());
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), "next");
     }
 
     #[test]

@@ -277,6 +277,10 @@ pub enum ErrorCode {
     InvalidRequest,
     /// The request exceeds the server's configured budget limits.
     OverBudget,
+    /// The server shed the request under load (admission control:
+    /// connection cap, queue bound or per-connection in-flight cap).
+    /// Transient by construction — the client should back off and retry.
+    Overloaded,
     /// Archive persistence failed (or no archive file is configured).
     Persistence,
     /// An internal failure: the request was well-formed but the service
@@ -320,6 +324,11 @@ impl WireError {
     /// An over-budget error.
     pub fn over_budget(message: impl Into<String>) -> Self {
         WireError::new(ErrorCode::OverBudget, message)
+    }
+
+    /// A load-shedding error (admission control refused the request).
+    pub fn overloaded(message: impl Into<String>) -> Self {
+        WireError::new(ErrorCode::Overloaded, message)
     }
 }
 
