@@ -57,7 +57,8 @@ pub use pareto::{
     pareto_front_indices_reference,
 };
 pub use search::{
-    EvaluatedConfig, MappingSearch, SearchConfig, SearchOutcome, SearchSummary, SelectionStrategy,
+    CancelToken, EvaluatedConfig, MappingSearch, SearchConfig, SearchOutcome, SearchSummary,
+    SelectionStrategy,
 };
 // Re-exported so search callers can attach sinks without naming the
 // telemetry crate themselves.

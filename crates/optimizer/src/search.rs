@@ -41,7 +41,40 @@ use rand::{RngExt, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// A shareable cooperative cancellation flag for an in-flight search.
+///
+/// Clone the token, hand one copy to [`MappingSearch::with_cancel_token`]
+/// and keep the other: calling [`CancelToken::cancel`] from any thread
+/// makes the search stop at its next generation boundary and return the
+/// best-front-so-far as a partial outcome ([`SearchOutcome::partial`]).
+/// A token that is never cancelled has no effect on the search — the
+/// outcome stays bit-identical to a run without one.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Flags cancellation. Idempotent; the search observes it at its next
+    /// generation boundary.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`CancelToken::cancel`] was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+}
 
 /// How elites are chosen from an evaluated generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -209,6 +242,7 @@ pub struct SearchOutcome {
     archive: Vec<EvaluatedConfig>,
     generations_run: usize,
     early_stopped: bool,
+    partial: bool,
     evaluations_performed: usize,
     memo_hits: usize,
     warm_start_seeds: usize,
@@ -232,6 +266,9 @@ pub struct SearchSummary {
     pub generations_run: usize,
     /// Whether the search stopped before its generation count.
     pub early_stopped: bool,
+    /// Whether the search was interrupted by a deadline or a cancel
+    /// token and the outcome is an anytime (best-front-so-far) answer.
+    pub partial: bool,
 }
 
 impl SearchOutcome {
@@ -241,6 +278,15 @@ impl SearchOutcome {
     /// [`SearchConfig::stall_generations`]).
     pub fn early_stopped(&self) -> bool {
         self.early_stopped
+    }
+
+    /// Whether the search was interrupted (deadline passed or
+    /// [`CancelToken::cancel`] called) and this outcome is an anytime
+    /// answer: the archive holds every generation completed before the
+    /// interruption — a bit-identical prefix of the uninterrupted run —
+    /// and [`SearchOutcome::generations_run`] marks how many completed.
+    pub fn partial(&self) -> bool {
+        self.partial
     }
 
     /// Every configuration evaluated during the search, in evaluation
@@ -290,6 +336,7 @@ impl SearchOutcome {
             warm_start_seeds: self.warm_start_seeds,
             generations_run: self.generations_run,
             early_stopped: self.early_stopped,
+            partial: self.partial,
         }
     }
 
@@ -385,6 +432,8 @@ pub struct MappingSearch<'a, E: ConfigEvaluator = Evaluator> {
     config: SearchConfig,
     seeds: Vec<Arc<Genome>>,
     sink: Option<&'a dyn TelemetrySink>,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
 }
 
 impl<E: ConfigEvaluator> std::fmt::Debug for MappingSearch<'_, E> {
@@ -393,6 +442,8 @@ impl<E: ConfigEvaluator> std::fmt::Debug for MappingSearch<'_, E> {
             .field("config", &self.config)
             .field("seeds", &self.seeds.len())
             .field("telemetry", &self.sink.is_some())
+            .field("deadline", &self.deadline.is_some())
+            .field("cancellable", &self.cancel.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -405,7 +456,32 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
             config,
             seeds: Vec::new(),
             sink: None,
+            deadline: None,
+            cancel: None,
         }
+    }
+
+    /// Bounds the search by an absolute wall-clock deadline, checked once
+    /// per generation *before* any of that generation's work: a search
+    /// past its deadline stops at the boundary and returns the
+    /// best-front-so-far as a partial outcome. The check never touches
+    /// the RNG stream, so a deadline that the full search beats leaves
+    /// the outcome bit-identical to an undeadlined run (property-tested).
+    /// At least one generation always runs — an already-expired deadline
+    /// yields the smallest possible anytime answer, not an error.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token, checked at the same
+    /// per-generation boundary as [`MappingSearch::with_deadline`]. An
+    /// uncancelled token never perturbs the search.
+    #[must_use]
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 
     /// Attaches a per-generation telemetry sink. The sink only observes:
@@ -534,11 +610,21 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
         let mut evaluations_performed = 0usize;
         let mut memo_hits = 0usize;
         let mut early_stopped = false;
+        let mut partial = false;
         let mut generations_run = 0;
         let mut best_objective = f64::INFINITY;
         let mut stalled_generations = 0usize;
 
         for generation in 0..self.config.generations {
+            // The anytime boundary: one deadline/cancel probe per
+            // generation, before any of its work and without touching the
+            // RNG stream. The first generation always runs so an
+            // already-expired deadline still yields a non-empty front.
+            if generation > 0 && self.interrupted() {
+                partial = true;
+                early_stopped = true;
+                break;
+            }
             // Respect the evaluation budget: trim the final generation so
             // the search performs exactly `max_evaluations` evaluations.
             // (The post-evaluation break below guarantees at least one
@@ -707,9 +793,20 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
             archive,
             generations_run,
             early_stopped,
+            partial,
             evaluations_performed,
             warm_start_seeds,
         })
+    }
+
+    /// Whether the anytime boundary should stop the loop: the cancel
+    /// token fired or the wall-clock deadline passed. Free of side
+    /// effects — with neither configured this is two `None` checks.
+    fn interrupted(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            || self
+                .deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
     }
 
     /// Evaluates one generation through the within-run memo: previously
@@ -1224,6 +1321,7 @@ mod tests {
         }
         assert_eq!(fast.generations_run(), reference.generations_run());
         assert_eq!(fast.early_stopped(), reference.early_stopped());
+        assert_eq!(fast.partial(), reference.partial());
         assert_eq!(fast.pareto_front(), reference.pareto_front());
         assert_eq!(fast.best_by_objective(), reference.best_by_objective());
     }
@@ -1430,6 +1528,140 @@ mod tests {
         let plain = MappingSearch::new(&evaluator, off_config).run().unwrap();
         assert_outcomes_bit_identical(&ignored, &plain);
         assert_eq!(ignored.warm_start_seeds(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_still_runs_one_generation_and_marks_partial() {
+        let evaluator = evaluator(Constraints::default());
+        let config = SearchConfig {
+            generations: 6,
+            population_size: 10,
+            ..SearchConfig::fast()
+        };
+        let outcome = MappingSearch::new(&evaluator, config)
+            .with_deadline(Instant::now())
+            .run()
+            .unwrap();
+        assert!(outcome.partial());
+        assert!(outcome.early_stopped());
+        assert_eq!(outcome.generations_run(), 1);
+        assert_eq!(outcome.evaluations(), 10);
+        assert!(!outcome.pareto_front().is_empty());
+        assert!(outcome.summary().partial);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_after_the_first_generation() {
+        let evaluator = evaluator(Constraints::default());
+        let config = SearchConfig {
+            generations: 5,
+            population_size: 8,
+            ..SearchConfig::fast()
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        let outcome = MappingSearch::new(&evaluator, config)
+            .with_cancel_token(token)
+            .run()
+            .unwrap();
+        assert!(outcome.partial());
+        assert_eq!(outcome.generations_run(), 1);
+    }
+
+    /// Cancels the shared token once a chosen generation has been
+    /// reported — a deterministic way to interrupt the search mid-run.
+    struct CancelAfter {
+        token: CancelToken,
+        after_generation: usize,
+    }
+    impl TelemetrySink for CancelAfter {
+        fn on_generation(&self, event: GenerationEvent) {
+            if event.generation >= self.after_generation {
+                self.token.cancel();
+            }
+        }
+    }
+
+    #[test]
+    fn partial_outcome_is_a_bit_identical_prefix_with_a_consistent_front() {
+        let evaluator = evaluator(Constraints::default());
+        let config = SearchConfig {
+            generations: 6,
+            population_size: 10,
+            ..SearchConfig::fast()
+        };
+        let full = MappingSearch::new(&evaluator, config).run().unwrap();
+
+        let token = CancelToken::new();
+        let sink = CancelAfter {
+            token: token.clone(),
+            after_generation: 1,
+        };
+        let interrupted = MappingSearch::new(&evaluator, config)
+            .with_cancel_token(token)
+            .with_telemetry(&sink)
+            .run()
+            .unwrap();
+        assert!(interrupted.partial());
+        assert!(interrupted.early_stopped());
+        assert_eq!(interrupted.generations_run(), 2);
+
+        // The anytime answer is the exact prefix of the full run: the
+        // interruption never rewrites history, it only stops extending it.
+        let prefix = &full.archive()[..interrupted.archive().len()];
+        for (a, b) in interrupted.archive().iter().zip(prefix) {
+            assert_eq!(a.genome, b.genome);
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.generation, b.generation);
+        }
+
+        // And its front is subset-consistent archive state: every
+        // returned config feasible and mutually non-dominated.
+        let front = interrupted.pareto_front();
+        assert!(!front.is_empty());
+        for candidate in &front {
+            assert!(candidate.result.feasible);
+        }
+        for a in &front {
+            for b in &front {
+                if !std::ptr::eq(*a, *b) {
+                    let pa = [a.result.average_energy_mj, a.result.average_latency_ms];
+                    let pb = [b.result.average_energy_mj, b.result.average_latency_ms];
+                    assert!(!dominates(&pa, &pb), "partial front holds dominated points");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Any deadline the full search beats — here one far in the
+        /// future — leaves the outcome bit-identical to the undeadlined
+        /// run, `partial` included; so does an uncancelled token.
+        #[test]
+        fn prop_generous_deadline_is_bit_identical(
+            seed in 0u64..1_000_000,
+            generations in 2usize..5,
+            population in 6usize..12,
+        ) {
+            let evaluator = evaluator(Constraints::default());
+            let config = SearchConfig {
+                generations,
+                population_size: population,
+                seed,
+                ..SearchConfig::fast()
+            };
+            let plain = MappingSearch::new(&evaluator, config).run().unwrap();
+            let deadlined = MappingSearch::new(&evaluator, config)
+                .with_deadline(Instant::now() + std::time::Duration::from_secs(3600))
+                .with_cancel_token(CancelToken::new())
+                .run()
+                .unwrap();
+            prop_assert!(!deadlined.partial());
+            assert_outcomes_bit_identical(&deadlined, &plain);
+        }
     }
 
     #[test]

@@ -287,6 +287,7 @@ impl ConfigEvaluator for CachedEvaluator {
             }
             ComputeLease::Owner(guard) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                crate::faults::eval_tick();
                 let config = genome.decode(self.evaluator.network(), self.evaluator.platform())?;
                 // Genomes differing only in mapping/DVFS genes share a
                 // (partition, indicator) pair: reuse its transform and go
@@ -325,6 +326,7 @@ impl ConfigEvaluator for CachedEvaluator {
             }
             ComputeLease::Owner(guard) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                crate::faults::eval_tick();
                 let config = genome.decode(self.evaluator.network(), self.evaluator.platform())?;
                 // The search-loop hook: a GA population practically never
                 // repeats a structure, so the transform LRU cannot pay for

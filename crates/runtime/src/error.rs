@@ -28,6 +28,14 @@ pub enum RuntimeError {
         /// Description of the problem.
         reason: String,
     },
+    /// The request's deadline expired before its search could start, so
+    /// no search ran. (A deadline that expires *while* the search runs
+    /// does not error: the search stops at the next generation boundary
+    /// and answers with the best-so-far front marked `partial`.)
+    DeadlineExceeded {
+        /// The deadline the request carried, in milliseconds.
+        deadline_ms: u64,
+    },
     /// An elite-archive snapshot could not be written, read or parsed
     /// (see `crate::warmstart::EliteArchive::{snapshot_to, load_from}`).
     Persistence {
@@ -60,6 +68,12 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::InvalidRequest { reason } => {
                 write!(f, "invalid mapping request: {reason}")
+            }
+            RuntimeError::DeadlineExceeded { deadline_ms } => {
+                write!(
+                    f,
+                    "deadline of {deadline_ms} ms exceeded before the search started"
+                )
             }
             RuntimeError::Persistence { path, reason } => {
                 write!(f, "archive persistence failed for `{path}`: {reason}")

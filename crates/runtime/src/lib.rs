@@ -75,6 +75,7 @@
 pub mod cache;
 pub mod cached;
 pub mod error;
+pub mod faults;
 pub mod pipeline;
 pub mod registry;
 pub mod response_cache;
@@ -86,6 +87,7 @@ pub mod warmstart;
 pub use cache::{CacheStats, ComputeLease, EvalCache};
 pub use cached::{CacheTraffic, CachedEvaluator};
 pub use error::RuntimeError;
+pub use faults::FaultPlan;
 pub use pipeline::{
     FastPathOutcome, PipelineStage, PipelineStats, RequestPipeline, SearchTicket, StageMicros,
     StageStats, STAGE_COUNT,
@@ -95,7 +97,11 @@ pub use response_cache::ResponseCacheStats;
 pub use scheduler::{BatchConfig, BatchReport, BatchStats};
 pub use service::{MappingRequest, MappingResponse, MappingService, RequestStats, ServiceConfig};
 pub use telemetry::{ServingMetrics, TelemetryConfig};
-pub use warmstart::{ArchiveShape, ArchiveSnapshot, EliteArchive, SurrogateRanker};
+pub use warmstart::{ArchiveLoad, ArchiveShape, ArchiveSnapshot, EliteArchive, SurrogateRanker};
+// Re-exported so serving layers can cancel a ticket's running search
+// (see [`SearchTicket::cancel_token`]) without naming the optimizer
+// crate themselves.
+pub use mnc_optim::CancelToken;
 // Telemetry vocabulary types, re-exported so front-ends (wire, server,
 // bench) can consume snapshots and traces without naming the telemetry
 // crate themselves.

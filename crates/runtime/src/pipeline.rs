@@ -78,7 +78,7 @@ use crate::response_cache::ResponseKey;
 use crate::scheduler::{normalized_for_coalescing, BatchConfig, BatchReport, BatchStats};
 use crate::service::{MappingRequest, MappingResponse, MappingService, RequestStats};
 use mnc_core::fingerprint_serialized;
-use mnc_optim::{EvaluatedConfig, MappingSearch};
+use mnc_optim::{CancelToken, EvaluatedConfig, MappingSearch};
 use mnc_telemetry::{saturating_nanos, GenerationBuffer, SpanRecorder};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -268,6 +268,17 @@ pub struct PipelineStats {
     /// Requests answered by joining an identical in-flight search at the
     /// serving layer instead of enqueueing their own.
     pub inflight_coalesced: u64,
+    /// Tickets whose deadline expired before their search could start
+    /// (e.g. while queued for a worker) — answered as structured
+    /// `DeadlineExceeded` without running a search.
+    pub deadline_misses: u64,
+    /// Searches interrupted at a generation boundary by a deadline or a
+    /// cancellation, answered with the best-so-far front
+    /// (`RequestStats::partial`).
+    pub partial_responses: u64,
+    /// Running searches cancelled by the serving layer's watchdog
+    /// (request deadline or per-job wall-clock cap).
+    pub search_cancellations: u64,
 }
 
 impl PipelineStats {
@@ -317,12 +328,43 @@ pub struct SearchTicket {
     prepared: PreparedRequest,
     trace: StageTrace,
     started: Instant,
+    /// Absolute deadline stamped from the request's `deadline_ms` at
+    /// fast-path time, so queueing delay counts against the budget.
+    deadline: Option<Instant>,
+    /// The cancel token the slow path's search polls each generation; a
+    /// serving layer clones it before dispatch so a watchdog can stop
+    /// the search from outside.
+    cancel: CancelToken,
 }
 
 impl SearchTicket {
     /// The request this ticket answers.
     pub fn request(&self) -> &MappingRequest {
         &self.request
+    }
+
+    /// The absolute deadline this ticket must answer by, stamped from
+    /// [`MappingRequest::deadline_ms`] when the fast path admitted the
+    /// request (`None` = unbounded).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the ticket's deadline has already passed. The slow path
+    /// checks this at entry and answers
+    /// [`RuntimeError::DeadlineExceeded`] without starting a search; a
+    /// serving layer can check it to drop expired tickets while queued.
+    pub fn expired(&self) -> bool {
+        self.deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// A handle to the ticket's cancel token: cancelling it stops the
+    /// search at the next generation boundary, which then answers with
+    /// its best-so-far partial front. This is what a serving-layer
+    /// watchdog registers before handing the ticket to a worker.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// The full-request coalescing fingerprint, when the request is
@@ -551,10 +593,14 @@ impl<'s> RequestPipeline<'s> {
             return FastPathOutcome::Answered(Box::new(MappingResponse::clone(&stored)));
         }
         FastPathOutcome::NeedsSearch(Box::new(SearchTicket {
+            deadline: request
+                .deadline_ms
+                .map(|ms| started + Duration::from_millis(ms)),
             request: request.clone(),
             prepared,
             trace,
             started,
+            cancel: CancelToken::new(),
         }))
     }
 
@@ -573,11 +619,33 @@ impl<'s> RequestPipeline<'s> {
             prepared,
             mut trace,
             started,
+            deadline,
+            cancel,
         } = ticket;
         let telemetry = self.service.telemetry();
-        let outcome = self.finish(&request, &prepared, &mut trace, started);
+        // A ticket that expired while queued is answered without
+        // starting its search: a partial front of zero generations would
+        // be empty anyway, and the worker slot goes to a request that
+        // can still meet its deadline.
+        if deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+            telemetry.deadline_misses.inc();
+            let error = RuntimeError::DeadlineExceeded {
+                deadline_ms: request.deadline_ms.unwrap_or(0),
+            };
+            telemetry
+                .request_duration
+                .record(saturating_nanos(started.elapsed()));
+            telemetry.finish_trace(trace.take_recorder(), Some(error.to_string()));
+            return Err(error);
+        }
+        let outcome = self.finish(&request, &prepared, &mut trace, started, deadline, &cancel);
         if let Ok(response) = &outcome {
-            if let Some(key) = &prepared.response_key {
+            if response.stats.partial {
+                // A partial front is a valid answer for *this* deadline
+                // but not the canonical answer for the request: never
+                // cache it, so later requests get the full front.
+                telemetry.partial_responses.inc();
+            } else if let Some(key) = &prepared.response_key {
                 self.service.responses().insert(key, response);
             }
         }
@@ -599,6 +667,8 @@ impl<'s> RequestPipeline<'s> {
         prepared: &PreparedRequest,
         trace: &mut StageTrace,
         started: Instant,
+        deadline: Option<Instant>,
+        cancel: &CancelToken,
     ) -> Result<MappingResponse, RuntimeError> {
         let telemetry = self.service.telemetry();
 
@@ -644,7 +714,12 @@ impl<'s> RequestPipeline<'s> {
         // decides depends on it (the sink is write-only).
         let generations = telemetry.search_telemetry().then(GenerationBuffer::new);
         let outcome = self.try_stage(PipelineStage::Search, trace, || {
-            let mut search = MappingSearch::new(&cached, prepared.config).with_seeds(seeds);
+            let mut search = MappingSearch::new(&cached, prepared.config)
+                .with_seeds(seeds)
+                .with_cancel_token(cancel.clone());
+            if let Some(deadline) = deadline {
+                search = search.with_deadline(deadline);
+            }
             if let Some(buffer) = &generations {
                 search = search.with_telemetry(buffer);
             }
@@ -699,7 +774,9 @@ impl<'s> RequestPipeline<'s> {
                 summary.memo_hits,
                 traffic.hits,
                 traffic.misses,
-                if summary.early_stopped {
+                if summary.partial {
+                    ", partial (deadline/cancel)"
+                } else if summary.early_stopped {
                     ", early stop"
                 } else {
                     ""
@@ -713,6 +790,7 @@ impl<'s> RequestPipeline<'s> {
             warm_start_seeds: summary.warm_start_seeds,
             generations_run: summary.generations_run,
             early_stopped: summary.early_stopped,
+            partial: summary.partial,
             cache_hits: traffic.hits,
             cache_misses: traffic.misses,
             cache_coalesced: traffic.coalesced,
@@ -1143,6 +1221,89 @@ mod tests {
         let traces = telemetry.traces().recent();
         assert_eq!(traces.len(), 1);
         assert!(traces[0].error.as_deref().unwrap().contains("resnet"));
+    }
+
+    #[test]
+    fn expired_queued_ticket_answers_deadline_exceeded_without_searching() {
+        let service = MappingService::new();
+        let pipeline = service.pipeline();
+        let ticket = match pipeline.fast_path(&small_request().deadline_ms(0)) {
+            FastPathOutcome::NeedsSearch(ticket) => ticket,
+            other => panic!("expected a ticket, got {other:?}"),
+        };
+        assert!(ticket.deadline().is_some());
+        assert!(ticket.expired(), "a 0 ms deadline expires immediately");
+        match pipeline.slow_path(*ticket) {
+            Err(RuntimeError::DeadlineExceeded { deadline_ms }) => assert_eq!(deadline_ms, 0),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let stats = service.pipeline_stats();
+        assert_eq!(stats.deadline_misses, 1);
+        assert_eq!(
+            stats.searches_run, 0,
+            "no search starts for an expired ticket"
+        );
+        assert_eq!(stats.stage(PipelineStage::ResolveEvaluator).entered, 0);
+        // The miss still completes the request's telemetry.
+        let telemetry = service.telemetry();
+        assert_eq!(telemetry.request_duration.count(), 1);
+    }
+
+    #[test]
+    fn cancelled_ticket_answers_partial_and_is_never_cached() {
+        let service = MappingService::new();
+        let pipeline = service.pipeline();
+        let ticket = match pipeline.fast_path(&small_request()) {
+            FastPathOutcome::NeedsSearch(ticket) => ticket,
+            other => panic!("expected a ticket, got {other:?}"),
+        };
+        // What the serving watchdog does: cancel from outside the search.
+        ticket.cancel_token().cancel();
+        let response = pipeline.slow_path(*ticket).unwrap();
+        assert!(response.stats.partial);
+        assert!(response.stats.early_stopped);
+        assert_eq!(
+            response.stats.generations_run, 1,
+            "the first generation always runs, so the partial front is non-empty"
+        );
+        assert!(!response.pareto_front.is_empty());
+        let stats = service.pipeline_stats();
+        assert_eq!(stats.partial_responses, 1);
+        assert_eq!(stats.deadline_misses, 0);
+        assert_eq!(
+            service.response_cache_stats().insertions,
+            0,
+            "a partial front must never become the cached canonical answer"
+        );
+        // The next identical request runs the full search and caches it.
+        let full = pipeline.run(&small_request()).unwrap();
+        assert!(!full.stats.partial);
+        assert_eq!(service.response_cache_stats().insertions, 1);
+    }
+
+    #[test]
+    fn generous_deadline_answers_bit_identically_and_shares_the_cache_key() {
+        let service = MappingService::new();
+        let plain = service.pipeline().run(&small_request()).unwrap();
+        // Deadline is normalised out of the response-cache key, so the
+        // deadlined twin replays the stored undeadlined answer verbatim.
+        let replay = service
+            .pipeline()
+            .run(&small_request().deadline_ms(3_600_000))
+            .unwrap();
+        assert_eq!(plain, replay);
+        assert_eq!(service.pipeline_stats().fast_path_answered, 1);
+
+        // And served cold, a generous deadline changes nothing about the
+        // front (the per-generation probe never touches the RNG stream).
+        let fresh = MappingService::new();
+        let cold = fresh
+            .pipeline()
+            .run(&small_request().deadline_ms(3_600_000))
+            .unwrap();
+        assert!(!cold.stats.partial);
+        assert_eq!(cold.pareto_front, plain.pareto_front);
+        assert_eq!(cold.best_by_objective, plain.best_by_objective);
     }
 
     #[test]

@@ -226,6 +226,7 @@ mod tests {
                 warm_start_seeds: 0,
                 generations_run: 0,
                 early_stopped: false,
+                partial: false,
                 cache_hits: 0,
                 cache_misses: 0,
                 cache_coalesced: 0,

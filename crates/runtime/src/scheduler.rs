@@ -157,15 +157,20 @@ pub struct BatchReport {
 }
 
 /// The answer-determining content of a request: everything except the
-/// thread count, which never changes results. A zero thread count is
-/// invalid rather than answer-neutral, so it is kept distinct — an
-/// invalid request must not donate its error to (or steal a front from)
-/// valid duplicates. (The pipeline's batch-level Normalize stage.)
+/// thread count, which never changes results, and the deadline, which
+/// bounds *when* the answer arrives but not what a completed search
+/// returns — so a deadlined request coalesces with (and replays the
+/// cached response of) its undeadlined twin, and a coalesced follower's
+/// tighter deadline never truncates the leader's search. A zero thread
+/// count is invalid rather than answer-neutral, so it is kept distinct —
+/// an invalid request must not donate its error to (or steal a front
+/// from) valid duplicates. (The pipeline's batch-level Normalize stage.)
 pub(crate) fn normalized_for_coalescing(request: &MappingRequest) -> MappingRequest {
     let mut normalized = request.clone();
     if normalized.threads != Some(0) {
         normalized.threads = None;
     }
+    normalized.deadline_ms = None;
     normalized
 }
 
@@ -216,6 +221,11 @@ mod tests {
             coalescing_key(&base.clone().threads(4)),
             coalescing_key(&base),
             "thread count must not split a group"
+        );
+        assert_eq!(
+            coalescing_key(&base.clone().deadline_ms(50)),
+            coalescing_key(&base),
+            "deadline bounds arrival time, not answer content"
         );
         assert_ne!(
             coalescing_key(&base.clone().seed(7)),

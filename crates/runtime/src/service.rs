@@ -124,6 +124,17 @@ pub struct MappingRequest {
     pub stall_generations: Option<usize>,
     /// Worker threads for population evaluation (`None` = all cores).
     pub threads: Option<usize>,
+    /// Soft wall-clock deadline for answering this request, in
+    /// milliseconds from submission (`None` = unbounded, today's
+    /// behaviour). The pipeline's fast path stamps the absolute deadline
+    /// into the search ticket; a search still running at the deadline
+    /// stops at the next generation boundary and answers with the
+    /// best-so-far front (`RequestStats::partial`), while a ticket whose
+    /// deadline expires before its search starts is answered
+    /// [`RuntimeError::DeadlineExceeded`] without running one. Answer
+    /// content for requests that complete in time is unaffected, so the
+    /// deadline is normalised out of coalescing and response-cache keys.
+    pub deadline_ms: Option<u64>,
     /// Seed the search from surrogate-ranked Pareto elites of earlier
     /// same-model requests (see [`crate::warmstart`]). Off by default:
     /// a cold request's response depends only on the request itself,
@@ -149,6 +160,7 @@ impl MappingRequest {
             max_evaluations: None,
             stall_generations: None,
             threads: None,
+            deadline_ms: None,
             warm_start: false,
         }
     }
@@ -223,6 +235,17 @@ impl MappingRequest {
         self
     }
 
+    /// Sets a soft wall-clock deadline, in milliseconds from submission:
+    /// the search stops at the first generation boundary past it and
+    /// answers with the best-so-far front marked
+    /// [`RequestStats::partial`] (a request that finishes in time
+    /// answers bit-identically to the undeadlined one).
+    #[must_use]
+    pub fn deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
     /// Opts in to the surrogate warm start: the initial population is
     /// seeded from the archived Pareto elites of earlier requests for the
     /// same model (same platform first, then neighbouring platforms with
@@ -292,6 +315,12 @@ pub struct RequestStats {
     pub generations_run: usize,
     /// Whether the search stopped before its generation count.
     pub early_stopped: bool,
+    /// Whether the front is a deadline/cancellation partial: the search
+    /// was interrupted at a generation boundary and the response carries
+    /// the best-so-far front (a bit-identical prefix of the full run)
+    /// rather than the full-budget answer. Partial responses are never
+    /// stored in the response cache.
+    pub partial: bool,
     /// Cache hits while serving this request.
     pub cache_hits: u64,
     /// Cache misses (fresh evaluations) while serving this request.
@@ -488,6 +517,20 @@ impl MappingService {
     /// malformed snapshots.
     pub fn load_archive(&self, path: &Path) -> Result<usize, RuntimeError> {
         self.elites.load_from(path)
+    }
+
+    /// Crash-tolerant variant of [`MappingService::load_archive`] for
+    /// server startup: a missing snapshot is a cold start and a corrupt
+    /// one (e.g. a torn write left by a crash) is renamed to
+    /// `<name>.corrupt` and skipped, so the service always comes up
+    /// serviceable. See [`EliteArchive::load_or_quarantine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Persistence`] only when quarantining the
+    /// corrupt file itself fails — never for the corruption as such.
+    pub fn restore_archive(&self, path: &Path) -> Result<crate::ArchiveLoad, RuntimeError> {
+        self.elites.load_or_quarantine(path)
     }
 
     /// Persists the elite archive to a JSON snapshot that
@@ -916,7 +959,10 @@ mod tests {
 
     #[test]
     fn request_serializes_round_trip() {
-        let request = small_request().max_evaluations(100).threads(2);
+        let request = small_request()
+            .max_evaluations(100)
+            .threads(2)
+            .deadline_ms(250);
         let json = serde_json::to_string(&request).unwrap();
         let back: MappingRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(request, back);

@@ -47,6 +47,11 @@ pub struct ServingMetrics {
     /// instead of enqueueing their own
     /// (`mnc_inflight_coalesced_total`).
     pub inflight_coalesced: Arc<Counter>,
+    /// Running searches cancelled by the serving layer's watchdog —
+    /// request deadline or per-job wall-clock cap
+    /// (`mnc_search_cancellations_total`). Each cancelled search still
+    /// answers with its best-so-far partial front.
+    pub search_cancellations: Arc<Counter>,
 }
 
 /// How much observability the service records. Histograms and lifetime
@@ -118,6 +123,8 @@ pub(crate) struct ServiceTelemetry {
     pub(crate) evaluations_performed: Arc<Counter>,
     pub(crate) elites_recorded: Arc<Counter>,
     pub(crate) fast_path_answered: Arc<Counter>,
+    pub(crate) deadline_misses: Arc<Counter>,
+    pub(crate) partial_responses: Arc<Counter>,
     pub(crate) serving: ServingMetrics,
     traces: TraceRing,
 }
@@ -157,11 +164,14 @@ impl ServiceTelemetry {
             evaluations_performed: counter("mnc_evaluations_performed_total"),
             elites_recorded: counter("mnc_elites_recorded_total"),
             fast_path_answered: counter("mnc_fast_path_answered_total"),
+            deadline_misses: counter("mnc_deadline_misses_total"),
+            partial_responses: counter("mnc_partial_responses_total"),
             serving: ServingMetrics {
                 connections: registry.gauge(MetricKey::plain("mnc_server_connections")),
                 queue_depth: registry.gauge(MetricKey::plain("mnc_server_queue_depth")),
                 shed_requests: counter("mnc_shed_requests_total"),
                 inflight_coalesced: counter("mnc_inflight_coalesced_total"),
+                search_cancellations: counter("mnc_search_cancellations_total"),
             },
             traces: TraceRing::new(
                 config.trace_capacity,
@@ -228,6 +238,9 @@ impl ServiceTelemetry {
             fast_path_answered: self.fast_path_answered.value(),
             shed_requests: self.serving.shed_requests.value(),
             inflight_coalesced: self.serving.inflight_coalesced.value(),
+            deadline_misses: self.deadline_misses.value(),
+            partial_responses: self.partial_responses.value(),
+            search_cancellations: self.serving.search_cancellations.value(),
         }
     }
 

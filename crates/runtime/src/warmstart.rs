@@ -71,6 +71,23 @@ pub struct ArchiveShape {
 /// service that answers many distinct-seed requests for one shape.
 pub const MAX_ELITES_PER_SHAPE: usize = 32;
 
+/// How [`EliteArchive::load_or_quarantine`] resolved a startup load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchiveLoad {
+    /// The snapshot restored cleanly, carrying this many genomes.
+    Restored(usize),
+    /// No snapshot file existed; the archive starts cold.
+    Missing,
+    /// The file was corrupt (torn write, malformed JSON, version skew);
+    /// it was moved aside and the archive starts cold.
+    Quarantined {
+        /// Where the corrupt file was moved (`<name>.corrupt`).
+        quarantined_to: std::path::PathBuf,
+        /// Why it could not be restored.
+        reason: String,
+    },
+}
+
 /// Deterministic benchmark-dataset settings for the per-platform
 /// surrogate: ranking must not wobble between equal requests, so the
 /// dataset seed is fixed and the full sample set trains (no held-out
@@ -223,21 +240,50 @@ impl EliteArchive {
     /// persistence file `mnc-server --archive-dir` maintains), returning
     /// the number of genomes written.
     ///
+    /// Crash-safe: the JSON is written to a sibling `<name>.tmp` file,
+    /// fsynced, then atomically renamed over the target, so a process
+    /// killed mid-snapshot leaves the previous snapshot intact — never a
+    /// torn half-written file under the real name.
+    ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Persistence`] when serialization or the
-    /// write fails.
+    /// write fails (the temp file is cleaned up on failure).
     pub fn snapshot_to(&self, path: &Path) -> Result<usize, RuntimeError> {
         let snapshot = self.snapshot();
-        let json =
+        let mut json =
             serde_json::to_string_pretty(&snapshot).map_err(|e| RuntimeError::Persistence {
                 path: path.display().to_string(),
                 reason: format!("serializing archive snapshot: {e}"),
             })?;
-        std::fs::write(path, json).map_err(|e| RuntimeError::Persistence {
-            path: path.display().to_string(),
-            reason: format!("writing archive snapshot: {e}"),
-        })?;
+        crate::faults::corrupt_snapshot_json(&mut json);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let written = (|| -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut file, json.as_bytes())?;
+            // Flush file contents to disk before the rename makes them
+            // visible under the real name.
+            file.sync_all()?;
+            std::fs::rename(&tmp, path)?;
+            // Best-effort directory sync so the rename itself survives a
+            // power loss; not every filesystem supports it, so failures
+            // are ignored.
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                if let Ok(dir) = std::fs::File::open(dir) {
+                    let _ = dir.sync_all();
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = written {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(RuntimeError::Persistence {
+                path: path.display().to_string(),
+                reason: format!("writing archive snapshot: {e}"),
+            });
+        }
         Ok(snapshot.shapes.iter().map(|s| s.genomes.len()).sum())
     }
 
@@ -270,6 +316,41 @@ impl EliteArchive {
             });
         }
         Ok(self.restore(&snapshot))
+    }
+
+    /// The resilient startup load: a missing file starts cold, a corrupt
+    /// or version-skewed file is moved aside to `<name>.corrupt` (so the
+    /// evidence survives for inspection and the next snapshot starts
+    /// clean) and the archive starts cold, and only a quarantine that
+    /// itself fails (e.g. an unwritable directory) is an error — a torn
+    /// snapshot from a crash mid-write must never keep the service from
+    /// booting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Persistence`] only when a corrupt file
+    /// cannot be moved to its quarantine name.
+    pub fn load_or_quarantine(&self, path: &Path) -> Result<ArchiveLoad, RuntimeError> {
+        if !path.exists() {
+            return Ok(ArchiveLoad::Missing);
+        }
+        match self.load_from(path) {
+            Ok(genomes) => Ok(ArchiveLoad::Restored(genomes)),
+            Err(RuntimeError::Persistence { reason, .. }) => {
+                let mut quarantined = path.as_os_str().to_owned();
+                quarantined.push(".corrupt");
+                let quarantined = std::path::PathBuf::from(quarantined);
+                std::fs::rename(path, &quarantined).map_err(|e| RuntimeError::Persistence {
+                    path: path.display().to_string(),
+                    reason: format!("quarantining corrupt archive snapshot: {e}"),
+                })?;
+                Ok(ArchiveLoad::Quarantined {
+                    quarantined_to: quarantined,
+                    reason,
+                })
+            }
+            Err(other) => Err(other),
+        }
     }
 
     /// Total number of archived genomes across every shape.

@@ -1,0 +1,118 @@
+//! Fault-injection regression tests for crash-safe archive
+//! persistence. These live in their own integration-test binary because
+//! [`FaultPlan`] is process-global: arming a fault here must not race
+//! the persistence tests in `pipeline.rs` (a separate process).
+
+use mnc_runtime::{ArchiveLoad, FaultPlan, MappingRequest, MappingService};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Serializes tests in this binary: the fault plan is process-global, so
+/// a test that arms a fault must not overlap another test's
+/// `save_archive` call on a sibling thread.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mnc_chaos_test_{tag}_{}.json", std::process::id()))
+}
+
+fn request(seed: u64) -> MappingRequest {
+    MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+        .validation_samples(400)
+        .generations(3)
+        .population_size(8)
+        .seed(seed)
+}
+
+/// The torn-write regression: a snapshot truncated mid-write (the crash
+/// a pre-rename server could leave behind) is quarantined on restart —
+/// the original path renamed to `<name>.corrupt` — and the restarted
+/// service comes up cold but healthy: it serves requests, and the next
+/// snapshot/restore cycle is whole again.
+#[test]
+fn torn_snapshot_write_quarantines_and_restarts_cold_but_healthy() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    let path = temp_file("torn");
+    let quarantined = PathBuf::from(format!("{}.corrupt", path.display()));
+
+    // First life: populate the archive, persist through a torn write.
+    let service = MappingService::new();
+    service.submit(&request(1)).unwrap();
+    assert!(!service.elite_archive().is_empty());
+    FaultPlan::arm_snapshot_truncation(16);
+    let written = service.save_archive(&path).unwrap();
+    assert!(written > 0, "the write itself reports success");
+    FaultPlan::disarm_all();
+    let on_disk = std::fs::read_to_string(&path).unwrap();
+    assert!(on_disk.len() <= 16, "the snapshot really is torn");
+
+    // Restart: the corrupt snapshot is quarantined, not fatal.
+    let restarted = MappingService::new();
+    match restarted.restore_archive(&path).unwrap() {
+        ArchiveLoad::Quarantined {
+            quarantined_to,
+            reason,
+        } => {
+            assert_eq!(quarantined_to, quarantined);
+            assert!(!reason.is_empty());
+        }
+        other => panic!("torn snapshot gave {other:?}"),
+    }
+    assert!(!path.exists(), "the corrupt file was moved, not copied");
+    assert_eq!(
+        std::fs::read_to_string(&quarantined).unwrap(),
+        on_disk,
+        "quarantine preserves the corrupt bytes for post-mortems"
+    );
+    assert_eq!(restarted.elite_archive().len(), 0, "restart is cold");
+
+    // ... but healthy: it serves, and persistence works again.
+    let response = restarted.submit(&request(2)).unwrap();
+    assert!(!response.pareto_front.is_empty());
+    let saved = restarted.save_archive(&path).unwrap();
+    let third = MappingService::new();
+    assert_eq!(
+        third.restore_archive(&path).unwrap(),
+        ArchiveLoad::Restored(saved)
+    );
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&quarantined);
+}
+
+/// A missing snapshot is a cold start, not an error — and quarantining
+/// never invents files.
+#[test]
+fn missing_snapshot_is_a_cold_start() {
+    let path = temp_file("missing");
+    let service = MappingService::new();
+    assert_eq!(
+        service.restore_archive(&path).unwrap(),
+        ArchiveLoad::Missing
+    );
+    assert!(!PathBuf::from(format!("{}.corrupt", path.display())).exists());
+}
+
+/// The atomic write protocol: a snapshot leaves no `.tmp` residue on
+/// success, and an interrupted (torn) write still replaces the file in
+/// one rename — older intact snapshots are never half-overwritten.
+#[test]
+fn snapshot_write_is_atomic_and_leaves_no_temp_residue() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    let path = temp_file("atomic");
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+
+    let service = MappingService::new();
+    service.submit(&request(3)).unwrap();
+    service.save_archive(&path).unwrap();
+    assert!(path.exists());
+    assert!(!tmp.exists(), "temp file renamed away on success");
+    let intact = std::fs::read_to_string(&path).unwrap();
+
+    // A failed write (unwritable directory) must not disturb anything.
+    let unwritable = PathBuf::from("/definitely/not/a/real/dir/archive.json");
+    assert!(service.save_archive(&unwritable).is_err());
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), intact);
+
+    let _ = std::fs::remove_file(&path);
+}

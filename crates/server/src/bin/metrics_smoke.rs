@@ -38,6 +38,8 @@ struct SmokeReport {
     searches_run: u64,
     search_generations_total: u64,
     coalesced_requests: u64,
+    deadline_misses: u64,
+    partial_responses: u64,
     request_p50_micros: f64,
     request_p99_micros: f64,
     prometheus_samples: usize,
@@ -98,16 +100,25 @@ fn main() {
         Err(mnc_server::ClientError::Server(_)) => {}
         other => panic!("invalid request gave {other:?}"),
     }
+    // One request with an already-expired deadline: it clears the fast
+    // path (Normalize, Fingerprint, CacheLookup) but is answered
+    // `DeadlineExceeded` before any search starts.
+    match client.submit(&request(41).deadline_ms(0)) {
+        Err(mnc_server::ClientError::Server(error)) => {
+            assert_eq!(error.code, mnc_wire::ErrorCode::DeadlineExceeded);
+        }
+        other => panic!("expired request gave {other:?}"),
+    }
 
     // --- fetch the Metrics report ----------------------------------------
     let metrics = client.metrics().expect("metrics");
     let snapshot = &metrics.metrics;
 
     // --- 1. counter consistency ------------------------------------------
-    // 1 direct + 3 batch leaders + 1 invalid entered the per-request
-    // pipeline; the coalesced duplicate never re-ran it.
+    // 1 direct + 3 batch leaders + 1 invalid + 1 expired entered the
+    // per-request pipeline; the coalesced duplicate never re-ran it.
     let requests = counter(snapshot, "mnc_requests_total");
-    assert_eq!(requests, 5, "requests counter");
+    assert_eq!(requests, 6, "requests counter");
     let request_histogram = snapshot
         .histogram(REQUEST_DURATION)
         .expect("request-duration histogram present");
@@ -118,9 +129,9 @@ fn main() {
     assert_eq!(counter(snapshot, "mnc_batches_total"), 1);
     assert_eq!(counter(snapshot, "mnc_coalesced_requests_total"), 1);
 
-    // Normalize ran per request (5) plus once batch-level; the invalid
+    // Normalize ran per request (6) plus once batch-level; the invalid
     // request died there, so Fingerprint saw one entry fewer per-request.
-    assert_eq!(stage_count(snapshot, "normalize"), 6, "normalize entries");
+    assert_eq!(stage_count(snapshot, "normalize"), 7, "normalize entries");
     assert_eq!(
         snapshot
             .labeled_counter_value(STAGE_ERRORS, "stage", "normalize")
@@ -130,9 +141,10 @@ fn main() {
     );
     assert_eq!(
         stage_count(snapshot, "fingerprint"),
-        5,
+        6,
         "fingerprint entries"
     );
+    // The expired request never reached the search stage.
     assert_eq!(stage_count(snapshot, "search"), 4, "search entries");
     let searches = counter(snapshot, "mnc_searches_total");
     assert_eq!(searches, 4, "searches counter matches the search stage");
@@ -145,7 +157,15 @@ fn main() {
     let pool_hits = counter(snapshot, "mnc_evaluator_pool_hits_total");
     assert_eq!(builds + pool_hits, 4, "every search resolved an evaluator");
     assert!(builds >= 1, "the first search built the evaluator");
-    println!("metrics_smoke: counters consistent (5 requests, 4 searches, 1 rejected)");
+    // Deadline accounting: exactly the expired request missed; nothing
+    // in this mix was answered with a partial front.
+    let deadline_misses = counter(snapshot, "mnc_deadline_misses_total");
+    assert_eq!(deadline_misses, 1, "deadline misses");
+    let partial_responses = counter(snapshot, "mnc_partial_responses_total");
+    assert_eq!(partial_responses, 0, "partial responses");
+    println!(
+        "metrics_smoke: counters consistent (6 requests, 4 searches, 1 rejected, 1 deadline miss)"
+    );
 
     // --- 2. latency digests agree with the raw histograms ----------------
     assert_eq!(metrics.request_latency.count, requests);
@@ -182,7 +202,7 @@ fn main() {
     )
     .expect("normalize histogram count exposed")
     .value;
-    assert_eq!(normalize_count, 6.0);
+    assert_eq!(normalize_count, 7.0);
     let request_count = find_sample(&samples, &format!("{REQUEST_DURATION}_count"), &[])
         .expect("request histogram count exposed")
         .value;
@@ -194,7 +214,7 @@ fn main() {
     let retained = find_sample(&samples, "mnc_traces_retained", &[])
         .expect("trace-ring gauge exposed")
         .value;
-    assert_eq!(retained, 5.0, "every request left a retained trace");
+    assert_eq!(retained, 6.0, "every request left a retained trace");
     println!(
         "metrics_smoke: prometheus exposition parsed ({} samples, consistent with JSON)",
         samples.len()
@@ -213,6 +233,8 @@ fn main() {
             searches_run: searches,
             search_generations_total: generations,
             coalesced_requests: counter(snapshot, "mnc_coalesced_requests_total"),
+            deadline_misses,
+            partial_responses,
             request_p50_micros: metrics.request_latency.p50_micros,
             request_p99_micros: metrics.request_latency.p99_micros,
             prometheus_samples: samples.len(),

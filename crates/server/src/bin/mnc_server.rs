@@ -6,6 +6,7 @@
 //!            [--trace-capacity N] [--slow-threshold-micros N]
 //!            [--max-connections N] [--queue-depth N]
 //!            [--inflight-per-conn N] [--workers N]
+//!            [--search-timeout-ms N]
 //!            [--drain-deadline-ms N] [--legacy-blocking]
 //! mnc-server --metrics [HOST:PORT]       # scrape a running server (Prometheus text)
 //! mnc-server --metrics-json [HOST:PORT]  # scrape a running server (JSON snapshot)
@@ -23,8 +24,12 @@
 //! requests (response-cache hits, structured rejections) inline and
 //! hands searches to a bounded worker pool, shedding overload as
 //! structured `Overloaded` errors per the admission-control flags.
-//! `--legacy-blocking` selects the original thread-per-connection
-//! server instead (same wire semantics, no admission control).
+//! With `--search-timeout-ms`, a watchdog additionally caps every
+//! search's wall clock: an overrunning search is cancelled at the next
+//! generation boundary and answers with its best-so-far front marked
+//! partial. `--legacy-blocking` selects the original
+//! thread-per-connection server instead (same wire semantics, no
+//! admission control).
 //!
 //! `--metrics`/`--metrics-json` turn the binary into a one-shot client:
 //! it connects to the given address (default `127.0.0.1:7477`), issues
@@ -39,7 +44,8 @@ const USAGE: &str = "usage: mnc-server [--addr HOST:PORT] [--archive-dir DIR] \
                      [--max-batch N] [--max-evaluations N] [--max-samples N] \
                      [--trace-capacity N] [--slow-threshold-micros N] \
                      [--max-connections N] [--queue-depth N] [--inflight-per-conn N] \
-                     [--workers N] [--drain-deadline-ms N] [--legacy-blocking] | \
+                     [--workers N] [--search-timeout-ms N] \
+                     [--drain-deadline-ms N] [--legacy-blocking] | \
                      mnc-server --metrics|--metrics-json [HOST:PORT]";
 
 /// What kind of one-shot metrics scrape was requested, if any.
@@ -123,6 +129,15 @@ fn parse_args() -> Result<Args, String> {
                 args.reactor.search_workers = value("--workers")?
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--search-timeout-ms" => {
+                let millis: u64 = value("--search-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--search-timeout-ms: {e}"))?;
+                if millis == 0 {
+                    return Err("--search-timeout-ms must be positive".to_string());
+                }
+                args.reactor.search_timeout = Some(std::time::Duration::from_millis(millis));
             }
             "--drain-deadline-ms" => {
                 args.drain_deadline_ms = value("--drain-deadline-ms")?

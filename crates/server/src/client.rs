@@ -1,5 +1,16 @@
 //! A small blocking wire client — what the demo, the benchmarks and the
 //! CI round-trip smoke use to talk to `mnc-server`.
+//!
+//! [`ClientConfig`] hardens the transport: a connect timeout with
+//! bounded, jittered-backoff reconnect attempts, optional read/write
+//! timeouts (so a stalled server surfaces as an error instead of a
+//! hang), and a single transparent retry on a fresh connection for
+//! *idempotent* commands (`Ping`, `ListModels`, `ListPlatforms`,
+//! `Stats`, `Metrics`). `Submit`/`SubmitBatch` are never retried — a
+//! lost response does not say whether the search ran, and silently
+//! re-running one is exactly the surprise a deadline-bounded caller
+//! cannot absorb; `Persist` and `Shutdown` mutate server state and are
+//! likewise never retried.
 
 use mnc_runtime::{MappingRequest, MappingResponse};
 use mnc_wire::frame::{self, FrameError};
@@ -7,8 +18,72 @@ use mnc_wire::{
     decode_response, encode_request, MetricsReport, PersistReport, ServiceStats, WireBatch,
     WireBatchReport, WireBody, WireError, WirePayload, WireRequest, PROTOCOL_VERSION,
 };
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::io::BufReader;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Transport-hardening knobs for [`WireClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Per-attempt TCP connect timeout; `None` blocks on the OS default.
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout; `None` waits forever. Size it to the slowest
+    /// answer expected on the connection — a deadline-bounded `Submit`
+    /// answers within its deadline plus one generation's slack.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout; `None` waits forever.
+    pub write_timeout: Option<Duration>,
+    /// Total connect attempts (including the first); later attempts wait
+    /// an exponentially growing, jittered backoff first.
+    pub connect_attempts: u32,
+    /// First backoff delay, doubled per attempt up to [`backoff_cap`]
+    /// with up to 50% deterministic jitter on top.
+    ///
+    /// [`backoff_cap`]: ClientConfig::backoff_cap
+    pub backoff_base: Duration,
+    /// Cap on one backoff delay (pre-jitter).
+    pub backoff_cap: Duration,
+    /// Retry an idempotent command once on a fresh connection after a
+    /// transport failure (I/O error, disconnect, framing desync).
+    pub retry_idempotent: bool,
+}
+
+impl Default for ClientConfig {
+    /// The compatible default: no timeouts, one connect attempt, no
+    /// retries — exactly the pre-hardening behaviour. Opt into
+    /// [`ClientConfig::hardened`] (or set fields) for the robust flavour.
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: None,
+            read_timeout: None,
+            write_timeout: None,
+            connect_attempts: 1,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
+            retry_idempotent: false,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A robust profile for unattended callers (smoke harnesses, cron
+    /// scrapes): bounded connect/read/write timeouts, three connect
+    /// attempts with jittered backoff, idempotent retry on.
+    #[must_use]
+    pub fn hardened() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            connect_attempts: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
+            retry_idempotent: true,
+        }
+    }
+}
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -68,34 +143,106 @@ pub struct WireClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// Resolved at connect time so reconnects skip re-resolution.
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
 }
 
 impl WireClient {
-    /// Connects to a server.
+    /// Connects to a server with the compatible
+    /// [`ClientConfig::default`] (no timeouts, no retries).
     ///
     /// # Errors
     ///
     /// Returns an error when the TCP connection cannot be established.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        // Request/response framing sends small segments; Nagle only adds
-        // delayed-ACK latency here.
-        stream.set_nodelay(true)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects to a server under the given transport profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no connect attempt succeeds within
+    /// [`ClientConfig::connect_attempts`].
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> std::io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = Self::connect_stream(&addrs, &config)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(WireClient {
             reader,
             writer: stream,
             next_id: 1,
+            addrs,
+            config,
         })
     }
 
+    /// One bounded-backoff connect loop over the resolved addresses.
+    fn connect_stream(addrs: &[SocketAddr], config: &ClientConfig) -> std::io::Result<TcpStream> {
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no socket addresses",
+            ));
+        }
+        let mut last_error = None;
+        for attempt in 0..config.connect_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff_delay(config, attempt, addrs));
+            }
+            for addr in addrs {
+                let connected = match config.connect_timeout {
+                    Some(timeout) => TcpStream::connect_timeout(addr, timeout),
+                    None => TcpStream::connect(addr),
+                };
+                match connected {
+                    Ok(stream) => {
+                        // Request/response framing sends small segments;
+                        // Nagle only adds delayed-ACK latency here.
+                        stream.set_nodelay(true)?;
+                        stream.set_read_timeout(config.read_timeout)?;
+                        stream.set_write_timeout(config.write_timeout)?;
+                        return Ok(stream);
+                    }
+                    Err(e) => last_error = Some(e),
+                }
+            }
+        }
+        Err(last_error.expect("at least one attempt ran"))
+    }
+
+    /// Replaces the transport with a freshly connected stream.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = Self::connect_stream(&self.addrs, &self.config)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        Ok(())
+    }
+
     /// Issues one command and returns the payload, mapping structured
-    /// server errors to [`ClientError::Server`].
+    /// server errors to [`ClientError::Server`]. Under
+    /// [`ClientConfig::retry_idempotent`], an idempotent command that
+    /// dies on the transport is retried exactly once on a fresh
+    /// connection; non-idempotent commands surface the failure directly.
     ///
     /// # Errors
     ///
     /// Any [`ClientError`] variant.
     pub fn call(&mut self, body: WireBody) -> Result<WirePayload, ClientError> {
+        if self.config.retry_idempotent && is_idempotent(&body) {
+            return match self.call_once(body.clone()) {
+                Err(error) if is_transport_failure(&error) => {
+                    self.reconnect()?;
+                    self.call_once(body)
+                }
+                outcome => outcome,
+            };
+        }
+        self.call_once(body)
+    }
+
+    fn call_once(&mut self, body: WireBody) -> Result<WirePayload, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         let request = WireRequest::new(id, body);
@@ -231,6 +378,49 @@ impl WireClient {
             other => Err(unexpected("ShuttingDown", &other)),
         }
     }
+}
+
+/// Commands safe to repeat: pure reads of server state. `Submit` and
+/// `SubmitBatch` run searches (a retry could run one twice and is the
+/// caller's call); `Persist` writes a snapshot; `Shutdown` drains.
+fn is_idempotent(body: &WireBody) -> bool {
+    matches!(
+        body,
+        WireBody::Ping
+            | WireBody::ListModels
+            | WireBody::ListPlatforms
+            | WireBody::Stats
+            | WireBody::Metrics
+    )
+}
+
+/// Failures of the transport itself — where a fresh connection can
+/// plausibly help. Structured server errors and protocol violations are
+/// answers, not transport failures.
+fn is_transport_failure(error: &ClientError) -> bool {
+    matches!(
+        error,
+        ClientError::Io(_) | ClientError::Frame(_) | ClientError::Disconnected
+    )
+}
+
+/// Exponential backoff with a deterministic jitter (up to +50%), keyed
+/// off the attempt and target so concurrent clients do not stampede in
+/// lockstep yet tests stay reproducible.
+fn backoff_delay(config: &ClientConfig, attempt: u32, addrs: &[SocketAddr]) -> Duration {
+    let base = config
+        .backoff_base
+        .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+        .min(config.backoff_cap);
+    let mut hasher = DefaultHasher::new();
+    attempt.hash(&mut hasher);
+    addrs.hash(&mut hasher);
+    let jitter_micros = if base.as_micros() == 0 {
+        0
+    } else {
+        hasher.finish() % (base.as_micros() / 2).max(1) as u64
+    };
+    base + Duration::from_micros(jitter_micros)
 }
 
 fn unexpected(wanted: &str, got: &WirePayload) -> ClientError {

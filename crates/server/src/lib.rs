@@ -48,10 +48,10 @@ pub mod client;
 pub mod poller;
 pub mod reactor;
 
-pub use client::{ClientError, WireClient};
-pub use reactor::{ReactorConfig, ReactorHandle, ReactorServer};
+pub use client::{ClientConfig, ClientError, WireClient};
+pub use reactor::{spawn_reactor_on_ephemeral_port, ReactorConfig, ReactorHandle, ReactorServer};
 
-use mnc_runtime::{MappingRequest, MappingService, RuntimeError, TelemetryConfig};
+use mnc_runtime::{ArchiveLoad, MappingRequest, MappingService, RuntimeError, TelemetryConfig};
 use mnc_wire::frame::{self, FrameError};
 use mnc_wire::{
     decode_request, encode_response, ErrorCode, MetricsReport, PersistReport, ServiceStats,
@@ -525,8 +525,18 @@ impl Server {
         let archive_path = config.archive_dir.map(|dir| dir.join(ARCHIVE_FILE_NAME));
         let mut archive_loaded = 0;
         if let Some(path) = &archive_path {
-            if path.exists() {
-                archive_loaded = service.load_archive(path)?;
+            match service.restore_archive(path)? {
+                ArchiveLoad::Restored(genomes) => archive_loaded = genomes,
+                ArchiveLoad::Missing => {}
+                ArchiveLoad::Quarantined {
+                    quarantined_to,
+                    reason,
+                } => eprintln!(
+                    "warning: archive snapshot {} is corrupt ({reason}); \
+                     quarantined to {} and starting cold",
+                    path.display(),
+                    quarantined_to.display()
+                ),
             }
         }
         let shared = Arc::new(ServerShared::default());

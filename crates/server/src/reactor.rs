@@ -27,6 +27,17 @@
 //! service's metrics registry (`mnc_shed_requests_total`,
 //! `mnc_server_connections`, `mnc_server_queue_depth`).
 //!
+//! **Deadlines & the watchdog.** A request's `deadline_ms` is stamped
+//! into its ticket by the fast path; a ticket that expires while queued
+//! is answered `DeadlineExceeded` by the slow path without starting a
+//! search. Once a search is *running*, a watchdog thread scans the
+//! running-job registry and flips the ticket's cancel token when the
+//! effective deadline — the earlier of the request deadline and the
+//! [`ReactorConfig::search_timeout`] wall-clock cap — passes; the search
+//! stops at the next generation boundary and answers with its
+//! best-so-far front marked partial. Cancellations are counted in
+//! `mnc_search_cancellations_total`.
+//!
 //! **Cross-connection coalescing.** While a search for some normalized
 //! request is in flight, identical `Submit`s from *other* connections
 //! join its waiter list instead of enqueueing a duplicate search
@@ -51,7 +62,10 @@ use crate::{
     encode_response_or_internal, panic_error, Dispatcher, ServerConfig, ServerError,
     ARCHIVE_FILE_NAME,
 };
-use mnc_runtime::{FastPathOutcome, MappingRequest, MappingService, SearchTicket, ServingMetrics};
+use mnc_runtime::{
+    ArchiveLoad, CancelToken, FastPathOutcome, MappingRequest, MappingService, SearchTicket,
+    ServingMetrics,
+};
 use mnc_wire::frame::FrameDecoder;
 use mnc_wire::{WireBody, WireError, WirePayload, WireResponse};
 use std::collections::{HashMap, VecDeque};
@@ -89,6 +103,12 @@ pub struct ReactorConfig {
     /// Search-pool threads; `0` sizes to the machine (parallelism − 1,
     /// at least 2).
     pub search_workers: usize,
+    /// Per-job wall-clock cap. A search still running this long after a
+    /// worker picked it up has its cancel token flipped by the watchdog
+    /// and answers with its best-so-far front marked partial — one
+    /// pathological request cannot pin a pool thread forever. `None`
+    /// leaves searches bounded only by their own request deadlines.
+    pub search_timeout: Option<Duration>,
 }
 
 impl Default for ReactorConfig {
@@ -98,6 +118,7 @@ impl Default for ReactorConfig {
             queue_depth: 256,
             inflight_per_conn: 64,
             search_workers: 0,
+            search_timeout: None,
         }
     }
 }
@@ -139,6 +160,16 @@ struct QueueState {
     stopping: bool,
 }
 
+/// A search currently occupying a worker, as the watchdog sees it.
+struct RunningSearch {
+    cancel: CancelToken,
+    /// When the watchdog flips the token: the earlier of the request's
+    /// own deadline and the per-job wall-clock cap.
+    cancel_at: Instant,
+    /// Set once cancelled so one overrun is counted (and flipped) once.
+    cancelled: bool,
+}
+
 /// State shared between the reactor thread, the worker pool and
 /// [`ReactorHandle`].
 struct ReactorShared {
@@ -151,6 +182,10 @@ struct ReactorShared {
     /// Handle-initiated shutdown request.
     shutdown: AtomicBool,
     metrics: ServingMetrics,
+    /// Per-job wall-clock cap (see [`ReactorConfig::search_timeout`]).
+    search_timeout: Option<Duration>,
+    /// Searches currently on worker threads, scanned by the watchdog.
+    running: Mutex<HashMap<u64, RunningSearch>>,
 }
 
 impl ReactorShared {
@@ -185,7 +220,15 @@ fn worker_loop(shared: &ReactorShared) {
                     .expect("work queue lock never poisoned");
             }
         };
+        let watched = register_with_watchdog(shared, &job);
         let result = execute(&shared.dispatcher, job.kind);
+        if watched {
+            shared
+                .running
+                .lock()
+                .expect("running-search registry lock never poisoned")
+                .remove(&job.id);
+        }
         shared
             .completions
             .lock()
@@ -195,6 +238,74 @@ fn worker_loop(shared: &ReactorShared) {
                 result,
             });
         shared.wake();
+    }
+}
+
+/// Enters a just-popped search into the watchdog's registry when it has
+/// anything to enforce (a request deadline, a per-job cap, or both).
+/// Returns whether an entry was made. Batches are not watched: they
+/// coalesce internally and carry no single cancel token.
+fn register_with_watchdog(shared: &ReactorShared, job: &Job) -> bool {
+    let JobKind::Search(ticket) = &job.kind else {
+        return false;
+    };
+    let cap = shared
+        .search_timeout
+        .map(|timeout| Instant::now() + timeout);
+    let cancel_at = match (ticket.deadline(), cap) {
+        (Some(deadline), Some(cap)) => deadline.min(cap),
+        (Some(deadline), None) => deadline,
+        (None, Some(cap)) => cap,
+        (None, None) => return false,
+    };
+    shared
+        .running
+        .lock()
+        .expect("running-search registry lock never poisoned")
+        .insert(
+            job.id,
+            RunningSearch {
+                cancel: ticket.cancel_token(),
+                cancel_at,
+                cancelled: false,
+            },
+        );
+    true
+}
+
+/// How often the watchdog scans the running-search registry. Bounds how
+/// far past its deadline a search can run before its token flips (on
+/// top of the one-generation slack the search loop itself adds).
+const WATCHDOG_TICK: Duration = Duration::from_millis(5);
+
+/// The watchdog: periodically cancels searches past their effective
+/// deadline so an overrunning job frees its worker at the next
+/// generation boundary and answers with a partial front.
+fn watchdog_loop(shared: &ReactorShared) {
+    loop {
+        if shared
+            .queue
+            .lock()
+            .expect("work queue lock never poisoned")
+            .stopping
+        {
+            return;
+        }
+        {
+            let mut running = shared
+                .running
+                .lock()
+                .expect("running-search registry lock never poisoned");
+            let now = Instant::now();
+            for entry in running.values_mut() {
+                if !entry.cancelled && now >= entry.cancel_at {
+                    entry.cancel.cancel();
+                    entry.cancelled = true;
+                    shared.metrics.search_cancellations.inc();
+                }
+            }
+        }
+        std::thread::sleep(WATCHDOG_TICK);
     }
 }
 
@@ -281,8 +392,18 @@ impl ReactorServer {
         let archive_path = config.archive_dir.map(|dir| dir.join(ARCHIVE_FILE_NAME));
         let mut archive_loaded = 0;
         if let Some(path) = &archive_path {
-            if path.exists() {
-                archive_loaded = service.load_archive(path)?;
+            match service.restore_archive(path)? {
+                ArchiveLoad::Restored(genomes) => archive_loaded = genomes,
+                ArchiveLoad::Missing => {}
+                ArchiveLoad::Quarantined {
+                    quarantined_to,
+                    reason,
+                } => eprintln!(
+                    "warning: archive snapshot {} is corrupt ({reason}); \
+                     quarantined to {} and starting cold",
+                    path.display(),
+                    quarantined_to.display()
+                ),
             }
         }
         let (wake_sender, wake_receiver) = wake_pair()?;
@@ -295,6 +416,8 @@ impl ReactorServer {
             waker: Mutex::new(wake_sender),
             shutdown: AtomicBool::new(false),
             metrics,
+            search_timeout: reactor.search_timeout,
+            running: Mutex::new(HashMap::new()),
         });
         Ok(ReactorServer {
             listener,
@@ -344,6 +467,10 @@ impl ReactorServer {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
+        let watchdog = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || watchdog_loop(&shared))
+        };
 
         let mut event_loop = EventLoop {
             server: self,
@@ -372,6 +499,7 @@ impl ReactorServer {
         for worker in workers {
             let _ = worker.join();
         }
+        let _ = watchdog.join();
         for (_, conn) in event_loop.conns.drain() {
             let _ = conn.stream.shutdown(Shutdown::Both);
         }

@@ -1,0 +1,92 @@
+//! Fault-injection regression test for the reactor's coalescing path.
+//! Lives in its own integration-test binary because [`FaultPlan`] is
+//! process-global and must not race the round-trip tests.
+
+use mnc_runtime::{FaultPlan, MappingRequest};
+use mnc_server::reactor::spawn_reactor_on_ephemeral_port;
+use mnc_server::WireClient;
+use mnc_wire::{encode_request, frame, ErrorCode, WireBody, WireRequest};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+fn request(seed: u64) -> MappingRequest {
+    // Population 64 guarantees well over 32 unique cache-miss
+    // evaluations in generation 0 alone, so the armed panic always
+    // fires before the search can complete.
+    MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+        .validation_samples(400)
+        .generations(40)
+        .population_size(64)
+        .seed(seed)
+}
+
+/// A panic in a search leader must answer every coalesced follower with
+/// a structured `Internal` error and clean the in-flight index so the
+/// same request can be served again.
+///
+/// The two submissions are pipelined in one TCP write: the event loop
+/// decodes and handles every buffered frame before it delivers worker
+/// completions, so the second submit deterministically coalesces onto
+/// the first while it is still pending.
+#[test]
+fn leader_panic_answers_coalesced_followers_and_cleans_the_index() {
+    let handle = spawn_reactor_on_ephemeral_port(None, Default::default()).unwrap();
+    let addr = handle.addr();
+
+    // One frame buffer holding two identical submits (ids 1 and 2).
+    let repeated = request(9001);
+    let mut pipelined = String::new();
+    for id in [1u64, 2u64] {
+        let text =
+            encode_request(&WireRequest::new(id, WireBody::Submit(repeated.clone()))).unwrap();
+        pipelined.push_str(&format!("{}\n{text}", text.len()));
+    }
+
+    FaultPlan::arm_eval_panic(8);
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(pipelined.as_bytes()).unwrap();
+
+    let mut answered = std::collections::HashMap::new();
+    for _ in 0..2 {
+        let text = frame::read_frame(&mut reader).unwrap().expect("answered");
+        let response = mnc_wire::decode_response(&text).unwrap();
+        answered.insert(response.id, response.outcome);
+    }
+    FaultPlan::disarm_all();
+
+    // Both the leader and the coalesced follower got the structured
+    // error; nobody hung, nobody got a half-answer.
+    for id in [1u64, 2u64] {
+        match answered.get(&id).expect("both ids answered") {
+            mnc_wire::WireOutcome::Err(error) => {
+                assert_eq!(error.code, ErrorCode::Internal, "id {id}: {error}");
+                assert!(
+                    error.message.contains("panic"),
+                    "id {id} hides the cause: {}",
+                    error.message
+                );
+            }
+            mnc_wire::WireOutcome::Ok(_) => panic!("id {id} succeeded through an armed panic"),
+        }
+    }
+
+    // The follower really did coalesce (it would otherwise have run its
+    // own — successful — search, failing the assertions above).
+    let mut client = WireClient::connect(addr).unwrap();
+    let metrics = client.metrics().unwrap();
+    let coalesced = metrics
+        .metrics
+        .counter_value("mnc_inflight_coalesced_total")
+        .expect("coalescing counter registered");
+    assert!(coalesced >= 1, "the second submit never joined the leader");
+
+    // The in-flight index entry died with the job: an identical request
+    // must start a fresh search and succeed, not chain onto a ghost.
+    let recovered = client.submit(&repeated).unwrap();
+    assert!(!recovered.pareto_front.is_empty());
+
+    handle.shutdown().unwrap();
+}

@@ -281,6 +281,11 @@ pub enum ErrorCode {
     /// connection cap, queue bound or per-connection in-flight cap).
     /// Transient by construction — the client should back off and retry.
     Overloaded,
+    /// The request's deadline expired before its search could start
+    /// (e.g. while queued for a worker); no search ran. A deadline that
+    /// expires mid-search answers successfully with a partial front
+    /// (`RequestStats::partial`) instead of this error.
+    DeadlineExceeded,
     /// Archive persistence failed (or no archive file is configured).
     Persistence,
     /// An internal failure: the request was well-formed but the service
@@ -346,6 +351,7 @@ impl From<&RuntimeError> for WireError {
             RuntimeError::UnknownModel { .. } => ErrorCode::UnknownModel,
             RuntimeError::UnknownPlatform { .. } => ErrorCode::UnknownPlatform,
             RuntimeError::InvalidRequest { .. } => ErrorCode::InvalidRequest,
+            RuntimeError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
             RuntimeError::Persistence { .. } => ErrorCode::Persistence,
             RuntimeError::Mpsoc(_)
             | RuntimeError::Core(_)
@@ -480,6 +486,8 @@ mod tests {
             reason: "denied".to_string(),
         };
         assert_eq!(WireError::from(persistence).code, ErrorCode::Persistence);
+        let deadline = RuntimeError::DeadlineExceeded { deadline_ms: 50 };
+        assert_eq!(WireError::from(&deadline).code, ErrorCode::DeadlineExceeded);
     }
 
     #[test]

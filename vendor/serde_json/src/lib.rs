@@ -293,12 +293,23 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the whole run of unescaped bytes at once.
+                    // `"` and `\` are ASCII, so they never appear inside
+                    // a multi-byte UTF-8 sequence and the run boundary is
+                    // always a character boundary; one validation covers
+                    // the run (validating from here to the end of input
+                    // per character would be quadratic in document size).
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::new("invalid utf-8 in string"))?;
-                    let c = rest.chars().next().expect("non-empty by peek");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
