@@ -15,7 +15,13 @@
 //!   is a fast-path response-cache replay), `mixed` (70 % from a small
 //!   hot set, 30 % unique cold);
 //! - **overload** — a deliberately starved server (`queue_depth 0`)
-//!   flooded with cold requests, measuring that shedding is structured.
+//!   flooded with cold requests, measuring that shedding is structured;
+//! - **multi-tenant** — a metered noisy neighbor flooding chunky
+//!   searches next to two equal-weight well-behaved tenants, open-loop
+//!   on a two-worker reactor: per-tenant p50/p99 and Jain's fairness
+//!   index across the equal-weight tenants land in the JSON report, and
+//!   the noisy tenant's budget refusals are structured `BudgetExhausted`
+//!   answers, never dropped connections.
 //!
 //! ```text
 //! cargo run --release -p mnc-bench --bin load_replay
@@ -48,6 +54,9 @@ enum Outcome {
     Answered,
     /// Shed with a structured `Overloaded` error.
     Shed,
+    /// Refused with a structured `BudgetExhausted` error — the tenant's
+    /// token bucket ran dry. A policy outcome, not a failure.
+    BudgetExhausted,
     /// Any other failure — a protocol error, an unstructured disconnect.
     Failed,
 }
@@ -110,12 +119,39 @@ struct ScenarioMetrics {
     fast_path_answered: u64,
 }
 
+/// One tenant's slice of the multi-tenant scenario.
+#[derive(Debug, Serialize)]
+struct TenantLaneMetrics {
+    tenant: String,
+    requests: usize,
+    answered: usize,
+    shed: usize,
+    budget_exhausted: usize,
+    failed: usize,
+    latency: Percentiles,
+}
+
+/// The multi-tenant scenario's entry of the JSON report.
+#[derive(Debug, Serialize)]
+struct MultiTenantMetrics {
+    scenario: String,
+    arrivals: String,
+    requests: usize,
+    elapsed_ms: f64,
+    /// Jain's fairness index over the equal-weight well-behaved
+    /// tenants' mean answered latencies: 1.0 = perfectly even service,
+    /// 1/n = one tenant hogging it all.
+    jain_fairness: f64,
+    lanes: Vec<TenantLaneMetrics>,
+}
+
 /// The `--json` report tracked under `results/`.
 #[derive(Debug, Serialize)]
 struct ReplayReport {
     bench: String,
     smoke: bool,
     scenarios: Vec<ScenarioMetrics>,
+    multi_tenant: MultiTenantMetrics,
 }
 
 fn base_request(seed: u64) -> MappingRequest {
@@ -180,6 +216,9 @@ fn classify(result: Result<mnc_runtime::MappingResponse, ClientError>) -> Outcom
     match result {
         Ok(_) => Outcome::Answered,
         Err(ClientError::Server(error)) if error.code == ErrorCode::Overloaded => Outcome::Shed,
+        Err(ClientError::Server(error)) if error.code == ErrorCode::BudgetExhausted => {
+            Outcome::BudgetExhausted
+        }
         Err(_) => Outcome::Failed,
     }
 }
@@ -335,6 +374,192 @@ fn run_scenario(addr: SocketAddr, scenario: &Scenario) -> ScenarioMetrics {
     metrics
 }
 
+/// One tenant's open-loop traffic in the multi-tenant scenario.
+struct TenantTraffic {
+    tenant: &'static str,
+    /// Whether this lane counts toward the Jain fairness index (the
+    /// equal-weight well-behaved tenants do; the noisy neighbor does
+    /// not — its policy *intends* unequal service).
+    equal_weight: bool,
+    requests: usize,
+    rate_per_s: f64,
+    /// Seed base; globally unique per lane so no request coalesces or
+    /// replays across tenants (tenancy is normalized out of cache keys).
+    seed_base: u64,
+    build: fn(u64) -> MappingRequest,
+}
+
+/// Jain's fairness index: (Σx)² / (n·Σx²), 1.0 = perfectly fair.
+fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let squares: f64 = values.iter().map(|v| v * v).sum();
+    if squares == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * squares)
+}
+
+/// The multi-tenant open-loop scenario: every lane fires on its own
+/// schedule against one shared server; samples are tagged by lane.
+fn run_multi_tenant(addr: SocketAddr, lanes: &[TenantTraffic]) -> (Vec<Vec<Sample>>, Duration) {
+    let samples: Vec<Mutex<Vec<Sample>>> = lanes.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let start = Instant::now() + Duration::from_millis(5);
+    std::thread::scope(|scope| {
+        for (lane_index, lane) in lanes.iter().enumerate() {
+            let interval = Duration::from_secs_f64(1.0 / lane.rate_per_s);
+            for index in 0..lane.requests {
+                let samples = &samples[lane_index];
+                scope.spawn(move || {
+                    let due = start + interval * index as u32;
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let request = (lane.build)(lane.seed_base + index as u64).tenant(lane.tenant);
+                    let started = Instant::now();
+                    let outcome = match WireClient::connect(addr) {
+                        Ok(mut client) => classify(client.submit(&request)),
+                        Err(_) => Outcome::Failed,
+                    };
+                    let sample = Sample {
+                        latency_us: started.elapsed().as_secs_f64() * 1e6,
+                        outcome,
+                    };
+                    samples.lock().expect("sample lock").push(sample);
+                });
+            }
+        }
+    });
+    let elapsed = start.elapsed();
+    let samples = samples
+        .into_iter()
+        .map(|lane| lane.into_inner().expect("sample lock"))
+        .collect();
+    (samples, elapsed)
+}
+
+/// Runs the noisy-neighbor scenario on its own two-worker reactor with
+/// a tenant policy table and folds the lanes into report metrics.
+fn run_multi_tenant_scenario(scale: usize) -> MultiTenantMetrics {
+    // The noisy neighbor floods chunky searches under a weight-1 lane
+    // and a metered budget; the two well-behaved tenants send small
+    // searches under equal weight-4 lanes. Two workers keep the pool
+    // contended enough that scheduling, not idle capacity, decides who
+    // waits.
+    let tenants = mnc_runtime::TenantPolicyTable::from_json(
+        r#"{
+            "tenants": {
+                "noisy": { "weight": 1, "evals_per_sec": 512, "burst": 2048 },
+                "tenant_a": { "weight": 4 },
+                "tenant_b": { "weight": 4 }
+            }
+        }"#,
+    )
+    .expect("tenant config parses");
+    let handle = ReactorServer::bind(
+        ServerConfig::default(),
+        ReactorConfig {
+            search_workers: 2,
+            tenants,
+            ..ReactorConfig::default()
+        },
+    )
+    .expect("multi-tenant reactor binds")
+    .spawn()
+    .expect("multi-tenant reactor spawns");
+    let addr = handle.addr();
+
+    fn chunky(seed: u64) -> MappingRequest {
+        // Estimated cost 8 × 64 = 512 evaluations: two weight-1 quanta,
+        // so the noisy backlog cannot be drained inside one DRR visit.
+        MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+            .validation_samples(300)
+            .generations(63)
+            .population_size(8)
+            .seed(seed)
+    }
+    let lanes = [
+        TenantTraffic {
+            tenant: "noisy",
+            equal_weight: false,
+            requests: 30 * scale,
+            rate_per_s: 100.0,
+            seed_base: 50_000,
+            build: chunky,
+        },
+        TenantTraffic {
+            tenant: "tenant_a",
+            equal_weight: true,
+            requests: 10 * scale,
+            rate_per_s: 25.0,
+            seed_base: 60_000,
+            build: base_request,
+        },
+        TenantTraffic {
+            tenant: "tenant_b",
+            equal_weight: true,
+            requests: 10 * scale,
+            rate_per_s: 25.0,
+            seed_base: 70_000,
+            build: base_request,
+        },
+    ];
+    let (samples, elapsed) = run_multi_tenant(addr, &lanes);
+    shutdown(handle);
+
+    let mut rows = Vec::new();
+    let mut equal_weight_means = Vec::new();
+    for (lane, samples) in lanes.iter().zip(&samples) {
+        let count = |outcome: Outcome| samples.iter().filter(|s| s.outcome == outcome).count();
+        let mut answered_latencies: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.outcome == Outcome::Answered)
+            .map(|s| s.latency_us)
+            .collect();
+        if lane.equal_weight && !answered_latencies.is_empty() {
+            equal_weight_means
+                .push(answered_latencies.iter().sum::<f64>() / answered_latencies.len() as f64);
+        }
+        rows.push(TenantLaneMetrics {
+            tenant: lane.tenant.to_string(),
+            requests: samples.len(),
+            answered: count(Outcome::Answered),
+            shed: count(Outcome::Shed),
+            budget_exhausted: count(Outcome::BudgetExhausted),
+            failed: count(Outcome::Failed),
+            latency: percentiles(&mut answered_latencies),
+        });
+    }
+    let metrics = MultiTenantMetrics {
+        scenario: "multi_tenant_noisy_neighbor".to_string(),
+        arrivals: "open".to_string(),
+        requests: rows.iter().map(|row| row.requests).sum(),
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        jain_fairness: jain_index(&equal_weight_means),
+        lanes: rows,
+    };
+    for row in &metrics.lanes {
+        println!(
+            "load_replay: tenant {:<9} {:>4} reqs  {:>4} answered  {:>4} budget-refused  {:>4} shed  p50 {:>9.1}us  p99 {:>9.1}us",
+            row.tenant,
+            row.requests,
+            row.answered,
+            row.budget_exhausted,
+            row.shed,
+            row.latency.p50_us,
+            row.latency.p99_us,
+        );
+    }
+    println!(
+        "load_replay: jain fairness over equal-weight tenants: {:.4}",
+        metrics.jain_fairness
+    );
+    metrics
+}
+
 fn spawn_server(reactor: ReactorConfig) -> ReactorHandle {
     ReactorServer::bind(
         ServerConfig {
@@ -432,6 +657,9 @@ fn main() {
     shutdown(handle);
     results.push(overload);
 
+    // --- multi-tenant: noisy neighbor vs equal-weight tenants ------------
+    let multi_tenant = run_multi_tenant_scenario(scale);
+
     // --- smoke assertions -------------------------------------------------
     let hot = results
         .iter()
@@ -466,7 +694,51 @@ fn main() {
             "hot p99 {}us blew the smoke bound",
             hot.latency.p99_us
         );
-        println!("load_replay: smoke assertions held (fast path never searched, sheds structured, p99 bounded)");
+        // QoS keeps the well-behaved tenants whole next to the noisy
+        // neighbor: everything they sent is answered, their tails stay
+        // bounded (a starved lane would wait out the whole noisy
+        // backlog), and service between the equal-weight tenants is
+        // even. The noisy tenant's refusals are structured policy
+        // answers, never dropped connections.
+        for lane in &multi_tenant.lanes {
+            assert_eq!(
+                lane.failed, 0,
+                "tenant {} saw unstructured failures",
+                lane.tenant
+            );
+            if lane.tenant != "noisy" {
+                assert_eq!(
+                    lane.answered, lane.requests,
+                    "well-behaved tenant {} lost requests to the noisy neighbor",
+                    lane.tenant
+                );
+                assert!(
+                    lane.latency.p99_us < 2_000_000.0,
+                    "tenant {} p99 {}us blew the smoke bound",
+                    lane.tenant,
+                    lane.latency.p99_us
+                );
+            }
+        }
+        let noisy = multi_tenant
+            .lanes
+            .iter()
+            .find(|lane| lane.tenant == "noisy")
+            .expect("noisy lane ran");
+        assert!(
+            noisy.budget_exhausted >= 1,
+            "the metered noisy neighbor was never budget-refused"
+        );
+        assert!(
+            multi_tenant.jain_fairness >= 0.9,
+            "jain fairness {:.4} below the 0.9 smoke floor",
+            multi_tenant.jain_fairness
+        );
+        println!(
+            "load_replay: smoke assertions held (fast path never searched, sheds structured, \
+             p99 bounded, jain {:.4} >= 0.9, budget refusals structured)",
+            multi_tenant.jain_fairness
+        );
     }
 
     if let Some(path) = json_path {
@@ -474,6 +746,7 @@ fn main() {
             bench: "load_replay".to_string(),
             smoke,
             scenarios: results,
+            multi_tenant,
         };
         if let Some(parent) = std::path::Path::new(&path).parent() {
             std::fs::create_dir_all(parent).expect("create results dir");

@@ -57,8 +57,8 @@ pub use pareto::{
     pareto_front_indices_reference,
 };
 pub use search::{
-    CancelToken, EvaluatedConfig, MappingSearch, SearchConfig, SearchOutcome, SearchSummary,
-    SelectionStrategy,
+    CancelToken, EvaluatedConfig, MappingSearch, PauseToken, SearchCheckpoint, SearchConfig,
+    SearchOutcome, SearchRun, SearchSummary, SelectionStrategy,
 };
 // Re-exported so search callers can attach sinks without naming the
 // telemetry crate themselves.

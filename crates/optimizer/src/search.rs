@@ -76,6 +76,49 @@ impl CancelToken {
     }
 }
 
+/// A shareable cooperative pause flag for an in-flight resumable search.
+///
+/// The preemption counterpart of [`CancelToken`]: clone the token, hand
+/// one copy to [`MappingSearch::with_pause_token`] and keep the other.
+/// Calling [`PauseToken::pause`] from any thread makes a search driven by
+/// [`MappingSearch::run_resumable`] stop at its next generation boundary
+/// and return a [`SearchCheckpoint`] instead of finishing; resuming the
+/// checkpoint continues bit-identically to an uninterrupted run. A token
+/// that is never paused has no effect on the search, and
+/// [`MappingSearch::run`] ignores pause requests entirely (it cannot
+/// return a checkpoint).
+#[derive(Debug, Clone, Default)]
+pub struct PauseToken {
+    paused: Arc<AtomicBool>,
+}
+
+impl PauseToken {
+    /// A fresh, unpaused token.
+    pub fn new() -> Self {
+        PauseToken::default()
+    }
+
+    /// Requests a pause. Idempotent; a resumable search observes it at
+    /// its next generation boundary.
+    pub fn pause(&self) {
+        self.paused.store(true, Ordering::SeqCst);
+    }
+
+    /// Clears a pause request so a resumed search keeps running instead
+    /// of immediately pausing again. (A resumed search always completes
+    /// at least one generation before re-checking the token, so even an
+    /// uncleared token cannot starve it — it just pauses once per
+    /// resume.)
+    pub fn clear(&self) {
+        self.paused.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether [`PauseToken::pause`] was called (and not yet cleared).
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::SeqCst)
+    }
+}
+
 /// How elites are chosen from an evaluated generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SelectionStrategy {
@@ -421,6 +464,65 @@ struct MemoEntry {
     result: Arc<EvaluationResult>,
 }
 
+/// The result of one resumable drive of the search: either it ran to its
+/// natural end (completion, budget, stall, deadline or cancellation) or a
+/// [`PauseToken`] stopped it at a generation boundary mid-run.
+#[derive(Debug)]
+pub enum SearchRun {
+    /// The search finished; deadline/cancel interruptions still land
+    /// here (as partial outcomes), exactly as [`MappingSearch::run`]
+    /// reports them.
+    Complete(SearchOutcome),
+    /// A pause request stopped the search at a generation boundary. Feed
+    /// the checkpoint to [`MappingSearch::resume`] to continue; the
+    /// eventual outcome is bit-identical to a run that was never paused.
+    Paused(Box<SearchCheckpoint>),
+}
+
+/// The complete mid-run state of a paused search, captured at a
+/// generation boundary: the bred-but-unevaluated next population, the
+/// archive so far, the within-run memo (with its pointer-identity
+/// fingerprint cache), the RNG position and every loop counter.
+///
+/// A checkpoint is only meaningful for the `(evaluator, config)` pair
+/// that produced it; [`MappingSearch::resume`] rejects a config mismatch
+/// but cannot detect a different evaluator — resuming one against the
+/// wrong evaluator silently computes the wrong (yet well-formed) answer.
+#[derive(Debug)]
+pub struct SearchCheckpoint {
+    config: SearchConfig,
+    population: Vec<Arc<Genome>>,
+    archive: Vec<EvaluatedConfig>,
+    memo: HashMap<u64, MemoEntry>,
+    known: HashMap<usize, (Arc<Genome>, u64)>,
+    rng: StdRng,
+    next_generation: usize,
+    evaluations_performed: usize,
+    memo_hits: usize,
+    warm_start_seeds: usize,
+    best_objective: f64,
+    stalled_generations: usize,
+}
+
+impl SearchCheckpoint {
+    /// Generations fully completed (and archived) before the pause; the
+    /// resumed search continues with this generation index.
+    pub fn generations_completed(&self) -> usize {
+        self.next_generation
+    }
+
+    /// Evaluations that reached the evaluator before the pause — what a
+    /// budget accountant should debit for the paused span.
+    pub fn evaluations_performed(&self) -> usize {
+        self.evaluations_performed
+    }
+
+    /// The configuration the paused search was running under.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+}
+
 /// The evolutionary mapping search.
 ///
 /// Generic over the [`ConfigEvaluator`] hook: pass a plain
@@ -434,6 +536,7 @@ pub struct MappingSearch<'a, E: ConfigEvaluator = Evaluator> {
     sink: Option<&'a dyn TelemetrySink>,
     deadline: Option<Instant>,
     cancel: Option<CancelToken>,
+    pause: Option<PauseToken>,
 }
 
 impl<E: ConfigEvaluator> std::fmt::Debug for MappingSearch<'_, E> {
@@ -444,6 +547,7 @@ impl<E: ConfigEvaluator> std::fmt::Debug for MappingSearch<'_, E> {
             .field("telemetry", &self.sink.is_some())
             .field("deadline", &self.deadline.is_some())
             .field("cancellable", &self.cancel.is_some())
+            .field("pausable", &self.pause.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -458,6 +562,7 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
             sink: None,
             deadline: None,
             cancel: None,
+            pause: None,
         }
     }
 
@@ -495,6 +600,18 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
         self
     }
 
+    /// Attaches a cooperative pause token, checked at the same
+    /// per-generation boundary as cancellation (cancel wins when both
+    /// fire). Only [`MappingSearch::run_resumable`] and
+    /// [`MappingSearch::resume`] honour it — [`MappingSearch::run`]
+    /// cannot return a checkpoint, so it ignores pause requests. An
+    /// unpaused token never perturbs the search.
+    #[must_use]
+    pub fn with_pause_token(mut self, pause: PauseToken) -> Self {
+        self.pause = Some(pause);
+        self
+    }
+
     /// Supplies warm-start seed genomes (typically Pareto elites of a
     /// similar past search, surrogate-ranked best-first). They join the
     /// initial population — after the balanced default, before the random
@@ -524,7 +641,10 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
     /// cannot be evaluated (which indicates an internal inconsistency, not
     /// a constraint violation).
     pub fn run(&self) -> Result<SearchOutcome, OptimError> {
-        self.run_loop(true)
+        match self.drive(true, false, None)? {
+            SearchRun::Complete(outcome) => Ok(outcome),
+            SearchRun::Paused(_) => unreachable!("non-resumable drives never pause"),
+        }
     }
 
     /// Runs the search through the pre-fast-path loop: every scheduled
@@ -538,51 +658,144 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
     ///
     /// Same failure modes as [`MappingSearch::run`].
     pub fn run_reference(&self) -> Result<SearchOutcome, OptimError> {
-        self.run_loop(false)
+        match self.drive(false, false, None)? {
+            SearchRun::Complete(outcome) => Ok(outcome),
+            SearchRun::Paused(_) => unreachable!("non-resumable drives never pause"),
+        }
+    }
+
+    /// Runs the memoized search with pause support: a [`PauseToken`]
+    /// attached through [`MappingSearch::with_pause_token`] makes the
+    /// loop stop at its next generation boundary and return
+    /// [`SearchRun::Paused`] with the full mid-run state. Resuming the
+    /// checkpoint (any number of times, on any thread count) finishes
+    /// with an outcome bit-identical to [`MappingSearch::run`]
+    /// (property-tested). Without a pause request this is exactly
+    /// [`MappingSearch::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`MappingSearch::run`].
+    pub fn run_resumable(&self) -> Result<SearchRun, OptimError> {
+        self.drive(true, true, None)
+    }
+
+    /// Continues a search paused by [`MappingSearch::run_resumable`]. At
+    /// least one generation runs before the pause token is consulted
+    /// again, so resuming with a still-set token makes progress rather
+    /// than spinning. The thread pool is rebuilt from the current
+    /// config's thread count — the outcome is thread-count independent,
+    /// so pausing on one pool size and resuming on another is safe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidConfig`] when the checkpoint was
+    /// taken under a different [`SearchConfig`], plus the failure modes
+    /// of [`MappingSearch::run`].
+    pub fn resume(&self, checkpoint: Box<SearchCheckpoint>) -> Result<SearchRun, OptimError> {
+        // The execution knobs (`parallel`, `threads`) are excluded from
+        // the guard: they never affect results, so a checkpoint may be
+        // resumed on any pool size.
+        let comparable = |config: &SearchConfig| SearchConfig {
+            parallel: false,
+            threads: None,
+            ..*config
+        };
+        if comparable(&checkpoint.config) != comparable(&self.config) {
+            return Err(OptimError::InvalidConfig {
+                reason: "checkpoint was taken under a different search configuration".to_string(),
+            });
+        }
+        self.drive(true, true, Some(checkpoint))
     }
 
     /// The shared generation loop. `memoize` selects the evaluation path:
     /// the memoized fast path or the evaluate-everything reference.
-    /// Everything else — RNG stream, budget trimming, stall handling,
-    /// elite selection, breeding — is common, so the two paths cannot
-    /// drift apart in loop semantics.
-    fn run_loop(&self, memoize: bool) -> Result<SearchOutcome, OptimError> {
+    /// `resumable` arms the pause boundary (only the memoized path is
+    /// ever driven resumably), and `from` continues a paused run instead
+    /// of building the initial population. Everything else — RNG stream,
+    /// budget trimming, stall handling, elite selection, breeding — is
+    /// common, so the paths cannot drift apart in loop semantics.
+    fn drive(
+        &self,
+        memoize: bool,
+        resumable: bool,
+        from: Option<Box<SearchCheckpoint>>,
+    ) -> Result<SearchRun, OptimError> {
         self.config.validate()?;
         let network = self.evaluator.network();
         let platform = self.evaluator.platform();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
 
-        // Initial population: the balanced default, then (warm start only)
-        // the compatible seed genomes, then random genomes.
-        let mut population: Vec<Arc<Genome>> = vec![Arc::new(Genome::balanced(network, platform))];
-        let mut warm_start_seeds = 0usize;
-        if self.config.warm_start {
-            let mut seen: Vec<u64> = population.iter().map(|g| g.fingerprint()).collect();
-            for seed in &self.seeds {
-                if population.len() >= self.config.population_size {
-                    break;
+        // Loop state: fresh, or exactly where the checkpoint left off.
+        // The checkpoint was taken at a generation boundary — population
+        // bred, RNG advanced past the breeding draws — so restoring it
+        // and continuing the loop replays the uninterrupted run's
+        // remaining generations bit-identically.
+        let start_generation;
+        let mut rng;
+        let mut population: Vec<Arc<Genome>>;
+        let mut warm_start_seeds;
+        let mut archive: Vec<EvaluatedConfig>;
+        let mut memo: HashMap<u64, MemoEntry>;
+        let mut known: HashMap<usize, (Arc<Genome>, u64)>;
+        let mut evaluations_performed;
+        let mut memo_hits;
+        let mut best_objective;
+        let mut stalled_generations;
+        if let Some(checkpoint) = from {
+            let checkpoint = *checkpoint;
+            start_generation = checkpoint.next_generation;
+            rng = checkpoint.rng;
+            population = checkpoint.population;
+            warm_start_seeds = checkpoint.warm_start_seeds;
+            archive = checkpoint.archive;
+            memo = checkpoint.memo;
+            known = checkpoint.known;
+            evaluations_performed = checkpoint.evaluations_performed;
+            memo_hits = checkpoint.memo_hits;
+            best_objective = checkpoint.best_objective;
+            stalled_generations = checkpoint.stalled_generations;
+        } else {
+            start_generation = 0;
+            rng = StdRng::seed_from_u64(self.config.seed);
+            // Initial population: the balanced default, then (warm start
+            // only) the compatible seed genomes, then random genomes.
+            population = vec![Arc::new(Genome::balanced(network, platform))];
+            warm_start_seeds = 0usize;
+            if self.config.warm_start {
+                let mut seen: Vec<u64> = population.iter().map(|g| g.fingerprint()).collect();
+                for seed in &self.seeds {
+                    if population.len() >= self.config.population_size {
+                        break;
+                    }
+                    if !seed.is_valid()
+                        || seed.num_stages() != platform.num_compute_units()
+                        || seed.num_layers() != network.num_layers()
+                        || seed.partitionable_layers() != network.partitionable_layers()
+                    {
+                        continue;
+                    }
+                    let fingerprint = seed.fingerprint();
+                    if seen.contains(&fingerprint) {
+                        continue;
+                    }
+                    seen.push(fingerprint);
+                    population.push(Arc::clone(seed));
+                    warm_start_seeds += 1;
                 }
-                if !seed.is_valid()
-                    || seed.num_stages() != platform.num_compute_units()
-                    || seed.num_layers() != network.num_layers()
-                    || seed.partitionable_layers() != network.partitionable_layers()
-                {
-                    continue;
-                }
-                let fingerprint = seed.fingerprint();
-                if seen.contains(&fingerprint) {
-                    continue;
-                }
-                seen.push(fingerprint);
-                population.push(Arc::clone(seed));
-                warm_start_seeds += 1;
             }
-        }
-        while population.len() < self.config.population_size {
-            population.push(Arc::new(Genome::random(network, platform, &mut rng)));
+            while population.len() < self.config.population_size {
+                population.push(Arc::new(Genome::random(network, platform, &mut rng)));
+            }
+            archive = Vec::new();
+            memo = HashMap::new();
+            known = HashMap::new();
+            evaluations_performed = 0usize;
+            memo_hits = 0usize;
+            best_objective = f64::INFINITY;
+            stalled_generations = 0usize;
         }
 
-        let mut archive: Vec<EvaluatedConfig> = Vec::new();
         let elite_count = ((self.config.population_size as f64 * self.config.elite_fraction).ceil()
             as usize)
             .clamp(1, self.config.population_size);
@@ -600,22 +813,11 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
         } else {
             None
         };
-        let mut memo: HashMap<u64, MemoEntry> = HashMap::new();
-        // Fingerprints per Arc instance: elites re-enter the population as
-        // clones of the same allocation every generation, so their
-        // fingerprints are computed once per genome instead of once per
-        // scheduling. Each entry holds a strong reference, so a key's
-        // allocation can never be freed and reused while the map lives.
-        let mut known: HashMap<usize, (Arc<Genome>, u64)> = HashMap::new();
-        let mut evaluations_performed = 0usize;
-        let mut memo_hits = 0usize;
         let mut early_stopped = false;
         let mut partial = false;
-        let mut generations_run = 0;
-        let mut best_objective = f64::INFINITY;
-        let mut stalled_generations = 0usize;
+        let mut generations_run = start_generation;
 
-        for generation in 0..self.config.generations {
+        for generation in start_generation..self.config.generations {
             // The anytime boundary: one deadline/cancel probe per
             // generation, before any of its work and without touching the
             // RNG stream. The first generation always runs so an
@@ -624,6 +826,27 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
                 partial = true;
                 early_stopped = true;
                 break;
+            }
+            // The preemption boundary, directly after (cancel wins over
+            // pause): checkpoint everything and hand the loop state back.
+            // At least one generation runs per drive — `generation >
+            // start_generation` — so a pause token that is never cleared
+            // still makes progress on every resume.
+            if resumable && generation > start_generation && self.pause_requested() {
+                return Ok(SearchRun::Paused(Box::new(SearchCheckpoint {
+                    config: self.config,
+                    population,
+                    archive,
+                    memo,
+                    known,
+                    rng,
+                    next_generation: generation,
+                    evaluations_performed,
+                    memo_hits,
+                    warm_start_seeds,
+                    best_objective,
+                    stalled_generations,
+                })));
             }
             // Respect the evaluation budget: trim the final generation so
             // the search performs exactly `max_evaluations` evaluations.
@@ -788,7 +1011,7 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
             population = next;
         }
 
-        Ok(SearchOutcome {
+        Ok(SearchRun::Complete(SearchOutcome {
             memo_hits: archive.len() - evaluations_performed,
             archive,
             generations_run,
@@ -796,7 +1019,7 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
             partial,
             evaluations_performed,
             warm_start_seeds,
-        })
+        }))
     }
 
     /// Whether the anytime boundary should stop the loop: the cancel
@@ -807,6 +1030,12 @@ impl<'a, E: ConfigEvaluator> MappingSearch<'a, E> {
             || self
                 .deadline
                 .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// Whether a preemption pause was requested (free of side effects;
+    /// a single `None` check when no token is attached).
+    fn pause_requested(&self) -> bool {
+        self.pause.as_ref().is_some_and(PauseToken::is_paused)
     }
 
     /// Evaluates one generation through the within-run memo: previously
@@ -1661,6 +1890,224 @@ mod tests {
                 .unwrap();
             prop_assert!(!deadlined.partial());
             assert_outcomes_bit_identical(&deadlined, &plain);
+        }
+    }
+
+    /// Pauses the shared token once a chosen generation has been
+    /// reported — the deterministic mid-run preemption used by the
+    /// pause/resume tests, mirroring [`CancelAfter`].
+    struct PauseAfter {
+        token: PauseToken,
+        after_generation: usize,
+    }
+    impl TelemetrySink for PauseAfter {
+        fn on_generation(&self, event: GenerationEvent) {
+            if event.generation >= self.after_generation {
+                self.token.pause();
+            }
+        }
+    }
+
+    /// Drives a resumable search to completion, pausing at every
+    /// generation in `pause_at` (ascending), and returns the final
+    /// outcome plus the number of pauses actually taken.
+    fn run_with_pauses(
+        evaluator: &Evaluator,
+        config: SearchConfig,
+        pause_at: &[usize],
+    ) -> (SearchOutcome, usize) {
+        let token = PauseToken::new();
+        let sink = PauseAfter {
+            token: token.clone(),
+            after_generation: *pause_at.first().unwrap_or(&usize::MAX),
+        };
+        let search = MappingSearch::new(evaluator, config)
+            .with_pause_token(token.clone())
+            .with_telemetry(&sink);
+        let mut run = search.run_resumable().unwrap();
+        let mut pauses = 0;
+        let mut next_pause = 1;
+        loop {
+            match run {
+                SearchRun::Complete(outcome) => return (outcome, pauses),
+                SearchRun::Paused(checkpoint) => {
+                    pauses += 1;
+                    token.clear();
+                    let sink = PauseAfter {
+                        token: token.clone(),
+                        after_generation: *pause_at.get(next_pause).unwrap_or(&usize::MAX),
+                    };
+                    next_pause += 1;
+                    run = MappingSearch::new(evaluator, config)
+                        .with_pause_token(token.clone())
+                        .with_telemetry(&sink)
+                        .resume(checkpoint)
+                        .unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unpaused_resumable_run_is_bit_identical_to_run() {
+        let evaluator = evaluator(Constraints::default());
+        let config = SearchConfig {
+            generations: 4,
+            population_size: 10,
+            ..SearchConfig::fast()
+        };
+        let plain = MappingSearch::new(&evaluator, config).run().unwrap();
+        let resumable = match MappingSearch::new(&evaluator, config)
+            .with_pause_token(PauseToken::new())
+            .run_resumable()
+            .unwrap()
+        {
+            SearchRun::Complete(outcome) => outcome,
+            SearchRun::Paused(_) => panic!("unpaused token must not pause"),
+        };
+        assert_outcomes_bit_identical(&resumable, &plain);
+    }
+
+    #[test]
+    fn run_ignores_pause_requests() {
+        let evaluator = evaluator(Constraints::default());
+        let config = SearchConfig {
+            generations: 3,
+            population_size: 8,
+            ..SearchConfig::fast()
+        };
+        let token = PauseToken::new();
+        token.pause();
+        let paused_run = MappingSearch::new(&evaluator, config)
+            .with_pause_token(token)
+            .run()
+            .unwrap();
+        let plain = MappingSearch::new(&evaluator, config).run().unwrap();
+        assert_outcomes_bit_identical(&paused_run, &plain);
+    }
+
+    #[test]
+    fn checkpoint_from_a_different_config_is_rejected() {
+        let evaluator = evaluator(Constraints::default());
+        let config = SearchConfig {
+            generations: 4,
+            population_size: 8,
+            ..SearchConfig::fast()
+        };
+        let token = PauseToken::new();
+        let sink = PauseAfter {
+            token: token.clone(),
+            after_generation: 0,
+        };
+        let SearchRun::Paused(checkpoint) = MappingSearch::new(&evaluator, config)
+            .with_pause_token(token)
+            .with_telemetry(&sink)
+            .run_resumable()
+            .unwrap()
+        else {
+            panic!("pause after generation 0 must pause");
+        };
+        assert_eq!(checkpoint.generations_completed(), 1);
+        assert!(checkpoint.evaluations_performed() > 0);
+        let other = SearchConfig {
+            seed: config.seed + 1,
+            ..config
+        };
+        assert!(matches!(
+            MappingSearch::new(&evaluator, other).resume(checkpoint),
+            Err(OptimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_wins_over_pause_at_the_boundary() {
+        let evaluator = evaluator(Constraints::default());
+        let config = SearchConfig {
+            generations: 5,
+            population_size: 8,
+            ..SearchConfig::fast()
+        };
+        let cancel = CancelToken::new();
+        let pause = PauseToken::new();
+        cancel.cancel();
+        pause.pause();
+        let run = MappingSearch::new(&evaluator, config)
+            .with_cancel_token(cancel)
+            .with_pause_token(pause)
+            .run_resumable()
+            .unwrap();
+        let SearchRun::Complete(outcome) = run else {
+            panic!("a cancelled search answers partial, it does not pause");
+        };
+        assert!(outcome.partial());
+        assert_eq!(outcome.generations_run(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// The preemption tentpole property: a search paused at random
+        /// generation boundaries (once or twice) and resumed — across
+        /// thread counts, with a second pause on a different pool size —
+        /// finishes bit-identically to the uninterrupted run.
+        #[test]
+        fn prop_paused_and_resumed_search_is_bit_identical(
+            seed in 0u64..1_000_000,
+            generations in 3usize..6,
+            population in 6usize..12,
+            first_pause in 0usize..3,
+            second_pause_gap in 0usize..2,
+            threads in 1usize..5,
+        ) {
+            let evaluator = evaluator(Constraints::default());
+            let config = SearchConfig {
+                generations,
+                population_size: population,
+                seed,
+                ..SearchConfig::fast()
+            };
+            let plain = MappingSearch::new(&evaluator, config).run().unwrap();
+
+            let (once, _) = run_with_pauses(&evaluator, config, &[first_pause]);
+            assert_outcomes_bit_identical(&once, &plain);
+
+            let (twice, _) = run_with_pauses(
+                &evaluator,
+                config,
+                &[first_pause, first_pause + 1 + second_pause_gap],
+            );
+            assert_outcomes_bit_identical(&twice, &plain);
+
+            // Pause on one thread count, resume on another: checkpoints
+            // are pool-independent like everything else in the loop, so
+            // a parallel pause resumed serially still matches the plain
+            // serial run bit for bit.
+            let parallel = SearchConfig {
+                parallel: true,
+                threads: Some(threads),
+                ..config
+            };
+            let token = PauseToken::new();
+            let sink = PauseAfter { token: token.clone(), after_generation: first_pause };
+            let run = MappingSearch::new(&evaluator, parallel)
+                .with_pause_token(token.clone())
+                .with_telemetry(&sink)
+                .run_resumable()
+                .unwrap();
+            let crossed = match run {
+                SearchRun::Complete(outcome) => outcome,
+                SearchRun::Paused(checkpoint) => {
+                    token.clear();
+                    match MappingSearch::new(&evaluator, config)
+                        .resume(checkpoint)
+                        .unwrap()
+                    {
+                        SearchRun::Complete(outcome) => outcome,
+                        SearchRun::Paused(_) => panic!("cleared token must not re-pause"),
+                    }
+                }
+            };
+            assert_outcomes_bit_identical(&crossed, &plain);
         }
     }
 

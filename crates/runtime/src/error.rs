@@ -36,6 +36,18 @@ pub enum RuntimeError {
         /// The deadline the request carried, in milliseconds.
         deadline_ms: u64,
     },
+    /// The request's tenant has exhausted its evaluation token bucket;
+    /// no search ran. Transient by construction: the bucket refills at
+    /// the tenant's configured rate, and `retry_after_ms` estimates when
+    /// enough tokens will be back. Serving layers answer this as a
+    /// structured error with the hint attached — never by dropping the
+    /// connection.
+    BudgetExhausted {
+        /// The tenant whose bucket ran dry.
+        tenant: String,
+        /// Estimated wait until the bucket can admit a request again.
+        retry_after_ms: u64,
+    },
     /// An elite-archive snapshot could not be written, read or parsed
     /// (see `crate::warmstart::EliteArchive::{snapshot_to, load_from}`).
     Persistence {
@@ -73,6 +85,15 @@ impl fmt::Display for RuntimeError {
                 write!(
                     f,
                     "deadline of {deadline_ms} ms exceeded before the search started"
+                )
+            }
+            RuntimeError::BudgetExhausted {
+                tenant,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "tenant `{tenant}` evaluation budget exhausted; retry in ~{retry_after_ms} ms"
                 )
             }
             RuntimeError::Persistence { path, reason } => {

@@ -30,6 +30,7 @@
 //! hook: a chaos client produces them from the outside.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Evaluations remaining until the armed panic fires (0 = disarmed).
 static EVAL_PANIC_IN: AtomicU64 = AtomicU64::new(0);
@@ -62,11 +63,49 @@ impl FaultPlan {
         SNAPSHOT_TRUNCATE_TO.store(bytes, Ordering::SeqCst);
     }
 
-    /// Disarms every fault (what a chaos scenario runs in its cleanup,
-    /// armed-but-unfired faults included).
-    pub fn disarm_all() {
+    /// Resets the switchboard to its pristine state: every fault
+    /// disarmed, armed-but-unfired faults included.
+    pub fn reset() {
         EVAL_PANIC_IN.store(0, Ordering::SeqCst);
         SNAPSHOT_TRUNCATE_TO.store(usize::MAX, Ordering::SeqCst);
+    }
+
+    /// Disarms every fault. Alias of [`FaultPlan::reset`], kept for the
+    /// chaos scenarios that read as "disarm" in their cleanup.
+    pub fn disarm_all() {
+        FaultPlan::reset();
+    }
+
+    /// Enters an exclusive fault-injection scope: the returned guard
+    /// holds a process-global lock for its lifetime (so concurrent
+    /// tests cannot race each other's armed faults) and calls
+    /// [`FaultPlan::reset`] both on entry and on drop — a panicking
+    /// test can never leak an armed fault into its siblings.
+    pub fn guard() -> FaultGuard {
+        // A panic while holding the lock poisons it; the state it
+        // protects is reset on both edges, so the poison carries no
+        // information — take the lock anyway.
+        let lock = FAULT_SCOPE.lock().unwrap_or_else(PoisonError::into_inner);
+        FaultPlan::reset();
+        FaultGuard { _lock: lock }
+    }
+}
+
+/// Serializes fault-armed scopes across threads (see
+/// [`FaultPlan::guard`]).
+static FAULT_SCOPE: Mutex<()> = Mutex::new(());
+
+/// An exclusive, self-cleaning fault-injection scope. Hold it for the
+/// duration of a test that arms faults; every fault is disarmed when it
+/// drops, panic or not.
+#[derive(Debug)]
+pub struct FaultGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        FaultPlan::reset();
     }
 }
 

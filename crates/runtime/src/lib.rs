@@ -77,6 +77,7 @@ pub mod cached;
 pub mod error;
 pub mod faults;
 pub mod pipeline;
+pub mod qos;
 pub mod registry;
 pub mod response_cache;
 pub mod scheduler;
@@ -87,21 +88,25 @@ pub mod warmstart;
 pub use cache::{CacheStats, ComputeLease, EvalCache};
 pub use cached::{CacheTraffic, CachedEvaluator};
 pub use error::RuntimeError;
-pub use faults::FaultPlan;
+pub use faults::{FaultGuard, FaultPlan};
 pub use pipeline::{
-    FastPathOutcome, PipelineStage, PipelineStats, RequestPipeline, SearchTicket, StageMicros,
-    StageStats, STAGE_COUNT,
+    FastPathOutcome, PausedSearch, PipelineStage, PipelineStats, RequestPipeline, SearchTicket,
+    SlowPathRun, StageMicros, StageStats, STAGE_COUNT,
+};
+pub use qos::{
+    DrrQueue, TenantPolicy, TenantPolicyTable, TokenBucket, DEFAULT_PRIORITY, DEFAULT_TENANT,
 };
 pub use registry::ModelRegistry;
 pub use response_cache::ResponseCacheStats;
 pub use scheduler::{BatchConfig, BatchReport, BatchStats};
 pub use service::{MappingRequest, MappingResponse, MappingService, RequestStats, ServiceConfig};
-pub use telemetry::{ServingMetrics, TelemetryConfig};
+pub use telemetry::{ServingMetrics, TelemetryConfig, TenantMetrics};
 pub use warmstart::{ArchiveLoad, ArchiveShape, ArchiveSnapshot, EliteArchive, SurrogateRanker};
 // Re-exported so serving layers can cancel a ticket's running search
-// (see [`SearchTicket::cancel_token`]) without naming the optimizer
-// crate themselves.
-pub use mnc_optim::CancelToken;
+// (see [`SearchTicket::cancel_token`]) or pause one for preemption
+// (see [`RequestPipeline::slow_path_resumable`]) without naming the
+// optimizer crate themselves.
+pub use mnc_optim::{CancelToken, PauseToken};
 // Telemetry vocabulary types, re-exported so front-ends (wire, server,
 // bench) can consume snapshots and traces without naming the telemetry
 // crate themselves.

@@ -78,7 +78,10 @@ use crate::response_cache::ResponseKey;
 use crate::scheduler::{normalized_for_coalescing, BatchConfig, BatchReport, BatchStats};
 use crate::service::{MappingRequest, MappingResponse, MappingService, RequestStats};
 use mnc_core::fingerprint_serialized;
-use mnc_optim::{CancelToken, EvaluatedConfig, MappingSearch};
+use mnc_optim::{
+    CancelToken, EvaluatedConfig, Genome, MappingSearch, PauseToken, SearchCheckpoint,
+    SearchOutcome, SearchRun,
+};
 use mnc_telemetry::{saturating_nanos, GenerationBuffer, SpanRecorder};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -389,6 +392,91 @@ impl SearchTicket {
     }
 }
 
+/// How one entry into the resumable slow path ended: finished, or
+/// paused at a generation boundary awaiting
+/// [`RequestPipeline::resume`].
+#[derive(Debug)]
+pub enum SlowPathRun {
+    /// The request completed — answered or failed. Telemetry (request
+    /// latency, trace) is finalised. Boxed to keep the enum small next
+    /// to the already-boxed [`SlowPathRun::Paused`].
+    Done(Box<Result<MappingResponse, RuntimeError>>),
+    /// The search observed its fired [`PauseToken`] at a generation
+    /// boundary and checkpointed. The request's telemetry stays in
+    /// flight inside the box; redeem it with
+    /// [`RequestPipeline::resume`] — the eventual response is
+    /// bit-identical to never having paused.
+    Paused(Box<PausedSearch>),
+}
+
+/// In-flight state of a resumable slow-path request: everything the
+/// Search stage needs on every (re)entry. The evaluator wrapper and
+/// generation buffer ride along so cache-traffic accounting and the
+/// generation stream span every pause/resume segment of the request.
+#[derive(Debug)]
+struct ResumableState {
+    request: MappingRequest,
+    prepared: PreparedRequest,
+    trace: StageTrace,
+    started: Instant,
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+    pause: PauseToken,
+    cached: CachedEvaluator,
+    /// Warm-start seeds, consumed by the first drive; resumes restore
+    /// their population from the checkpoint instead.
+    seeds: Vec<Arc<Genome>>,
+    generations: Option<GenerationBuffer>,
+}
+
+/// A search preempted at a generation boundary: the request's
+/// in-flight pipeline state plus the search's own checkpoint
+/// (population, memo, RNG position). Produced by
+/// [`RequestPipeline::slow_path_resumable`], redeemed by
+/// [`RequestPipeline::resume`]; a serving layer holds it (or requeues
+/// it) while higher-priority work runs.
+#[derive(Debug)]
+pub struct PausedSearch {
+    state: ResumableState,
+    checkpoint: Box<SearchCheckpoint>,
+}
+
+impl PausedSearch {
+    /// The request this paused search answers.
+    pub fn request(&self) -> &MappingRequest {
+        &self.state.request
+    }
+
+    /// The paused search's cancel token (a watchdog can still cancel a
+    /// paused request; the cancellation lands at the first resumed
+    /// generation boundary).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.state.cancel.clone()
+    }
+
+    /// The paused search's pause token (cleared by
+    /// [`RequestPipeline::resume`]).
+    pub fn pause_token(&self) -> PauseToken {
+        self.state.pause.clone()
+    }
+
+    /// The absolute deadline the request still has to meet, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.state.deadline
+    }
+
+    /// Generations completed before the pause.
+    pub fn generations_completed(&self) -> usize {
+        self.checkpoint.generations_completed()
+    }
+
+    /// Evaluations performed before the pause — what a budget meter
+    /// can use to estimate the remaining cost of the resumed search.
+    pub fn evaluations_performed(&self) -> usize {
+        self.checkpoint.evaluations_performed()
+    }
+}
+
 /// One coalesced group: the request its leader runs (threads pinned to
 /// the batch budget), the normalised form that defines membership, and
 /// the input positions it answers.
@@ -622,41 +710,226 @@ impl<'s> RequestPipeline<'s> {
             deadline,
             cancel,
         } = ticket;
-        let telemetry = self.service.telemetry();
         // A ticket that expired while queued is answered without
         // starting its search: a partial front of zero generations would
         // be empty anyway, and the worker slot goes to a request that
         // can still meet its deadline.
-        if deadline.is_some_and(|deadline| Instant::now() >= deadline) {
-            telemetry.deadline_misses.inc();
-            let error = RuntimeError::DeadlineExceeded {
-                deadline_ms: request.deadline_ms.unwrap_or(0),
-            };
-            telemetry
-                .request_duration
-                .record(saturating_nanos(started.elapsed()));
-            telemetry.finish_trace(trace.take_recorder(), Some(error.to_string()));
-            return Err(error);
+        if let Some(error) = self.expired_while_queued(&request, deadline) {
+            return self.complete(
+                Err(error),
+                prepared.response_key.as_ref(),
+                &mut trace,
+                started,
+            );
         }
         let outcome = self.finish(&request, &prepared, &mut trace, started, deadline, &cancel);
+        self.complete(outcome, prepared.response_key.as_ref(), &mut trace, started)
+    }
+
+    /// The slow path driven with a [`PauseToken`] attached — what a
+    /// preemptive serving layer uses instead of
+    /// [`RequestPipeline::slow_path`]. When the token is fired, the
+    /// search checkpoints at its next generation boundary and the call
+    /// returns [`SlowPathRun::Paused`]; redeem the paused state with
+    /// [`RequestPipeline::resume`] (any number of times). The final
+    /// response is bit-identical to an uninterrupted
+    /// [`RequestPipeline::slow_path`] of the same ticket — pausing
+    /// changes *when* the answer arrives, never what it is.
+    pub fn slow_path_resumable(&self, ticket: SearchTicket, pause: PauseToken) -> SlowPathRun {
+        let SearchTicket {
+            request,
+            prepared,
+            mut trace,
+            started,
+            deadline,
+            cancel,
+        } = ticket;
+        if let Some(error) = self.expired_while_queued(&request, deadline) {
+            return SlowPathRun::Done(Box::new(self.complete(
+                Err(error),
+                prepared.response_key.as_ref(),
+                &mut trace,
+                started,
+            )));
+        }
+        let (cached, seeds) = match self.stage_prologue(&request, &prepared, &mut trace) {
+            Ok(resolved) => resolved,
+            Err(error) => {
+                return SlowPathRun::Done(Box::new(self.complete(
+                    Err(error),
+                    prepared.response_key.as_ref(),
+                    &mut trace,
+                    started,
+                )));
+            }
+        };
+        let generations = self
+            .service
+            .telemetry()
+            .search_telemetry()
+            .then(GenerationBuffer::new);
+        self.drive_resumable(
+            ResumableState {
+                request,
+                prepared,
+                trace,
+                started,
+                deadline,
+                cancel,
+                pause,
+                cached,
+                seeds,
+                generations,
+            },
+            None,
+        )
+    }
+
+    /// Resumes a search paused by
+    /// [`RequestPipeline::slow_path_resumable`], clearing its pause
+    /// token first (resuming means "run now"; a later preemption fires
+    /// the token again). The search picks up from its checkpointed
+    /// generation and the eventual response is bit-identical to never
+    /// having paused.
+    pub fn resume(&self, paused: Box<PausedSearch>) -> SlowPathRun {
+        let PausedSearch { state, checkpoint } = *paused;
+        state.pause.clear();
+        self.drive_resumable(state, Some(checkpoint))
+    }
+
+    /// The deadline check every slow-path entry runs before doing
+    /// expensive work, with its miss telemetry.
+    fn expired_while_queued(
+        &self,
+        request: &MappingRequest,
+        deadline: Option<Instant>,
+    ) -> Option<RuntimeError> {
+        if deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+            self.service.telemetry().deadline_misses.inc();
+            return Some(RuntimeError::DeadlineExceeded {
+                deadline_ms: request.deadline_ms.unwrap_or(0),
+            });
+        }
+        None
+    }
+
+    /// Completes a slow-path request whichever way it ended: stores
+    /// cacheable responses (partial fronts are valid answers for *this*
+    /// deadline but not the canonical answer, so they are never
+    /// cached), records the end-to-end latency (errors included, so the
+    /// histogram count always equals the requests counter) and freezes
+    /// the trace.
+    fn complete(
+        &self,
+        outcome: Result<MappingResponse, RuntimeError>,
+        response_key: Option<&ResponseKey>,
+        trace: &mut StageTrace,
+        started: Instant,
+    ) -> Result<MappingResponse, RuntimeError> {
+        let telemetry = self.service.telemetry();
         if let Ok(response) = &outcome {
             if response.stats.partial {
-                // A partial front is a valid answer for *this* deadline
-                // but not the canonical answer for the request: never
-                // cache it, so later requests get the full front.
                 telemetry.partial_responses.inc();
-            } else if let Some(key) = &prepared.response_key {
+            } else if let Some(key) = response_key {
                 self.service.responses().insert(key, response);
             }
         }
-        // The request histogram records errors too, so its count always
-        // equals the requests counter.
         telemetry
             .request_duration
             .record(saturating_nanos(started.elapsed()));
         let error = outcome.as_ref().err().map(ToString::to_string);
         telemetry.finish_trace(trace.take_recorder(), error);
         outcome
+    }
+
+    /// Runs (or re-enters) the Search stage of a resumable request and
+    /// dispatches on how it ended. Each pause/resume segment records
+    /// its own Search-stage entry; the per-request trace accumulates
+    /// across segments, and the search counters are bumped once, at
+    /// completion, off the final outcome (which already spans the
+    /// pre-pause segments through the checkpoint).
+    fn drive_resumable(
+        &self,
+        state: ResumableState,
+        from: Option<Box<SearchCheckpoint>>,
+    ) -> SlowPathRun {
+        let ResumableState {
+            request,
+            prepared,
+            mut trace,
+            started,
+            deadline,
+            cancel,
+            pause,
+            cached,
+            seeds,
+            generations,
+        } = state;
+        let telemetry = self.service.telemetry();
+        let run = self.try_stage(PipelineStage::Search, &mut trace, || {
+            let mut search = MappingSearch::new(&cached, prepared.config)
+                .with_seeds(seeds)
+                .with_cancel_token(cancel.clone())
+                .with_pause_token(pause.clone());
+            if let Some(deadline) = deadline {
+                search = search.with_deadline(deadline);
+            }
+            if let Some(buffer) = &generations {
+                search = search.with_telemetry(buffer);
+            }
+            let run = match from {
+                Some(checkpoint) => search.resume(checkpoint)?,
+                None => search.run_resumable()?,
+            };
+            if let SearchRun::Complete(outcome) = &run {
+                telemetry.searches_run.inc();
+                telemetry
+                    .evaluations_scheduled
+                    .add(outcome.evaluations() as u64);
+                telemetry
+                    .evaluations_performed
+                    .add(outcome.evaluations_performed() as u64);
+            }
+            Ok(run)
+        });
+        match run {
+            Err(error) => SlowPathRun::Done(Box::new(self.complete(
+                Err(error),
+                prepared.response_key.as_ref(),
+                &mut trace,
+                started,
+            ))),
+            Ok(SearchRun::Paused(checkpoint)) => SlowPathRun::Paused(Box::new(PausedSearch {
+                state: ResumableState {
+                    request,
+                    prepared,
+                    trace,
+                    started,
+                    deadline,
+                    cancel,
+                    pause,
+                    cached,
+                    seeds: Vec::new(),
+                    generations,
+                },
+                checkpoint,
+            })),
+            Ok(SearchRun::Complete(outcome)) => {
+                if let Some(buffer) = generations {
+                    let events = buffer.take();
+                    telemetry.search_generations.add(events.len() as u64);
+                    trace.generations(events);
+                }
+                let response =
+                    self.stage_epilogue(&request, &mut trace, started, &outcome, &cached);
+                SlowPathRun::Done(Box::new(self.complete(
+                    Ok(response),
+                    prepared.response_key.as_ref(),
+                    &mut trace,
+                    started,
+                )))
+            }
+        }
     }
 
     /// ResolveEvaluator → WarmStartSeed → Search → ArchiveFeedback for a
@@ -671,7 +944,49 @@ impl<'s> RequestPipeline<'s> {
         cancel: &CancelToken,
     ) -> Result<MappingResponse, RuntimeError> {
         let telemetry = self.service.telemetry();
+        let (cached, seeds) = self.stage_prologue(request, prepared, trace)?;
 
+        // When the generation stream is on, the search reports every
+        // generation into a request-local buffer; nothing the search
+        // decides depends on it (the sink is write-only).
+        let generations = telemetry.search_telemetry().then(GenerationBuffer::new);
+        let outcome = self.try_stage(PipelineStage::Search, trace, || {
+            let mut search = MappingSearch::new(&cached, prepared.config)
+                .with_seeds(seeds)
+                .with_cancel_token(cancel.clone());
+            if let Some(deadline) = deadline {
+                search = search.with_deadline(deadline);
+            }
+            if let Some(buffer) = &generations {
+                search = search.with_telemetry(buffer);
+            }
+            let outcome = search.run()?;
+            telemetry.searches_run.inc();
+            telemetry
+                .evaluations_scheduled
+                .add(outcome.evaluations() as u64);
+            telemetry
+                .evaluations_performed
+                .add(outcome.evaluations_performed() as u64);
+            Ok(outcome)
+        })?;
+        if let Some(buffer) = generations {
+            let events = buffer.take();
+            telemetry.search_generations.add(events.len() as u64);
+            trace.generations(events);
+        }
+        Ok(self.stage_epilogue(request, trace, started, &outcome, &cached))
+    }
+
+    /// ResolveEvaluator + WarmStartSeed: everything the Search stage
+    /// needs, shared by the one-shot and resumable slow paths.
+    fn stage_prologue(
+        &self,
+        request: &MappingRequest,
+        prepared: &PreparedRequest,
+        trace: &mut StageTrace,
+    ) -> Result<(CachedEvaluator, Vec<Arc<Genome>>), RuntimeError> {
+        let telemetry = self.service.telemetry();
         let (cached, evaluator, built) =
             self.try_stage(PipelineStage::ResolveEvaluator, trace, || {
                 let (evaluator, fingerprint, built) = self
@@ -708,37 +1023,20 @@ impl<'s> RequestPipeline<'s> {
                 "warm start not requested".to_string()
             }
         });
+        Ok((cached, seeds))
+    }
 
-        // When the generation stream is on, the search reports every
-        // generation into a request-local buffer; nothing the search
-        // decides depends on it (the sink is write-only).
-        let generations = telemetry.search_telemetry().then(GenerationBuffer::new);
-        let outcome = self.try_stage(PipelineStage::Search, trace, || {
-            let mut search = MappingSearch::new(&cached, prepared.config)
-                .with_seeds(seeds)
-                .with_cancel_token(cancel.clone());
-            if let Some(deadline) = deadline {
-                search = search.with_deadline(deadline);
-            }
-            if let Some(buffer) = &generations {
-                search = search.with_telemetry(buffer);
-            }
-            let outcome = search.run()?;
-            telemetry.searches_run.inc();
-            telemetry
-                .evaluations_scheduled
-                .add(outcome.evaluations() as u64);
-            telemetry
-                .evaluations_performed
-                .add(outcome.evaluations_performed() as u64);
-            Ok(outcome)
-        })?;
-        if let Some(buffer) = generations {
-            let events = buffer.take();
-            telemetry.search_generations.add(events.len() as u64);
-            trace.generations(events);
-        }
-
+    /// ArchiveFeedback + response assembly for a completed search,
+    /// shared by the one-shot and resumable slow paths.
+    fn stage_epilogue(
+        &self,
+        request: &MappingRequest,
+        trace: &mut StageTrace,
+        started: Instant,
+        outcome: &SearchOutcome,
+        cached: &CachedEvaluator,
+    ) -> MappingResponse {
+        let telemetry = self.service.telemetry();
         let (pareto_front, best_by_objective) =
             self.stage(PipelineStage::ArchiveFeedback, trace, || {
                 let pareto_front: Vec<EvaluatedConfig> =
@@ -797,13 +1095,13 @@ impl<'s> RequestPipeline<'s> {
             elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
             stage_micros: trace.stage_micros(),
         };
-        Ok(MappingResponse {
+        MappingResponse {
             model: request.model.clone(),
             platform: request.platform.clone(),
             pareto_front,
             best_by_objective,
             stats,
-        })
+        }
     }
 
     /// Runs a batch through the pipeline: batch-level Normalize /
@@ -1128,6 +1426,78 @@ mod tests {
         assert_eq!(stats.searches_run, 2);
         assert_eq!(stats.fast_path_answered, 0);
         assert_eq!(service.response_cache_stats().insertions, 0);
+    }
+
+    #[test]
+    fn paused_and_resumed_slow_path_answers_bit_identically() {
+        // Response cache off so the second submission reaches the slow
+        // path instead of replaying the first answer.
+        let service = MappingService::with_config(crate::service::ServiceConfig {
+            response_cache_entries: 0,
+            ..Default::default()
+        });
+        let pipeline = service.pipeline();
+        let request = small_request().generations(4);
+        let plain = pipeline.run(&request).unwrap();
+
+        let ticket = match pipeline.fast_path(&request) {
+            FastPathOutcome::NeedsSearch(ticket) => ticket,
+            other => panic!("expected a ticket, got {other:?}"),
+        };
+        // Token fired before dispatch: the search pauses at its first
+        // generation boundary (after making progress — never before).
+        let pause = PauseToken::new();
+        pause.pause();
+        let paused = match pipeline.slow_path_resumable(*ticket, pause.clone()) {
+            SlowPathRun::Paused(paused) => paused,
+            other => panic!("expected a pause, got {other:?}"),
+        };
+        assert!(paused.generations_completed() >= 1);
+        assert!(paused.evaluations_performed() > 0);
+        assert_eq!(paused.request(), &request);
+
+        // resume() clears the token and runs to completion.
+        let resumed = match pipeline.resume(paused) {
+            SlowPathRun::Done(outcome) => outcome.unwrap(),
+            other => panic!("expected completion, got {other:?}"),
+        };
+        assert!(!pause.is_paused());
+        // Bit-identical answer content and search accounting; only
+        // wall-clock fields may differ.
+        assert_eq!(resumed.pareto_front, plain.pareto_front);
+        assert_eq!(resumed.best_by_objective, plain.best_by_objective);
+        assert_eq!(resumed.stats.evaluations, plain.stats.evaluations);
+        assert_eq!(
+            resumed.stats.evaluations_performed,
+            plain.stats.evaluations_performed
+        );
+        assert_eq!(resumed.stats.memo_hits, plain.stats.memo_hits);
+        assert_eq!(resumed.stats.generations_run, plain.stats.generations_run);
+        assert!(!resumed.stats.partial);
+        // Each request's search completed exactly once, pause segments
+        // notwithstanding.
+        assert_eq!(service.pipeline_stats().searches_run, 2);
+    }
+
+    #[test]
+    fn resumable_slow_path_without_a_fired_token_completes_directly() {
+        let service = MappingService::new();
+        let pipeline = service.pipeline();
+        let ticket = match pipeline.fast_path(&small_request()) {
+            FastPathOutcome::NeedsSearch(ticket) => ticket,
+            other => panic!("expected a ticket, got {other:?}"),
+        };
+        let outcome = pipeline.slow_path_resumable(*ticket, PauseToken::new());
+        let response = match outcome {
+            SlowPathRun::Done(outcome) => outcome.unwrap(),
+            other => panic!("expected completion, got {other:?}"),
+        };
+        // The completed response is stored for fast-path replay exactly
+        // like the one-shot slow path's.
+        match pipeline.fast_path(&small_request()) {
+            FastPathOutcome::Answered(replay) => assert_eq!(*replay, response),
+            other => panic!("expected a fast-path answer, got {other:?}"),
+        }
     }
 
     #[test]

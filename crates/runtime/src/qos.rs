@@ -1,0 +1,765 @@
+//! Multi-tenant quality-of-service policy: per-tenant policies, token
+//! buckets and a deficit-round-robin weighted-fair queue.
+//!
+//! The serving layer shares one search-worker pool across tenants; this
+//! module holds the mechanisms that make that sharing safe:
+//!
+//! * [`TenantPolicy`] / [`TenantPolicyTable`] — per-tenant scheduling
+//!   weight, priority ceiling and evaluation budget, loaded from the
+//!   `--tenant-config` JSON file. Unknown tenants get the table's
+//!   default policy, so an unconfigured deployment behaves exactly like
+//!   the single-tenant one.
+//! * [`TokenBucket`] — the evaluation budget meter: admission requires a
+//!   positive balance, the debit is the *actual*
+//!   `evaluations_performed` after the search answers (so a bucket may
+//!   go negative — a tenant can never be charged less than it used),
+//!   and an empty bucket yields the `retry_after_ms` hint behind the
+//!   structured `BudgetExhausted` answer.
+//! * [`DrrQueue`] — deficit round-robin over per-tenant queues: each
+//!   tenant accumulates deficit in proportion to its weight and spends
+//!   it on jobs priced in estimated evaluations, so over time tenants
+//!   receive worker throughput proportional to their weights and no
+//!   backlog, however large, starves a weight-1 tenant
+//!   (starvation-proof by construction: every full rotation grows every
+//!   backlogged tenant's deficit). Across tenants, a strictly
+//!   higher-priority head job is served first; DRR arbitrates among the
+//!   tenants tied at the top priority, so priority buys latency while
+//!   weights keep governing throughput between equally urgent tenants.
+//!
+//! Everything here is time-explicit (methods take `now: Instant`) and
+//! single-threaded; the reactor wraps it in its own mutex. None of it
+//! affects answer content — the same request answers bit-identically
+//! whatever tenant, weight or priority it arrives under.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// The tenant name used when a request carries none.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// The priority assumed when a request carries none.
+pub const DEFAULT_PRIORITY: u8 = 0;
+
+/// DRR quantum per unit of weight, in evaluation tokens: how much
+/// deficit a weight-1 tenant gains per rotation. Small enough that a
+/// rotation stays fine-grained, large enough that a typical smoke-sized
+/// job (a few hundred evaluations) is served within a few rotations.
+const QUANTUM_PER_WEIGHT: u64 = 256;
+
+/// One tenant's QoS policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantPolicy {
+    /// Weighted-fair-queueing weight (≥ 1): the tenant's long-run share
+    /// of search-worker throughput relative to other backlogged
+    /// tenants.
+    pub weight: u32,
+    /// Highest priority the tenant may request; a request asking for
+    /// more is silently clamped, so no tenant can outrank its policy.
+    pub priority_ceiling: u8,
+    /// Evaluation-token refill rate, per second (`None` = unmetered:
+    /// the tenant has no budget and is never answered
+    /// `BudgetExhausted`).
+    pub evals_per_sec: Option<f64>,
+    /// Token-bucket capacity, in evaluations: the burst a tenant can
+    /// spend after sitting idle. Floored to 1 so a metered tenant can
+    /// always eventually admit a request.
+    pub burst: f64,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy {
+            weight: 1,
+            priority_ceiling: u8::MAX,
+            evals_per_sec: None,
+            burst: 1.0,
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// The priority a request under this policy is actually scheduled
+    /// at: the requested priority clamped to the ceiling.
+    pub fn effective_priority(&self, requested: Option<u8>) -> u8 {
+        requested
+            .unwrap_or(DEFAULT_PRIORITY)
+            .min(self.priority_ceiling)
+    }
+
+    /// The DRR deficit this tenant gains per rotation.
+    fn quantum(&self) -> u64 {
+        u64::from(self.weight.max(1)) * QUANTUM_PER_WEIGHT
+    }
+
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if value.as_map().is_none() {
+            return Err(DeError::expected("policy object", value));
+        }
+        let mut policy = TenantPolicy::default();
+        if let Some(weight) = value.get("weight") {
+            let weight = weight
+                .as_u64()
+                .filter(|&w| w >= 1)
+                .ok_or_else(|| DeError::new("`weight` must be an integer ≥ 1"))?;
+            policy.weight =
+                u32::try_from(weight).map_err(|_| DeError::new("`weight` must fit in 32 bits"))?;
+        }
+        if let Some(ceiling) = value.get("priority_ceiling") {
+            let ceiling = ceiling
+                .as_u64()
+                .and_then(|c| u8::try_from(c).ok())
+                .ok_or_else(|| DeError::new("`priority_ceiling` must be an integer in 0..=255"))?;
+            policy.priority_ceiling = ceiling;
+        }
+        if let Some(rate) = value.get("evals_per_sec") {
+            if *rate != Value::Null {
+                let rate = rate
+                    .as_f64()
+                    .filter(|r| r.is_finite() && *r > 0.0)
+                    .ok_or_else(|| DeError::new("`evals_per_sec` must be a positive number"))?;
+                policy.evals_per_sec = Some(rate);
+            }
+        }
+        if let Some(burst) = value.get("burst") {
+            let burst = burst
+                .as_f64()
+                .filter(|b| b.is_finite() && *b >= 0.0)
+                .ok_or_else(|| DeError::new("`burst` must be a non-negative number"))?;
+            policy.burst = burst.max(1.0);
+        }
+        Ok(policy)
+    }
+}
+
+impl Serialize for TenantPolicy {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("weight".to_string(), Value::UInt(u64::from(self.weight))),
+            (
+                "priority_ceiling".to_string(),
+                Value::UInt(u64::from(self.priority_ceiling)),
+            ),
+            (
+                "evals_per_sec".to_string(),
+                match self.evals_per_sec {
+                    Some(rate) => Value::Float(rate),
+                    None => Value::Null,
+                },
+            ),
+            ("burst".to_string(), Value::Float(self.burst)),
+        ])
+    }
+}
+
+/// The server-side tenant policy table: named policies plus the default
+/// applied to every unnamed tenant. With no configuration every tenant
+/// shares the default policy — weight 1, no ceiling, no budget — which
+/// reduces the whole QoS layer to the single-tenant behaviour.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantPolicyTable {
+    default: TenantPolicy,
+    tenants: Vec<(String, TenantPolicy)>,
+}
+
+impl TenantPolicyTable {
+    /// A table where every tenant gets `default`.
+    pub fn with_default(default: TenantPolicy) -> Self {
+        TenantPolicyTable {
+            default,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Sets one tenant's policy (replacing any previous one).
+    pub fn insert(&mut self, tenant: impl Into<String>, policy: TenantPolicy) {
+        let tenant = tenant.into();
+        match self.tenants.iter_mut().find(|(name, _)| *name == tenant) {
+            Some((_, existing)) => *existing = policy,
+            None => self.tenants.push((tenant, policy)),
+        }
+    }
+
+    /// The policy governing one tenant: its named entry, else the
+    /// default.
+    pub fn policy_for(&self, tenant: &str) -> &TenantPolicy {
+        self.tenants
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map_or(&self.default, |(_, policy)| policy)
+    }
+
+    /// The default policy (what unnamed tenants get).
+    pub fn default_policy(&self) -> &TenantPolicy {
+        &self.default
+    }
+
+    /// The explicitly configured tenants, in configuration order.
+    pub fn configured_tenants(&self) -> impl Iterator<Item = &str> {
+        self.tenants.iter().map(|(name, _)| name.as_str())
+    }
+
+    /// Parses a `--tenant-config` JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "default": { "weight": 1 },
+    ///   "tenants": {
+    ///     "noisy": { "weight": 1, "evals_per_sec": 50, "burst": 200 },
+    ///     "gold":  { "weight": 8, "priority_ceiling": 10 }
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// Both top-level keys and every policy field are optional; omitted
+    /// fields keep their [`TenantPolicy::default`] values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str::<TenantPolicyTable>(text).map_err(|e| e.to_string())
+    }
+}
+
+impl Serialize for TenantPolicyTable {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("default".to_string(), self.default.to_value()),
+            (
+                "tenants".to_string(),
+                Value::Map(
+                    self.tenants
+                        .iter()
+                        .map(|(name, policy)| (name.clone(), policy.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for TenantPolicyTable {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if value.as_map().is_none() {
+            return Err(DeError::expected("tenant-config object", value));
+        }
+        let default = match value.get("default") {
+            Some(policy) => TenantPolicy::from_value(policy)
+                .map_err(|e| DeError::new(format!("default policy: {e}")))?,
+            None => TenantPolicy::default(),
+        };
+        let mut table = TenantPolicyTable::with_default(default);
+        if let Some(tenants) = value.get("tenants") {
+            let entries = tenants
+                .as_map()
+                .ok_or_else(|| DeError::expected("`tenants` object", tenants))?;
+            for (name, policy) in entries {
+                let policy = TenantPolicy::from_value(policy)
+                    .map_err(|e| DeError::new(format!("tenant `{name}`: {e}")))?;
+                table.insert(name.clone(), policy);
+            }
+        }
+        Ok(table)
+    }
+}
+
+/// A token bucket metering one tenant's evaluation spend.
+///
+/// Time is explicit (every method takes `now`) so the bucket is exactly
+/// testable; refills are continuous at `rate` tokens per second up to
+/// `burst`. Admission only requires a *positive* balance — the debit is
+/// the search's actual `evaluations_performed`, charged after the
+/// answer, so the balance can go negative and the tenant pays the
+/// overdraft off before being admitted again.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    tokens: f64,
+    rate: f64,
+    burst: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket starting full.
+    pub fn new(rate: f64, burst: f64, now: Instant) -> Self {
+        let burst = burst.max(1.0);
+        TokenBucket {
+            tokens: burst,
+            rate: rate.max(f64::MIN_POSITIVE),
+            burst,
+            last_refill: now,
+        }
+    }
+
+    /// The bucket a policy calls for (`None` when the policy is
+    /// unmetered).
+    pub fn for_policy(policy: &TenantPolicy, now: Instant) -> Option<Self> {
+        policy
+            .evals_per_sec
+            .map(|rate| TokenBucket::new(rate, policy.burst, now))
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let elapsed = now.saturating_duration_since(self.last_refill);
+        self.last_refill = now;
+        self.tokens = (self.tokens + elapsed.as_secs_f64() * self.rate).min(self.burst);
+    }
+
+    /// The current balance (negative while paying off an overdraft).
+    pub fn balance(&mut self, now: Instant) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Admits a request when the balance is positive; otherwise returns
+    /// the estimated wait, in milliseconds, until it will be.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(retry_after_ms)` when the bucket is exhausted.
+    pub fn admit(&mut self, now: Instant) -> Result<(), u64> {
+        self.refill(now);
+        if self.tokens > 0.0 {
+            return Ok(());
+        }
+        // Time until the balance crosses zero (plus one token of slack
+        // so an immediate retry at the hinted time is admitted), rounded
+        // up so the hint never undershoots.
+        let deficit = 1.0 - self.tokens;
+        let millis = (deficit / self.rate * 1e3).ceil();
+        Err(if millis >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            (millis as u64).max(1)
+        })
+    }
+
+    /// Charges the actual evaluation spend of an answered request.
+    pub fn debit(&mut self, evaluations: usize, now: Instant) {
+        self.refill(now);
+        self.tokens -= evaluations as f64;
+    }
+}
+
+/// One queued job with its DRR price and scheduling priority.
+#[derive(Debug)]
+struct QueuedJob<T> {
+    priority: u8,
+    cost: u64,
+    job: T,
+}
+
+/// One tenant's queue state inside a [`DrrQueue`].
+#[derive(Debug)]
+struct TenantLane<T> {
+    tenant: String,
+    quantum: u64,
+    deficit: u64,
+    jobs: VecDeque<QueuedJob<T>>,
+}
+
+/// A deficit-round-robin weighted-fair queue over per-tenant lanes.
+///
+/// [`DrrQueue::pop`] serves the strictly highest-priority head job
+/// first; among the tenants tied at that priority it runs textbook DRR:
+/// each rotation a tenant's deficit grows by its quantum
+/// (weight × [`QUANTUM_PER_WEIGHT`]), and a job is served once the
+/// deficit covers its cost (estimated evaluations). With a single lane
+/// — the unconfigured, single-tenant deployment — every `pop` serves
+/// the head of that lane, i.e. the queue degenerates to exactly the
+/// FIFO it replaced.
+#[derive(Debug)]
+pub struct DrrQueue<T> {
+    lanes: Vec<TenantLane<T>>,
+    /// Rotation order over lanes with queued jobs (indices into
+    /// `lanes`; lanes are never removed so indices are stable).
+    round: VecDeque<usize>,
+    len: usize,
+}
+
+// Manual impl: the derive would needlessly bound `T: Default`.
+impl<T> Default for DrrQueue<T> {
+    fn default() -> Self {
+        DrrQueue::new()
+    }
+}
+
+impl<T> DrrQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        DrrQueue {
+            lanes: Vec::new(),
+            round: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// Queued jobs across all tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queued jobs for one tenant.
+    pub fn tenant_depth(&self, tenant: &str) -> usize {
+        self.lanes
+            .iter()
+            .find(|lane| lane.tenant == tenant)
+            .map_or(0, |lane| lane.jobs.len())
+    }
+
+    fn lane_index(&mut self, tenant: &str, policy: &TenantPolicy) -> usize {
+        if let Some(index) = self.lanes.iter().position(|lane| lane.tenant == tenant) {
+            return index;
+        }
+        self.lanes.push(TenantLane {
+            tenant: tenant.to_string(),
+            quantum: policy.quantum(),
+            deficit: 0,
+            jobs: VecDeque::new(),
+        });
+        self.lanes.len() - 1
+    }
+
+    fn enqueue_lane(&mut self, index: usize) {
+        if !self.round.contains(&index) {
+            self.round.push_back(index);
+        }
+    }
+
+    /// Enqueues a job for `tenant` at `priority` with a DRR price of
+    /// `cost` estimated evaluations. Within the lane, higher priority
+    /// jobs go first; equal priorities keep FIFO order.
+    pub fn push(&mut self, tenant: &str, policy: &TenantPolicy, priority: u8, cost: u64, job: T) {
+        let index = self.lane_index(tenant, policy);
+        let lane = &mut self.lanes[index];
+        let position = lane
+            .jobs
+            .iter()
+            .rposition(|queued| queued.priority >= priority)
+            .map_or(0, |p| p + 1);
+        lane.jobs.insert(
+            position,
+            QueuedJob {
+                priority,
+                cost: cost.max(1),
+                job,
+            },
+        );
+        self.len += 1;
+        self.enqueue_lane(index);
+    }
+
+    /// Re-enqueues a preempted (paused) job at the front of its
+    /// equal-priority peers, ahead of the lane's FIFO tail: a resumed
+    /// search finishes before the tenant's newer jobs start, so pausing
+    /// never reorders one tenant against itself. `cost` should be the
+    /// *remaining* estimated evaluations.
+    pub fn push_resume(
+        &mut self,
+        tenant: &str,
+        policy: &TenantPolicy,
+        priority: u8,
+        cost: u64,
+        job: T,
+    ) {
+        let index = self.lane_index(tenant, policy);
+        let lane = &mut self.lanes[index];
+        let position = lane
+            .jobs
+            .iter()
+            .rposition(|queued| queued.priority > priority)
+            .map_or(0, |p| p + 1);
+        lane.jobs.insert(
+            position,
+            QueuedJob {
+                priority,
+                cost: cost.max(1),
+                job,
+            },
+        );
+        self.len += 1;
+        self.enqueue_lane(index);
+    }
+
+    /// The highest priority among head jobs (`None` when empty) — what
+    /// an arriving job must beat to justify preempting a worker.
+    pub fn top_priority(&self) -> Option<u8> {
+        self.round
+            .iter()
+            .filter_map(|&index| self.lanes[index].jobs.front())
+            .map(|job| job.priority)
+            .max()
+    }
+
+    /// Dequeues the next job under priority-then-DRR order, returning
+    /// the owning tenant with it.
+    pub fn pop(&mut self) -> Option<(String, T)> {
+        let top = self.top_priority()?;
+        loop {
+            let index = *self.round.front().expect("non-empty queue has a round");
+            let head_priority = self.lanes[index]
+                .jobs
+                .front()
+                .expect("lanes in the round are non-empty")
+                .priority;
+            if head_priority < top {
+                // Not competing at this priority: rotate past without
+                // charging or spending deficit.
+                self.round.rotate_left(1);
+                continue;
+            }
+            let lane = &mut self.lanes[index];
+            let cost = lane.jobs.front().expect("checked non-empty").cost;
+            if lane.deficit >= cost {
+                let served = lane.jobs.pop_front().expect("checked non-empty");
+                lane.deficit -= cost;
+                self.len -= 1;
+                if lane.jobs.is_empty() {
+                    // An emptied lane forfeits its deficit (standard
+                    // DRR: deficit only accumulates while backlogged).
+                    lane.deficit = 0;
+                    self.round.retain(|&i| i != index);
+                }
+                // A backlogged lane keeps its turn while its deficit
+                // lasts (no rotation): weight proportionality comes
+                // from serving quantum's worth of jobs per visit, not
+                // one job per visit.
+                return Some((self.lanes[index].tenant.clone(), served.job));
+            }
+            lane.deficit += lane.quantum;
+            self.round.rotate_left(1);
+        }
+    }
+
+    /// Removes and returns every queued job (teardown path), in lane
+    /// order.
+    pub fn drain(&mut self) -> Vec<T> {
+        let mut jobs = Vec::with_capacity(self.len);
+        for lane in &mut self.lanes {
+            lane.deficit = 0;
+            jobs.extend(lane.jobs.drain(..).map(|queued| queued.job));
+        }
+        self.round.clear();
+        self.len = 0;
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn policy_table_parses_partial_json_and_defaults() {
+        let table = TenantPolicyTable::from_json(
+            r#"{
+                "default": { "weight": 2 },
+                "tenants": {
+                    "noisy": { "weight": 1, "evals_per_sec": 50, "burst": 200 },
+                    "gold": { "weight": 8, "priority_ceiling": 10 }
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(table.default_policy().weight, 2);
+        assert_eq!(table.policy_for("unknown").weight, 2);
+        let noisy = table.policy_for("noisy");
+        assert_eq!(noisy.weight, 1);
+        assert_eq!(noisy.evals_per_sec, Some(50.0));
+        assert_eq!(noisy.burst, 200.0);
+        let gold = table.policy_for("gold");
+        assert_eq!(gold.weight, 8);
+        assert_eq!(gold.priority_ceiling, 10);
+        assert_eq!(gold.evals_per_sec, None, "unmetered unless configured");
+        assert_eq!(
+            table.configured_tenants().collect::<Vec<_>>(),
+            vec!["noisy", "gold"]
+        );
+
+        let empty = TenantPolicyTable::from_json("{}").unwrap();
+        assert_eq!(empty, TenantPolicyTable::default());
+    }
+
+    #[test]
+    fn policy_table_round_trips_and_rejects_malformed_fields() {
+        let mut table = TenantPolicyTable::with_default(TenantPolicy {
+            weight: 3,
+            ..TenantPolicy::default()
+        });
+        table.insert(
+            "metered",
+            TenantPolicy {
+                weight: 2,
+                priority_ceiling: 4,
+                evals_per_sec: Some(10.0),
+                burst: 64.0,
+            },
+        );
+        let json = serde_json::to_string(&table).unwrap();
+        assert_eq!(TenantPolicyTable::from_json(&json).unwrap(), table);
+
+        assert!(TenantPolicyTable::from_json("[]").is_err());
+        let error =
+            TenantPolicyTable::from_json(r#"{"tenants": {"x": {"weight": 0}}}"#).unwrap_err();
+        assert!(error.contains("tenant `x`"), "{error}");
+        assert!(
+            TenantPolicyTable::from_json(r#"{"default": {"evals_per_sec": -1}}"#).is_err(),
+            "non-positive refill rates must be rejected"
+        );
+    }
+
+    #[test]
+    fn priority_is_clamped_to_the_ceiling() {
+        let policy = TenantPolicy {
+            priority_ceiling: 3,
+            ..TenantPolicy::default()
+        };
+        assert_eq!(policy.effective_priority(None), 0);
+        assert_eq!(policy.effective_priority(Some(2)), 2);
+        assert_eq!(policy.effective_priority(Some(200)), 3);
+    }
+
+    #[test]
+    fn token_bucket_admits_debits_and_hints_retry() {
+        let start = Instant::now();
+        let mut bucket = TokenBucket::new(100.0, 50.0, start);
+        assert_eq!(bucket.balance(start), 50.0, "buckets start full");
+        bucket.admit(start).unwrap();
+        // The debit is the actual spend and may overdraw the bucket.
+        bucket.debit(80, start);
+        assert_eq!(bucket.balance(start), -30.0);
+        let retry = bucket.admit(start).unwrap_err();
+        // 31 tokens short at 100/s → 310 ms.
+        assert_eq!(retry, 310);
+        // After the hinted wait the bucket admits again.
+        let later = start + Duration::from_millis(retry);
+        bucket.admit(later).unwrap();
+        // Refill is capped at the burst.
+        let much_later = start + Duration::from_secs(3600);
+        assert_eq!(bucket.balance(much_later), 50.0);
+    }
+
+    #[test]
+    fn unmetered_policies_have_no_bucket() {
+        let now = Instant::now();
+        assert!(TokenBucket::for_policy(&TenantPolicy::default(), now).is_none());
+        let metered = TenantPolicy {
+            evals_per_sec: Some(5.0),
+            ..TenantPolicy::default()
+        };
+        assert!(TokenBucket::for_policy(&metered, now).is_some());
+    }
+
+    #[test]
+    fn single_lane_degenerates_to_fifo() {
+        let policy = TenantPolicy::default();
+        let mut queue = DrrQueue::new();
+        for job in 0..5 {
+            queue.push(DEFAULT_TENANT, &policy, DEFAULT_PRIORITY, 480, job);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| queue.pop().map(|(_, job)| job)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn drr_serves_tenants_in_proportion_to_weight() {
+        let light = TenantPolicy::default();
+        let heavy = TenantPolicy {
+            weight: 3,
+            ..TenantPolicy::default()
+        };
+        let mut queue = DrrQueue::new();
+        for job in 0..12 {
+            queue.push("heavy", &heavy, DEFAULT_PRIORITY, QUANTUM_PER_WEIGHT, job);
+        }
+        for job in 100..104 {
+            queue.push("light", &light, DEFAULT_PRIORITY, QUANTUM_PER_WEIGHT, job);
+        }
+        // Serve the combined backlog; count the heavy tenant's share of
+        // the first 8 pops (while both lanes stay backlogged).
+        let mut heavy_share = 0;
+        for _ in 0..8 {
+            let (tenant, _) = queue.pop().unwrap();
+            if tenant == "heavy" {
+                heavy_share += 1;
+            }
+        }
+        assert_eq!(
+            heavy_share, 6,
+            "weight 3 vs 1 must serve 3 of every 4 jobs at equal cost"
+        );
+        // The light tenant is never starved: its jobs surface among the
+        // first pops, not after the heavy backlog drains.
+        assert!(queue.tenant_depth("light") < 4);
+    }
+
+    #[test]
+    fn a_weight_1_tenant_is_never_starved_by_a_flood() {
+        let light = TenantPolicy::default();
+        let flood = TenantPolicy {
+            weight: 8,
+            ..TenantPolicy::default()
+        };
+        let mut queue = DrrQueue::new();
+        for job in 0..200 {
+            queue.push("flood", &flood, DEFAULT_PRIORITY, 480, job);
+        }
+        queue.push("victim", &light, DEFAULT_PRIORITY, 480, 999);
+        let position = std::iter::from_fn(|| queue.pop())
+            .position(|(tenant, _)| tenant == "victim")
+            .unwrap();
+        assert!(
+            position <= 20,
+            "weight-1 job served at pop {position}, starved behind the flood"
+        );
+    }
+
+    #[test]
+    fn higher_priority_jobs_cut_across_lanes_and_within_them() {
+        let policy = TenantPolicy::default();
+        let mut queue = DrrQueue::new();
+        queue.push("a", &policy, 0, 100, "a-low");
+        queue.push("b", &policy, 0, 100, "b-low");
+        queue.push("b", &policy, 5, 100, "b-high");
+        assert_eq!(queue.top_priority(), Some(5));
+        // Within lane b the priority-5 job jumped its earlier peer, and
+        // across lanes it is served before every priority-0 head.
+        let (tenant, job) = queue.pop().unwrap();
+        assert_eq!((tenant.as_str(), job), ("b", "b-high"));
+        let (_, job) = queue.pop().unwrap();
+        assert!(job == "a-low" || job == "b-low");
+    }
+
+    #[test]
+    fn resumed_jobs_precede_their_tenants_fifo_tail() {
+        let policy = TenantPolicy::default();
+        let mut queue = DrrQueue::new();
+        queue.push("t", &policy, 0, 100, "queued-1");
+        queue.push("t", &policy, 0, 100, "queued-2");
+        queue.push_resume("t", &policy, 0, 40, "resumed");
+        let order: Vec<&str> = std::iter::from_fn(|| queue.pop().map(|(_, job)| job)).collect();
+        assert_eq!(order, vec!["resumed", "queued-1", "queued-2"]);
+    }
+
+    #[test]
+    fn drain_empties_every_lane() {
+        let policy = TenantPolicy::default();
+        let mut queue = DrrQueue::new();
+        queue.push("a", &policy, 0, 10, 1);
+        queue.push("b", &policy, 3, 10, 2);
+        queue.push("a", &policy, 0, 10, 3);
+        let mut drained = queue.drain();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 2, 3]);
+        assert!(queue.is_empty());
+        assert_eq!(queue.pop(), None);
+    }
+}

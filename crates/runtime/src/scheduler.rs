@@ -157,20 +157,25 @@ pub struct BatchReport {
 }
 
 /// The answer-determining content of a request: everything except the
-/// thread count, which never changes results, and the deadline, which
+/// thread count, which never changes results, the deadline, which
 /// bounds *when* the answer arrives but not what a completed search
 /// returns — so a deadlined request coalesces with (and replays the
 /// cached response of) its undeadlined twin, and a coalesced follower's
-/// tighter deadline never truncates the leader's search. A zero thread
-/// count is invalid rather than answer-neutral, so it is kept distinct —
-/// an invalid request must not donate its error to (or steal a front
-/// from) valid duplicates. (The pipeline's batch-level Normalize stage.)
+/// tighter deadline never truncates the leader's search — and the
+/// tenant/priority pair, which steers scheduling and budget accounting
+/// but never the front, so two tenants asking the same question share
+/// one search. A zero thread count is invalid rather than
+/// answer-neutral, so it is kept distinct — an invalid request must not
+/// donate its error to (or steal a front from) valid duplicates. (The
+/// pipeline's batch-level Normalize stage.)
 pub(crate) fn normalized_for_coalescing(request: &MappingRequest) -> MappingRequest {
     let mut normalized = request.clone();
     if normalized.threads != Some(0) {
         normalized.threads = None;
     }
     normalized.deadline_ms = None;
+    normalized.tenant = None;
+    normalized.priority = None;
     normalized
 }
 
@@ -226,6 +231,11 @@ mod tests {
             coalescing_key(&base.clone().deadline_ms(50)),
             coalescing_key(&base),
             "deadline bounds arrival time, not answer content"
+        );
+        assert_eq!(
+            coalescing_key(&base.clone().tenant("acme").priority(5)),
+            coalescing_key(&base),
+            "tenant and priority steer scheduling, not answer content"
         );
         assert_ne!(
             coalescing_key(&base.clone().seed(7)),

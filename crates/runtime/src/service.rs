@@ -20,7 +20,7 @@ use crate::error::RuntimeError;
 use crate::pipeline::{PipelineStats, RequestPipeline, StageMicros};
 use crate::registry::ModelRegistry;
 use crate::response_cache::{ResponseCache, ResponseCacheStats, DEFAULT_RESPONSE_CACHE_ENTRIES};
-use crate::telemetry::{ServiceTelemetry, ServingMetrics, TelemetryConfig};
+use crate::telemetry::{ServiceTelemetry, ServingMetrics, TelemetryConfig, TenantMetrics};
 use crate::warmstart::{EliteArchive, SurrogateRanker};
 use mnc_core::{
     fingerprint_serialized, Constraints, Evaluator, EvaluatorBuilder, ObjectiveWeights,
@@ -141,6 +141,21 @@ pub struct MappingRequest {
     /// while a warm-started response additionally depends on what the
     /// service answered before.
     pub warm_start: bool,
+    /// The tenant submitting this request (`None` = the anonymous
+    /// default tenant). Identity only: the answer content is
+    /// tenant-independent, so the tenant is normalised out of
+    /// coalescing and response-cache keys — it matters to the serving
+    /// layer's scheduler (weighted-fair queueing, token-bucket budgets)
+    /// and per-tenant metrics, never to the front.
+    pub tenant: Option<String>,
+    /// Requested scheduling priority, higher = more urgent (`None` =
+    /// the default, 0). The serving layer clamps it to the tenant's
+    /// configured ceiling; a higher-priority arrival may preempt a
+    /// running lower-priority search at its next generation boundary
+    /// (the paused search later resumes bit-identically). Like
+    /// [`MappingRequest::tenant`], priority never affects answer
+    /// content.
+    pub priority: Option<u8>,
 }
 
 impl MappingRequest {
@@ -162,6 +177,8 @@ impl MappingRequest {
             threads: None,
             deadline_ms: None,
             warm_start: false,
+            tenant: None,
+            priority: None,
         }
     }
 
@@ -243,6 +260,23 @@ impl MappingRequest {
     #[must_use]
     pub fn deadline_ms(mut self, deadline_ms: u64) -> Self {
         self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Names the tenant submitting this request. See
+    /// [`MappingRequest::tenant`].
+    #[must_use]
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Requests a scheduling priority (higher = more urgent; clamped to
+    /// the tenant's configured ceiling by the serving layer). See
+    /// [`MappingRequest::priority`].
+    #[must_use]
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = Some(priority);
         self
     }
 
@@ -590,6 +624,16 @@ impl MappingService {
     /// [`MappingService::pipeline_stats`].
     pub fn serving_metrics(&self) -> ServingMetrics {
         self.telemetry.serving.clone()
+    }
+
+    /// The labeled per-tenant metric handles for `tenant`, minted on
+    /// first use. Repeated calls for one tenant return clones of the
+    /// same atomics, so a serving layer caches one [`TenantMetrics`]
+    /// per tenant and drives plain atomics on its hot path. The values
+    /// appear in [`MappingService::metrics_snapshot`] and
+    /// [`MappingService::prometheus_text`] with a `tenant="…"` label.
+    pub fn tenant_metrics(&self, tenant: &str) -> TenantMetrics {
+        self.telemetry.tenant_metrics(tenant)
     }
 
     /// The staged request pipeline over this service — the single serving
@@ -962,7 +1006,9 @@ mod tests {
         let request = small_request()
             .max_evaluations(100)
             .threads(2)
-            .deadline_ms(250);
+            .deadline_ms(250)
+            .tenant("acme")
+            .priority(3);
         let json = serde_json::to_string(&request).unwrap();
         let back: MappingRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(request, back);

@@ -54,6 +54,38 @@ pub struct ServingMetrics {
     pub search_cancellations: Arc<Counter>,
 }
 
+/// Per-tenant serving metric handles, every one labeled
+/// `tenant="<name>"` in the Prometheus exposition. Handed out
+/// create-on-first-use by
+/// [`MappingService::tenant_metrics`] — the registry returns the same
+/// underlying atomics for the same tenant, so a serving layer may
+/// fetch them once per tenant and cache the clones.
+///
+/// [`MappingService::tenant_metrics`]: crate::service::MappingService::tenant_metrics
+#[derive(Debug, Clone)]
+pub struct TenantMetrics {
+    /// Requests admitted past QoS admission control
+    /// (`mnc_tenant_admitted_total`).
+    pub admitted: Arc<Counter>,
+    /// Requests shed for this tenant — queue overflow under
+    /// weighted-fair queueing (`mnc_tenant_shed_total`).
+    pub shed: Arc<Counter>,
+    /// Running searches of this tenant paused so a higher-priority
+    /// arrival could take the worker
+    /// (`mnc_tenant_preemptions_total`).
+    pub preemptions: Arc<Counter>,
+    /// Requests answered `BudgetExhausted` because the tenant's token
+    /// bucket ran dry (`mnc_tenant_budget_exhausted_total`).
+    pub budget_exhausted: Arc<Counter>,
+    /// Current evaluation-token balance (negative while paying off an
+    /// overdraft; unmetered tenants never set it)
+    /// (`mnc_tenant_tokens`).
+    pub tokens: Arc<Gauge>,
+    /// Requests queued in this tenant's DRR lane
+    /// (`mnc_tenant_queue_depth`).
+    pub queue_depth: Arc<Gauge>,
+}
+
 /// How much observability the service records. Histograms and lifetime
 /// counters are always on (they replace the former ad-hoc totals at the
 /// same per-request cost); the knobs govern the trace ring and the
@@ -211,6 +243,29 @@ impl ServiceTelemetry {
         &self.traces
     }
 
+    /// Mints (or re-fetches) the labeled per-tenant metric handles for
+    /// `tenant`. The registry deduplicates by (name, label) key, so
+    /// calling this twice for one tenant returns clones of the same
+    /// atomics.
+    pub(crate) fn tenant_metrics(&self, tenant: &str) -> TenantMetrics {
+        let counter = |name: &str| {
+            self.registry
+                .counter(MetricKey::labeled(name, "tenant", tenant))
+        };
+        let gauge = |name: &str| {
+            self.registry
+                .gauge(MetricKey::labeled(name, "tenant", tenant))
+        };
+        TenantMetrics {
+            admitted: counter("mnc_tenant_admitted_total"),
+            shed: counter("mnc_tenant_shed_total"),
+            preemptions: counter("mnc_tenant_preemptions_total"),
+            budget_exhausted: counter("mnc_tenant_budget_exhausted_total"),
+            tokens: gauge("mnc_tenant_tokens"),
+            queue_depth: gauge("mnc_tenant_queue_depth"),
+        }
+    }
+
     /// The legacy counter view, derived from the registry: `entered` is
     /// the stage histogram's count (every entry records a duration,
     /// errors included), `busy_micros` its nanosecond sum.
@@ -312,6 +367,40 @@ mod tests {
         assert_eq!(stats.stage(PipelineStage::Search).busy_micros, 4);
         assert_eq!(stats.requests, 1);
         assert_eq!(stats.stage(PipelineStage::Normalize).entered, 0);
+    }
+
+    #[test]
+    fn tenant_metrics_share_atomics_per_tenant_and_label_the_snapshot() {
+        let telemetry = ServiceTelemetry::new(TelemetryConfig::default());
+        let acme = telemetry.tenant_metrics("acme");
+        acme.shed.inc();
+        // A second mint for the same tenant sees the same counters…
+        telemetry.tenant_metrics("acme").shed.inc();
+        assert_eq!(acme.shed.value(), 2);
+        // …while another tenant gets its own.
+        let other = telemetry.tenant_metrics("other");
+        other.shed.inc();
+        assert_eq!(acme.shed.value(), 2);
+        acme.tokens.set(12.0);
+
+        let snapshot = telemetry.metrics_snapshot();
+        assert_eq!(
+            snapshot.labeled_counter_value("mnc_tenant_shed_total", "tenant", "acme"),
+            Some(2)
+        );
+        assert_eq!(
+            snapshot.labeled_counter_value("mnc_tenant_shed_total", "tenant", "other"),
+            Some(1)
+        );
+        let wanted = MetricKey::labeled("mnc_tenant_tokens", "tenant", "acme");
+        assert_eq!(
+            snapshot
+                .gauges
+                .iter()
+                .find(|sample| sample.key == wanted)
+                .map(|sample| sample.value),
+            Some(12.0)
+        );
     }
 
     #[test]

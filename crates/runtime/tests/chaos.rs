@@ -5,12 +5,6 @@
 
 use mnc_runtime::{ArchiveLoad, FaultPlan, MappingRequest, MappingService};
 use std::path::PathBuf;
-use std::sync::Mutex;
-
-/// Serializes tests in this binary: the fault plan is process-global, so
-/// a test that arms a fault must not overlap another test's
-/// `save_archive` call on a sibling thread.
-static FAULT_LOCK: Mutex<()> = Mutex::new(());
 
 fn temp_file(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("mnc_chaos_test_{tag}_{}.json", std::process::id()))
@@ -31,7 +25,7 @@ fn request(seed: u64) -> MappingRequest {
 /// snapshot/restore cycle is whole again.
 #[test]
 fn torn_snapshot_write_quarantines_and_restarts_cold_but_healthy() {
-    let _guard = FAULT_LOCK.lock().unwrap();
+    let _guard = FaultPlan::guard();
     let path = temp_file("torn");
     let quarantined = PathBuf::from(format!("{}.corrupt", path.display()));
 
@@ -42,7 +36,6 @@ fn torn_snapshot_write_quarantines_and_restarts_cold_but_healthy() {
     FaultPlan::arm_snapshot_truncation(16);
     let written = service.save_archive(&path).unwrap();
     assert!(written > 0, "the write itself reports success");
-    FaultPlan::disarm_all();
     let on_disk = std::fs::read_to_string(&path).unwrap();
     assert!(on_disk.len() <= 16, "the snapshot really is torn");
 
@@ -98,7 +91,7 @@ fn missing_snapshot_is_a_cold_start() {
 /// one rename — older intact snapshots are never half-overwritten.
 #[test]
 fn snapshot_write_is_atomic_and_leaves_no_temp_residue() {
-    let _guard = FAULT_LOCK.lock().unwrap();
+    let _guard = FaultPlan::guard();
     let path = temp_file("atomic");
     let tmp = PathBuf::from(format!("{}.tmp", path.display()));
 

@@ -25,6 +25,10 @@
 //!    an unparseable frame header (answered structurally before the
 //!    close), and a stalled half-written frame that must not block other
 //!    connections.
+//! 6. **Preemption under fault**: a high-priority request preempts a
+//!    running low-priority search, then dies to an injected evaluator
+//!    panic — the panic answers `Internal`, the paused search resumes
+//!    and answers, and no pause state leaks into later requests.
 //!
 //! ```text
 //! cargo run --release -p mnc-server --bin chaos_smoke -- --smoke --json results/chaos_smoke.json
@@ -58,6 +62,7 @@ struct ChaosReport {
     deadline_misses: u64,
     partial_responses: u64,
     search_cancellations: u64,
+    preemptions: u64,
 }
 
 /// A small request that completes quickly (the recovery probe).
@@ -299,6 +304,127 @@ fn socket_faults(addr: SocketAddr, client: &mut WireClient, scenarios: &mut Vec<
     });
 }
 
+/// Scenario 6: an injected panic in a *preempting* high-priority search
+/// must not take the paused low-priority search down with it.
+///
+/// On a one-worker reactor a long low-priority search is preempted by a
+/// high-priority one; once the victim is parked (requeued, no longer
+/// evaluating) the next evaluation belongs to the preemptor, so arming
+/// a one-shot eval panic then kills exactly the high-priority search.
+/// The contract: the preemptor answers a structured `Internal`, the
+/// paused search resumes and answers its (partial) front, and the
+/// server afterwards serves fresh requests with no leaked pause state.
+fn preemption_under_fault(scenarios: &mut Vec<Scenario>) -> u64 {
+    let server = ReactorServer::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        },
+        ReactorConfig {
+            search_workers: 1,
+            ..ReactorConfig::default()
+        },
+    )
+    .expect("one-worker reactor binds");
+    let handle = server.spawn().expect("one-worker reactor spawns");
+    let addr = handle.addr();
+
+    let submit_frame = |id: u64, request: MappingRequest| {
+        let text = mnc_wire::encode_request(&mnc_wire::WireRequest::new(
+            id,
+            mnc_wire::WireBody::Submit(Box::new(request)),
+        ))
+        .expect("request encodes");
+        format!("{}\n{text}", text.len())
+    };
+
+    let stream = TcpStream::connect(addr).expect("raw connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("writer clone");
+    let mut reader = std::io::BufReader::new(stream);
+
+    // The victim: a deadline-bounded heavy search on the only worker.
+    let victim = heavy(601).deadline_ms(4_000).tenant("batch");
+    writer
+        .write_all(submit_frame(1, victim).as_bytes())
+        .expect("victim submitted");
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The preemptor: higher priority, long enough to still be running
+    // when the panic is armed below.
+    let preemptor = heavy(602).deadline_ms(8_000).priority(9).tenant("urgent");
+    writer
+        .write_all(submit_frame(2, preemptor).as_bytes())
+        .expect("preemptor submitted");
+
+    // Wait until the preemption has actually fired, then give the
+    // victim time to reach its generation boundary and park. From that
+    // point the only thread evaluating is the preemptor's.
+    let mut observer = WireClient::connect(addr).expect("observer connects");
+    let preempt_deadline = Instant::now() + Duration::from_secs(5);
+    let preemptions = loop {
+        let snapshot = observer.metrics().expect("metrics").metrics;
+        if let Some(count) =
+            snapshot.labeled_counter_value("mnc_tenant_preemptions_total", "tenant", "batch")
+        {
+            if count >= 1 {
+                break count;
+            }
+        }
+        assert!(
+            Instant::now() < preempt_deadline,
+            "high-priority arrival never preempted the running search"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    std::thread::sleep(Duration::from_millis(300));
+    FaultPlan::arm_eval_panic(1);
+
+    // The preemptor dies to the panic and answers first, structurally;
+    // the resumed victim answers its partial front at its deadline.
+    let mut answers = std::collections::HashMap::new();
+    for _ in 0..2 {
+        let text = mnc_wire::frame::read_frame(&mut reader)
+            .expect("read frame")
+            .expect("both searches answered");
+        let response = mnc_wire::decode_response(&text).expect("response decodes");
+        answers.insert(response.id, response.outcome.into_result());
+    }
+    match answers.remove(&2).expect("preemptor answered") {
+        Err(error) => {
+            assert_eq!(error.code, ErrorCode::Internal, "panic answers Internal");
+            assert!(error.message.contains("panic"), "{}", error.message);
+        }
+        Ok(_) => panic!("preemptor succeeded through an armed panic"),
+    }
+    match answers.remove(&1).expect("victim answered") {
+        Ok(mnc_wire::WirePayload::Front(response)) => {
+            assert!(
+                !response.pareto_front.is_empty(),
+                "resumed search answered an empty front"
+            );
+        }
+        other => panic!("resumed victim answered {other:?}"),
+    }
+
+    // No leaked pause state: a fresh submit runs to completion.
+    let recovered = observer
+        .submit(&quick(603))
+        .expect("server serves after the faulted preemption");
+    assert!(!recovered.pareto_front.is_empty());
+    observer.shutdown().expect("shutdown");
+    handle.join().expect("one-worker reactor stopped cleanly");
+
+    scenarios.push(Scenario {
+        name: "preemption_under_fault".to_string(),
+        detail: format!(
+            "{preemptions} preemption(s); panicking preemptor answered Internal, \
+             paused search resumed and answered"
+        ),
+    });
+    preemptions
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|arg| arg == "--smoke");
@@ -334,6 +460,8 @@ fn main() {
 
     watchdog_caps_runaway_search(&mut scenarios);
     println!("chaos_smoke: watchdog capped a runaway search");
+    let preemptions = preemption_under_fault(&mut scenarios);
+    println!("chaos_smoke: faulted preemptor answered Internal, paused search resumed");
     torn_snapshot_quarantines(&mut scenarios);
     println!("chaos_smoke: torn snapshot quarantined, restart serviceable");
 
@@ -345,6 +473,7 @@ fn main() {
             partial_responses,
             // From the capped reactor's scenario; re-asserted there.
             search_cancellations: 1,
+            preemptions,
         };
         if let Some(parent) = std::path::Path::new(&path).parent() {
             std::fs::create_dir_all(parent).expect("create results dir");

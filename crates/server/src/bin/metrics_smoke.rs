@@ -12,7 +12,10 @@
 //! 2. the latency digests agree with the raw histograms (same counts,
 //!    non-zero medians for stages that did real work);
 //! 3. the Prometheus text parses line by line and its samples agree with
-//!    the JSON snapshot they were rendered from.
+//!    the JSON snapshot they were rendered from;
+//! 4. tenant shed arithmetic: on a zero-depth reactor every shed is
+//!    attributed to its tenant, and the per-tenant `mnc_tenant_shed_total`
+//!    samples sum exactly to the global `mnc_shed_requests_total`.
 //!
 //! ```text
 //! cargo run --release -p mnc-server --bin metrics_smoke -- --json results/metrics_smoke_ci.json
@@ -43,6 +46,7 @@ struct SmokeReport {
     request_p50_micros: f64,
     request_p99_micros: f64,
     prometheus_samples: usize,
+    tenant_sheds: u64,
 }
 
 fn request(seed: u64) -> MappingRequest {
@@ -64,6 +68,78 @@ fn stage_count(snapshot: &mnc_runtime::MetricsSnapshot, stage: &str) -> u64 {
         .labeled_histogram(STAGE_DURATION, "stage", stage)
         .unwrap_or_else(|| panic!("stage histogram for {stage} missing"))
         .count
+}
+
+/// Phase 4: per-tenant shed attribution on a zero-depth reactor.
+/// Returns the summed tenant-labeled shed count for the report.
+fn tenant_shed_arithmetic() -> u64 {
+    let server = mnc_server::ReactorServer::bind(
+        mnc_server::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..mnc_server::ServerConfig::default()
+        },
+        mnc_server::ReactorConfig {
+            queue_depth: 0,
+            ..mnc_server::ReactorConfig::default()
+        },
+    )
+    .expect("zero-depth reactor binds");
+    let handle = server.spawn().expect("zero-depth reactor spawns");
+    let mut client = WireClient::connect(handle.addr()).expect("client connects");
+
+    // A known shed mix: 3 from `alpha`, 2 from `beta`, 1 anonymous
+    // (charged to the `default` tenant). Distinct seeds keep every
+    // submission out of the response cache, so each one is shed.
+    let mix: &[(Option<&str>, u64)] = &[(Some("alpha"), 3), (Some("beta"), 2), (None, 1)];
+    let mut seed = 900;
+    for (tenant, count) in mix {
+        for _ in 0..*count {
+            seed += 1;
+            let mut shed_me = request(seed);
+            if let Some(tenant) = tenant {
+                shed_me = shed_me.tenant(*tenant);
+            }
+            match client.submit(&shed_me) {
+                Err(mnc_server::ClientError::Server(error)) => {
+                    assert_eq!(error.code, mnc_wire::ErrorCode::Overloaded);
+                }
+                other => panic!("zero-depth submit gave {other:?}"),
+            }
+        }
+    }
+
+    let metrics = client.metrics().expect("metrics");
+    let samples = parse_prometheus(&metrics.prometheus).expect("prometheus text parses");
+    let tenant_shed = |tenant: &str| {
+        find_sample(&samples, "mnc_tenant_shed_total", &[("tenant", tenant)])
+            .unwrap_or_else(|| panic!("shed counter for tenant {tenant} exposed"))
+            .value
+    };
+    assert_eq!(tenant_shed("alpha"), 3.0, "alpha's sheds attributed");
+    assert_eq!(tenant_shed("beta"), 2.0, "beta's sheds attributed");
+    assert_eq!(tenant_shed("default"), 1.0, "anonymous shed hit `default`");
+
+    let global = find_sample(&samples, "mnc_shed_requests_total", &[])
+        .expect("global shed counter exposed")
+        .value;
+    let attributed: f64 = samples
+        .iter()
+        .filter(|sample| sample.name == "mnc_tenant_shed_total")
+        .map(|sample| sample.value)
+        .sum();
+    assert_eq!(
+        attributed, global,
+        "tenant-labeled sheds must sum to the global shed counter"
+    );
+    assert_eq!(global, 6.0, "the whole mix was shed");
+    println!(
+        "metrics_smoke: tenant shed arithmetic consistent \
+         ({attributed} attributed = {global} global)"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("zero-depth reactor stopped cleanly");
+    attributed as u64
 }
 
 fn main() {
@@ -223,6 +299,13 @@ fn main() {
     client.shutdown().expect("shutdown");
     handle.join().expect("server stopped cleanly");
 
+    // --- 4. tenant shed arithmetic ----------------------------------------
+    // A zero-depth reactor sheds every search; each shed must be charged
+    // to the submitting tenant, and the tenant-labeled counters must sum
+    // exactly to the global shed counter — no shed is ever double-counted
+    // or dropped from attribution.
+    let tenant_sheds = tenant_shed_arithmetic();
+
     if let Some(path) = json_path {
         let report = SmokeReport {
             bench: "metrics_smoke".to_string(),
@@ -238,6 +321,7 @@ fn main() {
             request_p50_micros: metrics.request_latency.p50_micros,
             request_p99_micros: metrics.request_latency.p99_micros,
             prometheus_samples: samples.len(),
+            tenant_sheds,
         };
         if let Some(parent) = std::path::Path::new(&path).parent() {
             std::fs::create_dir_all(parent).expect("create results dir");

@@ -6,7 +6,7 @@
 //!            [--trace-capacity N] [--slow-threshold-micros N]
 //!            [--max-connections N] [--queue-depth N]
 //!            [--inflight-per-conn N] [--workers N]
-//!            [--search-timeout-ms N]
+//!            [--search-timeout-ms N] [--tenant-config FILE]
 //!            [--drain-deadline-ms N] [--legacy-blocking]
 //! mnc-server --metrics [HOST:PORT]       # scrape a running server (Prometheus text)
 //! mnc-server --metrics-json [HOST:PORT]  # scrape a running server (JSON snapshot)
@@ -27,9 +27,13 @@
 //! With `--search-timeout-ms`, a watchdog additionally caps every
 //! search's wall clock: an overrunning search is cancelled at the next
 //! generation boundary and answers with its best-so-far front marked
-//! partial. `--legacy-blocking` selects the original
-//! thread-per-connection server instead (same wire semantics, no
-//! admission control).
+//! partial. With `--tenant-config`, the named JSON file supplies
+//! per-tenant QoS policies (weighted-fair scheduling weight, priority
+//! ceiling, evaluation token-bucket budget) for requests carrying a
+//! `tenant` field — see `TenantPolicyTable::from_json` for the schema.
+//! `--legacy-blocking` selects the original thread-per-connection
+//! server instead (same wire semantics, no admission control and no
+//! tenant QoS).
 //!
 //! `--metrics`/`--metrics-json` turn the binary into a one-shot client:
 //! it connects to the given address (default `127.0.0.1:7477`), issues
@@ -44,7 +48,7 @@ const USAGE: &str = "usage: mnc-server [--addr HOST:PORT] [--archive-dir DIR] \
                      [--max-batch N] [--max-evaluations N] [--max-samples N] \
                      [--trace-capacity N] [--slow-threshold-micros N] \
                      [--max-connections N] [--queue-depth N] [--inflight-per-conn N] \
-                     [--workers N] [--search-timeout-ms N] \
+                     [--workers N] [--search-timeout-ms N] [--tenant-config FILE] \
                      [--drain-deadline-ms N] [--legacy-blocking] | \
                      mnc-server --metrics|--metrics-json [HOST:PORT]";
 
@@ -138,6 +142,13 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--search-timeout-ms must be positive".to_string());
                 }
                 args.reactor.search_timeout = Some(std::time::Duration::from_millis(millis));
+            }
+            "--tenant-config" => {
+                let path = value("--tenant-config")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("--tenant-config: cannot read {path}: {e}"))?;
+                args.reactor.tenants = mnc_runtime::TenantPolicyTable::from_json(&text)
+                    .map_err(|e| format!("--tenant-config: {path}: {e}"))?;
             }
             "--drain-deadline-ms" => {
                 args.drain_deadline_ms = value("--drain-deadline-ms")?

@@ -311,7 +311,7 @@ impl WireClient {
     /// Any [`ClientError`] variant; service-level failures arrive as
     /// [`ClientError::Server`].
     pub fn submit(&mut self, request: &MappingRequest) -> Result<MappingResponse, ClientError> {
-        match self.call(WireBody::Submit(request.clone()))? {
+        match self.call(WireBody::Submit(Box::new(request.clone())))? {
             WirePayload::Front(response) => Ok(response),
             other => Err(unexpected("Front", &other)),
         }

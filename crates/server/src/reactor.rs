@@ -27,6 +27,28 @@
 //! service's metrics registry (`mnc_shed_requests_total`,
 //! `mnc_server_connections`, `mnc_server_queue_depth`).
 //!
+//! **Multi-tenant QoS.** The search queue is not a FIFO but a
+//! [`DrrQueue`]: every tenant (a request's `tenant` field; unnamed
+//! requests share the `"default"` lane) gets deficit-round-robin
+//! service in proportion to its configured weight, so a noisy
+//! neighbour's backlog cannot starve anyone. Across tenants a strictly
+//! higher-priority job is served first, and when every worker is busy a
+//! higher-priority arrival *preempts*: the lowest-priority running
+//! search is asked to pause at its next generation boundary
+//! ([`PauseToken`]), its checkpointed state re-queued ahead of its
+//! tenant's own backlog, and the freed worker picks up the urgent job.
+//! A resumed search answers bit-identically to an uninterrupted one.
+//! Tenants configured with an evaluation budget
+//! ([`TenantPolicy::evals_per_sec`]) are metered by a token bucket:
+//! an exhausted tenant's submissions are answered with a structured
+//! `BudgetExhausted` error carrying a `retry_after_ms` hint — never a
+//! dropped connection — and the debit is the *actual*
+//! `evaluations_performed` of each answered request. Batches ride the
+//! default lane unmetered (they coalesce internally and carry no single
+//! tenant). Per-tenant admission, shed, preemption, budget and
+//! queue-depth series are exported with a `tenant` label
+//! (`mnc_tenant_*`).
+//!
 //! **Deadlines & the watchdog.** A request's `deadline_ms` is stamped
 //! into its ticket by the fast path; a ticket that expires while queued
 //! is answered `DeadlineExceeded` by the slow path without starting a
@@ -56,6 +78,7 @@
 //! [`FastPathOutcome::NeedsSearch`]: mnc_runtime::FastPathOutcome
 //! [`ErrorCode::Overloaded`]: mnc_wire::ErrorCode::Overloaded
 //! [`FrameDecoder`]: mnc_wire::frame::FrameDecoder
+//! [`TenantPolicy::evals_per_sec`]: mnc_runtime::TenantPolicy::evals_per_sec
 
 use crate::poller::{raw_fd, wake_pair, Interest, Poller};
 use crate::{
@@ -63,12 +86,14 @@ use crate::{
     ARCHIVE_FILE_NAME,
 };
 use mnc_runtime::{
-    ArchiveLoad, CancelToken, FastPathOutcome, MappingRequest, MappingService, SearchTicket,
-    ServingMetrics,
+    ArchiveLoad, CancelToken, DrrQueue, FastPathOutcome, MappingRequest, MappingResponse,
+    MappingService, PauseToken, PausedSearch, RuntimeError, SearchTicket, ServingMetrics,
+    SlowPathRun, TenantMetrics, TenantPolicy, TenantPolicyTable, TokenBucket, DEFAULT_PRIORITY,
+    DEFAULT_TENANT,
 };
 use mnc_wire::frame::FrameDecoder;
 use mnc_wire::{WireBody, WireError, WirePayload, WireResponse};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -89,7 +114,7 @@ const TOKEN_FIRST_CONN: u64 = 2;
 const MAX_OUTBUF_BYTES: usize = 16 * 1024 * 1024;
 
 /// Admission-control knobs of the reactor front-end.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ReactorConfig {
     /// Maximum concurrently served connections; further accepts are
     /// answered with a structured `Overloaded` error and closed.
@@ -109,6 +134,11 @@ pub struct ReactorConfig {
     /// pathological request cannot pin a pool thread forever. `None`
     /// leaves searches bounded only by their own request deadlines.
     pub search_timeout: Option<Duration>,
+    /// Per-tenant QoS policies (`--tenant-config`). The default table
+    /// gives every tenant the default policy — weight 1, no priority
+    /// ceiling, no budget — which reduces scheduling to the
+    /// single-tenant FIFO behaviour.
+    pub tenants: TenantPolicyTable,
 }
 
 impl Default for ReactorConfig {
@@ -119,6 +149,7 @@ impl Default for ReactorConfig {
             inflight_per_conn: 64,
             search_workers: 0,
             search_timeout: None,
+            tenants: TenantPolicyTable::default(),
         }
     }
 }
@@ -137,15 +168,59 @@ impl ReactorConfig {
 
 /// What a search worker executes.
 enum JobKind {
-    /// A fast-path miss: redeem the ticket with `slow_path`.
+    /// A fast-path miss: redeem the ticket with the resumable slow
+    /// path.
     Search(Box<SearchTicket>),
+    /// A preempted search, resumed from its checkpoint.
+    Resume(Box<PausedSearch>),
     /// A whole batch through the coalescing scheduler.
     Batch(mnc_wire::WireBatch),
 }
 
 struct Job {
     id: u64,
+    /// The owning tenant's lane in the DRR queue.
+    tenant: String,
+    /// Effective (ceiling-clamped) scheduling priority.
+    priority: u8,
+    /// DRR price: estimated evaluations (remaining, for resumes).
+    cost: u64,
     kind: JobKind,
+}
+
+/// The scheduling identity a job is enqueued under.
+struct Admission {
+    tenant: String,
+    /// Effective (ceiling-clamped) priority.
+    priority: u8,
+    /// Estimated evaluations — the job's DRR price.
+    cost: u64,
+}
+
+/// A request's DRR price: the evaluations its search is expected to
+/// schedule (initial population plus one population per generation),
+/// capped by `max_evaluations`. An estimate is enough — DRR deficits
+/// only need prices to be mutually comparable, and the token-bucket
+/// debit uses the *actual* spend.
+fn estimated_cost(request: &MappingRequest) -> u64 {
+    let evaluations = request
+        .population_size
+        .saturating_mul(request.generations.saturating_add(1));
+    let evaluations = request
+        .max_evaluations
+        .map_or(evaluations, |cap| evaluations.min(cap));
+    evaluations.max(1) as u64
+}
+
+/// What executing one job produced.
+enum JobOutcome {
+    /// The job answered (or failed); deliver the completion. Boxed to
+    /// keep the enum small next to the already-boxed
+    /// [`JobOutcome::Paused`].
+    Finished(Box<Result<WirePayload, WireError>>),
+    /// The search observed its pause token and checkpointed; re-queue
+    /// it (no completion — the pending entry keeps waiting).
+    Paused(Box<PausedSearch>),
 }
 
 /// A finished job, posted by a worker for the reactor to deliver.
@@ -156,18 +231,29 @@ struct Completion {
 
 #[derive(Default)]
 struct QueueState {
-    jobs: VecDeque<Job>,
+    jobs: DrrQueue<Job>,
+    /// Workers currently executing a job — when every worker is busy, a
+    /// higher-priority arrival preempts instead of waiting.
+    busy_workers: usize,
     stopping: bool,
 }
 
-/// A search currently occupying a worker, as the watchdog sees it.
+/// A search currently occupying a worker, as the watchdog (deadlines)
+/// and the reactor (preemption) see it.
 struct RunningSearch {
     cancel: CancelToken,
-    /// When the watchdog flips the token: the earlier of the request's
-    /// own deadline and the per-job wall-clock cap.
-    cancel_at: Instant,
+    /// When the watchdog flips the cancel token: the earlier of the
+    /// request's own deadline and the per-job wall-clock cap (`None`
+    /// when neither applies).
+    cancel_at: Option<Instant>,
     /// Set once cancelled so one overrun is counted (and flipped) once.
     cancelled: bool,
+    /// The search's pause token, for priority preemption.
+    pause: PauseToken,
+    /// Set once preempted so one search is paused (and counted) once.
+    pause_fired: bool,
+    tenant: String,
+    priority: u8,
 }
 
 /// State shared between the reactor thread, the worker pool and
@@ -184,8 +270,13 @@ struct ReactorShared {
     metrics: ServingMetrics,
     /// Per-job wall-clock cap (see [`ReactorConfig::search_timeout`]).
     search_timeout: Option<Duration>,
-    /// Searches currently on worker threads, scanned by the watchdog.
+    /// Searches currently on worker threads, scanned by the watchdog
+    /// and by the reactor's preemption check.
     running: Mutex<HashMap<u64, RunningSearch>>,
+    /// Per-tenant QoS policies.
+    tenants: TenantPolicyTable,
+    /// Search-pool size, for the all-workers-busy preemption check.
+    workers: usize,
 }
 
 impl ReactorShared {
@@ -200,8 +291,10 @@ impl ReactorShared {
     }
 }
 
-/// One worker: pop a job, run it outside every reactor data structure,
-/// post the completion, wake the reactor.
+/// One worker: pop a job under priority-then-DRR order, run it outside
+/// every reactor data structure, then either post the completion (and
+/// wake the reactor) or — when the search was preempted — re-queue the
+/// paused state ahead of its tenant's backlog.
 fn worker_loop(shared: &ReactorShared) {
     loop {
         let job = {
@@ -210,8 +303,17 @@ fn worker_loop(shared: &ReactorShared) {
                 if state.stopping {
                     return;
                 }
-                if let Some(job) = state.jobs.pop_front() {
+                if let Some((tenant, job)) = state.jobs.pop() {
+                    state.busy_workers += 1;
                     shared.metrics.queue_depth.set(state.jobs.len() as f64);
+                    let depth = state.jobs.tenant_depth(&tenant) as f64;
+                    drop(state);
+                    shared
+                        .dispatcher
+                        .service()
+                        .tenant_metrics(&tenant)
+                        .queue_depth
+                        .set(depth);
                     break job;
                 }
                 state = shared
@@ -220,57 +322,142 @@ fn worker_loop(shared: &ReactorShared) {
                     .expect("work queue lock never poisoned");
             }
         };
-        let watched = register_with_watchdog(shared, &job);
-        let result = execute(&shared.dispatcher, job.kind);
+        let Job {
+            id,
+            tenant,
+            priority,
+            cost,
+            kind,
+        } = job;
+        let pause = register_running(shared, id, &tenant, priority, &kind);
+        let watched = pause.is_some();
+        let outcome = execute(&shared.dispatcher, kind, pause);
         if watched {
             shared
                 .running
                 .lock()
                 .expect("running-search registry lock never poisoned")
-                .remove(&job.id);
+                .remove(&id);
         }
-        shared
-            .completions
-            .lock()
-            .expect("completion list lock never poisoned")
-            .push(Completion {
-                job_id: job.id,
-                result,
-            });
-        shared.wake();
+        match outcome {
+            JobOutcome::Finished(result) => {
+                release_worker(shared);
+                shared
+                    .completions
+                    .lock()
+                    .expect("completion list lock never poisoned")
+                    .push(Completion {
+                        job_id: id,
+                        result: *result,
+                    });
+                shared.wake();
+            }
+            JobOutcome::Paused(paused) => {
+                requeue_paused(shared, id, tenant, priority, cost, paused);
+            }
+        }
     }
 }
 
-/// Enters a just-popped search into the watchdog's registry when it has
-/// anything to enforce (a request deadline, a per-job cap, or both).
-/// Returns whether an entry was made. Batches are not watched: they
-/// coalesce internally and carry no single cancel token.
-fn register_with_watchdog(shared: &ReactorShared, job: &Job) -> bool {
-    let JobKind::Search(ticket) = &job.kind else {
-        return false;
+/// Marks one worker idle again.
+fn release_worker(shared: &ReactorShared) {
+    let mut state = shared.queue.lock().expect("work queue lock never poisoned");
+    state.busy_workers = state.busy_workers.saturating_sub(1);
+}
+
+/// Puts a preempted search back in its tenant's lane, ahead of the
+/// lane's FIFO tail, priced at its *remaining* estimated evaluations.
+/// No completion is posted — the reactor's pending entry (and every
+/// coalesced waiter on it) keeps waiting for the resumed answer.
+fn requeue_paused(
+    shared: &ReactorShared,
+    id: u64,
+    tenant: String,
+    priority: u8,
+    cost: u64,
+    paused: Box<PausedSearch>,
+) {
+    let remaining = cost
+        .saturating_sub(paused.evaluations_performed() as u64)
+        .max(1);
+    let policy = shared.tenants.policy_for(&tenant).clone();
+    let metrics = shared.dispatcher.service().tenant_metrics(&tenant);
+    let (depth, total) = {
+        let mut state = shared.queue.lock().expect("work queue lock never poisoned");
+        state.busy_workers = state.busy_workers.saturating_sub(1);
+        if state.stopping {
+            // Teardown raced the pause: drop the checkpoint, the drain
+            // deadline has spoken.
+            return;
+        }
+        state.jobs.push_resume(
+            &tenant,
+            &policy,
+            priority,
+            remaining,
+            Job {
+                id,
+                tenant: tenant.clone(),
+                priority,
+                cost: remaining,
+                kind: JobKind::Resume(paused),
+            },
+        );
+        (state.jobs.tenant_depth(&tenant), state.jobs.len())
+    };
+    shared.metrics.queue_depth.set(total as f64);
+    metrics.queue_depth.set(depth as f64);
+    shared.available.notify_one();
+}
+
+/// Enters a just-popped search into the running-search registry, which
+/// both the watchdog (deadline/timeout cancellation) and the reactor's
+/// preemption check scan. Returns the pause token the search must run
+/// under (`None` for batches, which coalesce internally and carry
+/// neither a single cancel token nor a resumable checkpoint).
+fn register_running(
+    shared: &ReactorShared,
+    id: u64,
+    tenant: &str,
+    priority: u8,
+    kind: &JobKind,
+) -> Option<PauseToken> {
+    let (cancel, pause, deadline) = match kind {
+        JobKind::Search(ticket) => (ticket.cancel_token(), PauseToken::new(), ticket.deadline()),
+        // A resumed search keeps its original tokens: the pipeline
+        // clears the pause flag on resume, and a later preemption
+        // re-fires the same token.
+        JobKind::Resume(paused) => (
+            paused.cancel_token(),
+            paused.pause_token(),
+            paused.deadline(),
+        ),
+        JobKind::Batch(_) => return None,
     };
     let cap = shared
         .search_timeout
         .map(|timeout| Instant::now() + timeout);
-    let cancel_at = match (ticket.deadline(), cap) {
-        (Some(deadline), Some(cap)) => deadline.min(cap),
-        (Some(deadline), None) => deadline,
-        (None, Some(cap)) => cap,
-        (None, None) => return false,
+    let cancel_at = match (deadline, cap) {
+        (Some(deadline), Some(cap)) => Some(deadline.min(cap)),
+        (deadline, cap) => deadline.or(cap),
     };
     shared
         .running
         .lock()
         .expect("running-search registry lock never poisoned")
         .insert(
-            job.id,
+            id,
             RunningSearch {
-                cancel: ticket.cancel_token(),
+                cancel,
                 cancel_at,
                 cancelled: false,
+                pause: pause.clone(),
+                pause_fired: false,
+                tenant: tenant.to_string(),
+                priority,
             },
         );
-    true
+    Some(pause)
 }
 
 /// How often the watchdog scans the running-search registry. Bounds how
@@ -298,7 +485,7 @@ fn watchdog_loop(shared: &ReactorShared) {
                 .expect("running-search registry lock never poisoned");
             let now = Instant::now();
             for entry in running.values_mut() {
-                if !entry.cancelled && now >= entry.cancel_at {
+                if !entry.cancelled && entry.cancel_at.is_some_and(|cancel_at| now >= cancel_at) {
                     entry.cancel.cancel();
                     entry.cancelled = true;
                     shared.metrics.search_cancellations.inc();
@@ -310,19 +497,34 @@ fn watchdog_loop(shared: &ReactorShared) {
 }
 
 /// Runs one job, converting a panic into a structured Internal error —
-/// a poisoned request must never take a pool thread down.
-fn execute(dispatcher: &Dispatcher, kind: JobKind) -> Result<WirePayload, WireError> {
+/// a poisoned request must never take a pool thread down. Searches run
+/// the resumable slow path under `pause` so preemption can checkpoint
+/// them at a generation boundary.
+fn execute(dispatcher: &Dispatcher, kind: JobKind, pause: Option<PauseToken>) -> JobOutcome {
+    let finished = |result: Result<MappingResponse, RuntimeError>| match result {
+        Ok(response) => JobOutcome::Finished(Box::new(Ok(WirePayload::Front(response)))),
+        Err(error) => JobOutcome::Finished(Box::new(Err(WireError::from(&error)))),
+    };
     match catch_unwind(AssertUnwindSafe(|| match kind {
-        JobKind::Search(ticket) => dispatcher
-            .service()
-            .pipeline()
-            .slow_path(*ticket)
-            .map(WirePayload::Front)
-            .map_err(WireError::from),
-        JobKind::Batch(batch) => dispatcher.submit_batch(batch),
+        JobKind::Search(ticket) => {
+            let pause = pause.expect("searches are registered with a pause token");
+            match dispatcher
+                .service()
+                .pipeline()
+                .slow_path_resumable(*ticket, pause)
+            {
+                SlowPathRun::Done(result) => finished(*result),
+                SlowPathRun::Paused(paused) => JobOutcome::Paused(paused),
+            }
+        }
+        JobKind::Resume(paused) => match dispatcher.service().pipeline().resume(paused) {
+            SlowPathRun::Done(result) => finished(*result),
+            SlowPathRun::Paused(paused) => JobOutcome::Paused(paused),
+        },
+        JobKind::Batch(batch) => JobOutcome::Finished(Box::new(dispatcher.submit_batch(batch))),
     })) {
-        Ok(result) => result,
-        Err(panic) => Err(panic_error(panic)),
+        Ok(outcome) => outcome,
+        Err(panic) => JobOutcome::Finished(Box::new(Err(panic_error(panic)))),
     }
 }
 
@@ -365,6 +567,9 @@ struct PendingJob {
     /// Stored normalized request, confirming fingerprint matches on
     /// coalescing joins (a collision must run its own search).
     normalized: Option<MappingRequest>,
+    /// The submitting tenant (searches only) — the bucket its actual
+    /// evaluation spend is debited from at completion.
+    tenant: Option<String>,
 }
 
 /// A bound (but not yet serving) reactor front-end over one
@@ -418,6 +623,8 @@ impl ReactorServer {
             metrics,
             search_timeout: reactor.search_timeout,
             running: Mutex::new(HashMap::new()),
+            tenants: reactor.tenants.clone(),
+            workers: reactor.resolved_workers(),
         });
         Ok(ReactorServer {
             listener,
@@ -461,7 +668,7 @@ impl ReactorServer {
         poller.register(raw_fd(&self.listener), TOKEN_LISTENER, Interest::READABLE)?;
         poller.register(raw_fd(&self.wake_receiver), TOKEN_WAKE, Interest::READABLE)?;
 
-        let workers: Vec<_> = (0..self.config.resolved_workers())
+        let workers: Vec<_> = (0..self.shared.workers)
             .map(|_| {
                 let shared = Arc::clone(&self.shared);
                 std::thread::spawn(move || worker_loop(&shared))
@@ -478,6 +685,8 @@ impl ReactorServer {
             conns: HashMap::new(),
             pending: HashMap::new(),
             inflight_index: HashMap::new(),
+            buckets: HashMap::new(),
+            tenant_metrics: HashMap::new(),
             next_token: TOKEN_FIRST_CONN,
             next_job: 0,
             draining: None,
@@ -493,7 +702,7 @@ impl ReactorServer {
                 .lock()
                 .expect("work queue lock never poisoned");
             state.stopping = true;
-            state.jobs.clear();
+            state.jobs.drain();
         }
         self.shared.available.notify_all();
         for worker in workers {
@@ -634,6 +843,10 @@ struct EventLoop<'a> {
     pending: HashMap<u64, PendingJob>,
     /// coalescing fingerprint → pending job id.
     inflight_index: HashMap<u64, u64>,
+    /// Token buckets of metered tenants, created on first submission.
+    buckets: HashMap<String, TokenBucket>,
+    /// Cached per-tenant metric handles (minting hits a registry lock).
+    tenant_metrics: HashMap<String, TenantMetrics>,
     next_token: u64,
     next_job: u64,
     /// `Some(deadline)` once shutdown was requested.
@@ -818,12 +1031,32 @@ impl EventLoop<'_> {
 
     fn handle_request(&mut self, token: u64, id: u64, body: WireBody) {
         match body {
-            WireBody::Submit(request) => self.handle_submit(token, id, request),
+            WireBody::Submit(request) => self.handle_submit(token, id, *request),
             WireBody::SubmitBatch(batch) => {
                 if self.draining.is_some() {
-                    self.shed(token, id, "server is shutting down");
+                    self.shed(token, id, "server is shutting down", None);
                 } else {
-                    self.enqueue(token, id, JobKind::Batch(batch), None, None);
+                    // Batches ride the default lane unmetered: they
+                    // coalesce internally and carry no single tenant,
+                    // but they still pay a DRR price covering every
+                    // member so they cannot crowd out named lanes.
+                    let cost = batch
+                        .requests
+                        .iter()
+                        .map(estimated_cost)
+                        .fold(1u64, u64::saturating_add);
+                    self.enqueue(
+                        token,
+                        id,
+                        JobKind::Batch(batch),
+                        None,
+                        None,
+                        Admission {
+                            tenant: DEFAULT_TENANT.to_string(),
+                            priority: DEFAULT_PRIORITY,
+                            cost,
+                        },
+                    );
                 }
             }
             WireBody::Shutdown => {
@@ -839,11 +1072,15 @@ impl EventLoop<'_> {
         }
     }
 
-    /// The fast/slow seam: run the fast path inline; coalesce, admit or
-    /// shed what needs a search.
+    /// The fast/slow seam: run the fast path inline; meter the tenant's
+    /// budget, then coalesce, admit or shed what needs a search.
     fn handle_submit(&mut self, token: u64, id: u64, request: MappingRequest) {
+        let tenant = request
+            .tenant
+            .clone()
+            .unwrap_or_else(|| DEFAULT_TENANT.to_string());
         if self.draining.is_some() {
-            self.shed(token, id, "server is shutting down");
+            self.shed(token, id, "server is shutting down", Some(&tenant));
             return;
         }
         if let Err(error) = self.shared().dispatcher.limits().check(&request) {
@@ -861,12 +1098,41 @@ impl EventLoop<'_> {
                 self.send_response(token, &WireResponse::err(id, WireError::from(error)));
             }
             Ok(FastPathOutcome::NeedsSearch(ticket)) => {
-                if self.try_coalesce(token, id, &ticket) {
+                let policy = self.shared().tenants.policy_for(&tenant).clone();
+                let priority = policy.effective_priority(request.priority);
+                // Budget admission. Cache replays and structured
+                // rejections above cost no evaluations, so only a
+                // request about to run (or join) a search is metered;
+                // the refusal is a structured answer on a healthy
+                // connection, never a drop. Checked before coalescing
+                // so a dry tenant is refused deterministically.
+                if let Err(retry_after_ms) = self.admit_budget(&tenant, &policy) {
+                    let error = RuntimeError::BudgetExhausted {
+                        tenant: tenant.clone(),
+                        retry_after_ms,
+                    };
+                    self.tenant_handles(&tenant).budget_exhausted.inc();
+                    self.send_response(token, &WireResponse::err(id, WireError::from(&error)));
+                    return;
+                }
+                if self.try_coalesce(token, id, &ticket, &tenant) {
                     return;
                 }
                 let fingerprint = ticket.coalescing_fingerprint();
                 let normalized = ticket.normalized_request().cloned();
-                self.enqueue(token, id, JobKind::Search(ticket), fingerprint, normalized);
+                let cost = estimated_cost(ticket.request());
+                self.enqueue(
+                    token,
+                    id,
+                    JobKind::Search(ticket),
+                    fingerprint,
+                    normalized,
+                    Admission {
+                        tenant,
+                        priority,
+                        cost,
+                    },
+                );
             }
         }
     }
@@ -874,7 +1140,7 @@ impl EventLoop<'_> {
     /// Joins an in-flight identical search if one exists. The waiter's
     /// own ticket is dropped — the leader's response answers everyone —
     /// so a join costs no queue slot and no search.
-    fn try_coalesce(&mut self, token: u64, id: u64, ticket: &SearchTicket) -> bool {
+    fn try_coalesce(&mut self, token: u64, id: u64, ticket: &SearchTicket, tenant: &str) -> bool {
         let (Some(fingerprint), Some(normalized)) =
             (ticket.coalescing_fingerprint(), ticket.normalized_request())
         else {
@@ -892,7 +1158,12 @@ impl EventLoop<'_> {
         }
         if let Some(conn) = self.conns.get_mut(&token) {
             if conn.inflight >= self.server.config.inflight_per_conn {
-                self.shed(token, id, "per-connection in-flight limit reached");
+                self.shed(
+                    token,
+                    id,
+                    "per-connection in-flight limit reached",
+                    Some(tenant),
+                );
                 return true;
             }
             conn.inflight += 1;
@@ -902,7 +1173,56 @@ impl EventLoop<'_> {
         true
     }
 
-    /// Admission control, then hand the job to the pool.
+    /// Checks the tenant's token bucket (created on first submission),
+    /// refreshing the balance gauge. Unmetered tenants always pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(retry_after_ms)` when the bucket is dry.
+    fn admit_budget(&mut self, tenant: &str, policy: &TenantPolicy) -> Result<(), u64> {
+        let now = Instant::now();
+        if !self.buckets.contains_key(tenant) {
+            match TokenBucket::for_policy(policy, now) {
+                Some(bucket) => {
+                    self.buckets.insert(tenant.to_string(), bucket);
+                }
+                None => return Ok(()),
+            }
+        }
+        let bucket = self.buckets.get_mut(tenant).expect("bucket just ensured");
+        let admitted = bucket.admit(now);
+        let balance = bucket.balance(now);
+        self.tenant_handles(tenant).tokens.set(balance);
+        admitted
+    }
+
+    /// Charges an answered search's actual evaluation spend to its
+    /// tenant's bucket (metered tenants only) — the bucket may go
+    /// negative, so a tenant is never charged less than it used.
+    fn debit_budget(&mut self, tenant: &str, evaluations: usize) {
+        let now = Instant::now();
+        let Some(bucket) = self.buckets.get_mut(tenant) else {
+            return;
+        };
+        bucket.debit(evaluations, now);
+        let balance = bucket.balance(now);
+        self.tenant_handles(tenant).tokens.set(balance);
+    }
+
+    /// The cached per-tenant metric handles, minted on first use.
+    fn tenant_handles(&mut self, tenant: &str) -> &TenantMetrics {
+        if !self.tenant_metrics.contains_key(tenant) {
+            let handles = self.shared().dispatcher.service().tenant_metrics(tenant);
+            self.tenant_metrics.insert(tenant.to_string(), handles);
+        }
+        self.tenant_metrics
+            .get(tenant)
+            .expect("handles just minted")
+    }
+
+    /// Admission control, then hand the job to its tenant's DRR lane —
+    /// preempting a lower-priority running search when every worker is
+    /// busy.
     fn enqueue(
         &mut self,
         token: u64,
@@ -910,13 +1230,27 @@ impl EventLoop<'_> {
         kind: JobKind,
         fingerprint: Option<u64>,
         normalized: Option<MappingRequest>,
+        admission: Admission,
     ) {
+        let Admission {
+            tenant,
+            priority,
+            cost,
+        } = admission;
         let inflight = self.conns.get(&token).map_or(0, |conn| conn.inflight);
         if inflight >= self.server.config.inflight_per_conn {
-            self.shed(token, id, "per-connection in-flight limit reached");
+            self.shed(
+                token,
+                id,
+                "per-connection in-flight limit reached",
+                Some(&tenant),
+            );
             return;
         }
+        let policy = self.shared().tenants.policy_for(&tenant).clone();
         let job_id = self.next_job;
+        let is_search = matches!(kind, JobKind::Search(_));
+        let (depth, all_busy);
         {
             let mut state = self
                 .shared()
@@ -925,23 +1259,51 @@ impl EventLoop<'_> {
                 .expect("work queue lock never poisoned");
             if state.jobs.len() >= self.server.config.queue_depth {
                 drop(state);
-                self.shed(token, id, "search queue is full, try again later");
+                self.shed(
+                    token,
+                    id,
+                    "search queue is full, try again later",
+                    Some(&tenant),
+                );
                 return;
             }
-            state.jobs.push_back(Job { id: job_id, kind });
+            state.jobs.push(
+                &tenant,
+                &policy,
+                priority,
+                cost,
+                Job {
+                    id: job_id,
+                    tenant: tenant.clone(),
+                    priority,
+                    cost,
+                    kind,
+                },
+            );
             self.shared()
                 .metrics
                 .queue_depth
                 .set(state.jobs.len() as f64);
+            depth = state.jobs.tenant_depth(&tenant);
+            all_busy = state.busy_workers >= self.shared().workers;
         }
         self.next_job += 1;
         self.shared().available.notify_one();
+        {
+            let handles = self.tenant_handles(&tenant);
+            handles.admitted.inc();
+            handles.queue_depth.set(depth as f64);
+        }
+        if all_busy {
+            self.maybe_preempt(priority);
+        }
         self.pending.insert(
             job_id,
             PendingJob {
                 waiters: vec![(token, id)],
                 fingerprint,
                 normalized,
+                tenant: is_search.then(|| tenant.clone()),
             },
         );
         if let Some(fingerprint) = fingerprint {
@@ -952,9 +1314,42 @@ impl EventLoop<'_> {
         }
     }
 
+    /// When every worker is busy, asks the lowest-priority running
+    /// search to pause — if it is strictly below `priority` — so the
+    /// freed worker picks up the more urgent arrival. The paused
+    /// search's checkpoint is re-queued by its worker and resumes
+    /// bit-identically later.
+    fn maybe_preempt(&mut self, priority: u8) {
+        let victim = {
+            let mut running = self
+                .shared()
+                .running
+                .lock()
+                .expect("running-search registry lock never poisoned");
+            let candidate = running
+                .values_mut()
+                .filter(|entry| !entry.pause_fired)
+                .min_by_key(|entry| entry.priority);
+            match candidate {
+                Some(entry) if entry.priority < priority => {
+                    entry.pause.pause();
+                    entry.pause_fired = true;
+                    Some(entry.tenant.clone())
+                }
+                _ => None,
+            }
+        };
+        if let Some(tenant) = victim {
+            self.tenant_handles(&tenant).preemptions.inc();
+        }
+    }
+
     /// Sheds one request with a structured `Overloaded` error.
-    fn shed(&mut self, token: u64, id: u64, reason: &str) {
+    fn shed(&mut self, token: u64, id: u64, reason: &str, tenant: Option<&str>) {
         self.shared().metrics.shed_requests.inc();
+        if let Some(tenant) = tenant {
+            self.tenant_handles(tenant).shed.inc();
+        }
         self.send_response(
             token,
             &WireResponse::err(id, WireError::overloaded(reason.to_string())),
@@ -974,6 +1369,11 @@ impl EventLoop<'_> {
             let Some(job) = self.pending.remove(&completion.job_id) else {
                 continue;
             };
+            if let (Some(tenant), Ok(WirePayload::Front(response))) =
+                (&job.tenant, &completion.result)
+            {
+                self.debit_budget(tenant, response.stats.evaluations_performed);
+            }
             if let Some(fingerprint) = job.fingerprint {
                 if self.inflight_index.get(&fingerprint) == Some(&completion.job_id) {
                     self.inflight_index.remove(&fingerprint);

@@ -30,6 +30,7 @@ fn request(seed: u64) -> MappingRequest {
 /// the first while it is still pending.
 #[test]
 fn leader_panic_answers_coalesced_followers_and_cleans_the_index() {
+    let _guard = FaultPlan::guard();
     let handle = spawn_reactor_on_ephemeral_port(None, Default::default()).unwrap();
     let addr = handle.addr();
 
@@ -37,8 +38,11 @@ fn leader_panic_answers_coalesced_followers_and_cleans_the_index() {
     let repeated = request(9001);
     let mut pipelined = String::new();
     for id in [1u64, 2u64] {
-        let text =
-            encode_request(&WireRequest::new(id, WireBody::Submit(repeated.clone()))).unwrap();
+        let text = encode_request(&WireRequest::new(
+            id,
+            WireBody::Submit(Box::new(repeated.clone())),
+        ))
+        .unwrap();
         pipelined.push_str(&format!("{}\n{text}", text.len()));
     }
 
@@ -55,7 +59,6 @@ fn leader_panic_answers_coalesced_followers_and_cleans_the_index() {
         let response = mnc_wire::decode_response(&text).unwrap();
         answered.insert(response.id, response.outcome);
     }
-    FaultPlan::disarm_all();
 
     // Both the leader and the coalesced follower got the structured
     // error; nobody hung, nobody got a half-answer.

@@ -1,0 +1,293 @@
+//! Integration tests of the reactor's multi-tenant QoS layer:
+//! starvation-proof weighted-fair queueing, structured budget
+//! exhaustion, and priority preemption with bit-identical resume.
+
+use mnc_runtime::{MappingRequest, MappingService, TenantPolicy, TenantPolicyTable};
+use mnc_server::{ClientError, ReactorConfig, ReactorServer, ServerConfig, WireClient};
+use mnc_wire::{encode_request, frame, ErrorCode, WireBody, WireRequest};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+/// Spawns a one-worker reactor with the given tenant policy table on an
+/// ephemeral port.
+fn spawn_qos_reactor(tenants: TenantPolicyTable) -> mnc_server::reactor::ReactorHandle {
+    ReactorServer::bind(
+        ServerConfig::default(),
+        ReactorConfig {
+            search_workers: 1,
+            tenants,
+            ..ReactorConfig::default()
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap()
+}
+
+/// Encodes a run of submits as one pipelined frame buffer, so every job
+/// is queued before the single worker can drain more than the first.
+fn pipelined(submits: &[(u64, MappingRequest)]) -> String {
+    let mut buffer = String::new();
+    for (id, request) in submits {
+        let text = encode_request(&WireRequest::new(
+            *id,
+            WireBody::Submit(Box::new(request.clone())),
+        ))
+        .unwrap();
+        buffer.push_str(&format!("{}\n{text}", text.len()));
+    }
+    buffer
+}
+
+/// A weight-8 flood of 20 jobs must not starve a weight-1 tenant: DRR
+/// serves the weight-1 job after a bounded number of flood jobs, well
+/// before the backlog drains. Estimated cost per job is
+/// population × (generations + 1) = 8 × 64 = 512 evaluations, i.e. two
+/// weight-1 quanta — the victim's deficit covers it on the second full
+/// rotation.
+#[test]
+fn weighted_fair_queueing_bounds_a_weight_1_tenants_wait() {
+    let mut tenants = TenantPolicyTable::default();
+    tenants.insert(
+        "flood",
+        TenantPolicy {
+            weight: 8,
+            ..TenantPolicy::default()
+        },
+    );
+    let handle = spawn_qos_reactor(tenants);
+
+    // Jobs with distinct seeds (no coalescing): ids 1..=20 belong to the
+    // flood, id 21 to the weight-1 victim, all submitted in one write so
+    // completion order on the single worker is exactly DRR pop order.
+    const FLOOD: u64 = 20;
+    let mut submits = Vec::new();
+    for id in 1..=FLOOD {
+        submits.push((
+            id,
+            MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+                .validation_samples(300)
+                .generations(63)
+                .population_size(8)
+                .seed(id)
+                .tenant("flood"),
+        ));
+    }
+    let victim_id = FLOOD + 1;
+    submits.push((
+        victim_id,
+        MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+            .validation_samples(300)
+            .generations(63)
+            .population_size(8)
+            .seed(9999)
+            .tenant("victim"),
+    ));
+
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(pipelined(&submits).as_bytes()).unwrap();
+
+    let mut completion_order = Vec::new();
+    for _ in 0..submits.len() {
+        let text = frame::read_frame(&mut reader).unwrap().expect("answered");
+        let response = mnc_wire::decode_response(&text).unwrap();
+        response.outcome.into_result().expect("every job succeeds");
+        completion_order.push(response.id);
+    }
+
+    let victim_position = completion_order
+        .iter()
+        .position(|&id| id == victim_id)
+        .expect("victim answered");
+    assert!(
+        victim_position < FLOOD as usize,
+        "victim answered dead last: FIFO behaviour, not weighted-fair"
+    );
+    assert!(
+        victim_position <= 16,
+        "victim waited behind {victim_position} flood jobs — DRR bound is ~12"
+    );
+
+    handle.shutdown().unwrap();
+}
+
+/// An exhausted evaluation budget answers a structured `BudgetExhausted`
+/// with a usable `retry_after_ms` on a connection that stays open — and
+/// after paying the overdraft off, the tenant is admitted again.
+#[test]
+fn budget_exhaustion_is_a_structured_answer_on_a_live_connection() {
+    let mut tenants = TenantPolicyTable::default();
+    tenants.insert(
+        "metered",
+        TenantPolicy {
+            // One burst token admits the first search; its real spend
+            // (~tens of evaluations) overdraws the bucket, which then
+            // refills at 500 evaluations/s — an overdraft the test can
+            // pay off in well under a second.
+            evals_per_sec: Some(500.0),
+            burst: 1.0,
+            ..TenantPolicy::default()
+        },
+    );
+    let handle = spawn_qos_reactor(tenants);
+    let mut client = WireClient::connect(handle.addr()).unwrap();
+
+    let request = |seed: u64| {
+        MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+            .validation_samples(300)
+            .generations(2)
+            .population_size(8)
+            .seed(seed)
+            .tenant("metered")
+    };
+
+    // The full bucket admits the first search; the debit is its actual
+    // evaluation count, overdrawing the one-token burst.
+    let first = client.submit(&request(1)).unwrap();
+    assert!(first.stats.evaluations_performed > 1);
+
+    // The overdrawn bucket refuses the next search — structurally, with
+    // a retry hint, on a connection that keeps serving.
+    let error = match client.submit(&request(2)) {
+        Err(ClientError::Server(error)) => error,
+        other => panic!("overdrawn submit gave {other:?}"),
+    };
+    assert_eq!(error.code, ErrorCode::BudgetExhausted);
+    assert!(error.message.contains("metered"), "{}", error.message);
+    let retry_after = error.retry_after_ms.expect("retry hint travels the wire");
+    assert!(retry_after >= 1);
+    client
+        .ping()
+        .expect("budget refusal never drops the connection");
+
+    // Honouring the hint gets the tenant admitted again. Loop because
+    // the hint is an estimate against a refilling bucket.
+    let mut waited = std::time::Duration::ZERO;
+    let mut next_wait = retry_after;
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(next_wait));
+        waited += std::time::Duration::from_millis(next_wait);
+        match client.submit(&request(3)) {
+            Ok(_) => break,
+            Err(ClientError::Server(error)) if error.code == ErrorCode::BudgetExhausted => {
+                assert!(
+                    waited < std::time::Duration::from_secs(10),
+                    "bucket never recovered: {error}"
+                );
+                next_wait = error.retry_after_ms.unwrap_or(50).max(1);
+            }
+            other => panic!("retry after hinted wait gave {other:?}"),
+        }
+    }
+
+    // The refusals are visible per tenant in the metrics.
+    let metrics = client.metrics().unwrap();
+    let refused = metrics
+        .metrics
+        .labeled_counter_value("mnc_tenant_budget_exhausted_total", "tenant", "metered")
+        .expect("budget-exhausted counter registered");
+    assert!(refused >= 1);
+
+    handle.shutdown().unwrap();
+}
+
+/// A higher-priority arrival preempts the running search: the paused
+/// search resumes after the urgent one answers, and its final front is
+/// bit-identical to an uninterrupted in-process run of the same request
+/// — preemption changes *when* a search runs, never *what* it answers.
+#[test]
+fn priority_preemption_pauses_and_resumes_bit_identically() {
+    // Sized so the low-priority search runs long enough (hundreds of
+    // milliseconds) that the urgent submit lands mid-flight. The
+    // reference run below measures the actual duration and the test
+    // sleeps a quarter of it, so the window tracks machine speed.
+    let low_request = MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+        .validation_samples(400)
+        .generations(900)
+        .population_size(64)
+        .seed(31);
+    let high_request = MappingRequest::new("tiny_cnn_cifar10", "dual_test")
+        .validation_samples(300)
+        .generations(2)
+        .population_size(8)
+        .seed(32)
+        .priority(9);
+
+    // The uninterrupted reference: what the preempted search must still
+    // answer, and how long it runs.
+    let reference_started = std::time::Instant::now();
+    let reference = MappingService::new().submit(&low_request).unwrap();
+    let reference_duration = reference_started.elapsed();
+
+    let handle = spawn_qos_reactor(TenantPolicyTable::default());
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Start the long low-priority search, let it occupy the only
+    // worker, then submit the urgent request.
+    writer
+        .write_all(pipelined(&[(1, low_request.clone())]).as_bytes())
+        .unwrap();
+    std::thread::sleep(reference_duration / 4);
+    writer
+        .write_all(pipelined(&[(2, high_request)]).as_bytes())
+        .unwrap();
+
+    // The urgent answer overtakes the long search it preempted.
+    let mut order = Vec::new();
+    let mut low_response = None;
+    for _ in 0..2 {
+        let text = frame::read_frame(&mut reader).unwrap().expect("answered");
+        let response = mnc_wire::decode_response(&text).unwrap();
+        order.push(response.id);
+        let payload = response.outcome.into_result().expect("both succeed");
+        if response.id == 1 {
+            match payload {
+                mnc_wire::WirePayload::Front(answer) => low_response = Some(answer),
+                other => panic!("submit answered with {other:?}"),
+            }
+        }
+    }
+    assert_eq!(order, vec![2, 1], "the urgent request was not served first");
+
+    // The preemption really happened (not just queue-order luck) …
+    let mut client = WireClient::connect(handle.addr()).unwrap();
+    let metrics = client.metrics().unwrap();
+    let preemptions = metrics
+        .metrics
+        .labeled_counter_value("mnc_tenant_preemptions_total", "tenant", "default")
+        .expect("preemption counter registered");
+    assert!(preemptions >= 1, "low-priority search was never paused");
+
+    // … and the paused-then-resumed search still answers bit-for-bit
+    // what the uninterrupted run answers.
+    let low_response = low_response.expect("low-priority search answered");
+    assert_eq!(low_response.pareto_front, reference.pareto_front);
+    assert_eq!(low_response.best_by_objective, reference.best_by_objective);
+    for (a, b) in low_response
+        .pareto_front
+        .iter()
+        .zip(&reference.pareto_front)
+    {
+        assert_eq!(a.result.objective.to_bits(), b.result.objective.to_bits());
+        assert_eq!(
+            a.result.average_energy_mj.to_bits(),
+            b.result.average_energy_mj.to_bits()
+        );
+        assert_eq!(
+            a.result.average_latency_ms.to_bits(),
+            b.result.average_latency_ms.to_bits()
+        );
+    }
+    assert_eq!(
+        low_response.stats.evaluations_performed, reference.stats.evaluations_performed,
+        "preemption changed how much work the search did"
+    );
+
+    handle.shutdown().unwrap();
+}

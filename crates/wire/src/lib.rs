@@ -72,8 +72,10 @@ pub enum WireBody {
     ListModels,
     /// List the registered platform presets.
     ListPlatforms,
-    /// Answer one mapping request with its Pareto front.
-    Submit(MappingRequest),
+    /// Answer one mapping request with its Pareto front. Boxed so the
+    /// envelope enum stays small — `MappingRequest` dominates every
+    /// other variant; the JSON wire shape is unchanged.
+    Submit(Box<MappingRequest>),
     /// Answer a batch through the coalescing scheduler.
     SubmitBatch(WireBatch),
     /// Snapshot the service counters (cache, pipeline stages, archive).
@@ -286,6 +288,11 @@ pub enum ErrorCode {
     /// expires mid-search answers successfully with a partial front
     /// (`RequestStats::partial`) instead of this error.
     DeadlineExceeded,
+    /// The requesting tenant's evaluation token bucket is empty. The
+    /// error's `retry_after_ms` says when the bucket refills enough to
+    /// admit one more request. Transient by construction — the server
+    /// answers it on a healthy connection, never by hanging up.
+    BudgetExhausted,
     /// Archive persistence failed (or no archive file is configured).
     Persistence,
     /// An internal failure: the request was well-formed but the service
@@ -302,6 +309,10 @@ pub struct WireError {
     pub code: ErrorCode,
     /// Human-readable description.
     pub message: String,
+    /// For transient refusals ([`ErrorCode::BudgetExhausted`]): how long
+    /// the client should wait before retrying, in milliseconds. `None`
+    /// for every other code.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl WireError {
@@ -310,6 +321,7 @@ impl WireError {
         WireError {
             code,
             message: message.into(),
+            retry_after_ms: None,
         }
     }
 
@@ -335,6 +347,13 @@ impl WireError {
     pub fn overloaded(message: impl Into<String>) -> Self {
         WireError::new(ErrorCode::Overloaded, message)
     }
+
+    /// A budget-exhaustion refusal carrying the refill hint.
+    pub fn budget_exhausted(message: impl Into<String>, retry_after_ms: u64) -> Self {
+        let mut error = WireError::new(ErrorCode::BudgetExhausted, message);
+        error.retry_after_ms = Some(retry_after_ms);
+        error
+    }
 }
 
 impl std::fmt::Display for WireError {
@@ -352,13 +371,18 @@ impl From<&RuntimeError> for WireError {
             RuntimeError::UnknownPlatform { .. } => ErrorCode::UnknownPlatform,
             RuntimeError::InvalidRequest { .. } => ErrorCode::InvalidRequest,
             RuntimeError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
+            RuntimeError::BudgetExhausted { .. } => ErrorCode::BudgetExhausted,
             RuntimeError::Persistence { .. } => ErrorCode::Persistence,
             RuntimeError::Mpsoc(_)
             | RuntimeError::Core(_)
             | RuntimeError::Optim(_)
             | RuntimeError::Predictor(_) => ErrorCode::Internal,
         };
-        WireError::new(code, error.to_string())
+        let mut wire = WireError::new(code, error.to_string());
+        if let RuntimeError::BudgetExhausted { retry_after_ms, .. } = error {
+            wire.retry_after_ms = Some(*retry_after_ms);
+        }
+        wire
     }
 }
 
@@ -413,13 +437,15 @@ mod tests {
     fn request_envelopes_round_trip() {
         let request = WireRequest::new(
             7,
-            WireBody::Submit(
+            WireBody::Submit(Box::new(
                 MappingRequest::new("tiny_cnn_cifar10", "dual_test")
                     .validation_samples(300)
                     .generations(2)
                     .population_size(8)
-                    .seed(u64::MAX - 1),
-            ),
+                    .seed(u64::MAX - 1)
+                    .tenant("acme")
+                    .priority(2),
+            )),
         );
         let back = decode_request(&encode_request(&request).unwrap()).unwrap();
         assert_eq!(request, back);
@@ -464,9 +490,26 @@ mod tests {
             let back = decode_response(&encode_response(&response).unwrap()).unwrap();
             assert_eq!(response, back);
             match back.outcome {
-                WireOutcome::Err(error) => assert_eq!(error.code, code),
+                WireOutcome::Err(error) => {
+                    assert_eq!(error.code, code);
+                    assert_eq!(error.retry_after_ms, None);
+                }
                 WireOutcome::Ok(_) => panic!("error outcome expected"),
             }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_round_trips_with_its_retry_hint() {
+        let response = WireResponse::err(4, WireError::budget_exhausted("acme is dry", 250));
+        let back = decode_response(&encode_response(&response).unwrap()).unwrap();
+        assert_eq!(response, back);
+        match back.outcome {
+            WireOutcome::Err(error) => {
+                assert_eq!(error.code, ErrorCode::BudgetExhausted);
+                assert_eq!(error.retry_after_ms, Some(250));
+            }
+            WireOutcome::Ok(_) => panic!("error outcome expected"),
         }
     }
 
@@ -488,6 +531,14 @@ mod tests {
         assert_eq!(WireError::from(persistence).code, ErrorCode::Persistence);
         let deadline = RuntimeError::DeadlineExceeded { deadline_ms: 50 };
         assert_eq!(WireError::from(&deadline).code, ErrorCode::DeadlineExceeded);
+        let budget = RuntimeError::BudgetExhausted {
+            tenant: "acme".to_string(),
+            retry_after_ms: 120,
+        };
+        let wire = WireError::from(&budget);
+        assert_eq!(wire.code, ErrorCode::BudgetExhausted);
+        assert_eq!(wire.retry_after_ms, Some(120));
+        assert!(wire.message.contains("acme"));
     }
 
     #[test]
